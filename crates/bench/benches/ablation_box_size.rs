@@ -1,0 +1,67 @@
+//! Ablation bench: dynamic-box inflation policies (the design-space sweep
+//! behind the paper's "numerous ways to calculate a box", §3.1) — exact,
+//! 25%/50%/100% inflation, and density-adaptive — on both datasets.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use kyrix_bench::{
+    launch_scheme, paper_traces, run_cell_with, CacheMode, Dataset, ExperimentConfig,
+};
+use kyrix_server::{BoxPolicy, FetchPlan};
+use kyrix_workload::SkewConfig;
+
+fn bench_config() -> ExperimentConfig {
+    let width = 20.0 * 512.0;
+    let height = 16.0 * 512.0;
+    let n = (width * height * 1e-3) as usize;
+    ExperimentConfig {
+        dots: kyrix_workload::DotsConfig {
+            n,
+            width,
+            height,
+            seed: 42,
+        },
+        viewport: (512.0, 512.0),
+        trace_tile: 512.0,
+        cost: kyrix_server::CostModel::paper_default(),
+        runs: 1,
+    }
+}
+
+fn policies(cfg: &ExperimentConfig) -> Vec<BoxPolicy> {
+    vec![
+        BoxPolicy::Exact,
+        BoxPolicy::PctLarger(0.25),
+        BoxPolicy::PctLarger(0.5),
+        BoxPolicy::PctLarger(1.0),
+        BoxPolicy::DensityAdaptive {
+            target_tuples: (cfg.viewport.0 * cfg.viewport.1 * cfg.dots.density() * 2.0) as usize,
+            max_pct: 1.0,
+        },
+    ]
+}
+
+fn box_sweep(c: &mut Criterion) {
+    let cfg = bench_config();
+    let mut group = c.benchmark_group("ablation_box_size");
+    group.sample_size(10);
+    for dataset in [Dataset::Uniform, Dataset::Skewed(SkewConfig::default())] {
+        for policy in policies(&cfg) {
+            let (server, _) = launch_scheme(dataset, &cfg, FetchPlan::DynamicBox { policy });
+            let traces = paper_traces(&cfg);
+            let (_, start, moves) = &traces[1]; // trace-b (unaligned)
+            group.bench_with_input(
+                BenchmarkId::new(dataset.label(), policy.label()),
+                moves,
+                |b, moves| {
+                    // warm mode: inflated boxes only pay off when steps can
+                    // reuse the previous box
+                    b.iter(|| run_cell_with(&server, *start, moves, 1, CacheMode::Warm));
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, box_sweep);
+criterion_main!(benches);

@@ -1,0 +1,52 @@
+//! Ablation bench: frontend/backend caching (paper §3.1 "Kyrix employs
+//! both a frontend cache and a backend cache") — the same trace replayed
+//! under the cold protocol vs. with caches active.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use kyrix_bench::{
+    launch_scheme, paper_traces, run_cell_with, CacheMode, Dataset, ExperimentConfig,
+};
+use kyrix_server::{FetchPlan, TileDesign};
+
+fn bench_config() -> ExperimentConfig {
+    let width = 20.0 * 512.0;
+    let height = 16.0 * 512.0;
+    let n = (width * height * 1e-3) as usize;
+    ExperimentConfig {
+        dots: kyrix_workload::DotsConfig {
+            n,
+            width,
+            height,
+            seed: 42,
+        },
+        viewport: (512.0, 512.0),
+        trace_tile: 512.0,
+        cost: kyrix_server::CostModel::paper_default(),
+        runs: 1,
+    }
+}
+
+fn cache_modes(c: &mut Criterion) {
+    let cfg = bench_config();
+    let mut group = c.benchmark_group("ablation_cache");
+    group.sample_size(10);
+    let (server, _) = launch_scheme(
+        Dataset::Uniform,
+        &cfg,
+        FetchPlan::StaticTiles {
+            size: cfg.trace_tile,
+            design: TileDesign::SpatialIndex,
+        },
+    );
+    let traces = paper_traces(&cfg);
+    let (_, start, moves) = &traces[1];
+    for (label, mode) in [("cold", CacheMode::PaperCold), ("warm", CacheMode::Warm)] {
+        group.bench_with_input(BenchmarkId::new("tile_spatial", label), moves, |b, moves| {
+            b.iter(|| run_cell_with(&server, *start, moves, 1, mode));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, cache_modes);
+criterion_main!(benches);

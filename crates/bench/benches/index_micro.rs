@@ -1,0 +1,185 @@
+//! Microbenchmarks of the storage substrate's access paths — the pieces
+//! whose relative costs drive the Figure 6/7 shapes:
+//!
+//! * R-tree rectangle queries (the spatial design's unit of work),
+//! * B-tree equality runs + hash probes (the mapping design's join),
+//! * STR bulk loading vs. incremental R-tree inserts (precompute cost),
+//! * end-to-end SQL for one tile via both database designs.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use kyrix_storage::btree::BPlusTree;
+use kyrix_storage::hash_index::HashIndex;
+use kyrix_storage::rtree::RTree;
+use kyrix_storage::{
+    DataType, Database, IndexKind, Rect, Row, Schema, SpatialCols, Value,
+};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+const N: usize = 100_000;
+const WORLD: f64 = 10_000.0;
+
+fn random_points(n: usize, seed: u64) -> Vec<(f64, f64)> {
+    let mut rng = SmallRng::seed_from_u64(seed);
+    (0..n)
+        .map(|_| (rng.gen_range(0.0..WORLD), rng.gen_range(0.0..WORLD)))
+        .collect()
+}
+
+fn rtree_query(c: &mut Criterion) {
+    let pts = random_points(N, 1);
+    let tree = RTree::bulk_load(
+        pts.iter()
+            .enumerate()
+            .map(|(i, (x, y))| (Rect::point(*x, *y), i as u64))
+            .collect(),
+    );
+    let mut group = c.benchmark_group("index_micro/rtree_query");
+    for size in [100.0, 500.0, 2000.0] {
+        let q = Rect::new(4000.0, 4000.0, 4000.0 + size, 4000.0 + size);
+        group.bench_with_input(BenchmarkId::from_parameter(size as u64), &q, |b, q| {
+            b.iter(|| tree.count_intersecting(q));
+        });
+    }
+    group.finish();
+}
+
+fn rtree_build(c: &mut Criterion) {
+    let pts = random_points(20_000, 2);
+    let items: Vec<(Rect, u64)> = pts
+        .iter()
+        .enumerate()
+        .map(|(i, (x, y))| (Rect::point(*x, *y), i as u64))
+        .collect();
+    let mut group = c.benchmark_group("index_micro/rtree_build");
+    group.sample_size(10);
+    group.bench_function("str_bulk_load", |b| {
+        b.iter(|| RTree::bulk_load(items.clone()));
+    });
+    group.bench_function("incremental_insert", |b| {
+        b.iter(|| {
+            let mut t = RTree::new();
+            for (r, v) in &items {
+                t.insert(*r, *v);
+            }
+            t
+        });
+    });
+    group.finish();
+}
+
+fn btree_and_hash(c: &mut Criterion) {
+    // the mapping design: a B-tree from tile ids to tuple ids (duplicates)
+    // and a hash index over tuple ids
+    let mut bt: BPlusTree<i64, u64> = BPlusTree::new();
+    let mut hash: HashIndex<u64, u64> = HashIndex::new();
+    let mut rng = SmallRng::seed_from_u64(3);
+    for i in 0..N as u64 {
+        bt.insert(rng.gen_range(0..1000i64), i);
+        hash.insert(i, i);
+    }
+    let mut group = c.benchmark_group("index_micro/mapping_indexes");
+    group.bench_function("btree_tile_run_of_100", |b| {
+        b.iter(|| {
+            let mut n = 0u64;
+            bt.for_each_eq(&500, |_| n += 1);
+            n
+        });
+    });
+    group.bench_function("hash_probe_x100", |b| {
+        b.iter(|| {
+            let mut acc = 0u64;
+            for k in 0..100u64 {
+                if let Some(v) = hash.get_first(&(k * 997)) {
+                    acc += *v;
+                }
+            }
+            acc
+        });
+    });
+    group.finish();
+}
+
+/// One tile fetched end-to-end through SQL via both database designs.
+fn sql_designs(c: &mut Criterion) {
+    let tile = 1000.0;
+    let mut db = Database::new();
+    db.create_table(
+        "rec",
+        Schema::empty()
+            .with("tuple_id", DataType::Int)
+            .with("x", DataType::Float)
+            .with("y", DataType::Float),
+    )
+    .unwrap();
+    db.create_table(
+        "map",
+        Schema::empty()
+            .with("tuple_id", DataType::Int)
+            .with("tile_id", DataType::Int),
+    )
+    .unwrap();
+    let pts = random_points(N, 4);
+    for (i, (x, y)) in pts.iter().enumerate() {
+        db.insert(
+            "rec",
+            Row::new(vec![
+                Value::Int(i as i64),
+                Value::Float(*x),
+                Value::Float(*y),
+            ]),
+        )
+        .unwrap();
+        let t = (*x / tile) as i64 + (*y / tile) as i64 * 10;
+        db.insert(
+            "map",
+            Row::new(vec![Value::Int(i as i64), Value::Int(t)]),
+        )
+        .unwrap();
+    }
+    db.create_index("rec", "h", IndexKind::Hash { column: "tuple_id".into() })
+        .unwrap();
+    db.create_index("map", "bt", IndexKind::BTree { column: "tile_id".into() })
+        .unwrap();
+    db.create_index(
+        "rec",
+        "sp",
+        IndexKind::Spatial(SpatialCols::Point {
+            x: "x".into(),
+            y: "y".into(),
+        }),
+    )
+    .unwrap();
+
+    let mut group = c.benchmark_group("index_micro/sql_tile_fetch");
+    group.sample_size(20);
+    let join = db
+        .prepare("SELECT r.* FROM map m JOIN rec r ON m.tuple_id = r.tuple_id WHERE m.tile_id = $1")
+        .unwrap();
+    group.bench_function("tuple_tile_mapping_join", |b| {
+        b.iter(|| db.execute(&join, &[Value::Int(44)]).unwrap().rows.len());
+    });
+    let spatial = db
+        .prepare("SELECT * FROM rec WHERE bbox && rect($1, $2, $3, $4)")
+        .unwrap();
+    group.bench_function("spatial_rect", |b| {
+        b.iter(|| {
+            db.execute(
+                &spatial,
+                &[
+                    Value::Float(4000.0),
+                    Value::Float(4000.0),
+                    Value::Float(5000.0),
+                    Value::Float(5000.0),
+                ],
+            )
+            .unwrap()
+            .rows
+            .len()
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(benches, rtree_query, rtree_build, btree_and_hash, sql_designs);
+criterion_main!(benches);

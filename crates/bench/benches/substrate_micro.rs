@@ -1,0 +1,201 @@
+//! Micro-benchmarks of the substrate extensions: SQL aggregation, the
+//! transaction/WAL layer, and placement-by-example synthesis.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use kyrix_bench::ExperimentConfig;
+use kyrix_core::{synthesize_placement, PlacementExample};
+use kyrix_storage::wal::{Wal, WalRecord};
+use kyrix_storage::{
+    DataType, Database, Row, Schema, TxnDatabase, Value,
+};
+use kyrix_workload::load_uniform;
+
+fn dots_db() -> (Database, usize) {
+    let cfg = ExperimentConfig::tiny();
+    let mut db = Database::new();
+    let n = load_uniform(&mut db, &cfg.dots).expect("load");
+    (db, n)
+}
+
+/// GROUP BY rollup vs. plain filtered count over the same scan.
+fn bench_sql_aggregate(c: &mut Criterion) {
+    let (mut db, _) = dots_db();
+    // integer bucket column for grouping
+    db.run("UPDATE dots SET weight = weight * 10", &[])
+        .expect("bucketize");
+    let mut group = c.benchmark_group("sql_aggregate");
+    group.bench_function("count_filtered", |b| {
+        b.iter(|| {
+            db.query("SELECT COUNT(*) FROM dots WHERE weight > 5", &[])
+                .expect("count")
+        })
+    });
+    group.bench_function("group_by_rollup", |b| {
+        b.iter(|| {
+            db.query(
+                "SELECT id, COUNT(*) AS n FROM dots GROUP BY id HAVING n > 0 LIMIT 5",
+                &[],
+            )
+            .expect("rollup")
+        })
+    });
+    group.bench_function("global_aggregates", |b| {
+        b.iter(|| {
+            db.query(
+                "SELECT COUNT(*), SUM(weight), AVG(weight), MIN(x), MAX(y) FROM dots",
+                &[],
+            )
+            .expect("aggregates")
+        })
+    });
+    group.finish();
+}
+
+/// Per-transaction overhead: raw inserts vs. transactional inserts vs.
+/// WAL-logged transactional inserts.
+fn bench_txn_overhead(c: &mut Criterion) {
+    let schema = Schema::empty()
+        .with("id", DataType::Int)
+        .with("v", DataType::Float);
+    let mut group = c.benchmark_group("txn_overhead");
+    group.sample_size(30);
+
+    group.bench_function("raw_insert_100", |b| {
+        b.iter_with_setup(
+            || {
+                let mut db = Database::new();
+                db.create_table("t", schema.clone()).unwrap();
+                db
+            },
+            |mut db| {
+                for i in 0..100i64 {
+                    db.insert("t", Row::new(vec![Value::Int(i), Value::Float(0.5)]))
+                        .unwrap();
+                }
+                db
+            },
+        )
+    });
+
+    group.bench_function("txn_insert_100_commit", |b| {
+        b.iter_with_setup(
+            || {
+                let mut db = Database::new();
+                db.create_table("t", schema.clone()).unwrap();
+                TxnDatabase::new(db)
+            },
+            |tdb| {
+                let mut t = tdb.begin();
+                for i in 0..100i64 {
+                    t.insert("t", Row::new(vec![Value::Int(i), Value::Float(0.5)]))
+                        .unwrap();
+                }
+                t.commit().unwrap();
+                tdb
+            },
+        )
+    });
+
+    let wal_dir = std::env::temp_dir().join(format!("kyrix_bench_wal_{}", std::process::id()));
+    std::fs::create_dir_all(&wal_dir).unwrap();
+    group.bench_function("txn_insert_100_commit_wal", |b| {
+        let mut run = 0u64;
+        b.iter_with_setup(
+            || {
+                run += 1;
+                let mut db = Database::new();
+                db.create_table("t", schema.clone()).unwrap();
+                let path = wal_dir.join(format!("bench_{run}.log"));
+                std::fs::remove_file(&path).ok();
+                TxnDatabase::with_wal(db, path).unwrap()
+            },
+            |tdb| {
+                let mut t = tdb.begin();
+                for i in 0..100i64 {
+                    t.insert("t", Row::new(vec![Value::Int(i), Value::Float(0.5)]))
+                        .unwrap();
+                }
+                t.commit().unwrap();
+                tdb
+            },
+        )
+    });
+    group.finish();
+    std::fs::remove_dir_all(&wal_dir).ok();
+}
+
+/// WAL append + flush throughput (the §4 update model's write path).
+fn bench_wal_append(c: &mut Criterion) {
+    let dir = std::env::temp_dir().join(format!("kyrix_bench_walx_{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let row = Row::new(vec![Value::Int(7), Value::Float(0.25)]);
+    let mut group = c.benchmark_group("wal");
+    group.bench_function("append_flush_100", |b| {
+        let mut run = 0u64;
+        b.iter_with_setup(
+            || {
+                run += 1;
+                let path = dir.join(format!("w{run}.log"));
+                std::fs::remove_file(&path).ok();
+                Wal::open(path).unwrap()
+            },
+            |mut wal| {
+                wal.append(&WalRecord::Begin { txn: 1 }).unwrap();
+                for _ in 0..100 {
+                    wal.append(&WalRecord::Insert {
+                        txn: 1,
+                        table: "t".into(),
+                        row: row.clone(),
+                    })
+                    .unwrap();
+                }
+                wal.append(&WalRecord::Commit { txn: 1 }).unwrap();
+                wal.flush().unwrap();
+                wal
+            },
+        )
+    });
+    group.finish();
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+/// Placement-by-example synthesis cost over growing example sets.
+fn bench_by_example(c: &mut Criterion) {
+    let schema = Schema::empty()
+        .with("id", DataType::Int)
+        .with("lng", DataType::Float)
+        .with("lat", DataType::Float)
+        .with("pop", DataType::Float);
+    let examples: Vec<PlacementExample> = (0..200)
+        .map(|i| {
+            let lng = -120.0 + i as f64 * 0.25;
+            let lat = 25.0 + (i % 23) as f64;
+            PlacementExample::new(
+                Row::new(vec![
+                    Value::Int(i),
+                    Value::Float(lng),
+                    Value::Float(lat),
+                    Value::Float(i as f64 * 1e4),
+                ]),
+                5.0 * lng + 1000.0,
+                -8.0 * lat + 900.0,
+            )
+        })
+        .collect();
+    let mut group = c.benchmark_group("by_example");
+    for n in [4usize, 50, 200] {
+        group.bench_function(format!("synthesize_{n}"), |b| {
+            b.iter(|| synthesize_placement(&schema, &examples[..n], 0.1).expect("fit"))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_sql_aggregate,
+    bench_txn_overhead,
+    bench_wal_append,
+    bench_by_example
+);
+criterion_main!(benches);

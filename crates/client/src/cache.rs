@@ -1,0 +1,97 @@
+//! The frontend cache (paper §3.1: "Kyrix employs both a frontend cache and
+//! a backend cache").
+
+use kyrix_server::{LruCache, TileId};
+use kyrix_storage::{Rect, Row};
+use std::sync::Arc;
+
+/// Frontend data cache: tiles (LRU by tuple weight) plus the current
+/// dynamic box per layer.
+pub struct FrontendCache {
+    tiles: LruCache<(u32, i64), Arc<Vec<Row>>>, // (layer, tile key)
+    boxes: Vec<Option<(Rect, Arc<Vec<Row>>)>>,  // per layer current box
+}
+
+impl FrontendCache {
+    /// `capacity_rows` bounds the tile cache in tuples; `layers` sizes the
+    /// per-layer box slots.
+    pub fn new(capacity_rows: usize, layers: usize) -> Self {
+        FrontendCache {
+            tiles: LruCache::new(capacity_rows),
+            boxes: vec![None; layers],
+        }
+    }
+
+    pub fn get_tile(&mut self, layer: usize, tile: TileId) -> Option<Arc<Vec<Row>>> {
+        self.tiles.get(&(layer as u32, tile.key())).cloned()
+    }
+
+    pub fn put_tile(&mut self, layer: usize, tile: TileId, rows: Arc<Vec<Row>>) {
+        let weight = rows.len().max(1);
+        self.tiles.insert((layer as u32, tile.key()), rows, weight);
+    }
+
+    /// The current box for a layer if it contains the viewport.
+    pub fn get_box(&self, layer: usize, viewport: &Rect) -> Option<&(Rect, Arc<Vec<Row>>)> {
+        self.boxes
+            .get(layer)?
+            .as_ref()
+            .filter(|(rect, _)| rect.contains(viewport))
+    }
+
+    pub fn put_box(&mut self, layer: usize, rect: Rect, rows: Arc<Vec<Row>>) {
+        if let Some(slot) = self.boxes.get_mut(layer) {
+            *slot = Some((rect, rows));
+        }
+    }
+
+    /// (hits, misses) of the tile cache.
+    pub fn tile_stats(&self) -> (u64, u64) {
+        self.tiles.stats()
+    }
+
+    /// Drop everything (e.g. after a jump to another canvas).
+    pub fn clear(&mut self, layers: usize) {
+        self.tiles.clear();
+        self.boxes = vec![None; layers];
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rows(n: usize) -> Arc<Vec<Row>> {
+        Arc::new(vec![Row::default(); n])
+    }
+
+    #[test]
+    fn tile_roundtrip_and_eviction() {
+        let mut c = FrontendCache::new(10, 1);
+        c.put_tile(0, TileId::new(0, 0), rows(6));
+        c.put_tile(0, TileId::new(1, 0), rows(6));
+        // first tile evicted (6+6 > 10)
+        assert!(c.get_tile(0, TileId::new(0, 0)).is_none());
+        assert!(c.get_tile(0, TileId::new(1, 0)).is_some());
+    }
+
+    #[test]
+    fn box_served_only_when_containing() {
+        let mut c = FrontendCache::new(10, 2);
+        let b = Rect::new(0.0, 0.0, 100.0, 100.0);
+        c.put_box(1, b, rows(3));
+        assert!(c.get_box(1, &Rect::new(10.0, 10.0, 20.0, 20.0)).is_some());
+        assert!(c.get_box(1, &Rect::new(90.0, 90.0, 110.0, 110.0)).is_none());
+        assert!(c.get_box(0, &Rect::new(10.0, 10.0, 20.0, 20.0)).is_none());
+    }
+
+    #[test]
+    fn clear_resets_everything() {
+        let mut c = FrontendCache::new(10, 1);
+        c.put_tile(0, TileId::new(0, 0), rows(1));
+        c.put_box(0, Rect::new(0.0, 0.0, 1.0, 1.0), rows(1));
+        c.clear(1);
+        assert!(c.get_tile(0, TileId::new(0, 0)).is_none());
+        assert!(c.get_box(0, &Rect::new(0.2, 0.2, 0.8, 0.8)).is_none());
+    }
+}

@@ -1,0 +1,44 @@
+//! Client-side errors.
+
+use std::fmt;
+
+/// Errors from the Kyrix frontend.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ClientError {
+    Server(kyrix_server::ServerError),
+    Core(kyrix_core::CoreError),
+    /// Navigation errors (unknown canvas/jump, click outside objects, ...).
+    Navigation(String),
+}
+
+impl fmt::Display for ClientError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ClientError::Server(e) => write!(f, "server: {e}"),
+            ClientError::Core(e) => write!(f, "core: {e}"),
+            ClientError::Navigation(m) => write!(f, "navigation: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for ClientError {}
+
+impl From<kyrix_server::ServerError> for ClientError {
+    fn from(e: kyrix_server::ServerError) -> Self {
+        ClientError::Server(e)
+    }
+}
+
+impl From<kyrix_core::CoreError> for ClientError {
+    fn from(e: kyrix_core::CoreError) -> Self {
+        ClientError::Core(e)
+    }
+}
+
+impl From<kyrix_expr::ExprError> for ClientError {
+    fn from(e: kyrix_expr::ExprError) -> Self {
+        ClientError::Core(kyrix_core::CoreError::Expr(e))
+    }
+}
+
+pub type Result<T> = std::result::Result<T, ClientError>;

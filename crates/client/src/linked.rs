@@ -1,0 +1,106 @@
+//! Coordinated views (paper §4): "Kyrix must be extended to support
+//! multiple canvases on the screen simultaneously and to have pan/zoom
+//! operations in one canvas cause desired actions in other canvases."
+//!
+//! `LinkedViews` holds several sessions (e.g. the MGH temporal / spectral /
+//! clustering views) and propagates viewport movement through declarative
+//! link rules.
+
+use crate::error::Result;
+use crate::session::{Session, StepReport};
+
+/// How a movement on the source view maps onto the target view.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum LinkMode {
+    /// Target centers on the same canvas point.
+    SameCenter,
+    /// Target centers on the source center scaled per-axis (for canvases
+    /// of different resolutions over the same underlying domain).
+    ScaledCenter { fx: f64, fy: f64 },
+    /// Only the x axis is synchronized (e.g. shared time axis), scaled.
+    SharedX { fx: f64 },
+}
+
+/// A directed link between two views.
+#[derive(Debug, Clone, Copy)]
+pub struct Link {
+    pub source: usize,
+    pub target: usize,
+    pub mode: LinkMode,
+}
+
+/// A set of sessions with movement propagation.
+pub struct LinkedViews {
+    pub sessions: Vec<Session>,
+    links: Vec<Link>,
+}
+
+impl LinkedViews {
+    pub fn new(sessions: Vec<Session>) -> Self {
+        LinkedViews {
+            sessions,
+            links: Vec::new(),
+        }
+    }
+
+    /// Add a directed link; movements on `source` propagate to `target`.
+    pub fn link(&mut self, source: usize, target: usize, mode: LinkMode) -> &mut Self {
+        assert_ne!(source, target, "a view cannot link to itself");
+        assert!(source < self.sessions.len() && target < self.sessions.len());
+        self.links.push(Link {
+            source,
+            target,
+            mode,
+        });
+        self
+    }
+
+    pub fn session(&mut self, idx: usize) -> &mut Session {
+        &mut self.sessions[idx]
+    }
+
+    /// Pan one view and propagate to linked views. Returns per-view step
+    /// reports, indexed like `sessions` (views not involved get `None`).
+    pub fn pan_by(&mut self, view: usize, dx: f64, dy: f64) -> Result<Vec<Option<StepReport>>> {
+        let mut reports: Vec<Option<StepReport>> = (0..self.sessions.len()).map(|_| None).collect();
+        let report = self.sessions[view].pan_by(dx, dy)?;
+        let source_vp = self.sessions[view].viewport();
+        reports[view] = Some(report);
+        // single-hop propagation: links fire from the moved view only, so
+        // cycles (A->B, B->A) cannot recurse
+        let links: Vec<Link> = self
+            .links
+            .iter()
+            .copied()
+            .filter(|l| l.source == view)
+            .collect();
+        for l in links {
+            let target = &mut self.sessions[l.target];
+            let tvp = target.viewport();
+            let r = match l.mode {
+                LinkMode::SameCenter => target.pan_to(source_vp.cx, source_vp.cy)?,
+                LinkMode::ScaledCenter { fx, fy } => {
+                    target.pan_to(source_vp.cx * fx, source_vp.cy * fy)?
+                }
+                LinkMode::SharedX { fx } => target.pan_to(source_vp.cx * fx, tvp.cy)?,
+            };
+            reports[l.target] = Some(r);
+        }
+        Ok(reports)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    #[should_panic(expected = "cannot link to itself")]
+    fn self_link_panics() {
+        // building two real sessions is exercised in the integration tests;
+        // here only the rule validation is checked, so an empty view set
+        // with out-of-range indexes must panic too
+        let mut lv = LinkedViews::new(Vec::new());
+        lv.link(0, 0, LinkMode::SameCenter);
+    }
+}

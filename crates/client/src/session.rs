@@ -1,0 +1,528 @@
+//! A client session: the headless equivalent of the Kyrix browser frontend.
+//!
+//! Owns the current canvas + viewport, the frontend cache, and the pan/jump
+//! state machine; fetches data from a [`KyrixServer`] and renders frames
+//! with `kyrix-render`.
+
+use crate::cache::FrontendCache;
+use crate::error::{ClientError, Result};
+use crate::viewport::Viewport;
+use kyrix_core::{CompiledCanvas, CompiledRender, JumpType};
+use kyrix_render::{ColorScale, Color, Frame, Mark, MarkType};
+use kyrix_server::{FetchMetrics, FetchPlan, KyrixServer, MomentumTracker, Tiling};
+use kyrix_storage::{Row, Value};
+use std::collections::HashSet;
+use std::sync::Arc;
+use std::time::Instant;
+
+/// What one interaction (initial load / pan / jump) cost.
+#[derive(Debug, Clone, Default)]
+pub struct StepReport {
+    /// Backend requests actually issued this step (frontend cache hits
+    /// issue none).
+    pub fetch: FetchMetrics,
+    /// Modeled end-to-end response time (ms): measured DB time + modeled
+    /// network/query overheads per the server's cost model.
+    pub modeled_ms: f64,
+    /// Wall-clock time of the whole step (ms).
+    pub measured_ms: f64,
+    /// Tiles/boxes served from the *frontend* cache.
+    pub frontend_hits: u64,
+    /// Distinct data rows now visible in the viewport.
+    pub visible_rows: usize,
+}
+
+/// Result of a successful jump.
+#[derive(Debug, Clone)]
+pub struct JumpOutcome {
+    pub jump_id: String,
+    pub to_canvas: String,
+    /// Display name from the jump's name expression, if any.
+    pub name: Option<String>,
+    pub report: StepReport,
+}
+
+/// A headless Kyrix frontend session.
+pub struct Session {
+    server: Arc<KyrixServer>,
+    canvas: String,
+    viewport: Viewport,
+    cache: FrontendCache,
+    momentum: MomentumTracker,
+    /// Frontend tile cache capacity (tuples).
+    cache_rows: usize,
+    /// Forward pan hints to the server's momentum prefetcher.
+    pub send_momentum_hints: bool,
+    /// Forward viewed-region hints to the server's semantic prefetcher.
+    pub send_semantic_hints: bool,
+}
+
+impl Session {
+    /// Open a session at the app's initial canvas and center, fetching the
+    /// first viewport of data.
+    pub fn open(server: Arc<KyrixServer>) -> Result<(Self, StepReport)> {
+        Self::open_with_cache(server, 500_000)
+    }
+
+    /// Open a session on a specific canvas, centered at (cx, cy) —
+    /// the multi-view entry point (§4 coordinated views).
+    pub fn open_on(
+        server: Arc<KyrixServer>,
+        canvas_id: &str,
+        cx: f64,
+        cy: f64,
+    ) -> Result<(Self, StepReport)> {
+        let canvas = server
+            .app()
+            .canvas(canvas_id)
+            .ok_or_else(|| ClientError::Navigation(format!("unknown canvas `{canvas_id}`")))?;
+        let layers = canvas.layers.len();
+        let bounds = canvas.bounds();
+        let (vw, vh) = (server.app().viewport_width, server.app().viewport_height);
+        let mut viewport = Viewport::new(cx, cy, vw, vh);
+        viewport.center_on(cx, cy, &bounds);
+        let mut session = Session {
+            server,
+            canvas: canvas_id.to_string(),
+            viewport,
+            cache: FrontendCache::new(500_000, layers),
+            momentum: MomentumTracker::new(),
+            cache_rows: 500_000,
+            send_momentum_hints: false,
+            send_semantic_hints: false,
+        };
+        let report = session.ensure_viewport_data()?;
+        Ok((session, report))
+    }
+
+    /// Open with an explicit frontend cache capacity (in tuples).
+    pub fn open_with_cache(
+        server: Arc<KyrixServer>,
+        cache_rows: usize,
+    ) -> Result<(Self, StepReport)> {
+        let app = server.app();
+        let canvas_id = app.initial_canvas.clone();
+        let canvas = app
+            .canvas(&canvas_id)
+            .ok_or_else(|| ClientError::Navigation(format!("unknown canvas `{canvas_id}`")))?;
+        let layers = canvas.layers.len();
+        let mut viewport = Viewport::new(
+            app.initial_center.0,
+            app.initial_center.1,
+            app.viewport_width,
+            app.viewport_height,
+        );
+        let bounds = canvas.bounds();
+        viewport.center_on(app.initial_center.0, app.initial_center.1, &bounds);
+        let mut session = Session {
+            server,
+            canvas: canvas_id,
+            viewport,
+            cache: FrontendCache::new(cache_rows, layers),
+            momentum: MomentumTracker::new(),
+            cache_rows,
+            send_momentum_hints: false,
+            send_semantic_hints: false,
+        };
+        let report = session.ensure_viewport_data()?;
+        Ok((session, report))
+    }
+
+    pub fn canvas_id(&self) -> &str {
+        &self.canvas
+    }
+
+    pub fn viewport(&self) -> Viewport {
+        self.viewport
+    }
+
+    pub fn server(&self) -> &KyrixServer {
+        &self.server
+    }
+
+    fn current_canvas(&self) -> &CompiledCanvas {
+        self.server
+            .app()
+            .canvas(&self.canvas)
+            .expect("session canvas always exists")
+    }
+
+    /// The viewport clipped to the canvas: when the viewport is larger
+    /// than the canvas, only the on-canvas part participates in fetching
+    /// and cache containment checks.
+    fn effective_viewport(&self) -> kyrix_storage::Rect {
+        self.viewport
+            .rect()
+            .intersection(&self.current_canvas().bounds())
+    }
+
+    // ------------------------------------------------------- interactions
+
+    /// Pan by a delta (canvas units). The paper's interaction (1).
+    pub fn pan_by(&mut self, dx: f64, dy: f64) -> Result<StepReport> {
+        let bounds = self.current_canvas().bounds();
+        self.viewport.pan(dx, dy, &bounds);
+        let velocity = self.momentum.observe(&self.viewport.rect());
+        self.send_hints(velocity);
+        self.ensure_viewport_data()
+    }
+
+    /// Pan so the viewport centers on a canvas point.
+    pub fn pan_to(&mut self, cx: f64, cy: f64) -> Result<StepReport> {
+        let bounds = self.current_canvas().bounds();
+        self.viewport.center_on(cx, cy, &bounds);
+        let velocity = self.momentum.observe(&self.viewport.rect());
+        self.send_hints(velocity);
+        self.ensure_viewport_data()
+    }
+
+    fn send_hints(&self, velocity: (f64, f64)) {
+        if self.send_momentum_hints {
+            self.server
+                .hint_momentum(&self.canvas, &self.viewport.rect(), velocity);
+        }
+        if self.send_semantic_hints {
+            self.server
+                .hint_semantic(&self.canvas, &self.viewport.rect());
+        }
+    }
+
+    /// Click at screen coordinates: find the topmost object under the
+    /// cursor, find a jump it triggers, and take it. The paper's
+    /// interaction (2). Returns Ok(None) if nothing under the cursor
+    /// triggers a jump.
+    pub fn click(&mut self, sx: f64, sy: f64) -> Result<Option<JumpOutcome>> {
+        let (cx, cy) = self.viewport.to_canvas(sx, sy);
+        let hit = self.object_at(cx, cy)?;
+        let Some((layer_index, row)) = hit else {
+            return Ok(None);
+        };
+        // Jump programs are compiled against the layer's *data* columns
+        // (+ layer_id); strip the geometry columns the store appended.
+        let data_row = match self.server.store(&self.canvas, layer_index)?.layout() {
+            Some(layout) => Row::new(row.values[..layout.n_data_cols].to_vec()),
+            None => row,
+        };
+        // first triggering jump wins (paper: jumps can be selective per layer)
+        let jump_id = self
+            .server
+            .app()
+            .jumps_from(&self.canvas)
+            .find(|j| j.triggers(layer_index, &data_row))
+            .map(|j| j.spec.id.clone());
+        match jump_id {
+            Some(id) => self.jump(&id, layer_index, &data_row).map(Some),
+            None => Ok(None),
+        }
+    }
+
+    /// Take a jump explicitly. `row` must be the clicked object's *data*
+    /// row (the transform output columns, without the geometry columns a
+    /// layer store appends); `click` prepares this automatically.
+    pub fn jump(&mut self, jump_id: &str, layer_index: usize, row: &Row) -> Result<JumpOutcome> {
+        let start = Instant::now();
+        let app = self.server.app();
+        let jump = app
+            .jumps
+            .iter()
+            .find(|j| j.spec.id == jump_id)
+            .ok_or_else(|| ClientError::Navigation(format!("unknown jump `{jump_id}`")))?;
+        if jump.spec.from != self.canvas {
+            return Err(ClientError::Navigation(format!(
+                "jump `{jump_id}` starts from `{}`, session is on `{}`",
+                jump.spec.from, self.canvas
+            )));
+        }
+        let to = app.canvas(&jump.spec.to).ok_or_else(|| {
+            ClientError::Navigation(format!("jump target `{}` missing", jump.spec.to))
+        })?;
+        let name = jump.display_name(layer_index, row);
+
+        // destination center: the jump's newViewport expressions, or scale
+        // the current center by the canvas size ratio (geometric zoom)
+        let (cx, cy) = match jump.viewport_center(layer_index, row) {
+            Some(c) => c,
+            None => {
+                let from = self.current_canvas();
+                let sx = to.width / from.width;
+                let sy = to.height / from.height;
+                (self.viewport.cx * sx, self.viewport.cy * sy)
+            }
+        };
+        let to_id = jump.spec.to.clone();
+        let _ = JumpType::GeometricZoom; // jump kinds share the fetch path
+        self.canvas = to_id.clone();
+        let bounds = to.bounds();
+        self.viewport.center_on(cx, cy, &bounds);
+        // a new canvas shows different data: drop the frontend cache
+        self.cache.clear(to.layers.len());
+        self.momentum.reset();
+
+        let mut report = self.ensure_viewport_data()?;
+        report.measured_ms = start.elapsed().as_secs_f64() * 1000.0;
+        Ok(JumpOutcome {
+            jump_id: jump_id.to_string(),
+            to_canvas: to_id,
+            name,
+            report,
+        })
+    }
+
+    // ----------------------------------------------------------- fetching
+
+    /// Make sure the data under the viewport is locally available,
+    /// fetching what is missing. This is the per-step measured operation.
+    pub fn ensure_viewport_data(&mut self) -> Result<StepReport> {
+        let start = Instant::now();
+        let vp = self.effective_viewport();
+        let mut fetch = FetchMetrics::default();
+        let mut frontend_hits = 0u64;
+        let plan = self.server.plan();
+        let n_layers = self.current_canvas().layers.len();
+        let statics: Vec<bool> = self
+            .current_canvas()
+            .layers
+            .iter()
+            .map(|l| l.is_static)
+            .collect();
+
+        for (layer, is_static) in statics.iter().enumerate().take(n_layers) {
+            if *is_static {
+                continue;
+            }
+            match plan {
+                FetchPlan::StaticTiles { size, .. } => {
+                    let tiling = Tiling::new(size);
+                    for tile in tiling.covering(&vp) {
+                        if self.cache.get_tile(layer, tile).is_some() {
+                            frontend_hits += 1;
+                            continue;
+                        }
+                        let resp = self.server.fetch_tile(&self.canvas, layer, tile)?;
+                        fetch.merge(&resp.metrics);
+                        self.cache.put_tile(layer, tile, resp.rows);
+                    }
+                }
+                FetchPlan::DynamicBox { .. } => {
+                    if self.cache.get_box(layer, &vp).is_some() {
+                        frontend_hits += 1;
+                        continue;
+                    }
+                    let resp = self.server.fetch_box(&self.canvas, layer, &vp)?;
+                    fetch.merge(&resp.metrics);
+                    self.cache.put_box(layer, resp.rect, resp.rows);
+                }
+            }
+        }
+
+        let modeled_ms = fetch.modeled_ms(&self.server.cost_model());
+        let visible_rows = self.visible(usize::MAX)?.iter().map(|(_, v)| v.len()).sum();
+        Ok(StepReport {
+            fetch,
+            modeled_ms,
+            measured_ms: start.elapsed().as_secs_f64() * 1000.0,
+            frontend_hits,
+            visible_rows,
+        })
+    }
+
+    /// Rows visible in the current viewport, per non-static layer,
+    /// deduplicated by tuple_id (a tuple can arrive via several tiles).
+    pub fn visible(&mut self, limit_per_layer: usize) -> Result<Vec<(usize, Vec<Row>)>> {
+        let vp = self.effective_viewport();
+        let plan = self.server.plan();
+        let canvas = self.canvas.clone();
+        let n_layers = self.current_canvas().layers.len();
+        let statics: Vec<bool> = self
+            .current_canvas()
+            .layers
+            .iter()
+            .map(|l| l.is_static)
+            .collect();
+        let mut out = Vec::new();
+        for (layer, is_static) in statics.iter().enumerate().take(n_layers) {
+            if *is_static {
+                continue;
+            }
+            let store = self.server.store(&canvas, layer)?;
+            let Some(layout) = store.layout() else {
+                continue;
+            };
+            let mut rows = Vec::new();
+            let mut seen: HashSet<i64> = HashSet::new();
+            let mut push_visible = |src: &Arc<Vec<Row>>, rows: &mut Vec<Row>| {
+                for row in src.iter() {
+                    if rows.len() >= limit_per_layer {
+                        return;
+                    }
+                    let bbox = layout.bbox(row);
+                    if bbox.intersects(&vp) && seen.insert(layout.tuple_id(row)) {
+                        rows.push(row.clone());
+                    }
+                }
+            };
+            match plan {
+                FetchPlan::StaticTiles { size, .. } => {
+                    for tile in Tiling::new(size).covering(&vp) {
+                        if let Some(cached) = self.cache.get_tile(layer, tile) {
+                            push_visible(&cached, &mut rows);
+                        }
+                    }
+                }
+                FetchPlan::DynamicBox { .. } => {
+                    if let Some((_, cached)) = self.cache.get_box(layer, &vp) {
+                        let cached = cached.clone();
+                        push_visible(&cached, &mut rows);
+                    }
+                }
+            }
+            out.push((layer, rows));
+        }
+        Ok(out)
+    }
+
+    /// Topmost object whose bounding box contains the canvas point.
+    pub fn object_at(&mut self, cx: f64, cy: f64) -> Result<Option<(usize, Row)>> {
+        let visible = self.visible(usize::MAX)?;
+        let canvas = self.current_canvas();
+        // top layer first
+        for (layer, rows) in visible.into_iter().rev() {
+            let Some(store_layout) = self
+                .server
+                .store(&canvas.id, layer)?
+                .layout()
+            else {
+                continue;
+            };
+            for row in rows {
+                if store_layout.bbox(&row).contains_point(cx, cy) {
+                    return Ok(Some((layer, row)));
+                }
+            }
+        }
+        Ok(None)
+    }
+
+    // ---------------------------------------------------------- rendering
+
+    /// Render the current viewport to an RGBA frame.
+    pub fn render(&mut self) -> Result<Frame> {
+        let vp = self.viewport;
+        let mut frame = Frame::new(vp.width as usize, vp.height as usize);
+        frame.clear(Color::WHITE);
+        let visible = self.visible(usize::MAX)?;
+        let canvas = self.current_canvas().clone();
+
+        for (li, layer) in canvas.layers.iter().enumerate() {
+            match &layer.rendering {
+                CompiledRender::Static(marks) => {
+                    // static layers draw in *viewport* coordinates
+                    for m in marks {
+                        frame.draw_mark(m);
+                    }
+                }
+                CompiledRender::Marks(enc) => {
+                    let Some(layout) = self.server.store(&canvas.id, li)?.layout() else {
+                        continue;
+                    };
+                    let rows = visible
+                        .iter()
+                        .find(|(l, _)| *l == li)
+                        .map(|(_, r)| r.as_slice())
+                        .unwrap_or(&[]);
+                    let color_scale = enc.color.as_ref().map(|(_, d0, d1, ramp)| {
+                        ColorScale::new(*d0, *d1, ramp.ramp())
+                    });
+                    for row in rows {
+                        let data = &row.values[..layout.n_data_cols];
+                        let (sx, sy) = vp.to_screen(layout.cx(row), layout.cy(row));
+                        let size = enc.size.eval_f64(data).unwrap_or(2.0);
+                        let fill = match (&enc.color, &color_scale) {
+                            (Some((field, _, _, _)), Some(scale)) => {
+                                let v = field.eval_f64(data).unwrap_or(0.0);
+                                scale.apply(v)
+                            }
+                            _ => enc.fill,
+                        };
+                        let bbox = layout.bbox(row);
+                        let mark = match enc.mark {
+                            MarkType::Circle => Mark::Circle {
+                                cx: sx,
+                                cy: sy,
+                                r: size,
+                                fill,
+                                stroke: enc.stroke,
+                            },
+                            MarkType::Rect => {
+                                let (bx, by) = vp.to_screen(bbox.min_x, bbox.min_y);
+                                Mark::Rect {
+                                    x: bx,
+                                    y: by,
+                                    w: bbox.width(),
+                                    h: bbox.height(),
+                                    fill,
+                                    stroke: enc.stroke,
+                                }
+                            }
+                            MarkType::Line => {
+                                let (x0, y0) = vp.to_screen(bbox.min_x, bbox.min_y);
+                                let (x1, y1) = vp.to_screen(bbox.max_x, bbox.max_y);
+                                Mark::Line {
+                                    x0,
+                                    y0,
+                                    x1,
+                                    y1,
+                                    color: fill,
+                                }
+                            }
+                            MarkType::Polygon => {
+                                // data rows carry boxes; draw the box outline
+                                let (x0, y0) = vp.to_screen(bbox.min_x, bbox.min_y);
+                                Mark::Rect {
+                                    x: x0,
+                                    y: y0,
+                                    w: bbox.width(),
+                                    h: bbox.height(),
+                                    fill,
+                                    stroke: enc.stroke.or(Some(Color::BLACK)),
+                                }
+                            }
+                            MarkType::Text => {
+                                let text = enc
+                                    .label
+                                    .as_ref()
+                                    .and_then(|l| l.eval(data).ok())
+                                    .map(|v| match v {
+                                        Value::Text(t) => t,
+                                        other => other.to_string(),
+                                    })
+                                    .unwrap_or_default();
+                                Mark::Text {
+                                    x: sx,
+                                    y: sy,
+                                    text,
+                                    color: fill,
+                                    size: size.max(1.0) as u8,
+                                }
+                            }
+                        };
+                        frame.draw_mark(&mark);
+                    }
+                }
+            }
+        }
+        Ok(frame)
+    }
+
+    /// Reset the frontend cache (testing aid).
+    pub fn clear_frontend_cache(&mut self) {
+        let layers = self.current_canvas().layers.len();
+        self.cache.clear(layers);
+        let _ = self.cache_rows;
+    }
+
+    /// (hits, misses) of the frontend tile cache.
+    pub fn frontend_tile_stats(&self) -> (u64, u64) {
+        self.cache.tile_stats()
+    }
+}

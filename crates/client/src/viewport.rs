@@ -1,0 +1,93 @@
+//! The viewport: the window the user sees into a canvas.
+
+use kyrix_storage::Rect;
+
+/// A viewport of fixed pixel size positioned on a canvas.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Viewport {
+    /// Center in canvas coordinates.
+    pub cx: f64,
+    pub cy: f64,
+    /// Size in pixels (canvas units at zoom 1).
+    pub width: f64,
+    pub height: f64,
+}
+
+impl Viewport {
+    pub fn new(cx: f64, cy: f64, width: f64, height: f64) -> Self {
+        Viewport {
+            cx,
+            cy,
+            width,
+            height,
+        }
+    }
+
+    /// The canvas-space rectangle this viewport covers.
+    pub fn rect(&self) -> Rect {
+        Rect::centered(self.cx, self.cy, self.width, self.height)
+    }
+
+    /// Pan by a delta, clamping so the viewport stays on the canvas.
+    pub fn pan(&mut self, dx: f64, dy: f64, canvas: &Rect) {
+        self.cx += dx;
+        self.cy += dy;
+        self.clamp(canvas);
+    }
+
+    /// Center on a point, clamping to the canvas.
+    pub fn center_on(&mut self, cx: f64, cy: f64, canvas: &Rect) {
+        self.cx = cx;
+        self.cy = cy;
+        self.clamp(canvas);
+    }
+
+    fn clamp(&mut self, canvas: &Rect) {
+        let clamped = self.rect().clamp_within(canvas);
+        let c = clamped.center();
+        self.cx = c.x;
+        self.cy = c.y;
+    }
+
+    /// Canvas → screen transform for this viewport.
+    pub fn to_screen(&self, x: f64, y: f64) -> (f64, f64) {
+        let r = self.rect();
+        (x - r.min_x, y - r.min_y)
+    }
+
+    /// Screen → canvas transform.
+    pub fn to_canvas(&self, sx: f64, sy: f64) -> (f64, f64) {
+        let r = self.rect();
+        (sx + r.min_x, sy + r.min_y)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rect_is_centered() {
+        let v = Viewport::new(100.0, 50.0, 40.0, 20.0);
+        assert_eq!(v.rect(), Rect::new(80.0, 40.0, 120.0, 60.0));
+    }
+
+    #[test]
+    fn pan_clamps_to_canvas() {
+        let canvas = Rect::new(0.0, 0.0, 200.0, 200.0);
+        let mut v = Viewport::new(100.0, 100.0, 40.0, 40.0);
+        v.pan(-500.0, 0.0, &canvas);
+        assert_eq!(v.rect().min_x, 0.0);
+        v.pan(1e9, 1e9, &canvas);
+        assert_eq!(v.rect().max_x, 200.0);
+        assert_eq!(v.rect().max_y, 200.0);
+    }
+
+    #[test]
+    fn screen_transform_roundtrip() {
+        let v = Viewport::new(500.0, 300.0, 100.0, 100.0);
+        let (sx, sy) = v.to_screen(470.0, 260.0);
+        assert_eq!((sx, sy), (20.0, 10.0));
+        assert_eq!(v.to_canvas(sx, sy), (470.0, 260.0));
+    }
+}

@@ -1,0 +1,113 @@
+//! Application specs: the root of the declarative model.
+
+use crate::canvas::CanvasSpec;
+use crate::jump::JumpSpec;
+use crate::transform::TransformSpec;
+
+/// A complete Kyrix application specification, mirroring the paper's
+/// Figure 3 developer API.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AppSpec {
+    pub name: String,
+    pub transforms: Vec<TransformSpec>,
+    pub canvases: Vec<CanvasSpec>,
+    pub jumps: Vec<JumpSpec>,
+    /// Initial canvas id and viewport center (Figure 3 line 39:
+    /// `app.initialCanvas("statemap", 0, 0)`).
+    pub initial_canvas: String,
+    pub initial_center: (f64, f64),
+    /// Viewport (browser window) size in pixels.
+    pub viewport_width: f64,
+    pub viewport_height: f64,
+}
+
+impl AppSpec {
+    pub fn new(name: impl Into<String>) -> Self {
+        AppSpec {
+            name: name.into(),
+            transforms: Vec::new(),
+            canvases: Vec::new(),
+            jumps: Vec::new(),
+            initial_canvas: String::new(),
+            initial_center: (0.0, 0.0),
+            viewport_width: 1024.0,
+            viewport_height: 1024.0,
+        }
+    }
+
+    /// Figure 3's `addTransform`.
+    pub fn add_transform(mut self, t: TransformSpec) -> Self {
+        self.transforms.push(t);
+        self
+    }
+
+    /// Figure 3's `app.addCanvas`.
+    pub fn add_canvas(mut self, c: CanvasSpec) -> Self {
+        self.canvases.push(c);
+        self
+    }
+
+    /// Figure 3's `app.addJump`.
+    pub fn add_jump(mut self, j: JumpSpec) -> Self {
+        self.jumps.push(j);
+        self
+    }
+
+    /// Figure 3's `app.initialCanvas(id, cx, cy)`.
+    pub fn initial(mut self, canvas: impl Into<String>, cx: f64, cy: f64) -> Self {
+        self.initial_canvas = canvas.into();
+        self.initial_center = (cx, cy);
+        self
+    }
+
+    /// Set the viewport (browser window) size.
+    pub fn viewport(mut self, width: f64, height: f64) -> Self {
+        self.viewport_width = width;
+        self.viewport_height = height;
+        self
+    }
+
+    pub fn canvas(&self, id: &str) -> Option<&CanvasSpec> {
+        self.canvases.iter().find(|c| c.id == id)
+    }
+
+    pub fn transform(&self, id: &str) -> Option<&TransformSpec> {
+        self.transforms.iter().find(|t| t.id == id)
+    }
+
+    pub fn jump(&self, id: &str) -> Option<&JumpSpec> {
+        self.jumps.iter().find(|j| j.id == id)
+    }
+
+    /// Jumps whose `from` is the given canvas.
+    pub fn jumps_from<'a>(&'a self, canvas: &'a str) -> impl Iterator<Item = &'a JumpSpec> + 'a {
+        self.jumps.iter().filter(move |j| j.from == canvas)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::jump::JumpType;
+
+    #[test]
+    fn lookup_helpers() {
+        let app = AppSpec::new("usmap")
+            .add_transform(TransformSpec::empty("empty"))
+            .add_canvas(CanvasSpec::new("statemap", 100.0, 100.0))
+            .add_canvas(CanvasSpec::new("countymap", 500.0, 500.0))
+            .add_jump(JumpSpec::new(
+                "j",
+                "statemap",
+                "countymap",
+                JumpType::SemanticZoom,
+            ))
+            .initial("statemap", 0.0, 0.0);
+        assert!(app.canvas("statemap").is_some());
+        assert!(app.canvas("nope").is_none());
+        assert!(app.transform("empty").is_some());
+        assert_eq!(app.jumps_from("statemap").count(), 1);
+        assert_eq!(app.jumps_from("countymap").count(), 0);
+        assert_eq!(app.initial_canvas, "statemap");
+    }
+}

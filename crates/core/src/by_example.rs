@@ -1,0 +1,465 @@
+//! "Application by example" (paper §4): learn a placement function from
+//! dropped objects.
+//!
+//! The paper: *"we plan to work on an 'application by example' interface,
+//! whereby a user can drag and drop screen objects, and Kyrix can learn to
+//! automatically generate the location function."* This module implements
+//! the learner: given `(row, canvas position)` examples, it searches each
+//! axis independently for an affine function of one numeric column that
+//! reproduces the dropped positions (least squares, then a max-residual
+//! acceptance test) and emits a [`PlacementSpec`] whose expressions parse,
+//! evaluate, and — when the axes use distinct columns — pass the §3.2
+//! separability analysis, so learned apps get the skip-precomputation fast
+//! path for free.
+
+use crate::error::{CoreError, Result};
+use crate::placement::PlacementSpec;
+use kyrix_expr::{parse, Compiled};
+use kyrix_storage::{DataType, Row, Schema};
+
+/// One drag-and-drop example: this row was dropped at canvas `(x, y)`.
+#[derive(Debug, Clone)]
+pub struct PlacementExample {
+    pub row: Row,
+    pub x: f64,
+    pub y: f64,
+}
+
+impl PlacementExample {
+    pub fn new(row: Row, x: f64, y: f64) -> Self {
+        PlacementExample { row, x, y }
+    }
+}
+
+/// The affine fit chosen for one axis.
+#[derive(Debug, Clone, PartialEq)]
+pub enum AxisFit {
+    /// `position = scale * column + offset`.
+    Affine {
+        column: String,
+        scale: f64,
+        offset: f64,
+        /// Largest |predicted − example| over the example set.
+        max_residual: f64,
+    },
+    /// Every example sits at the same coordinate; the axis is a constant.
+    Constant { value: f64 },
+}
+
+impl AxisFit {
+    /// Render as a `kyrix-expr` expression string.
+    pub fn to_expr(&self) -> String {
+        match self {
+            AxisFit::Constant { value } => fmt_num(*value),
+            AxisFit::Affine {
+                column,
+                scale,
+                offset,
+                ..
+            } => {
+                let mut s = if (*scale - 1.0).abs() < 1e-12 {
+                    column.clone()
+                } else {
+                    format!("{} * {column}", fmt_num(*scale))
+                };
+                if offset.abs() >= 1e-12 {
+                    if *offset > 0.0 {
+                        s = format!("{s} + {}", fmt_num(*offset));
+                    } else {
+                        s = format!("{s} - {}", fmt_num(-*offset));
+                    }
+                }
+                s
+            }
+        }
+    }
+}
+
+/// A synthesized placement plus per-axis provenance.
+#[derive(Debug, Clone)]
+pub struct SynthesizedPlacement {
+    pub placement: PlacementSpec,
+    pub x_fit: AxisFit,
+    pub y_fit: AxisFit,
+}
+
+/// Round near-integers so emitted expressions read like what a developer
+/// would write (`5 * lng + 1000`, not `4.999999999999999 * lng + ...`).
+fn fmt_num(v: f64) -> String {
+    let snapped = (v * 1e9).round() / 1e9;
+    if snapped == snapped.trunc() && snapped.abs() < 1e15 {
+        format!("{}", snapped as i64)
+    } else {
+        format!("{snapped}")
+    }
+}
+
+/// Learn a placement from examples.
+///
+/// `tolerance` is the acceptable |predicted − dropped| per axis in canvas
+/// units (drag-and-drop is not pixel-exact; a few units of slack lets the
+/// learner recover the intended function from imprecise drops).
+///
+/// ```
+/// use kyrix_core::by_example::{synthesize_placement, PlacementExample};
+/// use kyrix_storage::{DataType, Row, Schema, Value};
+///
+/// let schema = Schema::empty()
+///     .with("id", DataType::Int)
+///     .with("lng", DataType::Float)
+///     .with("lat", DataType::Float);
+/// let ex = |id: i64, lng: f64, lat: f64, x: f64, y: f64| PlacementExample::new(
+///     Row::new(vec![Value::Int(id), Value::Float(lng), Value::Float(lat)]), x, y,
+/// );
+/// // user drops three cities; positions are 5*lng+1000, 5*lat+500
+/// let examples = [
+///     ex(0, -71.0, 42.3, 645.0, 711.5),
+///     ex(1, -87.6, 41.8, 562.0, 709.0),
+///     ex(2, -122.4, 37.7, 388.0, 688.5),
+/// ];
+/// let s = synthesize_placement(&schema, &examples, 0.5).unwrap();
+/// assert_eq!(s.placement.x, "5 * lng + 1000");
+/// assert_eq!(s.placement.y, "5 * lat + 500");
+/// ```
+pub fn synthesize_placement(
+    schema: &Schema,
+    examples: &[PlacementExample],
+    tolerance: f64,
+) -> Result<SynthesizedPlacement> {
+    if examples.len() < 2 {
+        return Err(CoreError::ByExample(format!(
+            "need at least 2 examples to learn a placement, got {}",
+            examples.len()
+        )));
+    }
+    for e in examples {
+        if e.row.values.len() != schema.len() {
+            return Err(CoreError::ByExample(format!(
+                "example row has {} values, schema has {} columns",
+                e.row.values.len(),
+                schema.len()
+            )));
+        }
+    }
+    let x_fit = fit_axis(schema, examples, |e| e.x, tolerance, "x")?;
+    let y_fit = fit_axis(schema, examples, |e| e.y, tolerance, "y")?;
+    let placement = PlacementSpec::point(x_fit.to_expr(), y_fit.to_expr());
+    verify(schema, examples, &placement, tolerance)?;
+    Ok(SynthesizedPlacement {
+        placement,
+        x_fit,
+        y_fit,
+    })
+}
+
+/// Least-squares affine fit of `target` against each numeric column;
+/// accept the best column whose max residual is within tolerance.
+fn fit_axis(
+    schema: &Schema,
+    examples: &[PlacementExample],
+    target: impl Fn(&PlacementExample) -> f64,
+    tolerance: f64,
+    axis: &str,
+) -> Result<AxisFit> {
+    let targets: Vec<f64> = examples.iter().map(&target).collect();
+    let t_mean = mean(&targets);
+
+    // constant axis: every drop at the same coordinate
+    if targets.iter().all(|t| (t - t_mean).abs() <= tolerance) {
+        return Ok(AxisFit::Constant { value: t_mean });
+    }
+
+    let mut best: Option<AxisFit> = None;
+    let mut best_residual = f64::INFINITY;
+    let mut nearest_miss: Option<(String, f64)> = None;
+    for (ci, col) in schema.columns().iter().enumerate() {
+        if !matches!(col.dtype, DataType::Int | DataType::Float) {
+            continue;
+        }
+        let vals: Result<Vec<f64>> = examples
+            .iter()
+            .map(|e| {
+                e.row
+                    .get(ci)
+                    .as_f64()
+                    .map_err(|_| CoreError::ByExample(format!("NULL in column `{}`", col.name)))
+            })
+            .collect();
+        let Ok(vals) = vals else { continue };
+        let v_mean = mean(&vals);
+        let var: f64 = vals.iter().map(|v| (v - v_mean).powi(2)).sum();
+        if var < 1e-12 {
+            continue; // constant column cannot drive a varying axis
+        }
+        let cov: f64 = vals
+            .iter()
+            .zip(&targets)
+            .map(|(v, t)| (v - v_mean) * (t - t_mean))
+            .sum();
+        let scale = cov / var;
+        let offset = t_mean - scale * v_mean;
+        let max_residual = vals
+            .iter()
+            .zip(&targets)
+            .map(|(v, t)| (scale * v + offset - t).abs())
+            .fold(0.0f64, f64::max);
+        if max_residual <= tolerance && max_residual < best_residual {
+            best_residual = max_residual;
+            best = Some(AxisFit::Affine {
+                column: col.name.clone(),
+                scale,
+                offset,
+                max_residual,
+            });
+        }
+        if nearest_miss.as_ref().is_none_or(|(_, r)| max_residual < *r) {
+            nearest_miss = Some((col.name.clone(), max_residual));
+        }
+    }
+    best.ok_or_else(|| {
+        let hint = nearest_miss
+            .map(|(c, r)| format!(" (best candidate `{c}` missed by {r:.3})"))
+            .unwrap_or_default();
+        CoreError::ByExample(format!(
+            "no single numeric column explains the {axis} positions within \
+             tolerance {tolerance}{hint}; the placement may be non-separable \
+             (paper §3.2) — provide an explicit placement expression"
+        ))
+    })
+}
+
+/// Round-trip check: parse + compile the emitted expressions and re-predict
+/// every example.
+fn verify(
+    schema: &Schema,
+    examples: &[PlacementExample],
+    placement: &PlacementSpec,
+    tolerance: f64,
+) -> Result<()> {
+    let names: Vec<&str> = schema.columns().iter().map(|c| c.name.as_str()).collect();
+    let compile = |src: &str| -> Result<Compiled> {
+        let expr = parse(src)
+            .map_err(|e| CoreError::ByExample(format!("synthesized `{src}` fails to parse: {e}")))?;
+        Compiled::compile(&expr, &names)
+            .map_err(|e| CoreError::ByExample(format!("synthesized `{src}` fails to bind: {e}")))
+    };
+    let (cx, cy) = (compile(&placement.x)?, compile(&placement.y)?);
+    // formatting rounds coefficients to 1e-9, which can shift predictions
+    // slightly beyond the fit's own residual on large coordinates
+    let slack = tolerance + 1e-6;
+    for (i, e) in examples.iter().enumerate() {
+        let px = cx
+            .eval_f64(&e.row.values)
+            .map_err(|err| CoreError::ByExample(format!("eval failed: {err}")))?;
+        let py = cy
+            .eval_f64(&e.row.values)
+            .map_err(|err| CoreError::ByExample(format!("eval failed: {err}")))?;
+        if (px - e.x).abs() > slack || (py - e.y).abs() > slack {
+            return Err(CoreError::ByExample(format!(
+                "verification failed on example {i}: predicted ({px:.3}, {py:.3}), \
+                 dropped ({:.3}, {:.3})",
+                e.x, e.y
+            )));
+        }
+    }
+    Ok(())
+}
+
+fn mean(xs: &[f64]) -> f64 {
+    xs.iter().sum::<f64>() / xs.len() as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::placement::analyze_separability;
+    use kyrix_storage::Value;
+
+    fn city_schema() -> Schema {
+        Schema::empty()
+            .with("id", DataType::Int)
+            .with("name", DataType::Text)
+            .with("lng", DataType::Float)
+            .with("lat", DataType::Float)
+            .with("pop", DataType::Int)
+    }
+
+    fn city(id: i64, lng: f64, lat: f64, pop: i64) -> Row {
+        Row::new(vec![
+            Value::Int(id),
+            Value::Text(format!("city{id}")),
+            Value::Float(lng),
+            Value::Float(lat),
+            Value::Int(pop),
+        ])
+    }
+
+    /// Drop positions follow x = 5*lng + 1000, y = -8*lat + 900.
+    fn exact_examples() -> Vec<PlacementExample> {
+        [
+            (-71.0, 42.3, 800_000),
+            (-87.6, 41.8, 2_700_000),
+            (-122.4, 37.7, 880_000),
+            (-95.4, 29.8, 2_300_000),
+        ]
+        .iter()
+        .enumerate()
+        .map(|(i, &(lng, lat, pop))| {
+            PlacementExample::new(
+                city(i as i64, lng, lat, pop),
+                5.0 * lng + 1000.0,
+                -8.0 * lat + 900.0,
+            )
+        })
+        .collect()
+    }
+
+    #[test]
+    fn learns_exact_affine_placements() {
+        let s = synthesize_placement(&city_schema(), &exact_examples(), 0.01).unwrap();
+        assert_eq!(s.placement.x, "5 * lng + 1000");
+        assert_eq!(s.placement.y, "-8 * lat + 900");
+        match s.x_fit {
+            AxisFit::Affine { ref column, scale, .. } => {
+                assert_eq!(column, "lng");
+                assert!((scale - 5.0).abs() < 1e-9);
+            }
+            other => panic!("expected affine fit, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn learned_placement_is_separable() {
+        let s = synthesize_placement(&city_schema(), &exact_examples(), 0.01).unwrap();
+        let sep = analyze_separability(
+            &parse(&s.placement.x).unwrap(),
+            &parse(&s.placement.y).unwrap(),
+            &parse(&s.placement.width).unwrap(),
+            &parse(&s.placement.height).unwrap(),
+        )
+        .expect("learned affine placements on distinct columns are separable");
+        assert_eq!(sep.x_column, "lng");
+        assert_eq!(sep.y_column, "lat");
+    }
+
+    #[test]
+    fn tolerates_imprecise_drops() {
+        // jitter each drop by up to ±2 canvas units
+        let jitter = [1.7, -1.2, 0.4, -1.9];
+        let examples: Vec<PlacementExample> = exact_examples()
+            .into_iter()
+            .zip(jitter)
+            .map(|(mut e, j)| {
+                e.x += j;
+                e.y -= j;
+                e
+            })
+            .collect();
+        let s = synthesize_placement(&city_schema(), &examples, 4.0).unwrap();
+        match (&s.x_fit, &s.y_fit) {
+            (
+                AxisFit::Affine { column: xc, scale: xs, .. },
+                AxisFit::Affine { column: yc, scale: ys, .. },
+            ) => {
+                assert_eq!(xc, "lng");
+                assert_eq!(yc, "lat");
+                assert!((xs - 5.0).abs() < 0.5, "x scale {xs}");
+                assert!((ys + 8.0).abs() < 0.5, "y scale {ys}");
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn identity_placement_renders_bare_column() {
+        let schema = Schema::empty()
+            .with("x", DataType::Float)
+            .with("y", DataType::Float);
+        let examples: Vec<PlacementExample> = [(3.0, 7.0), (10.0, 1.0), (-2.0, 4.0)]
+            .iter()
+            .map(|&(x, y)| {
+                PlacementExample::new(
+                    Row::new(vec![Value::Float(x), Value::Float(y)]),
+                    x,
+                    y,
+                )
+            })
+            .collect();
+        let s = synthesize_placement(&schema, &examples, 1e-9).unwrap();
+        assert_eq!(s.placement.x, "x");
+        assert_eq!(s.placement.y, "y");
+    }
+
+    #[test]
+    fn constant_axis_is_learned_as_constant() {
+        let schema = Schema::empty()
+            .with("t", DataType::Float)
+            .with("v", DataType::Float);
+        // a strip chart: x tracks t, y is fixed at 240
+        let examples: Vec<PlacementExample> = [(0.0, 1.0), (10.0, 5.0), (20.0, 3.0)]
+            .iter()
+            .map(|&(t, v)| {
+                PlacementExample::new(
+                    Row::new(vec![Value::Float(t), Value::Float(v)]),
+                    t * 2.0,
+                    240.0,
+                )
+            })
+            .collect();
+        let s = synthesize_placement(&schema, &examples, 0.01).unwrap();
+        assert_eq!(s.placement.x, "2 * t");
+        assert_eq!(s.placement.y, "240");
+        assert_eq!(s.y_fit, AxisFit::Constant { value: 240.0 });
+    }
+
+    #[test]
+    fn rejects_non_separable_drops() {
+        // positions depend on lng *and* lat (rotated layout): no single
+        // column explains either axis
+        let examples: Vec<PlacementExample> = exact_examples()
+            .into_iter()
+            .map(|mut e| {
+                let (x, y) = (e.x, e.y);
+                e.x = x + y;
+                e.y = x - y;
+                e
+            })
+            .collect();
+        let err = synthesize_placement(&city_schema(), &examples, 0.5).unwrap_err();
+        let msg = err.to_string();
+        assert!(msg.contains("non-separable"), "{msg}");
+    }
+
+    #[test]
+    fn rejects_underdetermined_input() {
+        let e = synthesize_placement(
+            &city_schema(),
+            &[PlacementExample::new(city(0, 0.0, 0.0, 0), 1.0, 1.0)],
+            0.5,
+        );
+        assert!(e.is_err());
+        let mismatched = PlacementExample::new(Row::new(vec![Value::Int(1)]), 0.0, 0.0);
+        assert!(synthesize_placement(&city_schema(), &[mismatched.clone(), mismatched], 0.5)
+            .is_err());
+    }
+
+    #[test]
+    fn picks_the_best_fitting_column() {
+        // pop correlates loosely with lng in this data; the learner must
+        // still choose lng (exact fit) over pop (rough fit)
+        let s = synthesize_placement(&city_schema(), &exact_examples(), 0.01).unwrap();
+        match s.x_fit {
+            AxisFit::Affine { ref column, .. } => assert_eq!(column, "lng"),
+            _ => panic!(),
+        }
+    }
+
+    #[test]
+    fn number_formatting_is_clean() {
+        assert_eq!(fmt_num(5.0), "5");
+        assert_eq!(fmt_num(-8.0), "-8");
+        assert_eq!(fmt_num(0.5), "0.5");
+        assert_eq!(fmt_num(4.999999999999), "5");
+        assert_eq!(fmt_num(1000.0000000001), "1000");
+    }
+}

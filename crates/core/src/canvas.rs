@@ -1,0 +1,100 @@
+//! Canvases and layers: the paper's two basic abstractions (§2.1).
+//!
+//! "A canvas is an arbitrary size worksheet with one or more overlaid
+//! layers, forming a single view showing a static visualization."
+
+use crate::placement::PlacementSpec;
+use crate::render_spec::RenderSpec;
+
+/// A layer of a canvas.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LayerSpec {
+    /// The data transform feeding this layer (by id).
+    pub transform: String,
+    /// Static layers are pinned to the viewport and never re-fetched on pan
+    /// (paper Figure 3, the legend layer).
+    pub is_static: bool,
+    /// Placement of objects on the canvas; required for non-static layers.
+    pub placement: Option<PlacementSpec>,
+    /// How objects (or static content) are drawn.
+    pub rendering: RenderSpec,
+}
+
+impl LayerSpec {
+    /// A pannable, data-driven layer.
+    pub fn dynamic(
+        transform: impl Into<String>,
+        placement: PlacementSpec,
+        rendering: RenderSpec,
+    ) -> Self {
+        LayerSpec {
+            transform: transform.into(),
+            is_static: false,
+            placement: Some(placement),
+            rendering,
+        }
+    }
+
+    /// A static overlay layer (legend, title).
+    pub fn fixed(transform: impl Into<String>, rendering: RenderSpec) -> Self {
+        LayerSpec {
+            transform: transform.into(),
+            is_static: true,
+            placement: None,
+            rendering,
+        }
+    }
+}
+
+/// A canvas: a (possibly huge) worksheet with overlaid layers.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CanvasSpec {
+    pub id: String,
+    /// Canvas width in canvas units (pixels at zoom 1).
+    pub width: f64,
+    pub height: f64,
+    pub layers: Vec<LayerSpec>,
+}
+
+impl CanvasSpec {
+    pub fn new(id: impl Into<String>, width: f64, height: f64) -> Self {
+        CanvasSpec {
+            id: id.into(),
+            width,
+            height,
+            layers: Vec::new(),
+        }
+    }
+
+    /// Builder-style layer append (Figure 3's `addLayer`).
+    pub fn layer(mut self, layer: LayerSpec) -> Self {
+        self.layers.push(layer);
+        self
+    }
+
+    /// Full canvas extent as a rectangle.
+    pub fn bounds(&self) -> kyrix_storage::Rect {
+        kyrix_storage::Rect::new(0.0, 0.0, self.width, self.height)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::render_spec::MarkEncoding;
+
+    #[test]
+    fn builders_mirror_figure3() {
+        let canvas = CanvasSpec::new("statemap", 2000.0, 1000.0)
+            .layer(LayerSpec::fixed("empty", RenderSpec::Static(vec![])))
+            .layer(LayerSpec::dynamic(
+                "stateMapTrans",
+                PlacementSpec::point("cx", "cy"),
+                RenderSpec::Marks(MarkEncoding::rect()),
+            ));
+        assert_eq!(canvas.layers.len(), 2);
+        assert!(canvas.layers[0].is_static);
+        assert!(!canvas.layers[1].is_static);
+        assert_eq!(canvas.bounds().width(), 2000.0);
+    }
+}

@@ -1,0 +1,712 @@
+//! The Kyrix compiler: validates a declarative [`AppSpec`] against a
+//! database and produces a [`CompiledApp`] with every expression compiled
+//! and every layer classified (paper Figure 1: "compile" + "basic
+//! constraint checkings").
+
+use crate::app::AppSpec;
+use crate::error::{CompileError, CoreError, Result};
+use crate::jump::JumpSpec;
+use crate::placement::{analyze_separability, CompiledPlacement};
+use crate::render_spec::{CompiledEncoding, CompiledRender, RenderSpec};
+use crate::transform::TransformSpec;
+use kyrix_expr::{parse as parse_expr, Compiled, Expr};
+use kyrix_render::Color;
+use kyrix_storage::{Database, Row, Schema, Value};
+use std::collections::{HashMap, HashSet};
+
+/// A transform compiled against the database.
+#[derive(Debug, Clone)]
+pub struct CompiledTransform {
+    pub id: String,
+    pub query: Option<String>,
+    /// Base query output schema (empty for the empty transform).
+    pub base_schema: Schema,
+    /// Derived column names + compiled expressions. The i-th expression may
+    /// reference base columns and earlier derived columns.
+    pub derived: Vec<(String, Compiled)>,
+    /// All output columns: base followed by derived.
+    pub columns: Vec<String>,
+}
+
+impl CompiledTransform {
+    /// Materialize the transform: run the query and append derived columns.
+    pub fn run(&self, db: &Database) -> Result<Vec<Row>> {
+        let Some(sql) = &self.query else {
+            return Ok(Vec::new());
+        };
+        let result = db.query(sql, &[])?;
+        let mut rows = Vec::with_capacity(result.rows.len());
+        for mut row in result.rows {
+            for (_, expr) in &self.derived {
+                let v = expr.eval(&row.values).map_err(CoreError::Expr)?;
+                row.values.push(v);
+            }
+            rows.push(row);
+        }
+        Ok(rows)
+    }
+}
+
+/// A fully compiled layer.
+#[derive(Debug, Clone)]
+pub struct CompiledLayer {
+    pub canvas_id: String,
+    pub layer_index: usize,
+    pub transform: CompiledTransform,
+    pub is_static: bool,
+    pub placement: Option<CompiledPlacement>,
+    pub rendering: CompiledRender,
+}
+
+impl CompiledLayer {
+    /// The layer's data columns (transform output).
+    pub fn columns(&self) -> &[String] {
+        &self.transform.columns
+    }
+
+    /// Evaluate the placement for one data row:
+    /// returns (center x, center y, width, height) in canvas units.
+    pub fn place(&self, row: &Row) -> Result<(f64, f64, f64, f64)> {
+        let p = self
+            .placement
+            .as_ref()
+            .expect("place() called on a layer without placement");
+        let e = |c: &Compiled| c.eval_f64(&row.values).map_err(CoreError::Expr);
+        Ok((e(&p.x)?, e(&p.y)?, e(&p.width)?, e(&p.height)?))
+    }
+
+    /// Bounding box of one data row on the canvas.
+    pub fn bbox(&self, row: &Row) -> Result<kyrix_storage::Rect> {
+        let (cx, cy, w, h) = self.place(row)?;
+        Ok(kyrix_storage::Rect::centered(cx, cy, w, h))
+    }
+}
+
+/// A compiled canvas.
+#[derive(Debug, Clone)]
+pub struct CompiledCanvas {
+    pub id: String,
+    pub width: f64,
+    pub height: f64,
+    pub layers: Vec<CompiledLayer>,
+}
+
+impl CompiledCanvas {
+    pub fn bounds(&self) -> kyrix_storage::Rect {
+        kyrix_storage::Rect::new(0.0, 0.0, self.width, self.height)
+    }
+}
+
+/// Per-(jump, from-layer) compiled expressions. `None` means the expression
+/// references columns this layer does not have, so the jump can never be
+/// triggered from objects of that layer.
+#[derive(Debug, Clone)]
+pub struct JumpLayerPrograms {
+    pub selector: Option<Compiled>,
+    pub viewport_x: Option<Compiled>,
+    pub viewport_y: Option<Compiled>,
+    pub name: Option<Compiled>,
+}
+
+/// A compiled jump.
+#[derive(Debug, Clone)]
+pub struct CompiledJump {
+    pub spec: JumpSpec,
+    /// Programs per from-canvas layer index.
+    pub per_layer: Vec<JumpLayerPrograms>,
+}
+
+impl CompiledJump {
+    /// Whether a click on `row` in layer `layer_index` triggers this jump.
+    pub fn triggers(&self, layer_index: usize, row: &Row) -> bool {
+        let Some(progs) = self.per_layer.get(layer_index) else {
+            return false;
+        };
+        match (&self.spec.selector, &progs.selector) {
+            (None, _) => true,
+            (Some(_), None) => false, // selector can't be evaluated on this layer
+            (Some(_), Some(sel)) => {
+                let mut slots = row.values.clone();
+                slots.push(Value::Int(layer_index as i64));
+                sel.eval_bool(&slots).unwrap_or(false)
+            }
+        }
+    }
+
+    /// Destination viewport center for a click on `row` (None = default).
+    pub fn viewport_center(&self, layer_index: usize, row: &Row) -> Option<(f64, f64)> {
+        let progs = self.per_layer.get(layer_index)?;
+        let (vx, vy) = (progs.viewport_x.as_ref()?, progs.viewport_y.as_ref()?);
+        let mut slots = row.values.clone();
+        slots.push(Value::Int(layer_index as i64));
+        Some((vx.eval_f64(&slots).ok()?, vy.eval_f64(&slots).ok()?))
+    }
+
+    /// Display name for a click on `row` (e.g. "County map of MA").
+    pub fn display_name(&self, layer_index: usize, row: &Row) -> Option<String> {
+        let progs = self.per_layer.get(layer_index)?;
+        let name = progs.name.as_ref()?;
+        let mut slots = row.values.clone();
+        slots.push(Value::Int(layer_index as i64));
+        match name.eval(&slots).ok()? {
+            Value::Text(t) => Some(t),
+            other => Some(other.to_string()),
+        }
+    }
+}
+
+/// A compiled application: the output of [`compile`].
+#[derive(Debug, Clone)]
+pub struct CompiledApp {
+    pub name: String,
+    pub canvases: Vec<CompiledCanvas>,
+    pub jumps: Vec<CompiledJump>,
+    pub initial_canvas: String,
+    pub initial_center: (f64, f64),
+    pub viewport_width: f64,
+    pub viewport_height: f64,
+    canvas_index: HashMap<String, usize>,
+}
+
+impl CompiledApp {
+    pub fn canvas(&self, id: &str) -> Option<&CompiledCanvas> {
+        self.canvas_index.get(id).map(|i| &self.canvases[*i])
+    }
+
+    pub fn jumps_from<'a>(&'a self, canvas: &'a str) -> impl Iterator<Item = &'a CompiledJump> + 'a {
+        self.jumps.iter().filter(move |j| j.spec.from == canvas)
+    }
+}
+
+/// Compile and validate a spec against a database. All diagnostics are
+/// collected; the error carries every problem found, not just the first.
+pub fn compile(spec: &AppSpec, db: &Database) -> Result<CompiledApp> {
+    let mut errs: Vec<CompileError> = Vec::new();
+
+    if spec.name.is_empty() {
+        errs.push(CompileError::new("app", "application name must not be empty"));
+    }
+    if spec.canvases.is_empty() {
+        errs.push(CompileError::new("app", "at least one canvas is required"));
+    }
+    if spec.viewport_width <= 0.0 || spec.viewport_height <= 0.0 {
+        errs.push(CompileError::new("app", "viewport must have positive size"));
+    }
+
+    // ---- uniqueness
+    check_unique(spec.canvases.iter().map(|c| &c.id), "canvas", &mut errs);
+    check_unique(spec.transforms.iter().map(|t| &t.id), "transform", &mut errs);
+    check_unique(spec.jumps.iter().map(|j| &j.id), "jump", &mut errs);
+
+    // ---- transforms
+    let mut transforms: HashMap<String, CompiledTransform> = HashMap::new();
+    for t in &spec.transforms {
+        match compile_transform(t, db) {
+            Ok(ct) => {
+                transforms.insert(t.id.clone(), ct);
+            }
+            Err(e) => errs.push(CompileError::new(format!("transform `{}`", t.id), e)),
+        }
+    }
+
+    // ---- canvases & layers
+    let mut canvases = Vec::new();
+    for c in &spec.canvases {
+        if c.width <= 0.0 || c.height <= 0.0 {
+            errs.push(CompileError::new(
+                format!("canvas `{}`", c.id),
+                "canvas must have positive dimensions",
+            ));
+        }
+        if c.layers.is_empty() {
+            errs.push(CompileError::new(
+                format!("canvas `{}`", c.id),
+                "canvas must have at least one layer",
+            ));
+        }
+        let mut layers = Vec::new();
+        for (li, l) in c.layers.iter().enumerate() {
+            let loc = format!("canvas `{}` / layer {li}", c.id);
+            let Some(ct) = transforms.get(&l.transform) else {
+                errs.push(CompileError::new(
+                    &loc,
+                    format!("unknown transform `{}`", l.transform),
+                ));
+                continue;
+            };
+            let cols: Vec<&str> = ct.columns.iter().map(String::as_str).collect();
+
+            // placement
+            let placement = match (&l.placement, l.is_static) {
+                (None, false) => {
+                    errs.push(CompileError::new(
+                        &loc,
+                        "non-static layers require a placement",
+                    ));
+                    None
+                }
+                (None, true) => None,
+                (Some(p), _) => match compile_placement(p, &cols) {
+                    Ok(cp) => Some(cp),
+                    Err(e) => {
+                        errs.push(CompileError::new(format!("{loc} / placement"), e));
+                        None
+                    }
+                },
+            };
+
+            // rendering
+            let rendering = match compile_render(&l.rendering, &cols) {
+                Ok(r) => r,
+                Err(e) => {
+                    errs.push(CompileError::new(format!("{loc} / rendering"), e));
+                    CompiledRender::Static(Vec::new())
+                }
+            };
+
+            layers.push(CompiledLayer {
+                canvas_id: c.id.clone(),
+                layer_index: li,
+                transform: ct.clone(),
+                is_static: l.is_static,
+                placement,
+                rendering,
+            });
+        }
+        canvases.push(CompiledCanvas {
+            id: c.id.clone(),
+            width: c.width,
+            height: c.height,
+            layers,
+        });
+    }
+
+    // ---- initial canvas
+    if spec.canvas(&spec.initial_canvas).is_none() {
+        errs.push(CompileError::new(
+            "app",
+            format!("initial canvas `{}` does not exist", spec.initial_canvas),
+        ));
+    }
+
+    // ---- jumps
+    let mut jumps = Vec::new();
+    for j in &spec.jumps {
+        let loc = format!("jump `{}`", j.id);
+        let from = spec.canvas(&j.from);
+        if from.is_none() {
+            errs.push(CompileError::new(&loc, format!("unknown from-canvas `{}`", j.from)));
+        }
+        if spec.canvas(&j.to).is_none() {
+            errs.push(CompileError::new(&loc, format!("unknown to-canvas `{}`", j.to)));
+        }
+        // parse all jump expressions once (syntax errors are app errors)
+        let parse_opt = |src: &Option<String>, what: &str, errs: &mut Vec<CompileError>| -> Option<Expr> {
+            match src {
+                None => None,
+                Some(s) => match parse_expr(s) {
+                    Ok(e) => Some(e),
+                    Err(e) => {
+                        errs.push(CompileError::new(format!("{loc} / {what}"), e.to_string()));
+                        None
+                    }
+                },
+            }
+        };
+        let sel = parse_opt(&j.selector, "selector", &mut errs);
+        let vx = parse_opt(&j.viewport_x, "viewport_x", &mut errs);
+        let vy = parse_opt(&j.viewport_y, "viewport_y", &mut errs);
+        let nm = parse_opt(&j.name, "name", &mut errs);
+
+        // compile per from-canvas layer (unknown columns → None for that layer)
+        let mut per_layer = Vec::new();
+        if let Some(fc) = from {
+            for l in &fc.layers {
+                let cols: Vec<String> = match transforms.get(&l.transform) {
+                    Some(ct) => {
+                        let mut v = ct.columns.clone();
+                        v.push("layer_id".to_string());
+                        v
+                    }
+                    None => vec!["layer_id".to_string()],
+                };
+                let cols_ref: Vec<&str> = cols.iter().map(String::as_str).collect();
+                let comp = |e: &Option<Expr>| -> Option<Compiled> {
+                    e.as_ref()
+                        .and_then(|e| Compiled::compile(e, &cols_ref).ok())
+                };
+                per_layer.push(JumpLayerPrograms {
+                    selector: comp(&sel),
+                    viewport_x: comp(&vx),
+                    viewport_y: comp(&vy),
+                    name: comp(&nm),
+                });
+            }
+        }
+        jumps.push(CompiledJump {
+            spec: j.clone(),
+            per_layer,
+        });
+    }
+
+    if !errs.is_empty() {
+        return Err(CoreError::Compile(errs));
+    }
+
+    let canvas_index = canvases
+        .iter()
+        .enumerate()
+        .map(|(i, c)| (c.id.clone(), i))
+        .collect();
+    Ok(CompiledApp {
+        name: spec.name.clone(),
+        canvases,
+        jumps,
+        initial_canvas: spec.initial_canvas.clone(),
+        initial_center: spec.initial_center,
+        viewport_width: spec.viewport_width,
+        viewport_height: spec.viewport_height,
+        canvas_index,
+    })
+}
+
+fn check_unique<'a, I: Iterator<Item = &'a String>>(
+    ids: I,
+    what: &str,
+    errs: &mut Vec<CompileError>,
+) {
+    let mut seen = HashSet::new();
+    for id in ids {
+        if !seen.insert(id) {
+            errs.push(CompileError::new(
+                format!("{what} `{id}`"),
+                format!("duplicate {what} id"),
+            ));
+        }
+    }
+}
+
+fn compile_transform(t: &TransformSpec, db: &Database) -> std::result::Result<CompiledTransform, String> {
+    let base_schema = match &t.query {
+        Some(sql) => db.query_schema(sql).map_err(|e| e.to_string())?,
+        None => Schema::empty(),
+    };
+    let mut columns: Vec<String> = base_schema
+        .columns()
+        .iter()
+        .map(|c| c.name.clone())
+        .collect();
+    let mut derived = Vec::new();
+    for (name, src) in &t.derived {
+        if columns.iter().any(|c| c == name) {
+            return Err(format!("derived column `{name}` shadows an existing column"));
+        }
+        let expr = parse_expr(src).map_err(|e| format!("derived `{name}`: {e}"))?;
+        let cols_ref: Vec<&str> = columns.iter().map(String::as_str).collect();
+        let compiled =
+            Compiled::compile(&expr, &cols_ref).map_err(|e| format!("derived `{name}`: {e}"))?;
+        derived.push((name.clone(), compiled));
+        columns.push(name.clone());
+    }
+    Ok(CompiledTransform {
+        id: t.id.clone(),
+        query: t.query.clone(),
+        base_schema,
+        derived,
+        columns,
+    })
+}
+
+fn compile_placement(
+    p: &crate::placement::PlacementSpec,
+    cols: &[&str],
+) -> std::result::Result<CompiledPlacement, String> {
+    let parse1 = |what: &str, src: &str| -> std::result::Result<(Expr, Compiled), String> {
+        let e = parse_expr(src).map_err(|err| format!("{what}: {err}"))?;
+        let c = Compiled::compile(&e, cols).map_err(|err| format!("{what}: {err}"))?;
+        Ok((e, c))
+    };
+    let (xe, xc) = parse1("x", &p.x)?;
+    let (ye, yc) = parse1("y", &p.y)?;
+    let (we, wc) = parse1("width", &p.width)?;
+    let (he, hc) = parse1("height", &p.height)?;
+    let separability = analyze_separability(&xe, &ye, &we, &he);
+    Ok(CompiledPlacement {
+        x: xc,
+        y: yc,
+        width: wc,
+        height: hc,
+        separability,
+    })
+}
+
+fn compile_render(
+    r: &RenderSpec,
+    cols: &[&str],
+) -> std::result::Result<CompiledRender, String> {
+    match r {
+        RenderSpec::Static(marks) => Ok(CompiledRender::Static(marks.clone())),
+        RenderSpec::Marks(enc) => {
+            let compile1 = |what: &str, src: &str| -> std::result::Result<Compiled, String> {
+                let e = parse_expr(src).map_err(|err| format!("{what}: {err}"))?;
+                Compiled::compile(&e, cols).map_err(|err| format!("{what}: {err}"))
+            };
+            let size = compile1("size", &enc.size)?;
+            let fill = Color::from_hex(&enc.fill)
+                .ok_or_else(|| format!("fill: invalid color `{}`", enc.fill))?;
+            let color = match &enc.color {
+                None => None,
+                Some(ce) => {
+                    if ce.d1 <= ce.d0 {
+                        return Err(format!(
+                            "color: empty domain [{}, {}]",
+                            ce.d0, ce.d1
+                        ));
+                    }
+                    Some((compile1("color.field", &ce.field)?, ce.d0, ce.d1, ce.ramp))
+                }
+            };
+            let stroke = match &enc.stroke {
+                None => None,
+                Some(s) => Some(
+                    Color::from_hex(s).ok_or_else(|| format!("stroke: invalid color `{s}`"))?,
+                ),
+            };
+            let label = match &enc.label {
+                None => None,
+                Some(l) => Some(compile1("label", l)?),
+            };
+            Ok(CompiledRender::Marks(Box::new(CompiledEncoding {
+                mark: enc.mark,
+                size,
+                fill,
+                color,
+                stroke,
+                label,
+            })))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::canvas::{CanvasSpec, LayerSpec};
+    use crate::jump::{JumpSpec, JumpType};
+    use crate::placement::PlacementSpec;
+    use crate::render_spec::MarkEncoding;
+    use kyrix_storage::{DataType, Row, Schema, Value};
+
+    fn test_db() -> Database {
+        let mut db = Database::new();
+        db.create_table(
+            "dots",
+            Schema::empty()
+                .with("id", DataType::Int)
+                .with("x", DataType::Float)
+                .with("y", DataType::Float)
+                .with("weight", DataType::Float),
+        )
+        .unwrap();
+        for i in 0..50i64 {
+            db.insert(
+                "dots",
+                Row::new(vec![
+                    Value::Int(i),
+                    Value::Float(i as f64),
+                    Value::Float((i * 2) as f64),
+                    Value::Float((i % 5) as f64),
+                ]),
+            )
+            .unwrap();
+        }
+        db
+    }
+
+    fn valid_spec() -> AppSpec {
+        AppSpec::new("test")
+            .add_transform(TransformSpec::query("t", "SELECT * FROM dots").derive("cx", "x * 10"))
+            .add_transform(TransformSpec::empty("empty"))
+            .add_canvas(
+                CanvasSpec::new("main", 1000.0, 1000.0)
+                    .layer(LayerSpec::fixed(
+                        "empty",
+                        RenderSpec::Static(vec![]),
+                    ))
+                    .layer(LayerSpec::dynamic(
+                        "t",
+                        PlacementSpec::point("cx", "y"),
+                        RenderSpec::Marks(MarkEncoding::circle()),
+                    )),
+            )
+            .add_canvas(CanvasSpec::new("detail", 5000.0, 5000.0).layer(
+                LayerSpec::dynamic(
+                    "t",
+                    PlacementSpec::point("cx * 5", "y * 5"),
+                    RenderSpec::Marks(MarkEncoding::circle()),
+                ),
+            ))
+            .add_jump(
+                JumpSpec::new("zoom", "main", "detail", JumpType::GeometricSemanticZoom)
+                    .with_selector("layer_id == 1")
+                    .with_viewport("cx * 5", "y * 5")
+                    .with_name("'Detail of ' + id"),
+            )
+            .initial("main", 500.0, 500.0)
+    }
+
+    #[test]
+    fn valid_spec_compiles() {
+        let db = test_db();
+        let app = compile(&valid_spec(), &db).unwrap();
+        assert_eq!(app.canvases.len(), 2);
+        let main = app.canvas("main").unwrap();
+        assert_eq!(main.layers.len(), 2);
+        // transform columns include derived
+        assert_eq!(
+            main.layers[1].columns(),
+            &["id", "x", "y", "weight", "cx"]
+        );
+        // separable: cx is affine in x... but cx is DERIVED, not raw.
+        // Separability analysis operates on transform output columns; the
+        // placement `cx, y` is affine in single distinct columns.
+        let sep = main.layers[1]
+            .placement
+            .as_ref()
+            .unwrap()
+            .separability
+            .as_ref()
+            .unwrap();
+        assert_eq!(sep.x_column, "cx");
+        assert_eq!(sep.y_column, "y");
+    }
+
+    #[test]
+    fn transform_run_appends_derived() {
+        let db = test_db();
+        let app = compile(&valid_spec(), &db).unwrap();
+        let layer = &app.canvas("main").unwrap().layers[1];
+        let rows = layer.transform.run(&db).unwrap();
+        assert_eq!(rows.len(), 50);
+        assert_eq!(rows[3].values.len(), 5);
+        assert_eq!(rows[3].values[4], Value::Float(30.0)); // cx = x * 10
+        // placement evaluates
+        let (cx, cy, w, h) = layer.place(&rows[3]).unwrap();
+        assert_eq!((cx, cy, w, h), (30.0, 6.0, 1.0, 1.0));
+    }
+
+    #[test]
+    fn jump_programs_evaluate() {
+        let db = test_db();
+        let app = compile(&valid_spec(), &db).unwrap();
+        let jump = &app.jumps[0];
+        let row = Row::new(vec![
+            Value::Int(7),
+            Value::Float(7.0),
+            Value::Float(14.0),
+            Value::Float(2.0),
+            Value::Float(70.0),
+        ]);
+        assert!(jump.triggers(1, &row), "layer 1 selected");
+        assert!(!jump.triggers(0, &row), "layer 0 not selected");
+        assert_eq!(jump.viewport_center(1, &row), Some((350.0, 70.0)));
+        assert_eq!(jump.display_name(1, &row).unwrap(), "Detail of 7");
+    }
+
+    #[test]
+    fn all_errors_collected() {
+        let db = test_db();
+        let spec = AppSpec::new("")
+            .add_transform(TransformSpec::query("t", "SELECT * FROM missing_table"))
+            .add_canvas(CanvasSpec::new("c", -5.0, 100.0).layer(LayerSpec::dynamic(
+                "nope",
+                PlacementSpec::point("x", "y"),
+                RenderSpec::Marks(MarkEncoding::circle()),
+            )))
+            .add_jump(JumpSpec::new("j", "ghost", "c", JumpType::GeometricZoom))
+            .initial("ghost", 0.0, 0.0);
+        match compile(&spec, &db) {
+            Err(CoreError::Compile(errs)) => {
+                assert!(errs.len() >= 5, "expected many errors, got {errs:?}");
+                let text = errs
+                    .iter()
+                    .map(|e| e.to_string())
+                    .collect::<Vec<_>>()
+                    .join("\n");
+                assert!(text.contains("name must not be empty"));
+                assert!(text.contains("missing_table"));
+                assert!(text.contains("positive dimensions"));
+                assert!(text.contains("unknown transform"));
+                assert!(text.contains("from-canvas"));
+                assert!(text.contains("initial canvas"));
+            }
+            other => panic!("expected compile errors, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn non_static_layer_needs_placement() {
+        let db = test_db();
+        let mut spec = valid_spec();
+        spec.canvases[0].layers[1].placement = None;
+        match compile(&spec, &db) {
+            Err(CoreError::Compile(errs)) => {
+                assert!(errs.iter().any(|e| e.message.contains("require a placement")));
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn placement_unknown_column_is_error() {
+        let db = test_db();
+        let mut spec = valid_spec();
+        spec.canvases[0].layers[1].placement =
+            Some(PlacementSpec::point("no_such_col", "y"));
+        assert!(compile(&spec, &db).is_err());
+    }
+
+    #[test]
+    fn duplicate_ids_rejected() {
+        let db = test_db();
+        let mut spec = valid_spec();
+        let dup = spec.canvases[0].clone();
+        spec = spec.add_canvas(dup);
+        match compile(&spec, &db) {
+            Err(CoreError::Compile(errs)) => {
+                assert!(errs.iter().any(|e| e.message.contains("duplicate")));
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn bad_color_rejected() {
+        let db = test_db();
+        let mut spec = valid_spec();
+        if let Some(l) = spec.canvases[0].layers.get_mut(1) {
+            l.rendering = RenderSpec::Marks(MarkEncoding::circle().with_fill("notacolor"));
+        }
+        assert!(compile(&spec, &db).is_err());
+    }
+
+    #[test]
+    fn selector_on_mismatched_layer_never_triggers() {
+        let db = test_db();
+        let mut spec = valid_spec();
+        // selector referencing a column only layer 1 has; clicking layer 0
+        // (static legend, no columns) can never trigger
+        spec.jumps[0].selector = Some("weight > 1".into());
+        let app = compile(&spec, &db).unwrap();
+        let j = &app.jumps[0];
+        assert!(!j.triggers(0, &Row::new(vec![])));
+        let row = Row::new(vec![
+            Value::Int(1),
+            Value::Float(1.0),
+            Value::Float(2.0),
+            Value::Float(3.0),
+            Value::Float(10.0),
+        ]);
+        assert!(j.triggers(1, &row));
+    }
+}

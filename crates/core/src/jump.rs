@@ -1,0 +1,120 @@
+//! Jumps: customized transitions between canvases (paper §2.1).
+
+/// Transition type (paper: "geometric zoom, semantic zoom or both").
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum JumpType {
+    GeometricZoom,
+    SemanticZoom,
+    GeometricSemanticZoom,
+}
+
+impl JumpType {
+    /// The paper's string form (Figure 3: `"geometric_semantic_zoom"`).
+    pub fn name(self) -> &'static str {
+        match self {
+            JumpType::GeometricZoom => "geometric_zoom",
+            JumpType::SemanticZoom => "semantic_zoom",
+            JumpType::GeometricSemanticZoom => "geometric_semantic_zoom",
+        }
+    }
+
+    pub fn from_name(s: &str) -> Option<Self> {
+        Some(match s {
+            "geometric_zoom" => JumpType::GeometricZoom,
+            "semantic_zoom" => JumpType::SemanticZoom,
+            "geometric_semantic_zoom" => JumpType::GeometricSemanticZoom,
+            _ => return None,
+        })
+    }
+}
+
+/// A declarative jump between canvases.
+///
+/// Mirrors Figure 3:
+/// ```js
+/// app.addJump(new Jump("statemap", "countymap", "geometric_semantic_zoom",
+///                      selector, newViewport, jumpName));
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct JumpSpec {
+    pub id: String,
+    pub from: String,
+    pub to: String,
+    pub jump_type: JumpType,
+    /// Which objects trigger this jump: a boolean expression over the
+    /// clicked row's columns plus `layer_id` (Figure 3 line 28:
+    /// `layerId == 1`). `None` = every object triggers.
+    pub selector: Option<String>,
+    /// Destination viewport center: expressions over the clicked row's
+    /// columns (Figure 3 line 31: `row[1] * 5 - 1000`). `None` = keep the
+    /// current center scaled by the canvas size ratio.
+    pub viewport_x: Option<String>,
+    pub viewport_y: Option<String>,
+    /// Human-readable name of the jump, an expression over the clicked row
+    /// (Figure 3 line 34: `"County map of " + row[3]`).
+    pub name: Option<String>,
+}
+
+impl JumpSpec {
+    pub fn new(
+        id: impl Into<String>,
+        from: impl Into<String>,
+        to: impl Into<String>,
+        jump_type: JumpType,
+    ) -> Self {
+        JumpSpec {
+            id: id.into(),
+            from: from.into(),
+            to: to.into(),
+            jump_type,
+            selector: None,
+            viewport_x: None,
+            viewport_y: None,
+            name: None,
+        }
+    }
+
+    pub fn with_selector(mut self, expr: impl Into<String>) -> Self {
+        self.selector = Some(expr.into());
+        self
+    }
+
+    pub fn with_viewport(mut self, x: impl Into<String>, y: impl Into<String>) -> Self {
+        self.viewport_x = Some(x.into());
+        self.viewport_y = Some(y.into());
+        self
+    }
+
+    pub fn with_name(mut self, expr: impl Into<String>) -> Self {
+        self.name = Some(expr.into());
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn jump_type_roundtrip() {
+        for t in [
+            JumpType::GeometricZoom,
+            JumpType::SemanticZoom,
+            JumpType::GeometricSemanticZoom,
+        ] {
+            assert_eq!(JumpType::from_name(t.name()), Some(t));
+        }
+        assert_eq!(JumpType::from_name("teleport"), None);
+    }
+
+    #[test]
+    fn figure3_jump_builder() {
+        let j = JumpSpec::new("state_to_county", "statemap", "countymap", JumpType::GeometricSemanticZoom)
+            .with_selector("layer_id == 1")
+            .with_viewport("cx * 5 - 1000", "cy * 5 - 500")
+            .with_name("'County map of ' + name");
+        assert_eq!(j.from, "statemap");
+        assert_eq!(j.to, "countymap");
+        assert!(j.selector.is_some() && j.viewport_x.is_some() && j.name.is_some());
+    }
+}

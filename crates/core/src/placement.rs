@@ -1,0 +1,149 @@
+//! Placement functions: where each data object sits on the canvas
+//! (paper §2.1 item 2), plus the §3.2 separability analysis.
+
+use kyrix_expr::{as_affine, Affine, Compiled, Expr};
+
+/// Declarative placement: expressions for the object's center and extent.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PlacementSpec {
+    /// Canvas x of the object center (expression over transform columns).
+    pub x: String,
+    /// Canvas y of the object center.
+    pub y: String,
+    /// Object width in canvas units (defaults to `"1"`, a dot).
+    pub width: String,
+    /// Object height in canvas units.
+    pub height: String,
+}
+
+impl PlacementSpec {
+    /// Point placement at (x_expr, y_expr), unit-size objects.
+    pub fn point(x: impl Into<String>, y: impl Into<String>) -> Self {
+        PlacementSpec {
+            x: x.into(),
+            y: y.into(),
+            width: "1".into(),
+            height: "1".into(),
+        }
+    }
+
+    /// Box placement with explicit extent expressions.
+    pub fn boxed(
+        x: impl Into<String>,
+        y: impl Into<String>,
+        width: impl Into<String>,
+        height: impl Into<String>,
+    ) -> Self {
+        PlacementSpec {
+            x: x.into(),
+            y: y.into(),
+            width: width.into(),
+            height: height.into(),
+        }
+    }
+}
+
+/// Result of the separability analysis (paper §3.2): if the x and y
+/// placements are each an affine function of one *distinct* raw column, the
+/// backend can skip precomputation and query a spatial index on the raw
+/// columns directly, translating canvas rectangles into raw-domain
+/// rectangles through the inverses.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Separability {
+    pub x_column: String,
+    pub x_affine: Affine,
+    pub y_column: String,
+    pub y_affine: Affine,
+}
+
+/// A placement compiled against the transform's output columns.
+#[derive(Debug, Clone)]
+pub struct CompiledPlacement {
+    pub x: Compiled,
+    pub y: Compiled,
+    pub width: Compiled,
+    pub height: Compiled,
+    /// `Some` when the placement is separable per §3.2.
+    pub separability: Option<Separability>,
+}
+
+/// Decide separability from parsed placement expressions. The width/height
+/// expressions must be constants (objects of data-independent size) for the
+/// skip-precomputation path to be sound with a point spatial index.
+pub fn analyze_separability(
+    x: &Expr,
+    y: &Expr,
+    width: &Expr,
+    height: &Expr,
+) -> Option<Separability> {
+    if !width.is_const() || !height.is_const() {
+        return None;
+    }
+    let ax = as_affine(x)?;
+    let ay = as_affine(y)?;
+    if !ax.is_single_var() || !ay.is_single_var() {
+        return None;
+    }
+    let (xc, yc) = (ax.var.clone().unwrap(), ay.var.clone().unwrap());
+    if xc == yc {
+        return None; // both axes driven by the same column: not separable
+    }
+    Some(Separability {
+        x_column: xc,
+        x_affine: ax,
+        y_column: yc,
+        y_affine: ay,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use kyrix_expr::parse;
+
+    fn sep(x: &str, y: &str, w: &str, h: &str) -> Option<Separability> {
+        analyze_separability(
+            &parse(x).unwrap(),
+            &parse(y).unwrap(),
+            &parse(w).unwrap(),
+            &parse(h).unwrap(),
+        )
+    }
+
+    #[test]
+    fn raw_attributes_are_separable() {
+        let s = sep("lng", "lat", "1", "1").unwrap();
+        assert_eq!(s.x_column, "lng");
+        assert_eq!(s.y_column, "lat");
+    }
+
+    #[test]
+    fn scaled_attributes_are_separable() {
+        // paper: "or some simple scaling of raw data attributes"
+        let s = sep("lng * 5 - 1000", "lat * 5 - 500", "2", "2").unwrap();
+        assert_eq!(s.x_affine.scale, 5.0);
+        assert_eq!(s.x_affine.offset, -1000.0);
+        // canvas 0 maps back to raw 200
+        assert_eq!(s.x_affine.invert(0.0), Some(200.0));
+    }
+
+    #[test]
+    fn non_separable_cases() {
+        // pie-chart-like: placement depends on multiple attributes
+        assert!(sep("cx + r * angle", "cy", "1", "1").is_none());
+        // same column driving both axes
+        assert!(sep("v * 2", "v * 3", "1", "1").is_none());
+        // data-dependent extent
+        assert!(sep("lng", "lat", "population / 1000", "1").is_none());
+        // nonlinear placement
+        assert!(sep("sqrt(lng)", "lat", "1", "1").is_none());
+    }
+
+    #[test]
+    fn builders() {
+        let p = PlacementSpec::point("x", "y");
+        assert_eq!(p.width, "1");
+        let b = PlacementSpec::boxed("x", "y", "w", "h");
+        assert_eq!(b.height, "h");
+    }
+}

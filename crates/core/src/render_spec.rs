@@ -1,0 +1,170 @@
+//! Rendering functions (paper §2.1 item 3), declaratively.
+//!
+//! Data-driven layers map each object to one mark with expression-valued
+//! encodings; static layers (legends, titles) carry literal marks in
+//! viewport coordinates.
+
+use kyrix_expr::Compiled;
+use kyrix_render::{Color, Mark, MarkType, Ramp};
+
+/// Which built-in ramp a color scale uses.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RampKind {
+    Heat,
+    Viridis,
+}
+
+impl RampKind {
+    pub fn ramp(self) -> Ramp {
+        match self {
+            RampKind::Heat => Ramp::heat(),
+            RampKind::Viridis => Ramp::viridis(),
+        }
+    }
+
+    pub fn name(self) -> &'static str {
+        match self {
+            RampKind::Heat => "heat",
+            RampKind::Viridis => "viridis",
+        }
+    }
+
+    pub fn from_name(s: &str) -> Option<Self> {
+        Some(match s {
+            "heat" => RampKind::Heat,
+            "viridis" => RampKind::Viridis,
+            _ => return None,
+        })
+    }
+}
+
+/// A continuous color encoding: `field` (an expression) mapped through a
+/// ramp over `[d0, d1]`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ColorEncoding {
+    pub field: String,
+    pub d0: f64,
+    pub d1: f64,
+    pub ramp: RampKind,
+}
+
+/// Expression-driven mark encoding for a data-driven layer.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MarkEncoding {
+    pub mark: MarkType,
+    /// Mark size in pixels (circle radius / text scale); expression.
+    /// Defaults to `"2"`.
+    pub size: String,
+    /// Constant fill used when no color encoding is given (hex string).
+    pub fill: String,
+    /// Optional continuous color encoding.
+    pub color: Option<ColorEncoding>,
+    /// Optional stroke color (hex string).
+    pub stroke: Option<String>,
+    /// Label text expression (used by `MarkType::Text`).
+    pub label: Option<String>,
+}
+
+impl MarkEncoding {
+    pub fn circle() -> Self {
+        MarkEncoding {
+            mark: MarkType::Circle,
+            size: "2".into(),
+            fill: "#4682b4".into(),
+            color: None,
+            stroke: None,
+            label: None,
+        }
+    }
+
+    pub fn rect() -> Self {
+        MarkEncoding {
+            mark: MarkType::Rect,
+            ..Self::circle()
+        }
+    }
+
+    pub fn with_size(mut self, expr: impl Into<String>) -> Self {
+        self.size = expr.into();
+        self
+    }
+
+    pub fn with_fill(mut self, hex: impl Into<String>) -> Self {
+        self.fill = hex.into();
+        self
+    }
+
+    pub fn with_color(mut self, field: impl Into<String>, d0: f64, d1: f64, ramp: RampKind) -> Self {
+        self.color = Some(ColorEncoding {
+            field: field.into(),
+            d0,
+            d1,
+            ramp,
+        });
+        self
+    }
+
+    pub fn with_stroke(mut self, hex: impl Into<String>) -> Self {
+        self.stroke = Some(hex.into());
+        self
+    }
+
+    pub fn with_label(mut self, expr: impl Into<String>) -> Self {
+        self.label = Some(expr.into());
+        self
+    }
+}
+
+/// A layer's rendering specification.
+#[derive(Debug, Clone, PartialEq)]
+pub enum RenderSpec {
+    /// One mark per data object.
+    Marks(MarkEncoding),
+    /// Fixed marks in viewport coordinates (legends, titles).
+    Static(Vec<Mark>),
+}
+
+/// Compiled form of [`MarkEncoding`].
+#[derive(Debug, Clone)]
+pub struct CompiledEncoding {
+    pub mark: MarkType,
+    pub size: Compiled,
+    pub fill: Color,
+    pub color: Option<(Compiled, f64, f64, RampKind)>,
+    pub stroke: Option<Color>,
+    pub label: Option<Compiled>,
+}
+
+/// Compiled form of [`RenderSpec`].
+#[derive(Debug, Clone)]
+pub enum CompiledRender {
+    Marks(Box<CompiledEncoding>),
+    Static(Vec<Mark>),
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builder_chain() {
+        let m = MarkEncoding::rect()
+            .with_size("3")
+            .with_fill("#fff")
+            .with_color("crime_rate", 0.0, 100.0, RampKind::Heat)
+            .with_stroke("#000")
+            .with_label("name");
+        assert_eq!(m.mark, MarkType::Rect);
+        assert!(m.color.is_some());
+        assert!(m.stroke.is_some());
+        assert!(m.label.is_some());
+    }
+
+    #[test]
+    fn ramp_names_roundtrip() {
+        for r in [RampKind::Heat, RampKind::Viridis] {
+            assert_eq!(RampKind::from_name(r.name()), Some(r));
+        }
+        assert_eq!(RampKind::from_name("nope"), None);
+    }
+}

@@ -1,0 +1,57 @@
+//! Data transforms: the paper's "SQL query to a DBMS along with a transform
+//! function postprocessing the query result" (§2.1 item 1).
+
+/// A declarative data transform.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TransformSpec {
+    /// Identifier referenced by layers (e.g. `stateMapTrans` in Figure 3).
+    pub id: String,
+    /// SQL query fetching the base data. `None` is the paper's
+    /// `emptyTransform`: the layer is data-free (e.g. a static legend).
+    pub query: Option<String>,
+    /// Derived columns appended to the query output; each value is an
+    /// expression over the query's output columns (the declarative analog of
+    /// the paper's post-processing transform function).
+    pub derived: Vec<(String, String)>,
+}
+
+impl TransformSpec {
+    /// A transform backed by a SQL query.
+    pub fn query(id: impl Into<String>, sql: impl Into<String>) -> Self {
+        TransformSpec {
+            id: id.into(),
+            query: Some(sql.into()),
+            derived: Vec::new(),
+        }
+    }
+
+    /// The paper's `emptyTransform`.
+    pub fn empty(id: impl Into<String>) -> Self {
+        TransformSpec {
+            id: id.into(),
+            query: None,
+            derived: Vec::new(),
+        }
+    }
+
+    /// Append a derived column computed by an expression.
+    pub fn derive(mut self, name: impl Into<String>, expr: impl Into<String>) -> Self {
+        self.derived.push((name.into(), expr.into()));
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builders() {
+        let t = TransformSpec::query("t", "SELECT * FROM dots").derive("cx", "x * 2");
+        assert_eq!(t.id, "t");
+        assert!(t.query.is_some());
+        assert_eq!(t.derived.len(), 1);
+        let e = TransformSpec::empty("legend");
+        assert!(e.query.is_none());
+    }
+}

@@ -1,0 +1,194 @@
+//! Static analysis of expressions.
+//!
+//! The Kyrix compiler needs to know whether a layer's placement is
+//! *separable* (paper §3.2): the `(x, y)` placement of an object is a raw
+//! data attribute or a simple scaling of one. When it is, per-layer
+//! precomputation can be skipped in favour of a spatial index on the raw
+//! attributes. JS callbacks are opaque; expression ASTs are not — this
+//! module decides affinity symbolically.
+
+use crate::ast::{Expr, Op};
+
+/// The result of affine analysis: `scale * var + offset`, where `var` is at
+/// most one variable (None = constant expression).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Affine {
+    pub var: Option<String>,
+    pub scale: f64,
+    pub offset: f64,
+}
+
+impl Affine {
+    fn constant(c: f64) -> Self {
+        Affine {
+            var: None,
+            scale: 0.0,
+            offset: c,
+        }
+    }
+
+    /// Whether this is `scale * var + offset` over exactly one variable.
+    pub fn is_single_var(&self) -> bool {
+        self.var.is_some() && self.scale != 0.0
+    }
+
+    /// Apply to a concrete input value.
+    pub fn apply(&self, v: f64) -> f64 {
+        self.scale * v + self.offset
+    }
+
+    /// Invert: find the input that produces `out` (None if degenerate).
+    pub fn invert(&self, out: f64) -> Option<f64> {
+        if self.scale == 0.0 {
+            None
+        } else {
+            Some((out - self.offset) / self.scale)
+        }
+    }
+}
+
+/// Try to view `expr` as an affine function of at most one variable.
+/// Returns `None` for anything non-affine (function calls, products of
+/// variables, conditionals, ...).
+pub fn as_affine(expr: &Expr) -> Option<Affine> {
+    match expr {
+        Expr::Num(n) => Some(Affine::constant(*n)),
+        Expr::Var(v) => Some(Affine {
+            var: Some(v.clone()),
+            scale: 1.0,
+            offset: 0.0,
+        }),
+        Expr::Unary { neg: true, expr } => {
+            let a = as_affine(expr)?;
+            Some(Affine {
+                var: a.var,
+                scale: -a.scale,
+                offset: -a.offset,
+            })
+        }
+        Expr::Binary { op, left, right } => {
+            let l = as_affine(left)?;
+            let r = as_affine(right)?;
+            match op {
+                Op::Add | Op::Sub => {
+                    let sign = if *op == Op::Add { 1.0 } else { -1.0 };
+                    let var = merge_vars(&l, &r)?;
+                    Some(Affine {
+                        var,
+                        scale: l.scale + sign * r.scale,
+                        offset: l.offset + sign * r.offset,
+                    })
+                }
+                Op::Mul => {
+                    // one side must be constant
+                    if l.var.is_none() {
+                        Some(Affine {
+                            var: r.var,
+                            scale: r.scale * l.offset,
+                            offset: r.offset * l.offset,
+                        })
+                    } else if r.var.is_none() {
+                        Some(Affine {
+                            var: l.var,
+                            scale: l.scale * r.offset,
+                            offset: l.offset * r.offset,
+                        })
+                    } else {
+                        None
+                    }
+                }
+                Op::Div => {
+                    // only division by a non-zero constant is affine
+                    if r.var.is_none() && r.offset != 0.0 {
+                        Some(Affine {
+                            var: l.var,
+                            scale: l.scale / r.offset,
+                            offset: l.offset / r.offset,
+                        })
+                    } else {
+                        None
+                    }
+                }
+                _ => None,
+            }
+        }
+        _ => None,
+    }
+}
+
+/// Two affine parts may be combined if they reference at most one distinct
+/// variable between them.
+fn merge_vars(l: &Affine, r: &Affine) -> Option<Option<String>> {
+    match (&l.var, &r.var) {
+        (None, None) => Some(None),
+        (Some(v), None) | (None, Some(v)) => Some(Some(v.clone())),
+        (Some(a), Some(b)) if a == b => Some(Some(a.clone())),
+        _ => None,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse;
+
+    fn affine(src: &str) -> Option<Affine> {
+        as_affine(&parse(src).unwrap())
+    }
+
+    #[test]
+    fn raw_attribute_is_affine() {
+        let a = affine("x").unwrap();
+        assert_eq!(a.var.as_deref(), Some("x"));
+        assert_eq!((a.scale, a.offset), (1.0, 0.0));
+        assert!(a.is_single_var());
+    }
+
+    #[test]
+    fn simple_scaling_is_affine() {
+        // the separable example from paper §3.2: simple scaling of raw attrs
+        let a = affine("x * 5 - 1000").unwrap();
+        assert_eq!(a.var.as_deref(), Some("x"));
+        assert_eq!((a.scale, a.offset), (5.0, -1000.0));
+        assert_eq!(a.apply(300.0), 500.0);
+        assert_eq!(a.invert(500.0), Some(300.0));
+    }
+
+    #[test]
+    fn combined_same_var_terms() {
+        let a = affine("2 * x + 3 * x - 1").unwrap();
+        assert_eq!((a.scale, a.offset), (5.0, -1.0));
+    }
+
+    #[test]
+    fn division_by_constant() {
+        let a = affine("(x + 10) / 2").unwrap();
+        assert_eq!((a.scale, a.offset), (0.5, 5.0));
+    }
+
+    #[test]
+    fn non_separable_cases() {
+        assert!(affine("x * y").is_none(), "product of two vars");
+        assert!(affine("x + y").is_none(), "two distinct vars");
+        assert!(affine("sqrt(x)").is_none(), "function call");
+        assert!(affine("x > 0 ? 1 : 2").is_none(), "conditional");
+        assert!(affine("1 / x").is_none(), "division by variable");
+        assert!(affine("x ^ 2").is_none(), "power");
+    }
+
+    #[test]
+    fn constant_expression() {
+        let a = affine("3 * 4 + 1").unwrap();
+        assert_eq!(a.var, None);
+        assert_eq!(a.offset, 13.0);
+        assert!(!a.is_single_var());
+    }
+
+    #[test]
+    fn degenerate_scale_not_single_var() {
+        // x - x has scale 0: constant in disguise, not separable
+        let a = affine("x - x").unwrap();
+        assert!(!a.is_single_var());
+        assert_eq!(a.invert(1.0), None);
+    }
+}

@@ -1,0 +1,178 @@
+//! Expression AST.
+
+use std::collections::BTreeSet;
+use std::fmt;
+
+/// Binary operators (by increasing precedence class).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Op {
+    Or,
+    And,
+    Eq,
+    NotEq,
+    Lt,
+    LtEq,
+    Gt,
+    GtEq,
+    Add,
+    Sub,
+    Mul,
+    Div,
+    Mod,
+    Pow,
+}
+
+impl Op {
+    /// Binding power for the Pratt parser (left, right).
+    pub fn binding_power(self) -> (u8, u8) {
+        match self {
+            Op::Or => (1, 2),
+            Op::And => (3, 4),
+            Op::Eq | Op::NotEq | Op::Lt | Op::LtEq | Op::Gt | Op::GtEq => (5, 6),
+            Op::Add | Op::Sub => (7, 8),
+            Op::Mul | Op::Div | Op::Mod => (9, 10),
+            Op::Pow => (12, 11), // right-associative
+        }
+    }
+}
+
+/// An expression tree.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Expr {
+    Num(f64),
+    Str(String),
+    Bool(bool),
+    Null,
+    /// A variable reference, resolved by the evaluation context (usually a
+    /// column of the current row, or a binding like `layer_id`).
+    Var(String),
+    Unary {
+        neg: bool, // true = numeric negation, false = logical not
+        expr: Box<Expr>,
+    },
+    Binary {
+        op: Op,
+        left: Box<Expr>,
+        right: Box<Expr>,
+    },
+    /// `cond ? a : b`
+    Ternary {
+        cond: Box<Expr>,
+        then: Box<Expr>,
+        otherwise: Box<Expr>,
+    },
+    Call {
+        name: String,
+        args: Vec<Expr>,
+    },
+}
+
+impl Expr {
+    /// All variable names referenced, sorted and deduplicated.
+    pub fn variables(&self) -> BTreeSet<String> {
+        let mut set = BTreeSet::new();
+        self.collect_vars(&mut set);
+        set
+    }
+
+    fn collect_vars(&self, out: &mut BTreeSet<String>) {
+        match self {
+            Expr::Num(_) | Expr::Str(_) | Expr::Bool(_) | Expr::Null => {}
+            Expr::Var(name) => {
+                out.insert(name.clone());
+            }
+            Expr::Unary { expr, .. } => expr.collect_vars(out),
+            Expr::Binary { left, right, .. } => {
+                left.collect_vars(out);
+                right.collect_vars(out);
+            }
+            Expr::Ternary {
+                cond,
+                then,
+                otherwise,
+            } => {
+                cond.collect_vars(out);
+                then.collect_vars(out);
+                otherwise.collect_vars(out);
+            }
+            Expr::Call { args, .. } => {
+                for a in args {
+                    a.collect_vars(out);
+                }
+            }
+        }
+    }
+
+    /// Whether the expression references no variables.
+    pub fn is_const(&self) -> bool {
+        self.variables().is_empty()
+    }
+}
+
+impl fmt::Display for Expr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Expr::Num(n) => write!(f, "{n}"),
+            Expr::Str(s) => write!(f, "'{s}'"),
+            Expr::Bool(b) => write!(f, "{b}"),
+            Expr::Null => write!(f, "null"),
+            Expr::Var(v) => write!(f, "{v}"),
+            Expr::Unary { neg, expr } => write!(f, "{}({expr})", if *neg { "-" } else { "!" }),
+            Expr::Binary { op, left, right } => {
+                let sym = match op {
+                    Op::Or => "||",
+                    Op::And => "&&",
+                    Op::Eq => "==",
+                    Op::NotEq => "!=",
+                    Op::Lt => "<",
+                    Op::LtEq => "<=",
+                    Op::Gt => ">",
+                    Op::GtEq => ">=",
+                    Op::Add => "+",
+                    Op::Sub => "-",
+                    Op::Mul => "*",
+                    Op::Div => "/",
+                    Op::Mod => "%",
+                    Op::Pow => "^",
+                };
+                write!(f, "({left} {sym} {right})")
+            }
+            Expr::Ternary {
+                cond,
+                then,
+                otherwise,
+            } => write!(f, "({cond} ? {then} : {otherwise})"),
+            Expr::Call { name, args } => {
+                write!(f, "{name}(")?;
+                for (i, a) in args.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, ", ")?;
+                    }
+                    write!(f, "{a}")?;
+                }
+                write!(f, ")")
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn variables_collected() {
+        let e = Expr::Binary {
+            op: Op::Add,
+            left: Box::new(Expr::Var("x".into())),
+            right: Box::new(Expr::Call {
+                name: "min".into(),
+                args: vec![Expr::Var("y".into()), Expr::Var("x".into())],
+            }),
+        };
+        let vars: Vec<String> = e.variables().into_iter().collect();
+        assert_eq!(vars, vec!["x".to_string(), "y".to_string()]);
+        assert!(!e.is_const());
+        assert!(Expr::Num(4.0).is_const());
+    }
+}

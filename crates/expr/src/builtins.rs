@@ -1,0 +1,303 @@
+//! Built-in functions available to expressions.
+
+use crate::error::{ExprError, Result};
+use kyrix_storage::Value;
+
+/// Identifiers for built-in functions, resolved at compile time.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Builtin {
+    Abs,
+    Sqrt,
+    Pow,
+    Exp,
+    Ln,
+    Log10,
+    Log2,
+    Floor,
+    Ceil,
+    Round,
+    Trunc,
+    Min,
+    Max,
+    Clamp,
+    Lerp,
+    /// `scale(v, d0, d1, r0, r1)`: linear map from domain to range.
+    Scale,
+    Concat,
+    Str,
+    Num,
+    Len,
+    Lower,
+    Upper,
+    Substr,
+    If,
+    Hash,
+    Pi,
+    E,
+    IsNull,
+    Coalesce,
+}
+
+impl Builtin {
+    /// Resolve a function name; names are case-sensitive and lowercase.
+    pub fn resolve(name: &str) -> Option<Builtin> {
+        Some(match name {
+            "abs" => Builtin::Abs,
+            "sqrt" => Builtin::Sqrt,
+            "pow" => Builtin::Pow,
+            "exp" => Builtin::Exp,
+            "ln" => Builtin::Ln,
+            "log10" => Builtin::Log10,
+            "log2" => Builtin::Log2,
+            "floor" => Builtin::Floor,
+            "ceil" => Builtin::Ceil,
+            "round" => Builtin::Round,
+            "trunc" => Builtin::Trunc,
+            "min" => Builtin::Min,
+            "max" => Builtin::Max,
+            "clamp" => Builtin::Clamp,
+            "lerp" => Builtin::Lerp,
+            "scale" => Builtin::Scale,
+            "concat" => Builtin::Concat,
+            "str" => Builtin::Str,
+            "num" => Builtin::Num,
+            "len" => Builtin::Len,
+            "lower" => Builtin::Lower,
+            "upper" => Builtin::Upper,
+            "substr" => Builtin::Substr,
+            "if" => Builtin::If,
+            "hash" => Builtin::Hash,
+            "pi" => Builtin::Pi,
+            "e" => Builtin::E,
+            "is_null" => Builtin::IsNull,
+            "coalesce" => Builtin::Coalesce,
+            _ => return None,
+        })
+    }
+
+    /// (min arity, max arity); `usize::MAX` = variadic.
+    pub fn arity(self) -> (usize, usize) {
+        match self {
+            Builtin::Pi | Builtin::E => (0, 0),
+            Builtin::Abs
+            | Builtin::Sqrt
+            | Builtin::Exp
+            | Builtin::Ln
+            | Builtin::Log10
+            | Builtin::Log2
+            | Builtin::Floor
+            | Builtin::Ceil
+            | Builtin::Round
+            | Builtin::Trunc
+            | Builtin::Str
+            | Builtin::Num
+            | Builtin::Len
+            | Builtin::Lower
+            | Builtin::Upper
+            | Builtin::Hash
+            | Builtin::IsNull => (1, 1),
+            Builtin::Pow => (2, 2),
+            Builtin::Min | Builtin::Max | Builtin::Concat | Builtin::Coalesce => (1, usize::MAX),
+            Builtin::Clamp | Builtin::Lerp | Builtin::If | Builtin::Substr => (3, 3),
+            Builtin::Scale => (5, 5),
+        }
+    }
+
+    /// Apply the function to evaluated arguments.
+    pub fn apply(self, args: &[Value]) -> Result<Value> {
+        let f = |i: usize| -> Result<f64> {
+            args[i]
+                .as_f64()
+                .map_err(|e| ExprError::eval(e.to_string()))
+        };
+        let s = |i: usize| -> Result<&str> {
+            args[i]
+                .as_str()
+                .map_err(|e| ExprError::eval(e.to_string()))
+        };
+        Ok(match self {
+            Builtin::Abs => Value::Float(f(0)?.abs()),
+            Builtin::Sqrt => Value::Float(f(0)?.sqrt()),
+            Builtin::Pow => Value::Float(f(0)?.powf(f(1)?)),
+            Builtin::Exp => Value::Float(f(0)?.exp()),
+            Builtin::Ln => Value::Float(f(0)?.ln()),
+            Builtin::Log10 => Value::Float(f(0)?.log10()),
+            Builtin::Log2 => Value::Float(f(0)?.log2()),
+            Builtin::Floor => Value::Float(f(0)?.floor()),
+            Builtin::Ceil => Value::Float(f(0)?.ceil()),
+            Builtin::Round => Value::Float(f(0)?.round()),
+            Builtin::Trunc => Value::Float(f(0)?.trunc()),
+            Builtin::Min => {
+                let mut m = f(0)?;
+                for i in 1..args.len() {
+                    m = m.min(f(i)?);
+                }
+                Value::Float(m)
+            }
+            Builtin::Max => {
+                let mut m = f(0)?;
+                for i in 1..args.len() {
+                    m = m.max(f(i)?);
+                }
+                Value::Float(m)
+            }
+            Builtin::Clamp => {
+                let (v, lo, hi) = (f(0)?, f(1)?, f(2)?);
+                if lo > hi {
+                    return Err(ExprError::eval(format!("clamp: lo {lo} > hi {hi}")));
+                }
+                Value::Float(v.clamp(lo, hi))
+            }
+            Builtin::Lerp => {
+                let (a, b, t) = (f(0)?, f(1)?, f(2)?);
+                Value::Float(a + (b - a) * t)
+            }
+            Builtin::Scale => {
+                let (v, d0, d1, r0, r1) = (f(0)?, f(1)?, f(2)?, f(3)?, f(4)?);
+                if d1 == d0 {
+                    return Err(ExprError::eval("scale: empty domain"));
+                }
+                Value::Float(r0 + (v - d0) / (d1 - d0) * (r1 - r0))
+            }
+            Builtin::Concat => {
+                let mut out = String::new();
+                for a in args {
+                    match a {
+                        Value::Text(t) => out.push_str(t),
+                        Value::Null => {}
+                        other => out.push_str(&other.to_string()),
+                    }
+                }
+                Value::Text(out)
+            }
+            Builtin::Str => Value::Text(match &args[0] {
+                Value::Text(t) => t.clone(),
+                other => other.to_string(),
+            }),
+            Builtin::Num => {
+                let t = s(0)?;
+                Value::Float(
+                    t.trim()
+                        .parse::<f64>()
+                        .map_err(|_| ExprError::eval(format!("num: cannot parse `{t}`")))?,
+                )
+            }
+            Builtin::Len => Value::Int(s(0)?.chars().count() as i64),
+            Builtin::Lower => Value::Text(s(0)?.to_lowercase()),
+            Builtin::Upper => Value::Text(s(0)?.to_uppercase()),
+            Builtin::Substr => {
+                let t = s(0)?;
+                let start = f(1)? as usize;
+                let n = f(2)? as usize;
+                Value::Text(t.chars().skip(start).take(n).collect())
+            }
+            Builtin::If => {
+                let c = args[0]
+                    .as_bool()
+                    .map_err(|e| ExprError::eval(e.to_string()))?;
+                if c {
+                    args[1].clone()
+                } else {
+                    args[2].clone()
+                }
+            }
+            Builtin::Hash => {
+                // deterministic 64-bit mix (splitmix64) of the value's text form
+                let text = args[0].to_string();
+                let mut h: u64 = 0x9e37_79b9_7f4a_7c15;
+                for b in text.bytes() {
+                    h ^= u64::from(b);
+                    h = h.wrapping_mul(0xbf58_476d_1ce4_e5b9);
+                    h ^= h >> 27;
+                }
+                Value::Int((h >> 1) as i64)
+            }
+            Builtin::Pi => Value::Float(std::f64::consts::PI),
+            Builtin::E => Value::Float(std::f64::consts::E),
+            Builtin::IsNull => Value::Bool(args[0].is_null()),
+            Builtin::Coalesce => args
+                .iter()
+                .find(|v| !v.is_null())
+                .cloned()
+                .unwrap_or(Value::Null),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn apply(name: &str, args: &[Value]) -> Value {
+        Builtin::resolve(name).unwrap().apply(args).unwrap()
+    }
+
+    #[test]
+    fn math_builtins() {
+        assert_eq!(apply("sqrt", &[Value::Float(9.0)]), Value::Float(3.0));
+        assert_eq!(apply("abs", &[Value::Int(-4)]), Value::Float(4.0));
+        assert_eq!(
+            apply("pow", &[Value::Float(2.0), Value::Float(10.0)]),
+            Value::Float(1024.0)
+        );
+        assert_eq!(
+            apply("clamp", &[Value::Float(11.0), Value::Float(0.0), Value::Float(10.0)]),
+            Value::Float(10.0)
+        );
+    }
+
+    #[test]
+    fn scale_maps_domains() {
+        // map [0, 100] -> [0, 1]
+        assert_eq!(
+            apply(
+                "scale",
+                &[
+                    Value::Float(25.0),
+                    Value::Float(0.0),
+                    Value::Float(100.0),
+                    Value::Float(0.0),
+                    Value::Float(1.0)
+                ]
+            ),
+            Value::Float(0.25)
+        );
+    }
+
+    #[test]
+    fn string_builtins() {
+        assert_eq!(
+            apply("concat", &[Value::Text("a".into()), Value::Int(1)]),
+            Value::Text("a1".into())
+        );
+        assert_eq!(apply("upper", &[Value::Text("ok".into())]), Value::Text("OK".into()));
+        assert_eq!(apply("len", &[Value::Text("héllo".into())]), Value::Int(5));
+        assert_eq!(
+            apply("substr", &[Value::Text("county".into()), Value::Int(0), Value::Int(3)]),
+            Value::Text("cou".into())
+        );
+    }
+
+    #[test]
+    fn coalesce_and_is_null() {
+        assert_eq!(
+            apply("coalesce", &[Value::Null, Value::Int(2), Value::Int(3)]),
+            Value::Int(2)
+        );
+        assert_eq!(apply("is_null", &[Value::Null]), Value::Bool(true));
+    }
+
+    #[test]
+    fn hash_is_deterministic_and_spread() {
+        let a = apply("hash", &[Value::Int(1)]);
+        let b = apply("hash", &[Value::Int(1)]);
+        let c = apply("hash", &[Value::Int(2)]);
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn unknown_name() {
+        assert!(Builtin::resolve("nope").is_none());
+    }
+}

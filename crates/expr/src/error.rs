@@ -1,0 +1,47 @@
+//! Expression-language errors.
+
+use std::fmt;
+
+/// Errors from parsing or evaluating expressions.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ExprError {
+    /// Lexing failed at a byte offset.
+    Lex { offset: usize, message: String },
+    /// Parsing failed.
+    Parse(String),
+    /// Evaluation failed (type errors, unknown variables/functions, ...).
+    Eval(String),
+}
+
+impl ExprError {
+    pub fn lex(offset: usize, message: &str) -> Self {
+        ExprError::Lex {
+            offset,
+            message: message.to_string(),
+        }
+    }
+
+    pub fn parse(message: impl Into<String>) -> Self {
+        ExprError::Parse(message.into())
+    }
+
+    pub fn eval(message: impl Into<String>) -> Self {
+        ExprError::Eval(message.into())
+    }
+}
+
+impl fmt::Display for ExprError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ExprError::Lex { offset, message } => {
+                write!(f, "expr lex error at byte {offset}: {message}")
+            }
+            ExprError::Parse(m) => write!(f, "expr parse error: {m}"),
+            ExprError::Eval(m) => write!(f, "expr eval error: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for ExprError {}
+
+pub type Result<T> = std::result::Result<T, ExprError>;

@@ -1,0 +1,462 @@
+//! Expression evaluation: a compiled slot-based fast path (used by the
+//! precomputation loop over millions of rows) and a name-based convenience
+//! path for one-off evaluations.
+
+use crate::ast::{Expr, Op};
+use crate::builtins::Builtin;
+use crate::error::{ExprError, Result};
+use kyrix_storage::Value;
+use std::cmp::Ordering;
+use std::collections::HashMap;
+
+/// Supplies variable values by name.
+pub trait EvalContext {
+    fn get_var(&self, name: &str) -> Option<Value>;
+}
+
+/// A simple map-backed context.
+#[derive(Debug, Clone, Default)]
+pub struct VarMap(pub HashMap<String, Value>);
+
+impl VarMap {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    pub fn set(&mut self, name: impl Into<String>, value: Value) -> &mut Self {
+        self.0.insert(name.into(), value);
+        self
+    }
+}
+
+impl EvalContext for VarMap {
+    fn get_var(&self, name: &str) -> Option<Value> {
+        self.0.get(name).cloned()
+    }
+}
+
+/// Evaluate with a name-resolving context (convenience path).
+pub fn eval(expr: &Expr, ctx: &dyn EvalContext) -> Result<Value> {
+    match expr {
+        Expr::Num(n) => Ok(Value::Float(*n)),
+        Expr::Str(s) => Ok(Value::Text(s.clone())),
+        Expr::Bool(b) => Ok(Value::Bool(*b)),
+        Expr::Null => Ok(Value::Null),
+        Expr::Var(name) => ctx
+            .get_var(name)
+            .ok_or_else(|| ExprError::eval(format!("unknown variable `{name}`"))),
+        Expr::Unary { neg, expr } => apply_unary(*neg, eval(expr, ctx)?),
+        Expr::Binary { op, left, right } => {
+            if let Some(v) = short_circuit(*op, left, &mut |e| eval(e, ctx))? {
+                return Ok(v);
+            }
+            apply_binop(*op, eval(left, ctx)?, eval(right, ctx)?)
+        }
+        Expr::Ternary {
+            cond,
+            then,
+            otherwise,
+        } => {
+            if truthy(&eval(cond, ctx)?)? {
+                eval(then, ctx)
+            } else {
+                eval(otherwise, ctx)
+            }
+        }
+        Expr::Call { name, args } => {
+            let b = Builtin::resolve(name)
+                .ok_or_else(|| ExprError::eval(format!("unknown function `{name}`")))?;
+            check_arity(b, name, args.len())?;
+            let vals: Vec<Value> = args.iter().map(|a| eval(a, ctx)).collect::<Result<_>>()?;
+            b.apply(&vals)
+        }
+    }
+}
+
+// --------------------------------------------------------------- compiled
+
+/// An expression compiled against a fixed list of slot names: variable
+/// lookups become array indexing.
+#[derive(Debug, Clone)]
+pub struct Compiled {
+    prog: CExpr,
+    /// Slot names this program was compiled against (for diagnostics).
+    pub slots: Vec<String>,
+}
+
+#[derive(Debug, Clone)]
+enum CExpr {
+    Const(Value),
+    Slot(usize),
+    Unary {
+        neg: bool,
+        expr: Box<CExpr>,
+    },
+    Binary {
+        op: Op,
+        left: Box<CExpr>,
+        right: Box<CExpr>,
+    },
+    Ternary {
+        cond: Box<CExpr>,
+        then: Box<CExpr>,
+        otherwise: Box<CExpr>,
+    },
+    Call {
+        func: Builtin,
+        args: Vec<CExpr>,
+    },
+}
+
+impl Compiled {
+    /// Compile `expr` against slot names; every variable must resolve.
+    pub fn compile(expr: &Expr, slot_names: &[&str]) -> Result<Compiled> {
+        let prog = compile_rec(expr, slot_names)?;
+        Ok(Compiled {
+            prog,
+            slots: slot_names.iter().map(|s| s.to_string()).collect(),
+        })
+    }
+
+    /// Evaluate with slot values positionally matching the compile-time
+    /// slot names.
+    pub fn eval(&self, slots: &[Value]) -> Result<Value> {
+        eval_c(&self.prog, slots)
+    }
+
+    /// Evaluate and coerce to f64.
+    pub fn eval_f64(&self, slots: &[Value]) -> Result<f64> {
+        self.eval(slots)?
+            .as_f64()
+            .map_err(|e| ExprError::eval(e.to_string()))
+    }
+
+    /// Evaluate and coerce to bool.
+    pub fn eval_bool(&self, slots: &[Value]) -> Result<bool> {
+        truthy(&self.eval(slots)?)
+    }
+}
+
+fn compile_rec(expr: &Expr, slots: &[&str]) -> Result<CExpr> {
+    Ok(match expr {
+        Expr::Num(n) => CExpr::Const(Value::Float(*n)),
+        Expr::Str(s) => CExpr::Const(Value::Text(s.clone())),
+        Expr::Bool(b) => CExpr::Const(Value::Bool(*b)),
+        Expr::Null => CExpr::Const(Value::Null),
+        Expr::Var(name) => {
+            let idx = slots
+                .iter()
+                .position(|s| s == name)
+                .ok_or_else(|| ExprError::eval(format!("unknown variable `{name}`")))?;
+            CExpr::Slot(idx)
+        }
+        Expr::Unary { neg, expr } => CExpr::Unary {
+            neg: *neg,
+            expr: Box::new(compile_rec(expr, slots)?),
+        },
+        Expr::Binary { op, left, right } => CExpr::Binary {
+            op: *op,
+            left: Box::new(compile_rec(left, slots)?),
+            right: Box::new(compile_rec(right, slots)?),
+        },
+        Expr::Ternary {
+            cond,
+            then,
+            otherwise,
+        } => CExpr::Ternary {
+            cond: Box::new(compile_rec(cond, slots)?),
+            then: Box::new(compile_rec(then, slots)?),
+            otherwise: Box::new(compile_rec(otherwise, slots)?),
+        },
+        Expr::Call { name, args } => {
+            let func = Builtin::resolve(name)
+                .ok_or_else(|| ExprError::eval(format!("unknown function `{name}`")))?;
+            check_arity(func, name, args.len())?;
+            CExpr::Call {
+                func,
+                args: args
+                    .iter()
+                    .map(|a| compile_rec(a, slots))
+                    .collect::<Result<_>>()?,
+            }
+        }
+    })
+}
+
+fn eval_c(prog: &CExpr, slots: &[Value]) -> Result<Value> {
+    match prog {
+        CExpr::Const(v) => Ok(v.clone()),
+        CExpr::Slot(i) => slots
+            .get(*i)
+            .cloned()
+            .ok_or_else(|| ExprError::eval(format!("slot {i} out of range"))),
+        CExpr::Unary { neg, expr } => apply_unary(*neg, eval_c(expr, slots)?),
+        CExpr::Binary { op, left, right } => {
+            // short-circuit logical ops
+            match op {
+                Op::And => {
+                    if !truthy(&eval_c(left, slots)?)? {
+                        return Ok(Value::Bool(false));
+                    }
+                    return Ok(Value::Bool(truthy(&eval_c(right, slots)?)?));
+                }
+                Op::Or => {
+                    if truthy(&eval_c(left, slots)?)? {
+                        return Ok(Value::Bool(true));
+                    }
+                    return Ok(Value::Bool(truthy(&eval_c(right, slots)?)?));
+                }
+                _ => {}
+            }
+            apply_binop(*op, eval_c(left, slots)?, eval_c(right, slots)?)
+        }
+        CExpr::Ternary {
+            cond,
+            then,
+            otherwise,
+        } => {
+            if truthy(&eval_c(cond, slots)?)? {
+                eval_c(then, slots)
+            } else {
+                eval_c(otherwise, slots)
+            }
+        }
+        CExpr::Call { func, args } => {
+            let vals: Vec<Value> = args
+                .iter()
+                .map(|a| eval_c(a, slots))
+                .collect::<Result<_>>()?;
+            func.apply(&vals)
+        }
+    }
+}
+
+// --------------------------------------------------------------- helpers
+
+fn check_arity(b: Builtin, name: &str, n: usize) -> Result<()> {
+    let (lo, hi) = b.arity();
+    if n < lo || n > hi {
+        return Err(ExprError::parse(format!(
+            "function `{name}` expects {lo}{} args, got {n}",
+            if hi == usize::MAX {
+                "+".to_string()
+            } else if hi != lo {
+                format!("..{hi}")
+            } else {
+                String::new()
+            }
+        )));
+    }
+    Ok(())
+}
+
+fn truthy(v: &Value) -> Result<bool> {
+    match v {
+        Value::Bool(b) => Ok(*b),
+        Value::Null => Ok(false),
+        Value::Int(i) => Ok(*i != 0),
+        Value::Float(f) => Ok(*f != 0.0),
+        Value::Text(_) => Err(ExprError::eval("text used as a condition")),
+    }
+}
+
+fn apply_unary(neg: bool, v: Value) -> Result<Value> {
+    if neg {
+        match v {
+            Value::Int(i) => Ok(Value::Int(-i)),
+            Value::Float(f) => Ok(Value::Float(-f)),
+            other => Err(ExprError::eval(format!("cannot negate {other}"))),
+        }
+    } else {
+        Ok(Value::Bool(!truthy(&v)?))
+    }
+}
+
+fn short_circuit(
+    op: Op,
+    left: &Expr,
+    eval_one: &mut dyn FnMut(&Expr) -> Result<Value>,
+) -> Result<Option<Value>> {
+    match op {
+        Op::And => {
+            if !truthy(&eval_one(left)?)? {
+                return Ok(Some(Value::Bool(false)));
+            }
+            Ok(None)
+        }
+        Op::Or => {
+            if truthy(&eval_one(left)?)? {
+                return Ok(Some(Value::Bool(true)));
+            }
+            Ok(None)
+        }
+        _ => Ok(None),
+    }
+}
+
+fn apply_binop(op: Op, l: Value, r: Value) -> Result<Value> {
+    let num = |v: &Value| -> Result<f64> { v.as_f64().map_err(|e| ExprError::eval(e.to_string())) };
+    Ok(match op {
+        Op::Add => {
+            // string + anything concatenates, mirroring the paper's JS specs
+            match (&l, &r) {
+                (Value::Text(a), b) => Value::Text(format!(
+                    "{a}{}",
+                    match b {
+                        Value::Text(t) => t.clone(),
+                        other => other.to_string(),
+                    }
+                )),
+                (a, Value::Text(b)) => Value::Text(format!("{}{b}", a)),
+                (Value::Int(a), Value::Int(b)) => Value::Int(a.wrapping_add(*b)),
+                _ => Value::Float(num(&l)? + num(&r)?),
+            }
+        }
+        Op::Sub => match (&l, &r) {
+            (Value::Int(a), Value::Int(b)) => Value::Int(a.wrapping_sub(*b)),
+            _ => Value::Float(num(&l)? - num(&r)?),
+        },
+        Op::Mul => match (&l, &r) {
+            (Value::Int(a), Value::Int(b)) => Value::Int(a.wrapping_mul(*b)),
+            _ => Value::Float(num(&l)? * num(&r)?),
+        },
+        Op::Div => {
+            let d = num(&r)?;
+            if d == 0.0 {
+                return Err(ExprError::eval("division by zero"));
+            }
+            Value::Float(num(&l)? / d)
+        }
+        Op::Mod => {
+            let d = num(&r)?;
+            if d == 0.0 {
+                return Err(ExprError::eval("modulo by zero"));
+            }
+            Value::Float(num(&l)?.rem_euclid(d))
+        }
+        Op::Pow => Value::Float(num(&l)?.powf(num(&r)?)),
+        Op::Eq | Op::NotEq | Op::Lt | Op::LtEq | Op::Gt | Op::GtEq => {
+            if l.is_null() || r.is_null() {
+                return Ok(Value::Bool(false));
+            }
+            let ord = l.total_cmp(&r);
+            Value::Bool(match op {
+                Op::Eq => ord == Ordering::Equal,
+                Op::NotEq => ord != Ordering::Equal,
+                Op::Lt => ord == Ordering::Less,
+                Op::LtEq => ord != Ordering::Greater,
+                Op::Gt => ord == Ordering::Greater,
+                Op::GtEq => ord != Ordering::Less,
+                _ => unreachable!(),
+            })
+        }
+        // reached when the left side did not short-circuit
+        Op::And => Value::Bool(truthy(&l)? && truthy(&r)?),
+        Op::Or => Value::Bool(truthy(&l)? || truthy(&r)?),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse;
+
+    fn ev(src: &str, vars: &[(&str, Value)]) -> Value {
+        let e = parse(src).unwrap();
+        let mut ctx = VarMap::new();
+        for (k, v) in vars {
+            ctx.set(*k, v.clone());
+        }
+        eval(&e, &ctx).unwrap()
+    }
+
+    #[test]
+    fn arithmetic() {
+        assert_eq!(ev("1 + 2 * 3", &[]), Value::Float(7.0));
+        assert_eq!(ev("2 ^ 10", &[]), Value::Float(1024.0));
+        assert_eq!(ev("7 % 3", &[]), Value::Float(1.0));
+        assert_eq!(ev("-5 + 1", &[]), Value::Float(-4.0));
+    }
+
+    #[test]
+    fn figure3_viewport_function() {
+        // paper Figure 3 line 31: row[1] * 5 - 1000
+        let v = ev("cx * 5 - 1000", &[("cx", Value::Float(300.0))]);
+        assert_eq!(v, Value::Float(500.0));
+    }
+
+    #[test]
+    fn figure3_jump_name() {
+        // paper Figure 3 line 34: "County map of " + row[3]
+        let v = ev(
+            "'County map of ' + state",
+            &[("state", Value::Text("MA".into()))],
+        );
+        assert_eq!(v, Value::Text("County map of MA".into()));
+    }
+
+    #[test]
+    fn ternary_and_logic() {
+        assert_eq!(
+            ev("x > 10 ? 'big' : 'small'", &[("x", Value::Int(20))]),
+            Value::Text("big".into())
+        );
+        assert_eq!(ev("true && false || true", &[]), Value::Bool(true));
+    }
+
+    #[test]
+    fn short_circuit_avoids_errors() {
+        // division by zero on the right is never evaluated
+        assert_eq!(ev("false && 1 / 0 > 0", &[]), Value::Bool(false));
+        assert_eq!(ev("true || 1 / 0 > 0", &[]), Value::Bool(true));
+    }
+
+    #[test]
+    fn compiled_matches_interpreted() {
+        let e = parse("scale(x, 0, 100, 0, 1) + y * 2").unwrap();
+        let c = Compiled::compile(&e, &["x", "y"]).unwrap();
+        let via_compiled = c
+            .eval(&[Value::Float(50.0), Value::Float(3.0)])
+            .unwrap();
+        let mut ctx = VarMap::new();
+        ctx.set("x", Value::Float(50.0));
+        ctx.set("y", Value::Float(3.0));
+        let via_interp = eval(&e, &ctx).unwrap();
+        assert_eq!(via_compiled, via_interp);
+        assert_eq!(via_compiled, Value::Float(6.5));
+    }
+
+    #[test]
+    fn compile_rejects_unknown_vars_and_functions() {
+        let e = parse("missing + 1").unwrap();
+        assert!(Compiled::compile(&e, &["x"]).is_err());
+        let f = parse("nosuchfn(1)").unwrap();
+        assert!(Compiled::compile(&f, &["x"]).is_err());
+    }
+
+    #[test]
+    fn arity_checked() {
+        let e = parse("sqrt(1, 2)").unwrap();
+        let mut ctx = VarMap::new();
+        ctx.set("unused", Value::Null);
+        assert!(eval(&e, &ctx).is_err());
+    }
+
+    #[test]
+    fn unknown_variable_errors() {
+        let e = parse("ghost").unwrap();
+        assert!(eval(&e, &VarMap::new()).is_err());
+    }
+
+    #[test]
+    fn int_preserving_arithmetic() {
+        assert_eq!(
+            ev("a + b", &[("a", Value::Int(2)), ("b", Value::Int(3))]),
+            Value::Int(5)
+        );
+        assert_eq!(
+            ev("a * b", &[("a", Value::Int(2)), ("b", Value::Int(3))]),
+            Value::Int(6)
+        );
+    }
+}

@@ -1,0 +1,33 @@
+//! `kyrix-expr`: a small expression language standing in for the JavaScript
+//! callbacks of the original Kyrix system (placement functions, jump
+//! selectors, `newViewport` functions, rendering encodings).
+//!
+//! Unlike opaque JS closures, expression ASTs are *analyzable*: the Kyrix
+//! compiler inspects which raw columns a placement reads ([`Expr::variables`])
+//! and whether it is a simple scaling of one attribute
+//! ([`analyze::as_affine`]) — the paper's §3.2 *separability* test.
+//!
+//! ```
+//! use kyrix_expr::{parse, Compiled};
+//! use kyrix_storage::Value;
+//!
+//! // the paper's Figure 3 newViewport function: row[1] * 5 - 1000
+//! let expr = parse("cx * 5 - 1000").unwrap();
+//! let compiled = Compiled::compile(&expr, &["cx"]).unwrap();
+//! assert_eq!(compiled.eval_f64(&[Value::Float(300.0)]).unwrap(), 500.0);
+//! ```
+
+pub mod analyze;
+pub mod ast;
+pub mod builtins;
+pub mod error;
+pub mod eval;
+pub mod parser;
+pub mod token;
+
+pub use analyze::{as_affine, Affine};
+pub use ast::{Expr, Op};
+pub use builtins::Builtin;
+pub use error::{ExprError, Result};
+pub use eval::{eval, Compiled, EvalContext, VarMap};
+pub use parser::parse;

@@ -1,0 +1,214 @@
+//! Pratt parser for the expression language.
+
+use crate::ast::{Expr, Op};
+use crate::error::{ExprError, Result};
+use crate::token::{tokenize, Tok};
+
+/// Parse an expression string into an AST.
+pub fn parse(src: &str) -> Result<Expr> {
+    let tokens = tokenize(src)?;
+    let mut p = Parser { tokens, pos: 0 };
+    let e = p.expr(0)?;
+    if *p.peek() != Tok::Eof {
+        return Err(ExprError::parse(format!(
+            "trailing tokens starting at {:?}",
+            p.peek()
+        )));
+    }
+    Ok(e)
+}
+
+struct Parser {
+    tokens: Vec<Tok>,
+    pos: usize,
+}
+
+impl Parser {
+    fn peek(&self) -> &Tok {
+        &self.tokens[self.pos]
+    }
+
+    fn next(&mut self) -> Tok {
+        let t = self.tokens[self.pos].clone();
+        if self.pos < self.tokens.len() - 1 {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn expect(&mut self, t: Tok) -> Result<()> {
+        let got = self.next();
+        if got == t {
+            Ok(())
+        } else {
+            Err(ExprError::parse(format!("expected {t:?}, found {got:?}")))
+        }
+    }
+
+    fn expr(&mut self, min_bp: u8) -> Result<Expr> {
+        let mut lhs = self.prefix()?;
+        loop {
+            let op = match self.peek() {
+                Tok::OrOr => Op::Or,
+                Tok::AndAnd => Op::And,
+                Tok::Eq => Op::Eq,
+                Tok::NotEq => Op::NotEq,
+                Tok::Lt => Op::Lt,
+                Tok::LtEq => Op::LtEq,
+                Tok::Gt => Op::Gt,
+                Tok::GtEq => Op::GtEq,
+                Tok::Plus => Op::Add,
+                Tok::Minus => Op::Sub,
+                Tok::Star => Op::Mul,
+                Tok::Slash => Op::Div,
+                Tok::Percent => Op::Mod,
+                Tok::Caret => Op::Pow,
+                Tok::Question => {
+                    // ternary binds loosest of all
+                    if min_bp > 0 {
+                        break;
+                    }
+                    self.next();
+                    let then = self.expr(0)?;
+                    self.expect(Tok::Colon)?;
+                    let otherwise = self.expr(0)?;
+                    lhs = Expr::Ternary {
+                        cond: Box::new(lhs),
+                        then: Box::new(then),
+                        otherwise: Box::new(otherwise),
+                    };
+                    continue;
+                }
+                _ => break,
+            };
+            let (lbp, rbp) = op.binding_power();
+            if lbp < min_bp {
+                break;
+            }
+            self.next();
+            let rhs = self.expr(rbp)?;
+            lhs = Expr::Binary {
+                op,
+                left: Box::new(lhs),
+                right: Box::new(rhs),
+            };
+        }
+        Ok(lhs)
+    }
+
+    fn prefix(&mut self) -> Result<Expr> {
+        match self.next() {
+            Tok::Num(n) => Ok(Expr::Num(n)),
+            Tok::Str(s) => Ok(Expr::Str(s)),
+            Tok::True => Ok(Expr::Bool(true)),
+            Tok::False => Ok(Expr::Bool(false)),
+            Tok::Null => Ok(Expr::Null),
+            Tok::Minus => Ok(Expr::Unary {
+                neg: true,
+                expr: Box::new(self.expr(11)?),
+            }),
+            Tok::Bang => Ok(Expr::Unary {
+                neg: false,
+                expr: Box::new(self.expr(11)?),
+            }),
+            Tok::LParen => {
+                let e = self.expr(0)?;
+                self.expect(Tok::RParen)?;
+                Ok(e)
+            }
+            Tok::Ident(name) => {
+                if *self.peek() == Tok::LParen {
+                    self.next();
+                    let mut args = Vec::new();
+                    if *self.peek() != Tok::RParen {
+                        loop {
+                            args.push(self.expr(0)?);
+                            if *self.peek() == Tok::Comma {
+                                self.next();
+                            } else {
+                                break;
+                            }
+                        }
+                    }
+                    self.expect(Tok::RParen)?;
+                    Ok(Expr::Call { name, args })
+                } else {
+                    Ok(Expr::Var(name))
+                }
+            }
+            t => Err(ExprError::parse(format!("unexpected token {t:?}"))),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn precedence() {
+        // x + 2 * 3 == x + 6
+        let e = parse("x + 2 * 3").unwrap();
+        assert_eq!(e.to_string(), "(x + (2 * 3))");
+        let e = parse("(x + 2) * 3").unwrap();
+        assert_eq!(e.to_string(), "((x + 2) * 3)");
+    }
+
+    #[test]
+    fn pow_right_assoc() {
+        let e = parse("2 ^ 3 ^ 2").unwrap();
+        assert_eq!(e.to_string(), "(2 ^ (3 ^ 2))");
+    }
+
+    #[test]
+    fn figure3_new_viewport_exprs() {
+        // the paper's newViewport: row[1] * 5 - 1000 (Figure 3, line 31)
+        let e = parse("cx * 5 - 1000").unwrap();
+        assert_eq!(e.to_string(), "((cx * 5) - 1000)");
+        assert_eq!(
+            e.variables().into_iter().collect::<Vec<_>>(),
+            vec!["cx".to_string()]
+        );
+    }
+
+    #[test]
+    fn figure3_selector_expr() {
+        // the paper's selector: layerId == 1 (Figure 3, line 28)
+        let e = parse("layer_id == 1").unwrap();
+        assert!(matches!(e, Expr::Binary { op: Op::Eq, .. }));
+    }
+
+    #[test]
+    fn ternary_nested() {
+        let e = parse("a > 1 ? 'hi' : b ? 1 : 2").unwrap();
+        assert_eq!(e.to_string(), "((a > 1) ? 'hi' : (b ? 1 : 2))");
+    }
+
+    #[test]
+    fn calls_with_args() {
+        let e = parse("clamp(x * 2, 0, width() - 1)").unwrap();
+        match e {
+            Expr::Call { name, args } => {
+                assert_eq!(name, "clamp");
+                assert_eq!(args.len(), 3);
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn logic_chain() {
+        let e = parse("a && b || !c").unwrap();
+        assert_eq!(e.to_string(), "((a && b) || !(c))");
+    }
+
+    #[test]
+    fn errors() {
+        assert!(parse("").is_err());
+        assert!(parse("1 +").is_err());
+        assert!(parse("f(1,").is_err());
+        assert!(parse("(1").is_err());
+        assert!(parse("1 2").is_err());
+        assert!(parse("a ? b").is_err());
+    }
+}

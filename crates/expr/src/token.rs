@@ -1,0 +1,262 @@
+//! Tokenizer for the Kyrix expression language.
+
+use crate::error::{ExprError, Result};
+
+/// Expression tokens.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Tok {
+    Num(f64),
+    Str(String),
+    Ident(String),
+    True,
+    False,
+    Null,
+    // operators
+    Plus,
+    Minus,
+    Star,
+    Slash,
+    Percent,
+    Caret,
+    Eq,     // ==
+    NotEq,  // !=
+    Lt,
+    LtEq,
+    Gt,
+    GtEq,
+    AndAnd, // &&
+    OrOr,   // ||
+    Bang,   // !
+    Question,
+    Colon,
+    Comma,
+    LParen,
+    RParen,
+    Eof,
+}
+
+/// Tokenize an expression string.
+pub fn tokenize(src: &str) -> Result<Vec<Tok>> {
+    let b = src.as_bytes();
+    let mut out = Vec::new();
+    let mut i = 0;
+    while i < b.len() {
+        let c = b[i] as char;
+        match c {
+            c if c.is_ascii_whitespace() => i += 1,
+            '+' => {
+                out.push(Tok::Plus);
+                i += 1;
+            }
+            '-' => {
+                out.push(Tok::Minus);
+                i += 1;
+            }
+            '*' => {
+                out.push(Tok::Star);
+                i += 1;
+            }
+            '/' => {
+                out.push(Tok::Slash);
+                i += 1;
+            }
+            '%' => {
+                out.push(Tok::Percent);
+                i += 1;
+            }
+            '^' => {
+                out.push(Tok::Caret);
+                i += 1;
+            }
+            '?' => {
+                out.push(Tok::Question);
+                i += 1;
+            }
+            ':' => {
+                out.push(Tok::Colon);
+                i += 1;
+            }
+            ',' => {
+                out.push(Tok::Comma);
+                i += 1;
+            }
+            '(' => {
+                out.push(Tok::LParen);
+                i += 1;
+            }
+            ')' => {
+                out.push(Tok::RParen);
+                i += 1;
+            }
+            '=' => {
+                if b.get(i + 1) == Some(&b'=') {
+                    out.push(Tok::Eq);
+                    i += 2;
+                } else {
+                    return Err(ExprError::lex(i, "use `==` for equality"));
+                }
+            }
+            '!' => {
+                if b.get(i + 1) == Some(&b'=') {
+                    out.push(Tok::NotEq);
+                    i += 2;
+                } else {
+                    out.push(Tok::Bang);
+                    i += 1;
+                }
+            }
+            '<' => {
+                if b.get(i + 1) == Some(&b'=') {
+                    out.push(Tok::LtEq);
+                    i += 2;
+                } else {
+                    out.push(Tok::Lt);
+                    i += 1;
+                }
+            }
+            '>' => {
+                if b.get(i + 1) == Some(&b'=') {
+                    out.push(Tok::GtEq);
+                    i += 2;
+                } else {
+                    out.push(Tok::Gt);
+                    i += 1;
+                }
+            }
+            '&' => {
+                if b.get(i + 1) == Some(&b'&') {
+                    out.push(Tok::AndAnd);
+                    i += 2;
+                } else {
+                    return Err(ExprError::lex(i, "use `&&` for logical and"));
+                }
+            }
+            '|' => {
+                if b.get(i + 1) == Some(&b'|') {
+                    out.push(Tok::OrOr);
+                    i += 2;
+                } else {
+                    return Err(ExprError::lex(i, "use `||` for logical or"));
+                }
+            }
+            '\'' | '"' => {
+                let quote = b[i];
+                let mut s = String::new();
+                let mut j = i + 1;
+                loop {
+                    match b.get(j) {
+                        None => return Err(ExprError::lex(i, "unterminated string")),
+                        Some(&q) if q == quote => break,
+                        Some(&b'\\') => {
+                            match b.get(j + 1) {
+                                Some(&b'n') => s.push('\n'),
+                                Some(&b't') => s.push('\t'),
+                                Some(&q2) => s.push(q2 as char),
+                                None => return Err(ExprError::lex(j, "dangling escape")),
+                            }
+                            j += 2;
+                        }
+                        Some(&ch) => {
+                            s.push(ch as char);
+                            j += 1;
+                        }
+                    }
+                }
+                out.push(Tok::Str(s));
+                i = j + 1;
+            }
+            c if c.is_ascii_digit()
+                || (c == '.' && b.get(i + 1).is_some_and(u8::is_ascii_digit)) =>
+            {
+                let start = i;
+                let mut j = i;
+                while j < b.len() && (b[j].is_ascii_digit() || b[j] == b'.') {
+                    j += 1;
+                }
+                if j < b.len() && (b[j] == b'e' || b[j] == b'E') {
+                    j += 1;
+                    if j < b.len() && (b[j] == b'+' || b[j] == b'-') {
+                        j += 1;
+                    }
+                    while j < b.len() && b[j].is_ascii_digit() {
+                        j += 1;
+                    }
+                }
+                let text = &src[start..j];
+                let n: f64 = text
+                    .parse()
+                    .map_err(|_| ExprError::lex(start, "bad number literal"))?;
+                out.push(Tok::Num(n));
+                i = j;
+            }
+            c if c.is_ascii_alphabetic() || c == '_' => {
+                let start = i;
+                let mut j = i;
+                while j < b.len() && ((b[j] as char).is_ascii_alphanumeric() || b[j] == b'_') {
+                    j += 1;
+                }
+                let word = &src[start..j];
+                out.push(match word {
+                    "true" => Tok::True,
+                    "false" => Tok::False,
+                    "null" => Tok::Null,
+                    _ => Tok::Ident(word.to_string()),
+                });
+                i = j;
+            }
+            _ => return Err(ExprError::lex(i, &format!("unexpected character `{c}`"))),
+        }
+    }
+    out.push(Tok::Eof);
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn numbers_idents_ops() {
+        let t = tokenize("x * 5 - 1000.5").unwrap();
+        assert_eq!(
+            t,
+            vec![
+                Tok::Ident("x".into()),
+                Tok::Star,
+                Tok::Num(5.0),
+                Tok::Minus,
+                Tok::Num(1000.5),
+                Tok::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn strings_with_escapes() {
+        let t = tokenize(r#"'a' + "b\n" "#).unwrap();
+        assert_eq!(t[0], Tok::Str("a".into()));
+        assert_eq!(t[2], Tok::Str("b\n".into()));
+    }
+
+    #[test]
+    fn ternary_and_logic() {
+        let t = tokenize("a >= 2 && !b ? 'x' : 'y'").unwrap();
+        assert!(t.contains(&Tok::Question));
+        assert!(t.contains(&Tok::AndAnd));
+        assert!(t.contains(&Tok::Bang));
+    }
+
+    #[test]
+    fn errors() {
+        assert!(tokenize("a = b").is_err());
+        assert!(tokenize("a | b").is_err());
+        assert!(tokenize("'open").is_err());
+        assert!(tokenize("#").is_err());
+    }
+
+    #[test]
+    fn scientific_notation() {
+        assert_eq!(tokenize("1e3").unwrap()[0], Tok::Num(1000.0));
+        assert_eq!(tokenize("2.5e-2").unwrap()[0], Tok::Num(0.025));
+    }
+}

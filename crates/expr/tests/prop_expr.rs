@@ -1,0 +1,108 @@
+//! Property-based tests of the expression language.
+
+use kyrix_expr::{as_affine, eval, parse, Compiled, Expr, VarMap};
+use kyrix_storage::Value;
+use proptest::prelude::*;
+
+/// Generate small well-formed numeric expression trees over variables
+/// `x` and `y`.
+fn arb_expr() -> impl Strategy<Value = Expr> {
+    // literals are non-negative: `-97` prints as a unary negation and would
+    // reparse as Unary(Num), so negativity is exercised via the Unary arm
+    let leaf = prop_oneof![
+        (0.0f64..100.0).prop_map(Expr::Num),
+        Just(Expr::Var("x".to_string())),
+        Just(Expr::Var("y".to_string())),
+    ];
+    leaf.prop_recursive(3, 32, 3, |inner| {
+        prop_oneof![
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| Expr::Binary {
+                op: kyrix_expr::Op::Add,
+                left: Box::new(a),
+                right: Box::new(b),
+            }),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| Expr::Binary {
+                op: kyrix_expr::Op::Sub,
+                left: Box::new(a),
+                right: Box::new(b),
+            }),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| Expr::Binary {
+                op: kyrix_expr::Op::Mul,
+                left: Box::new(a),
+                right: Box::new(b),
+            }),
+            inner.prop_map(|a| Expr::Unary {
+                neg: true,
+                expr: Box::new(a),
+            }),
+        ]
+    })
+}
+
+proptest! {
+    /// Display → parse is the identity on ASTs (pretty-printing inserts
+    /// full parens, so precedence cannot be lost).
+    #[test]
+    fn display_parse_roundtrip(e in arb_expr()) {
+        let printed = e.to_string();
+        let reparsed = parse(&printed).unwrap();
+        prop_assert_eq!(reparsed, e);
+    }
+
+    /// Interpreted and compiled evaluation agree.
+    #[test]
+    fn compiled_matches_interpreted(e in arb_expr(), x in -50.0f64..50.0, y in -50.0f64..50.0) {
+        let mut ctx = VarMap::new();
+        ctx.set("x", Value::Float(x));
+        ctx.set("y", Value::Float(y));
+        let interp = eval(&e, &ctx);
+        let compiled = Compiled::compile(&e, &["x", "y"]).unwrap();
+        let fast = compiled.eval(&[Value::Float(x), Value::Float(y)]);
+        match (interp, fast) {
+            (Ok(a), Ok(b)) => {
+                let (af, bf) = (a.as_f64().unwrap(), b.as_f64().unwrap());
+                prop_assert!(
+                    (af - bf).abs() <= 1e-9 * (1.0 + af.abs()),
+                    "{} vs {}", af, bf
+                );
+            }
+            (Err(_), Err(_)) => {}
+            (a, b) => prop_assert!(false, "divergence: {:?} vs {:?}", a, b),
+        }
+    }
+
+    /// When the affine analysis claims `scale * var + offset`, direct
+    /// evaluation agrees with the affine form.
+    #[test]
+    fn affine_analysis_sound(e in arb_expr(), v in -50.0f64..50.0) {
+        if let Some(aff) = as_affine(&e) {
+            // only single-variable (or constant) claims are made
+            let vars = e.variables();
+            prop_assert!(vars.len() <= 1);
+            let mut ctx = VarMap::new();
+            if let Some(name) = &aff.var {
+                ctx.set(name.clone(), Value::Float(v));
+            }
+            // also bind the *other* variable in case the expression
+            // mentions it trivially (it cannot, per the check above)
+            if let Ok(val) = eval(&e, &ctx) {
+                let direct = val.as_f64().unwrap();
+                let via_affine = aff.apply(v);
+                // guard against float blowups in deep products
+                if direct.is_finite() && via_affine.is_finite() {
+                    let tol = 1e-6 * (1.0 + direct.abs().max(via_affine.abs()));
+                    prop_assert!(
+                        (direct - via_affine).abs() <= tol,
+                        "direct {} vs affine {}", direct, via_affine
+                    );
+                }
+            }
+        }
+    }
+
+    /// Parsing arbitrary garbage never panics.
+    #[test]
+    fn parse_never_panics(s in "[ -~]{0,60}") {
+        let _ = parse(&s);
+    }
+}

@@ -1,0 +1,300 @@
+//! Row → shard routing policies.
+
+use kyrix_storage::fxhash::FxHasher;
+use kyrix_storage::{OrdValue, Rect, Result, Row, Schema, StorageError, Value};
+use std::hash::{Hash, Hasher};
+
+/// How rows of the partitioned table are distributed over shards.
+///
+/// The paper's EEG scenario partitions 50 TB of time-series over nodes;
+/// `Range` on the time column models that layout. Kyrix canvases favour
+/// `SpatialGrid`, which keeps a viewport query local to a few shards.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Partitioner {
+    /// Hash of one column, modulo shard count. Uniform but route-blind:
+    /// every query touches every shard.
+    Hash {
+        /// The hashed key column.
+        column: String,
+    },
+    /// Range partitioning on a numeric column. `bounds` are the (sorted)
+    /// split points: row goes to the first shard whose bound exceeds the
+    /// value; `bounds.len() + 1` shards.
+    Range {
+        /// The numeric key column compared against `bounds`.
+        column: String,
+        /// Sorted split points; shard count = `bounds.len() + 1`.
+        bounds: Vec<f64>,
+    },
+    /// A `cols × rows` grid over a `width × height` canvas keyed by two
+    /// numeric columns. Shard id = `cell_y * cols + cell_x`.
+    SpatialGrid {
+        /// Column holding the canvas x coordinate.
+        x_column: String,
+        /// Column holding the canvas y coordinate.
+        y_column: String,
+        /// Grid cells along x.
+        cols: u32,
+        /// Grid cells along y.
+        rows: u32,
+        /// Canvas width the grid spans.
+        width: f64,
+        /// Canvas height the grid spans.
+        height: f64,
+    },
+}
+
+impl Partitioner {
+    /// Number of shards this policy expects (Hash is told separately).
+    pub fn shard_count(&self, hash_shards: usize) -> usize {
+        match self {
+            Partitioner::Hash { .. } => hash_shards,
+            Partitioner::Range { bounds, .. } => bounds.len() + 1,
+            Partitioner::SpatialGrid { cols, rows, .. } => (*cols as usize) * (*rows as usize),
+        }
+    }
+
+    /// Route a row to its shard.
+    pub fn route(&self, schema: &Schema, row: &Row, shards: usize) -> Result<usize> {
+        match self {
+            Partitioner::Hash { column } => {
+                let i = schema.index_of(column)?;
+                let mut h = FxHasher::default();
+                OrdValue(row.get(i).clone()).hash(&mut h);
+                Ok((h.finish() % shards as u64) as usize)
+            }
+            Partitioner::Range { column, bounds } => {
+                let i = schema.index_of(column)?;
+                let v = row.get(i).as_f64()?;
+                Ok(bounds.partition_point(|b| *b <= v).min(shards - 1))
+            }
+            Partitioner::SpatialGrid {
+                x_column,
+                y_column,
+                cols,
+                rows,
+                width,
+                height,
+            } => {
+                let x = row.get(schema.index_of(x_column)?).as_f64()?;
+                let y = row.get(schema.index_of(y_column)?).as_f64()?;
+                let cx = cell(x, *width, *cols);
+                let cy = cell(y, *height, *rows);
+                let id = (cy * *cols + cx) as usize;
+                if id >= shards {
+                    return Err(StorageError::ExecError(format!(
+                        "row routed to shard {id} but only {shards} exist"
+                    )));
+                }
+                Ok(id)
+            }
+        }
+    }
+
+    /// Shards a rectangle query can touch (`None` = policy cannot route
+    /// rectangles; broadcast instead). Only `SpatialGrid` routes spatially.
+    pub fn route_rect(&self, rect: &Rect, shards: usize) -> Option<Vec<usize>> {
+        match self {
+            Partitioner::SpatialGrid {
+                cols,
+                rows,
+                width,
+                height,
+                ..
+            } => {
+                let cx0 = cell(rect.min_x, *width, *cols);
+                let cx1 = cell(rect.max_x, *width, *cols);
+                let cy0 = cell(rect.min_y, *height, *rows);
+                let cy1 = cell(rect.max_y, *height, *rows);
+                let mut ids = Vec::new();
+                for cy in cy0..=cy1 {
+                    for cx in cx0..=cx1 {
+                        let id = (cy * *cols + cx) as usize;
+                        if id < shards {
+                            ids.push(id);
+                        }
+                    }
+                }
+                Some(ids)
+            }
+            _ => None,
+        }
+    }
+
+    /// Shards a `BETWEEN lo AND hi` predicate on `column` can touch
+    /// (`None` = broadcast). Only `Range` partitioning routes intervals on
+    /// its key column — the natural fit for the paper's EEG time axis.
+    pub fn route_range(
+        &self,
+        column: &str,
+        lo: f64,
+        hi: f64,
+        shards: usize,
+    ) -> Option<Vec<usize>> {
+        match self {
+            Partitioner::Range { column: c, bounds } if c == column => {
+                if hi < lo {
+                    return Some(Vec::new());
+                }
+                let first = bounds.partition_point(|b| *b <= lo).min(shards - 1);
+                let last = bounds.partition_point(|b| *b <= hi).min(shards - 1);
+                Some((first..=last).collect())
+            }
+            _ => None,
+        }
+    }
+
+    /// Shards an equality predicate on `column` can touch (`None` =
+    /// broadcast). Hash and Range route point lookups on their key column.
+    pub fn route_eq(&self, column: &str, value: &Value, shards: usize) -> Option<Vec<usize>> {
+        match self {
+            Partitioner::Hash { column: c } if c == column => {
+                let mut h = FxHasher::default();
+                OrdValue(value.clone()).hash(&mut h);
+                Some(vec![(h.finish() % shards as u64) as usize])
+            }
+            Partitioner::Range { column: c, bounds } if c == column => {
+                let v = value.as_f64().ok()?;
+                Some(vec![bounds.partition_point(|b| *b <= v).min(shards - 1)])
+            }
+            _ => None,
+        }
+    }
+}
+
+/// Clamp a coordinate into its grid cell index.
+fn cell(v: f64, extent: f64, n: u32) -> u32 {
+    if n == 0 {
+        return 0;
+    }
+    let cell = (v / extent * n as f64).floor();
+    (cell.max(0.0) as u32).min(n - 1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use kyrix_storage::DataType;
+
+    fn schema() -> Schema {
+        Schema::empty()
+            .with("id", DataType::Int)
+            .with("x", DataType::Float)
+            .with("y", DataType::Float)
+    }
+
+    fn row(id: i64, x: f64, y: f64) -> Row {
+        Row::new(vec![Value::Int(id), Value::Float(x), Value::Float(y)])
+    }
+
+    #[test]
+    fn hash_routing_is_stable_and_in_range() {
+        let p = Partitioner::Hash {
+            column: "id".into(),
+        };
+        let s = schema();
+        for i in 0..100 {
+            let a = p.route(&s, &row(i, 0.0, 0.0), 7).unwrap();
+            let b = p.route(&s, &row(i, 9.9, 1.1), 7).unwrap();
+            assert_eq!(a, b, "routing must depend only on the key column");
+            assert!(a < 7);
+        }
+        // reasonably balanced: no shard should be empty over 100 keys
+        let mut counts = [0usize; 7];
+        for i in 0..100 {
+            counts[p.route(&s, &row(i, 0.0, 0.0), 7).unwrap()] += 1;
+        }
+        assert!(counts.iter().all(|&c| c > 0), "{counts:?}");
+    }
+
+    #[test]
+    fn range_routing_respects_bounds() {
+        let p = Partitioner::Range {
+            column: "x".into(),
+            bounds: vec![10.0, 20.0],
+        };
+        let s = schema();
+        assert_eq!(p.route(&s, &row(0, 5.0, 0.0), 3).unwrap(), 0);
+        assert_eq!(p.route(&s, &row(0, 10.0, 0.0), 3).unwrap(), 1);
+        assert_eq!(p.route(&s, &row(0, 19.9, 0.0), 3).unwrap(), 1);
+        assert_eq!(p.route(&s, &row(0, 20.0, 0.0), 3).unwrap(), 2);
+        assert_eq!(p.route(&s, &row(0, 1e9, 0.0), 3).unwrap(), 2);
+        assert_eq!(p.shard_count(0), 3);
+    }
+
+    #[test]
+    fn grid_routing_and_rect_overlap() {
+        let p = Partitioner::SpatialGrid {
+            x_column: "x".into(),
+            y_column: "y".into(),
+            cols: 4,
+            rows: 2,
+            width: 400.0,
+            height: 200.0,
+        };
+        let s = schema();
+        assert_eq!(p.shard_count(0), 8);
+        assert_eq!(p.route(&s, &row(0, 0.0, 0.0), 8).unwrap(), 0);
+        assert_eq!(p.route(&s, &row(0, 399.0, 199.0), 8).unwrap(), 7);
+        assert_eq!(p.route(&s, &row(0, 150.0, 50.0), 8).unwrap(), 1);
+        // out-of-canvas coordinates clamp to edge cells
+        assert_eq!(p.route(&s, &row(0, -5.0, 1e6), 8).unwrap(), 4);
+
+        // a viewport inside one cell touches one shard
+        let ids = p.route_rect(&Rect::new(10.0, 10.0, 90.0, 90.0), 8).unwrap();
+        assert_eq!(ids, vec![0]);
+        // a viewport spanning the center touches four
+        let ids = p
+            .route_rect(&Rect::new(90.0, 90.0, 110.0, 110.0), 8)
+            .unwrap();
+        assert_eq!(ids, vec![0, 1, 4, 5]);
+        // hash policies cannot route rectangles
+        assert!(Partitioner::Hash { column: "id".into() }
+            .route_rect(&Rect::new(0.0, 0.0, 1.0, 1.0), 8)
+            .is_none());
+    }
+
+    #[test]
+    fn range_interval_routing() {
+        let p = Partitioner::Range {
+            column: "t".into(),
+            bounds: vec![10.0, 20.0, 30.0],
+        };
+        assert_eq!(p.route_range("t", 0.0, 5.0, 4), Some(vec![0]));
+        assert_eq!(p.route_range("t", 5.0, 15.0, 4), Some(vec![0, 1]));
+        assert_eq!(p.route_range("t", 12.0, 100.0, 4), Some(vec![1, 2, 3]));
+        assert_eq!(p.route_range("t", 50.0, 40.0, 4), Some(vec![])); // empty
+        assert!(p.route_range("other", 0.0, 1.0, 4).is_none());
+        // grid and hash cannot route 1-D intervals
+        let g = Partitioner::SpatialGrid {
+            x_column: "x".into(),
+            y_column: "y".into(),
+            cols: 2,
+            rows: 2,
+            width: 1.0,
+            height: 1.0,
+        };
+        assert!(g.route_range("x", 0.0, 0.4, 4).is_none());
+    }
+
+    #[test]
+    fn eq_routing() {
+        let h = Partitioner::Hash {
+            column: "id".into(),
+        };
+        let route = h.route_eq("id", &Value::Int(42), 5).unwrap();
+        assert_eq!(route.len(), 1);
+        // must agree with row routing
+        let s = schema();
+        assert_eq!(route[0], h.route(&s, &row(42, 0.0, 0.0), 5).unwrap());
+        // non-key column broadcasts
+        assert!(h.route_eq("x", &Value::Float(1.0), 5).is_none());
+
+        let r = Partitioner::Range {
+            column: "x".into(),
+            bounds: vec![100.0],
+        };
+        assert_eq!(r.route_eq("x", &Value::Float(50.0), 2), Some(vec![0]));
+        assert_eq!(r.route_eq("x", &Value::Float(150.0), 2), Some(vec![1]));
+    }
+}

@@ -1,0 +1,606 @@
+//! The partitioned database: N shards + a coordinator.
+
+use crate::merge::ShardPlan;
+use crate::partition::Partitioner;
+use kyrix_storage::sql::bind::{Bindings, BoundExpr};
+use kyrix_storage::sql::{parse, SqlExpr};
+use kyrix_storage::{
+    Database, IndexKind, QueryResult, Rect, Result, Row, Schema, StorageError, Value,
+};
+use parking_lot::RwLock;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Cumulative coordinator statistics.
+#[derive(Debug, Default)]
+pub struct ParallelStats {
+    queries: AtomicU64,
+    shards_touched: AtomicU64,
+    broadcasts: AtomicU64,
+}
+
+impl ParallelStats {
+    /// Queries executed through the coordinator.
+    pub fn queries(&self) -> u64 {
+        self.queries.load(Ordering::Relaxed)
+    }
+    /// Total shard executions across all queries.
+    pub fn shards_touched(&self) -> u64 {
+        self.shards_touched.load(Ordering::Relaxed)
+    }
+    /// Queries that could not be routed and hit every shard.
+    pub fn broadcasts(&self) -> u64 {
+        self.broadcasts.load(Ordering::Relaxed)
+    }
+}
+
+/// A partitioned database: each shard stands in for one node of the
+/// paper's §4 multi-node deployment. All shards share the same catalog
+/// (tables and indexes are broadcast); rows of the *partitioned* table are
+/// routed by the [`Partitioner`].
+pub struct ParallelDatabase {
+    shards: Vec<RwLock<Database>>,
+    partitioner: Partitioner,
+    /// The table the partitioner applies to; other tables are replicated
+    /// to every shard on insert (dimension-table semantics).
+    partitioned_table: String,
+    /// Cumulative coordinator statistics (queries, routing, broadcasts).
+    pub stats: ParallelStats,
+}
+
+impl ParallelDatabase {
+    /// Create `n` empty shards partitioning `table` by `partitioner`.
+    /// For [`Partitioner::Range`] and [`Partitioner::SpatialGrid`], `n`
+    /// must equal the policy's natural shard count.
+    pub fn new(
+        n: usize,
+        table: impl Into<String>,
+        partitioner: Partitioner,
+    ) -> Result<ParallelDatabase> {
+        if n == 0 {
+            return Err(StorageError::ExecError("need at least one shard".into()));
+        }
+        let natural = partitioner.shard_count(n);
+        if natural != n {
+            return Err(StorageError::ExecError(format!(
+                "partitioner implies {natural} shards, got {n}"
+            )));
+        }
+        Ok(ParallelDatabase {
+            shards: (0..n).map(|_| RwLock::new(Database::new())).collect(),
+            partitioner,
+            partitioned_table: table.into(),
+            stats: ParallelStats::default(),
+        })
+    }
+
+    /// Number of shards (simulated nodes).
+    pub fn shard_count(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// The routing policy in effect.
+    pub fn partitioner(&self) -> &Partitioner {
+        &self.partitioner
+    }
+
+    /// Broadcast DDL: create a table on every shard.
+    pub fn create_table(&self, name: impl Into<String>, schema: Schema) -> Result<()> {
+        let name = name.into();
+        for shard in &self.shards {
+            shard.write().create_table(name.clone(), schema.clone())?;
+        }
+        Ok(())
+    }
+
+    /// Broadcast DDL: create an index on every shard.
+    pub fn create_index(
+        &self,
+        table: &str,
+        index_name: impl Into<String>,
+        kind: IndexKind,
+    ) -> Result<()> {
+        let index_name = index_name.into();
+        for shard in &self.shards {
+            shard
+                .write()
+                .create_index(table, index_name.clone(), kind.clone())?;
+        }
+        Ok(())
+    }
+
+    /// Insert a row: routed for the partitioned table, replicated
+    /// everywhere otherwise.
+    pub fn insert(&self, table: &str, row: Row) -> Result<()> {
+        if table == self.partitioned_table {
+            let schema = self.shards[0].read().table(table)?.schema.clone();
+            let shard = self
+                .partitioner
+                .route(&schema, &row, self.shards.len())?;
+            self.shards[shard].write().insert(table, row)
+        } else {
+            for shard in &self.shards {
+                shard.write().insert(table, row.clone())?;
+            }
+            Ok(())
+        }
+    }
+
+    /// Bulk load rows of the partitioned table: routes every row, then
+    /// inserts per shard in parallel.
+    pub fn load(&self, table: &str, rows: Vec<Row>) -> Result<()> {
+        let schema = self.shards[0].read().table(table)?.schema.clone();
+        let mut buckets: Vec<Vec<Row>> = (0..self.shards.len()).map(|_| Vec::new()).collect();
+        for row in rows {
+            let shard = self.partitioner.route(&schema, &row, self.shards.len())?;
+            buckets[shard].push(row);
+        }
+        let errors: Vec<StorageError> = std::thread::scope(|s| {
+            let handles: Vec<_> = self
+                .shards
+                .iter()
+                .zip(buckets)
+                .map(|(shard, bucket)| {
+                    s.spawn(move || -> Result<()> {
+                        let mut db = shard.write();
+                        for row in bucket {
+                            db.insert(table, row)?;
+                        }
+                        Ok(())
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .filter_map(|h| h.join().expect("shard loader panicked").err())
+                .collect()
+        });
+        match errors.into_iter().next() {
+            Some(e) => Err(e),
+            None => Ok(()),
+        }
+    }
+
+    /// Which shards a SELECT must run on: spatial-rect and key-equality
+    /// predicates route; everything else broadcasts.
+    fn target_shards(&self, stmt: &kyrix_storage::sql::Select, params: &[Value]) -> Vec<usize> {
+        let all: Vec<usize> = (0..self.shards.len()).collect();
+        // routing only applies to the partitioned table (joins still work:
+        // the partitioned side determines placement, the replicated side
+        // is present everywhere)
+        let touches_partitioned = stmt.from.table == self.partitioned_table
+            || stmt
+                .join
+                .as_ref()
+                .is_some_and(|j| j.table.table == self.partitioned_table);
+        if !touches_partitioned {
+            // replicated-only query: any single shard has the full answer
+            return vec![0];
+        }
+        let Some(where_clause) = &stmt.where_clause else {
+            return all;
+        };
+        let empty = Schema::empty();
+        let bindings = Bindings::single("_", &empty);
+        let const_f64 = |e: &SqlExpr| -> Option<f64> {
+            BoundExpr::bind(e, &bindings)
+                .ok()?
+                .eval_const(params)
+                .ok()?
+                .as_f64()
+                .ok()
+        };
+        for conj in where_clause.clone().conjuncts() {
+            match &conj {
+                SqlExpr::SpatialIntersect { rect } => {
+                    let vals: Option<Vec<f64>> = rect.iter().map(|e| const_f64(e)).collect();
+                    if let Some(v) = vals {
+                        if let Some(ids) = self
+                            .partitioner
+                            .route_rect(&Rect::new(v[0], v[1], v[2], v[3]), self.shards.len())
+                        {
+                            return ids;
+                        }
+                    }
+                }
+                SqlExpr::Between { expr, lo, hi } => {
+                    if let SqlExpr::Column(c) = &**expr {
+                        if let (Some(lo), Some(hi)) = (const_f64(lo), const_f64(hi)) {
+                            if let Some(ids) = self.partitioner.route_range(
+                                &c.column,
+                                lo,
+                                hi,
+                                self.shards.len(),
+                            ) {
+                                return ids;
+                            }
+                        }
+                    }
+                }
+                SqlExpr::Binary {
+                    op: kyrix_storage::sql::ast::BinOp::Eq,
+                    left,
+                    right,
+                } => {
+                    let col_key = match (&**left, &**right) {
+                        (SqlExpr::Column(c), k) if k.is_const() => Some((c, k)),
+                        (k, SqlExpr::Column(c)) if k.is_const() => Some((c, k)),
+                        _ => None,
+                    };
+                    if let Some((c, k)) = col_key {
+                        if let Ok(bound) = BoundExpr::bind(k, &bindings) {
+                            if let Ok(v) = bound.eval_const(params) {
+                                if let Some(ids) = self.partitioner.route_eq(
+                                    &c.column,
+                                    &v,
+                                    self.shards.len(),
+                                ) {
+                                    return ids;
+                                }
+                            }
+                        }
+                    }
+                }
+                _ => {}
+            }
+        }
+        all
+    }
+
+    /// Execute a SELECT with scatter-gather: decompose, run the shard
+    /// statement on every targeted shard in parallel, merge.
+    pub fn query(&self, sql: &str, params: &[Value]) -> Result<QueryResult> {
+        let stmt = parse(sql)?;
+        let plan = ShardPlan::new(&stmt)?;
+        let targets = self.target_shards(&stmt, params);
+        self.stats.queries.fetch_add(1, Ordering::Relaxed);
+        self.stats
+            .shards_touched
+            .fetch_add(targets.len() as u64, Ordering::Relaxed);
+        if targets.len() == self.shards.len() && self.shards.len() > 1 {
+            self.stats.broadcasts.fetch_add(1, Ordering::Relaxed);
+        }
+
+        let results: Vec<Result<QueryResult>> = std::thread::scope(|s| {
+            let handles: Vec<_> = targets
+                .iter()
+                .map(|&i| {
+                    let shard = &self.shards[i];
+                    let shard_stmt = &plan.shard_stmt;
+                    s.spawn(move || {
+                        kyrix_storage::sql::execute_select(&shard.read(), shard_stmt, params)
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("shard query panicked"))
+                .collect()
+        });
+        let mut shard_results = Vec::with_capacity(results.len());
+        for r in results {
+            shard_results.push(r?);
+        }
+        plan.merge(shard_results, params)
+    }
+
+    /// Broadcast a predicate delete to every shard. Returns total deleted.
+    pub fn delete_where(&self, table: &str, predicate: &str, params: &[Value]) -> Result<usize> {
+        let mut n = 0;
+        for shard in &self.shards {
+            n += shard.write().delete_where(table, predicate, params)?;
+        }
+        Ok(n)
+    }
+
+    /// Broadcast a predicate update to every shard. The partition key must
+    /// not be among the assignments (rows never migrate between shards);
+    /// updating it returns an error.
+    pub fn update_where(
+        &self,
+        table: &str,
+        assignments: &[(&str, Value)],
+        predicate: &str,
+        params: &[Value],
+    ) -> Result<usize> {
+        if table == self.partitioned_table {
+            let key_cols: Vec<&str> = match &self.partitioner {
+                Partitioner::Hash { column } => vec![column.as_str()],
+                Partitioner::Range { column, .. } => vec![column.as_str()],
+                Partitioner::SpatialGrid {
+                    x_column, y_column, ..
+                } => vec![x_column.as_str(), y_column.as_str()],
+            };
+            if let Some((col, _)) = assignments
+                .iter()
+                .find(|(c, _)| key_cols.contains(c))
+            {
+                return Err(StorageError::ExecError(format!(
+                    "cannot update partition key column `{col}` in place; \
+                     delete and re-insert to migrate the row"
+                )));
+            }
+        }
+        let mut n = 0;
+        for shard in &self.shards {
+            n += shard.write().update_where(table, assignments, predicate, params)?;
+        }
+        Ok(n)
+    }
+
+    /// Row count of a table across shards.
+    pub fn table_len(&self, table: &str) -> Result<usize> {
+        let mut n = 0;
+        for shard in &self.shards {
+            n += shard.read().table(table)?.len();
+        }
+        Ok(n)
+    }
+
+    /// Per-shard row counts of the partitioned table (skew diagnostics).
+    pub fn shard_sizes(&self, table: &str) -> Result<Vec<usize>> {
+        self.shards
+            .iter()
+            .map(|s| Ok(s.read().table(table)?.len()))
+            .collect()
+    }
+
+    /// Run a closure against one shard's database (tests, diagnostics).
+    pub fn with_shard<R>(&self, i: usize, f: impl FnOnce(&Database) -> R) -> R {
+        f(&self.shards[i].read())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use kyrix_storage::catalog::SpatialCols;
+    use kyrix_storage::DataType;
+
+    fn dots_schema() -> Schema {
+        Schema::empty()
+            .with("id", DataType::Int)
+            .with("x", DataType::Float)
+            .with("y", DataType::Float)
+            .with("w", DataType::Int)
+    }
+
+    /// 4-shard spatial grid over a 200×200 canvas with a 20×20 dot grid.
+    fn grid_pdb() -> ParallelDatabase {
+        let p = Partitioner::SpatialGrid {
+            x_column: "x".into(),
+            y_column: "y".into(),
+            cols: 2,
+            rows: 2,
+            width: 200.0,
+            height: 200.0,
+        };
+        let pdb = ParallelDatabase::new(4, "dots", p).unwrap();
+        pdb.create_table("dots", dots_schema()).unwrap();
+        pdb.create_index(
+            "dots",
+            "sp",
+            IndexKind::Spatial(SpatialCols::Point {
+                x: "x".into(),
+                y: "y".into(),
+            }),
+        )
+        .unwrap();
+        let rows: Vec<Row> = (0..400)
+            .map(|i| {
+                Row::new(vec![
+                    Value::Int(i),
+                    Value::Float((i % 20) as f64 * 10.0),
+                    Value::Float((i / 20) as f64 * 10.0),
+                    Value::Int(i % 7),
+                ])
+            })
+            .collect();
+        pdb.load("dots", rows).unwrap();
+        pdb
+    }
+
+    /// A single-node database with identical content, as ground truth.
+    fn reference_db() -> Database {
+        let mut db = Database::new();
+        db.create_table("dots", dots_schema()).unwrap();
+        db.create_index(
+            "dots",
+            "sp",
+            IndexKind::Spatial(SpatialCols::Point {
+                x: "x".into(),
+                y: "y".into(),
+            }),
+        )
+        .unwrap();
+        for i in 0..400 {
+            db.insert(
+                "dots",
+                Row::new(vec![
+                    Value::Int(i),
+                    Value::Float((i % 20) as f64 * 10.0),
+                    Value::Float((i / 20) as f64 * 10.0),
+                    Value::Int(i % 7),
+                ]),
+            )
+            .unwrap();
+        }
+        db
+    }
+
+    #[test]
+    fn load_distributes_across_shards() {
+        let pdb = grid_pdb();
+        let sizes = pdb.shard_sizes("dots").unwrap();
+        assert_eq!(sizes.iter().sum::<usize>(), 400);
+        assert_eq!(sizes, vec![100, 100, 100, 100]);
+    }
+
+    #[test]
+    fn spatial_query_routes_to_intersecting_shards() {
+        let pdb = grid_pdb();
+        // viewport entirely inside shard 0's cell
+        let r = pdb
+            .query(
+                "SELECT COUNT(*) FROM dots WHERE bbox && rect(0, 0, 40, 40)",
+                &[],
+            )
+            .unwrap();
+        assert_eq!(r.rows[0].get(0), &Value::Int(25));
+        assert_eq!(pdb.stats.shards_touched(), 1);
+        assert_eq!(pdb.stats.broadcasts(), 0);
+        // viewport spanning all four cells
+        let r = pdb
+            .query(
+                "SELECT COUNT(*) FROM dots WHERE bbox && rect(80, 80, 120, 120)",
+                &[],
+            )
+            .unwrap();
+        assert_eq!(r.rows[0].get(0), &Value::Int(25));
+        assert_eq!(pdb.stats.shards_touched(), 1 + 4);
+    }
+
+    #[test]
+    fn parallel_results_match_single_node() {
+        let pdb = grid_pdb();
+        let reference = reference_db();
+        let queries: &[&str] = &[
+            "SELECT COUNT(*) FROM dots",
+            "SELECT * FROM dots WHERE bbox && rect(35, 35, 95, 95) ORDER BY id",
+            "SELECT id, x FROM dots WHERE w = 3 ORDER BY x DESC, id LIMIT 10",
+            "SELECT w, COUNT(*) AS n, AVG(x), MIN(y), MAX(y), SUM(id) FROM dots GROUP BY w",
+            "SELECT w, COUNT(*) AS n FROM dots GROUP BY w HAVING n > 57 ORDER BY n DESC",
+            "SELECT id FROM dots ORDER BY y DESC, x, id LIMIT 7 OFFSET 3",
+            "SELECT AVG(x) FROM dots WHERE y > 150",
+            "SELECT SUM(w) FROM dots WHERE id BETWEEN 100 AND 200",
+        ];
+        for q in queries {
+            let par = pdb.query(q, &[]).unwrap();
+            let seq = reference.query(q, &[]).unwrap();
+            assert_eq!(par.rows, seq.rows, "query: {q}");
+            assert_eq!(
+                par.schema.columns().len(),
+                seq.schema.columns().len(),
+                "schema width: {q}"
+            );
+        }
+    }
+
+    #[test]
+    fn hash_partitioning_routes_point_lookups() {
+        let p = Partitioner::Hash {
+            column: "id".into(),
+        };
+        let pdb = ParallelDatabase::new(8, "dots", p).unwrap();
+        pdb.create_table("dots", dots_schema()).unwrap();
+        for i in 0..100 {
+            pdb.insert(
+                "dots",
+                Row::new(vec![
+                    Value::Int(i),
+                    Value::Float(i as f64),
+                    Value::Float(0.0),
+                    Value::Int(0),
+                ]),
+            )
+            .unwrap();
+        }
+        let r = pdb
+            .query("SELECT x FROM dots WHERE id = $1", &[Value::Int(42)])
+            .unwrap();
+        assert_eq!(r.rows[0].get(0), &Value::Float(42.0));
+        assert_eq!(pdb.stats.shards_touched(), 1, "point lookup must route");
+        // non-key predicate broadcasts
+        pdb.query("SELECT COUNT(*) FROM dots WHERE x < 50", &[])
+            .unwrap();
+        assert_eq!(pdb.stats.shards_touched(), 1 + 8);
+        assert_eq!(pdb.stats.broadcasts(), 1);
+    }
+
+    #[test]
+    fn replicated_tables_join_against_partitioned() {
+        let pdb = grid_pdb();
+        pdb.create_table(
+            "labels",
+            Schema::empty()
+                .with("w", DataType::Int)
+                .with("name", DataType::Text),
+        )
+        .unwrap();
+        for w in 0..7 {
+            pdb.insert(
+                "labels",
+                Row::new(vec![Value::Int(w), Value::Text(format!("w{w}"))]),
+            )
+            .unwrap();
+        }
+        // replicated-only query hits one shard
+        let before = pdb.stats.shards_touched();
+        let r = pdb.query("SELECT COUNT(*) FROM labels", &[]).unwrap();
+        assert_eq!(r.rows[0].get(0), &Value::Int(7));
+        assert_eq!(pdb.stats.shards_touched() - before, 1);
+        // join: partitioned ⋈ replicated matches single-node
+        let reference = {
+            let mut db = reference_db();
+            db.create_table(
+                "labels",
+                Schema::empty()
+                    .with("w", DataType::Int)
+                    .with("name", DataType::Text),
+            )
+            .unwrap();
+            for w in 0..7 {
+                db.insert(
+                    "labels",
+                    Row::new(vec![Value::Int(w), Value::Text(format!("w{w}"))]),
+                )
+                .unwrap();
+            }
+            db
+        };
+        let q = "SELECT d.id, l.name FROM dots d JOIN labels l ON d.w = l.w \
+                 WHERE d.id < 20 ORDER BY d.id";
+        let par = pdb.query(q, &[]).unwrap();
+        let seq = reference.query(q, &[]).unwrap();
+        assert_eq!(par.rows, seq.rows);
+    }
+
+    #[test]
+    fn dml_broadcasts_and_guards_partition_key() {
+        let pdb = grid_pdb();
+        let n = pdb
+            .update_where("dots", &[("w", Value::Int(100))], "id < 10", &[])
+            .unwrap();
+        assert_eq!(n, 10);
+        let r = pdb
+            .query("SELECT COUNT(*) FROM dots WHERE w = 100", &[])
+            .unwrap();
+        assert_eq!(r.rows[0].get(0), &Value::Int(10));
+        // partition key updates are rejected
+        assert!(pdb
+            .update_where("dots", &[("x", Value::Float(0.0))], "id = 0", &[])
+            .is_err());
+        let n = pdb.delete_where("dots", "w = 100", &[]).unwrap();
+        assert_eq!(n, 10);
+        assert_eq!(pdb.table_len("dots").unwrap(), 390);
+    }
+
+    #[test]
+    fn shard_count_validation() {
+        let p = Partitioner::SpatialGrid {
+            x_column: "x".into(),
+            y_column: "y".into(),
+            cols: 2,
+            rows: 2,
+            width: 1.0,
+            height: 1.0,
+        };
+        assert!(ParallelDatabase::new(3, "t", p.clone()).is_err());
+        assert!(ParallelDatabase::new(4, "t", p).is_ok());
+        assert!(ParallelDatabase::new(
+            0,
+            "t",
+            Partitioner::Hash { column: "c".into() }
+        )
+        .is_err());
+    }
+}

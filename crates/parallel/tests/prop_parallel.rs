@@ -1,0 +1,236 @@
+//! Property: for any data distribution and any supported query, the
+//! partitioned database returns exactly what a single node would.
+
+use kyrix_parallel::{ParallelDatabase, Partitioner};
+use kyrix_storage::{DataType, Database, Row, Schema, Value};
+use proptest::prelude::*;
+
+fn schema() -> Schema {
+    Schema::empty()
+        .with("id", DataType::Int)
+        .with("x", DataType::Float)
+        .with("y", DataType::Float)
+        .with("g", DataType::Int)
+}
+
+fn make_row(id: i64, x: f64, y: f64, g: i64) -> Row {
+    Row::new(vec![
+        Value::Int(id),
+        Value::Float(x),
+        Value::Float(y),
+        Value::Int(g),
+    ])
+}
+
+/// Queries whose parallel/serial agreement we pin. Chosen to cover: plain
+/// scans, filters, multi-key order + offset/limit, global and grouped
+/// aggregates, HAVING, AVG decomposition, and spatial predicates.
+const QUERIES: &[&str] = &[
+    "SELECT COUNT(*) FROM pts",
+    "SELECT id, g FROM pts ORDER BY g DESC, id LIMIT 9 OFFSET 2",
+    "SELECT g, COUNT(*) AS n, SUM(id), AVG(x), MIN(y), MAX(y) FROM pts GROUP BY g",
+    "SELECT g, AVG(y) FROM pts GROUP BY g HAVING avg_y > 30 ORDER BY avg_y DESC",
+    "SELECT AVG(x), COUNT(id) FROM pts WHERE g = 1",
+    "SELECT id FROM pts WHERE x BETWEEN 10 AND 70 ORDER BY y, id",
+    "SELECT SUM(g) FROM pts WHERE id != 3",
+];
+
+/// Value equality with float tolerance: partial sums combine in a
+/// different order than a sequential fold, so floats may differ in the
+/// final ulps. HAVING/ORDER results can differ only if a value sits within
+/// tolerance of the predicate threshold, which the query constants avoid.
+fn value_approx_eq(a: &Value, b: &Value) -> bool {
+    match (a, b) {
+        (Value::Float(x), Value::Float(y)) => {
+            let scale = x.abs().max(y.abs()).max(1.0);
+            (x - y).abs() <= scale * 1e-9
+        }
+        _ => a == b,
+    }
+}
+
+fn rows_approx_eq(a: &[Row], b: &[Row]) -> bool {
+    a.len() == b.len()
+        && a.iter().zip(b).all(|(ra, rb)| {
+            ra.values.len() == rb.values.len()
+                && ra
+                    .values
+                    .iter()
+                    .zip(&rb.values)
+                    .all(|(x, y)| value_approx_eq(x, y))
+        })
+}
+
+fn partitioners() -> Vec<(usize, Partitioner)> {
+    vec![
+        (4, Partitioner::Hash { column: "id".into() }),
+        (
+            3,
+            Partitioner::Range {
+                column: "x".into(),
+                bounds: vec![30.0, 60.0],
+            },
+        ),
+        (
+            4,
+            Partitioner::SpatialGrid {
+                x_column: "x".into(),
+                y_column: "y".into(),
+                cols: 2,
+                rows: 2,
+                width: 100.0,
+                height: 100.0,
+            },
+        ),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(20))]
+
+    #[test]
+    fn parallel_equals_single_node(
+        points in prop::collection::vec(
+            (0..1000i64, 0.0..100.0f64, 0.0..100.0f64, 0..5i64),
+            0..80,
+        ),
+    ) {
+        let mut reference = Database::new();
+        reference.create_table("pts", schema()).unwrap();
+        for (id, x, y, g) in &points {
+            reference.insert("pts", make_row(*id, *x, *y, *g)).unwrap();
+        }
+
+        for (n, p) in partitioners() {
+            let pdb = ParallelDatabase::new(n, "pts", p).unwrap();
+            pdb.create_table("pts", schema()).unwrap();
+            pdb.load(
+                "pts",
+                points
+                    .iter()
+                    .map(|(id, x, y, g)| make_row(*id, *x, *y, *g))
+                    .collect(),
+            )
+            .unwrap();
+
+            for q in QUERIES {
+                let par = pdb.query(q, &[]).unwrap();
+                let mut seq = reference.query(q, &[]).unwrap();
+                // row order for unsorted queries is unspecified; normalize
+                let by_all_cols = |a: &Row, b: &Row| {
+                    a.values
+                        .iter()
+                        .zip(&b.values)
+                        .map(|(x, y)| x.total_cmp(y))
+                        .find(|o| *o != std::cmp::Ordering::Equal)
+                        .unwrap_or(std::cmp::Ordering::Equal)
+                };
+                let (par_rows, seq_rows) = if !q.contains("ORDER BY") {
+                    // row order for unsorted queries is unspecified
+                    let mut pr = par.rows.clone();
+                    pr.sort_by(by_all_cols);
+                    seq.rows.sort_by(by_all_cols);
+                    (pr, seq.rows.clone())
+                } else {
+                    (par.rows.clone(), seq.rows.clone())
+                };
+                prop_assert!(
+                    rows_approx_eq(&par_rows, &seq_rows),
+                    "query {}\n parallel: {:?}\n   serial: {:?}",
+                    q,
+                    par_rows,
+                    seq_rows
+                );
+            }
+        }
+    }
+}
+
+// ------------------------------------------------------------- edge cases
+
+#[test]
+fn empty_partitioned_table_answers_all_query_shapes() {
+    let pdb = ParallelDatabase::new(
+        4,
+        "pts",
+        Partitioner::Hash {
+            column: "id".into(),
+        },
+    )
+    .unwrap();
+    pdb.create_table("pts", schema()).unwrap();
+
+    let r = pdb.query("SELECT COUNT(*) FROM pts", &[]).unwrap();
+    assert_eq!(r.rows.len(), 1);
+    assert_eq!(r.rows[0].get(0), &Value::Int(0));
+
+    let r = pdb
+        .query("SELECT g, SUM(x) FROM pts GROUP BY g", &[])
+        .unwrap();
+    assert!(r.rows.is_empty());
+
+    let r = pdb
+        .query("SELECT id FROM pts ORDER BY x DESC LIMIT 3", &[])
+        .unwrap();
+    assert!(r.rows.is_empty());
+    assert_eq!(r.schema.len(), 1);
+}
+
+#[test]
+fn limit_zero_and_huge_offset() {
+    let pdb = ParallelDatabase::new(
+        2,
+        "pts",
+        Partitioner::Hash {
+            column: "id".into(),
+        },
+    )
+    .unwrap();
+    pdb.create_table("pts", schema()).unwrap();
+    for i in 0..20 {
+        pdb.insert("pts", make_row(i, i as f64, 0.0, i % 3)).unwrap();
+    }
+    let r = pdb.query("SELECT id FROM pts LIMIT 0", &[]).unwrap();
+    assert!(r.rows.is_empty());
+    let r = pdb
+        .query("SELECT id FROM pts ORDER BY id LIMIT 5 OFFSET 1000", &[])
+        .unwrap();
+    assert!(r.rows.is_empty());
+    let r = pdb
+        .query("SELECT id FROM pts ORDER BY id LIMIT 5 OFFSET 18", &[])
+        .unwrap();
+    assert_eq!(r.rows.len(), 2);
+    assert_eq!(r.rows[0].get(0), &Value::Int(18));
+}
+
+#[test]
+fn coordinator_having_uses_original_params() {
+    let pdb = ParallelDatabase::new(
+        3,
+        "pts",
+        Partitioner::Range {
+            column: "x".into(),
+            bounds: vec![30.0, 60.0],
+        },
+    )
+    .unwrap();
+    pdb.create_table("pts", schema()).unwrap();
+    for i in 0..90 {
+        pdb.insert("pts", make_row(i, i as f64, 0.0, i % 2)).unwrap();
+    }
+    // HAVING references a parameter, evaluated at the coordinator
+    let r = pdb
+        .query(
+            "SELECT g, COUNT(*) AS n FROM pts GROUP BY g HAVING n > $1",
+            &[Value::Int(44)],
+        )
+        .unwrap();
+    assert_eq!(r.rows.len(), 2); // both groups have 45
+    let r = pdb
+        .query(
+            "SELECT g, COUNT(*) AS n FROM pts GROUP BY g HAVING n > $1",
+            &[Value::Int(45)],
+        )
+        .unwrap();
+    assert!(r.rows.is_empty());
+}

@@ -1,0 +1,156 @@
+//! RGBA colors and interpolation.
+
+/// An 8-bit RGBA color.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Color {
+    pub r: u8,
+    pub g: u8,
+    pub b: u8,
+    pub a: u8,
+}
+
+impl Color {
+    pub const fn rgba(r: u8, g: u8, b: u8, a: u8) -> Self {
+        Color { r, g, b, a }
+    }
+
+    pub const fn rgb(r: u8, g: u8, b: u8) -> Self {
+        Color { r, g, b, a: 255 }
+    }
+
+    pub const TRANSPARENT: Color = Color::rgba(0, 0, 0, 0);
+    pub const BLACK: Color = Color::rgb(0, 0, 0);
+    pub const WHITE: Color = Color::rgb(255, 255, 255);
+    pub const RED: Color = Color::rgb(220, 50, 47);
+    pub const GREEN: Color = Color::rgb(50, 160, 70);
+    pub const BLUE: Color = Color::rgb(38, 110, 220);
+    pub const ORANGE: Color = Color::rgb(230, 130, 30);
+    pub const GRAY: Color = Color::rgb(128, 128, 128);
+    pub const STEEL: Color = Color::rgb(70, 130, 180);
+
+    /// Parse `#rgb`, `#rrggbb` or `#rrggbbaa`.
+    pub fn from_hex(s: &str) -> Option<Color> {
+        let h = s.strip_prefix('#')?;
+        let v = |c: u8| -> Option<u8> {
+            match c {
+                b'0'..=b'9' => Some(c - b'0'),
+                b'a'..=b'f' => Some(c - b'a' + 10),
+                b'A'..=b'F' => Some(c - b'A' + 10),
+                _ => None,
+            }
+        };
+        let b = h.as_bytes();
+        match b.len() {
+            3 => {
+                let (r, g, bl) = (v(b[0])?, v(b[1])?, v(b[2])?);
+                Some(Color::rgb(r * 17, g * 17, bl * 17))
+            }
+            6 | 8 => {
+                let byte = |i: usize| -> Option<u8> { Some(v(b[i])? * 16 + v(b[i + 1])?) };
+                Some(Color::rgba(
+                    byte(0)?,
+                    byte(2)?,
+                    byte(4)?,
+                    if b.len() == 8 { byte(6)? } else { 255 },
+                ))
+            }
+            _ => None,
+        }
+    }
+
+    /// Linear interpolation between two colors (t in 0..=1).
+    pub fn lerp(self, other: Color, t: f64) -> Color {
+        let t = t.clamp(0.0, 1.0);
+        let mix = |a: u8, b: u8| -> u8 { (a as f64 + (b as f64 - a as f64) * t).round() as u8 };
+        Color {
+            r: mix(self.r, other.r),
+            g: mix(self.g, other.g),
+            b: mix(self.b, other.b),
+            a: mix(self.a, other.a),
+        }
+    }
+
+    /// This color with a different alpha.
+    pub fn with_alpha(self, a: u8) -> Color {
+        Color { a, ..self }
+    }
+}
+
+/// A multi-stop color ramp (equally spaced stops).
+#[derive(Debug, Clone)]
+pub struct Ramp {
+    stops: Vec<Color>,
+}
+
+impl Ramp {
+    pub fn new(stops: Vec<Color>) -> Self {
+        assert!(stops.len() >= 2, "a ramp needs at least two stops");
+        Ramp { stops }
+    }
+
+    /// A yellow→orange→red ramp, like typical choropleth crime maps.
+    pub fn heat() -> Self {
+        Ramp::new(vec![
+            Color::rgb(255, 245, 200),
+            Color::rgb(250, 180, 90),
+            Color::rgb(220, 90, 40),
+            Color::rgb(150, 20, 20),
+        ])
+    }
+
+    /// A blue→green→yellow perceptual-ish ramp.
+    pub fn viridis() -> Self {
+        Ramp::new(vec![
+            Color::rgb(68, 1, 84),
+            Color::rgb(59, 82, 139),
+            Color::rgb(33, 145, 140),
+            Color::rgb(94, 201, 98),
+            Color::rgb(253, 231, 37),
+        ])
+    }
+
+    /// Sample the ramp at t in 0..=1.
+    pub fn at(&self, t: f64) -> Color {
+        let t = t.clamp(0.0, 1.0);
+        let segments = self.stops.len() - 1;
+        let pos = t * segments as f64;
+        let i = (pos.floor() as usize).min(segments - 1);
+        self.stops[i].lerp(self.stops[i + 1], pos - i as f64)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hex_parsing() {
+        assert_eq!(Color::from_hex("#fff"), Some(Color::WHITE));
+        assert_eq!(Color::from_hex("#000000"), Some(Color::BLACK));
+        assert_eq!(
+            Color::from_hex("#11223344"),
+            Some(Color::rgba(0x11, 0x22, 0x33, 0x44))
+        );
+        assert_eq!(Color::from_hex("fff"), None);
+        assert_eq!(Color::from_hex("#ggg"), None);
+        assert_eq!(Color::from_hex("#12345"), None);
+    }
+
+    #[test]
+    fn lerp_endpoints() {
+        assert_eq!(Color::BLACK.lerp(Color::WHITE, 0.0), Color::BLACK);
+        assert_eq!(Color::BLACK.lerp(Color::WHITE, 1.0), Color::WHITE);
+        let mid = Color::BLACK.lerp(Color::WHITE, 0.5);
+        assert!(mid.r > 120 && mid.r < 135);
+    }
+
+    #[test]
+    fn ramp_monotone_endpoints() {
+        let r = Ramp::heat();
+        assert_eq!(r.at(0.0), Color::rgb(255, 245, 200));
+        assert_eq!(r.at(1.0), Color::rgb(150, 20, 20));
+        // out of range clamps
+        assert_eq!(r.at(-5.0), r.at(0.0));
+        assert_eq!(r.at(7.0), r.at(1.0));
+    }
+}

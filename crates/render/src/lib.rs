@@ -1,0 +1,30 @@
+//! `kyrix-render`: a dependency-free software renderer standing in for the
+//! browser/D3 frontend of the original Kyrix.
+//!
+//! Provides RGBA framebuffers ([`Frame`]), mark drawing (circles, rects,
+//! lines, polygons, bitmap text), D3-style scales, color ramps, and PPM
+//! export so the examples produce actual images.
+//!
+//! ```
+//! use kyrix_render::{Frame, Color, Mark};
+//!
+//! let mut frame = Frame::new(64, 64);
+//! frame.clear(Color::WHITE);
+//! frame.draw_mark(&Mark::Circle {
+//!     cx: 32.0, cy: 32.0, r: 10.0, fill: Color::STEEL, stroke: Some(Color::BLACK),
+//! });
+//! assert!(frame.ink(Color::WHITE) > 200);
+//! ```
+
+pub mod color;
+pub mod font;
+pub mod mark;
+pub mod ppm;
+pub mod raster;
+pub mod scale;
+
+pub use color::{Color, Ramp};
+pub use mark::{Mark, MarkType};
+pub use ppm::{save_ppm, to_ppm};
+pub use raster::Frame;
+pub use scale::{BandScale, ColorScale, LinearScale, QuantizeScale, SqrtScale};

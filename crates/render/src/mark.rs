@@ -1,0 +1,136 @@
+//! Visual marks: the vocabulary rendering functions draw with.
+
+use crate::color::Color;
+
+/// The kind of mark a layer renders, referenced by declarative specs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MarkType {
+    Circle,
+    Rect,
+    Line,
+    Polygon,
+    Text,
+}
+
+impl MarkType {
+    pub fn name(self) -> &'static str {
+        match self {
+            MarkType::Circle => "circle",
+            MarkType::Rect => "rect",
+            MarkType::Line => "line",
+            MarkType::Polygon => "polygon",
+            MarkType::Text => "text",
+        }
+    }
+
+    pub fn from_name(s: &str) -> Option<MarkType> {
+        Some(match s {
+            "circle" => MarkType::Circle,
+            "rect" => MarkType::Rect,
+            "line" => MarkType::Line,
+            "polygon" => MarkType::Polygon,
+            "text" => MarkType::Text,
+            _ => return None,
+        })
+    }
+}
+
+/// A concrete mark in *screen* coordinates, ready to rasterize.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Mark {
+    Circle {
+        cx: f64,
+        cy: f64,
+        r: f64,
+        fill: Color,
+        stroke: Option<Color>,
+    },
+    Rect {
+        x: f64,
+        y: f64,
+        w: f64,
+        h: f64,
+        fill: Color,
+        stroke: Option<Color>,
+    },
+    Line {
+        x0: f64,
+        y0: f64,
+        x1: f64,
+        y1: f64,
+        color: Color,
+    },
+    Polygon {
+        points: Vec<(f64, f64)>,
+        fill: Color,
+        stroke: Option<Color>,
+    },
+    Text {
+        x: f64,
+        y: f64,
+        text: String,
+        color: Color,
+        /// Integer pixel scale of the built-in 5×7 font.
+        size: u8,
+    },
+}
+
+impl Mark {
+    /// Conservative screen-space bounding box (used for dirty-rect checks
+    /// and deriving object bounding boxes in tests).
+    pub fn bbox(&self) -> (f64, f64, f64, f64) {
+        match self {
+            Mark::Circle { cx, cy, r, .. } => (cx - r, cy - r, cx + r, cy + r),
+            Mark::Rect { x, y, w, h, .. } => (*x, *y, x + w, y + h),
+            Mark::Line { x0, y0, x1, y1, .. } => {
+                (x0.min(*x1), y0.min(*y1), x0.max(*x1), y0.max(*y1))
+            }
+            Mark::Polygon { points, .. } => points.iter().fold(
+                (f64::INFINITY, f64::INFINITY, f64::NEG_INFINITY, f64::NEG_INFINITY),
+                |(x0, y0, x1, y1), (px, py)| (x0.min(*px), y0.min(*py), x1.max(*px), y1.max(*py)),
+            ),
+            Mark::Text { x, y, text, size, .. } => {
+                let w = crate::font::text_width(text) as f64 * f64::from(*size);
+                let h = crate::font::GLYPH_H as f64 * f64::from(*size);
+                (*x, *y, x + w, y + h)
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mark_type_names_roundtrip() {
+        for t in [
+            MarkType::Circle,
+            MarkType::Rect,
+            MarkType::Line,
+            MarkType::Polygon,
+            MarkType::Text,
+        ] {
+            assert_eq!(MarkType::from_name(t.name()), Some(t));
+        }
+        assert_eq!(MarkType::from_name("blob"), None);
+    }
+
+    #[test]
+    fn bboxes() {
+        let c = Mark::Circle {
+            cx: 10.0,
+            cy: 10.0,
+            r: 3.0,
+            fill: Color::RED,
+            stroke: None,
+        };
+        assert_eq!(c.bbox(), (7.0, 7.0, 13.0, 13.0));
+        let p = Mark::Polygon {
+            points: vec![(0.0, 0.0), (4.0, 1.0), (2.0, 5.0)],
+            fill: Color::BLUE,
+            stroke: None,
+        };
+        assert_eq!(p.bbox(), (0.0, 0.0, 4.0, 5.0));
+    }
+}

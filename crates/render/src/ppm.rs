@@ -1,0 +1,51 @@
+//! PPM (P6) image export — dependency-free way to inspect rendered frames.
+
+use crate::raster::Frame;
+use std::io::{self, BufWriter, Write};
+use std::path::Path;
+
+/// Serialize a frame as a binary PPM (alpha is composited over white).
+pub fn to_ppm(frame: &Frame) -> Vec<u8> {
+    let mut out = Vec::with_capacity(frame.width * frame.height * 3 + 32);
+    out.extend_from_slice(format!("P6\n{} {}\n255\n", frame.width, frame.height).as_bytes());
+    for px in frame.data().chunks_exact(4) {
+        let a = px[3] as u32;
+        let ia = 255 - a;
+        out.push(((px[0] as u32 * a + 255 * ia) / 255) as u8);
+        out.push(((px[1] as u32 * a + 255 * ia) / 255) as u8);
+        out.push(((px[2] as u32 * a + 255 * ia) / 255) as u8);
+    }
+    out
+}
+
+/// Write a frame to a `.ppm` file.
+pub fn save_ppm(frame: &Frame, path: impl AsRef<Path>) -> io::Result<()> {
+    let f = std::fs::File::create(path)?;
+    let mut w = BufWriter::new(f);
+    w.write_all(&to_ppm(frame))?;
+    w.flush()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::color::Color;
+
+    #[test]
+    fn header_and_size() {
+        let mut f = Frame::new(3, 2);
+        f.clear(Color::RED);
+        let ppm = to_ppm(&f);
+        assert!(ppm.starts_with(b"P6\n3 2\n255\n"));
+        assert_eq!(ppm.len(), 11 + 3 * 2 * 3);
+        // first pixel is red
+        assert_eq!(&ppm[11..14], &[220, 50, 47]);
+    }
+
+    #[test]
+    fn transparent_composites_to_white() {
+        let f = Frame::new(1, 1); // cleared to transparent
+        let ppm = to_ppm(&f);
+        assert_eq!(&ppm[ppm.len() - 3..], &[255, 255, 255]);
+    }
+}

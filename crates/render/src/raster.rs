@@ -1,0 +1,407 @@
+//! The rasterizer: an RGBA framebuffer plus mark drawing.
+
+use crate::color::Color;
+use crate::font::{glyph, ADVANCE, GLYPH_H, GLYPH_W};
+use crate::mark::Mark;
+
+/// An RGBA8 framebuffer.
+pub struct Frame {
+    pub width: usize,
+    pub height: usize,
+    pixels: Vec<u8>, // RGBA, row-major
+}
+
+impl Frame {
+    /// A frame cleared to transparent black.
+    pub fn new(width: usize, height: usize) -> Self {
+        Frame {
+            width,
+            height,
+            pixels: vec![0; width * height * 4],
+        }
+    }
+
+    pub fn clear(&mut self, color: Color) {
+        for px in self.pixels.chunks_exact_mut(4) {
+            px[0] = color.r;
+            px[1] = color.g;
+            px[2] = color.b;
+            px[3] = color.a;
+        }
+    }
+
+    /// Raw pixel data (RGBA row-major).
+    pub fn data(&self) -> &[u8] {
+        &self.pixels
+    }
+
+    pub fn get(&self, x: usize, y: usize) -> Color {
+        let i = (y * self.width + x) * 4;
+        Color::rgba(
+            self.pixels[i],
+            self.pixels[i + 1],
+            self.pixels[i + 2],
+            self.pixels[i + 3],
+        )
+    }
+
+    /// Source-over blend a pixel; out-of-bounds coordinates are ignored.
+    pub fn blend(&mut self, x: i64, y: i64, c: Color) {
+        if x < 0 || y < 0 || x >= self.width as i64 || y >= self.height as i64 || c.a == 0 {
+            return;
+        }
+        let i = (y as usize * self.width + x as usize) * 4;
+        if c.a == 255 {
+            self.pixels[i] = c.r;
+            self.pixels[i + 1] = c.g;
+            self.pixels[i + 2] = c.b;
+            self.pixels[i + 3] = 255;
+            return;
+        }
+        let a = c.a as u32;
+        let ia = 255 - a;
+        let blend1 = |dst: u8, src: u8| -> u8 { ((src as u32 * a + dst as u32 * ia) / 255) as u8 };
+        self.pixels[i] = blend1(self.pixels[i], c.r);
+        self.pixels[i + 1] = blend1(self.pixels[i + 1], c.g);
+        self.pixels[i + 2] = blend1(self.pixels[i + 2], c.b);
+        self.pixels[i + 3] = self.pixels[i + 3].max(c.a);
+    }
+
+    /// Count pixels whose color differs from `bg` (test helper: "ink").
+    pub fn ink(&self, bg: Color) -> usize {
+        let mut n = 0;
+        for y in 0..self.height {
+            for x in 0..self.width {
+                if self.get(x, y) != bg {
+                    n += 1;
+                }
+            }
+        }
+        n
+    }
+
+    // ------------------------------------------------------------- shapes
+
+    pub fn fill_rect(&mut self, x: f64, y: f64, w: f64, h: f64, c: Color) {
+        let x0 = x.floor().max(0.0) as i64;
+        let y0 = y.floor().max(0.0) as i64;
+        let x1 = ((x + w).ceil() as i64).min(self.width as i64);
+        let y1 = ((y + h).ceil() as i64).min(self.height as i64);
+        for py in y0..y1 {
+            for px in x0..x1 {
+                self.blend(px, py, c);
+            }
+        }
+    }
+
+    pub fn stroke_rect(&mut self, x: f64, y: f64, w: f64, h: f64, c: Color) {
+        self.draw_line(x, y, x + w, y, c);
+        self.draw_line(x + w, y, x + w, y + h, c);
+        self.draw_line(x + w, y + h, x, y + h, c);
+        self.draw_line(x, y + h, x, y, c);
+    }
+
+    /// Bresenham line.
+    pub fn draw_line(&mut self, x0: f64, y0: f64, x1: f64, y1: f64, c: Color) {
+        let (mut x0, mut y0) = (x0.round() as i64, y0.round() as i64);
+        let (x1, y1) = (x1.round() as i64, y1.round() as i64);
+        let dx = (x1 - x0).abs();
+        let dy = -(y1 - y0).abs();
+        let sx = if x0 < x1 { 1 } else { -1 };
+        let sy = if y0 < y1 { 1 } else { -1 };
+        let mut err = dx + dy;
+        loop {
+            self.blend(x0, y0, c);
+            if x0 == x1 && y0 == y1 {
+                break;
+            }
+            let e2 = 2 * err;
+            if e2 >= dy {
+                err += dy;
+                x0 += sx;
+            }
+            if e2 <= dx {
+                err += dx;
+                y0 += sy;
+            }
+        }
+    }
+
+    /// Filled circle by scanline; 1px edge smoothing via alpha.
+    pub fn fill_circle(&mut self, cx: f64, cy: f64, r: f64, c: Color) {
+        if r <= 0.0 {
+            self.blend(cx.round() as i64, cy.round() as i64, c);
+            return;
+        }
+        let y0 = (cy - r).floor() as i64;
+        let y1 = (cy + r).ceil() as i64;
+        let x0 = (cx - r).floor() as i64;
+        let x1 = (cx + r).ceil() as i64;
+        for py in y0..=y1 {
+            for px in x0..=x1 {
+                let dx = px as f64 + 0.5 - cx;
+                let dy = py as f64 + 0.5 - cy;
+                let d = (dx * dx + dy * dy).sqrt();
+                if d <= r - 0.5 {
+                    self.blend(px, py, c);
+                } else if d <= r + 0.5 {
+                    // antialias rim
+                    let cover = (r + 0.5 - d).clamp(0.0, 1.0);
+                    self.blend(px, py, c.with_alpha((c.a as f64 * cover) as u8));
+                }
+            }
+        }
+    }
+
+    pub fn stroke_circle(&mut self, cx: f64, cy: f64, r: f64, c: Color) {
+        // midpoint circle
+        let (cxi, cyi) = (cx.round() as i64, cy.round() as i64);
+        let mut x = r.round() as i64;
+        let mut y = 0i64;
+        let mut err = 0i64;
+        while x >= y {
+            for (px, py) in [
+                (cxi + x, cyi + y),
+                (cxi + y, cyi + x),
+                (cxi - y, cyi + x),
+                (cxi - x, cyi + y),
+                (cxi - x, cyi - y),
+                (cxi - y, cyi - x),
+                (cxi + y, cyi - x),
+                (cxi + x, cyi - y),
+            ] {
+                self.blend(px, py, c);
+            }
+            y += 1;
+            err += 1 + 2 * y;
+            if 2 * (err - x) + 1 > 0 {
+                x -= 1;
+                err += 1 - 2 * x;
+            }
+        }
+    }
+
+    /// Even-odd scanline polygon fill.
+    pub fn fill_polygon(&mut self, points: &[(f64, f64)], c: Color) {
+        if points.len() < 3 {
+            return;
+        }
+        let y_min = points.iter().map(|p| p.1).fold(f64::INFINITY, f64::min);
+        let y_max = points
+            .iter()
+            .map(|p| p.1)
+            .fold(f64::NEG_INFINITY, f64::max);
+        let y0 = y_min.floor().max(0.0) as i64;
+        let y1 = (y_max.ceil() as i64).min(self.height as i64 - 1);
+        let mut xs: Vec<f64> = Vec::with_capacity(8);
+        for py in y0..=y1 {
+            let yc = py as f64 + 0.5;
+            xs.clear();
+            let n = points.len();
+            for i in 0..n {
+                let (x_a, y_a) = points[i];
+                let (x_b, y_b) = points[(i + 1) % n];
+                if (y_a <= yc && y_b > yc) || (y_b <= yc && y_a > yc) {
+                    let t = (yc - y_a) / (y_b - y_a);
+                    xs.push(x_a + t * (x_b - x_a));
+                }
+            }
+            xs.sort_by(|a, b| a.total_cmp(b));
+            for pair in xs.chunks_exact(2) {
+                let sx = pair[0].round().max(0.0) as i64;
+                let ex = (pair[1].round() as i64).min(self.width as i64);
+                for px in sx..ex {
+                    self.blend(px, py, c);
+                }
+            }
+        }
+    }
+
+    pub fn stroke_polygon(&mut self, points: &[(f64, f64)], c: Color) {
+        let n = points.len();
+        for i in 0..n {
+            let (x0, y0) = points[i];
+            let (x1, y1) = points[(i + 1) % n];
+            self.draw_line(x0, y0, x1, y1, c);
+        }
+    }
+
+    /// Draw text with the built-in 5×7 font at an integer scale.
+    pub fn draw_text(&mut self, x: f64, y: f64, text: &str, size: u8, c: Color) {
+        let size = size.max(1) as i64;
+        let mut pen_x = x.round() as i64;
+        let pen_y = y.round() as i64;
+        for ch in text.chars() {
+            let g = glyph(ch);
+            for (row, bits) in g.iter().enumerate() {
+                for col in 0..GLYPH_W {
+                    if bits & (1 << (GLYPH_W - 1 - col)) != 0 {
+                        for sy in 0..size {
+                            for sx in 0..size {
+                                self.blend(
+                                    pen_x + col as i64 * size + sx,
+                                    pen_y + row as i64 * size + sy,
+                                    c,
+                                );
+                            }
+                        }
+                    }
+                }
+            }
+            pen_x += ADVANCE as i64 * size;
+        }
+        let _ = GLYPH_H; // (height is implicit in the glyph table)
+    }
+
+    /// Draw any mark.
+    pub fn draw_mark(&mut self, mark: &Mark) {
+        match mark {
+            Mark::Circle {
+                cx,
+                cy,
+                r,
+                fill,
+                stroke,
+            } => {
+                self.fill_circle(*cx, *cy, *r, *fill);
+                if let Some(s) = stroke {
+                    self.stroke_circle(*cx, *cy, *r, *s);
+                }
+            }
+            Mark::Rect {
+                x,
+                y,
+                w,
+                h,
+                fill,
+                stroke,
+            } => {
+                self.fill_rect(*x, *y, *w, *h, *fill);
+                if let Some(s) = stroke {
+                    self.stroke_rect(*x, *y, *w, *h, *s);
+                }
+            }
+            Mark::Line { x0, y0, x1, y1, color } => self.draw_line(*x0, *y0, *x1, *y1, *color),
+            Mark::Polygon {
+                points,
+                fill,
+                stroke,
+            } => {
+                self.fill_polygon(points, *fill);
+                if let Some(s) = stroke {
+                    self.stroke_polygon(points, *s);
+                }
+            }
+            Mark::Text {
+                x,
+                y,
+                text,
+                color,
+                size,
+            } => self.draw_text(*x, *y, text, *size, *color),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn clear_and_get() {
+        let mut f = Frame::new(4, 4);
+        f.clear(Color::WHITE);
+        assert_eq!(f.get(0, 0), Color::WHITE);
+        assert_eq!(f.ink(Color::WHITE), 0);
+    }
+
+    #[test]
+    fn blend_opaque_and_alpha() {
+        let mut f = Frame::new(2, 1);
+        f.clear(Color::BLACK);
+        f.blend(0, 0, Color::WHITE);
+        assert_eq!(f.get(0, 0), Color::WHITE);
+        f.blend(1, 0, Color::WHITE.with_alpha(128));
+        let c = f.get(1, 0);
+        assert!(c.r > 100 && c.r < 150, "half blend, got {c:?}");
+        // out of bounds is a no-op
+        f.blend(-1, 0, Color::RED);
+        f.blend(0, 99, Color::RED);
+    }
+
+    #[test]
+    fn rect_covers_expected_area() {
+        let mut f = Frame::new(10, 10);
+        f.clear(Color::WHITE);
+        f.fill_rect(2.0, 3.0, 4.0, 2.0, Color::BLACK);
+        assert_eq!(f.ink(Color::WHITE), 8);
+        assert_eq!(f.get(2, 3), Color::BLACK);
+        assert_eq!(f.get(5, 4), Color::BLACK);
+        assert_eq!(f.get(6, 4), Color::WHITE);
+    }
+
+    #[test]
+    fn line_endpoints_drawn() {
+        let mut f = Frame::new(10, 10);
+        f.clear(Color::WHITE);
+        f.draw_line(0.0, 0.0, 9.0, 9.0, Color::BLACK);
+        assert_eq!(f.get(0, 0), Color::BLACK);
+        assert_eq!(f.get(9, 9), Color::BLACK);
+        assert_eq!(f.get(5, 5), Color::BLACK);
+        assert_eq!(f.ink(Color::WHITE), 10);
+    }
+
+    #[test]
+    fn circle_area_reasonable() {
+        let mut f = Frame::new(40, 40);
+        f.clear(Color::WHITE);
+        f.fill_circle(20.0, 20.0, 10.0, Color::BLUE);
+        let ink = f.ink(Color::WHITE);
+        let expected = std::f64::consts::PI * 100.0;
+        assert!(
+            (ink as f64) > expected * 0.85 && (ink as f64) < expected * 1.25,
+            "ink {ink} vs expected {expected:.0}"
+        );
+        assert_eq!(f.get(20, 20), Color::BLUE);
+        assert_eq!(f.get(1, 1), Color::WHITE);
+    }
+
+    #[test]
+    fn polygon_fill_triangle() {
+        let mut f = Frame::new(20, 20);
+        f.clear(Color::WHITE);
+        f.fill_polygon(
+            &[(0.0, 0.0), (19.0, 0.0), (0.0, 19.0)],
+            Color::GREEN,
+        );
+        // inside
+        assert_eq!(f.get(3, 3), Color::GREEN);
+        // outside (opposite corner)
+        assert_eq!(f.get(18, 18), Color::WHITE);
+        // roughly half the square
+        let ink = f.ink(Color::WHITE) as f64;
+        assert!(ink > 120.0 && ink < 240.0, "ink {ink}");
+    }
+
+    #[test]
+    fn degenerate_polygon_ignored() {
+        let mut f = Frame::new(10, 10);
+        f.clear(Color::WHITE);
+        f.fill_polygon(&[(1.0, 1.0), (2.0, 2.0)], Color::RED);
+        assert_eq!(f.ink(Color::WHITE), 0);
+    }
+
+    #[test]
+    fn text_renders_ink() {
+        let mut f = Frame::new(100, 20);
+        f.clear(Color::WHITE);
+        f.draw_text(1.0, 1.0, "KYRIX 42", 1, Color::BLACK);
+        assert!(f.ink(Color::WHITE) > 50);
+        // scale 2 roughly quadruples ink
+        let mut f2 = Frame::new(200, 40);
+        f2.clear(Color::WHITE);
+        f2.draw_text(1.0, 1.0, "KYRIX 42", 2, Color::BLACK);
+        let (a, b) = (f.ink(Color::WHITE), f2.ink(Color::WHITE));
+        assert!(b >= a * 3 && b <= a * 5, "{a} vs {b}");
+    }
+}

@@ -1,0 +1,180 @@
+//! Visual encoding scales (a miniature of D3's scale module).
+
+use crate::color::{Color, Ramp};
+
+/// Linear numeric scale: domain -> range.
+#[derive(Debug, Clone, Copy)]
+pub struct LinearScale {
+    pub d0: f64,
+    pub d1: f64,
+    pub r0: f64,
+    pub r1: f64,
+    pub clamped: bool,
+}
+
+impl LinearScale {
+    pub fn new(d0: f64, d1: f64, r0: f64, r1: f64) -> Self {
+        assert!(d0 != d1, "degenerate scale domain");
+        LinearScale {
+            d0,
+            d1,
+            r0,
+            r1,
+            clamped: false,
+        }
+    }
+
+    pub fn clamped(mut self) -> Self {
+        self.clamped = true;
+        self
+    }
+
+    pub fn apply(&self, v: f64) -> f64 {
+        let mut t = (v - self.d0) / (self.d1 - self.d0);
+        if self.clamped {
+            t = t.clamp(0.0, 1.0);
+        }
+        self.r0 + t * (self.r1 - self.r0)
+    }
+
+    pub fn invert(&self, r: f64) -> f64 {
+        let t = (r - self.r0) / (self.r1 - self.r0);
+        self.d0 + t * (self.d1 - self.d0)
+    }
+}
+
+/// Sqrt scale, the usual choice for mapping magnitudes to mark areas.
+#[derive(Debug, Clone, Copy)]
+pub struct SqrtScale {
+    pub d1: f64,
+    pub r1: f64,
+}
+
+impl SqrtScale {
+    /// Maps [0, d1] to [0, r1] by square root.
+    pub fn new(d1: f64, r1: f64) -> Self {
+        assert!(d1 > 0.0 && r1 > 0.0);
+        SqrtScale { d1, r1 }
+    }
+
+    pub fn apply(&self, v: f64) -> f64 {
+        (v.max(0.0) / self.d1).sqrt() * self.r1
+    }
+}
+
+/// Quantize scale: continuous domain -> discrete buckets.
+#[derive(Debug, Clone)]
+pub struct QuantizeScale {
+    pub d0: f64,
+    pub d1: f64,
+    pub buckets: usize,
+}
+
+impl QuantizeScale {
+    pub fn new(d0: f64, d1: f64, buckets: usize) -> Self {
+        assert!(buckets >= 1 && d1 > d0);
+        QuantizeScale { d0, d1, buckets }
+    }
+
+    /// Bucket index in [0, buckets).
+    pub fn bucket(&self, v: f64) -> usize {
+        let t = ((v - self.d0) / (self.d1 - self.d0)).clamp(0.0, 1.0);
+        ((t * self.buckets as f64) as usize).min(self.buckets - 1)
+    }
+}
+
+/// Continuous color scale over a ramp.
+#[derive(Debug, Clone)]
+pub struct ColorScale {
+    pub d0: f64,
+    pub d1: f64,
+    pub ramp: Ramp,
+}
+
+impl ColorScale {
+    pub fn new(d0: f64, d1: f64, ramp: Ramp) -> Self {
+        assert!(d1 > d0);
+        ColorScale { d0, d1, ramp }
+    }
+
+    pub fn apply(&self, v: f64) -> Color {
+        self.ramp.at((v - self.d0) / (self.d1 - self.d0))
+    }
+}
+
+/// Band scale for categorical axes: n bands over a pixel extent.
+#[derive(Debug, Clone)]
+pub struct BandScale {
+    pub n: usize,
+    pub r0: f64,
+    pub r1: f64,
+    pub padding: f64, // fraction of a band
+}
+
+impl BandScale {
+    pub fn new(n: usize, r0: f64, r1: f64, padding: f64) -> Self {
+        assert!(n >= 1 && r1 > r0 && (0.0..1.0).contains(&padding));
+        BandScale { n, r0, r1, padding }
+    }
+
+    pub fn band_width(&self) -> f64 {
+        let step = (self.r1 - self.r0) / self.n as f64;
+        step * (1.0 - self.padding)
+    }
+
+    /// Left pixel coordinate of band `i`.
+    pub fn position(&self, i: usize) -> f64 {
+        let step = (self.r1 - self.r0) / self.n as f64;
+        self.r0 + step * i as f64 + step * self.padding / 2.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn linear_roundtrip() {
+        let s = LinearScale::new(0.0, 100.0, 0.0, 1000.0);
+        assert_eq!(s.apply(50.0), 500.0);
+        assert_eq!(s.invert(500.0), 50.0);
+        // unclamped extrapolates
+        assert_eq!(s.apply(200.0), 2000.0);
+        assert_eq!(s.clamped().apply(200.0), 1000.0);
+    }
+
+    #[test]
+    fn reversed_range() {
+        // screen y axes are usually flipped
+        let s = LinearScale::new(0.0, 10.0, 100.0, 0.0);
+        assert_eq!(s.apply(0.0), 100.0);
+        assert_eq!(s.apply(10.0), 0.0);
+    }
+
+    #[test]
+    fn quantize_buckets() {
+        let q = QuantizeScale::new(0.0, 1.0, 4);
+        assert_eq!(q.bucket(0.0), 0);
+        assert_eq!(q.bucket(0.26), 1);
+        assert_eq!(q.bucket(0.99), 3);
+        assert_eq!(q.bucket(1.0), 3);
+        assert_eq!(q.bucket(-1.0), 0);
+        assert_eq!(q.bucket(9.0), 3);
+    }
+
+    #[test]
+    fn sqrt_scale_area_encoding() {
+        let s = SqrtScale::new(100.0, 10.0);
+        assert_eq!(s.apply(100.0), 10.0);
+        assert_eq!(s.apply(25.0), 5.0);
+        assert_eq!(s.apply(-5.0), 0.0);
+    }
+
+    #[test]
+    fn band_positions() {
+        let b = BandScale::new(4, 0.0, 100.0, 0.2);
+        assert_eq!(b.band_width(), 20.0);
+        assert_eq!(b.position(0), 2.5);
+        assert_eq!(b.position(3), 77.5);
+    }
+}

@@ -1,0 +1,220 @@
+//! A weighted LRU cache (backend tile/box cache).
+
+use kyrix_storage::fxhash::FxHashMap;
+use std::collections::VecDeque;
+use std::hash::Hash;
+
+/// LRU cache where each entry carries a weight (e.g. tuple count) and the
+/// cache evicts least-recently-used entries once total weight exceeds
+/// capacity. A zero-capacity cache stores nothing.
+pub struct LruCache<K, V> {
+    map: FxHashMap<K, (V, usize, u64)>, // value, weight, stamp
+    order: VecDeque<(u64, K)>,          // stamps (lazy; stale entries skipped)
+    capacity: usize,
+    weight: usize,
+    next_stamp: u64,
+    hits: u64,
+    misses: u64,
+}
+
+impl<K: Hash + Eq + Clone, V> LruCache<K, V> {
+    pub fn new(capacity: usize) -> Self {
+        LruCache {
+            map: FxHashMap::default(),
+            order: VecDeque::new(),
+            capacity,
+            weight: 0,
+            next_stamp: 0,
+            hits: 0,
+            misses: 0,
+        }
+    }
+
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+
+    pub fn weight(&self) -> usize {
+        self.weight
+    }
+
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// (hits, misses) since creation or the last `reset_stats`.
+    pub fn stats(&self) -> (u64, u64) {
+        (self.hits, self.misses)
+    }
+
+    pub fn reset_stats(&mut self) {
+        self.hits = 0;
+        self.misses = 0;
+    }
+
+    fn touch(&mut self, key: &K) {
+        let stamp = self.next_stamp;
+        self.next_stamp += 1;
+        if let Some(entry) = self.map.get_mut(key) {
+            entry.2 = stamp;
+            self.order.push_back((stamp, key.clone()));
+        }
+    }
+
+    /// Look up and mark as recently used.
+    pub fn get(&mut self, key: &K) -> Option<&V> {
+        if self.map.contains_key(key) {
+            self.hits += 1;
+            self.touch(key);
+            self.map.get(key).map(|(v, _, _)| v)
+        } else {
+            self.misses += 1;
+            None
+        }
+    }
+
+    /// Check presence without stats/recency effects.
+    pub fn peek(&self, key: &K) -> Option<&V> {
+        self.map.get(key).map(|(v, _, _)| v)
+    }
+
+    /// Insert an entry with a weight; evicts LRU entries as needed.
+    /// Entries heavier than the whole capacity are not stored.
+    pub fn insert(&mut self, key: K, value: V, weight: usize) {
+        if self.capacity == 0 || weight > self.capacity {
+            return;
+        }
+        if let Some((_, w, _)) = self.map.remove(&key) {
+            self.weight -= w;
+        }
+        let stamp = self.next_stamp;
+        self.next_stamp += 1;
+        self.map.insert(key.clone(), (value, weight, stamp));
+        self.order.push_back((stamp, key));
+        self.weight += weight;
+        self.evict();
+    }
+
+    fn evict(&mut self) {
+        while self.weight > self.capacity {
+            let Some((stamp, key)) = self.order.pop_front() else {
+                return;
+            };
+            // skip stale order entries (the key was touched again later)
+            match self.map.get(&key) {
+                Some((_, _, live_stamp)) if *live_stamp == stamp => {
+                    let (_, w, _) = self.map.remove(&key).expect("checked");
+                    self.weight -= w;
+                }
+                _ => {}
+            }
+        }
+    }
+
+    pub fn remove(&mut self, key: &K) -> Option<V> {
+        self.map.remove(key).map(|(v, w, _)| {
+            self.weight -= w;
+            v
+        })
+    }
+
+    pub fn clear(&mut self) {
+        self.map.clear();
+        self.order.clear();
+        self.weight = 0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn basic_insert_get() {
+        let mut c: LruCache<u32, &str> = LruCache::new(10);
+        c.insert(1, "one", 1);
+        c.insert(2, "two", 1);
+        assert_eq!(c.get(&1), Some(&"one"));
+        assert_eq!(c.get(&3), None);
+        assert_eq!(c.stats(), (1, 1));
+    }
+
+    #[test]
+    fn evicts_lru_by_weight() {
+        let mut c: LruCache<u32, u32> = LruCache::new(10);
+        for i in 0..10 {
+            c.insert(i, i, 1);
+        }
+        assert_eq!(c.len(), 10);
+        // touch 0 so 1 becomes LRU
+        c.get(&0);
+        c.insert(100, 100, 1);
+        assert!(c.peek(&0).is_some(), "recently used survives");
+        assert!(c.peek(&1).is_none(), "LRU evicted");
+        assert_eq!(c.weight(), 10);
+    }
+
+    #[test]
+    fn heavy_entries_evict_many() {
+        let mut c: LruCache<u32, ()> = LruCache::new(10);
+        for i in 0..10 {
+            c.insert(i, (), 1);
+        }
+        c.insert(99, (), 8);
+        assert!(c.weight() <= 10);
+        assert!(c.peek(&99).is_some());
+        assert!(c.len() <= 3);
+    }
+
+    #[test]
+    fn oversized_entry_rejected() {
+        let mut c: LruCache<u32, ()> = LruCache::new(5);
+        c.insert(1, (), 6);
+        assert!(c.is_empty());
+        // zero capacity stores nothing
+        let mut z: LruCache<u32, ()> = LruCache::new(0);
+        z.insert(1, (), 0);
+        assert!(z.peek(&1).is_none());
+    }
+
+    #[test]
+    fn reinsert_updates_weight() {
+        let mut c: LruCache<u32, &str> = LruCache::new(10);
+        c.insert(1, "a", 4);
+        c.insert(1, "b", 2);
+        assert_eq!(c.weight(), 2);
+        assert_eq!(c.peek(&1), Some(&"b"));
+        assert_eq!(c.len(), 1);
+    }
+
+    #[test]
+    fn remove_and_clear() {
+        let mut c: LruCache<u32, u32> = LruCache::new(10);
+        c.insert(1, 10, 3);
+        assert_eq!(c.remove(&1), Some(10));
+        assert_eq!(c.weight(), 0);
+        c.insert(2, 20, 3);
+        c.clear();
+        assert!(c.is_empty());
+        assert_eq!(c.weight(), 0);
+    }
+
+    #[test]
+    fn stale_order_entries_skipped() {
+        let mut c: LruCache<u32, u32> = LruCache::new(3);
+        c.insert(1, 1, 1);
+        c.insert(2, 2, 1);
+        // touch 1 many times to generate stale order records
+        for _ in 0..5 {
+            c.get(&1);
+        }
+        c.insert(3, 3, 1);
+        c.insert(4, 4, 1); // must evict 2 (the true LRU), not 1
+        assert!(c.peek(&1).is_some());
+        assert!(c.peek(&2).is_none());
+    }
+}

@@ -1,0 +1,149 @@
+//! Dynamic boxes (paper Figure 4b and §3.1): request an enclosing box of
+//! the viewport whose size and location change dynamically.
+
+use kyrix_storage::Rect;
+
+/// How the backend computes the dynamic box for a viewport.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum BoxPolicy {
+    /// The paper's `Dbox`: the box is exactly the viewport.
+    Exact,
+    /// The paper's `Dbox 50%`: each dimension inflated by the fraction
+    /// (0.5 → box is 50% wider and taller than the viewport).
+    PctLarger(f64),
+    /// The paper's sparsity argument (§3.1 reason 3): grow the box in
+    /// sparse regions, shrink toward the viewport in dense regions so the
+    /// box never holds more than `target_tuples`.
+    DensityAdaptive {
+        /// Upper bound on tuples the box should contain.
+        target_tuples: usize,
+        /// Largest inflation fraction to consider.
+        max_pct: f64,
+    },
+}
+
+impl BoxPolicy {
+    /// Compute the dynamic box for `viewport`, clamped to the canvas.
+    /// `count_estimate` estimates how many tuples a rectangle contains
+    /// (e.g. an R-tree count); only `DensityAdaptive` uses it.
+    pub fn compute(
+        &self,
+        viewport: &Rect,
+        canvas: &Rect,
+        count_estimate: Option<&dyn Fn(&Rect) -> usize>,
+    ) -> Rect {
+        match self {
+            BoxPolicy::Exact => viewport.clamp_within(canvas),
+            BoxPolicy::PctLarger(pct) => viewport
+                .inflate_frac(pct / 2.0, pct / 2.0)
+                .clamp_within(canvas),
+            BoxPolicy::DensityAdaptive {
+                target_tuples,
+                max_pct,
+            } => {
+                let Some(count) = count_estimate else {
+                    // no estimator available: behave like PctLarger(max)
+                    return viewport
+                        .inflate_frac(max_pct / 2.0, max_pct / 2.0)
+                        .clamp_within(canvas);
+                };
+                // try inflations from largest to none; pick the first whose
+                // tuple count fits the budget (always return at least the
+                // viewport itself)
+                let steps = 5;
+                for i in (0..=steps).rev() {
+                    let pct = max_pct * i as f64 / steps as f64;
+                    let candidate = viewport
+                        .inflate_frac(pct / 2.0, pct / 2.0)
+                        .clamp_within(canvas);
+                    if i == 0 || count(&candidate) <= *target_tuples {
+                        return candidate;
+                    }
+                }
+                viewport.clamp_within(canvas)
+            }
+        }
+    }
+
+    /// Short display name matching the paper's legend.
+    pub fn label(&self) -> String {
+        match self {
+            BoxPolicy::Exact => "dbox".to_string(),
+            BoxPolicy::PctLarger(p) => format!("dbox {:.0}%", p * 100.0),
+            BoxPolicy::DensityAdaptive { target_tuples, .. } => {
+                format!("dbox adaptive({target_tuples})")
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn canvas() -> Rect {
+        Rect::new(0.0, 0.0, 10_000.0, 10_000.0)
+    }
+
+    #[test]
+    fn exact_is_viewport() {
+        let vp = Rect::new(100.0, 100.0, 1124.0, 1124.0);
+        assert_eq!(BoxPolicy::Exact.compute(&vp, &canvas(), None), vp);
+    }
+
+    #[test]
+    fn pct_larger_inflates_50pct() {
+        let vp = Rect::centered(5000.0, 5000.0, 1000.0, 1000.0);
+        let b = BoxPolicy::PctLarger(0.5).compute(&vp, &canvas(), None);
+        assert_eq!(b.width(), 1500.0);
+        assert_eq!(b.height(), 1500.0);
+        assert!(b.contains(&vp));
+        assert_eq!(b.center(), vp.center());
+    }
+
+    #[test]
+    fn boxes_clamped_to_canvas() {
+        let vp = Rect::new(-100.0, -100.0, 900.0, 900.0);
+        let b = BoxPolicy::PctLarger(0.5).compute(&vp, &canvas(), None);
+        assert!(b.min_x >= 0.0 && b.min_y >= 0.0);
+        assert_eq!(b.width(), 1500.0);
+    }
+
+    #[test]
+    fn adaptive_shrinks_in_dense_regions() {
+        let vp = Rect::centered(5000.0, 5000.0, 1000.0, 1000.0);
+        // pretend density is proportional to area: 1 tuple per 1000 units²
+        let estimate = |r: &Rect| (r.area() / 1000.0) as usize;
+        let policy = BoxPolicy::DensityAdaptive {
+            target_tuples: 1200,
+            max_pct: 1.0,
+        };
+        let b = policy.compute(&vp, &canvas(), Some(&estimate));
+        // 1000x1000 = 1000 tuples fits; 1100x1100 = 1210 does not
+        assert!(b.contains(&vp));
+        assert!(estimate(&b) <= 1200 || b == vp.clamp_within(&canvas()));
+
+        // sparse region: grows to the max
+        let sparse = |_: &Rect| 0usize;
+        let b2 = policy.compute(&vp, &canvas(), Some(&sparse));
+        assert_eq!(b2.width(), 2000.0);
+    }
+
+    #[test]
+    fn adaptive_returns_viewport_when_everything_is_dense() {
+        let vp = Rect::centered(5000.0, 5000.0, 1000.0, 1000.0);
+        let too_dense = |_: &Rect| usize::MAX;
+        let policy = BoxPolicy::DensityAdaptive {
+            target_tuples: 10,
+            max_pct: 1.0,
+        };
+        let b = policy.compute(&vp, &canvas(), Some(&too_dense));
+        assert_eq!(b, vp);
+    }
+
+    #[test]
+    fn labels() {
+        assert_eq!(BoxPolicy::Exact.label(), "dbox");
+        assert_eq!(BoxPolicy::PctLarger(0.5).label(), "dbox 50%");
+    }
+}

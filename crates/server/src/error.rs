@@ -1,0 +1,41 @@
+//! Server-side errors.
+
+use std::fmt;
+
+/// Errors from the Kyrix backend.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ServerError {
+    Storage(kyrix_storage::StorageError),
+    Core(kyrix_core::CoreError),
+    /// Misconfiguration (e.g. box fetch on a tile-mapping store).
+    Config(String),
+    /// Unknown canvas/layer in a request.
+    BadRequest(String),
+}
+
+impl fmt::Display for ServerError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ServerError::Storage(e) => write!(f, "storage: {e}"),
+            ServerError::Core(e) => write!(f, "core: {e}"),
+            ServerError::Config(m) => write!(f, "config: {m}"),
+            ServerError::BadRequest(m) => write!(f, "bad request: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for ServerError {}
+
+impl From<kyrix_storage::StorageError> for ServerError {
+    fn from(e: kyrix_storage::StorageError) -> Self {
+        ServerError::Storage(e)
+    }
+}
+
+impl From<kyrix_core::CoreError> for ServerError {
+    fn from(e: kyrix_core::CoreError) -> Self {
+        ServerError::Core(e)
+    }
+}
+
+pub type Result<T> = std::result::Result<T, ServerError>;

@@ -1,0 +1,197 @@
+//! Fetch primitives: one SQL round trip per call, against a layer store.
+
+use crate::error::{Result, ServerError};
+use crate::metrics::FetchMetrics;
+use crate::precompute::LayerStore;
+use crate::tile::{TileId, Tiling};
+use kyrix_storage::{Database, Rect, Row, Value};
+use std::time::Instant;
+
+/// Map a canvas-space rectangle to the raw-data domain through the inverse
+/// placement affines, expanding by the constant object extent so objects
+/// whose box pokes into the rectangle are included.
+fn raw_query_rect(
+    rect: &Rect,
+    x_affine: &kyrix_expr::Affine,
+    y_affine: &kyrix_expr::Affine,
+    obj_w: f64,
+    obj_h: f64,
+) -> Result<Rect> {
+    let inv = |a: &kyrix_expr::Affine, v: f64| -> Result<f64> {
+        a.invert(v).ok_or_else(|| {
+            ServerError::Config("separable placement with zero scale".to_string())
+        })
+    };
+    let x0 = inv(x_affine, rect.min_x - obj_w / 2.0)?;
+    let x1 = inv(x_affine, rect.max_x + obj_w / 2.0)?;
+    let y0 = inv(y_affine, rect.min_y - obj_h / 2.0)?;
+    let y1 = inv(y_affine, rect.max_y + obj_h / 2.0)?;
+    Ok(Rect::new(x0.min(x1), y0.min(y1), x0.max(x1), y0.max(y1)))
+}
+
+/// Fetch all layer rows intersecting a canvas rectangle with one query.
+/// Valid for spatial-index-backed stores (paper: dynamic boxes always use
+/// the spatial design; spatial static tiles also route through this).
+pub fn fetch_rect(db: &Database, store: &LayerStore, rect: &Rect) -> Result<(Vec<Row>, FetchMetrics)> {
+    match store {
+        LayerStore::Static => Ok((Vec::new(), FetchMetrics::default())),
+        LayerStore::Spatial { table, .. } => {
+            let sql = format!("SELECT * FROM {table} WHERE bbox && rect($1, $2, $3, $4)");
+            run_query(
+                db,
+                &sql,
+                &[
+                    Value::Float(rect.min_x),
+                    Value::Float(rect.min_y),
+                    Value::Float(rect.max_x),
+                    Value::Float(rect.max_y),
+                ],
+            )
+        }
+        LayerStore::SeparableRaw {
+            table,
+            layout,
+            x_affine,
+            y_affine,
+            obj_w,
+            obj_h,
+        } => {
+            let raw = raw_query_rect(rect, x_affine, y_affine, *obj_w, *obj_h)?;
+            let sql = format!("SELECT * FROM {table} WHERE bbox && rect($1, $2, $3, $4)");
+            let (raw_rows, mut metrics) = run_query(
+                db,
+                &sql,
+                &[
+                    Value::Float(raw.min_x),
+                    Value::Float(raw.min_y),
+                    Value::Float(raw.max_x),
+                    Value::Float(raw.max_y),
+                ],
+            )?;
+            // synthesize the standard layer row layout: raw row values are
+            // exactly the transform output (SELECT *, no derived columns).
+            // Resolve the affine variable columns once, not per row.
+            let _ = layout;
+            let schema = &db.table(table)?.schema;
+            let x_idx = schema.index_of(x_affine.var.as_deref().unwrap_or_default())?;
+            let y_idx = schema.index_of(y_affine.var.as_deref().unwrap_or_default())?;
+            let mut rows = Vec::with_capacity(raw_rows.len());
+            let mut bytes = 0u64;
+            for (i, raw_row) in raw_rows.into_iter().enumerate() {
+                let cx = x_affine.apply(raw_row.get(x_idx).as_f64()?);
+                let cy = y_affine.apply(raw_row.get(y_idx).as_f64()?);
+                let bbox = Rect::centered(cx, cy, *obj_w, *obj_h);
+                let mut values = raw_row.values;
+                values.extend([
+                    Value::Float(cx),
+                    Value::Float(cy),
+                    Value::Float(bbox.min_x),
+                    Value::Float(bbox.min_y),
+                    Value::Float(bbox.max_x),
+                    Value::Float(bbox.max_y),
+                    Value::Int(i as i64),
+                ]);
+                let row = Row::new(values);
+                bytes += row.wire_size() as u64;
+                rows.push(row);
+            }
+            metrics.rows = rows.len() as u64;
+            metrics.bytes = bytes;
+            Ok((rows, metrics))
+        }
+        LayerStore::TileMapping { .. } => Err(ServerError::Config(
+            "rectangle fetch requires a spatial store (dynamic boxes always \
+             use the spatial design)"
+                .to_string(),
+        )),
+    }
+}
+
+/// Fetch one tile's rows with one query.
+pub fn fetch_tile(
+    db: &Database,
+    store: &LayerStore,
+    tiling: Tiling,
+    tile: TileId,
+) -> Result<(Vec<Row>, FetchMetrics)> {
+    match store {
+        LayerStore::Static => Ok((Vec::new(), FetchMetrics::default())),
+        LayerStore::TileMapping {
+            record_table,
+            mapping_table,
+            tiling: store_tiling,
+            ..
+        } => {
+            if (store_tiling.size - tiling.size).abs() > f64::EPSILON {
+                return Err(ServerError::Config(format!(
+                    "tile size mismatch: store has {}, request uses {}",
+                    store_tiling.size, tiling.size
+                )));
+            }
+            let sql = format!(
+                "SELECT r.* FROM {mapping_table} m JOIN {record_table} r \
+                 ON m.tuple_id = r.tuple_id WHERE m.tile_id = $1"
+            );
+            run_query(db, &sql, &[Value::Int(tile.key())])
+        }
+        LayerStore::Spatial { .. } | LayerStore::SeparableRaw { .. } => {
+            fetch_rect(db, store, &tiling.tile_rect(tile))
+        }
+    }
+}
+
+/// Count (without fetching) the layer objects intersecting a rectangle;
+/// used by the density-adaptive box policy.
+pub fn count_rect(db: &Database, store: &LayerStore, rect: &Rect) -> Result<usize> {
+    match store {
+        LayerStore::Static => Ok(0),
+        LayerStore::Spatial { table, .. } => {
+            let t = db.table(table)?;
+            let idx = t
+                .indexes()
+                .position(|i| matches!(i.kind, kyrix_storage::IndexKind::Spatial(_)))
+                .ok_or_else(|| ServerError::Config("spatial store lost its index".into()))?;
+            let mut n = 0;
+            t.probe_spatial(idx, rect, |_| n += 1);
+            Ok(n)
+        }
+        LayerStore::SeparableRaw {
+            table,
+            x_affine,
+            y_affine,
+            obj_w,
+            obj_h,
+            ..
+        } => {
+            let raw = raw_query_rect(rect, x_affine, y_affine, *obj_w, *obj_h)?;
+            let t = db.table(table)?;
+            let idx = t
+                .indexes()
+                .position(|i| matches!(i.kind, kyrix_storage::IndexKind::Spatial(_)))
+                .ok_or_else(|| ServerError::Config("raw table lost its spatial index".into()))?;
+            let mut n = 0;
+            t.probe_spatial(idx, &raw, |_| n += 1);
+            Ok(n)
+        }
+        LayerStore::TileMapping { .. } => Err(ServerError::Config(
+            "count_rect requires a spatial store".to_string(),
+        )),
+    }
+}
+
+/// Run one SQL query, timing it and extracting metrics.
+fn run_query(db: &Database, sql: &str, params: &[Value]) -> Result<(Vec<Row>, FetchMetrics)> {
+    let start = Instant::now();
+    let result = db.query(sql, params)?;
+    let db_ms = start.elapsed().as_secs_f64() * 1000.0;
+    let metrics = FetchMetrics {
+        requests: 0, // the caller (server) counts frontend requests
+        queries: 1,
+        db_ms,
+        rows: result.rows.len() as u64,
+        bytes: result.stats.bytes_out,
+        cache_hits: 0,
+        cache_misses: 0,
+    };
+    Ok((result.rows, metrics))
+}

@@ -1,0 +1,42 @@
+//! `kyrix-server`: the Kyrix backend (paper Figure 1).
+//!
+//! Implements the paper's §3 interactivity machinery:
+//! * static **tiling** and the two database designs behind it
+//!   (spatial index / tuple–tile mapping) — [`tile`], [`precompute`];
+//! * the novel **dynamic box** fetching granularity with exact, inflated
+//!   and density-adaptive policies — [`dbox`];
+//! * §3.2 **separability**: precomputation is skipped for layers whose
+//!   placement is an affine of raw indexed attributes;
+//! * backend **LRU caches** for tiles and boxes — [`cache`];
+//! * **momentum-based prefetching** (the paper's §4 future work,
+//!   implemented) — [`prefetch`];
+//! * an explicit, configurable **cost model** for the network/DBMS
+//!   overheads that an in-process reproduction does not naturally pay —
+//!   [`cost`].
+
+pub mod cache;
+pub mod cost;
+pub mod dbox;
+pub mod error;
+pub mod fetch;
+pub mod metrics;
+pub mod precompute;
+pub mod prefetch;
+pub mod server;
+pub mod tile;
+
+pub use cache::LruCache;
+pub use cost::CostModel;
+pub use dbox::BoxPolicy;
+pub use error::{Result, ServerError};
+pub use fetch::{count_rect, fetch_rect, fetch_tile};
+pub use metrics::FetchMetrics;
+pub use precompute::{
+    precompute_layer, FetchPlan, LayerRowLayout, LayerStore, PrecomputeReport, TileDesign,
+};
+pub use prefetch::{
+    neighbor_rects, predict_viewports, rank_by_similarity, MomentumTracker, RegionSignature,
+    SemanticTracker,
+};
+pub use server::{BoxResponse, KyrixServer, PrefetchPolicy, ServerConfig, TileResponse};
+pub use tile::{TileId, Tiling};

@@ -1,0 +1,77 @@
+//! Fetch metrics: the inputs to the response-time accounting.
+
+use crate::cost::CostModel;
+
+/// Metrics for one fetch operation (or an aggregate of many).
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct FetchMetrics {
+    /// Frontend↔backend requests issued.
+    pub requests: u64,
+    /// DBMS queries executed (0 when served from the backend cache).
+    pub queries: u64,
+    /// Measured DBMS execution time, ms.
+    pub db_ms: f64,
+    /// Tuples returned.
+    pub rows: u64,
+    /// Wire bytes returned.
+    pub bytes: u64,
+    /// Backend cache hits / misses.
+    pub cache_hits: u64,
+    pub cache_misses: u64,
+}
+
+impl FetchMetrics {
+    pub fn merge(&mut self, other: &FetchMetrics) {
+        self.requests += other.requests;
+        self.queries += other.queries;
+        self.db_ms += other.db_ms;
+        self.rows += other.rows;
+        self.bytes += other.bytes;
+        self.cache_hits += other.cache_hits;
+        self.cache_misses += other.cache_misses;
+    }
+
+    /// Modeled end-to-end time: measured DB time plus modeled network and
+    /// per-query overheads (see DESIGN.md §4.3).
+    pub fn modeled_ms(&self, cost: &CostModel) -> f64 {
+        self.db_ms + cost.cost_ms(self.requests, self.queries, self.bytes)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn merge_adds_everything() {
+        let mut a = FetchMetrics {
+            requests: 1,
+            queries: 1,
+            db_ms: 2.0,
+            rows: 10,
+            bytes: 100,
+            cache_hits: 0,
+            cache_misses: 1,
+        };
+        let b = a;
+        a.merge(&b);
+        assert_eq!(a.requests, 2);
+        assert_eq!(a.db_ms, 4.0);
+        assert_eq!(a.cache_misses, 2);
+    }
+
+    #[test]
+    fn modeled_time_includes_overheads() {
+        let m = FetchMetrics {
+            requests: 4,
+            queries: 4,
+            db_ms: 10.0,
+            bytes: 200_000,
+            ..Default::default()
+        };
+        let cost = CostModel::paper_default();
+        // 10 + 4*1 + 4*2 + 1
+        assert!((m.modeled_ms(&cost) - 23.0).abs() < 1e-9);
+        assert_eq!(m.modeled_ms(&CostModel::zero()), 10.0);
+    }
+}

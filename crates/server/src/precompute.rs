@@ -1,0 +1,421 @@
+//! Backend precomputation (paper §3.1 "Database Design and Indexing" and
+//! §3.2 "Separability").
+//!
+//! For each non-static layer, the backend materializes a *layer table*
+//! holding the transform output plus placement-derived geometry columns,
+//! then builds the index structures the configured fetch plan needs:
+//!
+//! * **Spatial design** — an R-tree over the per-object bounding boxes;
+//!   serves both dynamic boxes and spatially-indexed static tiles.
+//! * **Tuple–tile mapping design** — a `(tuple_id, tile_id)` side table with
+//!   a B-tree on `tile_id` and a hash index on the record table's
+//!   `tuple_id`; tile queries run as index joins.
+//!
+//! When a layer's placement is *separable* (§3.2) and the raw table already
+//! has a spatial index on the placement columns, precomputation is skipped
+//! entirely and fetches run against the raw table through the placement's
+//! affine inverse.
+
+use crate::dbox::BoxPolicy;
+use crate::error::{Result, ServerError};
+use crate::tile::{TileId, Tiling};
+use kyrix_core::CompiledLayer;
+use kyrix_expr::Affine;
+use kyrix_storage::{
+    sql, DataType, Database, IndexKind, Rect, Row, Schema, SpatialCols, Value,
+};
+use std::time::{Duration, Instant};
+
+/// Which database design backs static tiles (paper §3.1).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TileDesign {
+    /// Spatial index on per-object bounding boxes.
+    SpatialIndex,
+    /// Record table + (tuple_id, tile_id) mapping table with B-tree/hash.
+    TupleTileMapping,
+}
+
+/// The fetch scheme an application is served with.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum FetchPlan {
+    /// Dynamic boxes (always spatial-index-backed).
+    DynamicBox { policy: BoxPolicy },
+    /// Fixed-size static tiles.
+    StaticTiles { size: f64, design: TileDesign },
+}
+
+impl FetchPlan {
+    /// Legend label matching the paper's Figures 6–7.
+    pub fn label(&self) -> String {
+        match self {
+            FetchPlan::DynamicBox { policy } => policy.label(),
+            FetchPlan::StaticTiles { size, design } => match design {
+                TileDesign::SpatialIndex => format!("tile spatial {}", *size as u64),
+                TileDesign::TupleTileMapping => format!("tile mapping {}", *size as u64),
+            },
+        }
+    }
+}
+
+/// Accessors into layer-table rows: `data columns ++ [cx, cy, minx, miny,
+/// maxx, maxy, tuple_id]`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LayerRowLayout {
+    /// Number of transform (data) columns preceding the geometry columns.
+    pub n_data_cols: usize,
+}
+
+impl LayerRowLayout {
+    pub fn cx(&self, row: &Row) -> f64 {
+        row.get(self.n_data_cols).as_f64().unwrap_or(0.0)
+    }
+
+    pub fn cy(&self, row: &Row) -> f64 {
+        row.get(self.n_data_cols + 1).as_f64().unwrap_or(0.0)
+    }
+
+    pub fn bbox(&self, row: &Row) -> Rect {
+        let g = |i: usize| row.get(self.n_data_cols + i).as_f64().unwrap_or(0.0);
+        Rect::new(g(2), g(3), g(4), g(5))
+    }
+
+    pub fn tuple_id(&self, row: &Row) -> i64 {
+        row.get(self.n_data_cols + 6).as_i64().unwrap_or(-1)
+    }
+
+    /// Total row width.
+    pub fn width(&self) -> usize {
+        self.n_data_cols + 7
+    }
+}
+
+/// How a layer's data is physically fetched.
+#[derive(Debug, Clone)]
+pub enum LayerStore {
+    /// Static layer: no data fetching.
+    Static,
+    /// Layer table with a spatial index over bounding boxes.
+    Spatial {
+        table: String,
+        layout: LayerRowLayout,
+    },
+    /// Separable skip path: query the raw table's spatial index directly,
+    /// mapping canvas rectangles through the placement's affine inverses.
+    SeparableRaw {
+        table: String,
+        layout: LayerRowLayout,
+        x_affine: Affine,
+        y_affine: Affine,
+        /// Constant object extent in canvas units.
+        obj_w: f64,
+        obj_h: f64,
+    },
+    /// Record + mapping tables (tuple–tile design).
+    TileMapping {
+        record_table: String,
+        mapping_table: String,
+        tiling: Tiling,
+        layout: LayerRowLayout,
+    },
+}
+
+impl LayerStore {
+    pub fn layout(&self) -> Option<LayerRowLayout> {
+        match self {
+            LayerStore::Static => None,
+            LayerStore::Spatial { layout, .. }
+            | LayerStore::SeparableRaw { layout, .. }
+            | LayerStore::TileMapping { layout, .. } => Some(*layout),
+        }
+    }
+}
+
+/// What precomputation did for one layer.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PrecomputeReport {
+    pub canvas: String,
+    pub layer: usize,
+    pub rows: usize,
+    pub elapsed: Duration,
+    /// True when the §3.2 separable path skipped materialization.
+    pub skipped_separable: bool,
+}
+
+/// Sanitized physical table name for a layer.
+fn layer_table_name(app: &str, canvas: &str, layer: usize) -> String {
+    let clean = |s: &str| -> String {
+        s.chars()
+            .map(|c| if c.is_ascii_alphanumeric() { c } else { '_' })
+            .collect()
+    };
+    format!("k_{}_{}_l{layer}", clean(app), clean(canvas))
+}
+
+/// Check the §3.2 separable fast path: placement separable, no derived
+/// columns, transform is `SELECT * FROM raw`, and the raw table has a point
+/// spatial index on exactly the placement columns.
+fn separable_store(db: &Database, layer: &CompiledLayer) -> Option<LayerStore> {
+    let placement = layer.placement.as_ref()?;
+    let sep = placement.separability.as_ref()?;
+    if !layer.transform.derived.is_empty() {
+        return None;
+    }
+    let sql_text = layer.transform.query.as_deref()?;
+    let stmt = sql::parse(sql_text).ok()?;
+    let simple = stmt.items == vec![sql::SelectItem::Star]
+        && stmt.join.is_none()
+        && stmt.where_clause.is_none()
+        && stmt.group_by.is_empty()
+        && stmt.having.is_none()
+        && stmt.order_by.is_empty()
+        && stmt.limit.is_none()
+        && stmt.offset.is_none();
+    if !simple {
+        return None;
+    }
+    let table = db.table(&stmt.from.table).ok()?;
+    let has_matching_index = table.indexes().any(|i| {
+        matches!(
+            &i.kind,
+            IndexKind::Spatial(SpatialCols::Point { x, y })
+                if *x == sep.x_column && *y == sep.y_column
+        )
+    });
+    if !has_matching_index {
+        return None;
+    }
+    // constant object extent (checked by the separability analysis, but the
+    // numeric values are needed here)
+    let obj_w = placement.width.eval_f64(&[]).ok()?;
+    let obj_h = placement.height.eval_f64(&[]).ok()?;
+    Some(LayerStore::SeparableRaw {
+        table: stmt.from.table.clone(),
+        layout: LayerRowLayout {
+            n_data_cols: layer.transform.columns.len(),
+        },
+        x_affine: sep.x_affine.clone(),
+        y_affine: sep.y_affine.clone(),
+        obj_w,
+        obj_h,
+    })
+}
+
+/// Create an index unless one with this name already exists.
+fn ensure_index(db: &mut Database, table: &str, name: &str, kind: IndexKind) -> Result<()> {
+    let exists = db.table(table)?.indexes().any(|i| i.name == name);
+    if !exists {
+        db.create_index(table, name, kind)?;
+    }
+    Ok(())
+}
+
+/// Materialize the layer table (data columns ++ geometry ++ tuple_id) if it
+/// does not exist yet; returns (table name, layout, row count).
+fn materialize_layer(
+    db: &mut Database,
+    layer: &CompiledLayer,
+    app_name: &str,
+) -> Result<(String, LayerRowLayout, usize)> {
+    let table = layer_table_name(app_name, &layer.canvas_id, layer.layer_index);
+    let layout = LayerRowLayout {
+        n_data_cols: layer.transform.columns.len(),
+    };
+    if db.has_table(&table) {
+        let n = db.table(&table)?.len();
+        return Ok((table, layout, n));
+    }
+    let rows = layer.transform.run(db)?;
+
+    // schema: base columns, derived columns (types inferred from the first
+    // row, defaulting to FLOAT), then geometry + tuple_id
+    let mut schema = Schema::empty();
+    for c in layer.transform.base_schema.columns() {
+        schema = schema.with(c.name.clone(), c.dtype);
+    }
+    let base_n = layer.transform.base_schema.len();
+    for (i, (name, _)) in layer.transform.derived.iter().enumerate() {
+        let dtype = rows
+            .first()
+            .and_then(|r| r.get(base_n + i).data_type())
+            .unwrap_or(DataType::Float);
+        schema = schema.with(name.clone(), dtype);
+    }
+    for g in ["cx", "cy", "minx", "miny", "maxx", "maxy"] {
+        schema = schema.with(g, DataType::Float);
+    }
+    schema = schema.with("tuple_id", DataType::Int);
+
+    db.create_table(&table, schema)?;
+    for (tuple_id, row) in rows.into_iter().enumerate() {
+        let (cx, cy, w, h) = layer.place(&row)?;
+        let bbox = Rect::centered(cx, cy, w, h);
+        let mut values = row.values;
+        values.extend([
+            Value::Float(cx),
+            Value::Float(cy),
+            Value::Float(bbox.min_x),
+            Value::Float(bbox.min_y),
+            Value::Float(bbox.max_x),
+            Value::Float(bbox.max_y),
+            Value::Int(tuple_id as i64),
+        ]);
+        db.insert(&table, Row::new(values))?;
+    }
+    let n = db.table(&table)?.len();
+    Ok((table, layout, n))
+}
+
+/// Build the mapping table for a tile size; returns its name.
+fn build_mapping(
+    db: &mut Database,
+    record_table: &str,
+    layout: LayerRowLayout,
+    tiling: Tiling,
+) -> Result<String> {
+    let mapping_table = format!("{record_table}_map{}", tiling.size as u64);
+    if db.has_table(&mapping_table) {
+        return Ok(mapping_table);
+    }
+    // collect (tuple_id, tile) pairs from the record table
+    let mut pairs: Vec<(i64, TileId)> = Vec::new();
+    db.table(record_table)?.scan(|_, row| {
+        let tid = layout.tuple_id(&row);
+        let bbox = layout.bbox(&row);
+        for tile in tiling.covering(&bbox) {
+            pairs.push((tid, tile));
+        }
+    })?;
+    db.create_table(
+        &mapping_table,
+        Schema::empty()
+            .with("tuple_id", DataType::Int)
+            .with("tile_id", DataType::Int),
+    )?;
+    for (tid, tile) in pairs {
+        db.insert(
+            &mapping_table,
+            Row::new(vec![Value::Int(tid), Value::Int(tile.key())]),
+        )?;
+    }
+    ensure_index(
+        db,
+        &mapping_table,
+        "bt_tile",
+        IndexKind::BTree {
+            column: "tile_id".into(),
+        },
+    )?;
+    ensure_index(
+        db,
+        record_table,
+        "h_tuple",
+        IndexKind::Hash {
+            column: "tuple_id".into(),
+        },
+    )?;
+    Ok(mapping_table)
+}
+
+/// Precompute one layer for a fetch plan.
+pub fn precompute_layer(
+    db: &mut Database,
+    layer: &CompiledLayer,
+    plan: &FetchPlan,
+    app_name: &str,
+) -> Result<(LayerStore, PrecomputeReport)> {
+    let start = Instant::now();
+    if layer.is_static {
+        return Ok((
+            LayerStore::Static,
+            PrecomputeReport {
+                canvas: layer.canvas_id.clone(),
+                layer: layer.layer_index,
+                rows: 0,
+                elapsed: start.elapsed(),
+                skipped_separable: false,
+            },
+        ));
+    }
+    // separable fast path applies to spatial-index-based access
+    let spatial_access = matches!(
+        plan,
+        FetchPlan::DynamicBox { .. }
+            | FetchPlan::StaticTiles {
+                design: TileDesign::SpatialIndex,
+                ..
+            }
+    );
+    if spatial_access {
+        if let Some(store) = separable_store(db, layer) {
+            return Ok((
+                store,
+                PrecomputeReport {
+                    canvas: layer.canvas_id.clone(),
+                    layer: layer.layer_index,
+                    rows: 0,
+                    elapsed: start.elapsed(),
+                    skipped_separable: true,
+                },
+            ));
+        }
+    }
+
+    let (table, layout, rows) = materialize_layer(db, layer, app_name)?;
+    let store = match plan {
+        FetchPlan::DynamicBox { .. }
+        | FetchPlan::StaticTiles {
+            design: TileDesign::SpatialIndex,
+            ..
+        } => {
+            ensure_index(
+                db,
+                &table,
+                "sp_bbox",
+                IndexKind::Spatial(SpatialCols::Bbox {
+                    min_x: "minx".into(),
+                    min_y: "miny".into(),
+                    max_x: "maxx".into(),
+                    max_y: "maxy".into(),
+                }),
+            )?;
+            LayerStore::Spatial { table, layout }
+        }
+        FetchPlan::StaticTiles {
+            size,
+            design: TileDesign::TupleTileMapping,
+        } => {
+            let tiling = Tiling::new(*size);
+            let mapping_table = build_mapping(db, &table, layout, tiling)?;
+            LayerStore::TileMapping {
+                record_table: table,
+                mapping_table,
+                tiling,
+                layout,
+            }
+        }
+    };
+    Ok((
+        store,
+        PrecomputeReport {
+            canvas: layer.canvas_id.clone(),
+            layer: layer.layer_index,
+            rows,
+            elapsed: start.elapsed(),
+            skipped_separable: false,
+        },
+    ))
+}
+
+/// Tiling used by a plan's tile mode (None for dynamic boxes).
+pub fn plan_tiling(plan: &FetchPlan) -> Option<Tiling> {
+    match plan {
+        FetchPlan::StaticTiles { size, .. } => Some(Tiling::new(*size)),
+        FetchPlan::DynamicBox { .. } => None,
+    }
+}
+
+impl From<kyrix_expr::ExprError> for ServerError {
+    fn from(e: kyrix_expr::ExprError) -> Self {
+        ServerError::Core(kyrix_core::CoreError::Expr(e))
+    }
+}

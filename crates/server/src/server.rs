@@ -1,0 +1,567 @@
+//! The Kyrix backend server (paper Figure 1): owns the database, the layer
+//! stores produced by precomputation, the backend caches, and the
+//! prefetcher; answers tile and box requests from the frontend.
+
+use crate::cache::LruCache;
+use crate::cost::CostModel;
+use crate::dbox::BoxPolicy;
+use crate::error::{Result, ServerError};
+use crate::fetch::{count_rect, fetch_rect, fetch_tile};
+use crate::metrics::FetchMetrics;
+use crate::precompute::{precompute_layer, FetchPlan, LayerStore, PrecomputeReport};
+use crate::prefetch::{
+    neighbor_rects, predict_viewports, rank_by_similarity, RegionSignature, SemanticTracker,
+};
+use crate::tile::{TileId, Tiling};
+use crossbeam::channel::{unbounded, Sender};
+use kyrix_core::CompiledApp;
+use kyrix_storage::fxhash::FxHashMap;
+use kyrix_storage::{Database, Rect, Row};
+use parking_lot::Mutex;
+use std::collections::VecDeque;
+use std::sync::Arc;
+use std::thread::JoinHandle;
+
+/// Which §4 predictor drives the prefetch worker.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PrefetchPolicy {
+    /// Extrapolate the user's pan velocity (ForeCache "momentum").
+    Momentum,
+    /// Rank the viewport's 8 neighbors by data-characteristic similarity
+    /// to recently viewed regions and warm the `top_k` most similar
+    /// (ForeCache "semantic").
+    Semantic { top_k: usize },
+}
+
+/// Server configuration.
+#[derive(Debug, Clone, Copy)]
+pub struct ServerConfig {
+    pub plan: FetchPlan,
+    pub cost: CostModel,
+    /// Backend tile-cache capacity in *tuples* (0 disables).
+    pub backend_cache_rows: usize,
+    /// Cached dynamic boxes kept per layer (0 disables).
+    pub box_cache_entries: usize,
+    /// Enable the prefetch worker.
+    pub prefetch: bool,
+    /// Viewports to look ahead when momentum-prefetching.
+    pub prefetch_lookahead: usize,
+    /// Predictor used by the worker.
+    pub prefetch_policy: PrefetchPolicy,
+}
+
+impl ServerConfig {
+    pub fn new(plan: FetchPlan) -> Self {
+        ServerConfig {
+            plan,
+            cost: CostModel::paper_default(),
+            backend_cache_rows: 200_000,
+            box_cache_entries: 4,
+            prefetch: false,
+            prefetch_lookahead: 1,
+            prefetch_policy: PrefetchPolicy::Momentum,
+        }
+    }
+
+    pub fn with_cost(mut self, cost: CostModel) -> Self {
+        self.cost = cost;
+        self
+    }
+
+    pub fn with_backend_cache(mut self, rows: usize) -> Self {
+        self.backend_cache_rows = rows;
+        self
+    }
+
+    pub fn with_prefetch(mut self, enabled: bool) -> Self {
+        self.prefetch = enabled;
+        self
+    }
+
+    pub fn with_prefetch_policy(mut self, policy: PrefetchPolicy) -> Self {
+        self.prefetch = true;
+        self.prefetch_policy = policy;
+        self
+    }
+}
+
+/// Response to a tile request.
+#[derive(Debug, Clone)]
+pub struct TileResponse {
+    pub tile: TileId,
+    pub rows: Arc<Vec<Row>>,
+    pub metrics: FetchMetrics,
+}
+
+/// Response to a dynamic-box request.
+#[derive(Debug, Clone)]
+pub struct BoxResponse {
+    /// The box that was actually fetched (contains the viewport).
+    pub rect: Rect,
+    pub rows: Arc<Vec<Row>>,
+    pub metrics: FetchMetrics,
+}
+
+type TileKey = (u32, u32, i64); // canvas idx, layer, tile key
+type CachedRows = (Arc<Vec<Row>>, u64); // rows + wire bytes
+type BoxCacheShelf = VecDeque<(Rect, Arc<Vec<Row>>, u64)>; // rect, rows, bytes
+
+struct Inner {
+    app: CompiledApp,
+    db: Database,
+    stores: FxHashMap<(u32, u32), LayerStore>,
+    plan: FetchPlan,
+    cost: CostModel,
+    tile_cache: Mutex<LruCache<TileKey, CachedRows>>,
+    box_caches: Mutex<FxHashMap<(u32, u32), BoxCacheShelf>>,
+    box_cache_entries: usize,
+    totals: Mutex<FetchMetrics>,
+    prefetch_totals: Mutex<FetchMetrics>,
+    /// Per-canvas semantic profiles (data characteristics of recently
+    /// viewed regions).
+    semantic: Mutex<FxHashMap<u32, SemanticTracker>>,
+}
+
+impl Inner {
+    /// Density signature of a region, from spatial-index counts on the
+    /// first non-static layer (no data transfer).
+    fn region_signature(&self, canvas: &str, rect: &Rect) -> Result<RegionSignature> {
+        let cc = self
+            .app
+            .canvas(canvas)
+            .ok_or_else(|| ServerError::BadRequest(format!("unknown canvas `{canvas}`")))?;
+        let layer = cc
+            .layers
+            .iter()
+            .position(|l| !l.is_static)
+            .ok_or_else(|| ServerError::BadRequest("canvas has no data layers".to_string()))?;
+        let store = self.store(canvas, layer)?;
+        let counts: Vec<u64> = RegionSignature::cell_rects(rect)
+            .iter()
+            .map(|cell| count_rect(&self.db, store, cell).map(|n| n as u64))
+            .collect::<Result<_>>()?;
+        Ok(RegionSignature::from_counts(&counts))
+    }
+    fn canvas_idx(&self, canvas: &str) -> Result<u32> {
+        self.app
+            .canvases
+            .iter()
+            .position(|c| c.id == canvas)
+            .map(|i| i as u32)
+            .ok_or_else(|| ServerError::BadRequest(format!("unknown canvas `{canvas}`")))
+    }
+
+    fn store(&self, canvas: &str, layer: usize) -> Result<&LayerStore> {
+        let ci = self.canvas_idx(canvas)?;
+        self.stores
+            .get(&(ci, layer as u32))
+            .ok_or_else(|| ServerError::BadRequest(format!("unknown layer {layer} of `{canvas}`")))
+    }
+
+    fn fetch_tile_cached(
+        &self,
+        canvas: &str,
+        layer: usize,
+        tile: TileId,
+        background: bool,
+    ) -> Result<TileResponse> {
+        let ci = self.canvas_idx(canvas)?;
+        let store = self.store(canvas, layer)?;
+        let FetchPlan::StaticTiles { size, .. } = self.plan else {
+            return Err(ServerError::Config(
+                "tile request on a dynamic-box server".to_string(),
+            ));
+        };
+        let tiling = Tiling::new(size);
+        let key = (ci, layer as u32, tile.key());
+
+        if let Some((rows, bytes)) = self.tile_cache.lock().get(&key).cloned() {
+            let metrics = FetchMetrics {
+                requests: 1,
+                rows: rows.len() as u64,
+                bytes,
+                cache_hits: 1,
+                ..Default::default()
+            };
+            self.record(&metrics, background);
+            return Ok(TileResponse { tile, rows, metrics });
+        }
+
+        let (rows, mut metrics) = fetch_tile(&self.db, store, tiling, tile)?;
+        let rows = Arc::new(rows);
+        let bytes = metrics.bytes;
+        self.tile_cache
+            .lock()
+            .insert(key, (rows.clone(), bytes), rows.len().max(1));
+        metrics.requests = 1;
+        metrics.cache_misses = 1;
+        self.record(&metrics, background);
+        Ok(TileResponse { tile, rows, metrics })
+    }
+
+    fn fetch_box_cached(
+        &self,
+        canvas: &str,
+        layer: usize,
+        viewport: &Rect,
+        background: bool,
+    ) -> Result<BoxResponse> {
+        let ci = self.canvas_idx(canvas)?;
+        let store = self.store(canvas, layer)?;
+        let FetchPlan::DynamicBox { policy } = self.plan else {
+            return Err(ServerError::Config(
+                "box request on a static-tile server".to_string(),
+            ));
+        };
+        let key = (ci, layer as u32);
+
+        // backend box cache: any cached box containing the viewport serves it
+        if self.box_cache_entries > 0 {
+            let cached = {
+                let caches = self.box_caches.lock();
+                caches.get(&key).and_then(|shelf| {
+                    shelf
+                        .iter()
+                        .find(|(r, _, _)| r.contains(viewport))
+                        .map(|(r, rows, bytes)| (*r, rows.clone(), *bytes))
+                })
+            };
+            if let Some((rect, rows, bytes)) = cached {
+                let metrics = FetchMetrics {
+                    requests: 1,
+                    rows: rows.len() as u64,
+                    bytes,
+                    cache_hits: 1,
+                    ..Default::default()
+                };
+                self.record(&metrics, background);
+                return Ok(BoxResponse {
+                    rect,
+                    rows,
+                    metrics,
+                });
+            }
+        }
+
+        let canvas_bounds = self
+            .app
+            .canvas(canvas)
+            .map(|c| c.bounds())
+            .unwrap_or_else(Rect::empty);
+        let estimator = |r: &Rect| count_rect(&self.db, store, r).unwrap_or(usize::MAX);
+        let needs_estimate = matches!(policy, BoxPolicy::DensityAdaptive { .. });
+        let rect = if needs_estimate {
+            policy.compute(viewport, &canvas_bounds, Some(&estimator))
+        } else {
+            policy.compute(viewport, &canvas_bounds, None)
+        };
+
+        let (rows, mut metrics) = fetch_rect(&self.db, store, &rect)?;
+        let rows = Arc::new(rows);
+        metrics.requests = 1;
+        metrics.cache_misses = 1;
+        if self.box_cache_entries > 0 {
+            let mut caches = self.box_caches.lock();
+            let shelf = caches.entry(key).or_default();
+            shelf.push_front((rect, rows.clone(), metrics.bytes));
+            shelf.truncate(self.box_cache_entries);
+        }
+        self.record(&metrics, background);
+        Ok(BoxResponse {
+            rect,
+            rows,
+            metrics,
+        })
+    }
+
+    fn record(&self, metrics: &FetchMetrics, background: bool) {
+        if background {
+            self.prefetch_totals.lock().merge(metrics);
+        } else {
+            self.totals.lock().merge(metrics);
+        }
+    }
+}
+
+enum Task {
+    Viewport { canvas: String, rect: Rect },
+    Shutdown,
+}
+
+struct Prefetcher {
+    tx: Sender<Task>,
+    handle: Option<JoinHandle<()>>,
+}
+
+impl Prefetcher {
+    fn spawn(inner: Arc<Inner>) -> Self {
+        let (tx, rx) = unbounded::<Task>();
+        let handle = std::thread::Builder::new()
+            .name("kyrix-prefetch".to_string())
+            .spawn(move || {
+                while let Ok(task) = rx.recv() {
+                    match task {
+                        Task::Shutdown => break,
+                        Task::Viewport { canvas, rect } => {
+                            let Some(cc) = inner.app.canvas(&canvas) else {
+                                continue;
+                            };
+                            for (li, layer) in cc.layers.iter().enumerate() {
+                                if layer.is_static {
+                                    continue;
+                                }
+                                match inner.plan {
+                                    FetchPlan::StaticTiles { size, .. } => {
+                                        for tile in Tiling::new(size).covering(&rect) {
+                                            let _ = inner
+                                                .fetch_tile_cached(&canvas, li, tile, true);
+                                        }
+                                    }
+                                    FetchPlan::DynamicBox { .. } => {
+                                        // widen the prediction slightly so a
+                                        // near-miss (momentum estimate off by
+                                        // a few pixels) still serves the real
+                                        // next viewport from the box cache
+                                        let widened = rect.inflate_frac(0.15, 0.15);
+                                        let _ =
+                                            inner.fetch_box_cached(&canvas, li, &widened, true);
+                                    }
+                                }
+                            }
+                        }
+                    }
+                }
+            })
+            .expect("spawn prefetch worker");
+        Prefetcher {
+            tx,
+            handle: Some(handle),
+        }
+    }
+}
+
+impl Drop for Prefetcher {
+    fn drop(&mut self) {
+        let _ = self.tx.send(Task::Shutdown);
+        if let Some(h) = self.handle.take() {
+            let _ = h.join();
+        }
+    }
+}
+
+/// The Kyrix backend server.
+pub struct KyrixServer {
+    inner: Arc<Inner>,
+    prefetcher: Option<Prefetcher>,
+    config: ServerConfig,
+}
+
+impl KyrixServer {
+    /// Precompute every layer of the app per the configured fetch plan and
+    /// start the server. Returns the per-layer precomputation reports.
+    pub fn launch(
+        app: CompiledApp,
+        mut db: Database,
+        config: ServerConfig,
+    ) -> Result<(Self, Vec<PrecomputeReport>)> {
+        let mut stores = FxHashMap::default();
+        let mut reports = Vec::new();
+        for (ci, canvas) in app.canvases.iter().enumerate() {
+            for (li, layer) in canvas.layers.iter().enumerate() {
+                let (store, report) = precompute_layer(&mut db, layer, &config.plan, &app.name)?;
+                stores.insert((ci as u32, li as u32), store);
+                reports.push(report);
+            }
+        }
+        let inner = Arc::new(Inner {
+            app,
+            db,
+            stores,
+            plan: config.plan,
+            cost: config.cost,
+            tile_cache: Mutex::new(LruCache::new(config.backend_cache_rows)),
+            box_caches: Mutex::new(FxHashMap::default()),
+            box_cache_entries: config.box_cache_entries,
+            totals: Mutex::new(FetchMetrics::default()),
+            prefetch_totals: Mutex::new(FetchMetrics::default()),
+            semantic: Mutex::new(FxHashMap::default()),
+        });
+        let prefetcher = if config.prefetch {
+            Some(Prefetcher::spawn(inner.clone()))
+        } else {
+            None
+        };
+        Ok((
+            KyrixServer {
+                inner,
+                prefetcher,
+                config,
+            },
+            reports,
+        ))
+    }
+
+    pub fn app(&self) -> &CompiledApp {
+        &self.inner.app
+    }
+
+    pub fn plan(&self) -> FetchPlan {
+        self.inner.plan
+    }
+
+    pub fn cost_model(&self) -> CostModel {
+        self.inner.cost
+    }
+
+    pub fn config(&self) -> &ServerConfig {
+        &self.config
+    }
+
+    /// Tiling in effect (None when serving dynamic boxes).
+    pub fn tiling(&self) -> Option<Tiling> {
+        match self.inner.plan {
+            FetchPlan::StaticTiles { size, .. } => Some(Tiling::new(size)),
+            FetchPlan::DynamicBox { .. } => None,
+        }
+    }
+
+    /// The physical store backing a layer (exposed for tests/inspection).
+    pub fn store(&self, canvas: &str, layer: usize) -> Result<LayerStore> {
+        self.inner.store(canvas, layer).cloned()
+    }
+
+    /// Fetch one tile of a layer (static-tile plans only).
+    pub fn fetch_tile(&self, canvas: &str, layer: usize, tile: TileId) -> Result<TileResponse> {
+        self.inner.fetch_tile_cached(canvas, layer, tile, false)
+    }
+
+    /// Fetch the dynamic box for a viewport (dynamic-box plans only).
+    pub fn fetch_box(&self, canvas: &str, layer: usize, viewport: &Rect) -> Result<BoxResponse> {
+        self.inner.fetch_box_cached(canvas, layer, viewport, false)
+    }
+
+    /// Count layer objects in a canvas rectangle (no data transfer).
+    pub fn count_in_rect(&self, canvas: &str, layer: usize, rect: &Rect) -> Result<usize> {
+        count_rect(&self.inner.db, self.inner.store(canvas, layer)?, rect)
+    }
+
+    /// Inform the server of the user's pan momentum so it can prefetch
+    /// (paper §4, momentum-based prefetching). No-op when prefetch is off
+    /// or the policy is not [`PrefetchPolicy::Momentum`].
+    pub fn hint_momentum(&self, canvas: &str, viewport: &Rect, velocity: (f64, f64)) {
+        let Some(p) = &self.prefetcher else {
+            return;
+        };
+        if !matches!(self.config.prefetch_policy, PrefetchPolicy::Momentum) {
+            return;
+        }
+        for rect in predict_viewports(viewport, velocity, self.config.prefetch_lookahead) {
+            let _ = p.tx.send(Task::Viewport {
+                canvas: canvas.to_string(),
+                rect,
+            });
+        }
+    }
+
+    /// Inform the server of a newly viewed viewport so the semantic
+    /// predictor can update its profile and warm the most similar
+    /// neighboring regions (paper §4 / ForeCache semantic prefetching).
+    /// No-op when prefetch is off or the policy is not
+    /// [`PrefetchPolicy::Semantic`].
+    pub fn hint_semantic(&self, canvas: &str, viewport: &Rect) {
+        let Some(p) = &self.prefetcher else {
+            return;
+        };
+        let PrefetchPolicy::Semantic { top_k } = self.config.prefetch_policy else {
+            return;
+        };
+        let Ok(ci) = self.inner.canvas_idx(canvas) else {
+            return;
+        };
+        let Ok(current) = self.inner.region_signature(canvas, viewport) else {
+            return;
+        };
+        let profile = {
+            let mut trackers = self.inner.semantic.lock();
+            let tracker = trackers.entry(ci).or_default();
+            tracker.observe(&current);
+            tracker.profile().cloned()
+        };
+        let Some(profile) = profile else { return };
+
+        let bounds = self
+            .inner
+            .app
+            .canvas(canvas)
+            .map(|c| c.bounds())
+            .unwrap_or_else(Rect::empty);
+        let candidates: Vec<(Rect, RegionSignature)> = neighbor_rects(viewport)
+            .into_iter()
+            .filter(|r| r.intersects(&bounds))
+            .filter_map(|r| {
+                self.inner
+                    .region_signature(canvas, &r)
+                    .ok()
+                    .map(|sig| (r, sig))
+            })
+            .collect();
+        for rect in rank_by_similarity(&profile, candidates).into_iter().take(top_k) {
+            // warm the whole span from here to the predicted neighbor, so
+            // any partial pan in that direction is already covered
+            let _ = p.tx.send(Task::Viewport {
+                canvas: canvas.to_string(),
+                rect: rect.union(viewport),
+            });
+        }
+    }
+
+    /// Drop the semantic profile of every canvas (after a jump).
+    pub fn reset_semantic_profiles(&self) {
+        self.inner.semantic.lock().clear();
+    }
+
+    /// Block until queued prefetch tasks have been processed (test/bench
+    /// helper; foreground requests never need this).
+    pub fn drain_prefetch(&self) {
+        if self.prefetcher.is_some() {
+            // the worker processes tasks in order; an empty channel plus an
+            // idle worker is approximated by yielding until the queue drains
+            while self
+                .prefetcher
+                .as_ref()
+                .is_some_and(|p| !p.tx.is_empty())
+            {
+                std::thread::yield_now();
+            }
+            // one task may still be mid-flight; a tiny sleep is acceptable
+            std::thread::sleep(std::time::Duration::from_millis(2));
+        }
+    }
+
+    /// Cumulative foreground metrics.
+    pub fn totals(&self) -> FetchMetrics {
+        *self.inner.totals.lock()
+    }
+
+    /// Cumulative background (prefetch) metrics.
+    pub fn prefetch_totals(&self) -> FetchMetrics {
+        *self.inner.prefetch_totals.lock()
+    }
+
+    pub fn reset_totals(&self) {
+        *self.inner.totals.lock() = FetchMetrics::default();
+        *self.inner.prefetch_totals.lock() = FetchMetrics::default();
+        self.inner.tile_cache.lock().reset_stats();
+    }
+
+    /// Clear all backend caches (tile + box).
+    pub fn clear_caches(&self) {
+        self.inner.tile_cache.lock().clear();
+        self.inner.box_caches.lock().clear();
+    }
+
+    /// Direct read-only access to the underlying database.
+    pub fn database(&self) -> &Database {
+        &self.inner.db
+    }
+}

@@ -1,0 +1,156 @@
+//! Static tiling math (paper Figure 4a).
+
+use kyrix_storage::Rect;
+
+/// Integer tile coordinates at some tile size.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct TileId {
+    pub x: i32,
+    pub y: i32,
+}
+
+impl TileId {
+    pub fn new(x: i32, y: i32) -> Self {
+        TileId { x, y }
+    }
+
+    /// Pack into an i64 for use as a SQL key (`tile_id` column).
+    pub fn key(self) -> i64 {
+        (((self.x as u32) as i64) << 32) | ((self.y as u32) as i64)
+    }
+
+    pub fn from_key(k: i64) -> Self {
+        TileId {
+            x: ((k >> 32) & 0xffff_ffff) as u32 as i32,
+            y: (k & 0xffff_ffff) as u32 as i32,
+        }
+    }
+}
+
+/// A fixed-size square tiling of a canvas.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Tiling {
+    pub size: f64,
+}
+
+impl Tiling {
+    pub fn new(size: f64) -> Self {
+        assert!(size > 0.0, "tile size must be positive");
+        Tiling { size }
+    }
+
+    /// Tile containing a point (points on the boundary belong to the tile
+    /// to the right/below, like integer flooring).
+    pub fn tile_of(&self, x: f64, y: f64) -> TileId {
+        TileId {
+            x: (x / self.size).floor() as i32,
+            y: (y / self.size).floor() as i32,
+        }
+    }
+
+    /// Canvas rectangle of a tile.
+    pub fn tile_rect(&self, t: TileId) -> Rect {
+        Rect::new(
+            t.x as f64 * self.size,
+            t.y as f64 * self.size,
+            (t.x + 1) as f64 * self.size,
+            (t.y + 1) as f64 * self.size,
+        )
+    }
+
+    /// All tiles intersecting a rectangle, in row-major order.
+    /// The paper's frontend "requests the tiles that intersect with the
+    /// given viewport".
+    pub fn covering(&self, rect: &Rect) -> Vec<TileId> {
+        if rect.is_empty() {
+            return Vec::new();
+        }
+        let x0 = (rect.min_x / self.size).floor() as i32;
+        let y0 = (rect.min_y / self.size).floor() as i32;
+        // boundary-exclusive on the high side: a viewport ending exactly on
+        // a tile edge does not need the next tile
+        let x1 = ((rect.max_x / self.size).ceil() as i32 - 1).max(x0);
+        let y1 = ((rect.max_y / self.size).ceil() as i32 - 1).max(y0);
+        let mut out = Vec::with_capacity(((x1 - x0 + 1) * (y1 - y0 + 1)) as usize);
+        for ty in y0..=y1 {
+            for tx in x0..=x1 {
+                out.push(TileId::new(tx, ty));
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn key_roundtrip_including_negatives() {
+        for t in [
+            TileId::new(0, 0),
+            TileId::new(5, 9),
+            TileId::new(-3, 7),
+            TileId::new(i32::MAX, i32::MIN),
+        ] {
+            assert_eq!(TileId::from_key(t.key()), t);
+        }
+        // distinct tiles -> distinct keys
+        assert_ne!(TileId::new(1, 0).key(), TileId::new(0, 1).key());
+    }
+
+    #[test]
+    fn tile_of_boundaries() {
+        let t = Tiling::new(1024.0);
+        assert_eq!(t.tile_of(0.0, 0.0), TileId::new(0, 0));
+        assert_eq!(t.tile_of(1023.9, 0.0), TileId::new(0, 0));
+        assert_eq!(t.tile_of(1024.0, 0.0), TileId::new(1, 0));
+        assert_eq!(t.tile_of(-0.1, -1.0), TileId::new(-1, -1));
+    }
+
+    #[test]
+    fn covering_aligned_viewport_needs_exactly_fitting_tiles() {
+        // trace-a case: viewport aligned with tile boundaries
+        let t = Tiling::new(1024.0);
+        let vp = Rect::new(1024.0, 0.0, 2048.0, 1024.0);
+        assert_eq!(t.covering(&vp), vec![TileId::new(1, 0)]);
+    }
+
+    #[test]
+    fn covering_unaligned_viewport_needs_four_tiles() {
+        // trace-b case: viewport offset by half a tile
+        let t = Tiling::new(1024.0);
+        let vp = Rect::new(512.0, 512.0, 1536.0, 1536.0);
+        let tiles = t.covering(&vp);
+        assert_eq!(tiles.len(), 4);
+        assert!(tiles.contains(&TileId::new(0, 0)));
+        assert!(tiles.contains(&TileId::new(1, 1)));
+    }
+
+    #[test]
+    fn covering_small_tiles() {
+        // a 1024 viewport over 256-tiles needs 16 when aligned
+        let t = Tiling::new(256.0);
+        let vp = Rect::new(0.0, 0.0, 1024.0, 1024.0);
+        assert_eq!(t.covering(&vp).len(), 16);
+        // and 25 when misaligned
+        let vp2 = Rect::new(128.0, 128.0, 1152.0, 1152.0);
+        assert_eq!(t.covering(&vp2).len(), 25);
+    }
+
+    #[test]
+    fn tile_rect_roundtrip() {
+        let t = Tiling::new(100.0);
+        let tile = TileId::new(3, -2);
+        let r = t.tile_rect(tile);
+        assert_eq!(r, Rect::new(300.0, -200.0, 400.0, -100.0));
+        let c = r.center();
+        assert_eq!(t.tile_of(c.x, c.y), tile);
+    }
+
+    #[test]
+    fn empty_rect_covers_nothing() {
+        let t = Tiling::new(10.0);
+        assert!(t.covering(&Rect::empty()).is_empty());
+    }
+}

@@ -1,0 +1,483 @@
+//! End-to-end tests of the Kyrix backend: precompute → fetch across every
+//! store kind, caches, separability, and prefetching.
+
+use kyrix_core::{
+    compile, AppSpec, CanvasSpec, LayerSpec, MarkEncoding, PlacementSpec, RenderSpec,
+    TransformSpec,
+};
+use kyrix_server::{
+    BoxPolicy, CostModel, FetchPlan, KyrixServer, LayerStore, ServerConfig, TileDesign, TileId,
+};
+use kyrix_storage::{DataType, Database, IndexKind, Rect, Row, Schema, SpatialCols, Value};
+
+/// Grid database: dots at every integer (x, y) in [0, 100) x [0, 100),
+/// canvas maps 1 canvas unit = 1 raw unit (placement = raw attributes).
+fn grid_db(with_raw_spatial_index: bool) -> Database {
+    let mut db = Database::new();
+    db.create_table(
+        "dots",
+        Schema::empty()
+            .with("id", DataType::Int)
+            .with("x", DataType::Float)
+            .with("y", DataType::Float)
+            .with("v", DataType::Float),
+    )
+    .unwrap();
+    for i in 0..10_000i64 {
+        let x = (i % 100) as f64;
+        let y = (i / 100) as f64;
+        db.insert(
+            "dots",
+            Row::new(vec![
+                Value::Int(i),
+                Value::Float(x),
+                Value::Float(y),
+                Value::Float((i % 7) as f64),
+            ]),
+        )
+        .unwrap();
+    }
+    if with_raw_spatial_index {
+        db.create_index(
+            "dots",
+            "dots_xy",
+            IndexKind::Spatial(SpatialCols::Point {
+                x: "x".into(),
+                y: "y".into(),
+            }),
+        )
+        .unwrap();
+    }
+    db
+}
+
+fn dots_app_sized(placement: PlacementSpec, size: f64) -> AppSpec {
+    AppSpec::new("grid")
+        .add_transform(TransformSpec::query("t", "SELECT * FROM dots"))
+        .add_canvas(
+            CanvasSpec::new("main", size, size).layer(LayerSpec::dynamic(
+                "t",
+                placement,
+                RenderSpec::Marks(MarkEncoding::circle()),
+            )),
+        )
+        .initial("main", 50.0, 50.0)
+        .viewport(10.0, 10.0)
+}
+
+fn dots_app(placement: PlacementSpec) -> AppSpec {
+    dots_app_sized(placement, 100.0)
+}
+
+fn launch(db: Database, placement: PlacementSpec, plan: FetchPlan) -> KyrixServer {
+    let app = compile(&dots_app(placement), &db).unwrap();
+    let config = ServerConfig::new(plan).with_cost(CostModel::zero());
+    let (server, _reports) = KyrixServer::launch(app, db, config).unwrap();
+    server
+}
+
+fn row_ids(rows: &[Row]) -> Vec<i64> {
+    let mut ids: Vec<i64> = rows.iter().map(|r| r.get(0).as_i64().unwrap()).collect();
+    ids.sort_unstable();
+    ids.dedup();
+    ids
+}
+
+#[test]
+fn dbox_fetch_returns_viewport_contents() {
+    let server = launch(
+        grid_db(false),
+        PlacementSpec::point("x", "y"),
+        FetchPlan::DynamicBox {
+            policy: BoxPolicy::Exact,
+        },
+    );
+    let vp = Rect::new(10.0, 10.0, 14.0, 14.0);
+    let resp = server.fetch_box("main", 0, &vp).unwrap();
+    assert_eq!(resp.rect, vp);
+    assert_eq!(row_ids(&resp.rows).len(), 25); // 5x5 inclusive grid
+    assert_eq!(resp.metrics.queries, 1);
+    assert_eq!(resp.metrics.cache_misses, 1);
+}
+
+#[test]
+fn dbox_uses_separable_skip_when_raw_index_exists() {
+    let server = launch(
+        grid_db(true),
+        PlacementSpec::point("x", "y"),
+        FetchPlan::DynamicBox {
+            policy: BoxPolicy::Exact,
+        },
+    );
+    assert!(matches!(
+        server.store("main", 0).unwrap(),
+        LayerStore::SeparableRaw { .. }
+    ));
+    // no side table was created
+    assert!(!server.database().has_table("k_grid_main_l0"));
+    let vp = Rect::new(10.0, 10.0, 14.0, 14.0);
+    let resp = server.fetch_box("main", 0, &vp).unwrap();
+    assert_eq!(row_ids(&resp.rows).len(), 25);
+}
+
+#[test]
+fn separable_skip_respects_affine_scaling() {
+    // canvas coordinates are 5x the raw attributes minus an offset;
+    // a canvas-space viewport must translate back to raw space
+    let db = grid_db(true);
+    db.counters.reset();
+    let app = compile(
+        &dots_app_sized(PlacementSpec::point("x * 5 + 100", "y * 5 + 100"), 700.0),
+        &db,
+    )
+    .unwrap();
+    let (server, _) = KyrixServer::launch(
+        app,
+        db,
+        ServerConfig::new(FetchPlan::DynamicBox {
+            policy: BoxPolicy::Exact,
+        })
+        .with_cost(CostModel::zero()),
+    )
+    .unwrap();
+    assert!(matches!(
+        server.store("main", 0).unwrap(),
+        LayerStore::SeparableRaw { .. }
+    ));
+    // canvas [100, 120] -> raw [0, 4]
+    let vp = Rect::new(100.0, 100.0, 120.0, 120.0);
+    let resp = server.fetch_box("main", 0, &vp).unwrap();
+    assert_eq!(row_ids(&resp.rows).len(), 25);
+    // returned rows carry canvas-space centers in the layout columns
+    let layout = server.store("main", 0).unwrap().layout().unwrap();
+    for row in resp.rows.iter() {
+        let cx = layout.cx(row);
+        assert!((100.0..=120.0).contains(&cx), "cx = {cx}");
+    }
+}
+
+#[test]
+fn non_separable_placement_materializes_side_table() {
+    // sqrt placement cannot use the separable path even with a raw index
+    let server = launch(
+        grid_db(true),
+        PlacementSpec::point("sqrt(x) * 10", "y"),
+        FetchPlan::DynamicBox {
+            policy: BoxPolicy::Exact,
+        },
+    );
+    assert!(matches!(
+        server.store("main", 0).unwrap(),
+        LayerStore::Spatial { .. }
+    ));
+    assert!(server.database().has_table("k_grid_main_l0"));
+    // x in [0,100) -> canvas cx in [0, 100); query a band
+    let resp = server
+        .fetch_box("main", 0, &Rect::new(0.0, 0.0, 30.0, 0.0))
+        .unwrap();
+    // sqrt(x)*10 <= 30 -> x <= 9 -> 10 dots in row y=0
+    assert_eq!(row_ids(&resp.rows).len(), 10);
+}
+
+#[test]
+fn tile_spatial_and_tile_mapping_agree() {
+    let tile = TileId::new(1, 2);
+    let mut results = Vec::new();
+    for design in [TileDesign::SpatialIndex, TileDesign::TupleTileMapping] {
+        let server = launch(
+            grid_db(false),
+            PlacementSpec::point("x", "y"),
+            FetchPlan::StaticTiles { size: 10.0, design },
+        );
+        let resp = server.fetch_tile("main", 0, tile).unwrap();
+        results.push(row_ids(&resp.rows));
+    }
+    assert_eq!(results[0], results[1]);
+    // tile (1,2) covers x in [10,20], y in [20,30] (closed bbox
+    // intersection includes boundary points for the spatial design; the
+    // mapping design assigns boundary dots to every overlapped tile, so
+    // both see the same inclusive set)
+    assert!(!results[0].is_empty());
+}
+
+#[test]
+fn backend_tile_cache_hits_on_refetch() {
+    let server = launch(
+        grid_db(false),
+        PlacementSpec::point("x", "y"),
+        FetchPlan::StaticTiles {
+            size: 10.0,
+            design: TileDesign::SpatialIndex,
+        },
+    );
+    let t = TileId::new(3, 3);
+    let first = server.fetch_tile("main", 0, t).unwrap();
+    assert_eq!(first.metrics.cache_misses, 1);
+    assert_eq!(first.metrics.queries, 1);
+    let second = server.fetch_tile("main", 0, t).unwrap();
+    assert_eq!(second.metrics.cache_hits, 1);
+    assert_eq!(second.metrics.queries, 0, "cache hit runs no query");
+    assert_eq!(row_ids(&first.rows), row_ids(&second.rows));
+    // clearing the cache forces a query again
+    server.clear_caches();
+    let third = server.fetch_tile("main", 0, t).unwrap();
+    assert_eq!(third.metrics.cache_misses, 1);
+}
+
+#[test]
+fn box_cache_serves_contained_viewports() {
+    let server = launch(
+        grid_db(false),
+        PlacementSpec::point("x", "y"),
+        FetchPlan::DynamicBox {
+            policy: BoxPolicy::PctLarger(0.5),
+        },
+    );
+    let vp = Rect::new(40.0, 40.0, 50.0, 50.0);
+    let first = server.fetch_box("main", 0, &vp).unwrap();
+    assert!(first.rect.contains(&vp));
+    assert_eq!(first.metrics.cache_misses, 1);
+    // a small pan stays inside the inflated box -> cache hit
+    let vp2 = vp.translate(2.0, 0.0);
+    let second = server.fetch_box("main", 0, &vp2).unwrap();
+    assert_eq!(second.metrics.cache_hits, 1);
+    assert_eq!(second.metrics.queries, 0);
+    // a big jump leaves the box -> miss
+    let vp3 = vp.translate(60.0, 0.0).clamp_within(&Rect::new(0.0, 0.0, 100.0, 100.0));
+    let third = server.fetch_box("main", 0, &vp3).unwrap();
+    assert_eq!(third.metrics.cache_misses, 1);
+}
+
+#[test]
+fn density_adaptive_box_bounds_tuples() {
+    let server = launch(
+        grid_db(false),
+        PlacementSpec::point("x", "y"),
+        FetchPlan::DynamicBox {
+            policy: BoxPolicy::DensityAdaptive {
+                target_tuples: 200,
+                max_pct: 1.0,
+            },
+        },
+    );
+    let vp = Rect::new(45.0, 45.0, 55.0, 55.0); // 11x11 = 121 dots
+    let resp = server.fetch_box("main", 0, &vp).unwrap();
+    assert!(resp.rect.contains(&vp));
+    assert!(
+        resp.rows.len() <= 200 || resp.rect == vp,
+        "{} rows in {:?}",
+        resp.rows.len(),
+        resp.rect
+    );
+}
+
+#[test]
+fn momentum_prefetch_warms_the_cache() {
+    let db = grid_db(false);
+    let app = compile(&dots_app(PlacementSpec::point("x", "y")), &db).unwrap();
+    let config = ServerConfig::new(FetchPlan::DynamicBox {
+        policy: BoxPolicy::Exact,
+    })
+    .with_cost(CostModel::zero())
+    .with_prefetch(true);
+    let (server, _) = KyrixServer::launch(app, db, config).unwrap();
+
+    let vp = Rect::new(10.0, 10.0, 20.0, 20.0);
+    // user pans right at 5 units/step; hint the server
+    server.hint_momentum("main", &vp, (5.0, 0.0));
+    // wait for the background worker
+    for _ in 0..200 {
+        server.drain_prefetch();
+        if server.prefetch_totals().requests > 0 {
+            break;
+        }
+        std::thread::sleep(std::time::Duration::from_millis(1));
+    }
+    assert!(server.prefetch_totals().requests >= 1, "prefetch ran");
+    // the predicted viewport is now a cache hit
+    let predicted = vp.translate(5.0, 0.0);
+    let resp = server.fetch_box("main", 0, &predicted).unwrap();
+    assert_eq!(resp.metrics.cache_hits, 1, "prefetched box served");
+}
+
+#[test]
+fn wrong_request_kind_is_config_error() {
+    let tiles = launch(
+        grid_db(false),
+        PlacementSpec::point("x", "y"),
+        FetchPlan::StaticTiles {
+            size: 10.0,
+            design: TileDesign::SpatialIndex,
+        },
+    );
+    assert!(tiles
+        .fetch_box("main", 0, &Rect::new(0.0, 0.0, 1.0, 1.0))
+        .is_err());
+    let dbox = launch(
+        grid_db(false),
+        PlacementSpec::point("x", "y"),
+        FetchPlan::DynamicBox {
+            policy: BoxPolicy::Exact,
+        },
+    );
+    assert!(dbox.fetch_tile("main", 0, TileId::new(0, 0)).is_err());
+    assert!(dbox
+        .fetch_box("nope", 0, &Rect::new(0.0, 0.0, 1.0, 1.0))
+        .is_err());
+}
+
+#[test]
+fn totals_accumulate_and_reset() {
+    let server = launch(
+        grid_db(false),
+        PlacementSpec::point("x", "y"),
+        FetchPlan::DynamicBox {
+            policy: BoxPolicy::Exact,
+        },
+    );
+    server.fetch_box("main", 0, &Rect::new(0.0, 0.0, 5.0, 5.0)).unwrap();
+    server.fetch_box("main", 0, &Rect::new(50.0, 50.0, 55.0, 55.0)).unwrap();
+    let t = server.totals();
+    assert_eq!(t.requests, 2);
+    assert_eq!(t.queries, 2);
+    assert!(t.rows > 0);
+    server.reset_totals();
+    assert_eq!(server.totals().requests, 0);
+}
+
+#[test]
+fn mapping_tables_created_with_expected_names() {
+    let server = launch(
+        grid_db(false),
+        PlacementSpec::point("x", "y"),
+        FetchPlan::StaticTiles {
+            size: 10.0,
+            design: TileDesign::TupleTileMapping,
+        },
+    );
+    let db = server.database();
+    assert!(db.has_table("k_grid_main_l0"));
+    assert!(db.has_table("k_grid_main_l0_map10"));
+    // record table has dots + 7 layout columns
+    assert_eq!(db.table("k_grid_main_l0").unwrap().schema.len(), 4 + 7);
+    // mapping rows >= record rows (boundary dots map to multiple tiles)
+    assert!(db.table("k_grid_main_l0_map10").unwrap().len() >= 10_000);
+}
+
+#[test]
+fn semantic_prefetch_warms_similar_neighbors() {
+    // Skewed data: a dense cluster in the top-left quadrant, sparse dots
+    // elsewhere. A user exploring inside the cluster should see the
+    // semantic predictor warm the dense neighbor, not the sparse ones.
+    let mut db = Database::new();
+    db.create_table(
+        "dots",
+        Schema::empty()
+            .with("id", DataType::Int)
+            .with("x", DataType::Float)
+            .with("y", DataType::Float)
+            .with("v", DataType::Float),
+    )
+    .unwrap();
+    let mut id = 0i64;
+    let mut push = |db: &mut Database, x: f64, y: f64| {
+        db.insert(
+            "dots",
+            Row::new(vec![
+                Value::Int(id),
+                Value::Float(x),
+                Value::Float(y),
+                Value::Float(0.0),
+            ]),
+        )
+        .unwrap();
+        id += 1;
+    };
+    // dense: every 0.5 units in [0, 40) x [0, 40)
+    for gx in 0..80 {
+        for gy in 0..80 {
+            push(&mut db, gx as f64 * 0.5, gy as f64 * 0.5);
+        }
+    }
+    // sparse: every 10 units elsewhere
+    for gx in 0..10 {
+        for gy in 0..10 {
+            let (x, y) = (gx as f64 * 10.0 + 45.0, gy as f64 * 10.0 + 45.0);
+            push(&mut db, x, y);
+        }
+    }
+
+    let app = compile(&dots_app(PlacementSpec::point("x", "y")), &db).unwrap();
+    let config = ServerConfig::new(FetchPlan::DynamicBox {
+        policy: BoxPolicy::Exact,
+    })
+    .with_cost(CostModel::zero())
+    .with_prefetch_policy(kyrix_server::PrefetchPolicy::Semantic { top_k: 1 });
+    let (server, _) = KyrixServer::launch(app, db, config).unwrap();
+
+    // two viewports inside the dense cluster build the profile
+    server.hint_semantic("main", &Rect::new(10.0, 10.0, 20.0, 20.0));
+    server.hint_semantic("main", &Rect::new(15.0, 10.0, 25.0, 20.0));
+    for _ in 0..500 {
+        server.drain_prefetch();
+        if server.prefetch_totals().requests >= 1 {
+            break;
+        }
+        std::thread::sleep(std::time::Duration::from_millis(1));
+    }
+    assert!(
+        server.prefetch_totals().requests >= 1,
+        "semantic prefetch ran"
+    );
+    // warmed region(s) must be dense-cluster neighbors: every prefetched
+    // box should carry dense-cluster row counts (a 10x10 dense window has
+    // 400 dots; a sparse one has ~1)
+    let totals = server.prefetch_totals();
+    assert!(
+        totals.rows >= 100,
+        "prefetched rows should come from the dense region, got {}",
+        totals.rows
+    );
+    // momentum hints are ignored under the semantic policy; wait for the
+    // worker to go quiet first so no queued semantic task lands after the
+    // reset
+    let mut last = server.prefetch_totals().requests;
+    loop {
+        std::thread::sleep(std::time::Duration::from_millis(20));
+        let now = server.prefetch_totals().requests;
+        if now == last {
+            break;
+        }
+        last = now;
+    }
+    server.reset_totals();
+    server.hint_momentum("main", &Rect::new(10.0, 10.0, 20.0, 20.0), (5.0, 0.0));
+    server.drain_prefetch();
+    std::thread::sleep(std::time::Duration::from_millis(5));
+    assert_eq!(server.prefetch_totals().requests, 0);
+}
+
+#[test]
+fn semantic_profile_reset_clears_state() {
+    let db = grid_db(false);
+    let app = compile(&dots_app(PlacementSpec::point("x", "y")), &db).unwrap();
+    let config = ServerConfig::new(FetchPlan::DynamicBox {
+        policy: BoxPolicy::Exact,
+    })
+    .with_cost(CostModel::zero())
+    .with_prefetch_policy(kyrix_server::PrefetchPolicy::Semantic { top_k: 2 });
+    let (server, _) = KyrixServer::launch(app, db, config).unwrap();
+    server.hint_semantic("main", &Rect::new(10.0, 10.0, 20.0, 20.0));
+    server.drain_prefetch();
+    server.reset_semantic_profiles();
+    // still works after a reset (profile rebuilt from scratch)
+    server.hint_semantic("main", &Rect::new(50.0, 50.0, 60.0, 60.0));
+    for _ in 0..200 {
+        server.drain_prefetch();
+        if server.prefetch_totals().requests >= 1 {
+            break;
+        }
+        std::thread::sleep(std::time::Duration::from_millis(1));
+    }
+    assert!(server.prefetch_totals().requests >= 1);
+}

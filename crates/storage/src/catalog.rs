@@ -1,0 +1,468 @@
+//! Tables and their indexes: the physical catalog.
+
+use crate::btree::BPlusTree;
+use crate::error::{Result, StorageError};
+use crate::geom::Rect;
+use crate::hash_index::HashIndex;
+use crate::heap::{RecordId, TableHeap};
+use crate::row::Row;
+use crate::rtree::RTree;
+use crate::schema::Schema;
+use crate::value::{OrdValue, Value};
+
+/// Which columns a spatial index covers.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SpatialCols {
+    /// Point data: one x column and one y column; the bbox is degenerate.
+    Point { x: String, y: String },
+    /// Box data: explicit bounding-box columns.
+    Bbox {
+        min_x: String,
+        min_y: String,
+        max_x: String,
+        max_y: String,
+    },
+}
+
+/// Logical index definition.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum IndexKind {
+    /// B+tree on one column (supports equality and ranges; non-unique).
+    BTree { column: String },
+    /// Hash index on one column (equality only; non-unique).
+    Hash { column: String },
+    /// R-tree over the given spatial columns.
+    Spatial(SpatialCols),
+}
+
+/// A named index on a table.
+pub struct Index {
+    pub name: String,
+    pub kind: IndexKind,
+    pub(crate) imp: IndexImpl,
+}
+
+pub(crate) enum IndexImpl {
+    BTree(BPlusTree<OrdValue, RecordId>),
+    Hash(HashIndex<OrdValue, RecordId>),
+    Spatial(RTree<RecordId>),
+}
+
+/// A table: schema + heap + indexes.
+pub struct Table {
+    pub name: String,
+    pub schema: Schema,
+    pub(crate) heap: TableHeap,
+    pub(crate) indexes: Vec<Index>,
+}
+
+impl Table {
+    pub fn new(name: impl Into<String>, schema: Schema) -> Self {
+        Table {
+            name: name.into(),
+            schema,
+            heap: TableHeap::new(),
+            indexes: Vec::new(),
+        }
+    }
+
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+
+    /// Resident bytes of the heap (page-granular).
+    pub fn heap_bytes(&self) -> usize {
+        self.heap.bytes()
+    }
+
+    pub fn indexes(&self) -> impl Iterator<Item = &Index> {
+        self.indexes.iter()
+    }
+
+    /// Extract the bbox of a row for a spatial index definition.
+    pub(crate) fn row_bbox(&self, row: &Row, cols: &SpatialCols) -> Result<Rect> {
+        match cols {
+            SpatialCols::Point { x, y } => {
+                let xi = self.schema.index_of(x)?;
+                let yi = self.schema.index_of(y)?;
+                let px = row.get(xi).as_f64()?;
+                let py = row.get(yi).as_f64()?;
+                Ok(Rect::point(px, py))
+            }
+            SpatialCols::Bbox {
+                min_x,
+                min_y,
+                max_x,
+                max_y,
+            } => Ok(Rect::new(
+                row.get(self.schema.index_of(min_x)?).as_f64()?,
+                row.get(self.schema.index_of(min_y)?).as_f64()?,
+                row.get(self.schema.index_of(max_x)?).as_f64()?,
+                row.get(self.schema.index_of(max_y)?).as_f64()?,
+            )),
+        }
+    }
+
+    /// Insert a row, maintaining every index.
+    pub fn insert(&mut self, row: Row) -> Result<RecordId> {
+        self.schema.check_row(&row.values)?;
+        let rid = self.heap.insert(&row.encode())?;
+        // Update indexes. Collect bboxes first to keep borrowck happy.
+        for i in 0..self.indexes.len() {
+            let kind = self.indexes[i].kind.clone();
+            match (&kind, &mut self.indexes[i].imp) {
+                (IndexKind::BTree { column }, IndexImpl::BTree(t)) => {
+                    let ci = self.schema.index_of(column)?;
+                    t.insert(OrdValue(row.get(ci).clone()), rid);
+                }
+                (IndexKind::Hash { column }, IndexImpl::Hash(h)) => {
+                    let ci = self.schema.index_of(column)?;
+                    h.insert(OrdValue(row.get(ci).clone()), rid);
+                }
+                (IndexKind::Spatial(_), IndexImpl::Spatial(_)) => {
+                    // computed below to avoid double borrow
+                }
+                _ => unreachable!("index kind / impl mismatch"),
+            }
+        }
+        // spatial second pass (row_bbox borrows self immutably)
+        let spatial_updates: Vec<(usize, Rect)> = self
+            .indexes
+            .iter()
+            .enumerate()
+            .filter_map(|(i, idx)| match &idx.kind {
+                IndexKind::Spatial(cols) => {
+                    Some((i, self.row_bbox(&row, cols)))
+                }
+                _ => None,
+            })
+            .map(|(i, r)| r.map(|rect| (i, rect)))
+            .collect::<Result<_>>()?;
+        for (i, rect) in spatial_updates {
+            if let IndexImpl::Spatial(t) = &mut self.indexes[i].imp {
+                t.insert(rect, rid);
+            }
+        }
+        Ok(rid)
+    }
+
+    /// Fetch and decode a row.
+    pub fn get(&self, rid: RecordId) -> Result<Option<Row>> {
+        match self.heap.get(rid) {
+            Some(bytes) => Ok(Some(Row::decode(bytes, &self.schema)?)),
+            None => Ok(None),
+        }
+    }
+
+    /// Full scan, decoding each live row.
+    pub fn scan<F: FnMut(RecordId, Row)>(&self, mut f: F) -> Result<()> {
+        for (rid, bytes) in self.heap.iter() {
+            f(rid, Row::decode(bytes, &self.schema)?);
+        }
+        Ok(())
+    }
+
+    /// Create an index and build it from the current heap contents.
+    /// Spatial indexes over a non-empty heap are STR bulk-loaded.
+    pub fn create_index(&mut self, name: impl Into<String>, kind: IndexKind) -> Result<()> {
+        let name = name.into();
+        if self.indexes.iter().any(|i| i.name == name) {
+            return Err(StorageError::IndexExists(name));
+        }
+        // validate columns exist up front
+        match &kind {
+            IndexKind::BTree { column } | IndexKind::Hash { column } => {
+                self.schema.index_of(column)?;
+            }
+            IndexKind::Spatial(SpatialCols::Point { x, y }) => {
+                self.schema.index_of(x)?;
+                self.schema.index_of(y)?;
+            }
+            IndexKind::Spatial(SpatialCols::Bbox {
+                min_x,
+                min_y,
+                max_x,
+                max_y,
+            }) => {
+                for c in [min_x, min_y, max_x, max_y] {
+                    self.schema.index_of(c)?;
+                }
+            }
+        }
+        let imp = match &kind {
+            IndexKind::BTree { column } => {
+                let ci = self.schema.index_of(column)?;
+                let mut t = BPlusTree::new();
+                for (rid, bytes) in self.heap.iter() {
+                    let row = Row::decode(bytes, &self.schema)?;
+                    t.insert(OrdValue(row.get(ci).clone()), rid);
+                }
+                IndexImpl::BTree(t)
+            }
+            IndexKind::Hash { column } => {
+                let ci = self.schema.index_of(column)?;
+                let mut h = HashIndex::with_capacity(self.heap.len());
+                for (rid, bytes) in self.heap.iter() {
+                    let row = Row::decode(bytes, &self.schema)?;
+                    h.insert(OrdValue(row.get(ci).clone()), rid);
+                }
+                IndexImpl::Hash(h)
+            }
+            IndexKind::Spatial(cols) => {
+                let mut items = Vec::with_capacity(self.heap.len());
+                for (rid, bytes) in self.heap.iter() {
+                    let row = Row::decode(bytes, &self.schema)?;
+                    items.push((self.row_bbox(&row, cols)?, rid));
+                }
+                IndexImpl::Spatial(RTree::bulk_load(items))
+            }
+        };
+        self.indexes.push(Index { name, kind, imp });
+        Ok(())
+    }
+
+    /// Delete a row, removing its entries from every index (the §4 update
+    /// model's substrate: "editing updates, which can be supported by DBMS
+    /// concurrency control"). Returns false if the row was already gone.
+    pub fn delete_row(&mut self, rid: RecordId) -> Result<bool> {
+        let Some(row) = self.get(rid)? else {
+            return Ok(false);
+        };
+        // collect per-index removal keys before mutating
+        enum Removal {
+            Key(OrdValue),
+            Box(Rect),
+        }
+        let mut removals = Vec::with_capacity(self.indexes.len());
+        for idx in &self.indexes {
+            removals.push(match &idx.kind {
+                IndexKind::BTree { column } | IndexKind::Hash { column } => {
+                    let ci = self.schema.index_of(column)?;
+                    Removal::Key(OrdValue(row.get(ci).clone()))
+                }
+                IndexKind::Spatial(cols) => Removal::Box(self.row_bbox(&row, cols)?),
+            });
+        }
+        for (idx, removal) in self.indexes.iter_mut().zip(removals) {
+            match (&mut idx.imp, removal) {
+                (IndexImpl::BTree(t), Removal::Key(k)) => {
+                    t.remove_one(&k, |r| *r == rid);
+                }
+                (IndexImpl::Hash(h), Removal::Key(k)) => {
+                    h.remove_one(&k, |r| *r == rid);
+                }
+                (IndexImpl::Spatial(t), Removal::Box(b)) => {
+                    t.remove_one(&b, |r| *r == rid);
+                }
+                _ => unreachable!("index kind / impl mismatch"),
+            }
+        }
+        Ok(self.heap.delete(rid))
+    }
+
+    /// Update a row in place: delete + re-insert (indexes maintained).
+    /// Returns the new record id.
+    pub fn update_row(&mut self, rid: RecordId, new_row: Row) -> Result<RecordId> {
+        self.schema.check_row(&new_row.values)?;
+        if !self.delete_row(rid)? {
+            return Err(StorageError::ExecError(format!(
+                "update of missing row at {rid:?}"
+            )));
+        }
+        self.insert(new_row)
+    }
+
+    /// Find an index whose kind matches `pred`.
+    pub fn find_index<F: Fn(&IndexKind) -> bool>(&self, pred: F) -> Option<usize> {
+        self.indexes.iter().position(|i| pred(&i.kind))
+    }
+
+    /// A B-tree or hash index on `column` (hash preferred for equality).
+    pub fn eq_index_on(&self, column: &str) -> Option<usize> {
+        self.find_index(|k| matches!(k, IndexKind::Hash { column: c } if c == column))
+            .or_else(|| {
+                self.find_index(|k| matches!(k, IndexKind::BTree { column: c } if c == column))
+            })
+    }
+
+    pub fn btree_index_on(&self, column: &str) -> Option<usize> {
+        self.find_index(|k| matches!(k, IndexKind::BTree { column: c } if c == column))
+    }
+
+    pub fn spatial_index(&self) -> Option<usize> {
+        self.find_index(|k| matches!(k, IndexKind::Spatial(_)))
+    }
+
+    /// Probe an equality index; visits matching record ids.
+    pub fn probe_eq<F: FnMut(RecordId)>(
+        &self,
+        index_no: usize,
+        key: &Value,
+        mut f: F,
+    ) -> usize {
+        let key = OrdValue(key.clone());
+        match &self.indexes[index_no].imp {
+            IndexImpl::BTree(t) => t.for_each_eq(&key, |rid| f(*rid)),
+            IndexImpl::Hash(h) => h.for_each_eq(&key, |rid| f(*rid)),
+            IndexImpl::Spatial(_) => 0,
+        }
+    }
+
+    /// Probe a B-tree range; visits matching record ids.
+    pub fn probe_range<F: FnMut(RecordId)>(
+        &self,
+        index_no: usize,
+        lo: &Value,
+        hi: &Value,
+        mut f: F,
+    ) -> usize {
+        let lo = OrdValue(lo.clone());
+        let hi = OrdValue(hi.clone());
+        let mut n = 0;
+        if let IndexImpl::BTree(t) = &self.indexes[index_no].imp {
+            t.for_range(&lo, &hi, |_, rid| {
+                f(*rid);
+                n += 1;
+            });
+        }
+        n
+    }
+
+    /// Probe the spatial index; visits matching record ids.
+    /// Returns (matches, nodes_visited).
+    pub fn probe_spatial<F: FnMut(RecordId)>(
+        &self,
+        index_no: usize,
+        rect: &Rect,
+        mut f: F,
+    ) -> (usize, usize) {
+        let mut n = 0;
+        let visited = if let IndexImpl::Spatial(t) = &self.indexes[index_no].imp {
+            t.for_each_intersecting(rect, |_, rid| {
+                f(*rid);
+                n += 1;
+            })
+        } else {
+            0
+        };
+        (n, visited)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::value::DataType;
+
+    fn dots_table() -> Table {
+        let schema = Schema::empty()
+            .with("tuple_id", DataType::Int)
+            .with("x", DataType::Float)
+            .with("y", DataType::Float);
+        let mut t = Table::new("dots", schema);
+        for i in 0..100i64 {
+            t.insert(Row::new(vec![
+                Value::Int(i),
+                Value::Float((i % 10) as f64),
+                Value::Float((i / 10) as f64),
+            ]))
+            .unwrap();
+        }
+        t
+    }
+
+    #[test]
+    fn insert_get_roundtrip() {
+        let t = dots_table();
+        assert_eq!(t.len(), 100);
+        let mut count = 0;
+        t.scan(|_, row| {
+            assert_eq!(row.len(), 3);
+            count += 1;
+        })
+        .unwrap();
+        assert_eq!(count, 100);
+    }
+
+    #[test]
+    fn btree_index_built_and_maintained() {
+        let mut t = dots_table();
+        t.create_index("by_id", IndexKind::BTree { column: "tuple_id".into() })
+            .unwrap();
+        // post-index insert is also indexed
+        t.insert(Row::new(vec![
+            Value::Int(100),
+            Value::Float(0.0),
+            Value::Float(0.0),
+        ]))
+        .unwrap();
+        let idx = t.eq_index_on("tuple_id").unwrap();
+        let mut hits = Vec::new();
+        t.probe_eq(idx, &Value::Int(100), |rid| hits.push(rid));
+        assert_eq!(hits.len(), 1);
+        let row = t.get(hits[0]).unwrap().unwrap();
+        assert_eq!(row.get(0), &Value::Int(100));
+    }
+
+    #[test]
+    fn hash_preferred_for_equality() {
+        let mut t = dots_table();
+        t.create_index("bt", IndexKind::BTree { column: "tuple_id".into() })
+            .unwrap();
+        t.create_index("h", IndexKind::Hash { column: "tuple_id".into() })
+            .unwrap();
+        let idx = t.eq_index_on("tuple_id").unwrap();
+        assert!(matches!(t.indexes[idx].kind, IndexKind::Hash { .. }));
+    }
+
+    #[test]
+    fn spatial_index_point_queries() {
+        let mut t = dots_table();
+        t.create_index(
+            "sp",
+            IndexKind::Spatial(SpatialCols::Point {
+                x: "x".into(),
+                y: "y".into(),
+            }),
+        )
+        .unwrap();
+        let idx = t.spatial_index().unwrap();
+        let mut hits = Vec::new();
+        let (n, visited) =
+            t.probe_spatial(idx, &Rect::new(0.0, 0.0, 2.0, 2.0), |rid| hits.push(rid));
+        assert_eq!(n, 9); // 3x3 inclusive grid of (x,y) in 0..=2
+        assert!(visited >= 1);
+        assert_eq!(hits.len(), 9);
+    }
+
+    #[test]
+    fn duplicate_index_name_rejected() {
+        let mut t = dots_table();
+        t.create_index("i", IndexKind::BTree { column: "x".into() })
+            .unwrap();
+        assert!(matches!(
+            t.create_index("i", IndexKind::Hash { column: "y".into() }),
+            Err(StorageError::IndexExists(_))
+        ));
+    }
+
+    #[test]
+    fn index_on_missing_column_rejected() {
+        let mut t = dots_table();
+        assert!(t
+            .create_index("bad", IndexKind::BTree { column: "nope".into() })
+            .is_err());
+    }
+
+    #[test]
+    fn schema_mismatch_rejected() {
+        let mut t = dots_table();
+        assert!(t
+            .insert(Row::new(vec![Value::Text("bad".into())]))
+            .is_err());
+    }
+}

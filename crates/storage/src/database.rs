@@ -1,0 +1,746 @@
+//! The `Database`: a named collection of tables plus the SQL entry points.
+
+use crate::catalog::{IndexKind, Table};
+use crate::error::{Result, StorageError};
+use crate::fxhash::FxHashMap;
+use crate::row::Row;
+use crate::schema::Schema;
+use crate::sql::bind::{Bindings, BoundExpr};
+use crate::sql::{
+    execute_select, explain_select, output_schema, parse, parse_statement, QueryResult, Select,
+    Statement,
+};
+use crate::stats::{DbCounters, ExecStats};
+use crate::value::{DataType, Value};
+
+/// An embedded relational database.
+#[derive(Default)]
+pub struct Database {
+    tables: FxHashMap<String, Table>,
+    /// Cumulative counters across all queries (thread-safe).
+    pub counters: DbCounters,
+}
+
+/// A parsed statement, reusable across executions with different parameters.
+/// This mirrors the prepared-statement path a Kyrix backend would use against
+/// PostgreSQL for its per-tile / per-box queries.
+#[derive(Debug, Clone)]
+pub struct Prepared {
+    pub(crate) stmt: Select,
+    /// Original SQL, kept for diagnostics.
+    pub sql: String,
+}
+
+impl Database {
+    pub fn new() -> Self {
+        Database::default()
+    }
+
+    /// Create a table. Errors if the name is taken.
+    pub fn create_table(&mut self, name: impl Into<String>, schema: Schema) -> Result<&mut Table> {
+        let name = name.into();
+        if self.tables.contains_key(&name) {
+            return Err(StorageError::TableExists(name));
+        }
+        self.tables.insert(name.clone(), Table::new(&name, schema));
+        Ok(self.tables.get_mut(&name).expect("just inserted"))
+    }
+
+    pub fn drop_table(&mut self, name: &str) -> Result<()> {
+        self.tables
+            .remove(name)
+            .map(|_| ())
+            .ok_or_else(|| StorageError::UnknownTable(name.to_string()))
+    }
+
+    pub fn has_table(&self, name: &str) -> bool {
+        self.tables.contains_key(name)
+    }
+
+    pub fn table(&self, name: &str) -> Result<&Table> {
+        self.tables
+            .get(name)
+            .ok_or_else(|| StorageError::UnknownTable(name.to_string()))
+    }
+
+    pub fn table_mut(&mut self, name: &str) -> Result<&mut Table> {
+        self.tables
+            .get_mut(name)
+            .ok_or_else(|| StorageError::UnknownTable(name.to_string()))
+    }
+
+    pub fn table_names(&self) -> Vec<&str> {
+        let mut v: Vec<&str> = self.tables.keys().map(String::as_str).collect();
+        v.sort_unstable();
+        v
+    }
+
+    /// Insert a row into a table.
+    pub fn insert(&mut self, table: &str, row: Row) -> Result<()> {
+        self.table_mut(table)?.insert(row).map(|_| ())
+    }
+
+    /// Create an index on a table, building it from existing rows.
+    pub fn create_index(
+        &mut self,
+        table: &str,
+        index_name: impl Into<String>,
+        kind: IndexKind,
+    ) -> Result<()> {
+        self.table_mut(table)?.create_index(index_name, kind)
+    }
+
+    /// Parse + plan + execute a read-only statement (SELECT or EXPLAIN).
+    pub fn query(&self, sql: &str, params: &[Value]) -> Result<QueryResult> {
+        match parse_statement(sql)? {
+            Statement::Select(stmt) => execute_select(self, &stmt, params),
+            Statement::Explain(stmt) => explain_select(self, &stmt),
+            _ => Err(StorageError::PlanError(
+                "Database::query is read-only; use Database::run for INSERT/UPDATE/DELETE"
+                    .to_string(),
+            )),
+        }
+    }
+
+    /// Execute any statement. SELECT/EXPLAIN return their result; DML
+    /// statements return a single-row result with an `affected` column.
+    ///
+    /// ```
+    /// # use kyrix_storage::*;
+    /// # let mut db = Database::new();
+    /// # db.create_table("t", Schema::empty().with("x", DataType::Int)).unwrap();
+    /// db.run("INSERT INTO t VALUES (1), (2), (3)", &[]).unwrap();
+    /// let n = db.run("UPDATE t SET x = x * 10 WHERE x >= 2", &[]).unwrap();
+    /// assert_eq!(n.rows[0].get(0), &Value::Int(2));
+    /// let r = db.run("SELECT SUM(x) FROM t", &[]).unwrap();
+    /// assert_eq!(r.rows[0].get(0), &Value::Int(51));
+    /// ```
+    pub fn run(&mut self, sql: &str, params: &[Value]) -> Result<QueryResult> {
+        match parse_statement(sql)? {
+            Statement::Select(stmt) => execute_select(self, &stmt, params),
+            Statement::Explain(stmt) => explain_select(self, &stmt),
+            Statement::Insert(ins) => {
+                let n = self.run_insert(&ins, params)?;
+                Ok(affected_result(n))
+            }
+            Statement::Delete(del) => {
+                let n = match &del.where_clause {
+                    Some(pred) => self.delete_matching(&del.table.table, pred, params)?,
+                    None => self.delete_all(&del.table.table)?,
+                };
+                Ok(affected_result(n))
+            }
+            Statement::Update(upd) => {
+                let n = self.run_update(&upd, params)?;
+                Ok(affected_result(n))
+            }
+            Statement::CreateTable(ct) => {
+                let mut schema = Schema::empty();
+                for (name, dtype) in ct.columns {
+                    schema = schema.with(name, dtype);
+                }
+                self.create_table(ct.table, schema)?;
+                Ok(affected_result(0))
+            }
+            Statement::CreateIndex(ci) => {
+                let kind = match ci.kind {
+                    crate::sql::ast::IndexSpec::BTree { column } => IndexKind::BTree { column },
+                    crate::sql::ast::IndexSpec::Hash { column } => IndexKind::Hash { column },
+                    crate::sql::ast::IndexSpec::SpatialPoint { x, y } => {
+                        IndexKind::Spatial(crate::catalog::SpatialCols::Point { x, y })
+                    }
+                };
+                self.create_index(&ci.table, ci.name, kind)?;
+                Ok(affected_result(0))
+            }
+            Statement::DropTable(name) => {
+                self.drop_table(&name)?;
+                Ok(affected_result(0))
+            }
+        }
+    }
+
+    fn run_insert(&mut self, ins: &crate::sql::Insert, params: &[Value]) -> Result<usize> {
+        let table = self.table(&ins.table)?;
+        let schema = table.schema.clone();
+        // map supplied expressions to schema positions
+        let positions: Vec<usize> = match &ins.columns {
+            Some(cols) => cols
+                .iter()
+                .map(|c| schema.index_of(c))
+                .collect::<Result<_>>()?,
+            None => (0..schema.len()).collect(),
+        };
+        let empty = Bindings::single(&ins.table, &schema);
+        let mut staged = Vec::with_capacity(ins.rows.len());
+        for exprs in &ins.rows {
+            if exprs.len() != positions.len() {
+                return Err(StorageError::ExecError(format!(
+                    "INSERT expects {} values per row, got {}",
+                    positions.len(),
+                    exprs.len()
+                )));
+            }
+            // unspecified columns default to NULL
+            let mut values = vec![Value::Null; schema.len()];
+            for (expr, &pos) in exprs.iter().zip(&positions) {
+                let v = BoundExpr::bind(expr, &empty)?.eval_const(params)?;
+                values[pos] = coerce(v, schema.column(pos).dtype);
+            }
+            staged.push(Row::new(values));
+        }
+        let n = staged.len();
+        let t = self.table_mut(&ins.table)?;
+        for row in staged {
+            t.insert(row)?;
+        }
+        Ok(n)
+    }
+
+    fn run_update(&mut self, upd: &crate::sql::Update, params: &[Value]) -> Result<usize> {
+        let table_name = upd.table.table.clone();
+        let binding = upd.table.binding().to_string();
+        let t = self.table(&table_name)?;
+        let schema = t.schema.clone();
+        let bindings = Bindings::single(&binding, &schema);
+        // resolve assignments once
+        let sets: Vec<(usize, DataType, BoundExpr)> = upd
+            .sets
+            .iter()
+            .map(|(col, expr)| {
+                let i = schema.index_of(col)?;
+                Ok((i, schema.column(i).dtype, BoundExpr::bind(expr, &bindings)?))
+            })
+            .collect::<Result<_>>()?;
+        let rids = match &upd.where_clause {
+            Some(pred) => self.rids_matching(&table_name, &binding, pred, params)?,
+            None => self.all_rids(&table_name)?,
+        };
+        let t = self.table_mut(&table_name)?;
+        for &rid in &rids {
+            let mut row = t
+                .get(rid)?
+                .ok_or_else(|| StorageError::ExecError("row vanished mid-update".into()))?;
+            let mut new_values = Vec::with_capacity(sets.len());
+            for (i, dtype, expr) in &sets {
+                new_values.push((*i, coerce(expr.eval(&row.values, params)?, *dtype)));
+            }
+            for (i, v) in new_values {
+                row.values[i] = v;
+            }
+            t.update_row(rid, row)?;
+        }
+        Ok(rids.len())
+    }
+
+    fn delete_matching(
+        &mut self,
+        table: &str,
+        pred: &crate::sql::SqlExpr,
+        params: &[Value],
+    ) -> Result<usize> {
+        let rids = self.rids_matching(table, table, pred, params)?;
+        let t = self.table_mut(table)?;
+        for rid in &rids {
+            t.delete_row(*rid)?;
+        }
+        Ok(rids.len())
+    }
+
+    fn delete_all(&mut self, table: &str) -> Result<usize> {
+        let rids = self.all_rids(table)?;
+        let t = self.table_mut(table)?;
+        for rid in &rids {
+            t.delete_row(*rid)?;
+        }
+        Ok(rids.len())
+    }
+
+    fn all_rids(&self, table: &str) -> Result<Vec<crate::heap::RecordId>> {
+        let t = self.table(table)?;
+        let mut rids = Vec::with_capacity(t.len());
+        t.scan(|rid, _| rids.push(rid))?;
+        Ok(rids)
+    }
+
+    /// Record ids matching a bound predicate.
+    fn rids_matching(
+        &self,
+        table: &str,
+        binding: &str,
+        pred: &crate::sql::SqlExpr,
+        params: &[Value],
+    ) -> Result<Vec<crate::heap::RecordId>> {
+        let t = self.table(table)?;
+        let bound = BoundExpr::bind(pred, &Bindings::single(binding, &t.schema))?;
+        let mut rids = Vec::new();
+        let mut first_err = None;
+        t.scan(|rid, row| {
+            if first_err.is_some() {
+                return;
+            }
+            match bound.eval(&row.values, params).and_then(|v| v.as_bool()) {
+                Ok(true) => rids.push(rid),
+                Ok(false) => {}
+                Err(e) => first_err = Some(e),
+            }
+        })?;
+        match first_err {
+            Some(e) => Err(e),
+            None => Ok(rids),
+        }
+    }
+
+    /// Parse once; execute many times with different parameters.
+    pub fn prepare(&self, sql: &str) -> Result<Prepared> {
+        Ok(Prepared {
+            stmt: parse(sql)?,
+            sql: sql.to_string(),
+        })
+    }
+
+    /// Execute a prepared statement. Planning happens per execution (the
+    /// plan depends on available indexes, which may change between calls).
+    pub fn execute(&self, prepared: &Prepared, params: &[Value]) -> Result<QueryResult> {
+        execute_select(self, &prepared.stmt, params)
+    }
+
+    /// Infer the output schema of a query without running it.
+    pub fn query_schema(&self, sql: &str) -> Result<Schema> {
+        let stmt = parse(sql)?;
+        output_schema(self, &stmt)
+    }
+
+    /// Record ids of rows matching a WHERE predicate (`$n` params bind).
+    fn rids_where(
+        &self,
+        table: &str,
+        predicate: &str,
+        params: &[Value],
+    ) -> Result<Vec<crate::heap::RecordId>> {
+        let stmt = parse(&format!("SELECT * FROM {table} WHERE {predicate}"))?;
+        let pred = stmt
+            .where_clause
+            .ok_or_else(|| StorageError::ParseError("empty predicate".into()))?;
+        self.rids_matching(table, stmt.from.binding(), &pred, params)
+    }
+
+    /// Delete all rows matching a predicate, maintaining every index
+    /// (the §4 update model). Returns the number of rows deleted.
+    ///
+    /// ```
+    /// # use kyrix_storage::*;
+    /// # let mut db = Database::new();
+    /// # db.create_table("t", Schema::empty().with("x", DataType::Int)).unwrap();
+    /// # for i in 0..10 { db.insert("t", Row::new(vec![Value::Int(i)])).unwrap(); }
+    /// let n = db.delete_where("t", "x >= $1", &[Value::Int(5)]).unwrap();
+    /// assert_eq!(n, 5);
+    /// assert_eq!(db.table("t").unwrap().len(), 5);
+    /// ```
+    pub fn delete_where(
+        &mut self,
+        table: &str,
+        predicate: &str,
+        params: &[Value],
+    ) -> Result<usize> {
+        let rids = self.rids_where(table, predicate, params)?;
+        let t = self.table_mut(table)?;
+        for rid in &rids {
+            t.delete_row(*rid)?;
+        }
+        Ok(rids.len())
+    }
+
+    /// Set columns to constant values on all rows matching a predicate
+    /// (e.g. tagging relevant data, the MGH use case in paper §4).
+    /// Returns the number of rows updated.
+    pub fn update_where(
+        &mut self,
+        table: &str,
+        assignments: &[(&str, Value)],
+        predicate: &str,
+        params: &[Value],
+    ) -> Result<usize> {
+        let rids = self.rids_where(table, predicate, params)?;
+        // resolve assignment columns once
+        let t = self.table(table)?;
+        let cols: Vec<usize> = assignments
+            .iter()
+            .map(|(c, _)| t.schema.index_of(c))
+            .collect::<Result<_>>()?;
+        let t = self.table_mut(table)?;
+        for rid in &rids {
+            let mut row = t
+                .get(*rid)?
+                .ok_or_else(|| StorageError::ExecError("row vanished mid-update".into()))?;
+            for (ci, (_, v)) in cols.iter().zip(assignments) {
+                row.values[*ci] = v.clone();
+            }
+            t.update_row(*rid, row)?;
+        }
+        Ok(rids.len())
+    }
+
+    /// Total resident bytes across table heaps.
+    pub fn heap_bytes(&self) -> usize {
+        self.tables.values().map(Table::heap_bytes).sum()
+    }
+}
+
+/// Single-row `affected` result for DML statements.
+fn affected_result(n: usize) -> QueryResult {
+    QueryResult {
+        schema: Schema::empty().with("affected", DataType::Int),
+        rows: vec![Row::new(vec![Value::Int(n as i64)])],
+        stats: ExecStats::default(),
+    }
+}
+
+/// Lossless convenience coercion for SQL writes: Int literals may land in
+/// Float columns (the strict per-type check happens in `Schema::check_row`).
+fn coerce(v: Value, dtype: DataType) -> Value {
+    match (v, dtype) {
+        (Value::Int(i), DataType::Float) => Value::Float(i as f64),
+        (v, _) => v,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::catalog::SpatialCols;
+    use crate::value::DataType;
+
+    /// Build the paper's two-design database: a record table, a tuple→tile
+    /// mapping table (design 1) and a spatial side table (design 2).
+    fn paper_db() -> Database {
+        let mut db = Database::new();
+        // record table: raw attributes + tuple_id
+        db.create_table(
+            "record",
+            Schema::empty()
+                .with("tuple_id", DataType::Int)
+                .with("x", DataType::Float)
+                .with("y", DataType::Float),
+        )
+        .unwrap();
+        // mapping table: (tuple_id, tile_id)
+        db.create_table(
+            "mapping",
+            Schema::empty()
+                .with("tuple_id", DataType::Int)
+                .with("tile_id", DataType::Int),
+        )
+        .unwrap();
+        // 20x20 grid of dots; tiles of 10x10 -> 4 tiles (2x2)
+        for i in 0..400i64 {
+            let x = (i % 20) as f64;
+            let y = (i / 20) as f64;
+            db.insert(
+                "record",
+                Row::new(vec![Value::Int(i), Value::Float(x), Value::Float(y)]),
+            )
+            .unwrap();
+            let tile = (x as i64 / 10) + (y as i64 / 10) * 2;
+            db.insert(
+                "mapping",
+                Row::new(vec![Value::Int(i), Value::Int(tile)]),
+            )
+            .unwrap();
+        }
+        db.create_index(
+            "record",
+            "record_tuple_id",
+            IndexKind::Hash {
+                column: "tuple_id".into(),
+            },
+        )
+        .unwrap();
+        db.create_index(
+            "mapping",
+            "mapping_tile_id",
+            IndexKind::BTree {
+                column: "tile_id".into(),
+            },
+        )
+        .unwrap();
+        db.create_index(
+            "record",
+            "record_spatial",
+            IndexKind::Spatial(SpatialCols::Point {
+                x: "x".into(),
+                y: "y".into(),
+            }),
+        )
+        .unwrap();
+        db
+    }
+
+    #[test]
+    fn tile_query_via_mapping_join() {
+        let db = paper_db();
+        let r = db
+            .query(
+                "SELECT r.* FROM mapping m JOIN record r ON m.tuple_id = r.tuple_id \
+                 WHERE m.tile_id = $1",
+                &[Value::Int(0)],
+            )
+            .unwrap();
+        // tile 0 = x in 0..10, y in 0..10 -> 100 dots
+        assert_eq!(r.rows.len(), 100);
+        assert_eq!(r.schema.len(), 3);
+        assert!(r.stats.index_probes >= 1, "join must use indexes");
+        // every returned dot is inside the tile
+        for row in &r.rows {
+            let x = row.get(1).as_f64().unwrap();
+            let y = row.get(2).as_f64().unwrap();
+            assert!(x < 10.0 && y < 10.0);
+        }
+    }
+
+    #[test]
+    fn box_query_via_spatial_index() {
+        let db = paper_db();
+        let r = db
+            .query(
+                "SELECT * FROM record WHERE bbox && rect($1, $2, $3, $4)",
+                &[
+                    Value::Float(0.0),
+                    Value::Float(0.0),
+                    Value::Float(4.0),
+                    Value::Float(4.0),
+                ],
+            )
+            .unwrap();
+        assert_eq!(r.rows.len(), 25); // 5x5 inclusive
+        assert!(r.stats.nodes_visited > 0);
+    }
+
+    #[test]
+    fn spatial_and_mapping_agree() {
+        let db = paper_db();
+        // tile 3 = x in 10..20, y in 10..20
+        let via_mapping = db
+            .query(
+                "SELECT r.* FROM mapping m JOIN record r ON m.tuple_id = r.tuple_id \
+                 WHERE m.tile_id = 3",
+                &[],
+            )
+            .unwrap();
+        let via_spatial = db
+            .query(
+                "SELECT * FROM record WHERE bbox && rect(10, 10, 19, 19)",
+                &[],
+            )
+            .unwrap();
+        let ids = |r: &QueryResult| {
+            let mut v: Vec<i64> = r
+                .rows
+                .iter()
+                .map(|row| row.get(0).as_i64().unwrap())
+                .collect();
+            v.sort_unstable();
+            v
+        };
+        assert_eq!(ids(&via_mapping), ids(&via_spatial));
+        assert_eq!(via_mapping.rows.len(), 100);
+    }
+
+    #[test]
+    fn count_star_and_filters() {
+        let db = paper_db();
+        let r = db
+            .query("SELECT COUNT(*) FROM record WHERE x < 5 AND y < 2", &[])
+            .unwrap();
+        assert_eq!(r.rows[0].get(0), &Value::Int(10));
+    }
+
+    #[test]
+    fn order_by_and_limit() {
+        let db = paper_db();
+        let r = db
+            .query(
+                "SELECT tuple_id FROM record WHERE y = 0 ORDER BY x DESC LIMIT 3",
+                &[],
+            )
+            .unwrap();
+        let ids: Vec<i64> = r
+            .rows
+            .iter()
+            .map(|row| row.get(0).as_i64().unwrap())
+            .collect();
+        assert_eq!(ids, vec![19, 18, 17]);
+    }
+
+    #[test]
+    fn between_uses_btree() {
+        let mut db = paper_db();
+        db.create_index(
+            "record",
+            "record_x",
+            IndexKind::BTree { column: "x".into() },
+        )
+        .unwrap();
+        let stmt = parse("SELECT * FROM record WHERE x BETWEEN 3 AND 4").unwrap();
+        let plan = crate::sql::plan_select(&db, &stmt).unwrap();
+        assert_eq!(plan.describe(), "IndexRange(record)");
+        let r = db
+            .query("SELECT * FROM record WHERE x BETWEEN 3 AND 4", &[])
+            .unwrap();
+        assert_eq!(r.rows.len(), 40);
+    }
+
+    #[test]
+    fn seq_scan_fallback_counts_all_rows() {
+        let db = paper_db();
+        let r = db
+            .query("SELECT * FROM mapping WHERE tuple_id = 7", &[])
+            .unwrap();
+        // no index on mapping.tuple_id -> seq scan over 400 rows
+        assert_eq!(r.rows.len(), 1);
+        assert_eq!(r.stats.rows_scanned, 400);
+    }
+
+    #[test]
+    fn prepared_statements_rerun() {
+        let db = paper_db();
+        let p = db
+            .prepare("SELECT COUNT(*) FROM record WHERE bbox && rect($1,$2,$3,$4)")
+            .unwrap();
+        for (x, expect) in [(0.0, 4), (18.0, 4)] {
+            let r = db
+                .execute(
+                    &p,
+                    &[
+                        Value::Float(x),
+                        Value::Float(0.0),
+                        Value::Float(x + 1.0),
+                        Value::Float(1.0),
+                    ],
+                )
+                .unwrap();
+            assert_eq!(r.rows[0].get(0), &Value::Int(expect));
+        }
+    }
+
+    #[test]
+    fn counters_accumulate() {
+        let db = paper_db();
+        db.counters.reset();
+        db.query("SELECT * FROM record WHERE x = 0", &[]).unwrap();
+        db.query("SELECT * FROM record WHERE y = 0", &[]).unwrap();
+        assert_eq!(db.counters.queries(), 2);
+    }
+
+    #[test]
+    fn errors_surface() {
+        let db = paper_db();
+        assert!(matches!(
+            db.query("SELECT * FROM nope", &[]),
+            Err(StorageError::UnknownTable(_))
+        ));
+        assert!(matches!(
+            db.query("SELECT missing FROM record", &[]),
+            Err(StorageError::UnknownColumn(_))
+        ));
+        assert!(matches!(
+            db.query("SELECT * FROM record WHERE x = $1", &[]),
+            Err(StorageError::MissingParam(1))
+        ));
+        assert!(db.query("SELECT * FROM mapping WHERE bbox && rect(0,0,1,1)", &[]).is_err());
+    }
+
+    #[test]
+    fn delete_where_maintains_indexes() {
+        let mut db = paper_db();
+        // delete the top half of the grid
+        let n = db.delete_where("record", "y >= 10", &[]).unwrap();
+        assert_eq!(n, 200);
+        assert_eq!(db.table("record").unwrap().len(), 200);
+        // spatial index no longer returns deleted dots
+        let r = db
+            .query("SELECT COUNT(*) FROM record WHERE bbox && rect(0, 0, 19, 19)", &[])
+            .unwrap();
+        assert_eq!(r.rows[0].get(0), &Value::Int(200));
+        // hash index probe on a deleted tuple finds nothing
+        let r = db
+            .query("SELECT * FROM record WHERE tuple_id = 399", &[])
+            .unwrap();
+        assert!(r.rows.is_empty());
+        // ... and still finds a surviving tuple
+        let r = db
+            .query("SELECT * FROM record WHERE tuple_id = 0", &[])
+            .unwrap();
+        assert_eq!(r.rows.len(), 1);
+    }
+
+    #[test]
+    fn update_where_moves_rows_in_every_index() {
+        let mut db = paper_db();
+        // teleport dot 7 to a far corner (the MGH editing scenario)
+        let n = db
+            .update_where(
+                "record",
+                &[("x", Value::Float(19.0)), ("y", Value::Float(19.0))],
+                "tuple_id = $1",
+                &[Value::Int(7)],
+            )
+            .unwrap();
+        assert_eq!(n, 1);
+        // the spatial index sees it at the new location...
+        let r = db
+            .query(
+                "SELECT tuple_id FROM record WHERE bbox && rect(18.5, 18.5, 19.5, 19.5)",
+                &[],
+            )
+            .unwrap();
+        let ids: Vec<i64> = r.rows.iter().map(|x| x.get(0).as_i64().unwrap()).collect();
+        assert!(ids.contains(&7), "ids {ids:?}");
+        // ...and not at the old one (x=7, y=0)
+        let r = db
+            .query(
+                "SELECT tuple_id FROM record WHERE bbox && rect(6.5, -0.5, 7.5, 0.5)",
+                &[],
+            )
+            .unwrap();
+        assert!(r.rows.is_empty());
+        // the hash index still resolves the tuple exactly once
+        let r = db
+            .query("SELECT * FROM record WHERE tuple_id = 7", &[])
+            .unwrap();
+        assert_eq!(r.rows.len(), 1);
+        assert_eq!(r.rows[0].get(1), &Value::Float(19.0));
+        assert_eq!(db.table("record").unwrap().len(), 400);
+    }
+
+    #[test]
+    fn update_where_rejects_bad_inputs() {
+        let mut db = paper_db();
+        assert!(db
+            .update_where("record", &[("nope", Value::Int(1))], "tuple_id = 0", &[])
+            .is_err());
+        assert!(db.delete_where("nope", "tuple_id = 0", &[]).is_err());
+        assert!(db.delete_where("record", "SELECT garbage", &[]).is_err());
+        // type-mismatched assignment is rejected by the schema check
+        assert!(db
+            .update_where(
+                "record",
+                &[("x", Value::Text("not a number".into()))],
+                "tuple_id = 0",
+                &[],
+            )
+            .is_err());
+    }
+
+    #[test]
+    fn create_drop_table() {
+        let mut db = Database::new();
+        db.create_table("t", Schema::empty().with("a", DataType::Int))
+            .unwrap();
+        assert!(db.create_table("t", Schema::empty()).is_err());
+        assert!(db.has_table("t"));
+        db.drop_table("t").unwrap();
+        assert!(!db.has_table("t"));
+        assert!(db.drop_table("t").is_err());
+    }
+}

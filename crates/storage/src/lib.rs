@@ -1,0 +1,74 @@
+//! `kyrix-storage`: the embedded relational engine underpinning the Kyrix
+//! reproduction.
+//!
+//! The CIDR'19 Kyrix paper runs on PostgreSQL; this crate provides the
+//! equivalent substrate built from scratch:
+//!
+//! * slotted-page **heap tables** ([`heap::TableHeap`], 8 KiB pages),
+//! * a **B+tree** with duplicate keys ([`btree::BPlusTree`]) — the index for
+//!   the paper's tuple–tile *mapping* design,
+//! * a **hash index** ([`hash_index::HashIndex`]) for `tuple_id` probes,
+//! * an **R-tree** with STR bulk loading ([`rtree::RTree`]) — the paper's
+//!   *spatial* design,
+//! * a **SQL layer** ([`sql`]) whose planner picks between those access
+//!   paths exactly the way the paper's two database designs require, with
+//!   aggregates/GROUP BY, DML, DDL, and EXPLAIN on top,
+//! * **transactions** ([`txn`]: row-level 2PL with wait-die deadlock
+//!   avoidance) and a **write-ahead log** ([`wal`]) with crash recovery —
+//!   the paper's §4 "editing updates ... supported by DBMS concurrency
+//!   control".
+//!
+//! ```
+//! use kyrix_storage::{Database, Schema, DataType, Row, Value, IndexKind, SpatialCols};
+//!
+//! let mut db = Database::new();
+//! db.create_table(
+//!     "dots",
+//!     Schema::empty()
+//!         .with("id", DataType::Int)
+//!         .with("x", DataType::Float)
+//!         .with("y", DataType::Float),
+//! ).unwrap();
+//! for i in 0..100 {
+//!     db.insert("dots", Row::new(vec![
+//!         Value::Int(i), Value::Float(i as f64), Value::Float((i % 10) as f64),
+//!     ])).unwrap();
+//! }
+//! db.create_index("dots", "sp", IndexKind::Spatial(SpatialCols::Point {
+//!     x: "x".into(), y: "y".into(),
+//! })).unwrap();
+//! let r = db.query("SELECT COUNT(*) FROM dots WHERE bbox && rect(0, 0, 9, 9)", &[]).unwrap();
+//! assert_eq!(r.rows[0].get(0), &Value::Int(10));
+//! ```
+
+pub mod btree;
+pub mod catalog;
+pub mod database;
+pub mod error;
+pub mod fxhash;
+pub mod geom;
+pub mod hash_index;
+pub mod heap;
+pub mod page;
+pub mod persist;
+pub mod row;
+pub mod rtree;
+pub mod schema;
+pub mod sql;
+pub mod stats;
+pub mod txn;
+pub mod value;
+pub mod wal;
+
+pub use catalog::{IndexKind, SpatialCols, Table};
+pub use database::{Database, Prepared};
+pub use error::{Result, StorageError};
+pub use geom::{Point, Rect};
+pub use heap::RecordId;
+pub use row::Row;
+pub use schema::{Column, Schema};
+pub use sql::QueryResult;
+pub use stats::{DbCounters, ExecStats};
+pub use txn::{LockKey, LockManager, LockMode, Txn, TxnDatabase};
+pub use value::{DataType, OrdValue, Value};
+pub use wal::{TxnId, Wal, WalRecord};

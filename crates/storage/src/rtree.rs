@@ -1,0 +1,474 @@
+//! An R-tree spatial index with quadratic splits and STR bulk loading.
+//!
+//! This is the index behind the paper's second database design: a spatial
+//! index over per-tuple bounding boxes, answering "all tuples whose bbox
+//! intersects this rectangle" for both static-tile and dynamic-box fetching.
+
+use crate::geom::Rect;
+
+/// Maximum entries per node.
+const MAX_ENTRIES: usize = 16;
+/// Minimum entries after a split.
+const MIN_ENTRIES: usize = 6;
+
+enum Node<V> {
+    Internal { children: Vec<(Rect, usize)> },
+    Leaf { entries: Vec<(Rect, V)> },
+}
+
+impl<V> Node<V> {
+    fn mbr(&self) -> Rect {
+        match self {
+            Node::Internal { children } => children
+                .iter()
+                .fold(Rect::empty(), |acc, (r, _)| acc.union(r)),
+            Node::Leaf { entries } => entries
+                .iter()
+                .fold(Rect::empty(), |acc, (r, _)| acc.union(r)),
+        }
+    }
+
+}
+
+/// An R-tree mapping rectangles to values.
+pub struct RTree<V> {
+    nodes: Vec<Node<V>>,
+    root: usize,
+    len: usize,
+    height: usize,
+}
+
+impl<V: Clone> Default for RTree<V> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<V: Clone> RTree<V> {
+    pub fn new() -> Self {
+        RTree {
+            nodes: vec![Node::Leaf {
+                entries: Vec::new(),
+            }],
+            root: 0,
+            len: 0,
+            height: 1,
+        }
+    }
+
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    pub fn height(&self) -> usize {
+        self.height
+    }
+
+    /// Bounding box of everything in the tree.
+    pub fn bounds(&self) -> Rect {
+        self.nodes[self.root].mbr()
+    }
+
+    // ---------------------------------------------------------- insertion
+
+    /// Insert an entry, splitting nodes as needed (quadratic split).
+    pub fn insert(&mut self, rect: Rect, value: V) {
+        if let Some((split_mbr, split_idx)) = self.insert_at(self.root, rect, value) {
+            let old_root = self.root;
+            let old_mbr = self.nodes[old_root].mbr();
+            self.nodes.push(Node::Internal {
+                children: vec![(old_mbr, old_root), (split_mbr, split_idx)],
+            });
+            self.root = self.nodes.len() - 1;
+            self.height += 1;
+        }
+        self.len += 1;
+    }
+
+    /// Recursive insert; returns Some((mbr, node)) if `node` split.
+    fn insert_at(&mut self, node: usize, rect: Rect, value: V) -> Option<(Rect, usize)> {
+        let is_leaf = matches!(self.nodes[node], Node::Leaf { .. });
+        if is_leaf {
+            if let Node::Leaf { entries } = &mut self.nodes[node] {
+                entries.push((rect, value));
+                if entries.len() > MAX_ENTRIES {
+                    return Some(self.split_leaf(node));
+                }
+            }
+            return None;
+        }
+        // choose subtree with least enlargement (ties: smaller area)
+        let chosen = {
+            let Node::Internal { children } = &self.nodes[node] else {
+                unreachable!()
+            };
+            let mut best = 0usize;
+            let mut best_enl = f64::INFINITY;
+            let mut best_area = f64::INFINITY;
+            for (i, (r, _)) in children.iter().enumerate() {
+                let enl = r.enlargement(&rect);
+                let area = r.area();
+                if enl < best_enl || (enl == best_enl && area < best_area) {
+                    best = i;
+                    best_enl = enl;
+                    best_area = area;
+                }
+            }
+            best
+        };
+        let child_idx = {
+            let Node::Internal { children } = &self.nodes[node] else {
+                unreachable!()
+            };
+            children[chosen].1
+        };
+        let split = self.insert_at(child_idx, rect, value);
+        // refresh chosen child's mbr
+        let child_mbr = self.nodes[child_idx].mbr();
+        if let Node::Internal { children } = &mut self.nodes[node] {
+            children[chosen].0 = child_mbr;
+            if let Some((smbr, sidx)) = split {
+                children.push((smbr, sidx));
+                if children.len() > MAX_ENTRIES {
+                    return Some(self.split_internal(node));
+                }
+            }
+        }
+        None
+    }
+
+    fn split_leaf(&mut self, node: usize) -> (Rect, usize) {
+        let entries = if let Node::Leaf { entries } = &mut self.nodes[node] {
+            std::mem::take(entries)
+        } else {
+            unreachable!()
+        };
+        let (left, right) = quadratic_split(entries, |e| e.0);
+        let right_node = Node::Leaf { entries: right };
+        let right_mbr = right_node.mbr();
+        self.nodes[node] = Node::Leaf { entries: left };
+        self.nodes.push(right_node);
+        (right_mbr, self.nodes.len() - 1)
+    }
+
+    fn split_internal(&mut self, node: usize) -> (Rect, usize) {
+        let children = if let Node::Internal { children } = &mut self.nodes[node] {
+            std::mem::take(children)
+        } else {
+            unreachable!()
+        };
+        let (left, right) = quadratic_split(children, |e| e.0);
+        let right_node = Node::Internal { children: right };
+        let right_mbr = right_node.mbr();
+        self.nodes[node] = Node::Internal { children: left };
+        self.nodes.push(right_node);
+        (right_mbr, self.nodes.len() - 1)
+    }
+
+    /// Remove the first entry with exactly this rectangle whose value
+    /// satisfies `pred`. Like the B+tree, removal is lazy: parent MBRs are
+    /// not tightened (queries stay correct, just marginally less
+    /// selective). Supports the update model of paper §4.
+    pub fn remove_one<F: Fn(&V) -> bool>(&mut self, rect: &Rect, pred: F) -> Option<V> {
+        let mut stack = vec![self.root];
+        while let Some(n) = stack.pop() {
+            match &mut self.nodes[n] {
+                Node::Internal { children } => {
+                    for (r, c) in children.iter() {
+                        if r.contains(rect) || r.intersects(rect) {
+                            stack.push(*c);
+                        }
+                    }
+                }
+                Node::Leaf { entries } => {
+                    if let Some(pos) = entries
+                        .iter()
+                        .position(|(r, v)| r == rect && pred(v))
+                    {
+                        let (_, v) = entries.remove(pos);
+                        self.len -= 1;
+                        return Some(v);
+                    }
+                }
+            }
+        }
+        None
+    }
+
+    // ---------------------------------------------------------- queries
+
+    /// Visit every entry whose rectangle intersects `query`.
+    /// Returns the number of tree nodes visited (an I/O proxy for metrics).
+    pub fn for_each_intersecting<F: FnMut(&Rect, &V)>(&self, query: &Rect, mut f: F) -> usize {
+        let mut stack = vec![self.root];
+        let mut visited = 0;
+        while let Some(n) = stack.pop() {
+            visited += 1;
+            match &self.nodes[n] {
+                Node::Internal { children } => {
+                    for (r, c) in children {
+                        if r.intersects(query) {
+                            stack.push(*c);
+                        }
+                    }
+                }
+                Node::Leaf { entries } => {
+                    for (r, v) in entries {
+                        if r.intersects(query) {
+                            f(r, v);
+                        }
+                    }
+                }
+            }
+        }
+        visited
+    }
+
+    /// Collect values intersecting `query`.
+    pub fn query(&self, query: &Rect) -> Vec<V> {
+        let mut out = Vec::new();
+        self.for_each_intersecting(query, |_, v| out.push(v.clone()));
+        out
+    }
+
+    /// Count entries intersecting `query` without materializing them.
+    pub fn count_intersecting(&self, query: &Rect) -> usize {
+        let mut n = 0;
+        self.for_each_intersecting(query, |_, _| n += 1);
+        n
+    }
+
+    // ---------------------------------------------------------- bulk load
+
+    /// Sort-Tile-Recursive bulk load. Replaces the tree contents.
+    /// Much faster and better-packed than repeated inserts; used by the
+    /// Kyrix precomputation step when building layer indexes from scratch.
+    pub fn bulk_load(items: Vec<(Rect, V)>) -> Self {
+        if items.is_empty() {
+            return Self::new();
+        }
+        let mut tree = RTree {
+            nodes: Vec::new(),
+            root: 0,
+            len: items.len(),
+            height: 1,
+        };
+        // pack leaves with STR
+        let leaf_rects = tree.pack_leaves(items);
+        let mut level: Vec<(Rect, usize)> = leaf_rects;
+        while level.len() > 1 {
+            level = tree.pack_internal(level);
+            tree.height += 1;
+        }
+        tree.root = level[0].1;
+        tree
+    }
+
+    /// Pack items into leaves using STR; returns (mbr, node) per leaf.
+    fn pack_leaves(&mut self, mut items: Vec<(Rect, V)>) -> Vec<(Rect, usize)> {
+        let n = items.len();
+        let per_node = MAX_ENTRIES;
+        let num_leaves = n.div_ceil(per_node);
+        let num_slices = (num_leaves as f64).sqrt().ceil() as usize;
+        let per_slice = n.div_ceil(num_slices);
+        items.sort_by(|a, b| a.0.center().x.total_cmp(&b.0.center().x));
+        let mut out = Vec::with_capacity(num_leaves);
+        let mut items = items.into_iter().collect::<Vec<_>>();
+        for slice in items.chunks_mut(per_slice.max(1)) {
+            slice.sort_by(|a, b| a.0.center().y.total_cmp(&b.0.center().y));
+            let mut start = 0;
+            while start < slice.len() {
+                let end = (start + per_node).min(slice.len());
+                let entries: Vec<(Rect, V)> = slice[start..end]
+                    .iter()
+                    .map(|(r, v)| (*r, v.clone()))
+                    .collect();
+                let node = Node::Leaf { entries };
+                let mbr = node.mbr();
+                self.nodes.push(node);
+                out.push((mbr, self.nodes.len() - 1));
+                start = end;
+            }
+        }
+        out
+    }
+
+    fn pack_internal(&mut self, mut level: Vec<(Rect, usize)>) -> Vec<(Rect, usize)> {
+        let n = level.len();
+        let per_node = MAX_ENTRIES;
+        let num_nodes = n.div_ceil(per_node);
+        let num_slices = (num_nodes as f64).sqrt().ceil() as usize;
+        let per_slice = n.div_ceil(num_slices);
+        level.sort_by(|a, b| a.0.center().x.total_cmp(&b.0.center().x));
+        let mut out = Vec::with_capacity(num_nodes);
+        for slice in level.chunks_mut(per_slice.max(1)) {
+            slice.sort_by(|a, b| a.0.center().y.total_cmp(&b.0.center().y));
+            let mut start = 0;
+            while start < slice.len() {
+                let end = (start + per_node).min(slice.len());
+                let children: Vec<(Rect, usize)> = slice[start..end].to_vec();
+                let node = Node::Internal { children };
+                let mbr = node.mbr();
+                self.nodes.push(node);
+                out.push((mbr, self.nodes.len() - 1));
+                start = end;
+            }
+        }
+        out
+    }
+}
+
+/// Quadratic split (Guttman): pick the two seeds wasting the most area
+/// together, then greedily assign remaining entries by least enlargement.
+fn quadratic_split<T, F: Fn(&T) -> Rect>(mut entries: Vec<T>, rect_of: F) -> (Vec<T>, Vec<T>) {
+    debug_assert!(entries.len() >= 2);
+    // seed selection
+    let (mut s1, mut s2, mut worst) = (0, 1, f64::NEG_INFINITY);
+    for i in 0..entries.len() {
+        for j in (i + 1)..entries.len() {
+            let ri = rect_of(&entries[i]);
+            let rj = rect_of(&entries[j]);
+            let waste = ri.union(&rj).area() - ri.area() - rj.area();
+            if waste > worst {
+                worst = waste;
+                s1 = i;
+                s2 = j;
+            }
+        }
+    }
+    // remove seeds (remove larger index first)
+    let e2 = entries.remove(s2.max(s1));
+    let e1 = entries.remove(s2.min(s1));
+    let (seed1, seed2) = if s1 < s2 { (e1, e2) } else { (e2, e1) };
+    let mut r1 = rect_of(&seed1);
+    let mut r2 = rect_of(&seed2);
+    let mut g1 = vec![seed1];
+    let mut g2 = vec![seed2];
+    let total = entries.len() + 2;
+    for e in entries {
+        // force balance so both groups reach MIN_ENTRIES
+        let remaining_needed1 = MIN_ENTRIES.saturating_sub(g1.len());
+        let remaining_needed2 = MIN_ENTRIES.saturating_sub(g2.len());
+        let left = total - g1.len() - g2.len();
+        let r = rect_of(&e);
+        if remaining_needed1 >= left {
+            r1 = r1.union(&r);
+            g1.push(e);
+            continue;
+        }
+        if remaining_needed2 >= left {
+            r2 = r2.union(&r);
+            g2.push(e);
+            continue;
+        }
+        let enl1 = r1.enlargement(&r);
+        let enl2 = r2.enlargement(&r);
+        if enl1 < enl2 || (enl1 == enl2 && r1.area() <= r2.area()) {
+            r1 = r1.union(&r);
+            g1.push(e);
+        } else {
+            r2 = r2.union(&r);
+            g2.push(e);
+        }
+    }
+    (g1, g2)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pt(x: f64, y: f64) -> Rect {
+        Rect::point(x, y)
+    }
+
+    #[test]
+    fn insert_and_query_grid() {
+        let mut t = RTree::new();
+        for x in 0..40 {
+            for y in 0..40 {
+                t.insert(pt(x as f64, y as f64), (x, y));
+            }
+        }
+        assert_eq!(t.len(), 1600);
+        assert!(t.height() > 1);
+        let hits = t.query(&Rect::new(10.0, 10.0, 12.0, 12.0));
+        assert_eq!(hits.len(), 9); // 3x3 inclusive grid
+        let none = t.query(&Rect::new(100.0, 100.0, 200.0, 200.0));
+        assert!(none.is_empty());
+    }
+
+    #[test]
+    fn bulk_load_matches_incremental_results() {
+        let items: Vec<(Rect, usize)> = (0..2000)
+            .map(|i| {
+                let x = ((i * 37) % 500) as f64;
+                let y = ((i * 91) % 300) as f64;
+                (Rect::new(x, y, x + 2.0, y + 2.0), i)
+            })
+            .collect();
+        let mut incremental = RTree::new();
+        for (r, v) in items.clone() {
+            incremental.insert(r, v);
+        }
+        let bulk = RTree::bulk_load(items);
+        assert_eq!(bulk.len(), 2000);
+        for q in [
+            Rect::new(0.0, 0.0, 50.0, 50.0),
+            Rect::new(100.0, 100.0, 120.0, 130.0),
+            Rect::new(499.0, 299.0, 600.0, 600.0),
+        ] {
+            let mut a = incremental.query(&q);
+            let mut b = bulk.query(&q);
+            a.sort_unstable();
+            b.sort_unstable();
+            assert_eq!(a, b, "query {q:?}");
+        }
+    }
+
+    #[test]
+    fn bulk_load_empty_and_single() {
+        let t: RTree<u32> = RTree::bulk_load(vec![]);
+        assert!(t.is_empty());
+        assert_eq!(t.query(&Rect::new(0.0, 0.0, 1.0, 1.0)), Vec::<u32>::new());
+
+        let t = RTree::bulk_load(vec![(pt(5.0, 5.0), 7u32)]);
+        assert_eq!(t.query(&Rect::new(0.0, 0.0, 10.0, 10.0)), vec![7]);
+    }
+
+    #[test]
+    fn bounds_covers_all() {
+        let mut t = RTree::new();
+        t.insert(pt(-5.0, 3.0), 0);
+        t.insert(pt(10.0, -2.0), 1);
+        let b = t.bounds();
+        assert_eq!(b, Rect::new(-5.0, -2.0, 10.0, 3.0));
+    }
+
+    #[test]
+    fn count_matches_query_len() {
+        let mut t = RTree::new();
+        for i in 0..500 {
+            t.insert(pt((i % 50) as f64, (i / 50) as f64), i);
+        }
+        let q = Rect::new(3.0, 3.0, 17.0, 8.0);
+        assert_eq!(t.count_intersecting(&q), t.query(&q).len());
+    }
+
+    #[test]
+    fn rect_entries_supported() {
+        // entries are boxes, not points: a big box should be found from any
+        // intersecting viewport
+        let mut t = RTree::new();
+        t.insert(Rect::new(0.0, 0.0, 100.0, 100.0), "big");
+        for i in 0..20 {
+            t.insert(pt(200.0 + i as f64, 200.0), "small");
+        }
+        let hits = t.query(&Rect::new(50.0, 50.0, 60.0, 60.0));
+        assert_eq!(hits, vec!["big"]);
+    }
+}

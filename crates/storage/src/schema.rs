@@ -1,0 +1,179 @@
+//! Table schemas.
+
+use crate::error::{Result, StorageError};
+use crate::value::{DataType, Value};
+use std::fmt;
+
+/// A single column definition.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Column {
+    pub name: String,
+    pub dtype: DataType,
+}
+
+impl Column {
+    pub fn new(name: impl Into<String>, dtype: DataType) -> Self {
+        Column {
+            name: name.into(),
+            dtype,
+        }
+    }
+}
+
+/// An ordered list of columns.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct Schema {
+    columns: Vec<Column>,
+}
+
+impl Schema {
+    pub fn new(columns: Vec<Column>) -> Self {
+        Schema { columns }
+    }
+
+    /// Builder-style helper: `Schema::empty().with("x", DataType::Float)...`
+    pub fn empty() -> Self {
+        Schema::default()
+    }
+
+    pub fn with(mut self, name: impl Into<String>, dtype: DataType) -> Self {
+        self.columns.push(Column::new(name, dtype));
+        self
+    }
+
+    pub fn columns(&self) -> &[Column] {
+        &self.columns
+    }
+
+    pub fn len(&self) -> usize {
+        self.columns.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.columns.is_empty()
+    }
+
+    /// Position of a column by name.
+    pub fn index_of(&self, name: &str) -> Result<usize> {
+        self.columns
+            .iter()
+            .position(|c| c.name == name)
+            .ok_or_else(|| StorageError::UnknownColumn(name.to_string()))
+    }
+
+    pub fn column(&self, idx: usize) -> &Column {
+        &self.columns[idx]
+    }
+
+    pub fn has_column(&self, name: &str) -> bool {
+        self.columns.iter().any(|c| c.name == name)
+    }
+
+    /// Validate that `values` matches this schema in arity and types.
+    pub fn check_row(&self, values: &[Value]) -> Result<()> {
+        if values.len() != self.columns.len() {
+            return Err(StorageError::SchemaMismatch(format!(
+                "expected {} values, got {}",
+                self.columns.len(),
+                values.len()
+            )));
+        }
+        for (v, c) in values.iter().zip(&self.columns) {
+            if !v.fits(c.dtype) {
+                return Err(StorageError::SchemaMismatch(format!(
+                    "value {v} does not fit column `{}` of type {}",
+                    c.name, c.dtype
+                )));
+            }
+        }
+        Ok(())
+    }
+
+    /// Concatenate two schemas (used for join outputs), qualifying duplicate
+    /// names with the supplied prefixes.
+    pub fn join(&self, left_prefix: &str, other: &Schema, right_prefix: &str) -> Schema {
+        let mut cols = Vec::with_capacity(self.len() + other.len());
+        for c in &self.columns {
+            let dup = other.has_column(&c.name);
+            cols.push(Column::new(
+                if dup {
+                    format!("{left_prefix}.{}", c.name)
+                } else {
+                    c.name.clone()
+                },
+                c.dtype,
+            ));
+        }
+        for c in &other.columns {
+            let dup = self.has_column(&c.name);
+            cols.push(Column::new(
+                if dup {
+                    format!("{right_prefix}.{}", c.name)
+                } else {
+                    c.name.clone()
+                },
+                c.dtype,
+            ));
+        }
+        Schema::new(cols)
+    }
+}
+
+impl fmt::Display for Schema {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "(")?;
+        for (i, c) in self.columns.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{} {}", c.name, c.dtype)?;
+        }
+        write!(f, ")")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Schema {
+        Schema::empty()
+            .with("id", DataType::Int)
+            .with("x", DataType::Float)
+            .with("name", DataType::Text)
+    }
+
+    #[test]
+    fn index_of_finds_columns() {
+        let s = sample();
+        assert_eq!(s.index_of("x").unwrap(), 1);
+        assert!(s.index_of("missing").is_err());
+    }
+
+    #[test]
+    fn check_row_validates_arity_and_types() {
+        let s = sample();
+        assert!(s
+            .check_row(&[Value::Int(1), Value::Float(2.0), Value::Text("a".into())])
+            .is_ok());
+        // int widens into float column
+        assert!(s
+            .check_row(&[Value::Int(1), Value::Int(2), Value::Text("a".into())])
+            .is_ok());
+        assert!(s.check_row(&[Value::Int(1)]).is_err());
+        assert!(s
+            .check_row(&[Value::Text("no".into()), Value::Float(0.0), Value::Null])
+            .is_err());
+    }
+
+    #[test]
+    fn join_qualifies_duplicates() {
+        let a = Schema::empty().with("tuple_id", DataType::Int).with("tile_id", DataType::Int);
+        let b = Schema::empty().with("tuple_id", DataType::Int).with("x", DataType::Float);
+        let j = a.join("m", &b, "r");
+        assert_eq!(j.column(0).name, "m.tuple_id");
+        assert_eq!(j.column(1).name, "tile_id");
+        assert_eq!(j.column(2).name, "r.tuple_id");
+        assert_eq!(j.column(3).name, "x");
+    }
+}

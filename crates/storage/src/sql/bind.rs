@@ -1,0 +1,381 @@
+//! Name resolution: turns `SqlExpr` trees into `BoundExpr` trees with column
+//! references resolved to flat row offsets, so evaluation never does string
+//! lookups per row.
+
+use super::ast::{BinOp, ColumnRef, SqlExpr};
+use crate::error::{Result, StorageError};
+use crate::schema::Schema;
+use crate::value::{DataType, Value};
+
+/// The set of (binding name, schema) pairs visible to an expression, with
+/// flat offsets: a join output row is `outer ++ inner`.
+pub struct Bindings<'a> {
+    entries: Vec<(String, &'a Schema, usize)>,
+    width: usize,
+}
+
+impl<'a> Bindings<'a> {
+    pub fn single(binding: &str, schema: &'a Schema) -> Self {
+        Bindings {
+            entries: vec![(binding.to_string(), schema, 0)],
+            width: schema.len(),
+        }
+    }
+
+    pub fn pair(
+        left_binding: &str,
+        left: &'a Schema,
+        right_binding: &str,
+        right: &'a Schema,
+    ) -> Self {
+        Bindings {
+            entries: vec![
+                (left_binding.to_string(), left, 0),
+                (right_binding.to_string(), right, left.len()),
+            ],
+            width: left.len() + right.len(),
+        }
+    }
+
+    /// Total row width.
+    pub fn width(&self) -> usize {
+        self.width
+    }
+
+    /// Columns (offset, name, dtype) contributed by one binding.
+    pub fn columns_of(&self, binding: &str) -> Option<Vec<(usize, String, DataType)>> {
+        self.entries.iter().find(|(b, _, _)| b == binding).map(
+            |(_, schema, off)| {
+                schema
+                    .columns()
+                    .iter()
+                    .enumerate()
+                    .map(|(i, c)| (off + i, c.name.clone(), c.dtype))
+                    .collect()
+            },
+        )
+    }
+
+    /// All columns in flat order.
+    pub fn all_columns(&self) -> Vec<(usize, String, DataType)> {
+        let mut out = Vec::with_capacity(self.width);
+        for (_, schema, off) in &self.entries {
+            for (i, c) in schema.columns().iter().enumerate() {
+                out.push((off + i, c.name.clone(), c.dtype));
+            }
+        }
+        out
+    }
+
+    /// Resolve a column reference to (flat offset, dtype).
+    pub fn resolve(&self, col: &ColumnRef) -> Result<(usize, DataType)> {
+        match &col.table {
+            Some(t) => {
+                let (_, schema, off) = self
+                    .entries
+                    .iter()
+                    .find(|(b, _, _)| b == t)
+                    .ok_or_else(|| StorageError::UnknownTable(t.clone()))?;
+                let i = schema.index_of(&col.column)?;
+                Ok((off + i, schema.column(i).dtype))
+            }
+            None => {
+                let mut found = None;
+                for (b, schema, off) in &self.entries {
+                    if let Ok(i) = schema.index_of(&col.column) {
+                        if found.is_some() {
+                            return Err(StorageError::PlanError(format!(
+                                "ambiguous column `{}` (qualify with a table alias)",
+                                col.column
+                            )));
+                        }
+                        found = Some((off + i, schema.column(i).dtype, b.clone()));
+                    }
+                }
+                found
+                    .map(|(i, t, _)| (i, t))
+                    .ok_or_else(|| StorageError::UnknownColumn(col.column.clone()))
+            }
+        }
+    }
+}
+
+/// An expression with columns resolved to flat row offsets.
+#[derive(Debug, Clone, PartialEq)]
+pub enum BoundExpr {
+    Literal(Value),
+    Param(usize),
+    Col(usize),
+    Binary {
+        op: BinOp,
+        left: Box<BoundExpr>,
+        right: Box<BoundExpr>,
+    },
+    Not(Box<BoundExpr>),
+    Neg(Box<BoundExpr>),
+    Between {
+        expr: Box<BoundExpr>,
+        lo: Box<BoundExpr>,
+        hi: Box<BoundExpr>,
+    },
+}
+
+impl BoundExpr {
+    /// Bind an AST expression against `bindings`.
+    pub fn bind(expr: &SqlExpr, bindings: &Bindings<'_>) -> Result<BoundExpr> {
+        Ok(match expr {
+            SqlExpr::Literal(v) => BoundExpr::Literal(v.clone()),
+            SqlExpr::Param(n) => BoundExpr::Param(*n),
+            SqlExpr::Column(c) => BoundExpr::Col(bindings.resolve(c)?.0),
+            SqlExpr::Binary { op, left, right } => BoundExpr::Binary {
+                op: *op,
+                left: Box::new(Self::bind(left, bindings)?),
+                right: Box::new(Self::bind(right, bindings)?),
+            },
+            SqlExpr::Not(e) => BoundExpr::Not(Box::new(Self::bind(e, bindings)?)),
+            SqlExpr::Neg(e) => BoundExpr::Neg(Box::new(Self::bind(e, bindings)?)),
+            SqlExpr::Between { expr, lo, hi } => BoundExpr::Between {
+                expr: Box::new(Self::bind(expr, bindings)?),
+                lo: Box::new(Self::bind(lo, bindings)?),
+                hi: Box::new(Self::bind(hi, bindings)?),
+            },
+            SqlExpr::SpatialIntersect { .. } => {
+                return Err(StorageError::PlanError(
+                    "bbox && rect(...) requires a spatial index on the table".to_string(),
+                ))
+            }
+        })
+    }
+
+    /// Evaluate against a flat row of values.
+    pub fn eval(&self, row: &[Value], params: &[Value]) -> Result<Value> {
+        Ok(match self {
+            BoundExpr::Literal(v) => v.clone(),
+            BoundExpr::Param(n) => params
+                .get(*n - 1)
+                .cloned()
+                .ok_or(StorageError::MissingParam(*n))?,
+            BoundExpr::Col(i) => row
+                .get(*i)
+                .cloned()
+                .ok_or_else(|| StorageError::ExecError(format!("row too short for column {i}")))?,
+            BoundExpr::Binary { op, left, right } => {
+                let l = left.eval(row, params)?;
+                // short-circuit logic ops
+                match op {
+                    BinOp::And => {
+                        return Ok(Value::Bool(
+                            l.as_bool()? && right.eval(row, params)?.as_bool()?,
+                        ))
+                    }
+                    BinOp::Or => {
+                        return Ok(Value::Bool(
+                            l.as_bool()? || right.eval(row, params)?.as_bool()?,
+                        ))
+                    }
+                    _ => {}
+                }
+                let r = right.eval(row, params)?;
+                eval_binop(*op, &l, &r)?
+            }
+            BoundExpr::Not(e) => Value::Bool(!e.eval(row, params)?.as_bool()?),
+            BoundExpr::Neg(e) => match e.eval(row, params)? {
+                Value::Int(i) => Value::Int(-i),
+                Value::Float(f) => Value::Float(-f),
+                other => {
+                    return Err(StorageError::ExecError(format!(
+                        "cannot negate {other}"
+                    )))
+                }
+            },
+            BoundExpr::Between { expr, lo, hi } => {
+                let v = expr.eval(row, params)?;
+                let lo = lo.eval(row, params)?;
+                let hi = hi.eval(row, params)?;
+                if v.is_null() || lo.is_null() || hi.is_null() {
+                    Value::Bool(false)
+                } else {
+                    Value::Bool(
+                        v.total_cmp(&lo) != std::cmp::Ordering::Less
+                            && v.total_cmp(&hi) != std::cmp::Ordering::Greater,
+                    )
+                }
+            }
+        })
+    }
+
+    /// Evaluate an expression that references no columns.
+    pub fn eval_const(&self, params: &[Value]) -> Result<Value> {
+        self.eval(&[], params)
+    }
+
+    /// Result type, used to build output schemas for projections.
+    pub fn infer_type(&self, types: &[DataType]) -> DataType {
+        match self {
+            BoundExpr::Literal(v) => v.data_type().unwrap_or(DataType::Int),
+            BoundExpr::Param(_) => DataType::Float,
+            BoundExpr::Col(i) => types.get(*i).copied().unwrap_or(DataType::Float),
+            BoundExpr::Binary { op, left, right } => match op {
+                BinOp::Eq
+                | BinOp::NotEq
+                | BinOp::Lt
+                | BinOp::LtEq
+                | BinOp::Gt
+                | BinOp::GtEq
+                | BinOp::And
+                | BinOp::Or => DataType::Bool,
+                BinOp::Div => DataType::Float,
+                _ => {
+                    let lt = left.infer_type(types);
+                    let rt = right.infer_type(types);
+                    if lt == DataType::Int && rt == DataType::Int {
+                        DataType::Int
+                    } else {
+                        DataType::Float
+                    }
+                }
+            },
+            BoundExpr::Not(_) | BoundExpr::Between { .. } => DataType::Bool,
+            BoundExpr::Neg(e) => e.infer_type(types),
+        }
+    }
+}
+
+/// Arithmetic and comparison on values. Comparisons with NULL yield false.
+fn eval_binop(op: BinOp, l: &Value, r: &Value) -> Result<Value> {
+    use std::cmp::Ordering;
+    Ok(match op {
+        BinOp::Add | BinOp::Sub | BinOp::Mul | BinOp::Div => {
+            if let (Value::Int(a), Value::Int(b)) = (l, r) {
+                match op {
+                    BinOp::Add => Value::Int(a.wrapping_add(*b)),
+                    BinOp::Sub => Value::Int(a.wrapping_sub(*b)),
+                    BinOp::Mul => Value::Int(a.wrapping_mul(*b)),
+                    BinOp::Div => {
+                        if *b == 0 {
+                            return Err(StorageError::ExecError("division by zero".into()));
+                        }
+                        Value::Float(*a as f64 / *b as f64)
+                    }
+                    _ => unreachable!(),
+                }
+            } else {
+                let a = l.as_f64()?;
+                let b = r.as_f64()?;
+                match op {
+                    BinOp::Add => Value::Float(a + b),
+                    BinOp::Sub => Value::Float(a - b),
+                    BinOp::Mul => Value::Float(a * b),
+                    BinOp::Div => {
+                        if b == 0.0 {
+                            return Err(StorageError::ExecError("division by zero".into()));
+                        }
+                        Value::Float(a / b)
+                    }
+                    _ => unreachable!(),
+                }
+            }
+        }
+        BinOp::Eq | BinOp::NotEq | BinOp::Lt | BinOp::LtEq | BinOp::Gt | BinOp::GtEq => {
+            if l.is_null() || r.is_null() {
+                return Ok(Value::Bool(false));
+            }
+            let ord = l.total_cmp(r);
+            Value::Bool(match op {
+                BinOp::Eq => ord == Ordering::Equal,
+                BinOp::NotEq => ord != Ordering::Equal,
+                BinOp::Lt => ord == Ordering::Less,
+                BinOp::LtEq => ord != Ordering::Greater,
+                BinOp::Gt => ord == Ordering::Greater,
+                BinOp::GtEq => ord != Ordering::Less,
+                _ => unreachable!(),
+            })
+        }
+        BinOp::And | BinOp::Or => unreachable!("handled with short-circuit"),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sql::parser::parse;
+
+    fn bind_where(sql: &str, schema: &Schema, binding: &str) -> BoundExpr {
+        let stmt = parse(sql).unwrap();
+        let b = Bindings::single(binding, schema);
+        BoundExpr::bind(&stmt.where_clause.unwrap(), &b).unwrap()
+    }
+
+    #[test]
+    fn binds_and_evals_arithmetic() {
+        let schema = Schema::empty()
+            .with("x", DataType::Float)
+            .with("y", DataType::Float);
+        let e = bind_where("SELECT * FROM t WHERE x * 2 + y = 10", &schema, "t");
+        let row = vec![Value::Float(3.0), Value::Float(4.0)];
+        assert_eq!(e.eval(&row, &[]).unwrap(), Value::Bool(true));
+        let row2 = vec![Value::Float(3.0), Value::Float(5.0)];
+        assert_eq!(e.eval(&row2, &[]).unwrap(), Value::Bool(false));
+    }
+
+    #[test]
+    fn params_resolve() {
+        let schema = Schema::empty().with("x", DataType::Int);
+        let e = bind_where("SELECT * FROM t WHERE x = $1", &schema, "t");
+        assert_eq!(
+            e.eval(&[Value::Int(5)], &[Value::Int(5)]).unwrap(),
+            Value::Bool(true)
+        );
+        assert!(matches!(
+            e.eval(&[Value::Int(5)], &[]),
+            Err(StorageError::MissingParam(1))
+        ));
+    }
+
+    #[test]
+    fn ambiguous_unqualified_column_rejected() {
+        let a = Schema::empty().with("id", DataType::Int);
+        let b = Schema::empty().with("id", DataType::Int);
+        let bindings = Bindings::pair("a", &a, "b", &b);
+        let r = bindings.resolve(&ColumnRef::unqualified("id"));
+        assert!(matches!(r, Err(StorageError::PlanError(_))));
+        let ok = bindings.resolve(&ColumnRef::qualified("b", "id")).unwrap();
+        assert_eq!(ok.0, 1);
+    }
+
+    #[test]
+    fn null_comparisons_false() {
+        let schema = Schema::empty().with("x", DataType::Int);
+        let e = bind_where("SELECT * FROM t WHERE x = 1", &schema, "t");
+        assert_eq!(e.eval(&[Value::Null], &[]).unwrap(), Value::Bool(false));
+        let ne = bind_where("SELECT * FROM t WHERE x != 1", &schema, "t");
+        assert_eq!(ne.eval(&[Value::Null], &[]).unwrap(), Value::Bool(false));
+    }
+
+    #[test]
+    fn between_inclusive() {
+        let schema = Schema::empty().with("x", DataType::Int);
+        let e = bind_where("SELECT * FROM t WHERE x BETWEEN 2 AND 4", &schema, "t");
+        for (v, want) in [(1, false), (2, true), (3, true), (4, true), (5, false)] {
+            assert_eq!(
+                e.eval(&[Value::Int(v)], &[]).unwrap(),
+                Value::Bool(want),
+                "x={v}"
+            );
+        }
+    }
+
+    #[test]
+    fn division_by_zero_errors() {
+        let schema = Schema::empty().with("x", DataType::Int);
+        let e = bind_where("SELECT * FROM t WHERE x / 0 = 1", &schema, "t");
+        assert!(e.eval(&[Value::Int(1)], &[]).is_err());
+    }
+
+    #[test]
+    fn int_division_yields_float() {
+        let schema = Schema::empty().with("x", DataType::Int);
+        let e = bind_where("SELECT * FROM t WHERE x / 2 = 2.5", &schema, "t");
+        assert_eq!(e.eval(&[Value::Int(5)], &[]).unwrap(), Value::Bool(true));
+    }
+}

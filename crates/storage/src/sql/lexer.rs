@@ -1,0 +1,359 @@
+//! SQL lexer.
+
+use crate::error::{Result, StorageError};
+
+/// SQL tokens.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Token {
+    // literals & identifiers
+    Ident(String),
+    Int(i64),
+    Float(f64),
+    Str(String),
+    Param(usize), // $1, $2, ...
+    // keywords
+    Select,
+    From,
+    Where,
+    Join,
+    On,
+    As,
+    And,
+    Or,
+    Not,
+    Between,
+    Limit,
+    Offset,
+    Order,
+    Group,
+    Having,
+    By,
+    Asc,
+    Desc,
+    True,
+    False,
+    Null,
+    Insert,
+    Into,
+    Values,
+    Delete,
+    Update,
+    Set,
+    Explain,
+    Create,
+    Drop,
+    Table,
+    Index,
+    Using,
+    // symbols
+    Star,
+    Comma,
+    Dot,
+    LParen,
+    RParen,
+    Plus,
+    Minus,
+    Slash,
+    Eq,
+    NotEq,
+    Lt,
+    LtEq,
+    Gt,
+    GtEq,
+    AmpAmp, // spatial intersection `&&`
+    Eof,
+}
+
+fn keyword(word: &str) -> Option<Token> {
+    Some(match word.to_ascii_uppercase().as_str() {
+        "SELECT" => Token::Select,
+        "FROM" => Token::From,
+        "WHERE" => Token::Where,
+        "JOIN" => Token::Join,
+        "ON" => Token::On,
+        "AS" => Token::As,
+        "AND" => Token::And,
+        "OR" => Token::Or,
+        "NOT" => Token::Not,
+        "BETWEEN" => Token::Between,
+        "LIMIT" => Token::Limit,
+        "OFFSET" => Token::Offset,
+        "ORDER" => Token::Order,
+        "GROUP" => Token::Group,
+        "HAVING" => Token::Having,
+        "BY" => Token::By,
+        "ASC" => Token::Asc,
+        "DESC" => Token::Desc,
+        "TRUE" => Token::True,
+        "FALSE" => Token::False,
+        "NULL" => Token::Null,
+        "INSERT" => Token::Insert,
+        "INTO" => Token::Into,
+        "VALUES" => Token::Values,
+        "DELETE" => Token::Delete,
+        "UPDATE" => Token::Update,
+        "SET" => Token::Set,
+        "EXPLAIN" => Token::Explain,
+        "CREATE" => Token::Create,
+        "DROP" => Token::Drop,
+        "TABLE" => Token::Table,
+        "INDEX" => Token::Index,
+        "USING" => Token::Using,
+        _ => return None,
+    })
+}
+
+/// Tokenize a SQL string.
+pub fn lex(input: &str) -> Result<Vec<Token>> {
+    let bytes = input.as_bytes();
+    let mut tokens = Vec::new();
+    let mut i = 0;
+    let err = |offset: usize, message: &str| StorageError::LexError {
+        offset,
+        message: message.to_string(),
+    };
+    while i < bytes.len() {
+        let c = bytes[i] as char;
+        match c {
+            c if c.is_ascii_whitespace() => i += 1,
+            '*' => {
+                tokens.push(Token::Star);
+                i += 1;
+            }
+            ',' => {
+                tokens.push(Token::Comma);
+                i += 1;
+            }
+            '.' => {
+                tokens.push(Token::Dot);
+                i += 1;
+            }
+            '(' => {
+                tokens.push(Token::LParen);
+                i += 1;
+            }
+            ')' => {
+                tokens.push(Token::RParen);
+                i += 1;
+            }
+            '+' => {
+                tokens.push(Token::Plus);
+                i += 1;
+            }
+            '-' => {
+                // line comment `--`
+                if bytes.get(i + 1) == Some(&b'-') {
+                    while i < bytes.len() && bytes[i] != b'\n' {
+                        i += 1;
+                    }
+                } else {
+                    tokens.push(Token::Minus);
+                    i += 1;
+                }
+            }
+            '/' => {
+                tokens.push(Token::Slash);
+                i += 1;
+            }
+            '=' => {
+                tokens.push(Token::Eq);
+                i += 1;
+            }
+            '!' => {
+                if bytes.get(i + 1) == Some(&b'=') {
+                    tokens.push(Token::NotEq);
+                    i += 2;
+                } else {
+                    return Err(err(i, "expected `!=`"));
+                }
+            }
+            '<' => {
+                if bytes.get(i + 1) == Some(&b'=') {
+                    tokens.push(Token::LtEq);
+                    i += 2;
+                } else if bytes.get(i + 1) == Some(&b'>') {
+                    tokens.push(Token::NotEq);
+                    i += 2;
+                } else {
+                    tokens.push(Token::Lt);
+                    i += 1;
+                }
+            }
+            '>' => {
+                if bytes.get(i + 1) == Some(&b'=') {
+                    tokens.push(Token::GtEq);
+                    i += 2;
+                } else {
+                    tokens.push(Token::Gt);
+                    i += 1;
+                }
+            }
+            '&' => {
+                if bytes.get(i + 1) == Some(&b'&') {
+                    tokens.push(Token::AmpAmp);
+                    i += 2;
+                } else {
+                    return Err(err(i, "expected `&&`"));
+                }
+            }
+            '$' => {
+                let start = i + 1;
+                let mut j = start;
+                while j < bytes.len() && bytes[j].is_ascii_digit() {
+                    j += 1;
+                }
+                if j == start {
+                    return Err(err(i, "expected parameter number after `$`"));
+                }
+                let n: usize = input[start..j]
+                    .parse()
+                    .map_err(|_| err(i, "bad parameter number"))?;
+                if n == 0 {
+                    return Err(err(i, "parameters are 1-indexed"));
+                }
+                tokens.push(Token::Param(n));
+                i = j;
+            }
+            '\'' => {
+                let mut s = String::new();
+                let mut j = i + 1;
+                loop {
+                    if j >= bytes.len() {
+                        return Err(err(i, "unterminated string literal"));
+                    }
+                    if bytes[j] == b'\'' {
+                        // doubled quote is an escaped quote
+                        if bytes.get(j + 1) == Some(&b'\'') {
+                            s.push('\'');
+                            j += 2;
+                            continue;
+                        }
+                        break;
+                    }
+                    s.push(bytes[j] as char);
+                    j += 1;
+                }
+                tokens.push(Token::Str(s));
+                i = j + 1;
+            }
+            c if c.is_ascii_digit() => {
+                let start = i;
+                let mut j = i;
+                let mut is_float = false;
+                while j < bytes.len() && bytes[j].is_ascii_digit() {
+                    j += 1;
+                }
+                if j < bytes.len() && bytes[j] == b'.' && bytes.get(j + 1).is_some_and(u8::is_ascii_digit) {
+                    is_float = true;
+                    j += 1;
+                    while j < bytes.len() && bytes[j].is_ascii_digit() {
+                        j += 1;
+                    }
+                }
+                if j < bytes.len() && (bytes[j] == b'e' || bytes[j] == b'E') {
+                    is_float = true;
+                    j += 1;
+                    if j < bytes.len() && (bytes[j] == b'+' || bytes[j] == b'-') {
+                        j += 1;
+                    }
+                    while j < bytes.len() && bytes[j].is_ascii_digit() {
+                        j += 1;
+                    }
+                }
+                let text = &input[start..j];
+                if is_float {
+                    tokens.push(Token::Float(
+                        text.parse().map_err(|_| err(start, "bad float literal"))?,
+                    ));
+                } else {
+                    tokens.push(Token::Int(
+                        text.parse().map_err(|_| err(start, "bad int literal"))?,
+                    ));
+                }
+                i = j;
+            }
+            c if c.is_ascii_alphabetic() || c == '_' => {
+                let start = i;
+                let mut j = i;
+                while j < bytes.len()
+                    && ((bytes[j] as char).is_ascii_alphanumeric() || bytes[j] == b'_')
+                {
+                    j += 1;
+                }
+                let word = &input[start..j];
+                tokens.push(keyword(word).unwrap_or_else(|| Token::Ident(word.to_string())));
+                i = j;
+            }
+            _ => return Err(err(i, &format!("unexpected character `{c}`"))),
+        }
+    }
+    tokens.push(Token::Eof);
+    Ok(tokens)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lexes_mapping_join_query() {
+        let toks = lex(
+            "SELECT r.* FROM mapping m JOIN record r ON m.tuple_id = r.tuple_id WHERE m.tile_id = $1",
+        )
+        .unwrap();
+        assert!(toks.contains(&Token::Join));
+        assert!(toks.contains(&Token::Param(1)));
+        assert_eq!(*toks.last().unwrap(), Token::Eof);
+    }
+
+    #[test]
+    fn lexes_spatial_predicate() {
+        let toks = lex("SELECT * FROM dots WHERE bbox && rect($1, $2, $3, $4)").unwrap();
+        assert!(toks.contains(&Token::AmpAmp));
+        assert_eq!(toks.iter().filter(|t| matches!(t, Token::Param(_))).count(), 4);
+    }
+
+    #[test]
+    fn numbers_and_strings() {
+        let toks = lex("42 3.5 1e3 'it''s'").unwrap();
+        assert_eq!(
+            toks,
+            vec![
+                Token::Int(42),
+                Token::Float(3.5),
+                Token::Float(1000.0),
+                Token::Str("it's".into()),
+                Token::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn comments_skipped() {
+        let toks = lex("SELECT * -- trailing comment\nFROM t").unwrap();
+        assert_eq!(
+            toks,
+            vec![
+                Token::Select,
+                Token::Star,
+                Token::From,
+                Token::Ident("t".into()),
+                Token::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn errors_are_reported() {
+        assert!(lex("SELECT #").is_err());
+        assert!(lex("'unterminated").is_err());
+        assert!(lex("$0").is_err());
+        assert!(lex("a & b").is_err());
+    }
+
+    #[test]
+    fn keywords_case_insensitive() {
+        assert_eq!(lex("select").unwrap()[0], Token::Select);
+        assert_eq!(lex("SeLeCt").unwrap()[0], Token::Select);
+    }
+}

@@ -1,0 +1,34 @@
+//! A small SQL layer: lexer → parser → planner → executor.
+//!
+//! The surface covers what Kyrix issues at runtime plus the analytics and
+//! editing statements of the §4 extensions:
+//!
+//! ```sql
+//! SELECT r.* FROM mapping m JOIN record r ON m.tuple_id = r.tuple_id
+//!   WHERE m.tile_id = $1                                 -- tile (mapping design)
+//! SELECT * FROM layer_dots WHERE bbox && rect($1,$2,$3,$4) -- tile/box (spatial design)
+//! SELECT x, y FROM dots WHERE x BETWEEN 10 AND 20 ORDER BY y, x DESC LIMIT 100 OFFSET 20
+//! SELECT state, COUNT(*) AS n, AVG(rate) FROM crimes GROUP BY state HAVING n > 2
+//! INSERT INTO tags (id, label) VALUES (1, 'artifact')
+//! UPDATE events SET tag = 'seen' WHERE bucket = $1
+//! DELETE FROM events WHERE amplitude > 500
+//! EXPLAIN SELECT * FROM dots WHERE bbox && rect(0, 0, 10, 10)
+//! CREATE TABLE dots (id INT, x FLOAT, y FLOAT, label TEXT)
+//! CREATE INDEX dots_xy ON dots USING SPATIAL (x, y)
+//! DROP TABLE dots
+//! ```
+
+pub mod ast;
+pub mod bind;
+pub mod exec;
+pub mod lexer;
+pub mod parser;
+pub mod plan;
+
+pub use ast::{
+    AggFunc, ColumnRef, CreateIndex, CreateTable, Delete, IndexSpec, Insert, Select, SelectItem,
+    SqlExpr, Statement, Update,
+};
+pub use exec::{execute_select, explain_select, output_schema, QueryResult};
+pub use parser::{parse, parse_statement};
+pub use plan::{plan_select, ScanPlan};

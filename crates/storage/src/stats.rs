@@ -1,0 +1,102 @@
+//! Execution statistics, the raw material for Kyrix's response-time metrics.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Per-query execution statistics.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ExecStats {
+    /// Heap tuples examined (seq scans + fetches through indexes).
+    pub rows_scanned: u64,
+    /// Number of index probes (point lookups / range / spatial queries).
+    pub index_probes: u64,
+    /// Index nodes visited while probing.
+    pub nodes_visited: u64,
+    /// Rows in the result.
+    pub rows_out: u64,
+    /// Wire size of the result in bytes.
+    pub bytes_out: u64,
+}
+
+impl ExecStats {
+    pub fn merge(&mut self, other: &ExecStats) {
+        self.rows_scanned += other.rows_scanned;
+        self.index_probes += other.index_probes;
+        self.nodes_visited += other.nodes_visited;
+        self.rows_out += other.rows_out;
+        self.bytes_out += other.bytes_out;
+    }
+}
+
+/// Cumulative, thread-safe counters kept by a [`crate::Database`].
+#[derive(Debug, Default)]
+pub struct DbCounters {
+    pub queries: AtomicU64,
+    pub rows_scanned: AtomicU64,
+    pub rows_out: AtomicU64,
+    pub bytes_out: AtomicU64,
+}
+
+impl DbCounters {
+    pub fn record(&self, stats: &ExecStats) {
+        self.queries.fetch_add(1, Ordering::Relaxed);
+        self.rows_scanned
+            .fetch_add(stats.rows_scanned, Ordering::Relaxed);
+        self.rows_out.fetch_add(stats.rows_out, Ordering::Relaxed);
+        self.bytes_out
+            .fetch_add(stats.bytes_out, Ordering::Relaxed);
+    }
+
+    pub fn queries(&self) -> u64 {
+        self.queries.load(Ordering::Relaxed)
+    }
+
+    pub fn snapshot(&self) -> (u64, u64, u64, u64) {
+        (
+            self.queries.load(Ordering::Relaxed),
+            self.rows_scanned.load(Ordering::Relaxed),
+            self.rows_out.load(Ordering::Relaxed),
+            self.bytes_out.load(Ordering::Relaxed),
+        )
+    }
+
+    pub fn reset(&self) {
+        self.queries.store(0, Ordering::Relaxed);
+        self.rows_scanned.store(0, Ordering::Relaxed);
+        self.rows_out.store(0, Ordering::Relaxed);
+        self.bytes_out.store(0, Ordering::Relaxed);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn merge_accumulates() {
+        let mut a = ExecStats {
+            rows_scanned: 1,
+            index_probes: 2,
+            nodes_visited: 3,
+            rows_out: 4,
+            bytes_out: 5,
+        };
+        a.merge(&a.clone());
+        assert_eq!(a.rows_scanned, 2);
+        assert_eq!(a.bytes_out, 10);
+    }
+
+    #[test]
+    fn counters_record_and_reset() {
+        let c = DbCounters::default();
+        c.record(&ExecStats {
+            rows_out: 7,
+            bytes_out: 70,
+            ..Default::default()
+        });
+        c.record(&ExecStats::default());
+        assert_eq!(c.queries(), 2);
+        assert_eq!(c.snapshot().2, 7);
+        c.reset();
+        assert_eq!(c.queries(), 0);
+    }
+}

@@ -1,0 +1,956 @@
+//! Transactions and concurrency control for the §4 update model.
+//!
+//! The paper: *"Future releases will extend Kyrix to allow editing updates,
+//! which can be supported by DBMS concurrency control."* This module builds
+//! that substrate for the embedded engine:
+//!
+//! * [`LockManager`] — strict two-phase row locking (shared/exclusive) with
+//!   **wait-die** deadlock avoidance: an older transaction waits for a
+//!   younger conflicting holder; a younger requester dies immediately with
+//!   [`StorageError::Deadlock`] and can be retried. Wait-die guarantees no
+//!   wait cycles without building a waits-for graph.
+//! * [`TxnDatabase`] — a concurrently usable database: many threads each
+//!   run a [`Txn`] with `insert` / `update_where` / `delete_where` /
+//!   `select_for_update`, then `commit` or `rollback`. Undo is logical
+//!   (before-images), mirroring the [`crate::wal`] design. Reads run at
+//!   read-committed isolation; writes are fully 2PL-serialized per row.
+//! * Optional **durability**: attach a [`Wal`] and every transaction is
+//!   logged; [`TxnDatabase::open`] recovers `snapshot + committed WAL
+//!   suffix` after a crash, and [`TxnDatabase::checkpoint`] snapshots and
+//!   truncates the log at quiescent points.
+
+use crate::database::Database;
+use crate::error::{Result, StorageError};
+use crate::heap::RecordId;
+use crate::row::Row;
+use crate::sql::QueryResult;
+use crate::value::Value;
+use crate::wal::{replay_into, TxnId, Wal, WalRecord};
+use parking_lot::{Condvar, Mutex, RwLock};
+use std::collections::HashMap;
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicI64, AtomicU64, Ordering};
+
+// ------------------------------------------------------------------ locks
+
+/// Lock granularity: one row of one table.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct LockKey {
+    /// Table the row belongs to.
+    pub table: String,
+    /// The locked row.
+    pub rid: RecordId,
+}
+
+/// Lock mode. Shared locks are compatible with each other; exclusive locks
+/// are compatible with nothing.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LockMode {
+    /// Read lock; any number may be held concurrently.
+    Shared,
+    /// Write lock; excludes every other holder.
+    Exclusive,
+}
+
+#[derive(Default)]
+struct LockTable {
+    /// Current holders per key. Invariant: either any number of Shared
+    /// holders, or exactly one Exclusive holder.
+    holders: HashMap<LockKey, Vec<(TxnId, LockMode)>>,
+}
+
+impl LockTable {
+    /// Whether `txn` may take `mode` on `key` right now. Re-entrant
+    /// acquisition and S→X upgrade by a sole holder are allowed.
+    fn compatible(&self, txn: TxnId, key: &LockKey, mode: LockMode) -> bool {
+        let Some(holders) = self.holders.get(key) else {
+            return true;
+        };
+        holders.iter().all(|&(t, m)| {
+            t == txn || (m == LockMode::Shared && mode == LockMode::Shared)
+        })
+    }
+
+    /// The oldest conflicting holder (for wait-die decisions).
+    fn oldest_conflicting(&self, txn: TxnId, key: &LockKey, mode: LockMode) -> Option<TxnId> {
+        self.holders.get(key).and_then(|holders| {
+            holders
+                .iter()
+                .filter(|&&(t, m)| {
+                    t != txn && !(m == LockMode::Shared && mode == LockMode::Shared)
+                })
+                .map(|&(t, _)| t)
+                .min()
+        })
+    }
+
+    fn grant(&mut self, txn: TxnId, key: LockKey, mode: LockMode) {
+        let holders = self.holders.entry(key).or_default();
+        if let Some(slot) = holders.iter_mut().find(|(t, _)| *t == txn) {
+            // re-entrant: upgrade S→X sticks, X never downgrades
+            if mode == LockMode::Exclusive {
+                slot.1 = LockMode::Exclusive;
+            }
+        } else {
+            holders.push((txn, mode));
+        }
+    }
+}
+
+/// Strict two-phase row lock manager with wait-die deadlock avoidance.
+///
+/// Transaction ids double as timestamps: **lower id = older = higher
+/// priority**. On conflict an older requester blocks until the lock frees;
+/// a younger requester receives [`StorageError::Deadlock`] at once.
+#[derive(Default)]
+pub struct LockManager {
+    table: Mutex<LockTable>,
+    released: Condvar,
+}
+
+impl LockManager {
+    /// An empty lock table.
+    pub fn new() -> Self {
+        LockManager::default()
+    }
+
+    /// Acquire `mode` on `key` for `txn`, blocking if an older transaction
+    /// must be waited on. Err([`StorageError::Deadlock`]) means the caller
+    /// must roll back (wait-die victim).
+    pub fn acquire(&self, txn: TxnId, key: LockKey, mode: LockMode) -> Result<()> {
+        let mut table = self.table.lock();
+        loop {
+            if table.compatible(txn, &key, mode) {
+                table.grant(txn, key, mode);
+                return Ok(());
+            }
+            let blocker = table
+                .oldest_conflicting(txn, &key, mode)
+                .expect("incompatible implies a conflicting holder");
+            if txn > blocker {
+                // younger dies
+                return Err(StorageError::Deadlock { txn, blocker });
+            }
+            // older waits
+            self.released.wait(&mut table);
+        }
+    }
+
+    /// Non-blocking variant: `Ok(false)` when the lock is currently held
+    /// incompatibly (used by opportunistic prefetchers).
+    pub fn try_acquire(&self, txn: TxnId, key: LockKey, mode: LockMode) -> Result<bool> {
+        let mut table = self.table.lock();
+        if table.compatible(txn, &key, mode) {
+            table.grant(txn, key, mode);
+            Ok(true)
+        } else {
+            Ok(false)
+        }
+    }
+
+    /// Release every lock held by `txn` (strict 2PL: only at end of
+    /// transaction) and wake all waiters.
+    pub fn release_all(&self, txn: TxnId) {
+        let mut table = self.table.lock();
+        table.holders.retain(|_, holders| {
+            holders.retain(|(t, _)| *t != txn);
+            !holders.is_empty()
+        });
+        drop(table);
+        self.released.notify_all();
+    }
+
+    /// Number of keys on which `txn` currently holds a lock.
+    pub fn held_by(&self, txn: TxnId) -> usize {
+        self.table
+            .lock()
+            .holders
+            .values()
+            .filter(|h| h.iter().any(|(t, _)| *t == txn))
+            .count()
+    }
+}
+
+// ----------------------------------------------------------- txn database
+
+/// Logical undo operation (before-images; see module docs for why images
+/// rather than record ids).
+enum UndoOp {
+    Insert { table: String, row: Row },
+    Delete { table: String, row: Row },
+    Update { table: String, current: Row, old: Row },
+}
+
+/// A transactional, concurrently accessible database with optional WAL
+/// durability.
+pub struct TxnDatabase {
+    db: RwLock<Database>,
+    locks: LockManager,
+    wal: Option<Mutex<Wal>>,
+    dir: Option<PathBuf>,
+    next_txn: AtomicU64,
+    active: AtomicI64,
+}
+
+impl TxnDatabase {
+    /// Wrap an in-memory database (no durability).
+    pub fn new(db: Database) -> Self {
+        TxnDatabase {
+            db: RwLock::new(db),
+            locks: LockManager::new(),
+            wal: None,
+            dir: None,
+            next_txn: AtomicU64::new(1),
+            active: AtomicI64::new(0),
+        }
+    }
+
+    /// Wrap a database and log every transaction to `wal_path`.
+    pub fn with_wal(db: Database, wal_path: impl AsRef<Path>) -> Result<Self> {
+        let mut s = TxnDatabase::new(db);
+        s.wal = Some(Mutex::new(Wal::open(wal_path)?));
+        Ok(s)
+    }
+
+    /// Open a durable database directory: load `snapshot.kyrix` if present,
+    /// replay the committed suffix of `wal.log`, and continue logging.
+    pub fn open(dir: impl AsRef<Path>) -> Result<Self> {
+        let dir = dir.as_ref().to_path_buf();
+        std::fs::create_dir_all(&dir)
+            .map_err(|e| StorageError::ExecError(format!("open dir: {e}")))?;
+        let snapshot = dir.join("snapshot.kyrix");
+        let wal_path = dir.join("wal.log");
+        let mut db = if snapshot.exists() {
+            Database::load_from(&snapshot)?
+        } else {
+            Database::new()
+        };
+        let records = Wal::read_all(&wal_path)?;
+        replay_into(&mut db, &records)?;
+        let mut s = TxnDatabase::with_wal(db, &wal_path)?;
+        s.dir = Some(dir);
+        Ok(s)
+    }
+
+    /// Begin a transaction. Transaction ids are monotone: lower = older =
+    /// wins conflicts under wait-die.
+    pub fn begin(&self) -> Txn<'_> {
+        let id = self.next_txn.fetch_add(1, Ordering::Relaxed);
+        self.active.fetch_add(1, Ordering::SeqCst);
+        Txn {
+            tdb: self,
+            id,
+            undo: Vec::new(),
+            began_logged: false,
+            finished: false,
+        }
+    }
+
+    /// Read-committed query outside any transaction.
+    pub fn query(&self, sql: &str, params: &[Value]) -> Result<QueryResult> {
+        self.db.read().query(sql, params)
+    }
+
+    /// Run a closure with shared access to the underlying database.
+    pub fn with_read<R>(&self, f: impl FnOnce(&Database) -> R) -> R {
+        f(&self.db.read())
+    }
+
+    /// Number of transactions begun and not yet finished.
+    pub fn active_txns(&self) -> i64 {
+        self.active.load(Ordering::SeqCst)
+    }
+
+    /// Snapshot the database and truncate the WAL. Requires quiescence
+    /// (no active transactions) so the snapshot holds no uncommitted data.
+    pub fn checkpoint(&self) -> Result<()> {
+        let Some(dir) = &self.dir else {
+            return Err(StorageError::ExecError(
+                "checkpoint requires a durable database (TxnDatabase::open)".to_string(),
+            ));
+        };
+        if self.active_txns() != 0 {
+            return Err(StorageError::ExecError(format!(
+                "checkpoint requires quiescence; {} transaction(s) active",
+                self.active_txns()
+            )));
+        }
+        let db = self.db.write(); // exclusive while snapshotting
+        db.save_to(dir.join("snapshot.kyrix"))?;
+        if let Some(wal) = &self.wal {
+            wal.lock().truncate()?;
+        }
+        Ok(())
+    }
+
+    fn log(&self, txn: &mut Txn<'_>, record: WalRecord) -> Result<()> {
+        if let Some(wal) = &self.wal {
+            let mut wal = wal.lock();
+            if !txn.began_logged {
+                wal.append(&WalRecord::Begin { txn: txn.id })?;
+                txn.began_logged = true;
+            }
+            wal.append(&record)?;
+        }
+        Ok(())
+    }
+}
+
+// -------------------------------------------------------------------- txn
+
+/// An open transaction on a [`TxnDatabase`].
+///
+/// Dropping a transaction without committing rolls it back.
+pub struct Txn<'a> {
+    tdb: &'a TxnDatabase,
+    id: TxnId,
+    undo: Vec<UndoOp>,
+    began_logged: bool,
+    finished: bool,
+}
+
+impl<'a> Txn<'a> {
+    /// This transaction's id (also its wait-die timestamp: lower = older).
+    pub fn id(&self) -> TxnId {
+        self.id
+    }
+
+    fn check_open(&self) -> Result<()> {
+        if self.finished {
+            Err(StorageError::TxnFinished(self.id))
+        } else {
+            Ok(())
+        }
+    }
+
+    /// Read-committed query (sees other transactions' committed writes;
+    /// takes no row locks). Use [`Txn::select_for_update`] to lock reads.
+    pub fn query(&self, sql: &str, params: &[Value]) -> Result<QueryResult> {
+        self.check_open()?;
+        self.tdb.db.read().query(sql, params)
+    }
+
+    /// Insert a row. The new row is X-locked until commit/rollback.
+    pub fn insert(&mut self, table: &str, row: Row) -> Result<()> {
+        self.check_open()?;
+        let rid = {
+            let mut db = self.tdb.db.write();
+            db.table_mut(table)?.insert(row.clone())?
+        };
+        // nobody else can have seen this rid before we locked the latch,
+        // so this acquisition cannot conflict
+        self.tdb
+            .locks
+            .acquire(
+                self.id,
+                LockKey {
+                    table: table.to_string(),
+                    rid,
+                },
+                LockMode::Exclusive,
+            )
+            .expect("fresh rid cannot conflict");
+        self.undo.push(UndoOp::Insert {
+            table: table.to_string(),
+            row: row.clone(),
+        });
+        self.tdb.log(
+            self,
+            WalRecord::Insert {
+                txn: self.id,
+                table: table.to_string(),
+                row,
+            },
+        )
+    }
+
+    /// Matching rids under a shared latch (no row locks yet).
+    fn matching(
+        &self,
+        table: &str,
+        predicate: &str,
+        params: &[Value],
+    ) -> Result<Vec<(RecordId, Row)>> {
+        let db = self.tdb.db.read();
+        let stmt = crate::sql::parse(&format!("SELECT * FROM {table} WHERE {predicate}"))?;
+        let pred = stmt
+            .where_clause
+            .ok_or_else(|| StorageError::ParseError("empty predicate".into()))?;
+        let t = db.table(table)?;
+        use crate::sql::bind::{Bindings, BoundExpr};
+        let bound = BoundExpr::bind(&pred, &Bindings::single(stmt.from.binding(), &t.schema))?;
+        let mut hits = Vec::new();
+        let mut first_err = None;
+        t.scan(|rid, row| {
+            if first_err.is_some() {
+                return;
+            }
+            match bound.eval(&row.values, params).and_then(|v| v.as_bool()) {
+                Ok(true) => hits.push((rid, row)),
+                Ok(false) => {}
+                Err(e) => first_err = Some(e),
+            }
+        })?;
+        match first_err {
+            Some(e) => Err(e),
+            None => Ok(hits),
+        }
+    }
+
+    /// Lock matching rows exclusively with scan–lock–rescan convergence:
+    /// between a scan and the lock grant a concurrent committed update may
+    /// *move* a matching row to a fresh record id (updates are
+    /// delete+reinsert), so we rescan until a scan finds only rids we
+    /// already hold. Each held X lock pins its row in place, and record ids
+    /// are never reused, so each iteration makes progress; the iteration cap
+    /// only bounds adversarial *phantom* streams (rows newly inserted by
+    /// other transactions — phantom protection is out of scope, as in most
+    /// row-locking systems without predicate locks).
+    fn lock_matching(
+        &mut self,
+        table: &str,
+        predicate: &str,
+        params: &[Value],
+    ) -> Result<Vec<(RecordId, Row)>> {
+        use std::collections::HashSet;
+        let mut held: HashSet<RecordId> = HashSet::new();
+        for _ in 0..32 {
+            let candidates = self.matching(table, predicate, params)?;
+            let new: Vec<RecordId> = candidates
+                .iter()
+                .map(|(rid, _)| *rid)
+                .filter(|rid| !held.contains(rid))
+                .collect();
+            if new.is_empty() {
+                // stable: every matching row is pinned by one of our locks
+                return Ok(candidates);
+            }
+            for rid in new {
+                self.tdb.locks.acquire(
+                    self.id,
+                    LockKey {
+                        table: table.to_string(),
+                        rid,
+                    },
+                    LockMode::Exclusive,
+                )?;
+                held.insert(rid);
+            }
+        }
+        // phantom storm: proceed with the currently pinned matches
+        let candidates = self.matching(table, predicate, params)?;
+        Ok(candidates
+            .into_iter()
+            .filter(|(rid, _)| held.contains(rid))
+            .collect())
+    }
+
+    /// `SELECT ... FOR UPDATE`: lock and return matching rows.
+    pub fn select_for_update(
+        &mut self,
+        table: &str,
+        predicate: &str,
+        params: &[Value],
+    ) -> Result<Vec<Row>> {
+        self.check_open()?;
+        Ok(self
+            .lock_matching(table, predicate, params)?
+            .into_iter()
+            .map(|(_, row)| row)
+            .collect())
+    }
+
+    /// Delete matching rows (X-locked until end of transaction). Returns
+    /// the number deleted.
+    pub fn delete_where(
+        &mut self,
+        table: &str,
+        predicate: &str,
+        params: &[Value],
+    ) -> Result<usize> {
+        self.check_open()?;
+        let victims = self.lock_matching(table, predicate, params)?;
+        let mut db = self.tdb.db.write();
+        let t = db.table_mut(table)?;
+        let mut n = 0;
+        let mut logs = Vec::with_capacity(victims.len());
+        for (rid, row) in victims {
+            if t.delete_row(rid)? {
+                n += 1;
+                self.undo.push(UndoOp::Delete {
+                    table: table.to_string(),
+                    row: row.clone(),
+                });
+                logs.push(row);
+            }
+        }
+        drop(db);
+        for row in logs {
+            self.tdb.log(
+                self,
+                WalRecord::Delete {
+                    txn: self.id,
+                    table: table.to_string(),
+                    row,
+                },
+            )?;
+        }
+        Ok(n)
+    }
+
+    /// Set columns on matching rows (X-locked until end of transaction).
+    /// Returns the number updated.
+    pub fn update_where(
+        &mut self,
+        table: &str,
+        assignments: &[(&str, Value)],
+        predicate: &str,
+        params: &[Value],
+    ) -> Result<usize> {
+        self.check_open()?;
+        let victims = self.lock_matching(table, predicate, params)?;
+        let mut db = self.tdb.db.write();
+        let cols: Vec<usize> = {
+            let t = db.table(table)?;
+            assignments
+                .iter()
+                .map(|(c, _)| t.schema.index_of(c))
+                .collect::<Result<_>>()?
+        };
+        let t = db.table_mut(table)?;
+        let mut n = 0;
+        let mut logs = Vec::with_capacity(victims.len());
+        for (rid, old_row) in victims {
+            let mut new_row = old_row.clone();
+            for (ci, (_, v)) in cols.iter().zip(assignments) {
+                new_row.values[*ci] = v.clone();
+            }
+            let new_rid = t.update_row(rid, new_row.clone())?;
+            // keep the (moved) row locked
+            self.tdb
+                .locks
+                .acquire(
+                    self.id,
+                    LockKey {
+                        table: table.to_string(),
+                        rid: new_rid,
+                    },
+                    LockMode::Exclusive,
+                )
+                .expect("fresh rid cannot conflict");
+            n += 1;
+            self.undo.push(UndoOp::Update {
+                table: table.to_string(),
+                current: new_row.clone(),
+                old: old_row.clone(),
+            });
+            logs.push((old_row, new_row));
+        }
+        drop(db);
+        for (old, new) in logs {
+            self.tdb.log(
+                self,
+                WalRecord::Update {
+                    txn: self.id,
+                    table: table.to_string(),
+                    old,
+                    new,
+                },
+            )?;
+        }
+        Ok(n)
+    }
+
+    /// Commit: flush the WAL, release all locks.
+    pub fn commit(mut self) -> Result<()> {
+        self.check_open()?;
+        if self.began_logged {
+            if let Some(wal) = &self.tdb.wal {
+                let mut wal = wal.lock();
+                wal.append(&WalRecord::Commit { txn: self.id })?;
+                wal.flush()?;
+            }
+        }
+        self.finish();
+        Ok(())
+    }
+
+    /// Roll back: apply undo images in reverse, release all locks.
+    pub fn rollback(mut self) -> Result<()> {
+        self.check_open()?;
+        self.rollback_inner()
+    }
+
+    fn rollback_inner(&mut self) -> Result<()> {
+        {
+            let mut db = self.tdb.db.write();
+            for op in self.undo.drain(..).rev() {
+                match op {
+                    UndoOp::Insert { table, row } => {
+                        let t = db.table_mut(&table)?;
+                        if let Some(rid) = find_equal(t, &row)? {
+                            t.delete_row(rid)?;
+                        }
+                    }
+                    UndoOp::Delete { table, row } => {
+                        db.table_mut(&table)?.insert(row)?;
+                    }
+                    UndoOp::Update {
+                        table,
+                        current,
+                        old,
+                    } => {
+                        let t = db.table_mut(&table)?;
+                        if let Some(rid) = find_equal(t, &current)? {
+                            t.update_row(rid, old)?;
+                        }
+                    }
+                }
+            }
+        }
+        if self.began_logged {
+            if let Some(wal) = &self.tdb.wal {
+                let mut wal = wal.lock();
+                wal.append(&WalRecord::Abort { txn: self.id })?;
+                wal.flush()?;
+            }
+        }
+        self.finish();
+        Ok(())
+    }
+
+    fn finish(&mut self) {
+        if !self.finished {
+            self.finished = true;
+            self.tdb.locks.release_all(self.id);
+            self.tdb.active.fetch_sub(1, Ordering::SeqCst);
+        }
+    }
+}
+
+impl Drop for Txn<'_> {
+    fn drop(&mut self) {
+        if !self.finished {
+            // best-effort rollback; errors here have nowhere to go
+            let _ = self.rollback_inner();
+        }
+    }
+}
+
+fn find_equal(t: &crate::catalog::Table, needle: &Row) -> Result<Option<RecordId>> {
+    let mut found = None;
+    t.scan(|rid, row| {
+        if found.is_none() && row.values == needle.values {
+            found = Some(rid);
+        }
+    })?;
+    Ok(found)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schema::Schema;
+    use crate::value::DataType;
+
+    fn accounts_db() -> Database {
+        let mut db = Database::new();
+        db.create_table(
+            "acct",
+            Schema::empty()
+                .with("id", DataType::Int)
+                .with("balance", DataType::Int),
+        )
+        .unwrap();
+        for i in 0..4 {
+            db.insert("acct", Row::new(vec![Value::Int(i), Value::Int(100)]))
+                .unwrap();
+        }
+        db
+    }
+
+    fn balance(tdb: &TxnDatabase, id: i64) -> i64 {
+        let r = tdb
+            .query("SELECT balance FROM acct WHERE id = $1", &[Value::Int(id)])
+            .unwrap();
+        r.rows[0].get(0).as_i64().unwrap()
+    }
+
+    #[test]
+    fn commit_keeps_rollback_undoes() {
+        let tdb = TxnDatabase::new(accounts_db());
+
+        let mut t1 = tdb.begin();
+        t1.update_where("acct", &[("balance", Value::Int(50))], "id = 0", &[])
+            .unwrap();
+        t1.commit().unwrap();
+        assert_eq!(balance(&tdb, 0), 50);
+
+        let mut t2 = tdb.begin();
+        t2.update_where("acct", &[("balance", Value::Int(7))], "id = 0", &[])
+            .unwrap();
+        t2.insert("acct", Row::new(vec![Value::Int(99), Value::Int(1)]))
+            .unwrap();
+        t2.delete_where("acct", "id = 1", &[]).unwrap();
+        t2.rollback().unwrap();
+        assert_eq!(balance(&tdb, 0), 50);
+        assert_eq!(balance(&tdb, 1), 100);
+        let r = tdb
+            .query("SELECT COUNT(*) FROM acct WHERE id = 99", &[])
+            .unwrap();
+        assert_eq!(r.rows[0].get(0), &Value::Int(0));
+    }
+
+    #[test]
+    fn drop_without_commit_rolls_back() {
+        let tdb = TxnDatabase::new(accounts_db());
+        {
+            let mut t = tdb.begin();
+            t.update_where("acct", &[("balance", Value::Int(0))], "id = 2", &[])
+                .unwrap();
+            // dropped here
+        }
+        assert_eq!(balance(&tdb, 2), 100);
+        assert_eq!(tdb.active_txns(), 0);
+    }
+
+    #[test]
+    fn commit_releases_locks_and_active_count() {
+        let tdb = TxnDatabase::new(accounts_db());
+        let mut t = tdb.begin();
+        t.update_where("acct", &[("balance", Value::Int(5))], "id = 0", &[])
+            .unwrap();
+        let id = t.id();
+        assert_eq!(tdb.active_txns(), 1);
+        assert!(tdb.locks.held_by(id) >= 1);
+        t.commit().unwrap();
+        assert_eq!(tdb.active_txns(), 0);
+        assert_eq!(tdb.locks.held_by(id), 0);
+        assert_eq!(balance(&tdb, 0), 5);
+    }
+
+    #[test]
+    fn lock_manager_shared_compatible_exclusive_not() {
+        let lm = LockManager::new();
+        let key = |rid: u32| LockKey {
+            table: "t".into(),
+            rid: RecordId::new(0, rid as u16),
+        };
+        lm.acquire(1, key(1), LockMode::Shared).unwrap();
+        lm.acquire(2, key(1), LockMode::Shared).unwrap();
+        assert_eq!(lm.held_by(1), 1);
+        // younger (3) requesting X against holders 1,2 dies
+        let e = lm.acquire(3, key(1), LockMode::Exclusive);
+        assert!(matches!(e, Err(StorageError::Deadlock { txn: 3, .. })));
+        // try_acquire reports busy without dying
+        assert!(!lm.try_acquire(3, key(1), LockMode::Exclusive).unwrap());
+        lm.release_all(1);
+        lm.release_all(2);
+        lm.acquire(3, key(1), LockMode::Exclusive).unwrap();
+        assert_eq!(lm.held_by(3), 1);
+        lm.release_all(3);
+    }
+
+    #[test]
+    fn lock_upgrade_by_sole_holder() {
+        let lm = LockManager::new();
+        let key = LockKey {
+            table: "t".into(),
+            rid: RecordId::new(0, 0),
+        };
+        lm.acquire(5, key.clone(), LockMode::Shared).unwrap();
+        lm.acquire(5, key.clone(), LockMode::Exclusive).unwrap();
+        // now even a shared request from an older txn conflicts; txn 4 is
+        // older so it would *wait* — use try_acquire to observe the state
+        assert!(!lm.try_acquire(4, key.clone(), LockMode::Shared).unwrap());
+        lm.release_all(5);
+        assert!(lm.try_acquire(4, key, LockMode::Shared).unwrap());
+    }
+
+    #[test]
+    fn older_waits_younger_dies_across_threads() {
+        let tdb = std::sync::Arc::new(TxnDatabase::new(accounts_db()));
+
+        // t_old (id 1) locks row id=0; t_young (id 2) locks row id=1.
+        // Then each goes for the other's row: the younger must die, the
+        // older must eventually proceed.
+        let mut t_old = tdb.begin();
+        let mut t_young = tdb.begin();
+        assert!(t_old.id() < t_young.id());
+        t_old
+            .update_where("acct", &[("balance", Value::Int(1))], "id = 0", &[])
+            .unwrap();
+        t_young
+            .update_where("acct", &[("balance", Value::Int(2))], "id = 1", &[])
+            .unwrap();
+
+        // younger requests older's row → dies immediately
+        let e = t_young.update_where("acct", &[("balance", Value::Int(3))], "id = 0", &[]);
+        assert!(matches!(e, Err(StorageError::Deadlock { .. })));
+        // its rollback releases row id=1 ...
+        t_young.rollback().unwrap();
+        // ... so the older transaction can now take it without blocking
+        let n = t_old
+            .update_where("acct", &[("balance", Value::Int(4))], "id = 1", &[])
+            .unwrap();
+        assert_eq!(n, 1);
+        t_old.commit().unwrap();
+        assert_eq!(balance(&tdb, 0), 1);
+        assert_eq!(balance(&tdb, 1), 4);
+    }
+
+    #[test]
+    fn concurrent_disjoint_writers_all_commit() {
+        let tdb = std::sync::Arc::new(TxnDatabase::new(accounts_db()));
+        std::thread::scope(|s| {
+            for i in 0..4i64 {
+                let tdb = &tdb;
+                s.spawn(move || {
+                    let mut t = tdb.begin();
+                    t.update_where(
+                        "acct",
+                        &[("balance", Value::Int(1000 + i))],
+                        "id = $1",
+                        &[Value::Int(i)],
+                    )
+                    .unwrap();
+                    t.commit().unwrap();
+                });
+            }
+        });
+        for i in 0..4 {
+            assert_eq!(balance(&tdb, i), 1000 + i);
+        }
+    }
+
+    #[test]
+    fn contended_increments_do_not_lose_updates() {
+        // 8 threads × 5 increments on one row; wait-die victims retry.
+        let tdb = std::sync::Arc::new(TxnDatabase::new(accounts_db()));
+        std::thread::scope(|s| {
+            for _ in 0..8 {
+                let tdb = &tdb;
+                s.spawn(move || {
+                    for _ in 0..5 {
+                        loop {
+                            let mut t = tdb.begin();
+                            let got = t.select_for_update("acct", "id = 3", &[]);
+                            let rows = match got {
+                                Ok(rows) => rows,
+                                Err(StorageError::Deadlock { .. }) => {
+                                    t.rollback().unwrap();
+                                    std::thread::yield_now();
+                                    continue;
+                                }
+                                Err(e) => panic!("{e}"),
+                            };
+                            let bal = rows[0].get(1).as_i64().unwrap();
+                            match t.update_where(
+                                "acct",
+                                &[("balance", Value::Int(bal + 1))],
+                                "id = 3",
+                                &[],
+                            ) {
+                                Ok(_) => {
+                                    t.commit().unwrap();
+                                    break;
+                                }
+                                Err(StorageError::Deadlock { .. }) => {
+                                    t.rollback().unwrap();
+                                    std::thread::yield_now();
+                                }
+                                Err(e) => panic!("{e}"),
+                            }
+                        }
+                    }
+                });
+            }
+        });
+        assert_eq!(balance(&tdb, 3), 100 + 8 * 5);
+    }
+
+    // ------------------------------------------------------- durability
+
+    fn tmp_dir(name: &str) -> PathBuf {
+        let mut p = std::env::temp_dir();
+        p.push(format!("kyrix_txn_{name}_{}", std::process::id()));
+        p
+    }
+
+    #[test]
+    fn open_recovers_committed_transactions() {
+        let dir = tmp_dir("recover");
+        std::fs::remove_dir_all(&dir).ok();
+        {
+            let tdb = TxnDatabase::open(&dir).unwrap();
+            {
+                let mut db = tdb.db.write();
+                db.create_table(
+                    "acct",
+                    Schema::empty()
+                        .with("id", DataType::Int)
+                        .with("balance", DataType::Int),
+                )
+                .unwrap();
+            }
+            // schema changes are not WAL-logged; checkpoint to persist them
+            tdb.checkpoint().unwrap();
+            let mut t = tdb.begin();
+            t.insert("acct", Row::new(vec![Value::Int(1), Value::Int(500)]))
+                .unwrap();
+            t.commit().unwrap();
+            let mut t = tdb.begin();
+            t.insert("acct", Row::new(vec![Value::Int(2), Value::Int(999)]))
+                .unwrap();
+            // crash before commit: drop runs rollback, but simulate a hard
+            // crash by forgetting the txn state entirely
+            std::mem::forget(t);
+            // process "crashes" here: tdb dropped without checkpoint
+        }
+        let tdb = TxnDatabase::open(&dir).unwrap();
+        let r = tdb.query("SELECT COUNT(*) FROM acct", &[]).unwrap();
+        assert_eq!(r.rows[0].get(0), &Value::Int(1));
+        assert_eq!(balance(&tdb, 1), 500);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn checkpoint_truncates_and_survives() {
+        let dir = tmp_dir("checkpoint");
+        std::fs::remove_dir_all(&dir).ok();
+        {
+            let tdb = TxnDatabase::open(&dir).unwrap();
+            {
+                let mut db = tdb.db.write();
+                db.create_table("t", Schema::empty().with("x", DataType::Int))
+                    .unwrap();
+            }
+            for i in 0..10 {
+                let mut t = tdb.begin();
+                t.insert("t", Row::new(vec![Value::Int(i)])).unwrap();
+                t.commit().unwrap();
+            }
+            tdb.checkpoint().unwrap();
+            // post-checkpoint writes only live in the WAL
+            let mut t = tdb.begin();
+            t.insert("t", Row::new(vec![Value::Int(100)])).unwrap();
+            t.commit().unwrap();
+        }
+        let tdb = TxnDatabase::open(&dir).unwrap();
+        let r = tdb.query("SELECT COUNT(*) FROM t", &[]).unwrap();
+        assert_eq!(r.rows[0].get(0), &Value::Int(11));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn checkpoint_requires_quiescence() {
+        let dir = tmp_dir("quiesce");
+        std::fs::remove_dir_all(&dir).ok();
+        let tdb = TxnDatabase::open(&dir).unwrap();
+        let t = tdb.begin();
+        assert!(tdb.checkpoint().is_err());
+        drop(t);
+        tdb.checkpoint().unwrap();
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

@@ -1,0 +1,233 @@
+//! Property-based tests of the storage substrate's invariants.
+
+use kyrix_storage::btree::BPlusTree;
+use kyrix_storage::hash_index::HashIndex;
+use kyrix_storage::page::Page;
+use kyrix_storage::rtree::RTree;
+use kyrix_storage::{Rect, Row, Schema, Value};
+use proptest::prelude::*;
+
+// ------------------------------------------------------------------ values
+
+fn arb_value() -> impl Strategy<Value = Value> {
+    prop_oneof![
+        Just(Value::Null),
+        any::<bool>().prop_map(Value::Bool),
+        any::<i64>().prop_map(Value::Int),
+        // finite floats only: NaN round-trips but breaks PartialEq checks
+        (-1e12f64..1e12).prop_map(Value::Float),
+        "[a-zA-Z0-9 _'?-]{0,40}".prop_map(Value::Text),
+    ]
+}
+
+proptest! {
+    /// Every value survives encode → decode.
+    #[test]
+    fn value_roundtrip(values in prop::collection::vec(arb_value(), 0..20)) {
+        let row = Row::new(values.clone());
+        let schema = Schema::empty(); // decode uses count, not types
+        let _ = schema;
+        let buf = row.encode();
+        let mut pos = 0;
+        for v in &values {
+            let got = Value::decode(&buf, &mut pos).unwrap();
+            prop_assert_eq!(&got, v);
+        }
+        prop_assert_eq!(pos, buf.len());
+    }
+
+    /// total_cmp is a total order: antisymmetric and transitive on samples.
+    #[test]
+    fn value_order_total(a in arb_value(), b in arb_value(), c in arb_value()) {
+        use std::cmp::Ordering::*;
+        let ab = a.total_cmp(&b);
+        let ba = b.total_cmp(&a);
+        prop_assert_eq!(ab, ba.reverse());
+        if a.total_cmp(&b) != Greater && b.total_cmp(&c) != Greater {
+            prop_assert_ne!(a.total_cmp(&c), Greater);
+        }
+    }
+}
+
+// ------------------------------------------------------------------ B+tree
+
+proptest! {
+    /// The B+tree agrees with a sorted-vector model for point lookups,
+    /// duplicate sets and range scans.
+    #[test]
+    fn btree_matches_model(
+        entries in prop::collection::vec((0i64..200, 0u64..10_000), 0..400),
+        probes in prop::collection::vec(0i64..220, 1..20),
+        ranges in prop::collection::vec((0i64..220, 0i64..220), 1..10),
+    ) {
+        let mut tree: BPlusTree<i64, u64> = BPlusTree::with_order(4);
+        let mut model: Vec<(i64, u64)> = Vec::new();
+        for (k, v) in &entries {
+            tree.insert(*k, *v);
+            model.push((*k, *v));
+        }
+        prop_assert_eq!(tree.len(), model.len());
+
+        for k in probes {
+            let mut want: Vec<u64> = model.iter().filter(|(mk, _)| *mk == k).map(|(_, v)| *v).collect();
+            let mut got = tree.get_all(&k);
+            want.sort_unstable();
+            got.sort_unstable();
+            prop_assert_eq!(got, want, "key {}", k);
+        }
+
+        for (lo, hi) in ranges {
+            let (lo, hi) = (lo.min(hi), lo.max(hi));
+            let mut want: Vec<(i64, u64)> = model
+                .iter()
+                .filter(|(k, _)| *k >= lo && *k <= hi)
+                .copied()
+                .collect();
+            want.sort_by_key(|(k, _)| *k);
+            let got = tree.range_collect(&lo, &hi);
+            // keys must come back sorted
+            prop_assert!(got.windows(2).all(|w| w[0].0 <= w[1].0));
+            let mut got_sorted = got.clone();
+            got_sorted.sort();
+            want.sort();
+            prop_assert_eq!(got_sorted, want);
+        }
+    }
+
+    /// Removal deletes exactly one matching entry.
+    #[test]
+    fn btree_remove_one(
+        entries in prop::collection::vec((0i64..50, 0u64..100), 1..100),
+    ) {
+        let mut tree: BPlusTree<i64, u64> = BPlusTree::with_order(4);
+        for (k, v) in &entries {
+            tree.insert(*k, *v);
+        }
+        let (k0, v0) = entries[0];
+        let before = tree.get_all(&k0).iter().filter(|v| **v == v0).count();
+        let removed = tree.remove_one(&k0, |v| *v == v0);
+        prop_assert_eq!(removed, Some(v0));
+        let after = tree.get_all(&k0).iter().filter(|v| **v == v0).count();
+        prop_assert_eq!(after + 1, before);
+        prop_assert_eq!(tree.len() + 1, entries.len());
+    }
+}
+
+// ------------------------------------------------------------------ R-tree
+
+proptest! {
+    /// R-tree queries agree with a naive scan, for both incremental
+    /// inserts and STR bulk loading.
+    #[test]
+    fn rtree_matches_naive(
+        rects in prop::collection::vec(
+            (0.0f64..1000.0, 0.0f64..1000.0, 0.0f64..50.0, 0.0f64..50.0),
+            0..200,
+        ),
+        queries in prop::collection::vec(
+            (0.0f64..1000.0, 0.0f64..1000.0, 0.0f64..300.0, 0.0f64..300.0),
+            1..10,
+        ),
+    ) {
+        let items: Vec<(Rect, usize)> = rects
+            .iter()
+            .enumerate()
+            .map(|(i, (x, y, w, h))| (Rect::new(*x, *y, x + w, y + h), i))
+            .collect();
+        let mut incremental = RTree::new();
+        for (r, v) in &items {
+            incremental.insert(*r, *v);
+        }
+        let bulk = RTree::bulk_load(items.clone());
+        for (qx, qy, qw, qh) in queries {
+            let q = Rect::new(qx, qy, qx + qw, qy + qh);
+            let mut naive: Vec<usize> = items
+                .iter()
+                .filter(|(r, _)| r.intersects(&q))
+                .map(|(_, v)| *v)
+                .collect();
+            naive.sort_unstable();
+            let mut a = incremental.query(&q);
+            a.sort_unstable();
+            let mut b = bulk.query(&q);
+            b.sort_unstable();
+            prop_assert_eq!(&a, &naive);
+            prop_assert_eq!(&b, &naive);
+        }
+    }
+}
+
+// ------------------------------------------------------------------ hash
+
+proptest! {
+    /// The hash index agrees with a vector model across grows.
+    #[test]
+    fn hash_index_matches_model(
+        entries in prop::collection::vec((0u64..100, 0u64..1000), 0..500),
+        probes in prop::collection::vec(0u64..120, 1..20),
+    ) {
+        let mut idx: HashIndex<u64, u64> = HashIndex::with_capacity(4);
+        for (k, v) in &entries {
+            idx.insert(*k, *v);
+        }
+        for k in probes {
+            let mut want: Vec<u64> = entries.iter().filter(|(mk, _)| *mk == k).map(|(_, v)| *v).collect();
+            let mut got = idx.get_all(&k);
+            want.sort_unstable();
+            got.sort_unstable();
+            prop_assert_eq!(got, want);
+        }
+    }
+}
+
+// ------------------------------------------------------------------ pages
+
+proptest! {
+    /// Slotted pages return exactly what was stored, in order, until full.
+    #[test]
+    fn page_roundtrip(tuples in prop::collection::vec(
+        prop::collection::vec(any::<u8>(), 1..300), 0..100,
+    )) {
+        let mut page = Page::new();
+        let mut stored: Vec<(u16, Vec<u8>)> = Vec::new();
+        for t in &tuples {
+            match page.insert(t) {
+                Some(slot) => stored.push((slot, t.clone())),
+                None => break, // page full: everything after is skipped
+            }
+        }
+        for (slot, bytes) in &stored {
+            prop_assert_eq!(page.get(*slot).unwrap(), &bytes[..]);
+        }
+        prop_assert_eq!(page.iter().count(), stored.len());
+    }
+}
+
+// ------------------------------------------------------------------ rects
+
+proptest! {
+    /// Geometric identities used throughout the fetch paths.
+    #[test]
+    fn rect_identities(
+        (ax, ay, aw, ah) in (0.0f64..100.0, 0.0f64..100.0, 0.0f64..50.0, 0.0f64..50.0),
+        (bx, by, bw, bh) in (0.0f64..100.0, 0.0f64..100.0, 0.0f64..50.0, 0.0f64..50.0),
+    ) {
+        let a = Rect::new(ax, ay, ax + aw, ay + ah);
+        let b = Rect::new(bx, by, bx + bw, by + bh);
+        // union contains both
+        let u = a.union(&b);
+        prop_assert!(u.contains(&a) && u.contains(&b));
+        // intersection is inside both (when non-empty)
+        let i = a.intersection(&b);
+        if !i.is_empty() {
+            prop_assert!(a.contains(&i) && b.contains(&i));
+            prop_assert!(a.intersects(&b));
+        } else {
+            prop_assert!(!a.intersects(&b));
+        }
+        // intersects is symmetric
+        prop_assert_eq!(a.intersects(&b), b.intersects(&a));
+        // enlargement is non-negative
+        prop_assert!(a.enlargement(&b) >= -1e-9);
+    }
+}

@@ -1,0 +1,51 @@
+//! Ready-made app specs shared by benchmarks, examples and tests.
+
+use crate::dots::DotsConfig;
+use kyrix_core::{
+    AppSpec, CanvasSpec, LayerSpec, MarkEncoding, PlacementSpec, RampKind, RenderSpec,
+    TransformSpec,
+};
+
+/// The benchmark app for Figures 6–7: one canvas the size of the dot
+/// dataset with a single dots layer placed at the raw (x, y) attributes —
+/// the separable case the paper's experiments rely on.
+pub fn dots_app(cfg: &DotsConfig, viewport: (f64, f64)) -> AppSpec {
+    AppSpec::new("dots")
+        .add_transform(TransformSpec::query("dots", "SELECT * FROM dots"))
+        .add_canvas(
+            CanvasSpec::new("main", cfg.width, cfg.height).layer(LayerSpec::dynamic(
+                "dots",
+                PlacementSpec::point("x", "y"),
+                RenderSpec::Marks(
+                    MarkEncoding::circle()
+                        .with_size("1.5")
+                        .with_color("weight", 0.0, 1.0, RampKind::Viridis),
+                ),
+            )),
+        )
+        .initial("main", cfg.width / 2.0, cfg.height / 2.0)
+        .viewport(viewport.0, viewport.1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dots::{index_dots, load_uniform};
+    use kyrix_storage::Database;
+
+    #[test]
+    fn dots_app_compiles_and_is_separable() {
+        let mut db = Database::new();
+        let cfg = DotsConfig {
+            n: 1000,
+            width: 4096.0,
+            height: 1024.0,
+            seed: 3,
+        };
+        load_uniform(&mut db, &cfg).unwrap();
+        index_dots(&mut db).unwrap();
+        let app = kyrix_core::compile(&dots_app(&cfg, (1024.0, 1024.0)), &db).unwrap();
+        let layer = &app.canvas("main").unwrap().layers[0];
+        assert!(layer.placement.as_ref().unwrap().separability.is_some());
+    }
+}

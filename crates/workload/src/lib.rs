@@ -1,0 +1,27 @@
+//! `kyrix-workload`: datasets, traces and applications used by the
+//! reproduction's experiments and examples.
+//!
+//! * [`dots`] — the paper's §3.3 **Uniform** and **Skewed** synthetic dot
+//!   datasets at paper density (scaled canvas).
+//! * [`traces`] — the Figure 5 viewport movement traces (a, b, c) plus
+//!   random-walk and straight-pan traces for ablations.
+//! * [`usmap`] — the Figures 2–3 US crime-rate application (states,
+//!   counties, semantic-zoom jump).
+//! * [`eeg`] — the §4 MGH EEG scenario (synthetic multi-channel signals,
+//!   temporal + spectral canvases for coordinated views).
+//! * [`apps`] — shared app specs for the benchmarks.
+
+pub mod apps;
+pub mod dots;
+pub mod eeg;
+pub mod traces;
+pub mod usmap;
+
+pub use apps::dots_app;
+pub use dots::{index_dots, load_skewed, load_uniform, DotsConfig, SkewConfig};
+pub use eeg::{eeg_app, load_eeg, EegConfig};
+pub use traces::{
+    aligned_start, half_tile_offset, random_walk, straight_pan, trace_a, trace_b, trace_c,
+    trace_c_start, TraceStart,
+};
+pub use usmap::{load_usmap, usmap_app, STATE_CODES};

@@ -1,0 +1,161 @@
+//! The paper's Figure 5 viewport movement traces, plus extra traces for
+//! the prefetching and caching ablations.
+//!
+//! * **trace-a**: viewport always aligned with tile boundaries; six steps
+//!   left (one tile length each), then six steps up.
+//! * **trace-b**: same movement, but the viewport starts offset by half a
+//!   tile, so it is never aligned.
+//! * **trace-c**: six diagonal steps from bottom-left to top-right.
+
+use kyrix_client::Move;
+use kyrix_storage::Rect;
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// Where a trace begins: the center of the starting viewport.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TraceStart {
+    pub cx: f64,
+    pub cy: f64,
+}
+
+/// Starting center such that a `viewport`-sized window is exactly aligned
+/// to `tile`-sized boundaries, placed far enough from the canvas edge for
+/// six left steps and six up steps of one tile each.
+pub fn aligned_start(tile: f64, viewport: (f64, f64), canvas: &Rect) -> TraceStart {
+    // viewport min corner lands on a tile boundary >= 7 tiles from the left
+    // edge (room to move left) and >= 7 tiles from the bottom... note the
+    // trace moves up, i.e. towards smaller y in canvas coordinates, so keep
+    // room above.
+    let min_x = (canvas.min_x / tile).ceil() * tile + 7.0 * tile;
+    let min_y = (canvas.min_y / tile).ceil() * tile + 7.0 * tile;
+    TraceStart {
+        cx: min_x + viewport.0 / 2.0,
+        cy: min_y + viewport.1 / 2.0,
+    }
+}
+
+/// trace-a: aligned L-shape (left ×6, then up ×6), one tile per step.
+pub fn trace_a(tile: f64) -> Vec<Move> {
+    l_shape(tile)
+}
+
+/// trace-b: the same L-shape; alignment is controlled by the start
+/// position (use `aligned_start` shifted by half a tile).
+pub fn trace_b(tile: f64) -> Vec<Move> {
+    l_shape(tile)
+}
+
+/// Offset an aligned start by half a tile in both axes (trace-b's start).
+pub fn half_tile_offset(start: TraceStart, tile: f64) -> TraceStart {
+    TraceStart {
+        cx: start.cx + tile / 2.0,
+        cy: start.cy + tile / 2.0,
+    }
+}
+
+fn l_shape(tile: f64) -> Vec<Move> {
+    let mut moves = Vec::with_capacity(12);
+    for _ in 0..6 {
+        moves.push(Move::PanBy { dx: -tile, dy: 0.0 });
+    }
+    for _ in 0..6 {
+        moves.push(Move::PanBy { dx: 0.0, dy: -tile });
+    }
+    moves
+}
+
+/// trace-c: six diagonal steps from bottom-left toward top-right
+/// (+x, −y in screen-style canvas coordinates), one tile length per axis
+/// per step.
+pub fn trace_c(tile: f64) -> Vec<Move> {
+    (0..6)
+        .map(|_| Move::PanBy {
+            dx: tile,
+            dy: -tile,
+        })
+        .collect()
+}
+
+/// Start for trace-c: bottom-left region of the canvas with room to move
+/// six tiles right and up.
+pub fn trace_c_start(tile: f64, viewport: (f64, f64), canvas: &Rect) -> TraceStart {
+    TraceStart {
+        cx: canvas.min_x + viewport.0 / 2.0 + tile,
+        cy: canvas.max_y - viewport.1 / 2.0 - tile,
+    }
+}
+
+/// A seeded random walk (cache/prefetch ablations): each step pans by a
+/// random multiple of `step` in a random axis direction.
+pub fn random_walk(steps: usize, step: f64, seed: u64) -> Vec<Move> {
+    let mut rng = SmallRng::seed_from_u64(seed);
+    (0..steps)
+        .map(|_| {
+            let axis = rng.gen_range(0..4u8);
+            match axis {
+                0 => Move::PanBy { dx: step, dy: 0.0 },
+                1 => Move::PanBy { dx: -step, dy: 0.0 },
+                2 => Move::PanBy { dx: 0.0, dy: step },
+                _ => Move::PanBy { dx: 0.0, dy: -step },
+            }
+        })
+        .collect()
+}
+
+/// A straight constant-velocity pan (the best case for momentum
+/// prefetching).
+pub fn straight_pan(steps: usize, dx: f64, dy: f64) -> Vec<Move> {
+    (0..steps).map(|_| Move::PanBy { dx, dy }).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn l_shape_has_12_steps() {
+        let t = trace_a(1024.0);
+        assert_eq!(t.len(), 12);
+        assert_eq!(t[0], Move::PanBy { dx: -1024.0, dy: 0.0 });
+        assert_eq!(t[11], Move::PanBy { dx: 0.0, dy: -1024.0 });
+    }
+
+    #[test]
+    fn trace_c_is_diagonal_6_steps() {
+        let t = trace_c(256.0);
+        assert_eq!(t.len(), 6);
+        assert!(t.iter().all(|m| matches!(
+            m,
+            Move::PanBy { dx, dy } if *dx == 256.0 && *dy == -256.0
+        )));
+    }
+
+    #[test]
+    fn aligned_start_is_aligned() {
+        let canvas = Rect::new(0.0, 0.0, 100_000.0, 100_000.0);
+        let start = aligned_start(1024.0, (1024.0, 1024.0), &canvas);
+        let vp_min_x = start.cx - 512.0;
+        let vp_min_y = start.cy - 512.0;
+        assert_eq!(vp_min_x % 1024.0, 0.0);
+        assert_eq!(vp_min_y % 1024.0, 0.0);
+        // room for six left steps
+        assert!(vp_min_x - 6.0 * 1024.0 >= 0.0);
+        assert!(vp_min_y - 6.0 * 1024.0 >= 0.0);
+        let off = half_tile_offset(start, 1024.0);
+        assert_eq!((off.cx - 512.0) % 1024.0, 512.0);
+    }
+
+    #[test]
+    fn random_walk_deterministic() {
+        assert_eq!(random_walk(10, 100.0, 3), random_walk(10, 100.0, 3));
+        assert_ne!(random_walk(10, 100.0, 3), random_walk(10, 100.0, 4));
+    }
+
+    #[test]
+    fn straight_pan_constant() {
+        let t = straight_pan(5, 10.0, -5.0);
+        assert_eq!(t.len(), 5);
+        assert!(t.iter().all(|m| *m == Move::PanBy { dx: 10.0, dy: -5.0 }));
+    }
+}

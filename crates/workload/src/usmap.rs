@@ -1,0 +1,240 @@
+//! The paper's running example (Figures 2–3): an interactive map of US
+//! crime rates with a state-level canvas, a county-level canvas, and a
+//! semantic-zoom jump between them.
+//!
+//! Real state/county geometry is not needed to exercise the system; states
+//! are laid out as a 10×5 grid of cells on the state canvas and each state
+//! expands to a 5×5 grid of counties on the county canvas (5× linear
+//! scale, matching Figure 3's `row[1] * 5` viewport function).
+
+use kyrix_core::{
+    AppSpec, CanvasSpec, JumpSpec, JumpType, LayerSpec, MarkEncoding, PlacementSpec, RampKind,
+    RenderSpec, TransformSpec,
+};
+use kyrix_render::{Color, Mark};
+use kyrix_storage::{DataType, Database, Result, Row, Schema, Value};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// Two-letter codes for the 50 states.
+pub const STATE_CODES: [&str; 50] = [
+    "AL", "AK", "AZ", "AR", "CA", "CO", "CT", "DE", "FL", "GA", "HI", "ID", "IL", "IN", "IA",
+    "KS", "KY", "LA", "ME", "MD", "MA", "MI", "MN", "MS", "MO", "MT", "NE", "NV", "NH", "NJ",
+    "NM", "NY", "NC", "ND", "OH", "OK", "OR", "PA", "RI", "SC", "SD", "TN", "TX", "UT", "VT",
+    "VA", "WA", "WV", "WI", "WY",
+];
+
+/// Layout constants: state canvas 2000×1000, cells 200×200 in a 10×5 grid;
+/// county canvas is 5× larger with 5×5 counties per state.
+pub const STATE_CANVAS: (f64, f64) = (2000.0, 1000.0);
+pub const COUNTY_CANVAS: (f64, f64) = (10_000.0, 5_000.0);
+pub const STATE_CELL: f64 = 200.0;
+pub const COUNTIES_PER_SIDE: usize = 5;
+
+/// Load the `states` and `counties` tables with seeded crime rates.
+/// Returns (state count, county count).
+pub fn load_usmap(db: &mut Database, seed: u64) -> Result<(usize, usize)> {
+    let mut rng = SmallRng::seed_from_u64(seed);
+    db.create_table(
+        "states",
+        Schema::empty()
+            .with("id", DataType::Int)
+            .with("name", DataType::Text)
+            .with("cx", DataType::Float)
+            .with("cy", DataType::Float)
+            .with("crime_rate", DataType::Float),
+    )?;
+    db.create_table(
+        "counties",
+        Schema::empty()
+            .with("id", DataType::Int)
+            .with("state_id", DataType::Int)
+            .with("name", DataType::Text)
+            .with("cx", DataType::Float)
+            .with("cy", DataType::Float)
+            .with("crime_rate", DataType::Float),
+    )?;
+
+    let mut county_id = 0i64;
+    for (i, code) in STATE_CODES.iter().enumerate() {
+        let col = (i % 10) as f64;
+        let row = (i / 10) as f64;
+        let cx = col * STATE_CELL + STATE_CELL / 2.0;
+        let cy = row * STATE_CELL + STATE_CELL / 2.0;
+        let state_rate: f64 = rng.gen_range(10.0..90.0);
+        db.insert(
+            "states",
+            Row::new(vec![
+                Value::Int(i as i64),
+                Value::Text(code.to_string()),
+                Value::Float(cx),
+                Value::Float(cy),
+                Value::Float(state_rate),
+            ]),
+        )?;
+        // counties tile the state's 5x-scaled cell
+        let county_cell = STATE_CELL * 5.0 / COUNTIES_PER_SIDE as f64;
+        for cr in 0..COUNTIES_PER_SIDE {
+            for cc in 0..COUNTIES_PER_SIDE {
+                let ccx = col * STATE_CELL * 5.0 + cc as f64 * county_cell + county_cell / 2.0;
+                let ccy = row * STATE_CELL * 5.0 + cr as f64 * county_cell + county_cell / 2.0;
+                let rate = (state_rate + rng.gen_range(-15.0..15.0)).clamp(0.0, 100.0);
+                db.insert(
+                    "counties",
+                    Row::new(vec![
+                        Value::Int(county_id),
+                        Value::Int(i as i64),
+                        Value::Text(format!("{code}-{:02}", cr * COUNTIES_PER_SIDE + cc)),
+                        Value::Float(ccx),
+                        Value::Float(ccy),
+                        Value::Float(rate),
+                    ]),
+                )?;
+                county_id += 1;
+            }
+        }
+    }
+    Ok((STATE_CODES.len(), county_id as usize))
+}
+
+/// A legend for the crime-rate heat ramp, drawn as a static layer
+/// (Figure 3's `stateMapLegendLayer`).
+fn legend_marks() -> Vec<Mark> {
+    let mut marks = vec![Mark::Rect {
+        x: 8.0,
+        y: 8.0,
+        w: 180.0,
+        h: 40.0,
+        fill: Color::WHITE,
+        stroke: Some(Color::BLACK),
+    }];
+    let ramp = RampKind::Heat.ramp();
+    for i in 0..10 {
+        marks.push(Mark::Rect {
+            x: 14.0 + i as f64 * 14.0,
+            y: 28.0,
+            w: 14.0,
+            h: 12.0,
+            fill: ramp.at(i as f64 / 9.0),
+            stroke: None,
+        });
+    }
+    marks.push(Mark::Text {
+        x: 14.0,
+        y: 14.0,
+        text: "CRIME RATE".to_string(),
+        color: Color::BLACK,
+        size: 1,
+    });
+    marks
+}
+
+/// The Figure 3 application: two canvases and a state→county jump.
+pub fn usmap_app() -> AppSpec {
+    AppSpec::new("usmap")
+        // Figure 3 line 9: the empty transform for the legend layer
+        .add_transform(TransformSpec::empty("empty"))
+        // Figure 3 line 10: the state map transform
+        .add_transform(TransformSpec::query(
+            "stateMapTrans",
+            "SELECT * FROM states",
+        ))
+        .add_transform(TransformSpec::query(
+            "countyMapTrans",
+            "SELECT * FROM counties",
+        ))
+        .add_canvas(
+            CanvasSpec::new("statemap", STATE_CANVAS.0, STATE_CANVAS.1)
+                // static legend layer (Figure 3 lines 13–15)
+                .layer(LayerSpec::fixed("empty", RenderSpec::Static(legend_marks())))
+                // state border layer (Figure 3 lines 18–21)
+                .layer(LayerSpec::dynamic(
+                    "stateMapTrans",
+                    PlacementSpec::boxed("cx", "cy", "198", "198"),
+                    RenderSpec::Marks(
+                        MarkEncoding::rect()
+                            .with_color("crime_rate", 0.0, 100.0, RampKind::Heat)
+                            .with_stroke("#333333"),
+                    ),
+                )),
+        )
+        .add_canvas(
+            CanvasSpec::new("countymap", COUNTY_CANVAS.0, COUNTY_CANVAS.1).layer(
+                LayerSpec::dynamic(
+                    "countyMapTrans",
+                    PlacementSpec::boxed("cx", "cy", "198", "198"),
+                    RenderSpec::Marks(
+                        MarkEncoding::rect()
+                            .with_color("crime_rate", 0.0, 100.0, RampKind::Heat)
+                            .with_stroke("#666666"),
+                    ),
+                ),
+            ),
+        )
+        // Figure 3 lines 27–36: the state→county jump
+        .add_jump(
+            JumpSpec::new(
+                "state_to_county",
+                "statemap",
+                "countymap",
+                JumpType::GeometricSemanticZoom,
+            )
+            .with_selector("layer_id == 1")
+            .with_viewport("cx * 5", "cy * 5")
+            .with_name("'County map of ' + name"),
+        )
+        // Figure 3 line 39
+        .initial("statemap", 1000.0, 500.0)
+        .viewport(1000.0, 600.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn loads_expected_counts() {
+        let mut db = Database::new();
+        let (states, counties) = load_usmap(&mut db, 1).unwrap();
+        assert_eq!(states, 50);
+        assert_eq!(counties, 50 * 25);
+        assert_eq!(db.table("states").unwrap().len(), 50);
+        assert_eq!(db.table("counties").unwrap().len(), 1250);
+    }
+
+    #[test]
+    fn app_compiles_against_data() {
+        let mut db = Database::new();
+        load_usmap(&mut db, 1).unwrap();
+        let app = kyrix_core::compile(&usmap_app(), &db).unwrap();
+        assert_eq!(app.canvases.len(), 2);
+        assert_eq!(app.jumps.len(), 1);
+        // state layer placement is NOT separable (box extent is fine, but
+        // cx/cy are raw attributes -> actually it IS separable)
+        let state_layer = &app.canvas("statemap").unwrap().layers[1];
+        assert!(state_layer
+            .placement
+            .as_ref()
+            .unwrap()
+            .separability
+            .is_some());
+    }
+
+    #[test]
+    fn county_rates_near_state_rate() {
+        let mut db = Database::new();
+        load_usmap(&mut db, 99).unwrap();
+        let state = db
+            .query("SELECT crime_rate FROM states WHERE id = 0", &[])
+            .unwrap();
+        let sr = state.rows[0].get(0).as_f64().unwrap();
+        let counties = db
+            .query("SELECT crime_rate FROM counties WHERE state_id = 0", &[])
+            .unwrap();
+        assert_eq!(counties.rows.len(), 25);
+        for c in &counties.rows {
+            let cr = c.get(0).as_f64().unwrap();
+            assert!((cr - sr).abs() <= 15.0 + 1e-9 || (0.0..=100.0).contains(&cr));
+        }
+    }
+}

@@ -1,0 +1,82 @@
+//! The MGH EEG scenario (paper §4): coordinated temporal and spectral
+//! views over multi-channel EEG data.
+//!
+//! The paper's collaborators want "three different views of the data ... to
+//! be coordinated. For instance, movement in the temporal view should cause
+//! an appropriate change in the spectral view." This example opens two
+//! sessions over the same backend — a waveform (temporal) view and a
+//! band-power (spectral) view — links their time axes, and shows that
+//! panning the temporal view drives the spectral view.
+//!
+//! ```text
+//! cargo run --example eeg_explorer --release
+//! ```
+
+use kyrix::client::{LinkMode, LinkedViews};
+use kyrix::prelude::*;
+use kyrix::workload::{eeg_app, load_eeg, EegConfig};
+use std::sync::Arc;
+
+fn main() {
+    // ---- synthesize an EEG recording ------------------------------------
+    let cfg = EegConfig::default();
+    let mut db = Database::new();
+    let (samples, power_rows) = load_eeg(&mut db, &cfg).expect("load eeg");
+    println!(
+        "synthesized {} samples across {} channels (+{} band-power rows)",
+        samples, cfg.channels, power_rows
+    );
+
+    let app = compile(&eeg_app(&cfg), &db).expect("eeg spec compiles");
+    let (server, _) = KyrixServer::launch(
+        app,
+        db,
+        ServerConfig::new(FetchPlan::DynamicBox {
+            policy: BoxPolicy::PctLarger(0.5),
+        }),
+    )
+    .expect("launch");
+    let server = Arc::new(server);
+
+    // ---- temporal view + spectral view on the same backend --------------
+    let (temporal, t_first) = Session::open(server.clone()).expect("temporal opens");
+    let (spectral, s_first) =
+        Session::open_on(server, "spectral", 64.0, 400.0).expect("spectral opens");
+    println!(
+        "temporal view: {} samples visible on open; spectral view: {} power cells",
+        t_first.visible_rows, s_first.visible_rows
+    );
+
+    // ---- link: temporal x-axis drives the spectral x-axis ----------------
+    // temporal x = sample index; spectral x = epoch * 32 px. One epoch is
+    // `cfg.epoch` samples, so the scale factor is 32 / epoch.
+    let mut views = LinkedViews::new(vec![temporal, spectral]);
+    views.link(0, 1, LinkMode::SharedX {
+        fx: 32.0 / cfg.epoch as f64,
+    });
+
+    // ---- pan the temporal view; the spectral view follows ----------------
+    for step in 0..4 {
+        let reports = views.pan_by(0, 256.0, 0.0).expect("linked pan");
+        let t = reports[0].as_ref().expect("temporal moved");
+        let s = reports[1].as_ref().expect("spectral followed");
+        println!(
+            "step {step}: temporal {} rows ({:.2} ms) | spectral {} rows ({:.2} ms)",
+            t.visible_rows, t.modeled_ms, s.visible_rows, s.modeled_ms
+        );
+    }
+    let t_center = views.session(0).viewport().cx;
+    let s_center = views.session(1).viewport().cx;
+    println!(
+        "temporal center {t_center:.0} samples -> spectral center {s_center:.0} px \
+         (expected {:.0})",
+        t_center * 32.0 / cfg.epoch as f64
+    );
+
+    // ---- render both views ------------------------------------------------
+    let tf = views.session(0).render().expect("render temporal");
+    save_ppm(&tf, "target/eeg_temporal.ppm").expect("write");
+    let sf = views.session(1).render().expect("render spectral");
+    save_ppm(&sf, "target/eeg_spectral.ppm").expect("write");
+    println!("wrote target/eeg_temporal.ppm and target/eeg_spectral.ppm");
+}

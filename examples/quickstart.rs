@@ -1,0 +1,99 @@
+//! Quickstart: the smallest complete Kyrix application.
+//!
+//! Loads a scatterplot dataset, declares a one-canvas app, launches the
+//! backend with dynamic-box fetching, pans around, and writes a rendered
+//! frame to `target/quickstart.ppm`.
+//!
+//! ```text
+//! cargo run --example quickstart --release
+//! ```
+
+use kyrix::prelude::*;
+use std::sync::Arc;
+
+fn main() {
+    // ---- 1. data: a spiral of dots with a weight attribute -------------
+    let mut db = Database::new();
+    db.create_table(
+        "dots",
+        Schema::empty()
+            .with("id", DataType::Int)
+            .with("x", DataType::Float)
+            .with("y", DataType::Float)
+            .with("weight", DataType::Float),
+    )
+    .expect("create table");
+    let n = 20_000;
+    for i in 0..n {
+        let t = i as f64 / n as f64;
+        let angle = t * 50.0;
+        let r = 100.0 + t * 3800.0;
+        db.insert(
+            "dots",
+            Row::new(vec![
+                Value::Int(i),
+                Value::Float(4000.0 + r * angle.cos()),
+                Value::Float(4000.0 + r * angle.sin()),
+                Value::Float(t),
+            ]),
+        )
+        .expect("insert");
+    }
+
+    // ---- 2. declarative spec (the Figure 3 builder API) ----------------
+    let spec = AppSpec::new("quickstart")
+        .add_transform(TransformSpec::query("dots", "SELECT * FROM dots"))
+        .add_canvas(
+            CanvasSpec::new("main", 8000.0, 8000.0).layer(LayerSpec::dynamic(
+                "dots",
+                PlacementSpec::point("x", "y"),
+                RenderSpec::Marks(
+                    MarkEncoding::circle()
+                        .with_size("2.5")
+                        .with_color("weight", 0.0, 1.0, RampKind::Viridis),
+                ),
+            )),
+        )
+        .initial("main", 4000.0, 4000.0)
+        .viewport(800.0, 800.0);
+
+    // ---- 3. compile + launch -------------------------------------------
+    let app = compile(&spec, &db).expect("spec compiles");
+    let config = ServerConfig::new(FetchPlan::DynamicBox {
+        policy: BoxPolicy::PctLarger(0.5),
+    });
+    let (server, reports) = KyrixServer::launch(app, db, config).expect("server launches");
+    for r in &reports {
+        println!(
+            "precomputed {}/{}: {} rows in {:.1} ms{}",
+            r.canvas,
+            r.layer,
+            r.rows,
+            r.elapsed.as_secs_f64() * 1000.0,
+            if r.skipped_separable { " (separable: skipped)" } else { "" }
+        );
+    }
+
+    // ---- 4. interact ----------------------------------------------------
+    let (mut session, first) = Session::open(Arc::new(server)).expect("session opens");
+    println!(
+        "initial load: {} visible dots, modeled {:.2} ms",
+        first.visible_rows, first.modeled_ms
+    );
+    for (dx, dy) in [(600.0, 0.0), (0.0, 600.0), (-600.0, 300.0)] {
+        let step = session.pan_by(dx, dy).expect("pan");
+        println!(
+            "pan by ({dx:>6}, {dy:>6}): {} visible dots, {} queries, modeled {:.2} ms{}",
+            step.visible_rows,
+            step.fetch.queries,
+            step.modeled_ms,
+            if step.modeled_ms <= 500.0 { "  [within 500 ms]" } else { "  [OVER BUDGET]" }
+        );
+    }
+
+    // ---- 5. render -------------------------------------------------------
+    let frame = session.render().expect("render");
+    let out = "target/quickstart.ppm";
+    save_ppm(&frame, out).expect("write ppm");
+    println!("wrote {out} ({}x{})", frame.width, frame.height);
+}

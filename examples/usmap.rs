@@ -1,0 +1,73 @@
+//! The paper's running example (Figures 2–3): the US crime-rate map.
+//!
+//! Builds the two-canvas application — a state-level choropleth with a
+//! static legend, and a 5×-larger county-level canvas — then walks the
+//! exact interaction of Figure 2: view the state map, click a state,
+//! semantic-zoom into the county map centered on it, and pan.
+//!
+//! ```text
+//! cargo run --example usmap --release
+//! ```
+
+use kyrix::prelude::*;
+use kyrix::workload::{load_usmap, usmap_app};
+use std::sync::Arc;
+
+fn main() {
+    // ---- data + spec (workload crate provides both) ---------------------
+    let mut db = Database::new();
+    let (states, counties) = load_usmap(&mut db, 2019).expect("load usmap");
+    println!("loaded {states} states, {counties} counties");
+
+    let spec = usmap_app();
+    let app = compile(&spec, &db).expect("usmap spec compiles");
+
+    // the paper's demo serves tiles; use the spatial design at 512px
+    let config = ServerConfig::new(FetchPlan::StaticTiles {
+        size: 512.0,
+        design: TileDesign::SpatialIndex,
+    });
+    let (server, _) = KyrixServer::launch(app, db, config).expect("launch");
+    let server = Arc::new(server);
+
+    // ---- Figure 2a: the state-level map ---------------------------------
+    let (mut session, first) = Session::open(server).expect("open");
+    println!(
+        "state map loaded: {} states visible, modeled {:.2} ms",
+        first.visible_rows, first.modeled_ms
+    );
+    let frame = session.render().expect("render");
+    save_ppm(&frame, "target/usmap_states.ppm").expect("write");
+    println!("wrote target/usmap_states.ppm");
+
+    // ---- Figure 2b/2c: click a state, zoom into its county map ----------
+    // click a pixel inside a state cell near the viewport center
+    let outcome = session
+        .click(480.0, 280.0)
+        .expect("click works")
+        .expect("a state cell is under the cursor");
+    println!(
+        "jump taken: {} -> {} ({}), modeled {:.2} ms",
+        outcome.jump_id,
+        outcome.to_canvas,
+        outcome.name.as_deref().unwrap_or("?"),
+        outcome.report.modeled_ms
+    );
+    assert_eq!(session.canvas_id(), "countymap");
+    let frame = session.render().expect("render counties");
+    save_ppm(&frame, "target/usmap_counties.ppm").expect("write");
+    println!("wrote target/usmap_counties.ppm");
+
+    // ---- Figure 2d: pan on the county map --------------------------------
+    let step = session.pan_by(400.0, 150.0).expect("pan");
+    println!(
+        "county pan: {} counties visible, {} queries, modeled {:.2} ms{}",
+        step.visible_rows,
+        step.fetch.queries,
+        step.modeled_ms,
+        if step.modeled_ms <= 500.0 { "  [within 500 ms]" } else { "  [OVER BUDGET]" }
+    );
+    let frame = session.render().expect("render pan");
+    save_ppm(&frame, "target/usmap_counties_pan.ppm").expect("write");
+    println!("wrote target/usmap_counties_pan.ppm");
+}

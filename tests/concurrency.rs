@@ -1,0 +1,87 @@
+//! Concurrency: the paper runs "each concurrent Kyrix application ... in a
+//! separate process"; within one backend, multiple sessions (browser tabs,
+//! coordinated views) fetch concurrently. The server must be safely
+//! shareable across threads.
+
+use kyrix::prelude::*;
+use kyrix::workload::{dots_app, load_uniform, DotsConfig};
+use std::sync::Arc;
+
+fn server(plan: FetchPlan) -> Arc<KyrixServer> {
+    let cfg = DotsConfig {
+        n: 40_000,
+        width: 8192.0,
+        height: 8192.0,
+        seed: 21,
+    };
+    let mut db = Database::new();
+    load_uniform(&mut db, &cfg).unwrap();
+    let app = compile(&dots_app(&cfg, (512.0, 512.0)), &db).unwrap();
+    let (server, _) = KyrixServer::launch(app, db, ServerConfig::new(plan)).unwrap();
+    Arc::new(server)
+}
+
+#[test]
+fn many_sessions_pan_concurrently() {
+    let server = server(FetchPlan::DynamicBox {
+        policy: BoxPolicy::Exact,
+    });
+    let mut handles = Vec::new();
+    for t in 0..8u64 {
+        let server = server.clone();
+        handles.push(std::thread::spawn(move || {
+            let (mut session, _) = Session::open(server).expect("open");
+            let mut total_rows = 0usize;
+            // each session walks a different diagonal
+            let dir = if t % 2 == 0 { 1.0 } else { -1.0 };
+            for i in 0..20 {
+                let step = session
+                    .pan_by(dir * 137.0, (t as f64 - 4.0) * 31.0 + i as f64)
+                    .expect("pan");
+                total_rows += step.visible_rows;
+            }
+            total_rows
+        }));
+    }
+    for h in handles {
+        let rows = h.join().expect("no panics");
+        assert!(rows > 0, "every session saw data");
+    }
+    let totals = server.totals();
+    assert!(totals.requests >= 8, "requests were served");
+}
+
+#[test]
+fn concurrent_tile_sessions_share_the_backend_cache() {
+    let server = server(FetchPlan::StaticTiles {
+        size: 512.0,
+        design: TileDesign::SpatialIndex,
+    });
+    // session 1 walks a path, warming the backend cache
+    {
+        let (mut s1, _) = Session::open(server.clone()).unwrap();
+        for _ in 0..6 {
+            s1.pan_by(512.0, 0.0).unwrap();
+        }
+    }
+    server.reset_totals();
+    // sessions 2..4 concurrently retrace it: mostly backend cache hits
+    let mut handles = Vec::new();
+    for _ in 0..3 {
+        let server = server.clone();
+        handles.push(std::thread::spawn(move || {
+            let (mut s, _) = Session::open(server).unwrap();
+            for _ in 0..6 {
+                s.pan_by(512.0, 0.0).unwrap();
+            }
+        }));
+    }
+    for h in handles {
+        h.join().unwrap();
+    }
+    let totals = server.totals();
+    assert!(
+        totals.cache_hits > totals.cache_misses,
+        "retraced path mostly hits: {totals:?}"
+    );
+}

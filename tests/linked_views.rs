@@ -1,0 +1,92 @@
+//! Coordinated views (paper §4): the MGH scenario — movement in the
+//! temporal view drives the spectral view.
+
+use kyrix::client::{LinkMode, LinkedViews, Session};
+use kyrix::prelude::*;
+use kyrix::workload::{eeg_app, load_eeg, EegConfig};
+use std::sync::Arc;
+
+fn eeg_server(cfg: &EegConfig) -> Arc<KyrixServer> {
+    let mut db = Database::new();
+    load_eeg(&mut db, cfg).unwrap();
+    let app = compile(&eeg_app(cfg), &db).unwrap();
+    let (server, _) = KyrixServer::launch(
+        app,
+        db,
+        ServerConfig::new(FetchPlan::DynamicBox {
+            policy: BoxPolicy::PctLarger(0.5),
+        }),
+    )
+    .unwrap();
+    Arc::new(server)
+}
+
+fn small_cfg() -> EegConfig {
+    // long enough that the spectral canvas (epochs * 32 px) is wider than
+    // the 1,024 px viewport, so linked movement is observable
+    EegConfig {
+        channels: 4,
+        samples: 16_384,
+        sample_rate: 128.0,
+        epoch: 256,
+        seed: 3,
+    }
+}
+
+#[test]
+fn temporal_pan_drives_spectral_view() {
+    let cfg = small_cfg();
+    let server = eeg_server(&cfg);
+    let (temporal, t0) = Session::open(server.clone()).unwrap();
+    let (spectral, s0) = Session::open_on(server, "spectral", 64.0, 200.0).unwrap();
+    assert!(t0.visible_rows > 0, "waveforms visible");
+    assert!(s0.visible_rows > 0, "power cells visible");
+
+    let fx = 32.0 / cfg.epoch as f64;
+    let mut views = LinkedViews::new(vec![temporal, spectral]);
+    views.link(0, 1, LinkMode::SharedX { fx });
+
+    let before_spectral_cx = views.session(1).viewport().cx;
+    let reports = views.pan_by(0, 4096.0, 0.0).unwrap();
+    assert!(reports[0].is_some(), "temporal view moved");
+    assert!(reports[1].is_some(), "spectral view followed");
+    let after_t = views.session(0).viewport().cx;
+    let after_s = views.session(1).viewport().cx;
+    assert_ne!(after_s, before_spectral_cx, "spectral center changed");
+    // spectral x tracks temporal x through the scale factor (modulo
+    // clamping at canvas edges)
+    let expected = after_t * fx;
+    let spectral_canvas_w = 32.0 * (cfg.samples / cfg.epoch) as f64;
+    let clamped = expected.clamp(
+        views.session(1).viewport().width.min(spectral_canvas_w) / 2.0,
+        spectral_canvas_w - views.session(1).viewport().width.min(spectral_canvas_w) / 2.0,
+    );
+    let diff = (after_s - clamped).abs();
+    assert!(diff < 1.0, "spectral center {after_s} vs expected {clamped}");
+}
+
+#[test]
+fn unlinked_views_do_not_move() {
+    let cfg = small_cfg();
+    let server = eeg_server(&cfg);
+    let (temporal, _) = Session::open(server.clone()).unwrap();
+    let (spectral, _) = Session::open_on(server, "spectral", 64.0, 200.0).unwrap();
+    let mut views = LinkedViews::new(vec![temporal, spectral]);
+    // no links registered
+    let before = views.session(1).viewport().cx;
+    let reports = views.pan_by(0, 256.0, 0.0).unwrap();
+    assert!(reports[1].is_none());
+    assert_eq!(views.session(1).viewport().cx, before);
+}
+
+#[test]
+fn both_views_render() {
+    let cfg = small_cfg();
+    let server = eeg_server(&cfg);
+    let (mut temporal, _) = Session::open(server.clone()).unwrap();
+    let (mut spectral, _) = Session::open_on(server, "spectral", 64.0, 200.0).unwrap();
+    let tf = temporal.render().unwrap();
+    let sf = spectral.render().unwrap();
+    assert!(tf.ink(Color::WHITE) > 500, "waveforms draw ink");
+    assert!(sf.ink(Color::WHITE) > 100, "power cells draw ink");
+}
