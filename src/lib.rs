@@ -78,6 +78,7 @@ pub mod prelude {
         JumpType, LayerSpec, MarkEncoding, PlacementExample, PlacementSpec, RampKind, RenderSpec,
         SynthesizedPlacement, TransformSpec,
     };
+    pub use kyrix_expr::{as_affine, eval, parse, Compiled, Expr, VarMap};
     pub use kyrix_parallel::{ParallelDatabase, Partitioner};
     pub use kyrix_render::{save_ppm, Color, Frame, Mark, MarkType};
     pub use kyrix_server::{
@@ -86,5 +87,9 @@ pub mod prelude {
     };
     pub use kyrix_storage::{
         DataType, Database, IndexKind, Rect, Row, Schema, SpatialCols, TxnDatabase, Value,
+    };
+    pub use kyrix_workload::{
+        dots_app, load_skewed, load_uniform, load_usmap, trace_a, usmap_app, DotsConfig,
+        SkewConfig,
     };
 }

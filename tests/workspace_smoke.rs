@@ -1,0 +1,124 @@
+//! Workspace smoke test: every member crate's public entry points are
+//! reachable through `kyrix::prelude::*` alone, and they compose into a
+//! working end-to-end flow. This pins the facade's re-export surface — a
+//! crate dropped from the prelude is a compile failure here, not a
+//! downstream surprise.
+
+use kyrix::prelude::*;
+use std::sync::Arc;
+
+/// kyrix-storage: database, schema, rows, values, spatial types, indexes.
+#[test]
+fn storage_entry_points() {
+    let mut db = Database::new();
+    db.create_table(
+        "t",
+        Schema::empty()
+            .with("id", DataType::Int)
+            .with("x", DataType::Float),
+    )
+    .unwrap();
+    db.insert("t", Row::new(vec![Value::Int(1), Value::Float(2.5)]))
+        .unwrap();
+    let r = db.query("SELECT COUNT(*) FROM t", &[]).unwrap();
+    assert_eq!(r.rows[0].get(0), &Value::Int(1));
+
+    let rect = Rect::new(0.0, 0.0, 10.0, 10.0);
+    assert!(rect.intersects(&Rect::new(5.0, 5.0, 15.0, 15.0)));
+    // index + txn types are at least nameable through the prelude
+    let _: IndexKind = IndexKind::BTree { column: "id".into() };
+    let _: Option<SpatialCols> = None;
+    let _: Option<&TxnDatabase> = None;
+}
+
+/// kyrix-expr: parse, evaluate, compile, affine analysis.
+#[test]
+fn expr_entry_points() {
+    let e: Expr = parse("2 * x + 1").unwrap();
+    let mut ctx = VarMap::new();
+    ctx.set("x", Value::Float(3.0));
+    assert_eq!(eval(&e, &ctx).unwrap().as_f64().unwrap(), 7.0);
+
+    let compiled = Compiled::compile(&e, &["x"]).unwrap();
+    assert_eq!(
+        compiled.eval(&[Value::Float(3.0)]).unwrap().as_f64().unwrap(),
+        7.0
+    );
+
+    let aff = as_affine(&e).expect("2x+1 is affine");
+    assert_eq!(aff.apply(3.0), 7.0);
+}
+
+/// kyrix-parallel: partitioned database answers like a single node.
+#[test]
+fn parallel_entry_points() {
+    let pdb = ParallelDatabase::new(
+        2,
+        "t",
+        Partitioner::Hash {
+            column: "id".into(),
+        },
+    )
+    .unwrap();
+    pdb.create_table(
+        "t",
+        Schema::empty()
+            .with("id", DataType::Int)
+            .with("v", DataType::Int),
+    )
+    .unwrap();
+    for i in 0..10 {
+        pdb.insert("t", Row::new(vec![Value::Int(i), Value::Int(i * 2)]))
+            .unwrap();
+    }
+    let r = pdb.query("SELECT SUM(v) FROM t", &[]).unwrap();
+    assert_eq!(r.rows[0].get(0), &Value::Int(90));
+}
+
+/// kyrix-workload + kyrix-core + kyrix-server + kyrix-client +
+/// kyrix-render: load a dataset, compile a spec, launch a server, open a
+/// session, interact, and rasterize a frame.
+#[test]
+fn app_stack_entry_points() {
+    let mut db = Database::new();
+    let cfg = DotsConfig {
+        n: 2000,
+        width: 4096.0,
+        height: 1024.0,
+        seed: 7,
+    };
+    let n = load_uniform(&mut db, &cfg).unwrap();
+    assert_eq!(n, 2000);
+
+    let spec: AppSpec = dots_app(&cfg, (512.0, 512.0));
+    let app: CompiledApp = compile(&spec, &db).unwrap();
+    let config = ServerConfig::new(FetchPlan::DynamicBox {
+        policy: BoxPolicy::Exact,
+    });
+    let (server, _reports) = KyrixServer::launch(app, db, config).unwrap();
+    let (mut session, first): (Session, StepReport) =
+        Session::open(Arc::new(server)).unwrap();
+    assert!(first.visible_rows > 0);
+
+    let step = session.pan_by(64.0, 0.0).unwrap();
+    assert!(step.modeled_ms < 500.0, "paper interactivity bound");
+
+    let frame: Frame = session.render().unwrap();
+    assert!(frame.ink(Color::WHITE) > 0, "dots rendered some ink");
+
+    // trace generation + remaining nameable surface
+    let moves: Vec<Move> = trace_a(256.0);
+    assert!(!moves.is_empty());
+    #[allow(clippy::type_complexity)]
+    let _: Option<(
+        Viewport,
+        Tiling,
+        TileDesign,
+        TileId,
+        CostModel,
+        PrefetchPolicy,
+        LinkMode,
+        MarkType,
+        Mark,
+    )> = None;
+}

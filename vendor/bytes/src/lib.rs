@@ -1,0 +1,129 @@
+//! Vendored stand-in for the `bytes` crate.
+//!
+//! The build environment has no network access, so this crate provides the
+//! small slice-of-bytes API the workspace actually uses: a growable,
+//! zero-initializable byte buffer that derefs to `[u8]`.
+
+use std::ops::{Deref, DerefMut};
+
+/// A mutable, growable byte buffer (API-compatible subset of
+/// `bytes::BytesMut`).
+#[derive(Clone, Default, PartialEq, Eq)]
+pub struct BytesMut {
+    inner: Vec<u8>,
+}
+
+impl BytesMut {
+    /// An empty buffer.
+    pub fn new() -> Self {
+        BytesMut { inner: Vec::new() }
+    }
+
+    /// An empty buffer with room for `cap` bytes.
+    pub fn with_capacity(cap: usize) -> Self {
+        BytesMut {
+            inner: Vec::with_capacity(cap),
+        }
+    }
+
+    /// A buffer of `len` zero bytes.
+    pub fn zeroed(len: usize) -> Self {
+        BytesMut {
+            inner: vec![0u8; len],
+        }
+    }
+
+    pub fn len(&self) -> usize {
+        self.inner.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.inner.is_empty()
+    }
+
+    /// Append a slice to the end of the buffer.
+    pub fn extend_from_slice(&mut self, extend: &[u8]) {
+        self.inner.extend_from_slice(extend);
+    }
+
+    /// Resize in place, filling new space with `value`.
+    pub fn resize(&mut self, new_len: usize, value: u8) {
+        self.inner.resize(new_len, value);
+    }
+
+    pub fn clear(&mut self) {
+        self.inner.clear();
+    }
+
+    /// Copy the contents into a new `Vec`.
+    pub fn to_vec(&self) -> Vec<u8> {
+        self.inner.clone()
+    }
+}
+
+impl Deref for BytesMut {
+    type Target = [u8];
+    fn deref(&self) -> &[u8] {
+        &self.inner
+    }
+}
+
+impl DerefMut for BytesMut {
+    fn deref_mut(&mut self) -> &mut [u8] {
+        &mut self.inner
+    }
+}
+
+impl AsRef<[u8]> for BytesMut {
+    fn as_ref(&self) -> &[u8] {
+        &self.inner
+    }
+}
+
+impl AsMut<[u8]> for BytesMut {
+    fn as_mut(&mut self) -> &mut [u8] {
+        &mut self.inner
+    }
+}
+
+impl From<Vec<u8>> for BytesMut {
+    fn from(inner: Vec<u8>) -> Self {
+        BytesMut { inner }
+    }
+}
+
+impl From<&[u8]> for BytesMut {
+    fn from(slice: &[u8]) -> Self {
+        BytesMut {
+            inner: slice.to_vec(),
+        }
+    }
+}
+
+impl std::fmt::Debug for BytesMut {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "BytesMut(len={})", self.inner.len())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zeroed_then_write() {
+        let mut b = BytesMut::zeroed(8);
+        assert_eq!(b.len(), 8);
+        assert!(b.iter().all(|&x| x == 0));
+        b[3] = 7;
+        assert_eq!(&b[2..5], &[0, 7, 0]);
+    }
+
+    #[test]
+    fn extend_and_resize() {
+        let mut b = BytesMut::with_capacity(4);
+        b.extend_from_slice(&[1, 2, 3]);
+        b.resize(5, 9);
+        assert_eq!(&b[..], &[1, 2, 3, 9, 9]);
+    }
+}

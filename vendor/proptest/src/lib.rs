@@ -1,0 +1,104 @@
+//! Vendored stand-in for the `proptest` crate.
+//!
+//! Implements the property-testing API surface this workspace's tests
+//! use: the `proptest!`, `prop_oneof!` and `prop_assert*!` macros, the
+//! [`Strategy`] trait with `prop_map`/`prop_recursive`/`boxed`,
+//! range/tuple/`Just`/`any` strategies, simplified regex string
+//! strategies, and `prop::collection::vec` / `prop::option::of`.
+//!
+//! Differences from real proptest, deliberate for a no-network stub:
+//! - **No shrinking.** A failing case panics with its inputs Debug-printed
+//!   by the assertion itself; it is not minimized.
+//! - **Deterministic seeding.** Each test function derives its RNG seed
+//!   from its module path and case index, so failures reproduce exactly
+//!   across runs.
+//! - Regex strategies support the `[class]{m,n}` / `.{m,n}` shapes only.
+
+pub mod strategy;
+pub mod test_runner;
+
+pub mod collection {
+    pub use crate::strategy::vec;
+}
+
+pub mod option {
+    pub use crate::strategy::of;
+}
+
+pub mod prelude {
+    pub use crate as prop;
+    pub use crate::strategy::{any, Just, Strategy};
+    pub use crate::test_runner::ProptestConfig;
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest};
+}
+
+/// Assert a condition inside a `proptest!` body.
+///
+/// Real proptest reports a failure and shrinks; this stub panics like
+/// `assert!`, which carries the same information minus minimization.
+#[macro_export]
+macro_rules! prop_assert {
+    ($($args:tt)*) => { assert!($($args)*) };
+}
+
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($args:tt)*) => { assert_eq!($($args)*) };
+}
+
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($($args:tt)*) => { assert_ne!($($args)*) };
+}
+
+/// Union of alternative strategies for the same value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($arm:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![
+            $( $crate::strategy::Strategy::boxed($arm) ),+
+        ])
+    };
+}
+
+/// Define property tests: each `fn name(pat in strategy, ...) { body }`
+/// becomes a `#[test]` that runs the body over `config.cases` generated
+/// inputs.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($config:expr)] $($rest:tt)*) => {
+        $crate::__proptest_impl! { config = $config; $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_impl! {
+            config = $crate::test_runner::ProptestConfig::default();
+            $($rest)*
+        }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_impl {
+    (config = $config:expr; $(
+        $(#[$meta:meta])*
+        fn $name:ident($($pat:pat in $strat:expr),+ $(,)?) $body:block
+    )*) => {$(
+        $(#[$meta])*
+        fn $name() {
+            let config: $crate::test_runner::ProptestConfig = $config;
+            // strategies are built once (as one tuple strategy); each case
+            // draws a fresh tuple of values from a case-seeded RNG
+            let strategies = ($(($strat),)+);
+            for case in 0..config.cases {
+                let mut runner = $crate::test_runner::TestRng::deterministic(
+                    concat!(module_path!(), "::", stringify!($name)),
+                    case as u64,
+                );
+                let ($($pat,)+) =
+                    $crate::strategy::Strategy::generate(&strategies, &mut runner);
+                $body
+            }
+        }
+    )*};
+}

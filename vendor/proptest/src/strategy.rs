@@ -1,0 +1,494 @@
+//! The [`Strategy`] trait and the combinators the workspace's tests use.
+
+use crate::test_runner::TestRng;
+use std::marker::PhantomData;
+use std::ops::Range;
+use std::sync::Arc;
+
+/// A recipe for generating values of one type.
+///
+/// Unlike real proptest there is no value tree / shrinking: `generate`
+/// draws one concrete value.
+pub trait Strategy {
+    type Value;
+
+    fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Transform generated values.
+    fn prop_map<O, F>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+        F: Fn(Self::Value) -> O,
+    {
+        Map { inner: self, f }
+    }
+
+    /// Build a recursive strategy: `self` is the leaf case, `recurse`
+    /// wraps an inner strategy into a composite one. `depth` bounds the
+    /// nesting; the size/branch hints are accepted for API compatibility.
+    fn prop_recursive<R, F>(
+        self,
+        depth: u32,
+        _desired_size: u32,
+        _expected_branch_size: u32,
+        recurse: F,
+    ) -> BoxedStrategy<Self::Value>
+    where
+        Self: Sized + Clone + 'static,
+        Self::Value: 'static,
+        R: Strategy<Value = Self::Value> + 'static,
+        F: Fn(BoxedStrategy<Self::Value>) -> R,
+    {
+        let mut strat = self.clone().boxed();
+        for _ in 0..depth {
+            strat = Union::new(vec![self.clone().boxed(), recurse(strat).boxed()]).boxed();
+        }
+        strat
+    }
+
+    /// Erase the concrete strategy type.
+    fn boxed(self) -> BoxedStrategy<Self::Value>
+    where
+        Self: Sized + 'static,
+    {
+        BoxedStrategy {
+            inner: Arc::new(self),
+        }
+    }
+}
+
+// ----------------------------------------------------------------- boxed
+
+/// A cloneable, type-erased strategy.
+pub struct BoxedStrategy<V> {
+    inner: Arc<dyn Strategy<Value = V>>,
+}
+
+impl<V> Clone for BoxedStrategy<V> {
+    fn clone(&self) -> Self {
+        BoxedStrategy {
+            inner: Arc::clone(&self.inner),
+        }
+    }
+}
+
+impl<V> Strategy for BoxedStrategy<V> {
+    type Value = V;
+    fn generate(&self, rng: &mut TestRng) -> V {
+        self.inner.generate(rng)
+    }
+}
+
+// ------------------------------------------------------------------- map
+
+/// Output of [`Strategy::prop_map`].
+#[derive(Clone)]
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S, O, F> Strategy for Map<S, F>
+where
+    S: Strategy,
+    F: Fn(S::Value) -> O,
+{
+    type Value = O;
+    fn generate(&self, rng: &mut TestRng) -> O {
+        (self.f)(self.inner.generate(rng))
+    }
+}
+
+// ----------------------------------------------------------------- union
+
+/// Uniform choice between alternative strategies (`prop_oneof!`).
+pub struct Union<V> {
+    arms: Vec<BoxedStrategy<V>>,
+}
+
+impl<V> Union<V> {
+    pub fn new(arms: Vec<BoxedStrategy<V>>) -> Self {
+        assert!(!arms.is_empty(), "prop_oneof! needs at least one arm");
+        Union { arms }
+    }
+}
+
+impl<V> Clone for Union<V> {
+    fn clone(&self) -> Self {
+        Union {
+            arms: self.arms.clone(),
+        }
+    }
+}
+
+impl<V> Strategy for Union<V> {
+    type Value = V;
+    fn generate(&self, rng: &mut TestRng) -> V {
+        let idx = rng.usize_in(0, self.arms.len());
+        self.arms[idx].generate(rng)
+    }
+}
+
+// ------------------------------------------------------------------ just
+
+/// Always produce a clone of one value.
+#[derive(Debug, Clone)]
+pub struct Just<T>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+    fn generate(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+// ------------------------------------------------------------------- any
+
+/// Types with a canonical full-domain strategy.
+pub trait Arbitrary {
+    fn arbitrary(rng: &mut TestRng) -> Self;
+}
+
+/// Strategy returned by [`any`].
+pub struct Any<T> {
+    _marker: PhantomData<T>,
+}
+
+impl<T> Clone for Any<T> {
+    fn clone(&self) -> Self {
+        Any {
+            _marker: PhantomData,
+        }
+    }
+}
+
+/// The canonical strategy for `T`.
+pub fn any<T: Arbitrary>() -> Any<T> {
+    Any {
+        _marker: PhantomData,
+    }
+}
+
+impl<T: Arbitrary> Strategy for Any<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut TestRng) -> T {
+        T::arbitrary(rng)
+    }
+}
+
+impl Arbitrary for bool {
+    fn arbitrary(rng: &mut TestRng) -> Self {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+macro_rules! impl_arbitrary_int {
+    ($($t:ty),+ $(,)?) => {$(
+        impl Arbitrary for $t {
+            fn arbitrary(rng: &mut TestRng) -> Self {
+                rng.next_u64() as $t
+            }
+        }
+    )+};
+}
+
+impl_arbitrary_int!(i8, i16, i32, i64, u8, u16, u32, u64, usize, isize);
+
+impl Arbitrary for f64 {
+    fn arbitrary(rng: &mut TestRng) -> Self {
+        // finite full-range floats; tests needing NaN ask for it explicitly
+        rng.unit_f64() * 2e12 - 1e12
+    }
+}
+
+// ---------------------------------------------------------------- ranges
+
+macro_rules! impl_strategy_int_range {
+    ($($t:ty),+ $(,)?) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start < self.end, "empty range strategy");
+                // start < end makes the span nonzero for every $t here
+                let span = (self.end as i128 - self.start as i128) as u128 as u64;
+                let off = rng.next_u64() % span;
+                (self.start as i128 + off as i128) as $t
+            }
+        }
+    )+};
+}
+
+impl_strategy_int_range!(i8, i16, i32, i64, u8, u16, u32, usize, isize);
+
+// u64 separately: the i128 arithmetic above would overflow-cast extremes
+impl Strategy for Range<u64> {
+    type Value = u64;
+    fn generate(&self, rng: &mut TestRng) -> u64 {
+        assert!(self.start < self.end, "empty range strategy");
+        let span = self.end - self.start;
+        self.start + rng.next_u64() % span
+    }
+}
+
+impl Strategy for Range<f64> {
+    type Value = f64;
+    fn generate(&self, rng: &mut TestRng) -> f64 {
+        assert!(self.start < self.end, "empty range strategy");
+        let v = self.start + (self.end - self.start) * rng.unit_f64();
+        // start + span*u can round up to exactly end; the range is half-open
+        if v < self.end {
+            v
+        } else {
+            self.end.next_down().max(self.start)
+        }
+    }
+}
+
+impl Strategy for Range<f32> {
+    type Value = f32;
+    fn generate(&self, rng: &mut TestRng) -> f32 {
+        let v =
+            (self.start as f64 + (self.end as f64 - self.start as f64) * rng.unit_f64()) as f32;
+        if v < self.end {
+            v
+        } else {
+            self.end.next_down().max(self.start)
+        }
+    }
+}
+
+// ---------------------------------------------------------------- tuples
+
+macro_rules! impl_strategy_tuple {
+    ($(($($name:ident . $idx:tt),+)),+ $(,)?) => {$(
+        impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+            type Value = ($($name::Value,)+);
+            fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                ($(self.$idx.generate(rng),)+)
+            }
+        }
+    )+};
+}
+
+impl_strategy_tuple!(
+    (A.0),
+    (A.0, B.1),
+    (A.0, B.1, C.2),
+    (A.0, B.1, C.2, D.3),
+    (A.0, B.1, C.2, D.3, E.4),
+    (A.0, B.1, C.2, D.3, E.4, F.5),
+);
+
+// --------------------------------------------------- regex-ish &str
+
+/// String strategies from simplified regex patterns: `.{m,n}`,
+/// `[class]{m,n}` (with `a-z` ranges and a literal trailing `-`), or a
+/// bare class/dot meaning one char.
+impl Strategy for &str {
+    type Value = String;
+    fn generate(&self, rng: &mut TestRng) -> String {
+        let (alphabet, rest) = parse_alphabet(self);
+        let (min, max) = parse_repeat(rest, self);
+        let len = if min == max {
+            min
+        } else {
+            rng.usize_in(min, max + 1)
+        };
+        (0..len)
+            .map(|_| alphabet[rng.usize_in(0, alphabet.len())])
+            .collect()
+    }
+}
+
+fn parse_alphabet(pattern: &str) -> (Vec<char>, &str) {
+    let mut chars = pattern.chars();
+    match chars.next() {
+        Some('.') => {
+            // printable ASCII
+            ((0x20u8..0x7f).map(|b| b as char).collect(), chars.as_str())
+        }
+        Some('[') => {
+            let body_end = pattern[1..]
+                .find(']')
+                .unwrap_or_else(|| panic!("unclosed class in pattern {pattern:?}"));
+            let body: Vec<char> = pattern[1..1 + body_end].chars().collect();
+            let mut set = Vec::new();
+            let mut i = 0;
+            while i < body.len() {
+                // `a-z` is a range unless `-` is the final char of the class
+                if i + 2 < body.len() && body[i + 1] == '-' {
+                    let (lo, hi) = (body[i] as u32, body[i + 2] as u32);
+                    assert!(lo <= hi, "inverted range in pattern {pattern:?}");
+                    set.extend((lo..=hi).filter_map(char::from_u32));
+                    i += 3;
+                } else {
+                    set.push(body[i]);
+                    i += 1;
+                }
+            }
+            assert!(!set.is_empty(), "empty class in pattern {pattern:?}");
+            (set, &pattern[1 + body_end + 1..])
+        }
+        _ => panic!("unsupported string strategy pattern {pattern:?}"),
+    }
+}
+
+fn parse_repeat(rest: &str, pattern: &str) -> (usize, usize) {
+    if rest.is_empty() {
+        return (1, 1);
+    }
+    let inner = rest
+        .strip_prefix('{')
+        .and_then(|r| r.strip_suffix('}'))
+        .unwrap_or_else(|| panic!("unsupported repetition in pattern {pattern:?}"));
+    match inner.split_once(',') {
+        Some((lo, hi)) => (
+            lo.trim().parse().expect("bad repeat lower bound"),
+            hi.trim().parse().expect("bad repeat upper bound"),
+        ),
+        None => {
+            let n = inner.trim().parse().expect("bad repeat count");
+            (n, n)
+        }
+    }
+}
+
+// ------------------------------------------------------------ containers
+
+/// Strategy for `Vec<T>` with a length drawn from `size` (see
+/// `prop::collection::vec`).
+#[derive(Clone)]
+pub struct VecStrategy<S> {
+    element: S,
+    size: Range<usize>,
+}
+
+/// `prop::collection::vec(element, len_range)`.
+pub fn vec<S: Strategy>(element: S, size: Range<usize>) -> VecStrategy<S> {
+    VecStrategy { element, size }
+}
+
+impl<S: Strategy> Strategy for VecStrategy<S> {
+    type Value = Vec<S::Value>;
+    fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+        let len = if self.size.start >= self.size.end {
+            self.size.start
+        } else {
+            rng.usize_in(self.size.start, self.size.end)
+        };
+        (0..len).map(|_| self.element.generate(rng)).collect()
+    }
+}
+
+/// Strategy for `Option<T>` (see `prop::option::of`).
+#[derive(Clone)]
+pub struct OptionStrategy<S> {
+    inner: S,
+}
+
+/// `prop::option::of(strategy)`: `None` a quarter of the time.
+pub fn of<S: Strategy>(inner: S) -> OptionStrategy<S> {
+    OptionStrategy { inner }
+}
+
+impl<S: Strategy> Strategy for OptionStrategy<S> {
+    type Value = Option<S::Value>;
+    fn generate(&self, rng: &mut TestRng) -> Option<S::Value> {
+        if rng.next_u64().is_multiple_of(4) {
+            None
+        } else {
+            Some(self.inner.generate(rng))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rng() -> TestRng {
+        TestRng::deterministic("strategy::tests", 0)
+    }
+
+    #[test]
+    fn ranges_stay_in_bounds() {
+        let mut r = rng();
+        for _ in 0..1000 {
+            let v = (0i64..200).generate(&mut r);
+            assert!((0..200).contains(&v));
+            let f = (-1e12f64..1e12).generate(&mut r);
+            assert!((-1e12..1e12).contains(&f));
+            let u = (0u64..u64::MAX).generate(&mut r);
+            assert!(u < u64::MAX);
+        }
+    }
+
+    #[test]
+    fn char_class_parses_ranges_and_literal_dash() {
+        let mut r = rng();
+        for _ in 0..500 {
+            let s = "[a-zA-Z0-9 _'?-]{0,40}".generate(&mut r);
+            assert!(s.len() <= 40);
+            assert!(s
+                .chars()
+                .all(|c| c.is_ascii_alphanumeric() || " _'?-".contains(c)));
+            let t = "[ -~]{0,60}".generate(&mut r);
+            assert!(t.chars().all(|c| (' '..='~').contains(&c)));
+            let d = ".{0,12}".generate(&mut r);
+            assert!(d.len() <= 12);
+        }
+    }
+
+    #[test]
+    fn oneof_union_covers_arms() {
+        let u = crate::prop_oneof![Just(1), Just(2), Just(3)];
+        let mut r = rng();
+        let mut seen = [false; 3];
+        for _ in 0..100 {
+            seen[u.generate(&mut r) as usize - 1] = true;
+        }
+        assert_eq!(seen, [true, true, true]);
+    }
+
+    #[test]
+    fn recursive_bounded_depth() {
+        #[derive(Debug, Clone)]
+        enum Tree {
+            Leaf(#[allow(dead_code)] i64),
+            Node(Box<Tree>, Box<Tree>),
+        }
+        fn depth(t: &Tree) -> usize {
+            match t {
+                Tree::Leaf(_) => 1,
+                Tree::Node(a, b) => 1 + depth(a).max(depth(b)),
+            }
+        }
+        let strat = (0i64..10).prop_map(Tree::Leaf).boxed().prop_recursive(
+            3,
+            16,
+            2,
+            |inner| {
+                (inner.clone(), inner)
+                    .prop_map(|(a, b)| Tree::Node(Box::new(a), Box::new(b)))
+            },
+        );
+        let mut r = rng();
+        for _ in 0..200 {
+            assert!(depth(&strat.generate(&mut r)) <= 4);
+        }
+    }
+
+    #[test]
+    fn vec_and_option_shapes() {
+        let mut r = rng();
+        let vs = vec(0i64..5, 2..6).generate(&mut r);
+        assert!((2..6).contains(&vs.len()));
+        let mut nones = 0;
+        for _ in 0..400 {
+            if of(0i64..5).generate(&mut r).is_none() {
+                nones += 1;
+            }
+        }
+        assert!(nones > 40 && nones < 200, "got {nones} Nones");
+    }
+}

@@ -1,0 +1,230 @@
+//! Vendored stand-in for the `rand` crate.
+//!
+//! Deterministic, dependency-free PRNGs exposing the subset of the rand
+//! 0.8 API the workspace uses: `SmallRng`/`StdRng`, `SeedableRng::
+//! seed_from_u64`, and `Rng::{gen_range, gen, gen_bool}`. The generator is
+//! splitmix64 — statistically fine for test data and workload synthesis,
+//! not cryptographic.
+
+use std::ops::Range;
+
+/// Low-level source of randomness.
+pub trait RngCore {
+    fn next_u64(&mut self) -> u64;
+
+    fn next_u32(&mut self) -> u32 {
+        (self.next_u64() >> 32) as u32
+    }
+}
+
+/// Seedable construction (rand 0.8 subset).
+pub trait SeedableRng: Sized {
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+/// User-facing sampling methods, blanket-implemented for every `RngCore`.
+pub trait Rng: RngCore {
+    /// Sample uniformly from a half-open range.
+    fn gen_range<T, R>(&mut self, range: R) -> T
+    where
+        T: SampleUniform,
+        R: Into<Range<T>>,
+        Self: Sized,
+    {
+        let Range { start, end } = range.into();
+        T::sample(self, start, end)
+    }
+
+    /// Sample a value of a standard-distribution type.
+    fn gen<T: Standard>(&mut self) -> T
+    where
+        Self: Sized,
+    {
+        T::standard(self)
+    }
+
+    /// Bernoulli trial with probability `p` of `true`.
+    fn gen_bool(&mut self, p: f64) -> bool
+    where
+        Self: Sized,
+    {
+        unit_f64(self.next_u64()) < p
+    }
+}
+
+impl<R: RngCore> Rng for R {}
+
+/// Types sampleable uniformly from a range.
+pub trait SampleUniform: PartialOrd + Copy {
+    fn sample<R: RngCore>(rng: &mut R, lo: Self, hi: Self) -> Self;
+}
+
+/// Types with a standard full-range / unit-interval distribution.
+pub trait Standard {
+    fn standard<R: RngCore>(rng: &mut R) -> Self;
+}
+
+fn unit_f64(bits: u64) -> f64 {
+    // 53 high-quality mantissa bits -> [0, 1)
+    (bits >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+}
+
+macro_rules! impl_sample_int {
+    ($($t:ty => $wide:ty),+ $(,)?) => {$(
+        impl SampleUniform for $t {
+            fn sample<R: RngCore>(rng: &mut R, lo: Self, hi: Self) -> Self {
+                assert!(lo < hi, "gen_range called with empty range");
+                // lo < hi makes the 64-bit span nonzero for every $t;
+                // modulo bias is negligible for the spans used here
+                let span = (hi as $wide).wrapping_sub(lo as $wide) as u64;
+                let off = rng.next_u64() % span;
+                ((lo as $wide).wrapping_add(off as $wide)) as $t
+            }
+        }
+    )+};
+}
+
+impl_sample_int!(
+    i8 => i64, i16 => i64, i32 => i64, i64 => i64, isize => i64,
+    u8 => u64, u16 => u64, u32 => u64, u64 => u64, usize => u64,
+);
+
+impl SampleUniform for f64 {
+    fn sample<R: RngCore>(rng: &mut R, lo: Self, hi: Self) -> Self {
+        assert!(lo < hi, "gen_range called with empty range");
+        let v = lo + (hi - lo) * unit_f64(rng.next_u64());
+        // lo + (hi-lo)*u can round up to exactly hi; the range is half-open
+        if v < hi {
+            v
+        } else {
+            hi.next_down().max(lo)
+        }
+    }
+}
+
+impl SampleUniform for f32 {
+    fn sample<R: RngCore>(rng: &mut R, lo: Self, hi: Self) -> Self {
+        let v = f64::sample(rng, lo as f64, hi as f64) as f32;
+        // the f64 draw is < hi, but the cast can round up to exactly hi
+        if v < hi {
+            v
+        } else {
+            hi.next_down().max(lo)
+        }
+    }
+}
+
+impl Standard for f64 {
+    fn standard<R: RngCore>(rng: &mut R) -> Self {
+        unit_f64(rng.next_u64())
+    }
+}
+
+impl Standard for bool {
+    fn standard<R: RngCore>(rng: &mut R) -> Self {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+impl Standard for u64 {
+    fn standard<R: RngCore>(rng: &mut R) -> Self {
+        rng.next_u64()
+    }
+}
+
+impl Standard for i64 {
+    fn standard<R: RngCore>(rng: &mut R) -> Self {
+        rng.next_u64() as i64
+    }
+}
+
+impl Standard for u8 {
+    fn standard<R: RngCore>(rng: &mut R) -> Self {
+        (rng.next_u64() >> 56) as u8
+    }
+}
+
+/// splitmix64: passes BigCrush on its own, one u64 of state.
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+pub mod rngs {
+    use super::{splitmix64, RngCore, SeedableRng};
+
+    /// Small, fast, deterministic RNG.
+    #[derive(Debug, Clone)]
+    pub struct SmallRng {
+        state: u64,
+    }
+
+    /// The "standard" RNG — same engine as [`SmallRng`] in this stand-in.
+    #[derive(Debug, Clone)]
+    pub struct StdRng {
+        state: u64,
+    }
+
+    impl RngCore for SmallRng {
+        fn next_u64(&mut self) -> u64 {
+            splitmix64(&mut self.state)
+        }
+    }
+
+    impl RngCore for StdRng {
+        fn next_u64(&mut self) -> u64 {
+            splitmix64(&mut self.state)
+        }
+    }
+
+    impl SeedableRng for SmallRng {
+        fn seed_from_u64(seed: u64) -> Self {
+            SmallRng { state: seed }
+        }
+    }
+
+    impl SeedableRng for StdRng {
+        fn seed_from_u64(seed: u64) -> Self {
+            StdRng { state: seed }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::SmallRng;
+    use super::{Rng, SeedableRng};
+
+    #[test]
+    fn deterministic_for_same_seed() {
+        let mut a = SmallRng::seed_from_u64(7);
+        let mut b = SmallRng::seed_from_u64(7);
+        for _ in 0..100 {
+            assert_eq!(a.gen_range(0..1000i64), b.gen_range(0..1000i64));
+        }
+    }
+
+    #[test]
+    fn ranges_respected() {
+        let mut rng = SmallRng::seed_from_u64(1);
+        for _ in 0..10_000 {
+            let x = rng.gen_range(-3..9i64);
+            assert!((-3..9).contains(&x));
+            let f = rng.gen_range(0.25..0.75f64);
+            assert!((0.25..0.75).contains(&f));
+            let u = rng.gen_range(0..4u8);
+            assert!(u < 4);
+        }
+    }
+
+    #[test]
+    fn full_u64_range_does_not_panic() {
+        let mut rng = SmallRng::seed_from_u64(2);
+        for _ in 0..100 {
+            let _ = rng.gen_range(0u64..u64::MAX);
+        }
+    }
+}
