@@ -41,9 +41,13 @@ fn cache_modes(c: &mut Criterion) {
     let traces = paper_traces(&cfg);
     let (_, start, moves) = &traces[1];
     for (label, mode) in [("cold", CacheMode::PaperCold), ("warm", CacheMode::Warm)] {
-        group.bench_with_input(BenchmarkId::new("tile_spatial", label), moves, |b, moves| {
-            b.iter(|| run_cell_with(&server, *start, moves, 1, mode));
-        });
+        group.bench_with_input(
+            BenchmarkId::new("tile_spatial", label),
+            moves,
+            |b, moves| {
+                b.iter(|| run_cell_with(&server, *start, moves, 1, mode));
+            },
+        );
     }
     group.finish();
 }

@@ -68,9 +68,7 @@ fn prefetch(c: &mut Criterion) {
                         if enabled {
                             server.drain_prefetch();
                         }
-                        let step = session
-                            .pan_by(cfg.trace_tile / 2.0, 0.0)
-                            .expect("pan step");
+                        let step = session.pan_by(cfg.trace_tile / 2.0, 0.0).expect("pan step");
                         total += step.modeled_ms;
                     }
                     total

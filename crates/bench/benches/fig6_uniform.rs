@@ -7,8 +7,7 @@
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use kyrix_bench::{
-    launch_scheme, paper_schemes, paper_traces, run_cell_with, CacheMode, Dataset,
-    ExperimentConfig,
+    launch_scheme, paper_schemes, paper_traces, run_cell_with, CacheMode, Dataset, ExperimentConfig,
 };
 
 pub fn bench_config() -> ExperimentConfig {

@@ -10,9 +10,7 @@ use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use kyrix_storage::btree::BPlusTree;
 use kyrix_storage::hash_index::HashIndex;
 use kyrix_storage::rtree::RTree;
-use kyrix_storage::{
-    DataType, Database, IndexKind, Rect, Row, Schema, SpatialCols, Value,
-};
+use kyrix_storage::{DataType, Database, IndexKind, Rect, Row, Schema, SpatialCols, Value};
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
 
@@ -131,16 +129,25 @@ fn sql_designs(c: &mut Criterion) {
         )
         .unwrap();
         let t = (*x / tile) as i64 + (*y / tile) as i64 * 10;
-        db.insert(
-            "map",
-            Row::new(vec![Value::Int(i as i64), Value::Int(t)]),
-        )
-        .unwrap();
+        db.insert("map", Row::new(vec![Value::Int(i as i64), Value::Int(t)]))
+            .unwrap();
     }
-    db.create_index("rec", "h", IndexKind::Hash { column: "tuple_id".into() })
-        .unwrap();
-    db.create_index("map", "bt", IndexKind::BTree { column: "tile_id".into() })
-        .unwrap();
+    db.create_index(
+        "rec",
+        "h",
+        IndexKind::Hash {
+            column: "tuple_id".into(),
+        },
+    )
+    .unwrap();
+    db.create_index(
+        "map",
+        "bt",
+        IndexKind::BTree {
+            column: "tile_id".into(),
+        },
+    )
+    .unwrap();
     db.create_index(
         "rec",
         "sp",
@@ -181,5 +188,11 @@ fn sql_designs(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, rtree_query, rtree_build, btree_and_hash, sql_designs);
+criterion_group!(
+    benches,
+    rtree_query,
+    rtree_build,
+    btree_and_hash,
+    sql_designs
+);
 criterion_main!(benches);

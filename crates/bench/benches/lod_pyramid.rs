@@ -1,0 +1,73 @@
+//! LoD pyramid benchmarks: construction cost of the cluster pyramid over
+//! the `zipf_galaxy` dataset, and per-level viewport fetch latency — the
+//! numbers that justify precomputing a zoom hierarchy at all (fetches
+//! stay flat as the raw data grows; only the build pays for scale).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use kyrix_bench::galaxy_lod_config;
+use kyrix_core::compile;
+use kyrix_lod::{build_pyramid, lod_app, LodConfig};
+use kyrix_server::{BoxPolicy, FetchPlan, KyrixServer, ServerConfig};
+use kyrix_storage::{Database, Rect};
+use kyrix_workload::{index_galaxy, load_zipf_galaxy, GalaxyConfig};
+
+const LEVELS: usize = 3;
+const SPACING: f64 = 24.0;
+
+fn galaxy(n: usize) -> GalaxyConfig {
+    GalaxyConfig {
+        n,
+        ..GalaxyConfig::tiny()
+    }
+}
+
+fn lod_config(g: &GalaxyConfig) -> LodConfig {
+    galaxy_lod_config(g, LEVELS, SPACING)
+}
+
+fn pyramid_build(c: &mut Criterion) {
+    let mut group = c.benchmark_group("lod/build_pyramid");
+    for n in [8_192usize, 32_768] {
+        let g = galaxy(n);
+        let mut db = Database::new();
+        load_zipf_galaxy(&mut db, &g).expect("load");
+        index_galaxy(&mut db).expect("index");
+        let cfg = lod_config(&g);
+        group.bench_with_input(BenchmarkId::from_parameter(n), &cfg, |b, cfg| {
+            b.iter(|| build_pyramid(&mut db, cfg).expect("build"));
+        });
+    }
+    group.finish();
+}
+
+fn per_level_fetch(c: &mut Criterion) {
+    let g = galaxy(32_768);
+    let mut db = Database::new();
+    load_zipf_galaxy(&mut db, &g).expect("load");
+    index_galaxy(&mut db).expect("index");
+    let cfg = lod_config(&g);
+    build_pyramid(&mut db, &cfg).expect("build");
+    let app = compile(&lod_app(&cfg, (512.0, 512.0)), &db).expect("compile");
+    // caches disabled: every iteration measures a genuine cold fetch
+    // without paying for a clear_caches() call inside the timed loop
+    let mut config = ServerConfig::new(FetchPlan::DynamicBox {
+        policy: BoxPolicy::Exact,
+    })
+    .with_backend_cache(0);
+    config.box_cache_entries = 0;
+    let (server, _) = KyrixServer::launch(app, db, config).expect("launch");
+
+    let mut group = c.benchmark_group("lod/fetch_level");
+    for k in 0..=LEVELS {
+        let canvas = cfg.level_canvas(k);
+        let (w, h) = cfg.level_size(k);
+        let vp = Rect::centered(w / 2.0, h / 2.0, 512.0_f64.min(w), 512.0_f64.min(h));
+        group.bench_with_input(BenchmarkId::from_parameter(k), &vp, |b, vp| {
+            b.iter(|| server.fetch_region(&canvas, 0, vp).expect("fetch"));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, pyramid_build, per_level_fetch);
+criterion_main!(benches);

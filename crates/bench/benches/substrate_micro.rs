@@ -5,9 +5,7 @@ use criterion::{criterion_group, criterion_main, Criterion};
 use kyrix_bench::ExperimentConfig;
 use kyrix_core::{synthesize_placement, PlacementExample};
 use kyrix_storage::wal::{Wal, WalRecord};
-use kyrix_storage::{
-    DataType, Database, Row, Schema, TxnDatabase, Value,
-};
+use kyrix_storage::{DataType, Database, Row, Schema, TxnDatabase, Value};
 use kyrix_workload::load_uniform;
 
 fn dots_db() -> (Database, usize) {

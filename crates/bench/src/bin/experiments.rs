@@ -8,12 +8,12 @@
 //! ```
 //!
 //! Subcommands: `fig6`, `fig7`, `separability`, `prefetch`,
-//! `prefetch-policy`, `parallel`, `latency`, `boxsweep`, `cache`, `all`.
+//! `prefetch-policy`, `parallel`, `latency`, `boxsweep`, `cache`, `lod`, `all`.
 //! `--small` shrinks the dataset for quick runs.
 
 use kyrix_bench::{
-    build_database, figure_table, launch_scheme, paper_traces, run_cell, run_figure, Dataset,
-    ExperimentConfig,
+    build_database, figure_table, launch_scheme, paper_traces, run_cell, run_figure,
+    run_lod_experiment, Dataset, ExperimentConfig,
 };
 use kyrix_client::{run_trace, Session};
 use kyrix_core::compile;
@@ -23,7 +23,8 @@ use kyrix_server::{
 };
 use kyrix_storage::{Database, Row, Value};
 use kyrix_workload::{
-    dots_app, index_dots, load_uniform, load_usmap, straight_pan, usmap_app, SkewConfig,
+    dots_app, index_dots, load_uniform, load_usmap, straight_pan, usmap_app, GalaxyConfig,
+    SkewConfig,
 };
 use std::sync::Arc;
 use std::time::Instant;
@@ -78,6 +79,7 @@ fn main() {
         "latency" => latency(),
         "boxsweep" => boxsweep(&cfg),
         "cache" => cache(&cfg),
+        "lod" => lod(small),
         "all" => {
             fig6(&cfg);
             fig7(&cfg);
@@ -88,6 +90,7 @@ fn main() {
             latency();
             boxsweep(&cfg);
             cache(&cfg);
+            lod(small);
         }
         other => {
             eprintln!("unknown experiment `{other}`");
@@ -123,7 +126,10 @@ fn separability(cfg: &ExperimentConfig) {
     println!("## Separability (paper §3.2) — precompute skipped vs. materialized\n");
     println!("| path | precompute (ms) | avg step (ms, trace-b) |");
     println!("|---|---|---|");
-    for (label, with_raw_index) in [("materialized (non-separable path)", false), ("skipped (separable path)", true)] {
+    for (label, with_raw_index) in [
+        ("materialized (non-separable path)", false),
+        ("skipped (separable path)", true),
+    ] {
         let mut db = Database::new();
         load_uniform(&mut db, &cfg.dots).expect("load");
         if with_raw_index {
@@ -142,11 +148,17 @@ fn separability(cfg: &ExperimentConfig) {
         .expect("launch");
         let precompute_ms = t0.elapsed().as_secs_f64() * 1000.0;
         let skipped = reports.iter().any(|r| r.skipped_separable);
-        assert_eq!(skipped, with_raw_index, "skip path engages iff raw index exists");
+        assert_eq!(
+            skipped, with_raw_index,
+            "skip path engages iff raw index exists"
+        );
         let server = Arc::new(server);
         let traces = paper_traces(cfg);
         let cell = run_cell(&server, traces[1].1, &traces[1].2, cfg.runs);
-        println!("| {label} | {precompute_ms:.0} | {:.2} |", cell.avg_modeled_ms);
+        println!(
+            "| {label} | {precompute_ms:.0} | {:.2} |",
+            cell.avg_modeled_ms
+        );
     }
     println!();
 }
@@ -268,8 +280,7 @@ fn prefetch_policy(cfg: &ExperimentConfig) {
             let server = Arc::new(server);
             let (mut session, _) = Session::open(server.clone()).expect("open");
             session.send_momentum_hints = matches!(policy, Some(PrefetchPolicy::Momentum));
-            session.send_semantic_hints =
-                matches!(policy, Some(PrefetchPolicy::Semantic { .. }));
+            session.send_semantic_hints = matches!(policy, Some(PrefetchPolicy::Semantic { .. }));
             session.pan_to(start.0, start.1).expect("pan to start");
             server.reset_totals();
             let mut report = kyrix_client::TraceReport::default();
@@ -325,8 +336,11 @@ fn parallel(cfg: &ExperimentConfig) {
         .expect("scan");
     let schema = src.table("dots").expect("dots").schema.clone();
 
-    for (label, cols, grid_rows) in [("1 (1x1)", 1u32, 1u32), ("4 (2x2)", 2, 2), ("16 (4x4)", 4, 4)]
-    {
+    for (label, cols, grid_rows) in [
+        ("1 (1x1)", 1u32, 1u32),
+        ("4 (2x2)", 2, 2),
+        ("16 (4x4)", 4, 4),
+    ] {
         let shards = (cols * grid_rows) as usize;
         let pdb = ParallelDatabase::new(
             shards,
@@ -372,8 +386,7 @@ fn parallel(cfg: &ExperimentConfig) {
             .expect("viewport count");
         }
         let routed_ms = t0.elapsed().as_secs_f64() * 1000.0 / n_queries as f64;
-        let shards_per_query =
-            pdb.stats.shards_touched() as f64 / pdb.stats.queries() as f64;
+        let shards_per_query = pdb.stats.shards_touched() as f64 / pdb.stats.queries() as f64;
 
         // broadcast aggregate (a coordinated-view rollup); with real cores
         // its latency is bounded by the largest shard's scan
@@ -394,9 +407,7 @@ fn parallel(cfg: &ExperimentConfig) {
         }
         let agg_ms = t0.elapsed().as_secs_f64() * 1000.0 / agg_runs as f64;
 
-        println!(
-            "| {label} | {routed_ms:.2} | {shards_per_query:.1} | {largest} | {agg_ms:.2} |"
-        );
+        println!("| {label} | {routed_ms:.2} | {shards_per_query:.1} | {largest} | {agg_ms:.2} |");
     }
     println!();
 }
@@ -426,7 +437,11 @@ fn latency() {
         initial.modeled_ms <= 500.0
     );
     let pan = session.pan_by(200.0, 0.0).expect("pan");
-    println!("| pan | {:.2} | {} |", pan.modeled_ms, pan.modeled_ms <= 500.0);
+    println!(
+        "| pan | {:.2} | {} |",
+        pan.modeled_ms,
+        pan.modeled_ms <= 500.0
+    );
     // click inside a state cell (cells are 198 wide on a 200 grid, so the
     // click must avoid the 2px gutters)
     let outcome = session
@@ -460,11 +475,7 @@ fn boxsweep(cfg: &ExperimentConfig) {
     ];
     let traces = paper_traces(cfg);
     for policy in policies {
-        let (server, _) = launch_scheme(
-            Dataset::Uniform,
-            cfg,
-            FetchPlan::DynamicBox { policy },
-        );
+        let (server, _) = launch_scheme(Dataset::Uniform, cfg, FetchPlan::DynamicBox { policy });
         let cell = run_cell(&server, traces[1].1, &traces[1].2, cfg.runs);
         println!(
             "| {} | {:.2} | {} | {} |",
@@ -525,4 +536,33 @@ fn cache(cfg: &ExperimentConfig) {
     }
     println!();
     let _ = CostModel::zero(); // referenced so the import is intentional
+}
+
+/// LoD: cluster-pyramid construction over `zipf_galaxy` and per-level
+/// fetch latency along a zoom-in/zoom-out trace.
+fn lod(small: bool) {
+    let g = if small {
+        GalaxyConfig::tiny()
+    } else {
+        GalaxyConfig::million()
+    };
+    println!(
+        "## LoD pyramid — zipf_galaxy, {} points on a {:.0}x{:.0} canvas\n",
+        g.n, g.width, g.height
+    );
+    let (pyramid, levels) = run_lod_experiment(&g, 3, 24.0, (1024.0, 1024.0), 6);
+    println!(
+        "pyramid build: {:.1} ms ({} levels above raw)\n",
+        pyramid.build_time.as_secs_f64() * 1000.0,
+        pyramid.depth() - 1
+    );
+    println!("| level | marks | avg cold fetch (ms) | avg tuples/fetch |");
+    println!("|---|---|---|---|");
+    for r in &levels {
+        println!(
+            "| {} | {} | {:.3} | {:.0} |",
+            r.level, r.rows, r.avg_fetch_ms, r.avg_rows_fetched
+        );
+    }
+    println!();
 }

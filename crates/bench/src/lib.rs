@@ -9,15 +9,18 @@
 
 use kyrix_client::{run_trace, Move, Session, TraceReport};
 use kyrix_core::compile;
+use kyrix_lod::{build_pyramid, lod_app, LodConfig, LodPyramid};
 use kyrix_server::{
     BoxPolicy, CostModel, FetchPlan, KyrixServer, PrecomputeReport, ServerConfig, TileDesign,
 };
 use kyrix_storage::{Database, Rect};
 use kyrix_workload::{
-    aligned_start, dots_app, half_tile_offset, load_skewed, load_uniform, trace_a, trace_b,
-    trace_c, trace_c_start, DotsConfig, SkewConfig, TraceStart,
+    aligned_start, dots_app, half_tile_offset, index_galaxy, load_skewed, load_uniform,
+    load_zipf_galaxy, trace_a, trace_b, trace_c, trace_c_start, zoom_trace, DotsConfig,
+    GalaxyConfig, SkewConfig, TraceStart,
 };
 use std::sync::Arc;
+use std::time::Instant;
 
 /// Which dataset a run uses.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -306,9 +309,119 @@ pub fn figure_table(title: &str, rows: &[SchemeRow]) -> String {
     out
 }
 
+/// Per-level measurements of the LoD pyramid experiment.
+#[derive(Debug, Clone)]
+pub struct LodLevelResult {
+    pub level: usize,
+    /// Marks on this level (raw points at level 0, clusters above).
+    pub rows: usize,
+    /// Average cold fetch wall-clock per viewport, ms.
+    pub avg_fetch_ms: f64,
+    /// Average tuples returned per viewport.
+    pub avg_rows_fetched: f64,
+    /// Viewports fetched on this level.
+    pub fetches: usize,
+}
+
+/// The pyramid configuration the LoD experiment and benches share: both
+/// `zipf_galaxy` measures aggregated, pyramid height and spacing supplied
+/// by the caller.
+pub fn galaxy_lod_config(g: &GalaxyConfig, levels: usize, spacing: f64) -> LodConfig {
+    LodConfig::new("galaxy", g.width, g.height, levels)
+        .with_measure("mass")
+        .with_measure("lum")
+        .with_spacing(spacing)
+}
+
+/// The LoD experiment: build a cluster pyramid over the `zipf_galaxy`
+/// dataset (timing the build), then walk a zoom-in/zoom-out trace and
+/// measure cold per-level fetch latency through the server. Returns the
+/// built pyramid (whose `build_time` is the construction cost) and one
+/// result per level.
+pub fn run_lod_experiment(
+    g: &GalaxyConfig,
+    levels: usize,
+    spacing: f64,
+    viewport: (f64, f64),
+    steps_per_level: usize,
+) -> (LodPyramid, Vec<LodLevelResult>) {
+    let mut db = Database::new();
+    load_zipf_galaxy(&mut db, g).expect("load galaxy");
+    index_galaxy(&mut db).expect("index galaxy");
+    let lod = galaxy_lod_config(g, levels, spacing);
+    let pyramid = build_pyramid(&mut db, &lod).expect("build pyramid");
+    let app = compile(&lod_app(&lod, viewport), &db).expect("lod app compiles");
+    let (server, _reports) = KyrixServer::launch(
+        app,
+        db,
+        ServerConfig::new(FetchPlan::DynamicBox {
+            policy: BoxPolicy::Exact,
+        }),
+    )
+    .expect("server launches");
+
+    // visit levels coarsest → finest → coarsest, panning a seeded walk on
+    // each; every fetch is cold (caches cleared) so the latency is the
+    // index + transfer cost, not a cache hit
+    let mut visit: Vec<usize> = (0..=levels).rev().collect();
+    visit.extend(1..=levels);
+    let segments = zoom_trace(levels, steps_per_level, viewport.0 / 2.0, g.seed);
+    let mut acc = vec![(0.0f64, 0.0f64, 0usize); levels + 1];
+    for (seg, &k) in segments.iter().zip(&visit) {
+        let canvas = lod.level_canvas(k);
+        let (w, h) = lod.level_size(k);
+        let (mut cx, mut cy) = (w / 2.0, h / 2.0);
+        for m in seg {
+            let (dx, dy) = match *m {
+                Move::PanBy { dx, dy } => (dx, dy),
+                Move::PanTo { cx: tx, cy: ty } => (tx - cx, ty - cy),
+            };
+            cx = (cx + dx).clamp(
+                viewport.0 / 2.0,
+                (w - viewport.0 / 2.0).max(viewport.0 / 2.0),
+            );
+            cy = (cy + dy).clamp(
+                viewport.1 / 2.0,
+                (h - viewport.1 / 2.0).max(viewport.1 / 2.0),
+            );
+            let rect = Rect::centered(cx, cy, viewport.0, viewport.1);
+            server.clear_caches();
+            let t0 = Instant::now();
+            let resp = server.fetch_region(&canvas, 0, &rect).expect("fetch");
+            acc[k].0 += t0.elapsed().as_secs_f64() * 1000.0;
+            acc[k].1 += resp.rows.len() as f64;
+            acc[k].2 += 1;
+        }
+    }
+    let results = acc
+        .into_iter()
+        .enumerate()
+        .map(|(level, (ms, rows, n))| LodLevelResult {
+            level,
+            rows: pyramid.levels[level].rows,
+            avg_fetch_ms: ms / n.max(1) as f64,
+            avg_rows_fetched: rows / n.max(1) as f64,
+            fetches: n,
+        })
+        .collect();
+    (pyramid, results)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn lod_experiment_touches_every_level() {
+        let (pyramid, results) =
+            run_lod_experiment(&GalaxyConfig::tiny(), 2, 16.0, (256.0, 256.0), 3);
+        assert_eq!(pyramid.depth(), 3);
+        assert_eq!(results.len(), 3);
+        assert!(results.iter().all(|r| r.fetches > 0));
+        // coarser levels hold fewer marks
+        assert!(results[1].rows < results[0].rows);
+        assert!(results[2].rows <= results[1].rows);
+    }
 
     #[test]
     fn tiny_figure_shape_holds() {

@@ -8,7 +8,7 @@ use crate::cache::FrontendCache;
 use crate::error::{ClientError, Result};
 use crate::viewport::Viewport;
 use kyrix_core::{CompiledCanvas, CompiledRender, JumpType};
-use kyrix_render::{ColorScale, Color, Frame, Mark, MarkType};
+use kyrix_render::{Color, ColorScale, Frame, Mark, MarkType};
 use kyrix_server::{FetchMetrics, FetchPlan, KyrixServer, MomentumTracker, Tiling};
 use kyrix_storage::{Row, Value};
 use std::collections::HashSet;
@@ -387,11 +387,7 @@ impl Session {
         let canvas = self.current_canvas();
         // top layer first
         for (layer, rows) in visible.into_iter().rev() {
-            let Some(store_layout) = self
-                .server
-                .store(&canvas.id, layer)?
-                .layout()
-            else {
+            let Some(store_layout) = self.server.store(&canvas.id, layer)?.layout() else {
                 continue;
             };
             for row in rows {
@@ -430,9 +426,10 @@ impl Session {
                         .find(|(l, _)| *l == li)
                         .map(|(_, r)| r.as_slice())
                         .unwrap_or(&[]);
-                    let color_scale = enc.color.as_ref().map(|(_, d0, d1, ramp)| {
-                        ColorScale::new(*d0, *d1, ramp.ramp())
-                    });
+                    let color_scale = enc
+                        .color
+                        .as_ref()
+                        .map(|(_, d0, d1, ramp)| ColorScale::new(*d0, *d1, ramp.ramp()));
                     for row in rows {
                         let data = &row.values[..layout.n_data_cols];
                         let (sx, sy) = vp.to_screen(layout.cx(row), layout.cy(row));

@@ -32,10 +32,7 @@ impl TraceReport {
 
     /// Maximum modeled step time, ms.
     pub fn max_modeled_ms(&self) -> f64 {
-        self.steps
-            .iter()
-            .map(|s| s.modeled_ms)
-            .fold(0.0, f64::max)
+        self.steps.iter().map(|s| s.modeled_ms).fold(0.0, f64::max)
     }
 
     /// Total backend requests across the trace.
@@ -63,8 +60,7 @@ impl TraceReport {
         if self.steps.is_empty() {
             return 1.0;
         }
-        self.steps.iter().filter(|s| s.modeled_ms <= 500.0).count() as f64
-            / self.steps.len() as f64
+        self.steps.iter().filter(|s| s.modeled_ms <= 500.0).count() as f64 / self.steps.len() as f64
     }
 }
 

@@ -46,9 +46,12 @@ fn launch(plan: FetchPlan) -> Arc<KyrixServer> {
             CanvasSpec::new("main", 1000.0, 1000.0).layer(LayerSpec::dynamic(
                 "t",
                 PlacementSpec::boxed("x", "y", "20", "20"),
-                RenderSpec::Marks(
-                    MarkEncoding::rect().with_color("v", 0.0, 39.0, RampKind::Viridis),
-                ),
+                RenderSpec::Marks(MarkEncoding::rect().with_color(
+                    "v",
+                    0.0,
+                    39.0,
+                    RampKind::Viridis,
+                )),
             )),
         )
         .initial("main", 500.0, 500.0)

@@ -238,8 +238,9 @@ fn verify(
 ) -> Result<()> {
     let names: Vec<&str> = schema.columns().iter().map(|c| c.name.as_str()).collect();
     let compile = |src: &str| -> Result<Compiled> {
-        let expr = parse(src)
-            .map_err(|e| CoreError::ByExample(format!("synthesized `{src}` fails to parse: {e}")))?;
+        let expr = parse(src).map_err(|e| {
+            CoreError::ByExample(format!("synthesized `{src}` fails to parse: {e}"))
+        })?;
         Compiled::compile(&expr, &names)
             .map_err(|e| CoreError::ByExample(format!("synthesized `{src}` fails to bind: {e}")))
     };
@@ -320,7 +321,9 @@ mod tests {
         assert_eq!(s.placement.x, "5 * lng + 1000");
         assert_eq!(s.placement.y, "-8 * lat + 900");
         match s.x_fit {
-            AxisFit::Affine { ref column, scale, .. } => {
+            AxisFit::Affine {
+                ref column, scale, ..
+            } => {
                 assert_eq!(column, "lng");
                 assert!((scale - 5.0).abs() < 1e-9);
             }
@@ -358,8 +361,16 @@ mod tests {
         let s = synthesize_placement(&city_schema(), &examples, 4.0).unwrap();
         match (&s.x_fit, &s.y_fit) {
             (
-                AxisFit::Affine { column: xc, scale: xs, .. },
-                AxisFit::Affine { column: yc, scale: ys, .. },
+                AxisFit::Affine {
+                    column: xc,
+                    scale: xs,
+                    ..
+                },
+                AxisFit::Affine {
+                    column: yc,
+                    scale: ys,
+                    ..
+                },
             ) => {
                 assert_eq!(xc, "lng");
                 assert_eq!(yc, "lat");
@@ -378,11 +389,7 @@ mod tests {
         let examples: Vec<PlacementExample> = [(3.0, 7.0), (10.0, 1.0), (-2.0, 4.0)]
             .iter()
             .map(|&(x, y)| {
-                PlacementExample::new(
-                    Row::new(vec![Value::Float(x), Value::Float(y)]),
-                    x,
-                    y,
-                )
+                PlacementExample::new(Row::new(vec![Value::Float(x), Value::Float(y)]), x, y)
             })
             .collect();
         let s = synthesize_placement(&schema, &examples, 1e-9).unwrap();
@@ -439,8 +446,9 @@ mod tests {
         );
         assert!(e.is_err());
         let mismatched = PlacementExample::new(Row::new(vec![Value::Int(1)]), 0.0, 0.0);
-        assert!(synthesize_placement(&city_schema(), &[mismatched.clone(), mismatched], 0.5)
-            .is_err());
+        assert!(
+            synthesize_placement(&city_schema(), &[mismatched.clone(), mismatched], 0.5).is_err()
+        );
     }
 
     #[test]

@@ -173,7 +173,10 @@ impl CompiledApp {
         self.canvas_index.get(id).map(|i| &self.canvases[*i])
     }
 
-    pub fn jumps_from<'a>(&'a self, canvas: &'a str) -> impl Iterator<Item = &'a CompiledJump> + 'a {
+    pub fn jumps_from<'a>(
+        &'a self,
+        canvas: &'a str,
+    ) -> impl Iterator<Item = &'a CompiledJump> + 'a {
         self.jumps.iter().filter(move |j| j.spec.from == canvas)
     }
 }
@@ -184,7 +187,10 @@ pub fn compile(spec: &AppSpec, db: &Database) -> Result<CompiledApp> {
     let mut errs: Vec<CompileError> = Vec::new();
 
     if spec.name.is_empty() {
-        errs.push(CompileError::new("app", "application name must not be empty"));
+        errs.push(CompileError::new(
+            "app",
+            "application name must not be empty",
+        ));
     }
     if spec.canvases.is_empty() {
         errs.push(CompileError::new("app", "at least one canvas is required"));
@@ -195,7 +201,11 @@ pub fn compile(spec: &AppSpec, db: &Database) -> Result<CompiledApp> {
 
     // ---- uniqueness
     check_unique(spec.canvases.iter().map(|c| &c.id), "canvas", &mut errs);
-    check_unique(spec.transforms.iter().map(|t| &t.id), "transform", &mut errs);
+    check_unique(
+        spec.transforms.iter().map(|t| &t.id),
+        "transform",
+        &mut errs,
+    );
     check_unique(spec.jumps.iter().map(|j| &j.id), "jump", &mut errs);
 
     // ---- transforms
@@ -295,24 +305,31 @@ pub fn compile(spec: &AppSpec, db: &Database) -> Result<CompiledApp> {
         let loc = format!("jump `{}`", j.id);
         let from = spec.canvas(&j.from);
         if from.is_none() {
-            errs.push(CompileError::new(&loc, format!("unknown from-canvas `{}`", j.from)));
+            errs.push(CompileError::new(
+                &loc,
+                format!("unknown from-canvas `{}`", j.from),
+            ));
         }
         if spec.canvas(&j.to).is_none() {
-            errs.push(CompileError::new(&loc, format!("unknown to-canvas `{}`", j.to)));
+            errs.push(CompileError::new(
+                &loc,
+                format!("unknown to-canvas `{}`", j.to),
+            ));
         }
         // parse all jump expressions once (syntax errors are app errors)
-        let parse_opt = |src: &Option<String>, what: &str, errs: &mut Vec<CompileError>| -> Option<Expr> {
-            match src {
-                None => None,
-                Some(s) => match parse_expr(s) {
-                    Ok(e) => Some(e),
-                    Err(e) => {
-                        errs.push(CompileError::new(format!("{loc} / {what}"), e.to_string()));
-                        None
-                    }
-                },
-            }
-        };
+        let parse_opt =
+            |src: &Option<String>, what: &str, errs: &mut Vec<CompileError>| -> Option<Expr> {
+                match src {
+                    None => None,
+                    Some(s) => match parse_expr(s) {
+                        Ok(e) => Some(e),
+                        Err(e) => {
+                            errs.push(CompileError::new(format!("{loc} / {what}"), e.to_string()));
+                            None
+                        }
+                    },
+                }
+            };
         let sel = parse_opt(&j.selector, "selector", &mut errs);
         let vx = parse_opt(&j.viewport_x, "viewport_x", &mut errs);
         let vy = parse_opt(&j.viewport_y, "viewport_y", &mut errs);
@@ -386,7 +403,10 @@ fn check_unique<'a, I: Iterator<Item = &'a String>>(
     }
 }
 
-fn compile_transform(t: &TransformSpec, db: &Database) -> std::result::Result<CompiledTransform, String> {
+fn compile_transform(
+    t: &TransformSpec,
+    db: &Database,
+) -> std::result::Result<CompiledTransform, String> {
     let base_schema = match &t.query {
         Some(sql) => db.query_schema(sql).map_err(|e| e.to_string())?,
         None => Schema::empty(),
@@ -399,7 +419,9 @@ fn compile_transform(t: &TransformSpec, db: &Database) -> std::result::Result<Co
     let mut derived = Vec::new();
     for (name, src) in &t.derived {
         if columns.iter().any(|c| c == name) {
-            return Err(format!("derived column `{name}` shadows an existing column"));
+            return Err(format!(
+                "derived column `{name}` shadows an existing column"
+            ));
         }
         let expr = parse_expr(src).map_err(|e| format!("derived `{name}`: {e}"))?;
         let cols_ref: Vec<&str> = columns.iter().map(String::as_str).collect();
@@ -440,10 +462,7 @@ fn compile_placement(
     })
 }
 
-fn compile_render(
-    r: &RenderSpec,
-    cols: &[&str],
-) -> std::result::Result<CompiledRender, String> {
+fn compile_render(r: &RenderSpec, cols: &[&str]) -> std::result::Result<CompiledRender, String> {
     match r {
         RenderSpec::Static(marks) => Ok(CompiledRender::Static(marks.clone())),
         RenderSpec::Marks(enc) => {
@@ -458,19 +477,16 @@ fn compile_render(
                 None => None,
                 Some(ce) => {
                     if ce.d1 <= ce.d0 {
-                        return Err(format!(
-                            "color: empty domain [{}, {}]",
-                            ce.d0, ce.d1
-                        ));
+                        return Err(format!("color: empty domain [{}, {}]", ce.d0, ce.d1));
                     }
                     Some((compile1("color.field", &ce.field)?, ce.d0, ce.d1, ce.ramp))
                 }
             };
             let stroke = match &enc.stroke {
                 None => None,
-                Some(s) => Some(
-                    Color::from_hex(s).ok_or_else(|| format!("stroke: invalid color `{s}`"))?,
-                ),
+                Some(s) => {
+                    Some(Color::from_hex(s).ok_or_else(|| format!("stroke: invalid color `{s}`"))?)
+                }
             };
             let label = match &enc.label {
                 None => None,
@@ -529,23 +545,20 @@ mod tests {
             .add_transform(TransformSpec::empty("empty"))
             .add_canvas(
                 CanvasSpec::new("main", 1000.0, 1000.0)
-                    .layer(LayerSpec::fixed(
-                        "empty",
-                        RenderSpec::Static(vec![]),
-                    ))
+                    .layer(LayerSpec::fixed("empty", RenderSpec::Static(vec![])))
                     .layer(LayerSpec::dynamic(
                         "t",
                         PlacementSpec::point("cx", "y"),
                         RenderSpec::Marks(MarkEncoding::circle()),
                     )),
             )
-            .add_canvas(CanvasSpec::new("detail", 5000.0, 5000.0).layer(
-                LayerSpec::dynamic(
+            .add_canvas(
+                CanvasSpec::new("detail", 5000.0, 5000.0).layer(LayerSpec::dynamic(
                     "t",
                     PlacementSpec::point("cx * 5", "y * 5"),
                     RenderSpec::Marks(MarkEncoding::circle()),
-                ),
-            ))
+                )),
+            )
             .add_jump(
                 JumpSpec::new("zoom", "main", "detail", JumpType::GeometricSemanticZoom)
                     .with_selector("layer_id == 1")
@@ -563,10 +576,7 @@ mod tests {
         let main = app.canvas("main").unwrap();
         assert_eq!(main.layers.len(), 2);
         // transform columns include derived
-        assert_eq!(
-            main.layers[1].columns(),
-            &["id", "x", "y", "weight", "cx"]
-        );
+        assert_eq!(main.layers[1].columns(), &["id", "x", "y", "weight", "cx"]);
         // separable: cx is affine in x... but cx is DERIVED, not raw.
         // Separability analysis operates on transform output columns; the
         // placement `cx, y` is affine in single distinct columns.
@@ -590,7 +600,7 @@ mod tests {
         assert_eq!(rows.len(), 50);
         assert_eq!(rows[3].values.len(), 5);
         assert_eq!(rows[3].values[4], Value::Float(30.0)); // cx = x * 10
-        // placement evaluates
+                                                           // placement evaluates
         let (cx, cy, w, h) = layer.place(&rows[3]).unwrap();
         assert_eq!((cx, cy, w, h), (30.0, 6.0, 1.0, 1.0));
     }
@@ -651,7 +661,9 @@ mod tests {
         spec.canvases[0].layers[1].placement = None;
         match compile(&spec, &db) {
             Err(CoreError::Compile(errs)) => {
-                assert!(errs.iter().any(|e| e.message.contains("require a placement")));
+                assert!(errs
+                    .iter()
+                    .any(|e| e.message.contains("require a placement")));
             }
             other => panic!("{other:?}"),
         }
@@ -661,8 +673,7 @@ mod tests {
     fn placement_unknown_column_is_error() {
         let db = test_db();
         let mut spec = valid_spec();
-        spec.canvases[0].layers[1].placement =
-            Some(PlacementSpec::point("no_such_col", "y"));
+        spec.canvases[0].layers[1].placement = Some(PlacementSpec::point("no_such_col", "y"));
         assert!(compile(&spec, &db).is_err());
     }
 

@@ -236,10 +236,9 @@ impl<'a> JParser<'a> {
         if self.peek() == Some(b'-') {
             self.pos += 1;
         }
-        while self
-            .peek()
-            .is_some_and(|c| c.is_ascii_digit() || c == b'.' || c == b'e' || c == b'E' || c == b'+' || c == b'-')
-        {
+        while self.peek().is_some_and(|c| {
+            c.is_ascii_digit() || c == b'.' || c == b'e' || c == b'E' || c == b'+' || c == b'-'
+        }) {
             self.pos += 1;
         }
         self.src[start..self.pos]
@@ -352,7 +351,12 @@ impl<'a> JParser<'a> {
 // ------------------------------------------------------- spec <-> JSON
 
 fn obj(fields: Vec<(&str, Json)>) -> Json {
-    Json::Obj(fields.into_iter().map(|(k, v)| (k.to_string(), v)).collect())
+    Json::Obj(
+        fields
+            .into_iter()
+            .map(|(k, v)| (k.to_string(), v))
+            .collect(),
+    )
 }
 
 fn s(v: &str) -> Json {
@@ -406,12 +410,7 @@ fn transform_to_json(t: &TransformSpec) -> Json {
         ("query", opt_str(&t.query)),
         (
             "derived",
-            Json::Obj(
-                t.derived
-                    .iter()
-                    .map(|(k, v)| (k.clone(), s(v)))
-                    .collect(),
-            ),
+            Json::Obj(t.derived.iter().map(|(k, v)| (k.clone(), s(v))).collect()),
         ),
     ])
 }
@@ -489,24 +488,55 @@ fn color_hex(c: &Color) -> String {
 
 fn mark_to_json(m: &Mark) -> Json {
     match m {
-        Mark::Circle { cx, cy, r, fill, stroke } => obj(vec![
+        Mark::Circle {
+            cx,
+            cy,
+            r,
+            fill,
+            stroke,
+        } => obj(vec![
             ("mark", s("circle")),
             ("cx", Json::Num(*cx)),
             ("cy", Json::Num(*cy)),
             ("r", Json::Num(*r)),
             ("fill", s(&color_hex(fill))),
-            ("stroke", stroke.as_ref().map(|c| s(&color_hex(c))).unwrap_or(Json::Null)),
+            (
+                "stroke",
+                stroke
+                    .as_ref()
+                    .map(|c| s(&color_hex(c)))
+                    .unwrap_or(Json::Null),
+            ),
         ]),
-        Mark::Rect { x, y, w, h, fill, stroke } => obj(vec![
+        Mark::Rect {
+            x,
+            y,
+            w,
+            h,
+            fill,
+            stroke,
+        } => obj(vec![
             ("mark", s("rect")),
             ("x", Json::Num(*x)),
             ("y", Json::Num(*y)),
             ("w", Json::Num(*w)),
             ("h", Json::Num(*h)),
             ("fill", s(&color_hex(fill))),
-            ("stroke", stroke.as_ref().map(|c| s(&color_hex(c))).unwrap_or(Json::Null)),
+            (
+                "stroke",
+                stroke
+                    .as_ref()
+                    .map(|c| s(&color_hex(c)))
+                    .unwrap_or(Json::Null),
+            ),
         ]),
-        Mark::Line { x0, y0, x1, y1, color } => obj(vec![
+        Mark::Line {
+            x0,
+            y0,
+            x1,
+            y1,
+            color,
+        } => obj(vec![
             ("mark", s("line")),
             ("x0", Json::Num(*x0)),
             ("y0", Json::Num(*y0)),
@@ -514,7 +544,11 @@ fn mark_to_json(m: &Mark) -> Json {
             ("y1", Json::Num(*y1)),
             ("color", s(&color_hex(color))),
         ]),
-        Mark::Polygon { points, fill, stroke } => obj(vec![
+        Mark::Polygon {
+            points,
+            fill,
+            stroke,
+        } => obj(vec![
             ("mark", s("polygon")),
             (
                 "points",
@@ -526,9 +560,21 @@ fn mark_to_json(m: &Mark) -> Json {
                 ),
             ),
             ("fill", s(&color_hex(fill))),
-            ("stroke", stroke.as_ref().map(|c| s(&color_hex(c))).unwrap_or(Json::Null)),
+            (
+                "stroke",
+                stroke
+                    .as_ref()
+                    .map(|c| s(&color_hex(c)))
+                    .unwrap_or(Json::Null),
+            ),
         ]),
-        Mark::Text { x, y, text, color, size } => obj(vec![
+        Mark::Text {
+            x,
+            y,
+            text,
+            color,
+            size,
+        } => obj(vec![
             ("mark", s("text")),
             ("x", Json::Num(*x)),
             ("y", Json::Num(*y)),
@@ -580,11 +626,7 @@ pub fn spec_from_json(j: &Json) -> Result<AppSpec> {
             want_num(init, "cy", "initial")?,
         );
     }
-    for t in j
-        .get("transforms")
-        .and_then(Json::as_arr)
-        .unwrap_or(&[])
-    {
+    for t in j.get("transforms").and_then(Json::as_arr).unwrap_or(&[]) {
         let id = want_str(t, "id", "transform")?;
         let query = opt_string(t, "query");
         let mut derived: Vec<(String, String)> = Vec::new();
@@ -597,11 +639,7 @@ pub fn spec_from_json(j: &Json) -> Result<AppSpec> {
                 derived.push((k.clone(), expr.to_string()));
             }
         }
-        spec.transforms.push(TransformSpec {
-            id,
-            query,
-            derived,
-        });
+        spec.transforms.push(TransformSpec { id, query, derived });
     }
     for c in j.get("canvases").and_then(Json::as_arr).unwrap_or(&[]) {
         let id = want_str(c, "id", "canvas")?;
@@ -680,9 +718,8 @@ fn render_from_json(j: &Json) -> Result<RenderSpec> {
                         field: want_str(c, "field", "color")?,
                         d0: want_num(c, "d0", "color")?,
                         d1: want_num(c, "d1", "color")?,
-                        ramp: RampKind::from_name(&ramp_name).ok_or_else(|| {
-                            CoreError::Json(format!("bad ramp `{ramp_name}`"))
-                        })?,
+                        ramp: RampKind::from_name(&ramp_name)
+                            .ok_or_else(|| CoreError::Json(format!("bad ramp `{ramp_name}`")))?,
                     })
                 }
                 None => None,

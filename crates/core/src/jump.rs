@@ -109,10 +109,15 @@ mod tests {
 
     #[test]
     fn figure3_jump_builder() {
-        let j = JumpSpec::new("state_to_county", "statemap", "countymap", JumpType::GeometricSemanticZoom)
-            .with_selector("layer_id == 1")
-            .with_viewport("cx * 5 - 1000", "cy * 5 - 500")
-            .with_name("'County map of ' + name");
+        let j = JumpSpec::new(
+            "state_to_county",
+            "statemap",
+            "countymap",
+            JumpType::GeometricSemanticZoom,
+        )
+        .with_selector("layer_id == 1")
+        .with_viewport("cx * 5 - 1000", "cy * 5 - 500")
+        .with_name("'County map of ' + name");
         assert_eq!(j.from, "statemap");
         assert_eq!(j.to, "countymap");
         assert!(j.selector.is_some() && j.viewport_x.is_some() && j.name.is_some());

@@ -45,6 +45,7 @@ pub mod jump;
 pub mod placement;
 pub mod render_spec;
 pub mod transform;
+pub mod zoom;
 
 pub use app::AppSpec;
 pub use by_example::{synthesize_placement, AxisFit, PlacementExample, SynthesizedPlacement};
@@ -60,3 +61,4 @@ pub use render_spec::{
     ColorEncoding, CompiledEncoding, CompiledRender, MarkEncoding, RampKind, RenderSpec,
 };
 pub use transform::TransformSpec;
+pub use zoom::{link_zoom_levels, ZoomLevelRef};

@@ -94,7 +94,13 @@ impl MarkEncoding {
         self
     }
 
-    pub fn with_color(mut self, field: impl Into<String>, d0: f64, d1: f64, ramp: RampKind) -> Self {
+    pub fn with_color(
+        mut self,
+        field: impl Into<String>,
+        d0: f64,
+        d1: f64,
+        ramp: RampKind,
+    ) -> Self {
         self.color = Some(ColorEncoding {
             field: field.into(),
             d0,

@@ -1,0 +1,104 @@
+//! Zoom-hierarchy wiring helpers: given an ordered chain of canvases that
+//! show the same data at different scales, generate the
+//! `geometric_semantic_zoom` jumps linking every adjacent pair (both
+//! directions). Used by the LoD subsystem's generated apps, but canvas
+//! chains built by hand can use it too.
+
+use crate::jump::{JumpSpec, JumpType};
+
+/// One level of a zoom hierarchy: a canvas plus the columns holding each
+/// object's position *on that canvas* (the jump's destination-viewport
+/// expressions are built from them).
+#[derive(Debug, Clone, PartialEq)]
+pub struct ZoomLevelRef {
+    pub canvas: String,
+    pub x_col: String,
+    pub y_col: String,
+}
+
+impl ZoomLevelRef {
+    pub fn new(
+        canvas: impl Into<String>,
+        x_col: impl Into<String>,
+        y_col: impl Into<String>,
+    ) -> Self {
+        ZoomLevelRef {
+            canvas: canvas.into(),
+            x_col: x_col.into(),
+            y_col: y_col.into(),
+        }
+    }
+}
+
+/// Link an ordered chain of zoom levels (coarsest first) with
+/// `geometric_semantic_zoom` jumps: a zoom-in jump from each level to the
+/// next finer one centered on the clicked object's position scaled up by
+/// `factor`, and a matching zoom-out jump scaled down. `factor` is the
+/// canvas size ratio between adjacent levels.
+pub fn link_zoom_levels(levels: &[ZoomLevelRef], factor: f64) -> Vec<JumpSpec> {
+    assert!(factor > 0.0, "zoom factor must be positive");
+    let mut jumps = Vec::with_capacity(levels.len().saturating_sub(1) * 2);
+    for pair in levels.windows(2) {
+        let (coarse, fine) = (&pair[0], &pair[1]);
+        jumps.push(
+            JumpSpec::new(
+                format!("zoomin_{}_{}", coarse.canvas, fine.canvas),
+                &coarse.canvas,
+                &fine.canvas,
+                JumpType::GeometricSemanticZoom,
+            )
+            .with_viewport(
+                format!("{} * {factor}", coarse.x_col),
+                format!("{} * {factor}", coarse.y_col),
+            )
+            .with_name(format!("'zoom in to {}'", fine.canvas)),
+        );
+        jumps.push(
+            JumpSpec::new(
+                format!("zoomout_{}_{}", fine.canvas, coarse.canvas),
+                &fine.canvas,
+                &coarse.canvas,
+                JumpType::GeometricSemanticZoom,
+            )
+            .with_viewport(
+                format!("{} / {factor}", fine.x_col),
+                format!("{} / {factor}", fine.y_col),
+            )
+            .with_name(format!("'zoom out to {}'", coarse.canvas)),
+        );
+    }
+    jumps
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn chain_of_three_levels_gets_four_jumps() {
+        let levels = [
+            ZoomLevelRef::new("level2", "cx", "cy"),
+            ZoomLevelRef::new("level1", "cx", "cy"),
+            ZoomLevelRef::new("level0", "x", "y"),
+        ];
+        let jumps = link_zoom_levels(&levels, 2.0);
+        assert_eq!(jumps.len(), 4);
+        let zin = &jumps[0];
+        assert_eq!(zin.from, "level2");
+        assert_eq!(zin.to, "level1");
+        assert_eq!(zin.jump_type, JumpType::GeometricSemanticZoom);
+        assert_eq!(zin.viewport_x.as_deref(), Some("cx * 2"));
+        let zout = &jumps[1];
+        assert_eq!(zout.from, "level1");
+        assert_eq!(zout.to, "level2");
+        assert_eq!(zout.viewport_x.as_deref(), Some("cx / 2"));
+        // the finest pair uses the raw coordinate columns
+        assert_eq!(jumps[2].viewport_x.as_deref(), Some("cx * 2"));
+        assert_eq!(jumps[3].viewport_x.as_deref(), Some("x / 2"));
+    }
+
+    #[test]
+    fn single_level_needs_no_jumps() {
+        assert!(link_zoom_levels(&[ZoomLevelRef::new("only", "x", "y")], 2.0).is_empty());
+    }
+}

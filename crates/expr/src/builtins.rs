@@ -106,14 +106,10 @@ impl Builtin {
     /// Apply the function to evaluated arguments.
     pub fn apply(self, args: &[Value]) -> Result<Value> {
         let f = |i: usize| -> Result<f64> {
-            args[i]
-                .as_f64()
-                .map_err(|e| ExprError::eval(e.to_string()))
+            args[i].as_f64().map_err(|e| ExprError::eval(e.to_string()))
         };
         let s = |i: usize| -> Result<&str> {
-            args[i]
-                .as_str()
-                .map_err(|e| ExprError::eval(e.to_string()))
+            args[i].as_str().map_err(|e| ExprError::eval(e.to_string()))
         };
         Ok(match self {
             Builtin::Abs => Value::Float(f(0)?.abs()),
@@ -241,7 +237,10 @@ mod tests {
             Value::Float(1024.0)
         );
         assert_eq!(
-            apply("clamp", &[Value::Float(11.0), Value::Float(0.0), Value::Float(10.0)]),
+            apply(
+                "clamp",
+                &[Value::Float(11.0), Value::Float(0.0), Value::Float(10.0)]
+            ),
             Value::Float(10.0)
         );
     }
@@ -270,10 +269,16 @@ mod tests {
             apply("concat", &[Value::Text("a".into()), Value::Int(1)]),
             Value::Text("a1".into())
         );
-        assert_eq!(apply("upper", &[Value::Text("ok".into())]), Value::Text("OK".into()));
+        assert_eq!(
+            apply("upper", &[Value::Text("ok".into())]),
+            Value::Text("OK".into())
+        );
         assert_eq!(apply("len", &[Value::Text("héllo".into())]), Value::Int(5));
         assert_eq!(
-            apply("substr", &[Value::Text("county".into()), Value::Int(0), Value::Int(3)]),
+            apply(
+                "substr",
+                &[Value::Text("county".into()), Value::Int(0), Value::Int(3)]
+            ),
             Value::Text("cou".into())
         );
     }

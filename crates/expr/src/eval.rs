@@ -415,9 +415,7 @@ mod tests {
     fn compiled_matches_interpreted() {
         let e = parse("scale(x, 0, 100, 0, 1) + y * 2").unwrap();
         let c = Compiled::compile(&e, &["x", "y"]).unwrap();
-        let via_compiled = c
-            .eval(&[Value::Float(50.0), Value::Float(3.0)])
-            .unwrap();
+        let via_compiled = c.eval(&[Value::Float(50.0), Value::Float(3.0)]).unwrap();
         let mut ctx = VarMap::new();
         ctx.set("x", Value::Float(50.0));
         ctx.set("y", Value::Float(3.0));

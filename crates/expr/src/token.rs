@@ -18,8 +18,8 @@ pub enum Tok {
     Slash,
     Percent,
     Caret,
-    Eq,     // ==
-    NotEq,  // !=
+    Eq,    // ==
+    NotEq, // !=
     Lt,
     LtEq,
     Gt,

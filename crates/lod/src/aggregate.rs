@@ -1,0 +1,165 @@
+//! Cluster aggregates: what each retained mark carries about the raw
+//! points it stands for.
+
+use kyrix_storage::Rect;
+
+/// One cluster (or, at the base of the recursion, one raw point).
+///
+/// A cluster is *represented by an actual raw point* — the member with the
+/// highest representative weight (first-measure value, ties to the lower
+/// id) — rather than a centroid: the representative's raw coordinates are
+/// copied, never accumulated. Representative selection is an associative,
+/// commutative max-fold over members, counts are integers and the bounding
+/// box is a min/max fold, so all of those merge bit-identically no matter
+/// how the build was partitioned; only the measure sums are floating-point
+/// accumulations (exact whenever measure values are integer-valued, as the
+/// `zipf_galaxy` workload produces).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Cluster {
+    /// Raw id of the representative point.
+    pub rep_id: i64,
+    /// Representative position in raw (level-0) canvas coordinates.
+    pub rep_x: f64,
+    pub rep_y: f64,
+    /// Representative weight: the first-measure value of the
+    /// representative point (0 when no measures are configured).
+    pub rep_weight: f64,
+    /// Number of raw points in the cluster.
+    pub count: u64,
+    /// Per-measure sums over all member raw points.
+    pub sums: Vec<f64>,
+    /// Bounding box of all member raw points, in raw coordinates.
+    pub bbox: Rect,
+}
+
+impl Cluster {
+    /// A singleton cluster from one raw point.
+    pub fn from_point(id: i64, x: f64, y: f64, measures: &[f64]) -> Self {
+        Cluster {
+            rep_id: id,
+            rep_x: x,
+            rep_y: y,
+            rep_weight: measures.first().copied().unwrap_or(0.0),
+            count: 1,
+            sums: measures.to_vec(),
+            bbox: Rect::new(x, y, x, y),
+        }
+    }
+
+    /// Does `other`'s representative outrank this one's? Heavier wins,
+    /// ties break to the smaller raw id — a total order over raw points,
+    /// so the max-fold is order-independent.
+    fn rep_outranked_by(&self, other: &Cluster) -> bool {
+        other.rep_weight > self.rep_weight
+            || (other.rep_weight == self.rep_weight && other.rep_id < self.rep_id)
+    }
+
+    /// Processing priority for greedy retention: bigger clusters first,
+    /// then larger first-measure sum, then smaller representative id.
+    /// Representatives are distinct raw points, so this is a total order —
+    /// a deterministic processing sequence.
+    pub fn more_important_than(&self, other: &Cluster) -> bool {
+        if self.count != other.count {
+            return self.count > other.count;
+        }
+        let (a, b) = (
+            self.sums.first().copied().unwrap_or(0.0),
+            other.sums.first().copied().unwrap_or(0.0),
+        );
+        if a != b {
+            return a > b;
+        }
+        self.rep_id < other.rep_id
+    }
+
+    /// Fold `other` into `self`, re-electing the representative by the
+    /// member-level max-fold. Commutative and associative except for the
+    /// order of the floating-point sum additions. Used during cell
+    /// aggregation, where the winner's position defines the cell's mark.
+    pub fn merge(&mut self, other: &Cluster) {
+        if self.rep_outranked_by(other) {
+            self.rep_id = other.rep_id;
+            self.rep_x = other.rep_x;
+            self.rep_y = other.rep_y;
+            self.rep_weight = other.rep_weight;
+        }
+        self.absorb(other);
+    }
+
+    /// Fold `other`'s aggregates into `self` *without* touching the
+    /// representative. Used when a rejected candidate merges into an
+    /// already-retained mark: the retained position must not move, or the
+    /// spacing guarantee over retained marks would break.
+    pub fn absorb(&mut self, other: &Cluster) {
+        self.count += other.count;
+        for (s, o) in self.sums.iter_mut().zip(&other.sums) {
+            *s += o;
+        }
+        self.bbox = self.bbox.union(&other.bbox);
+    }
+
+    /// Per-measure averages (`sum / count`).
+    pub fn avgs(&self) -> Vec<f64> {
+        self.sums.iter().map(|s| s / self.count as f64).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn merge_elects_heaviest_member_and_conserves_totals() {
+        let mut a = Cluster::from_point(5, 1.0, 2.0, &[10.0]);
+        let b = Cluster::from_point(3, 4.0, 6.0, &[7.0]);
+        a.merge(&b);
+        assert_eq!(a.rep_id, 5, "heavier member stays representative");
+        assert_eq!((a.rep_x, a.rep_y), (1.0, 2.0));
+        assert_eq!(a.count, 2);
+        assert_eq!(a.sums, vec![17.0]);
+        assert_eq!(a.bbox, Rect::new(1.0, 2.0, 4.0, 6.0));
+        assert_eq!(a.avgs(), vec![8.5]);
+
+        // merging the other way elects the same representative
+        let mut c = Cluster::from_point(3, 4.0, 6.0, &[7.0]);
+        c.merge(&Cluster::from_point(5, 1.0, 2.0, &[10.0]));
+        assert_eq!(c.rep_id, 5);
+        assert_eq!((c.rep_x, c.rep_y), (1.0, 2.0));
+    }
+
+    #[test]
+    fn merge_is_order_independent_for_representatives() {
+        let pts: Vec<Cluster> = (0..6)
+            .map(|i| Cluster::from_point(i, i as f64, 0.0, &[(i % 3) as f64]))
+            .collect();
+        let fold = |order: &[usize]| {
+            let mut acc = pts[order[0]].clone();
+            for &i in &order[1..] {
+                acc.merge(&pts[i]);
+            }
+            (acc.rep_id, acc.count, acc.bbox)
+        };
+        let a = fold(&[0, 1, 2, 3, 4, 5]);
+        let b = fold(&[5, 3, 1, 4, 2, 0]);
+        assert_eq!(a, b);
+        assert_eq!(a.0, 2, "weight 2 ties break to the smaller id");
+    }
+
+    #[test]
+    fn absorb_freezes_the_representative() {
+        let mut kept = Cluster::from_point(8, 0.0, 0.0, &[1.0]);
+        kept.absorb(&Cluster::from_point(2, 9.0, 9.0, &[100.0]));
+        assert_eq!(kept.rep_id, 8, "absorb never moves the mark");
+        assert_eq!((kept.rep_x, kept.rep_y), (0.0, 0.0));
+        assert_eq!(kept.count, 2);
+        assert_eq!(kept.sums, vec![101.0]);
+    }
+
+    #[test]
+    fn importance_total_order_tie_breaks_by_id() {
+        let a = Cluster::from_point(2, 0.0, 0.0, &[1.0]);
+        let b = Cluster::from_point(9, 5.0, 5.0, &[1.0]);
+        assert!(a.more_important_than(&b));
+        assert!(!b.more_important_than(&a));
+    }
+}

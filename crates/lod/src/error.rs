@@ -1,0 +1,33 @@
+//! Error type for pyramid construction.
+
+use std::fmt;
+
+#[derive(Debug)]
+pub enum LodError {
+    /// Invalid [`crate::LodConfig`].
+    Config(String),
+    /// The raw table is missing a configured column or has the wrong shape.
+    Schema(String),
+    /// Underlying storage failure.
+    Storage(kyrix_storage::StorageError),
+}
+
+pub type Result<T> = std::result::Result<T, LodError>;
+
+impl fmt::Display for LodError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            LodError::Config(m) => write!(f, "lod config: {m}"),
+            LodError::Schema(m) => write!(f, "lod schema: {m}"),
+            LodError::Storage(e) => write!(f, "lod storage: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for LodError {}
+
+impl From<kyrix_storage::StorageError> for LodError {
+    fn from(e: kyrix_storage::StorageError) -> Self {
+        LodError::Storage(e)
+    }
+}

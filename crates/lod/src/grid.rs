@@ -1,0 +1,129 @@
+//! Grid hashing: the spatial substrate of the deterministic greedy
+//! clustering. Cells are `spacing`-sized squares; two marks closer than
+//! `spacing` always land in the same cell or in 8-adjacent cells, so the
+//! non-overlap check only ever inspects a 3×3 neighborhood.
+
+use kyrix_storage::fxhash::FxHashMap;
+
+/// Integer grid cell coordinates.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Cell {
+    pub x: i64,
+    pub y: i64,
+}
+
+/// Cell containing a point at a given cell size.
+pub fn cell_of(x: f64, y: f64, size: f64) -> Cell {
+    Cell {
+        x: (x / size).floor() as i64,
+        y: (y / size).floor() as i64,
+    }
+}
+
+impl Cell {
+    /// The 3×3 neighborhood (including self), row-major.
+    pub fn neighborhood(self) -> impl Iterator<Item = Cell> {
+        (-1..=1).flat_map(move |dy| {
+            (-1..=1).map(move |dx| Cell {
+                x: self.x + dx,
+                y: self.y + dy,
+            })
+        })
+    }
+}
+
+/// Positions of already-retained marks, bucketed by `spacing`-sized cells,
+/// answering "which retained mark (if any) is within `spacing` of here?".
+pub struct SpacingGrid {
+    spacing: f64,
+    cells: FxHashMap<Cell, Vec<(usize, f64, f64)>>,
+}
+
+impl SpacingGrid {
+    pub fn new(spacing: f64) -> Self {
+        SpacingGrid {
+            spacing,
+            cells: FxHashMap::default(),
+        }
+    }
+
+    /// Record a retained mark (identified by caller-side index).
+    pub fn insert(&mut self, idx: usize, x: f64, y: f64) {
+        self.cells
+            .entry(cell_of(x, y, self.spacing))
+            .or_default()
+            .push((idx, x, y));
+    }
+
+    /// The nearest retained mark strictly closer than `spacing`, if any.
+    /// Ties on distance break toward the smaller index (deterministic).
+    pub fn violator(&self, x: f64, y: f64) -> Option<(usize, f64)> {
+        let sq = self.spacing * self.spacing;
+        let mut best: Option<(usize, f64)> = None;
+        for cell in cell_of(x, y, self.spacing).neighborhood() {
+            let Some(marks) = self.cells.get(&cell) else {
+                continue;
+            };
+            for &(idx, mx, my) in marks {
+                let d2 = (mx - x) * (mx - x) + (my - y) * (my - y);
+                if d2 < sq {
+                    let better = match best {
+                        None => true,
+                        Some((bi, bd2)) => d2 < bd2 || (d2 == bd2 && idx < bi),
+                    };
+                    if better {
+                        best = Some((idx, d2));
+                    }
+                }
+            }
+        }
+        best
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cell_of_floors() {
+        assert_eq!(cell_of(0.0, 0.0, 10.0), Cell { x: 0, y: 0 });
+        assert_eq!(cell_of(9.99, 10.0, 10.0), Cell { x: 0, y: 1 });
+        assert_eq!(cell_of(-0.1, -10.0, 10.0), Cell { x: -1, y: -1 });
+    }
+
+    #[test]
+    fn neighborhood_is_nine_cells() {
+        let n: Vec<Cell> = (Cell { x: 0, y: 0 }).neighborhood().collect();
+        assert_eq!(n.len(), 9);
+        assert!(n.contains(&Cell { x: -1, y: -1 }));
+        assert!(n.contains(&Cell { x: 1, y: 1 }));
+    }
+
+    #[test]
+    fn violator_finds_marks_across_cell_borders() {
+        let mut g = SpacingGrid::new(10.0);
+        g.insert(0, 9.5, 5.0); // cell (0,0)
+                               // a point in cell (1,0), 1.0 away from mark 0
+        let v = g.violator(10.5, 5.0);
+        assert_eq!(v.map(|(i, _)| i), Some(0));
+        // far away: no violator
+        assert!(g.violator(25.0, 5.0).is_none());
+        // exactly at spacing distance: allowed (strictly-closer check)
+        assert!(g.violator(19.5, 5.0).is_none());
+    }
+
+    #[test]
+    fn violator_prefers_nearest_then_smallest_index() {
+        let mut g = SpacingGrid::new(10.0);
+        g.insert(7, 0.0, 0.0);
+        g.insert(3, 4.0, 0.0);
+        let (idx, _) = g.violator(5.0, 0.0).unwrap();
+        assert_eq!(idx, 3, "nearest wins");
+        let mut tie = SpacingGrid::new(10.0);
+        tie.insert(9, 2.0, 0.0);
+        tie.insert(4, -2.0, 0.0);
+        let (idx, _) = tie.violator(0.0, 0.0).unwrap();
+        assert_eq!(idx, 4, "distance tie breaks to the smaller index");
+    }
+}

@@ -1,0 +1,68 @@
+//! `kyrix-lod`: the automatic zoom-level hierarchy (level-of-detail)
+//! subsystem, after Kyrix-S ("Authoring Scalable Scatterplot
+//! Visualizations of Big Data").
+//!
+//! The original paper's multi-scale scenarios (the Figure 2–3 US map)
+//! require an author to wire every zoom level by hand. This crate *builds*
+//! the zoom pyramid from data instead:
+//!
+//! * [`LodConfig`] names a raw point table, a pyramid height, a zoom
+//!   factor and a minimum mark spacing;
+//! * [`build_pyramid`] materializes the **cluster pyramid** — level 0 is
+//!   the raw data, each coarser level is produced by deterministic,
+//!   grid-hashed greedy clustering with the Kyrix-S non-overlap guarantee
+//!   (no two retained marks closer than the spacing bound), each cluster
+//!   carrying `cnt`, `sum_*`/`avg_*` of the configured measures and its
+//!   members' bounding box;
+//! * [`build_pyramid_sharded`] runs the same construction over a
+//!   [`kyrix_parallel::ParallelDatabase`]: shards cluster their local
+//!   points into grid cells in parallel and the coordinator merges
+//!   boundary cells, producing the same level tables as a single node;
+//! * [`lod_app`] emits the multi-canvas [`kyrix_core::AppSpec`] with
+//!   `geometric_semantic_zoom` jumps auto-wired between adjacent levels.
+//!
+//! Every level table carries a point R-tree on its `(cx, cy)` columns, so
+//! the existing `kyrix-server` precompute paths (spatial design,
+//! separable skip) serve tiles and dynamic boxes at any zoom level
+//! unmodified.
+//!
+//! ```
+//! use kyrix_lod::{build_pyramid, lod_app, LodConfig};
+//! use kyrix_storage::{DataType, Database, Row, Schema, Value};
+//!
+//! let mut db = Database::new();
+//! db.create_table("pts", Schema::empty()
+//!     .with("id", DataType::Int)
+//!     .with("x", DataType::Float)
+//!     .with("y", DataType::Float)
+//!     .with("w", DataType::Float)).unwrap();
+//! for i in 0..512i64 {
+//!     db.insert("pts", Row::new(vec![
+//!         Value::Int(i),
+//!         Value::Float((i % 32) as f64 * 32.0),
+//!         Value::Float((i / 32) as f64 * 32.0),
+//!         Value::Float((i % 3) as f64),
+//!     ])).unwrap();
+//! }
+//! let cfg = LodConfig::new("pts", 1024.0, 512.0, 2).with_measure("w");
+//! let pyramid = build_pyramid(&mut db, &cfg).unwrap();
+//! assert_eq!(pyramid.depth(), 3);
+//! let spec = lod_app(&cfg, (256.0, 256.0));
+//! assert_eq!(spec.canvases.len(), 3);
+//! ```
+
+pub mod aggregate;
+pub mod app;
+pub mod cluster;
+pub mod config;
+pub mod error;
+pub mod grid;
+pub mod pyramid;
+
+pub use aggregate::Cluster;
+pub use app::lod_app;
+pub use cluster::{aggregate_into_cells, merge_cell_maps, retain_with_spacing};
+pub use config::LodConfig;
+pub use error::{LodError, Result};
+pub use grid::{cell_of, Cell, SpacingGrid};
+pub use pyramid::{build_pyramid, build_pyramid_sharded, LevelInfo, LodPyramid};

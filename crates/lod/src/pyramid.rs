@@ -1,0 +1,375 @@
+//! Pyramid materialization: run the clustering level by level and write
+//! each level as a spatially-indexed table the existing `precompute`
+//! machinery serves unmodified.
+
+use crate::aggregate::Cluster;
+use crate::cluster::{aggregate_into_cells, merge_cell_maps, retain_with_spacing};
+use crate::config::LodConfig;
+use crate::error::{LodError, Result};
+use crate::grid::Cell;
+use kyrix_parallel::ParallelDatabase;
+use kyrix_storage::fxhash::FxHashMap;
+use kyrix_storage::{DataType, Database, IndexKind, Row, Schema, SpatialCols, Value};
+use std::time::{Duration, Instant};
+
+/// What one level of a built pyramid looks like.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LevelInfo {
+    /// 0 = raw data; higher = coarser.
+    pub level: usize,
+    /// Physical table serving this level.
+    pub table: String,
+    /// Marks (raw points or clusters) on this level.
+    pub rows: usize,
+    /// Canvas extent of this level.
+    pub width: f64,
+    pub height: f64,
+}
+
+/// A built pyramid: the config it was built from plus per-level metadata,
+/// finest (raw) level first.
+#[derive(Debug, Clone)]
+pub struct LodPyramid {
+    pub config: LodConfig,
+    pub levels: Vec<LevelInfo>,
+    /// Wall-clock spent clustering and writing level tables.
+    pub build_time: Duration,
+}
+
+/// Equality over what was *built* (config + levels), not how long the
+/// build took — so "two builds produced the same pyramid" is expressible
+/// as `p1 == p2`.
+impl PartialEq for LodPyramid {
+    fn eq(&self, other: &Self) -> bool {
+        self.config == other.config && self.levels == other.levels
+    }
+}
+
+impl LodPyramid {
+    /// Number of canvases (raw level included).
+    pub fn depth(&self) -> usize {
+        self.levels.len()
+    }
+
+    pub fn level(&self, k: usize) -> Option<&LevelInfo> {
+        self.levels.get(k)
+    }
+}
+
+/// Column indexes of the configured raw columns.
+struct RawLayout {
+    id: usize,
+    x: usize,
+    y: usize,
+    measures: Vec<usize>,
+}
+
+fn raw_layout(db: &Database, cfg: &LodConfig) -> Result<RawLayout> {
+    let schema = &db.table(&cfg.table)?.schema;
+    let find = |col: &str| -> Result<usize> {
+        schema
+            .index_of(col)
+            .map_err(|_| LodError::Schema(format!("table `{}` has no column `{col}`", cfg.table)))
+    };
+    Ok(RawLayout {
+        id: find(&cfg.id_column)?,
+        x: find(&cfg.x_column)?,
+        y: find(&cfg.y_column)?,
+        measures: cfg
+            .measures
+            .iter()
+            .map(|m| find(m))
+            .collect::<Result<_>>()?,
+    })
+}
+
+/// Read every raw point of one database as singleton clusters (scan order).
+fn extract_points(db: &Database, cfg: &LodConfig, layout: &RawLayout) -> Result<Vec<Cluster>> {
+    let mut points = Vec::with_capacity(db.table(&cfg.table)?.len());
+    let mut bad: Option<String> = None;
+    db.table(&cfg.table)?.scan(|_, row| {
+        let f = |i: usize| row.get(i).as_f64();
+        let id = row.get(layout.id).as_i64();
+        let ms: std::result::Result<Vec<f64>, _> = layout.measures.iter().map(|&i| f(i)).collect();
+        match (id, f(layout.x), f(layout.y), ms) {
+            (Ok(id), Ok(x), Ok(y), Ok(ms)) => points.push(Cluster::from_point(id, x, y, &ms)),
+            _ => bad = Some(format!("non-numeric row in `{}`", cfg.table)),
+        }
+    })?;
+    match bad {
+        Some(msg) => Err(LodError::Schema(msg)),
+        None => Ok(points),
+    }
+}
+
+/// Schema of a clustered level table.
+fn level_schema(cfg: &LodConfig) -> Schema {
+    let mut schema = Schema::empty()
+        .with("id", DataType::Int)
+        .with("cx", DataType::Float)
+        .with("cy", DataType::Float)
+        .with("cnt", DataType::Int);
+    for m in &cfg.measures {
+        schema = schema.with(format!("sum_{m}"), DataType::Float);
+        schema = schema.with(format!("avg_{m}"), DataType::Float);
+    }
+    for g in ["minx", "miny", "maxx", "maxy"] {
+        schema = schema.with(g, DataType::Float);
+    }
+    schema
+}
+
+/// Write one clustered level as a table with a point spatial index on
+/// `(cx, cy)` — the shape the server's separable fast path serves directly.
+fn write_level(
+    db: &mut Database,
+    cfg: &LodConfig,
+    level: usize,
+    clusters: &[Cluster],
+) -> Result<()> {
+    let table = cfg.level_table(level);
+    if db.has_table(&table) {
+        db.drop_table(&table)?;
+    }
+    db.create_table(&table, level_schema(cfg))?;
+    let scale = cfg.level_scale(level);
+    for c in clusters {
+        let mut values = vec![
+            Value::Int(c.rep_id),
+            Value::Float(c.rep_x / scale),
+            Value::Float(c.rep_y / scale),
+            Value::Int(c.count as i64),
+        ];
+        for (sum, avg) in c.sums.iter().zip(c.avgs()) {
+            values.push(Value::Float(*sum));
+            values.push(Value::Float(avg));
+        }
+        let b = &c.bbox;
+        values.extend([
+            Value::Float(b.min_x),
+            Value::Float(b.min_y),
+            Value::Float(b.max_x),
+            Value::Float(b.max_y),
+        ]);
+        db.insert(&table, Row::new(values))?;
+    }
+    db.create_index(
+        &table,
+        format!("{table}_cxcy"),
+        IndexKind::Spatial(SpatialCols::Point {
+            x: "cx".into(),
+            y: "cy".into(),
+        }),
+    )?;
+    Ok(())
+}
+
+/// Cluster levels `1..=cfg.levels` starting from the merged level-1 cell
+/// maps, then write every level table into `db`.
+fn finish_build(
+    db: &mut Database,
+    cfg: &LodConfig,
+    raw_rows: usize,
+    level1_maps: Vec<FxHashMap<Cell, Cluster>>,
+    start: Instant,
+) -> Result<LodPyramid> {
+    let mut levels = vec![LevelInfo {
+        level: 0,
+        table: cfg.level_table(0),
+        rows: raw_rows,
+        width: cfg.width,
+        height: cfg.height,
+    }];
+    let mut prev = retain_with_spacing(
+        merge_cell_maps(level1_maps),
+        cfg.level_scale(1),
+        cfg.spacing,
+    );
+    for k in 1..=cfg.levels {
+        if k > 1 {
+            let scale = cfg.level_scale(k);
+            let cells = aggregate_into_cells(std::mem::take(&mut prev), scale, cfg.spacing);
+            prev = retain_with_spacing(cells, scale, cfg.spacing);
+        }
+        write_level(db, cfg, k, &prev)?;
+        let (w, h) = cfg.level_size(k);
+        levels.push(LevelInfo {
+            level: k,
+            table: cfg.level_table(k),
+            rows: prev.len(),
+            width: w,
+            height: h,
+        });
+    }
+    Ok(LodPyramid {
+        config: cfg.clone(),
+        levels,
+        build_time: start.elapsed(),
+    })
+}
+
+/// Build the full pyramid on one node: cluster the raw table level by
+/// level and materialize each level as a spatially-indexed table in `db`.
+pub fn build_pyramid(db: &mut Database, cfg: &LodConfig) -> Result<LodPyramid> {
+    cfg.validate()?;
+    let start = Instant::now();
+    let layout = raw_layout(db, cfg)?;
+    let points = extract_points(db, cfg, &layout)?;
+    let raw_rows = points.len();
+    let cells = aggregate_into_cells(points, cfg.level_scale(1), cfg.spacing);
+    finish_build(db, cfg, raw_rows, vec![cells], start)
+}
+
+/// Build the pyramid from a sharded raw table: every shard aggregates its
+/// local points into level-1 grid cells in parallel (local clustering);
+/// the coordinator merges cells split across shard boundaries, runs the
+/// retention passes, and writes the level tables into `out`.
+///
+/// Produces the same level tables as [`build_pyramid`] on an unsharded
+/// copy of the data: cell aggregation is merge-order independent (exactly
+/// so for counts, bounding boxes and representatives; up to
+/// floating-point sum association for measure sums, which is exact for
+/// integer-valued measures).
+pub fn build_pyramid_sharded(
+    pdb: &ParallelDatabase,
+    cfg: &LodConfig,
+    out: &mut Database,
+) -> Result<LodPyramid> {
+    cfg.validate()?;
+    let start = Instant::now();
+    let layout = pdb.with_shard(0, |db| raw_layout(db, cfg))?;
+    let scale = cfg.level_scale(1);
+    let shard_maps: Vec<Result<FxHashMap<Cell, Cluster>>> = std::thread::scope(|s| {
+        let handles: Vec<_> = (0..pdb.shard_count())
+            .map(|i| {
+                let layout = &layout;
+                s.spawn(move || {
+                    pdb.with_shard(i, |db| {
+                        let points = extract_points(db, cfg, layout)?;
+                        Ok(aggregate_into_cells(points, scale, cfg.spacing))
+                    })
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("shard clustering panicked"))
+            .collect()
+    });
+    let mut maps = Vec::with_capacity(shard_maps.len());
+    let mut raw_rows = 0usize;
+    for m in shard_maps {
+        let m = m?;
+        raw_rows += m.values().map(|c| c.count as usize).sum::<usize>();
+        maps.push(m);
+    }
+    finish_build(out, cfg, raw_rows, maps, start)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use kyrix_parallel::Partitioner;
+
+    fn raw_schema() -> Schema {
+        Schema::empty()
+            .with("id", DataType::Int)
+            .with("x", DataType::Float)
+            .with("y", DataType::Float)
+            .with("m", DataType::Float)
+    }
+
+    fn grid_rows(n: i64) -> Vec<Row> {
+        // a 32-wide integer lattice with integer-valued measures
+        (0..n)
+            .map(|i| {
+                Row::new(vec![
+                    Value::Int(i),
+                    Value::Float((i % 32) as f64 * 8.0),
+                    Value::Float((i / 32) as f64 * 8.0),
+                    Value::Float((i % 5) as f64),
+                ])
+            })
+            .collect()
+    }
+
+    fn cfg() -> LodConfig {
+        LodConfig::new("pts", 256.0, 256.0, 2)
+            .with_measure("m")
+            .with_spacing(12.0)
+    }
+
+    #[test]
+    fn pyramid_conserves_count_and_sums() {
+        let mut db = Database::new();
+        db.create_table("pts", raw_schema()).unwrap();
+        for r in grid_rows(1024) {
+            db.insert("pts", r).unwrap();
+        }
+        let p = build_pyramid(&mut db, &cfg()).unwrap();
+        assert_eq!(p.depth(), 3);
+        assert_eq!(p.levels[0].rows, 1024);
+        assert!(p.levels[1].rows < 1024);
+        assert!(p.levels[2].rows <= p.levels[1].rows);
+        let raw_sum: f64 = (0..1024).map(|i| (i % 5) as f64).sum();
+        for k in 1..=2 {
+            let r = db
+                .query(
+                    &format!("SELECT SUM(cnt), SUM(sum_m) FROM {}", p.levels[k].table),
+                    &[],
+                )
+                .unwrap();
+            assert_eq!(r.rows[0].get(0).as_i64().unwrap(), 1024, "level {k} count");
+            assert_eq!(r.rows[0].get(1).as_f64().unwrap(), raw_sum, "level {k} sum");
+        }
+    }
+
+    #[test]
+    fn sharded_build_matches_single_node() {
+        let rows = grid_rows(1024);
+        let mut single = Database::new();
+        single.create_table("pts", raw_schema()).unwrap();
+        for r in rows.clone() {
+            single.insert("pts", r.clone()).unwrap();
+        }
+        let p1 = build_pyramid(&mut single, &cfg()).unwrap();
+
+        let pdb = ParallelDatabase::new(
+            4,
+            "pts",
+            Partitioner::SpatialGrid {
+                x_column: "x".into(),
+                y_column: "y".into(),
+                cols: 2,
+                rows: 2,
+                width: 256.0,
+                height: 256.0,
+            },
+        )
+        .unwrap();
+        pdb.create_table("pts", raw_schema()).unwrap();
+        pdb.load("pts", rows).unwrap();
+        let mut out = Database::new();
+        let p2 = build_pyramid_sharded(&pdb, &cfg(), &mut out).unwrap();
+
+        assert_eq!(p1.levels, p2.levels);
+        for k in 1..=2 {
+            let t = p1.levels[k].table.clone();
+            let q = format!("SELECT * FROM {t} ORDER BY id");
+            let a = single.query(&q, &[]).unwrap();
+            let b = out.query(&q, &[]).unwrap();
+            assert_eq!(a.rows, b.rows, "level {k} tables differ");
+        }
+    }
+
+    #[test]
+    fn missing_column_is_a_schema_error() {
+        let mut db = Database::new();
+        db.create_table("pts", raw_schema()).unwrap();
+        let bad = LodConfig::new("pts", 256.0, 256.0, 1).with_measure("nope");
+        assert!(matches!(
+            build_pyramid(&mut db, &bad),
+            Err(LodError::Schema(_))
+        ));
+    }
+}

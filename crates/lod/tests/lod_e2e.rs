@@ -1,0 +1,278 @@
+//! End-to-end acceptance test of the LoD subsystem: build a ≥100k-point
+//! pyramid with ≥3 clustered levels over the `zipf_galaxy` workload,
+//! verify the non-overlap spacing invariant and exact count/sum
+//! conservation on every level, serve a tile and a dynamic box from every
+//! level through `KyrixServer`, follow an auto-generated zoom jump
+//! between adjacent levels, and check that sharded pyramid construction
+//! produces the same level tables as a single node.
+
+use kyrix_client::Session;
+use kyrix_core::compile;
+use kyrix_lod::{build_pyramid, build_pyramid_sharded, lod_app, LodConfig, SpacingGrid};
+use kyrix_parallel::{ParallelDatabase, Partitioner};
+use kyrix_server::{BoxPolicy, FetchPlan, KyrixServer, ServerConfig, TileDesign, Tiling};
+use kyrix_storage::{Database, Rect, Value};
+use kyrix_workload::{galaxy_rows, galaxy_schema, index_galaxy, load_zipf_galaxy, GalaxyConfig};
+use std::sync::Arc;
+
+const LEVELS: usize = 3;
+const SPACING: f64 = 24.0;
+
+fn lod_config(g: &GalaxyConfig) -> LodConfig {
+    LodConfig::new("galaxy", g.width, g.height, LEVELS)
+        .with_measure("mass")
+        .with_measure("lum")
+        .with_spacing(SPACING)
+}
+
+/// Galaxy database with a built pyramid (raw spatial index included).
+fn built_db(g: &GalaxyConfig, cfg: &LodConfig) -> (Database, kyrix_lod::LodPyramid) {
+    let mut db = Database::new();
+    load_zipf_galaxy(&mut db, g).unwrap();
+    index_galaxy(&mut db).unwrap();
+    let pyramid = build_pyramid(&mut db, cfg).unwrap();
+    (db, pyramid)
+}
+
+/// One representative mark per level: `(level, id, cx, cy)` of the first
+/// row of each level table (raw columns at level 0).
+fn probe_marks(db: &Database, cfg: &LodConfig) -> Vec<(usize, i64, f64, f64)> {
+    (0..=cfg.levels)
+        .map(|k| {
+            let t = cfg.level_table(k);
+            let (xc, yc) = if k == 0 { ("x", "y") } else { ("cx", "cy") };
+            let r = db
+                .query(&format!("SELECT id, {xc}, {yc} FROM {t} LIMIT 1"), &[])
+                .unwrap();
+            let row = &r.rows[0];
+            (
+                k,
+                row.get(0).as_i64().unwrap(),
+                row.get(1).as_f64().unwrap(),
+                row.get(2).as_f64().unwrap(),
+            )
+        })
+        .collect()
+}
+
+#[test]
+fn pyramid_end_to_end() {
+    let g = GalaxyConfig::e2e();
+    assert!(g.n >= 100_000, "acceptance: at least 100k points");
+    let cfg = lod_config(&g);
+    let (db, pyramid) = built_db(&g, &cfg);
+    assert_eq!(pyramid.depth(), LEVELS + 1);
+    assert_eq!(pyramid.levels[0].rows, g.n);
+
+    // ---- invariants on every clustered level
+    let raw_sums = db
+        .query("SELECT SUM(mass), SUM(lum) FROM galaxy", &[])
+        .unwrap();
+    let raw_mass = raw_sums.rows[0].get(0).as_f64().unwrap();
+    let raw_lum = raw_sums.rows[0].get(1).as_f64().unwrap();
+    for k in 1..=LEVELS {
+        let info = &pyramid.levels[k];
+        assert!(info.rows > 0, "level {k} is non-empty");
+        assert!(
+            info.rows < pyramid.levels[k - 1].rows,
+            "level {k} must be coarser than level {}",
+            k - 1
+        );
+
+        // exact count/sum conservation: coarser totals equal level-0 totals
+        let r = db
+            .query(
+                &format!(
+                    "SELECT SUM(cnt), SUM(sum_mass), SUM(sum_lum) FROM {}",
+                    info.table
+                ),
+                &[],
+            )
+            .unwrap();
+        assert_eq!(
+            r.rows[0].get(0).as_i64().unwrap(),
+            g.n as i64,
+            "level {k} count conservation"
+        );
+        assert_eq!(
+            r.rows[0].get(1).as_f64().unwrap(),
+            raw_mass,
+            "level {k} mass-sum conservation"
+        );
+        assert_eq!(
+            r.rows[0].get(2).as_f64().unwrap(),
+            raw_lum,
+            "level {k} lum-sum conservation"
+        );
+
+        // non-overlap: no two retained marks strictly closer than SPACING
+        let marks = db
+            .query(&format!("SELECT cx, cy FROM {}", info.table), &[])
+            .unwrap();
+        let mut grid = SpacingGrid::new(SPACING);
+        for (i, row) in marks.rows.iter().enumerate() {
+            let (x, y) = (row.get(0).as_f64().unwrap(), row.get(1).as_f64().unwrap());
+            assert!(
+                grid.violator(x, y).is_none(),
+                "level {k}: marks closer than {SPACING}"
+            );
+            grid.insert(i, x, y);
+        }
+    }
+
+    // ---- dynamic boxes from every level
+    let spec = lod_app(&cfg, (1024.0, 1024.0));
+    let app = compile(&spec, &db).unwrap();
+    let probes = probe_marks(&db, &cfg);
+    let (box_server, reports) = KyrixServer::launch(
+        app,
+        db,
+        ServerConfig::new(FetchPlan::DynamicBox {
+            policy: BoxPolicy::Exact,
+        }),
+    )
+    .unwrap();
+    assert!(
+        reports.iter().all(|r| r.skipped_separable),
+        "every level table serves through the separable spatial fast path"
+    );
+    for &(k, id, cx, cy) in &probes {
+        let canvas = cfg.level_canvas(k);
+        let vp = Rect::centered(cx, cy, 512.0, 512.0);
+        let resp = box_server.fetch_box(&canvas, 0, &vp).unwrap();
+        assert!(
+            resp.rows.iter().any(|r| r.get(0) == &Value::Int(id)),
+            "level {k}: dynamic box misses the probe mark"
+        );
+    }
+
+    // ---- an auto-generated zoom jump between adjacent levels
+    let server = Arc::new(box_server);
+    let (mut session, first) = Session::open(server.clone()).unwrap();
+    assert_eq!(session.canvas_id(), cfg.level_canvas(LEVELS));
+    assert!(first.visible_rows > 0, "the coarse overview shows marks");
+    let top = server
+        .database()
+        .query(
+            &format!("SELECT * FROM {} LIMIT 1", cfg.level_table(LEVELS)),
+            &[],
+        )
+        .unwrap();
+    let row = top.rows[0].clone();
+    let (cx, cy) = (row.get(1).as_f64().unwrap(), row.get(2).as_f64().unwrap());
+    let jump_id = format!(
+        "zoomin_{}_{}",
+        cfg.level_canvas(LEVELS),
+        cfg.level_canvas(LEVELS - 1)
+    );
+    let outcome = session.jump(&jump_id, 0, &row).unwrap();
+    assert_eq!(outcome.to_canvas, cfg.level_canvas(LEVELS - 1));
+    assert_eq!(session.canvas_id(), cfg.level_canvas(LEVELS - 1));
+    // the viewport landed on the clicked cluster, scaled up by the factor
+    let vp = session.viewport();
+    let (w2, h2) = cfg.level_size(LEVELS - 1);
+    let expect_x = (cx * cfg.zoom_factor).clamp(512.0, w2 - 512.0);
+    let expect_y = (cy * cfg.zoom_factor).clamp(512.0, h2 - 512.0);
+    assert!(
+        (vp.cx - expect_x).abs() < 1e-9 && (vp.cy - expect_y).abs() < 1e-9,
+        "zoom-in centered at ({}, {}), expected ({expect_x}, {expect_y})",
+        vp.cx,
+        vp.cy
+    );
+    // and back out again
+    let back = format!(
+        "zoomout_{}_{}",
+        cfg.level_canvas(LEVELS - 1),
+        cfg.level_canvas(LEVELS)
+    );
+    let fine_row = server
+        .database()
+        .query(
+            &format!("SELECT * FROM {} LIMIT 1", cfg.level_table(LEVELS - 1)),
+            &[],
+        )
+        .unwrap()
+        .rows[0]
+        .clone();
+    let outcome = session.jump(&back, 0, &fine_row).unwrap();
+    assert_eq!(outcome.to_canvas, cfg.level_canvas(LEVELS));
+}
+
+#[test]
+fn pyramid_tiles_from_every_level() {
+    let g = GalaxyConfig::e2e();
+    let cfg = lod_config(&g);
+    let (db, _pyramid) = built_db(&g, &cfg);
+    let probes = probe_marks(&db, &cfg);
+    let spec = lod_app(&cfg, (1024.0, 1024.0));
+    let app = compile(&spec, &db).unwrap();
+    let tile_size = 1024.0;
+    let (server, _reports) = KyrixServer::launch(
+        app,
+        db,
+        ServerConfig::new(FetchPlan::StaticTiles {
+            size: tile_size,
+            design: TileDesign::SpatialIndex,
+        }),
+    )
+    .unwrap();
+    let tiling = Tiling::new(tile_size);
+    for &(k, id, cx, cy) in &probes {
+        let canvas = cfg.level_canvas(k);
+        let tile = tiling.tile_of(cx, cy);
+        let resp = server.fetch_tile(&canvas, 0, tile).unwrap();
+        assert!(
+            resp.rows.iter().any(|r| r.get(0) == &Value::Int(id)),
+            "level {k}: tile {tile:?} misses the probe mark"
+        );
+        // the plan-agnostic region fetch serves the same level, without
+        // duplicating marks whose boxes straddle tile edges
+        let region = server
+            .fetch_region(&canvas, 0, &Rect::centered(cx, cy, 256.0, 256.0))
+            .unwrap();
+        assert!(region.rows.iter().any(|r| r.get(0) == &Value::Int(id)));
+        let mut ids: Vec<i64> = region
+            .rows
+            .iter()
+            .map(|r| r.get(0).as_i64().unwrap())
+            .collect();
+        let n = ids.len();
+        ids.sort_unstable();
+        ids.dedup();
+        assert_eq!(ids.len(), n, "level {k}: region fetch returned duplicates");
+    }
+}
+
+#[test]
+fn sharded_pyramid_matches_single_node() {
+    let g = GalaxyConfig::e2e();
+    let cfg = lod_config(&g);
+    let (single, p1) = built_db(&g, &cfg);
+
+    let pdb = ParallelDatabase::new(
+        4,
+        "galaxy",
+        Partitioner::SpatialGrid {
+            x_column: "x".into(),
+            y_column: "y".into(),
+            cols: 2,
+            rows: 2,
+            width: g.width,
+            height: g.height,
+        },
+    )
+    .unwrap();
+    pdb.create_table("galaxy", galaxy_schema()).unwrap();
+    pdb.load("galaxy", galaxy_rows(&g)).unwrap();
+    let mut out = Database::new();
+    let p2 = build_pyramid_sharded(&pdb, &cfg, &mut out).unwrap();
+
+    assert_eq!(p1.levels, p2.levels);
+    for k in 1..=LEVELS {
+        let q = format!("SELECT * FROM {} ORDER BY id", cfg.level_table(k));
+        let a = single.query(&q, &[]).unwrap();
+        let b = out.query(&q, &[]).unwrap();
+        assert_eq!(a.rows.len(), b.rows.len(), "level {k} row count");
+        assert_eq!(a.rows, b.rows, "level {k} tables differ");
+    }
+}

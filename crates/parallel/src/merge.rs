@@ -259,8 +259,7 @@ impl ShardPlan {
                     .first()
                     .map(|r| r.schema.clone())
                     .unwrap_or_else(Schema::empty);
-                let mut rows: Vec<Row> =
-                    shard_results.into_iter().flat_map(|r| r.rows).collect();
+                let mut rows: Vec<Row> = shard_results.into_iter().flat_map(|r| r.rows).collect();
                 if !sort.is_empty() {
                     // resolve name-based keys against the shard schema
                     let keys: Vec<(usize, bool)> = sort
@@ -339,9 +338,7 @@ impl ShardPlan {
                         .map(|(name, col)| {
                             let dtype = match col {
                                 FinalCol::Passthrough { shard_pos }
-                                | FinalCol::Combine {
-                                    shard_pos, ..
-                                } => shard_schema
+                                | FinalCol::Combine { shard_pos, .. } => shard_schema
                                     .columns()
                                     .get(*shard_pos)
                                     .map(|c| c.dtype)
@@ -418,11 +415,9 @@ fn output_names(stmt: &Select) -> Vec<String> {
         .iter()
         .enumerate()
         .filter_map(|(i, item)| match item {
-            SelectItem::Expr { expr, alias } => Some(alias.clone().unwrap_or_else(|| {
-                match expr {
-                    SqlExpr::Column(ColumnRef { column, .. }) => column.clone(),
-                    _ => format!("expr{i}"),
-                }
+            SelectItem::Expr { expr, alias } => Some(alias.clone().unwrap_or_else(|| match expr {
+                SqlExpr::Column(ColumnRef { column, .. }) => column.clone(),
+                _ => format!("expr{i}"),
             })),
             SelectItem::Aggregate { .. } => item.aggregate_output_name(),
             _ => None,
@@ -558,8 +553,7 @@ mod tests {
 
     #[test]
     fn aggregate_plan_decomposes_avg() {
-        let stmt =
-            parse("SELECT g, AVG(x), COUNT(*) FROM t GROUP BY g HAVING count > 1").unwrap();
+        let stmt = parse("SELECT g, AVG(x), COUNT(*) FROM t GROUP BY g HAVING count > 1").unwrap();
         let plan = ShardPlan::new(&stmt).unwrap();
         // items: g, __p1_sum, __p1_cnt, __p2, __k0
         assert_eq!(plan.shard_stmt.items.len(), 5);

@@ -124,13 +124,7 @@ impl Partitioner {
     /// Shards a `BETWEEN lo AND hi` predicate on `column` can touch
     /// (`None` = broadcast). Only `Range` partitioning routes intervals on
     /// its key column — the natural fit for the paper's EEG time axis.
-    pub fn route_range(
-        &self,
-        column: &str,
-        lo: f64,
-        hi: f64,
-        shards: usize,
-    ) -> Option<Vec<usize>> {
+    pub fn route_range(&self, column: &str, lo: f64, hi: f64, shards: usize) -> Option<Vec<usize>> {
         match self {
             Partitioner::Range { column: c, bounds } if c == column => {
                 if hi < lo {
@@ -249,9 +243,11 @@ mod tests {
             .unwrap();
         assert_eq!(ids, vec![0, 1, 4, 5]);
         // hash policies cannot route rectangles
-        assert!(Partitioner::Hash { column: "id".into() }
-            .route_rect(&Rect::new(0.0, 0.0, 1.0, 1.0), 8)
-            .is_none());
+        assert!(Partitioner::Hash {
+            column: "id".into()
+        }
+        .route_rect(&Rect::new(0.0, 0.0, 1.0, 1.0), 8)
+        .is_none());
     }
 
     #[test]

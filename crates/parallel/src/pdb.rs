@@ -113,9 +113,7 @@ impl ParallelDatabase {
     pub fn insert(&self, table: &str, row: Row) -> Result<()> {
         if table == self.partitioned_table {
             let schema = self.shards[0].read().table(table)?.schema.clone();
-            let shard = self
-                .partitioner
-                .route(&schema, &row, self.shards.len())?;
+            let shard = self.partitioner.route(&schema, &row, self.shards.len())?;
             self.shards[shard].write().insert(table, row)
         } else {
             for shard in &self.shards {
@@ -205,12 +203,10 @@ impl ParallelDatabase {
                 SqlExpr::Between { expr, lo, hi } => {
                     if let SqlExpr::Column(c) = &**expr {
                         if let (Some(lo), Some(hi)) = (const_f64(lo), const_f64(hi)) {
-                            if let Some(ids) = self.partitioner.route_range(
-                                &c.column,
-                                lo,
-                                hi,
-                                self.shards.len(),
-                            ) {
+                            if let Some(ids) =
+                                self.partitioner
+                                    .route_range(&c.column, lo, hi, self.shards.len())
+                            {
                                 return ids;
                             }
                         }
@@ -229,11 +225,9 @@ impl ParallelDatabase {
                     if let Some((c, k)) = col_key {
                         if let Ok(bound) = BoundExpr::bind(k, &bindings) {
                             if let Ok(v) = bound.eval_const(params) {
-                                if let Some(ids) = self.partitioner.route_eq(
-                                    &c.column,
-                                    &v,
-                                    self.shards.len(),
-                                ) {
+                                if let Some(ids) =
+                                    self.partitioner.route_eq(&c.column, &v, self.shards.len())
+                                {
                                     return ids;
                                 }
                             }
@@ -310,10 +304,7 @@ impl ParallelDatabase {
                     x_column, y_column, ..
                 } => vec![x_column.as_str(), y_column.as_str()],
             };
-            if let Some((col, _)) = assignments
-                .iter()
-                .find(|(c, _)| key_cols.contains(c))
-            {
+            if let Some((col, _)) = assignments.iter().find(|(c, _)| key_cols.contains(c)) {
                 return Err(StorageError::ExecError(format!(
                     "cannot update partition key column `{col}` in place; \
                      delete and re-insert to migrate the row"
@@ -322,7 +313,9 @@ impl ParallelDatabase {
         }
         let mut n = 0;
         for shard in &self.shards {
-            n += shard.write().update_where(table, assignments, predicate, params)?;
+            n += shard
+                .write()
+                .update_where(table, assignments, predicate, params)?;
         }
         Ok(n)
     }
@@ -596,11 +589,6 @@ mod tests {
         };
         assert!(ParallelDatabase::new(3, "t", p.clone()).is_err());
         assert!(ParallelDatabase::new(4, "t", p).is_ok());
-        assert!(ParallelDatabase::new(
-            0,
-            "t",
-            Partitioner::Hash { column: "c".into() }
-        )
-        .is_err());
+        assert!(ParallelDatabase::new(0, "t", Partitioner::Hash { column: "c".into() }).is_err());
     }
 }

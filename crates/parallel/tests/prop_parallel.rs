@@ -63,7 +63,12 @@ fn rows_approx_eq(a: &[Row], b: &[Row]) -> bool {
 
 fn partitioners() -> Vec<(usize, Partitioner)> {
     vec![
-        (4, Partitioner::Hash { column: "id".into() }),
+        (
+            4,
+            Partitioner::Hash {
+                column: "id".into(),
+            },
+        ),
         (
             3,
             Partitioner::Range {
@@ -188,7 +193,8 @@ fn limit_zero_and_huge_offset() {
     .unwrap();
     pdb.create_table("pts", schema()).unwrap();
     for i in 0..20 {
-        pdb.insert("pts", make_row(i, i as f64, 0.0, i % 3)).unwrap();
+        pdb.insert("pts", make_row(i, i as f64, 0.0, i % 3))
+            .unwrap();
     }
     let r = pdb.query("SELECT id FROM pts LIMIT 0", &[]).unwrap();
     assert!(r.rows.is_empty());
@@ -216,7 +222,8 @@ fn coordinator_having_uses_original_params() {
     .unwrap();
     pdb.create_table("pts", schema()).unwrap();
     for i in 0..90 {
-        pdb.insert("pts", make_row(i, i as f64, 0.0, i % 2)).unwrap();
+        pdb.insert("pts", make_row(i, i as f64, 0.0, i % 2))
+            .unwrap();
     }
     // HAVING references a parameter, evaluated at the coordinator
     let r = pdb

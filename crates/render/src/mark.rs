@@ -86,10 +86,17 @@ impl Mark {
                 (x0.min(*x1), y0.min(*y1), x0.max(*x1), y0.max(*y1))
             }
             Mark::Polygon { points, .. } => points.iter().fold(
-                (f64::INFINITY, f64::INFINITY, f64::NEG_INFINITY, f64::NEG_INFINITY),
+                (
+                    f64::INFINITY,
+                    f64::INFINITY,
+                    f64::NEG_INFINITY,
+                    f64::NEG_INFINITY,
+                ),
                 |(x0, y0, x1, y1), (px, py)| (x0.min(*px), y0.min(*py), x1.max(*px), y1.max(*py)),
             ),
-            Mark::Text { x, y, text, size, .. } => {
+            Mark::Text {
+                x, y, text, size, ..
+            } => {
                 let w = crate::font::text_width(text) as f64 * f64::from(*size);
                 let h = crate::font::GLYPH_H as f64 * f64::from(*size);
                 (*x, *y, x + w, y + h)

@@ -187,10 +187,7 @@ impl Frame {
             return;
         }
         let y_min = points.iter().map(|p| p.1).fold(f64::INFINITY, f64::min);
-        let y_max = points
-            .iter()
-            .map(|p| p.1)
-            .fold(f64::NEG_INFINITY, f64::max);
+        let y_max = points.iter().map(|p| p.1).fold(f64::NEG_INFINITY, f64::max);
         let y0 = y_min.floor().max(0.0) as i64;
         let y1 = (y_max.ceil() as i64).min(self.height as i64 - 1);
         let mut xs: Vec<f64> = Vec::with_capacity(8);
@@ -281,7 +278,13 @@ impl Frame {
                     self.stroke_rect(*x, *y, *w, *h, *s);
                 }
             }
-            Mark::Line { x0, y0, x1, y1, color } => self.draw_line(*x0, *y0, *x1, *y1, *color),
+            Mark::Line {
+                x0,
+                y0,
+                x1,
+                y1,
+                color,
+            } => self.draw_line(*x0, *y0, *x1, *y1, *color),
             Mark::Polygon {
                 points,
                 fill,
@@ -370,10 +373,7 @@ mod tests {
     fn polygon_fill_triangle() {
         let mut f = Frame::new(20, 20);
         f.clear(Color::WHITE);
-        f.fill_polygon(
-            &[(0.0, 0.0), (19.0, 0.0), (0.0, 19.0)],
-            Color::GREEN,
-        );
+        f.fill_polygon(&[(0.0, 0.0), (19.0, 0.0), (0.0, 19.0)], Color::GREEN);
         // inside
         assert_eq!(f.get(3, 3), Color::GREEN);
         // outside (opposite corner)

@@ -204,6 +204,62 @@ mod tests {
     }
 
     #[test]
+    fn zero_capacity_stores_nothing_but_counts_stats() {
+        let mut c: LruCache<u32, u32> = LruCache::new(0);
+        c.insert(1, 10, 1);
+        c.insert(2, 20, 0); // even weightless entries are rejected
+        assert!(c.is_empty());
+        assert_eq!(c.weight(), 0);
+        assert_eq!(c.get(&1), None);
+        assert_eq!(c.get(&2), None);
+        assert_eq!(c.stats(), (0, 2), "misses are still counted");
+        // the lazy order queue must not accumulate anything either
+        assert_eq!(c.remove(&1), None);
+        c.clear();
+        assert!(c.is_empty());
+    }
+
+    #[test]
+    fn single_entry_at_exact_capacity_evicts_everything_else() {
+        let mut c: LruCache<u32, u32> = LruCache::new(5);
+        for i in 0..5 {
+            c.insert(i, i, 1);
+        }
+        // generate stale order records for every key, oldest-first
+        for i in (0..5).rev() {
+            c.get(&i);
+        }
+        // a capacity-weight entry must push out all five, skipping the
+        // five stale queue records on its way
+        c.insert(99, 99, 5);
+        assert_eq!(c.len(), 1);
+        assert_eq!(c.weight(), 5);
+        assert_eq!(c.peek(&99), Some(&99));
+        for i in 0..5 {
+            assert!(c.peek(&i).is_none(), "key {i} must be evicted");
+        }
+        // one unit past capacity is still rejected, leaving the cache as-is
+        c.insert(100, 100, 6);
+        assert_eq!(c.peek(&99), Some(&99));
+        assert!(c.peek(&100).is_none());
+    }
+
+    #[test]
+    fn reinserting_the_sole_entry_does_not_self_evict() {
+        // the old stamp becomes stale on reinsert; eviction must skip it
+        // rather than dropping the fresh entry
+        let mut c: LruCache<u32, &str> = LruCache::new(2);
+        c.insert(1, "a", 2);
+        c.insert(1, "b", 2);
+        assert_eq!(c.peek(&1), Some(&"b"));
+        assert_eq!(c.weight(), 2);
+        c.insert(2, "c", 2); // evicts 1 through its *live* stamp
+        assert_eq!(c.peek(&1), None);
+        assert_eq!(c.peek(&2), Some(&"c"));
+        assert_eq!(c.weight(), 2);
+    }
+
+    #[test]
     fn stale_order_entries_skipped() {
         let mut c: LruCache<u32, u32> = LruCache::new(3);
         c.insert(1, 1, 1);

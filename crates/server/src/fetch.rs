@@ -18,9 +18,8 @@ fn raw_query_rect(
     obj_h: f64,
 ) -> Result<Rect> {
     let inv = |a: &kyrix_expr::Affine, v: f64| -> Result<f64> {
-        a.invert(v).ok_or_else(|| {
-            ServerError::Config("separable placement with zero scale".to_string())
-        })
+        a.invert(v)
+            .ok_or_else(|| ServerError::Config("separable placement with zero scale".to_string()))
     };
     let x0 = inv(x_affine, rect.min_x - obj_w / 2.0)?;
     let x1 = inv(x_affine, rect.max_x + obj_w / 2.0)?;
@@ -32,7 +31,11 @@ fn raw_query_rect(
 /// Fetch all layer rows intersecting a canvas rectangle with one query.
 /// Valid for spatial-index-backed stores (paper: dynamic boxes always use
 /// the spatial design; spatial static tiles also route through this).
-pub fn fetch_rect(db: &Database, store: &LayerStore, rect: &Rect) -> Result<(Vec<Row>, FetchMetrics)> {
+pub fn fetch_rect(
+    db: &Database,
+    store: &LayerStore,
+    rect: &Rect,
+) -> Result<(Vec<Row>, FetchMetrics)> {
     match store {
         LayerStore::Static => Ok((Vec::new(), FetchMetrics::default())),
         LayerStore::Spatial { table, .. } => {

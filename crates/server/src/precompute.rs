@@ -21,9 +21,7 @@ use crate::error::{Result, ServerError};
 use crate::tile::{TileId, Tiling};
 use kyrix_core::CompiledLayer;
 use kyrix_expr::Affine;
-use kyrix_storage::{
-    sql, DataType, Database, IndexKind, Rect, Row, Schema, SpatialCols, Value,
-};
+use kyrix_storage::{sql, DataType, Database, IndexKind, Rect, Row, Schema, SpatialCols, Value};
 use std::time::{Duration, Instant};
 
 /// Which database design backs static tiles (paper §3.1).

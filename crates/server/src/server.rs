@@ -184,7 +184,11 @@ impl Inner {
                 ..Default::default()
             };
             self.record(&metrics, background);
-            return Ok(TileResponse { tile, rows, metrics });
+            return Ok(TileResponse {
+                tile,
+                rows,
+                metrics,
+            });
         }
 
         let (rows, mut metrics) = fetch_tile(&self.db, store, tiling, tile)?;
@@ -196,7 +200,11 @@ impl Inner {
         metrics.requests = 1;
         metrics.cache_misses = 1;
         self.record(&metrics, background);
-        Ok(TileResponse { tile, rows, metrics })
+        Ok(TileResponse {
+            tile,
+            rows,
+            metrics,
+        })
     }
 
     fn fetch_box_cached(
@@ -313,8 +321,8 @@ impl Prefetcher {
                                 match inner.plan {
                                     FetchPlan::StaticTiles { size, .. } => {
                                         for tile in Tiling::new(size).covering(&rect) {
-                                            let _ = inner
-                                                .fetch_tile_cached(&canvas, li, tile, true);
+                                            let _ =
+                                                inner.fetch_tile_cached(&canvas, li, tile, true);
                                         }
                                     }
                                     FetchPlan::DynamicBox { .. } => {
@@ -323,8 +331,7 @@ impl Prefetcher {
                                         // a few pixels) still serves the real
                                         // next viewport from the box cache
                                         let widened = rect.inflate_frac(0.15, 0.15);
-                                        let _ =
-                                            inner.fetch_box_cached(&canvas, li, &widened, true);
+                                        let _ = inner.fetch_box_cached(&canvas, li, &widened, true);
                                     }
                                 }
                             }
@@ -440,6 +447,74 @@ impl KyrixServer {
         self.inner.fetch_box_cached(canvas, layer, viewport, false)
     }
 
+    /// Fetch everything intersecting a canvas rectangle under *either*
+    /// plan: the covering tiles (through the tile cache, deduplicated by
+    /// tuple id — a tuple whose box straddles a tile edge arrives via
+    /// several tiles) when serving static tiles, the dynamic box
+    /// otherwise. Lets callers drive every canvas of a multi-level (LoD)
+    /// app uniformly without matching on the plan; cache keys stay
+    /// per-(canvas, layer), so levels never collide.
+    pub fn fetch_region(&self, canvas: &str, layer: usize, rect: &Rect) -> Result<BoxResponse> {
+        match self.inner.plan {
+            FetchPlan::DynamicBox { .. } => self.fetch_box(canvas, layer, rect),
+            FetchPlan::StaticTiles { size, .. } => {
+                let store = self.inner.store(canvas, layer)?;
+                let layout = store.layout();
+                // SeparableRaw synthesizes tuple ids per fetch (enumeration
+                // order), so they are not stable across tiles; key those
+                // rows by their content instead, as a multiset (a raw table
+                // may legitimately hold identical rows — every tile that
+                // sees such a mark returns all copies, so the number of
+                // copies per key is the max over tiles, not the sum).
+                let stable_ids = !matches!(store, LayerStore::SeparableRaw { .. });
+                let tiling = Tiling::new(size);
+                let mut rows = Vec::new();
+                let mut seen_ids = std::collections::HashSet::new();
+                let mut emitted: std::collections::HashMap<Vec<u8>, usize> =
+                    std::collections::HashMap::new();
+                let mut metrics = FetchMetrics::default();
+                let mut covered = Rect::empty();
+                for tile in tiling.covering(rect) {
+                    let resp = self.inner.fetch_tile_cached(canvas, layer, tile, false)?;
+                    match layout {
+                        None => rows.extend(resp.rows.iter().cloned()),
+                        Some(l) if stable_ids => {
+                            for row in resp.rows.iter() {
+                                if seen_ids.insert(l.tuple_id(row)) {
+                                    rows.push(row.clone());
+                                }
+                            }
+                        }
+                        Some(l) => {
+                            let mut in_tile: std::collections::HashMap<Vec<u8>, usize> =
+                                std::collections::HashMap::new();
+                            for row in resp.rows.iter() {
+                                // key: everything but the synthesized id
+                                let key = Row::new(row.values[..l.width() - 1].to_vec()).encode();
+                                let copy = *in_tile
+                                    .entry(key.clone())
+                                    .and_modify(|c| *c += 1)
+                                    .or_insert(1);
+                                let done = emitted.entry(key).or_insert(0);
+                                if copy > *done {
+                                    *done = copy;
+                                    rows.push(row.clone());
+                                }
+                            }
+                        }
+                    }
+                    metrics.merge(&resp.metrics);
+                    covered = covered.union(&tiling.tile_rect(tile));
+                }
+                Ok(BoxResponse {
+                    rect: covered,
+                    rows: Arc::new(rows),
+                    metrics,
+                })
+            }
+        }
+    }
+
     /// Count layer objects in a canvas rectangle (no data transfer).
     pub fn count_in_rect(&self, canvas: &str, layer: usize, rect: &Rect) -> Result<usize> {
         count_rect(&self.inner.db, self.inner.store(canvas, layer)?, rect)
@@ -505,7 +580,10 @@ impl KyrixServer {
                     .map(|sig| (r, sig))
             })
             .collect();
-        for rect in rank_by_similarity(&profile, candidates).into_iter().take(top_k) {
+        for rect in rank_by_similarity(&profile, candidates)
+            .into_iter()
+            .take(top_k)
+        {
             // warm the whole span from here to the predicted neighbor, so
             // any partial pan in that direction is already covered
             let _ = p.tx.send(Task::Viewport {
@@ -526,11 +604,7 @@ impl KyrixServer {
         if self.prefetcher.is_some() {
             // the worker processes tasks in order; an empty channel plus an
             // idle worker is approximated by yielding until the queue drains
-            while self
-                .prefetcher
-                .as_ref()
-                .is_some_and(|p| !p.tx.is_empty())
-            {
+            while self.prefetcher.as_ref().is_some_and(|p| !p.tx.is_empty()) {
                 std::thread::yield_now();
             }
             // one task may still be mid-flight; a tiny sleep is acceptable

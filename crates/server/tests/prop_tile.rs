@@ -1,0 +1,37 @@
+//! Property: `TileId::key()` / `TileId::from_key()` is a bijection over
+//! the full signed coordinate range. Negative tile coordinates cross the
+//! i32 → u32 packing boundary, which is exactly where a sign-extension
+//! bug would hide.
+
+use kyrix_server::TileId;
+use proptest::prelude::*;
+
+proptest! {
+    #[test]
+    fn tile_key_roundtrips_over_full_signed_range(x in any::<i32>(), y in any::<i32>()) {
+        let t = TileId::new(x, y);
+        prop_assert_eq!(TileId::from_key(t.key()), t);
+    }
+
+    #[test]
+    fn distinct_tiles_have_distinct_keys(
+        a in (any::<i32>(), any::<i32>()),
+        b in (any::<i32>(), any::<i32>()),
+    ) {
+        let (ta, tb) = (TileId::new(a.0, a.1), TileId::new(b.0, b.1));
+        if ta != tb {
+            prop_assert_ne!(ta.key(), tb.key());
+        }
+    }
+}
+
+/// The packing boundary cases, pinned explicitly on top of the property.
+#[test]
+fn signed_extremes_roundtrip() {
+    for x in [i32::MIN, -1, 0, 1, i32::MAX] {
+        for y in [i32::MIN, -1, 0, 1, i32::MAX] {
+            let t = TileId::new(x, y);
+            assert_eq!(TileId::from_key(t.key()), t, "({x}, {y})");
+        }
+    }
+}

@@ -2,8 +2,7 @@
 //! store kind, caches, separability, and prefetching.
 
 use kyrix_core::{
-    compile, AppSpec, CanvasSpec, LayerSpec, MarkEncoding, PlacementSpec, RenderSpec,
-    TransformSpec,
+    compile, AppSpec, CanvasSpec, LayerSpec, MarkEncoding, PlacementSpec, RenderSpec, TransformSpec,
 };
 use kyrix_server::{
     BoxPolicy, CostModel, FetchPlan, KyrixServer, LayerStore, ServerConfig, TileDesign, TileId,
@@ -243,7 +242,9 @@ fn box_cache_serves_contained_viewports() {
     assert_eq!(second.metrics.cache_hits, 1);
     assert_eq!(second.metrics.queries, 0);
     // a big jump leaves the box -> miss
-    let vp3 = vp.translate(60.0, 0.0).clamp_within(&Rect::new(0.0, 0.0, 100.0, 100.0));
+    let vp3 = vp
+        .translate(60.0, 0.0)
+        .clamp_within(&Rect::new(0.0, 0.0, 100.0, 100.0));
     let third = server.fetch_box("main", 0, &vp3).unwrap();
     assert_eq!(third.metrics.cache_misses, 1);
 }
@@ -335,8 +336,12 @@ fn totals_accumulate_and_reset() {
             policy: BoxPolicy::Exact,
         },
     );
-    server.fetch_box("main", 0, &Rect::new(0.0, 0.0, 5.0, 5.0)).unwrap();
-    server.fetch_box("main", 0, &Rect::new(50.0, 50.0, 55.0, 55.0)).unwrap();
+    server
+        .fetch_box("main", 0, &Rect::new(0.0, 0.0, 5.0, 5.0))
+        .unwrap();
+    server
+        .fetch_box("main", 0, &Rect::new(50.0, 50.0, 55.0, 55.0))
+        .unwrap();
     let t = server.totals();
     assert_eq!(t.requests, 2);
     assert_eq!(t.queries, 2);
@@ -480,4 +485,64 @@ fn semantic_profile_reset_clears_state() {
         std::thread::sleep(std::time::Duration::from_millis(1));
     }
     assert!(server.prefetch_totals().requests >= 1);
+}
+
+#[test]
+fn fetch_region_dedups_tile_straddlers_under_both_stores() {
+    // marks have 1x1 boxes, so a mark at a multiple of the tile size
+    // straddles a tile edge and arrives via several tiles; fetch_region
+    // must return it once. A genuinely duplicated raw row (same id and
+    // position) must still come back twice — it is two marks.
+    for raw_index in [false, true] {
+        let mut db = grid_db(raw_index);
+        for _ in 0..2 {
+            db.insert(
+                "dots",
+                Row::new(vec![
+                    Value::Int(20_000),
+                    Value::Float(50.0),
+                    Value::Float(50.0),
+                    Value::Float(1.0),
+                ]),
+            )
+            .unwrap();
+        }
+        let app = compile(&dots_app(PlacementSpec::point("x", "y")), &db).unwrap();
+        let (server, reports) = KyrixServer::launch(
+            app,
+            db,
+            ServerConfig::new(FetchPlan::StaticTiles {
+                size: 10.0,
+                design: TileDesign::SpatialIndex,
+            }),
+        )
+        .unwrap();
+        assert_eq!(
+            reports[0].skipped_separable, raw_index,
+            "store kind follows the raw index"
+        );
+        // spans 2x2 tiles around (50, 50): plenty of straddlers
+        let resp = server
+            .fetch_region("main", 0, &Rect::new(41.0, 41.0, 59.0, 59.0))
+            .unwrap();
+        let mut counts: std::collections::HashMap<(i64, u64, u64), usize> =
+            std::collections::HashMap::new();
+        for row in resp.rows.iter() {
+            let key = (
+                row.get(0).as_i64().unwrap(),
+                row.get(1).as_f64().unwrap().to_bits(),
+                row.get(2).as_f64().unwrap().to_bits(),
+            );
+            *counts.entry(key).or_insert(0) += 1;
+        }
+        let dup_key = (20_000, 50.0f64.to_bits(), 50.0f64.to_bits());
+        for (key, n) in &counts {
+            let expect = if *key == dup_key { 2 } else { 1 };
+            assert_eq!(
+                *n, expect,
+                "raw_index={raw_index}: mark {key:?} returned {n} times"
+            );
+        }
+        assert!(counts.len() > 100, "the region actually held many marks");
+    }
 }

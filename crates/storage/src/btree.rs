@@ -189,7 +189,11 @@ impl<K: Ord + Clone, V: Clone> BPlusTree<K, V> {
             if let Node::Leaf { keys, vals, next } = &self.nodes[leaf] {
                 let pos = keys.partition_point(|k| k < key);
                 if pos < keys.len() {
-                    return if &keys[pos] == key { Some(&vals[pos]) } else { None };
+                    return if &keys[pos] == key {
+                        Some(&vals[pos])
+                    } else {
+                        None
+                    };
                 }
                 match next {
                     Some(n) => leaf = *n,

@@ -135,9 +135,7 @@ impl Table {
             .iter()
             .enumerate()
             .filter_map(|(i, idx)| match &idx.kind {
-                IndexKind::Spatial(cols) => {
-                    Some((i, self.row_bbox(&row, cols)))
-                }
+                IndexKind::Spatial(cols) => Some((i, self.row_bbox(&row, cols))),
                 _ => None,
             })
             .map(|(i, r)| r.map(|rect| (i, rect)))
@@ -298,12 +296,7 @@ impl Table {
     }
 
     /// Probe an equality index; visits matching record ids.
-    pub fn probe_eq<F: FnMut(RecordId)>(
-        &self,
-        index_no: usize,
-        key: &Value,
-        mut f: F,
-    ) -> usize {
+    pub fn probe_eq<F: FnMut(RecordId)>(&self, index_no: usize, key: &Value, mut f: F) -> usize {
         let key = OrdValue(key.clone());
         match &self.indexes[index_no].imp {
             IndexImpl::BTree(t) => t.for_each_eq(&key, |rid| f(*rid)),
@@ -391,8 +384,13 @@ mod tests {
     #[test]
     fn btree_index_built_and_maintained() {
         let mut t = dots_table();
-        t.create_index("by_id", IndexKind::BTree { column: "tuple_id".into() })
-            .unwrap();
+        t.create_index(
+            "by_id",
+            IndexKind::BTree {
+                column: "tuple_id".into(),
+            },
+        )
+        .unwrap();
         // post-index insert is also indexed
         t.insert(Row::new(vec![
             Value::Int(100),
@@ -411,10 +409,20 @@ mod tests {
     #[test]
     fn hash_preferred_for_equality() {
         let mut t = dots_table();
-        t.create_index("bt", IndexKind::BTree { column: "tuple_id".into() })
-            .unwrap();
-        t.create_index("h", IndexKind::Hash { column: "tuple_id".into() })
-            .unwrap();
+        t.create_index(
+            "bt",
+            IndexKind::BTree {
+                column: "tuple_id".into(),
+            },
+        )
+        .unwrap();
+        t.create_index(
+            "h",
+            IndexKind::Hash {
+                column: "tuple_id".into(),
+            },
+        )
+        .unwrap();
         let idx = t.eq_index_on("tuple_id").unwrap();
         assert!(matches!(t.indexes[idx].kind, IndexKind::Hash { .. }));
     }
@@ -454,15 +462,18 @@ mod tests {
     fn index_on_missing_column_rejected() {
         let mut t = dots_table();
         assert!(t
-            .create_index("bad", IndexKind::BTree { column: "nope".into() })
+            .create_index(
+                "bad",
+                IndexKind::BTree {
+                    column: "nope".into()
+                }
+            )
             .is_err());
     }
 
     #[test]
     fn schema_mismatch_rejected() {
         let mut t = dots_table();
-        assert!(t
-            .insert(Row::new(vec![Value::Text("bad".into())]))
-            .is_err());
+        assert!(t.insert(Row::new(vec![Value::Text("bad".into())])).is_err());
     }
 }

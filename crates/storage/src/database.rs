@@ -442,11 +442,8 @@ mod tests {
             )
             .unwrap();
             let tile = (x as i64 / 10) + (y as i64 / 10) * 2;
-            db.insert(
-                "mapping",
-                Row::new(vec![Value::Int(i), Value::Int(tile)]),
-            )
-            .unwrap();
+            db.insert("mapping", Row::new(vec![Value::Int(i), Value::Int(tile)]))
+                .unwrap();
         }
         db.create_index(
             "record",
@@ -647,7 +644,9 @@ mod tests {
             db.query("SELECT * FROM record WHERE x = $1", &[]),
             Err(StorageError::MissingParam(1))
         ));
-        assert!(db.query("SELECT * FROM mapping WHERE bbox && rect(0,0,1,1)", &[]).is_err());
+        assert!(db
+            .query("SELECT * FROM mapping WHERE bbox && rect(0,0,1,1)", &[])
+            .is_err());
     }
 
     #[test]
@@ -659,7 +658,10 @@ mod tests {
         assert_eq!(db.table("record").unwrap().len(), 200);
         // spatial index no longer returns deleted dots
         let r = db
-            .query("SELECT COUNT(*) FROM record WHERE bbox && rect(0, 0, 19, 19)", &[])
+            .query(
+                "SELECT COUNT(*) FROM record WHERE bbox && rect(0, 0, 19, 19)",
+                &[],
+            )
             .unwrap();
         assert_eq!(r.rows[0].get(0), &Value::Int(200));
         // hash index probe on a deleted tuple finds nothing

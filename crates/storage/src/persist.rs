@@ -164,10 +164,8 @@ impl Database {
                     return;
                 }
                 let bytes = row.encode();
-                if let Err(e) =
-                    write_u32(&mut w, bytes.len() as u32).and_then(|()| {
-                        w.write_all(&bytes).map_err(io_err)
-                    })
+                if let Err(e) = write_u32(&mut w, bytes.len() as u32)
+                    .and_then(|()| w.write_all(&bytes).map_err(io_err))
                 {
                     io_failure = Some(e);
                 }
@@ -279,8 +277,14 @@ mod tests {
             }),
         )
         .unwrap();
-        db.create_index("dots", "byid", IndexKind::Hash { column: "id".into() })
-            .unwrap();
+        db.create_index(
+            "dots",
+            "byid",
+            IndexKind::Hash {
+                column: "id".into(),
+            },
+        )
+        .unwrap();
         db.create_table("empty", Schema::empty().with("a", DataType::Int))
             .unwrap();
         db

@@ -27,7 +27,6 @@ impl<V> Node<V> {
                 .fold(Rect::empty(), |acc, (r, _)| acc.union(r)),
         }
     }
-
 }
 
 /// An R-tree mapping rectangles to values.
@@ -185,10 +184,7 @@ impl<V: Clone> RTree<V> {
                     }
                 }
                 Node::Leaf { entries } => {
-                    if let Some(pos) = entries
-                        .iter()
-                        .position(|(r, v)| r == rect && pred(v))
-                    {
+                    if let Some(pos) = entries.iter().position(|(r, v)| r == rect && pred(v)) {
                         let (_, v) = entries.remove(pos);
                         self.len -= 1;
                         return Some(v);

@@ -168,8 +168,12 @@ mod tests {
 
     #[test]
     fn join_qualifies_duplicates() {
-        let a = Schema::empty().with("tuple_id", DataType::Int).with("tile_id", DataType::Int);
-        let b = Schema::empty().with("tuple_id", DataType::Int).with("x", DataType::Float);
+        let a = Schema::empty()
+            .with("tuple_id", DataType::Int)
+            .with("tile_id", DataType::Int);
+        let b = Schema::empty()
+            .with("tuple_id", DataType::Int)
+            .with("x", DataType::Float);
         let j = a.join("m", &b, "r");
         assert_eq!(j.column(0).name, "m.tuple_id");
         assert_eq!(j.column(1).name, "tile_id");

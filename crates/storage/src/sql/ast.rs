@@ -71,7 +71,9 @@ pub enum SqlExpr {
     },
     /// `bbox && rect(x0, y0, x1, y1)` — true when the tuple's bounding box
     /// (defined by the table's spatial index) intersects the rectangle.
-    SpatialIntersect { rect: [Box<SqlExpr>; 4] },
+    SpatialIntersect {
+        rect: [Box<SqlExpr>; 4],
+    },
 }
 
 impl SqlExpr {
@@ -112,9 +114,7 @@ impl SqlExpr {
             SqlExpr::Column(_) => false,
             SqlExpr::Binary { left, right, .. } => left.is_const() && right.is_const(),
             SqlExpr::Not(e) | SqlExpr::Neg(e) => e.is_const(),
-            SqlExpr::Between { expr, lo, hi } => {
-                expr.is_const() && lo.is_const() && hi.is_const()
-            }
+            SqlExpr::Between { expr, lo, hi } => expr.is_const() && lo.is_const() && hi.is_const(),
             SqlExpr::SpatialIntersect { rect } => rect.iter().all(|e| e.is_const()),
         }
     }
@@ -186,7 +186,10 @@ pub enum SelectItem {
     /// `alias.*`
     QualifiedStar(String),
     /// An expression with an optional output alias.
-    Expr { expr: SqlExpr, alias: Option<String> },
+    Expr {
+        expr: SqlExpr,
+        alias: Option<String>,
+    },
     /// `COUNT(*)`, `COUNT(expr)`, `SUM(expr)`, `AVG(expr)`, `MIN(expr)`,
     /// `MAX(expr)`. `arg` is `None` only for `COUNT(*)`.
     Aggregate {

@@ -44,16 +44,17 @@ impl<'a> Bindings<'a> {
 
     /// Columns (offset, name, dtype) contributed by one binding.
     pub fn columns_of(&self, binding: &str) -> Option<Vec<(usize, String, DataType)>> {
-        self.entries.iter().find(|(b, _, _)| b == binding).map(
-            |(_, schema, off)| {
+        self.entries
+            .iter()
+            .find(|(b, _, _)| b == binding)
+            .map(|(_, schema, off)| {
                 schema
                     .columns()
                     .iter()
                     .enumerate()
                     .map(|(i, c)| (off + i, c.name.clone(), c.dtype))
                     .collect()
-            },
-        )
+            })
     }
 
     /// All columns in flat order.
@@ -182,11 +183,7 @@ impl BoundExpr {
             BoundExpr::Neg(e) => match e.eval(row, params)? {
                 Value::Int(i) => Value::Int(-i),
                 Value::Float(f) => Value::Float(-f),
-                other => {
-                    return Err(StorageError::ExecError(format!(
-                        "cannot negate {other}"
-                    )))
-                }
+                other => return Err(StorageError::ExecError(format!("cannot negate {other}"))),
             },
             BoundExpr::Between { expr, lo, hi } => {
                 let v = expr.eval(row, params)?;

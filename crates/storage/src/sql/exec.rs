@@ -323,7 +323,8 @@ fn run_scan<'a>(
             let (key_idx, _) = outer_bindings.resolve(outer_key)?;
 
             // output entries in from ++ joined order
-            let (entries, outer_first) = join_entries(&outer_out, inner_binding, &inner_t.schema, *outer_is_from);
+            let (entries, outer_first) =
+                join_entries(&outer_out, inner_binding, &inner_t.schema, *outer_is_from);
             let pair = match entries.as_slice() {
                 [(b1, s1), (b2, s2)] => Bindings::pair(b1, s1, b2, s2),
                 _ => unreachable!(),
@@ -374,7 +375,8 @@ fn run_scan<'a>(
             let (key_idx, _) = outer_bindings.resolve(outer_key)?;
             let inner_key_idx = inner_t.schema.index_of(inner_key)?;
 
-            let (entries, outer_first) = join_entries(&outer_out, inner_binding, &inner_t.schema, *outer_is_from);
+            let (entries, outer_first) =
+                join_entries(&outer_out, inner_binding, &inner_t.schema, *outer_is_from);
             let pair = match entries.as_slice() {
                 [(b1, s1), (b2, s2)] => Bindings::pair(b1, s1, b2, s2),
                 _ => unreachable!(),
@@ -555,7 +557,10 @@ fn project(
 #[derive(Debug, Clone)]
 enum AggState {
     /// COUNT(*) counts rows; COUNT(expr) counts non-NULL evaluations.
-    Count { n: i64, counts_rows: bool },
+    Count {
+        n: i64,
+        counts_rows: bool,
+    },
     /// SUM stays Int while every input is Int (SQL semantics); NULLs are
     /// skipped; an all-NULL (or empty) group sums to NULL.
     Sum {
@@ -564,9 +569,16 @@ enum AggState {
         saw_float: bool,
         any: bool,
     },
-    Avg { sum: f64, n: u64 },
-    Min { cur: Option<Value> },
-    Max { cur: Option<Value> },
+    Avg {
+        sum: f64,
+        n: u64,
+    },
+    Min {
+        cur: Option<Value>,
+    },
+    Max {
+        cur: Option<Value>,
+    },
 }
 
 impl AggState {
@@ -673,9 +685,7 @@ impl AggState {
                     Value::Float(*sum / *n as f64)
                 }
             }
-            AggState::Min { cur } | AggState::Max { cur } => {
-                cur.clone().unwrap_or(Value::Null)
-            }
+            AggState::Min { cur } | AggState::Max { cur } => cur.clone().unwrap_or(Value::Null),
         }
     }
 }
@@ -692,11 +702,7 @@ enum AggColumn {
 /// Execute the aggregate path: grouping, folding, HAVING.
 /// Groups are emitted in ascending group-key order so results are
 /// deterministic even before any ORDER BY.
-fn aggregate(
-    out: &ScanOutput<'_>,
-    stmt: &Select,
-    params: &[Value],
-) -> Result<(Schema, Vec<Row>)> {
+fn aggregate(out: &ScanOutput<'_>, stmt: &Select, params: &[Value]) -> Result<(Schema, Vec<Row>)> {
     let bindings = out.bindings();
     let flat_schema = out.flat_schema();
     let types: Vec<DataType> = flat_schema.columns().iter().map(|c| c.dtype).collect();
@@ -850,20 +856,18 @@ pub fn explain_select(db: &Database, stmt: &Select) -> Result<QueryResult> {
         lines.push(format!(
             "Aggregate(keys={}, aggs={n_aggs}{})",
             stmt.group_by.len(),
-            if stmt.having.is_some() { ", having" } else { "" }
+            if stmt.having.is_some() {
+                ", having"
+            } else {
+                ""
+            }
         ));
     }
     if !stmt.order_by.is_empty() {
         let keys: Vec<String> = stmt
             .order_by
             .iter()
-            .map(|ob| {
-                format!(
-                    "{}{}",
-                    ob.column,
-                    if ob.desc { " DESC" } else { "" }
-                )
-            })
+            .map(|ob| format!("{}{}", ob.column, if ob.desc { " DESC" } else { "" }))
             .collect();
         lines.push(format!("Sort({})", keys.join(", ")));
     }

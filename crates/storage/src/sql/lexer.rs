@@ -243,7 +243,10 @@ pub fn lex(input: &str) -> Result<Vec<Token>> {
                 while j < bytes.len() && bytes[j].is_ascii_digit() {
                     j += 1;
                 }
-                if j < bytes.len() && bytes[j] == b'.' && bytes.get(j + 1).is_some_and(u8::is_ascii_digit) {
+                if j < bytes.len()
+                    && bytes[j] == b'.'
+                    && bytes.get(j + 1).is_some_and(u8::is_ascii_digit)
+                {
                     is_float = true;
                     j += 1;
                     while j < bytes.len() && bytes[j].is_ascii_digit() {
@@ -310,7 +313,10 @@ mod tests {
     fn lexes_spatial_predicate() {
         let toks = lex("SELECT * FROM dots WHERE bbox && rect($1, $2, $3, $4)").unwrap();
         assert!(toks.contains(&Token::AmpAmp));
-        assert_eq!(toks.iter().filter(|t| matches!(t, Token::Param(_))).count(), 4);
+        assert_eq!(
+            toks.iter().filter(|t| matches!(t, Token::Param(_))).count(),
+            4
+        );
     }
 
     #[test]

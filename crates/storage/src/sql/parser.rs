@@ -363,10 +363,7 @@ impl Parser {
         // aggregate call: COUNT/SUM/AVG/MIN/MAX followed by `(`
         if let (Token::Ident(name), Token::LParen) = (
             self.tokens[self.pos].clone(),
-            self.tokens
-                .get(self.pos + 1)
-                .cloned()
-                .unwrap_or(Token::Eof),
+            self.tokens.get(self.pos + 1).cloned().unwrap_or(Token::Eof),
         ) {
             if let Some(func) = AggFunc::from_name(&name) {
                 self.pos += 2; // consume name and `(`
@@ -393,14 +390,8 @@ impl Parser {
         // `alias.*` needs lookahead before falling back to an expression
         if let (Token::Ident(alias), Token::Dot, Token::Star) = (
             self.tokens[self.pos].clone(),
-            self.tokens
-                .get(self.pos + 1)
-                .cloned()
-                .unwrap_or(Token::Eof),
-            self.tokens
-                .get(self.pos + 2)
-                .cloned()
-                .unwrap_or(Token::Eof),
+            self.tokens.get(self.pos + 1).cloned().unwrap_or(Token::Eof),
+            self.tokens.get(self.pos + 2).cloned().unwrap_or(Token::Eof),
         ) {
             self.pos += 3;
             return Ok(SelectItem::QualifiedStar(alias));
@@ -716,7 +707,11 @@ mod tests {
         ));
         assert!(matches!(
             &s.items[2],
-            SelectItem::Aggregate { func: AggFunc::Avg, arg: Some(_), .. }
+            SelectItem::Aggregate {
+                func: AggFunc::Avg,
+                arg: Some(_),
+                ..
+            }
         ));
     }
 
@@ -749,9 +744,7 @@ mod tests {
         assert_eq!(ins.rows[1][0], SqlExpr::Param(1));
         // without column list
         let s = parse_statement("INSERT INTO t VALUES (1, 2.5)").unwrap();
-        let Statement::Insert(ins) = s else {
-            panic!()
-        };
+        let Statement::Insert(ins) = s else { panic!() };
         assert!(ins.columns.is_none());
     }
 
@@ -782,11 +775,13 @@ mod tests {
     fn parses_arith_precedence() {
         let s = parse("SELECT * FROM t WHERE x + 2 * 3 = 7").unwrap();
         // (x + (2*3)) = 7
-        if let Some(SqlExpr::Binary { op: BinOp::Eq, left, .. }) = s.where_clause {
-            assert!(matches!(
-                *left,
-                SqlExpr::Binary { op: BinOp::Add, .. }
-            ));
+        if let Some(SqlExpr::Binary {
+            op: BinOp::Eq,
+            left,
+            ..
+        }) = s.where_clause
+        {
+            assert!(matches!(*left, SqlExpr::Binary { op: BinOp::Add, .. }));
         } else {
             panic!();
         }

@@ -42,8 +42,7 @@ impl DbCounters {
         self.rows_scanned
             .fetch_add(stats.rows_scanned, Ordering::Relaxed);
         self.rows_out.fetch_add(stats.rows_out, Ordering::Relaxed);
-        self.bytes_out
-            .fetch_add(stats.bytes_out, Ordering::Relaxed);
+        self.bytes_out.fetch_add(stats.bytes_out, Ordering::Relaxed);
     }
 
     pub fn queries(&self) -> u64 {

@@ -66,9 +66,9 @@ impl LockTable {
         let Some(holders) = self.holders.get(key) else {
             return true;
         };
-        holders.iter().all(|&(t, m)| {
-            t == txn || (m == LockMode::Shared && mode == LockMode::Shared)
-        })
+        holders
+            .iter()
+            .all(|&(t, m)| t == txn || (m == LockMode::Shared && mode == LockMode::Shared))
     }
 
     /// The oldest conflicting holder (for wait-die decisions).
@@ -76,9 +76,7 @@ impl LockTable {
         self.holders.get(key).and_then(|holders| {
             holders
                 .iter()
-                .filter(|&&(t, m)| {
-                    t != txn && !(m == LockMode::Shared && mode == LockMode::Shared)
-                })
+                .filter(|&&(t, m)| t != txn && !(m == LockMode::Shared && mode == LockMode::Shared))
                 .map(|&(t, _)| t)
                 .min()
         })
@@ -176,9 +174,19 @@ impl LockManager {
 /// Logical undo operation (before-images; see module docs for why images
 /// rather than record ids).
 enum UndoOp {
-    Insert { table: String, row: Row },
-    Delete { table: String, row: Row },
-    Update { table: String, current: Row, old: Row },
+    Insert {
+        table: String,
+        row: Row,
+    },
+    Delete {
+        table: String,
+        row: Row,
+    },
+    Update {
+        table: String,
+        current: Row,
+        old: Row,
+    },
 }
 
 /// A transactional, concurrently accessible database with optional WAL

@@ -194,11 +194,15 @@ impl Value {
             }
             4 => {
                 let end = *pos + 4;
-                let len_bytes = buf.get(*pos..end).ok_or_else(|| err("truncated text len"))?;
+                let len_bytes = buf
+                    .get(*pos..end)
+                    .ok_or_else(|| err("truncated text len"))?;
                 let len = u32::from_le_bytes(len_bytes.try_into().unwrap()) as usize;
                 *pos = end;
                 let send = *pos + len;
-                let s = buf.get(*pos..send).ok_or_else(|| err("truncated text body"))?;
+                let s = buf
+                    .get(*pos..send)
+                    .ok_or_else(|| err("truncated text body"))?;
                 *pos = send;
                 Ok(Value::Text(
                     std::str::from_utf8(s)
@@ -292,7 +296,10 @@ impl std::hash::Hash for OrdValue {
                 state.write_i64(*i);
             }
             Value::Float(f) => {
-                if f.fract() == 0.0 && f.is_finite() && *f >= i64::MIN as f64 && *f <= i64::MAX as f64
+                if f.fract() == 0.0
+                    && f.is_finite()
+                    && *f >= i64::MIN as f64
+                    && *f <= i64::MAX as f64
                 {
                     state.write_u8(2);
                     state.write_i64(*f as i64);
@@ -350,15 +357,9 @@ mod tests {
 
     #[test]
     fn ordering_is_total_and_numeric_across_int_float() {
-        assert_eq!(
-            Value::Int(2).total_cmp(&Value::Float(2.0)),
-            Ordering::Equal
-        );
+        assert_eq!(Value::Int(2).total_cmp(&Value::Float(2.0)), Ordering::Equal);
         assert_eq!(Value::Int(1).total_cmp(&Value::Float(1.5)), Ordering::Less);
-        assert_eq!(
-            Value::Null.total_cmp(&Value::Bool(false)),
-            Ordering::Less
-        );
+        assert_eq!(Value::Null.total_cmp(&Value::Bool(false)), Ordering::Less);
         assert_eq!(
             Value::Text("a".into()).total_cmp(&Value::Int(99)),
             Ordering::Greater

@@ -191,12 +191,31 @@ impl WalRecord {
 #[derive(Debug, Clone, PartialEq)]
 #[allow(missing_docs)] // mirrors WalRecord variant-for-variant
 pub enum RawRecord {
-    Begin { txn: TxnId },
-    Commit { txn: TxnId },
-    Abort { txn: TxnId },
-    Insert { txn: TxnId, table: String, row: Vec<u8> },
-    Delete { txn: TxnId, table: String, row: Vec<u8> },
-    Update { txn: TxnId, table: String, old: Vec<u8>, new: Vec<u8> },
+    Begin {
+        txn: TxnId,
+    },
+    Commit {
+        txn: TxnId,
+    },
+    Abort {
+        txn: TxnId,
+    },
+    Insert {
+        txn: TxnId,
+        table: String,
+        row: Vec<u8>,
+    },
+    Delete {
+        txn: TxnId,
+        table: String,
+        row: Vec<u8>,
+    },
+    Update {
+        txn: TxnId,
+        table: String,
+        old: Vec<u8>,
+        new: Vec<u8>,
+    },
 }
 
 impl RawRecord {
@@ -224,7 +243,11 @@ pub fn crc32(bytes: &[u8]) -> u32 {
         for (i, e) in t.iter_mut().enumerate() {
             let mut c = i as u32;
             for _ in 0..8 {
-                c = if c & 1 != 0 { 0xEDB8_8320 ^ (c >> 1) } else { c >> 1 };
+                c = if c & 1 != 0 {
+                    0xEDB8_8320 ^ (c >> 1)
+                } else {
+                    c >> 1
+                };
             }
             *e = c;
         }
@@ -339,9 +362,8 @@ impl Wal {
                 break; // torn tail
             }
             let payload = &bytes[pos + 4..pos + 4 + len];
-            let crc_stored = u32::from_le_bytes(
-                bytes[pos + 4 + len..pos + 8 + len].try_into().expect("4"),
-            );
+            let crc_stored =
+                u32::from_le_bytes(bytes[pos + 4 + len..pos + 8 + len].try_into().expect("4"));
             if crc32(payload) != crc_stored {
                 break; // corrupt tail
             }
@@ -533,16 +555,28 @@ mod tests {
         let mut wal = Wal::open(&path).unwrap();
         // txn 1 commits, txn 2 aborts, txn 3 never finishes
         wal.append(&WalRecord::Begin { txn: 1 }).unwrap();
-        wal.append(&WalRecord::Insert { txn: 1, table: "t".into(), row: row(1, "keep") })
-            .unwrap();
+        wal.append(&WalRecord::Insert {
+            txn: 1,
+            table: "t".into(),
+            row: row(1, "keep"),
+        })
+        .unwrap();
         wal.append(&WalRecord::Commit { txn: 1 }).unwrap();
         wal.append(&WalRecord::Begin { txn: 2 }).unwrap();
-        wal.append(&WalRecord::Insert { txn: 2, table: "t".into(), row: row(2, "abort") })
-            .unwrap();
+        wal.append(&WalRecord::Insert {
+            txn: 2,
+            table: "t".into(),
+            row: row(2, "abort"),
+        })
+        .unwrap();
         wal.append(&WalRecord::Abort { txn: 2 }).unwrap();
         wal.append(&WalRecord::Begin { txn: 3 }).unwrap();
-        wal.append(&WalRecord::Insert { txn: 3, table: "t".into(), row: row(3, "unfinished") })
-            .unwrap();
+        wal.append(&WalRecord::Insert {
+            txn: 3,
+            table: "t".into(),
+            row: row(3, "unfinished"),
+        })
+        .unwrap();
         wal.flush().unwrap();
 
         let mut db = fresh_db();

@@ -14,9 +14,8 @@ fn tmp(tag: u64) -> PathBuf {
 
 /// Arbitrary WAL records over a small value domain.
 fn record_strategy() -> impl Strategy<Value = WalRecord> {
-    let row = (any::<i64>(), ".{0,12}").prop_map(|(i, s)| {
-        Row::new(vec![Value::Int(i), Value::Text(s)])
-    });
+    let row =
+        (any::<i64>(), ".{0,12}").prop_map(|(i, s)| Row::new(vec![Value::Int(i), Value::Text(s)]));
     prop_oneof![
         (0..20u64).prop_map(|txn| WalRecord::Begin { txn }),
         (0..20u64).prop_map(|txn| WalRecord::Commit { txn }),
@@ -47,16 +46,42 @@ fn matches(written: &WalRecord, read: &RawRecord) -> bool {
         | (WalRecord::Commit { txn: a }, RawRecord::Commit { txn: b })
         | (WalRecord::Abort { txn: a }, RawRecord::Abort { txn: b }) => a == b,
         (
-            WalRecord::Insert { txn: a, table: ta, row },
-            RawRecord::Insert { txn: b, table: tb, row: raw },
+            WalRecord::Insert {
+                txn: a,
+                table: ta,
+                row,
+            },
+            RawRecord::Insert {
+                txn: b,
+                table: tb,
+                row: raw,
+            },
         )
         | (
-            WalRecord::Delete { txn: a, table: ta, row },
-            RawRecord::Delete { txn: b, table: tb, row: raw },
+            WalRecord::Delete {
+                txn: a,
+                table: ta,
+                row,
+            },
+            RawRecord::Delete {
+                txn: b,
+                table: tb,
+                row: raw,
+            },
         ) => a == b && ta == tb && &row.encode() == raw,
         (
-            WalRecord::Update { txn: a, table: ta, old, new },
-            RawRecord::Update { txn: b, table: tb, old: ro, new: rn },
+            WalRecord::Update {
+                txn: a,
+                table: ta,
+                old,
+                new,
+            },
+            RawRecord::Update {
+                txn: b,
+                table: tb,
+                old: ro,
+                new: rn,
+            },
         ) => a == b && ta == tb && &old.encode() == ro && &new.encode() == rn,
         _ => false,
     }

@@ -2,9 +2,7 @@
 //! planner choices and edge cases beyond the unit tests.
 
 use kyrix_storage::sql::{parse, plan_select};
-use kyrix_storage::{
-    DataType, Database, IndexKind, Row, Schema, SpatialCols, StorageError, Value,
-};
+use kyrix_storage::{DataType, Database, IndexKind, Row, Schema, SpatialCols, StorageError, Value};
 
 /// Orders/items database exercising joins in both directions.
 fn shop_db() -> Database {
@@ -59,7 +57,11 @@ fn hash_join_without_indexes() {
     )
     .unwrap();
     let plan = plan_select(&db, &stmt).unwrap();
-    assert!(plan.describe().starts_with("HashJoin("), "{}", plan.describe());
+    assert!(
+        plan.describe().starts_with("HashJoin("),
+        "{}",
+        plan.describe()
+    );
     let r = db
         .query(
             "SELECT o.order_id, name FROM orders o JOIN items i ON o.item_id = i.item_id \

@@ -63,10 +63,7 @@ fn group_by_count_avg() {
 fn sum_preserves_int_type_min_max_track_extremes() {
     let db = crimes_db();
     let r = db
-        .query(
-            "SELECT SUM(pop), MIN(rate), MAX(rate) FROM crimes",
-            &[],
-        )
+        .query("SELECT SUM(pop), MIN(rate), MAX(rate) FROM crimes", &[])
         .unwrap();
     assert_eq!(r.rows.len(), 1);
     assert_eq!(r.rows[0].get(0), &Value::Int(9_600_000));
@@ -172,17 +169,29 @@ fn group_by_multiple_keys() {
     )
     .unwrap();
     for (a, b, v) in [(1, 1, 5), (1, 2, 6), (1, 1, 7), (2, 1, 8)] {
-        db.insert("t", Row::new(vec![Value::Int(a), Value::Int(b), Value::Int(v)]))
-            .unwrap();
+        db.insert(
+            "t",
+            Row::new(vec![Value::Int(a), Value::Int(b), Value::Int(v)]),
+        )
+        .unwrap();
     }
     let r = db
         .query("SELECT a, b, SUM(v) FROM t GROUP BY a, b", &[])
         .unwrap();
     assert_eq!(r.rows.len(), 3);
     // ascending (a, b) order
-    assert_eq!(r.rows[0].values, vec![Value::Int(1), Value::Int(1), Value::Int(12)]);
-    assert_eq!(r.rows[1].values, vec![Value::Int(1), Value::Int(2), Value::Int(6)]);
-    assert_eq!(r.rows[2].values, vec![Value::Int(2), Value::Int(1), Value::Int(8)]);
+    assert_eq!(
+        r.rows[0].values,
+        vec![Value::Int(1), Value::Int(1), Value::Int(12)]
+    );
+    assert_eq!(
+        r.rows[1].values,
+        vec![Value::Int(1), Value::Int(2), Value::Int(6)]
+    );
+    assert_eq!(
+        r.rows[2].values,
+        vec![Value::Int(2), Value::Int(1), Value::Int(8)]
+    );
 }
 
 #[test]
@@ -274,11 +283,8 @@ fn insert_via_sql() {
 #[test]
 fn insert_without_column_list_and_int_to_float_coercion() {
     let mut db = crimes_db();
-    db.run(
-        "INSERT INTO crimes VALUES ('NH', 'Coos', 2, 31000)",
-        &[],
-    )
-    .unwrap();
+    db.run("INSERT INTO crimes VALUES ('NH', 'Coos', 2, 31000)", &[])
+        .unwrap();
     let r = db
         .query("SELECT rate FROM crimes WHERE state = 'NH'", &[])
         .unwrap();
@@ -288,8 +294,11 @@ fn insert_without_column_list_and_int_to_float_coercion() {
 #[test]
 fn insert_partial_columns_defaults_null() {
     let mut db = crimes_db();
-    db.run("INSERT INTO crimes (state, county) VALUES ('RI', 'Kent')", &[])
-        .unwrap();
+    db.run(
+        "INSERT INTO crimes (state, county) VALUES ('RI', 'Kent')",
+        &[],
+    )
+    .unwrap();
     let r = db
         .query("SELECT rate, pop FROM crimes WHERE state = 'RI'", &[])
         .unwrap();
@@ -339,7 +348,10 @@ fn update_maintains_indexes() {
     db.run("UPDATE crimes SET pop = 999 WHERE county = 'Suffolk'", &[])
         .unwrap();
     let r = db
-        .query("SELECT county FROM crimes WHERE pop BETWEEN 999 AND 999", &[])
+        .query(
+            "SELECT county FROM crimes WHERE pop BETWEEN 999 AND 999",
+            &[],
+        )
         .unwrap();
     assert_eq!(r.rows.len(), 1);
     assert_eq!(r.rows[0].get(0), &Value::Text("Suffolk".into()));
@@ -623,7 +635,10 @@ fn explain_join_plan() {
         Value::Text(s) => s.clone(),
         other => panic!("{other:?}"),
     };
-    assert!(line.contains("IndexJoin"), "join should probe the hash index: {line}");
+    assert!(
+        line.contains("IndexJoin"),
+        "join should probe the hash index: {line}"
+    );
 }
 
 #[test]
@@ -646,13 +661,19 @@ fn limit_zero_and_degenerate_clauses() {
     let r = db.query("SELECT * FROM crimes LIMIT 0", &[]).unwrap();
     assert!(r.rows.is_empty());
     let r = db
-        .query("SELECT state, COUNT(*) FROM crimes GROUP BY state LIMIT 0", &[])
+        .query(
+            "SELECT state, COUNT(*) FROM crimes GROUP BY state LIMIT 0",
+            &[],
+        )
         .unwrap();
     assert!(r.rows.is_empty());
     let r = db
         .query("SELECT COUNT(*) FROM crimes OFFSET 1", &[])
         .unwrap();
-    assert!(r.rows.is_empty(), "single aggregate row skipped by OFFSET 1");
+    assert!(
+        r.rows.is_empty(),
+        "single aggregate row skipped by OFFSET 1"
+    );
 }
 
 // ---------------------------------------------------------------- DDL
@@ -677,15 +698,19 @@ fn create_table_insert_query_via_sql_only() {
     assert_eq!(r.rows.len(), 1);
     assert_eq!(r.rows[0].get(0), &Value::Text("Boston".into()));
     // type synonyms parse
-    db.run("CREATE TABLE t2 (a INTEGER, b DOUBLE, c VARCHAR, d BOOLEAN)", &[])
-        .unwrap();
+    db.run(
+        "CREATE TABLE t2 (a INTEGER, b DOUBLE, c VARCHAR, d BOOLEAN)",
+        &[],
+    )
+    .unwrap();
     assert!(db.run("CREATE TABLE t3 (a BLOB)", &[]).is_err());
 }
 
 #[test]
 fn create_index_via_sql_changes_plans() {
     let mut db = Database::new();
-    db.run("CREATE TABLE pts (id INT, x FLOAT, y FLOAT)", &[]).unwrap();
+    db.run("CREATE TABLE pts (id INT, x FLOAT, y FLOAT)", &[])
+        .unwrap();
     for i in 0..50 {
         db.run(
             "INSERT INTO pts VALUES ($1, $2, $3)",
@@ -707,18 +732,23 @@ fn create_index_via_sql_changes_plans() {
     };
     assert!(plan_line(&db, "SELECT * FROM pts WHERE id = 7").starts_with("SeqScan"));
 
-    db.run("CREATE INDEX pts_id ON pts USING HASH (id)", &[]).unwrap();
+    db.run("CREATE INDEX pts_id ON pts USING HASH (id)", &[])
+        .unwrap();
     assert!(plan_line(&db, "SELECT * FROM pts WHERE id = 7").starts_with("IndexEq"));
 
     db.run("CREATE INDEX pts_x ON pts (x)", &[]).unwrap(); // default BTREE
-    assert!(plan_line(&db, "SELECT * FROM pts WHERE x BETWEEN 1 AND 3")
-        .starts_with("IndexRange"));
+    assert!(plan_line(&db, "SELECT * FROM pts WHERE x BETWEEN 1 AND 3").starts_with("IndexRange"));
 
-    db.run("CREATE INDEX pts_xy ON pts USING SPATIAL (x, y)", &[]).unwrap();
-    assert!(plan_line(&db, "SELECT * FROM pts WHERE bbox && rect(0,0,3,3)")
-        .starts_with("SpatialScan"));
+    db.run("CREATE INDEX pts_xy ON pts USING SPATIAL (x, y)", &[])
+        .unwrap();
+    assert!(
+        plan_line(&db, "SELECT * FROM pts WHERE bbox && rect(0,0,3,3)").starts_with("SpatialScan")
+    );
     let r = db
-        .query("SELECT COUNT(*) FROM pts WHERE bbox && rect(0, 0, 3, 3)", &[])
+        .query(
+            "SELECT COUNT(*) FROM pts WHERE bbox && rect(0, 0, 3, 3)",
+            &[],
+        )
         .unwrap();
     assert_eq!(r.rows[0].get(0), &Value::Int(4)); // (0,0),(1,1),(2,2),(3,3)
 }
@@ -738,8 +768,12 @@ fn drop_table_via_sql() {
 fn create_index_rejects_bad_specs() {
     let mut db = Database::new();
     db.run("CREATE TABLE t (a INT, b FLOAT)", &[]).unwrap();
-    assert!(db.run("CREATE INDEX i ON t USING SPATIAL (a)", &[]).is_err());
-    assert!(db.run("CREATE INDEX i ON t USING HASH (a, b)", &[]).is_err());
+    assert!(db
+        .run("CREATE INDEX i ON t USING SPATIAL (a)", &[])
+        .is_err());
+    assert!(db
+        .run("CREATE INDEX i ON t USING HASH (a, b)", &[])
+        .is_err());
     assert!(db.run("CREATE INDEX i ON t USING GIST (a)", &[]).is_err());
     assert!(db.run("CREATE INDEX i ON nope (a)", &[]).is_err());
 }

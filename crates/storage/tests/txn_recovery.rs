@@ -91,13 +91,9 @@ fn recovery_preserves_interleaved_commits_and_aborts() {
     let r = tdb.query("SELECT COUNT(*) FROM events", &[]).unwrap();
     assert_eq!(r.rows[0].get(0), &Value::Int(8));
     // B's rollback and D's uncommitted write both invisible
-    let r = tdb
-        .query("SELECT v FROM events WHERE id = 0", &[])
-        .unwrap();
+    let r = tdb.query("SELECT v FROM events WHERE id = 0", &[]).unwrap();
     assert_eq!(r.rows[0].get(0), &Value::Int(0));
-    let r = tdb
-        .query("SELECT SUM(v) FROM events", &[])
-        .unwrap();
+    let r = tdb.query("SELECT SUM(v) FROM events", &[]).unwrap();
     // ids 0..8, v = 2i → sum = 2 * (0+..+7) = 56
     assert_eq!(r.rows[0].get(0), &Value::Int(56));
     std::fs::remove_dir_all(&dir).ok();

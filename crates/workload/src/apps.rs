@@ -16,11 +16,12 @@ pub fn dots_app(cfg: &DotsConfig, viewport: (f64, f64)) -> AppSpec {
             CanvasSpec::new("main", cfg.width, cfg.height).layer(LayerSpec::dynamic(
                 "dots",
                 PlacementSpec::point("x", "y"),
-                RenderSpec::Marks(
-                    MarkEncoding::circle()
-                        .with_size("1.5")
-                        .with_color("weight", 0.0, 1.0, RampKind::Viridis),
-                ),
+                RenderSpec::Marks(MarkEncoding::circle().with_size("1.5").with_color(
+                    "weight",
+                    0.0,
+                    1.0,
+                    RampKind::Viridis,
+                )),
             )),
         )
         .initial("main", cfg.width / 2.0, cfg.height / 2.0)

@@ -202,10 +202,7 @@ mod tests {
                 .unwrap()
         };
         let counts = [q(0.0, 0.0), q(500.0, 0.0), q(0.0, 250.0), q(500.0, 250.0)];
-        let (lo, hi) = (
-            *counts.iter().min().unwrap(),
-            *counts.iter().max().unwrap(),
-        );
+        let (lo, hi) = (*counts.iter().min().unwrap(), *counts.iter().max().unwrap());
         assert!((hi - lo) as f64 / (hi as f64) < 0.25, "counts {counts:?}");
     }
 

@@ -151,20 +151,24 @@ pub fn eeg_app(cfg: &EegConfig) -> AppSpec {
             CanvasSpec::new("temporal", temporal_w, temporal_h).layer(LayerSpec::dynamic(
                 "wave",
                 PlacementSpec::point("t", "py"),
-                RenderSpec::Marks(
-                    MarkEncoding::circle()
-                        .with_size("1")
-                        .with_color("channel", 0.0, 8.0, RampKind::Viridis),
-                ),
+                RenderSpec::Marks(MarkEncoding::circle().with_size("1").with_color(
+                    "channel",
+                    0.0,
+                    8.0,
+                    RampKind::Viridis,
+                )),
             )),
         )
         .add_canvas(
             CanvasSpec::new("spectral", spectral_w, spectral_h).layer(LayerSpec::dynamic(
                 "power",
                 PlacementSpec::boxed("px", "pyy", "7", "80"),
-                RenderSpec::Marks(
-                    MarkEncoding::rect().with_color("power", 0.0, 0.6, RampKind::Heat),
-                ),
+                RenderSpec::Marks(MarkEncoding::rect().with_color(
+                    "power",
+                    0.0,
+                    0.6,
+                    RampKind::Heat,
+                )),
             )),
         )
         .initial("temporal", 512.0, temporal_h / 2.0)

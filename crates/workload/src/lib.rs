@@ -3,8 +3,10 @@
 //!
 //! * [`dots`] — the paper's §3.3 **Uniform** and **Skewed** synthetic dot
 //!   datasets at paper density (scaled canvas).
+//! * [`galaxy`] — the `zipf_galaxy` million-point scatterplot (Zipf-sized
+//!   galaxy cores + field stars) driving the LoD cluster pyramid.
 //! * [`traces`] — the Figure 5 viewport movement traces (a, b, c) plus
-//!   random-walk and straight-pan traces for ablations.
+//!   random-walk, straight-pan and zoom-in/zoom-out traces.
 //! * [`usmap`] — the Figures 2–3 US crime-rate application (states,
 //!   counties, semantic-zoom jump).
 //! * [`eeg`] — the §4 MGH EEG scenario (synthetic multi-channel signals,
@@ -14,14 +16,16 @@
 pub mod apps;
 pub mod dots;
 pub mod eeg;
+pub mod galaxy;
 pub mod traces;
 pub mod usmap;
 
 pub use apps::dots_app;
 pub use dots::{index_dots, load_skewed, load_uniform, DotsConfig, SkewConfig};
 pub use eeg::{eeg_app, load_eeg, EegConfig};
+pub use galaxy::{galaxy_rows, galaxy_schema, index_galaxy, load_zipf_galaxy, GalaxyConfig};
 pub use traces::{
     aligned_start, half_tile_offset, random_walk, straight_pan, trace_a, trace_b, trace_c,
-    trace_c_start, TraceStart,
+    trace_c_start, zoom_trace, TraceStart,
 };
 pub use usmap::{load_usmap, usmap_app, STATE_CODES};

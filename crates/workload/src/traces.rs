@@ -109,6 +109,30 @@ pub fn straight_pan(steps: usize, dx: f64, dy: f64) -> Vec<Move> {
     (0..steps).map(|_| Move::PanBy { dx, dy }).collect()
 }
 
+/// A zoom-in/zoom-out exploration trace over a zoom-level chain (the LoD
+/// workload): the user descends from the coarsest level to the finest and
+/// climbs back, panning a seeded random walk on every level in between.
+/// Returns one pan segment per visited level — `2 * levels + 1` segments
+/// for a pyramid with `levels` clustered levels; the caller takes a jump
+/// between consecutive segments.
+pub fn zoom_trace(levels: usize, steps_per_level: usize, step: f64, seed: u64) -> Vec<Vec<Move>> {
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let visits = 2 * levels + 1;
+    (0..visits)
+        .map(|_| {
+            (0..steps_per_level)
+                .map(|_| {
+                    let angle = rng.gen_range(0.0..std::f64::consts::TAU);
+                    Move::PanBy {
+                        dx: (step * angle.cos()).round(),
+                        dy: (step * angle.sin()).round(),
+                    }
+                })
+                .collect()
+        })
+        .collect()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -117,8 +141,20 @@ mod tests {
     fn l_shape_has_12_steps() {
         let t = trace_a(1024.0);
         assert_eq!(t.len(), 12);
-        assert_eq!(t[0], Move::PanBy { dx: -1024.0, dy: 0.0 });
-        assert_eq!(t[11], Move::PanBy { dx: 0.0, dy: -1024.0 });
+        assert_eq!(
+            t[0],
+            Move::PanBy {
+                dx: -1024.0,
+                dy: 0.0
+            }
+        );
+        assert_eq!(
+            t[11],
+            Move::PanBy {
+                dx: 0.0,
+                dy: -1024.0
+            }
+        );
     }
 
     #[test]
@@ -150,6 +186,15 @@ mod tests {
     fn random_walk_deterministic() {
         assert_eq!(random_walk(10, 100.0, 3), random_walk(10, 100.0, 3));
         assert_ne!(random_walk(10, 100.0, 3), random_walk(10, 100.0, 4));
+    }
+
+    #[test]
+    fn zoom_trace_shape_and_determinism() {
+        let t = zoom_trace(3, 4, 100.0, 11);
+        assert_eq!(t.len(), 7, "down 3, bottom, up 3");
+        assert!(t.iter().all(|seg| seg.len() == 4));
+        assert_eq!(t, zoom_trace(3, 4, 100.0, 11));
+        assert_ne!(t, zoom_trace(3, 4, 100.0, 12));
     }
 
     #[test]

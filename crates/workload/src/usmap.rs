@@ -18,10 +18,10 @@ use rand::{Rng, SeedableRng};
 
 /// Two-letter codes for the 50 states.
 pub const STATE_CODES: [&str; 50] = [
-    "AL", "AK", "AZ", "AR", "CA", "CO", "CT", "DE", "FL", "GA", "HI", "ID", "IL", "IN", "IA",
-    "KS", "KY", "LA", "ME", "MD", "MA", "MI", "MN", "MS", "MO", "MT", "NE", "NV", "NH", "NJ",
-    "NM", "NY", "NC", "ND", "OH", "OK", "OR", "PA", "RI", "SC", "SD", "TN", "TX", "UT", "VT",
-    "VA", "WA", "WV", "WI", "WY",
+    "AL", "AK", "AZ", "AR", "CA", "CO", "CT", "DE", "FL", "GA", "HI", "ID", "IL", "IN", "IA", "KS",
+    "KY", "LA", "ME", "MD", "MA", "MI", "MN", "MS", "MO", "MT", "NE", "NV", "NH", "NJ", "NM", "NY",
+    "NC", "ND", "OH", "OK", "OR", "PA", "RI", "SC", "SD", "TN", "TX", "UT", "VT", "VA", "WA", "WV",
+    "WI", "WY",
 ];
 
 /// Layout constants: state canvas 2000×1000, cells 200×200 in a 10×5 grid;
@@ -146,7 +146,10 @@ pub fn usmap_app() -> AppSpec {
         .add_canvas(
             CanvasSpec::new("statemap", STATE_CANVAS.0, STATE_CANVAS.1)
                 // static legend layer (Figure 3 lines 13–15)
-                .layer(LayerSpec::fixed("empty", RenderSpec::Static(legend_marks())))
+                .layer(LayerSpec::fixed(
+                    "empty",
+                    RenderSpec::Static(legend_marks()),
+                ))
                 // state border layer (Figure 3 lines 18–21)
                 .layer(LayerSpec::dynamic(
                     "stateMapTrans",

@@ -4,8 +4,11 @@
 //! dataset bit-for-bit, different seed → different dataset, and one
 //! dataset's content checksum is pinned as a regression anchor.
 
+use kyrix_client::Move;
 use kyrix_storage::Database;
-use kyrix_workload::{load_skewed, load_uniform, DotsConfig, SkewConfig};
+use kyrix_workload::{
+    load_skewed, load_uniform, load_zipf_galaxy, zoom_trace, DotsConfig, GalaxyConfig, SkewConfig,
+};
 
 const CFG: DotsConfig = DotsConfig {
     n: 4096,
@@ -15,13 +18,40 @@ const CFG: DotsConfig = DotsConfig {
 };
 
 /// FNV-1a over every encoded row, scanned in insertion order.
-fn dataset_checksum(db: &Database) -> u64 {
+fn table_checksum(db: &Database, table: &str) -> u64 {
     let mut h: u64 = 0xcbf2_9ce4_8422_2325;
-    let result = db.query("SELECT * FROM dots", &[]).unwrap();
+    let result = db.query(&format!("SELECT * FROM {table}"), &[]).unwrap();
     for row in &result.rows {
         for b in row.encode() {
             h ^= b as u64;
             h = h.wrapping_mul(0x0000_0100_0000_01B3);
+        }
+    }
+    h
+}
+
+fn dataset_checksum(db: &Database) -> u64 {
+    table_checksum(db, "dots")
+}
+
+/// FNV-1a over a trace's pan deltas (segment boundaries included).
+fn trace_checksum(segments: &[Vec<Move>]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    let mut eat = |bytes: [u8; 8]| {
+        for b in bytes {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x0000_0100_0000_01B3);
+        }
+    };
+    for seg in segments {
+        eat((seg.len() as u64).to_le_bytes());
+        for m in seg {
+            let (dx, dy) = match m {
+                Move::PanBy { dx, dy } => (*dx, *dy),
+                Move::PanTo { cx, cy } => (*cx, *cy),
+            };
+            eat(dx.to_bits().to_le_bytes());
+            eat(dy.to_bits().to_le_bytes());
         }
     }
     h
@@ -35,12 +65,18 @@ fn uniform_db(seed: u64) -> Database {
 
 #[test]
 fn same_seed_reproduces_dataset_exactly() {
-    assert_eq!(dataset_checksum(&uniform_db(42)), dataset_checksum(&uniform_db(42)));
+    assert_eq!(
+        dataset_checksum(&uniform_db(42)),
+        dataset_checksum(&uniform_db(42))
+    );
 }
 
 #[test]
 fn different_seed_changes_dataset() {
-    assert_ne!(dataset_checksum(&uniform_db(42)), dataset_checksum(&uniform_db(43)));
+    assert_ne!(
+        dataset_checksum(&uniform_db(42)),
+        dataset_checksum(&uniform_db(43))
+    );
 }
 
 /// Regression pin: the exact content of the seed-42 uniform dataset.
@@ -61,5 +97,33 @@ fn skewed_seed42_checksum_pinned() {
     assert_eq!(dataset_checksum(&db), PINNED_SKEWED_SEED42);
 }
 
+/// The `zipf_galaxy` generator is pinned the same way (tiny config, the
+/// one every test consumes).
+#[test]
+fn galaxy_tiny_checksum_pinned() {
+    let mut db = Database::new();
+    load_zipf_galaxy(&mut db, &GalaxyConfig::tiny()).unwrap();
+    assert_eq!(table_checksum(&db, "galaxy"), PINNED_GALAXY_TINY);
+    // a different seed must change the data
+    let mut other = Database::new();
+    let cfg = GalaxyConfig {
+        seed: 43,
+        ..GalaxyConfig::tiny()
+    };
+    load_zipf_galaxy(&mut other, &cfg).unwrap();
+    assert_ne!(table_checksum(&other, "galaxy"), PINNED_GALAXY_TINY);
+}
+
+/// The zoom-in/zoom-out trace driving the LoD workload.
+#[test]
+fn zoom_trace_checksum_pinned() {
+    assert_eq!(
+        trace_checksum(&zoom_trace(3, 8, 256.0, 42)),
+        PINNED_ZOOM_TRACE
+    );
+}
+
 const PINNED_UNIFORM_SEED42: u64 = 12_704_881_227_786_429_758;
 const PINNED_SKEWED_SEED42: u64 = 15_565_053_997_152_816_545;
+const PINNED_GALAXY_TINY: u64 = 9_492_208_397_602_578_416;
+const PINNED_ZOOM_TRACE: u64 = 7_609_650_408_015_571_923;

@@ -67,10 +67,10 @@ fn main() {
         )
     };
     let examples = [
-        drop(0, -71.06, 42.36, 1.2, -0.8),   // Boston
-        drop(1, -87.63, 41.88, -2.1, 1.5),   // Chicago
-        drop(2, -122.42, 37.77, 0.4, 2.3),   // San Francisco
-        drop(3, -95.37, 29.76, -1.7, -2.9),  // Houston
+        drop(0, -71.06, 42.36, 1.2, -0.8),  // Boston
+        drop(1, -87.63, 41.88, -2.1, 1.5),  // Chicago
+        drop(2, -122.42, 37.77, 0.4, 2.3),  // San Francisco
+        drop(3, -95.37, 29.76, -1.7, -2.9), // Houston
     ];
 
     // ---- 3. learn the placement ------------------------------------------
@@ -99,11 +99,12 @@ fn main() {
             CanvasSpec::new("map", 6000.0, 2600.0).layer(LayerSpec::dynamic(
                 "cities",
                 learned.placement.clone(),
-                RenderSpec::Marks(
-                    MarkEncoding::circle()
-                        .with_size("2")
-                        .with_color("pop", 0.0, 9e6, RampKind::Viridis),
-                ),
+                RenderSpec::Marks(MarkEncoding::circle().with_size("2").with_color(
+                    "pop",
+                    0.0,
+                    9e6,
+                    RampKind::Viridis,
+                )),
             )),
         )
         .initial("map", 3000.0, 1000.0)
@@ -142,5 +143,8 @@ fn main() {
     }
     let frame = session.render().expect("render");
     save_ppm(&frame, "target/by_example.ppm").expect("write ppm");
-    println!("wrote target/by_example.ppm ({}x{})", frame.width, frame.height);
+    println!(
+        "wrote target/by_example.ppm ({}x{})",
+        frame.width, frame.height
+    );
 }

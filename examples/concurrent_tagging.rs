@@ -127,7 +127,10 @@ fn main() {
         )
         .expect("count");
     assert_eq!(before.rows[0], after.rows[0]);
-    println!("rollback restored channel 1 exactly ({} tags)", after.rows[0].get(0));
+    println!(
+        "rollback restored channel 1 exactly ({} tags)",
+        after.rows[0].get(0)
+    );
 
     // ---- 4. crash before checkpoint; recovery keeps every commit ----------
     let committed_tags = tagged.rows[0].get(0).clone();

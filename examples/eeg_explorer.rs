@@ -51,9 +51,13 @@ fn main() {
     // temporal x = sample index; spectral x = epoch * 32 px. One epoch is
     // `cfg.epoch` samples, so the scale factor is 32 / epoch.
     let mut views = LinkedViews::new(vec![temporal, spectral]);
-    views.link(0, 1, LinkMode::SharedX {
-        fx: 32.0 / cfg.epoch as f64,
-    });
+    views.link(
+        0,
+        1,
+        LinkMode::SharedX {
+            fx: 32.0 / cfg.epoch as f64,
+        },
+    );
 
     // ---- pan the temporal view; the spectral view follows ----------------
     for step in 0..4 {

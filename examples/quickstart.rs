@@ -47,11 +47,12 @@ fn main() {
             CanvasSpec::new("main", 8000.0, 8000.0).layer(LayerSpec::dynamic(
                 "dots",
                 PlacementSpec::point("x", "y"),
-                RenderSpec::Marks(
-                    MarkEncoding::circle()
-                        .with_size("2.5")
-                        .with_color("weight", 0.0, 1.0, RampKind::Viridis),
-                ),
+                RenderSpec::Marks(MarkEncoding::circle().with_size("2.5").with_color(
+                    "weight",
+                    0.0,
+                    1.0,
+                    RampKind::Viridis,
+                )),
             )),
         )
         .initial("main", 4000.0, 4000.0)
@@ -70,7 +71,11 @@ fn main() {
             r.layer,
             r.rows,
             r.elapsed.as_secs_f64() * 1000.0,
-            if r.skipped_separable { " (separable: skipped)" } else { "" }
+            if r.skipped_separable {
+                " (separable: skipped)"
+            } else {
+                ""
+            }
         );
     }
 
@@ -87,7 +92,11 @@ fn main() {
             step.visible_rows,
             step.fetch.queries,
             step.modeled_ms,
-            if step.modeled_ms <= 500.0 { "  [within 500 ms]" } else { "  [OVER BUDGET]" }
+            if step.modeled_ms <= 500.0 {
+                "  [within 500 ms]"
+            } else {
+                "  [OVER BUDGET]"
+            }
         );
     }
 

@@ -91,7 +91,9 @@ fn main() {
     )
     .expect("launch");
     let (mut session, _) = Session::open(Arc::new(server)).expect("open");
-    session.pan_to(1500.0, 1500.0).expect("pan to the tagged region");
+    session
+        .pan_to(1500.0, 1500.0)
+        .expect("pan to the tagged region");
     let visible = session.visible(usize::MAX).expect("visible");
     let tag_col = 4;
     let (mut tagged_visible, mut untagged_visible) = (0, 0);

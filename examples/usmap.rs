@@ -65,7 +65,11 @@ fn main() {
         step.visible_rows,
         step.fetch.queries,
         step.modeled_ms,
-        if step.modeled_ms <= 500.0 { "  [within 500 ms]" } else { "  [OVER BUDGET]" }
+        if step.modeled_ms <= 500.0 {
+            "  [within 500 ms]"
+        } else {
+            "  [OVER BUDGET]"
+        }
     );
     let frame = session.render().expect("render pan");
     save_ppm(&frame, "target/usmap_counties_pan.ppm").expect("write");

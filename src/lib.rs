@@ -13,6 +13,7 @@
 //! | [`parallel`] | `kyrix-parallel` | partitioned scatter-gather execution (§4 multi-node) |
 //! | [`expr`] | `kyrix-expr` | the declarative expression language (placements, selectors, encodings) |
 //! | [`core`] | `kyrix-core` | canvases, layers, jumps + the spec compiler + placement-by-example (§4) |
+//! | [`lod`] | `kyrix-lod` | automatic zoom-level hierarchy: overlap-bounded cluster pyramids + generated multi-level apps |
 //! | [`render`] | `kyrix-render` | software rasterizer (marks, scales, PPM export) |
 //! | [`server`] | `kyrix-server` | backend: tiles, dynamic boxes, precompute, caches, momentum/semantic prefetch |
 //! | [`client`] | `kyrix-client` | headless frontend: sessions, traces, coordinated views |
@@ -61,6 +62,7 @@
 pub use kyrix_client as client;
 pub use kyrix_core as core;
 pub use kyrix_expr as expr;
+pub use kyrix_lod as lod;
 pub use kyrix_parallel as parallel;
 pub use kyrix_render as render;
 pub use kyrix_server as server;
@@ -74,11 +76,12 @@ pub mod prelude {
         Viewport,
     };
     pub use kyrix_core::{
-        compile, synthesize_placement, AppSpec, AxisFit, CanvasSpec, CompiledApp, JumpSpec,
-        JumpType, LayerSpec, MarkEncoding, PlacementExample, PlacementSpec, RampKind, RenderSpec,
-        SynthesizedPlacement, TransformSpec,
+        compile, link_zoom_levels, synthesize_placement, AppSpec, AxisFit, CanvasSpec, CompiledApp,
+        JumpSpec, JumpType, LayerSpec, MarkEncoding, PlacementExample, PlacementSpec, RampKind,
+        RenderSpec, SynthesizedPlacement, TransformSpec, ZoomLevelRef,
     };
     pub use kyrix_expr::{as_affine, eval, parse, Compiled, Expr, VarMap};
+    pub use kyrix_lod::{build_pyramid, build_pyramid_sharded, lod_app, LodConfig, LodPyramid};
     pub use kyrix_parallel::{ParallelDatabase, Partitioner};
     pub use kyrix_render::{save_ppm, Color, Frame, Mark, MarkType};
     pub use kyrix_server::{
@@ -89,7 +92,7 @@ pub mod prelude {
         DataType, Database, IndexKind, Rect, Row, Schema, SpatialCols, TxnDatabase, Value,
     };
     pub use kyrix_workload::{
-        dots_app, load_skewed, load_uniform, load_usmap, trace_a, usmap_app, DotsConfig,
-        SkewConfig,
+        dots_app, load_skewed, load_uniform, load_usmap, load_zipf_galaxy, trace_a, usmap_app,
+        zoom_trace, DotsConfig, GalaxyConfig, SkewConfig,
     };
 }

@@ -100,11 +100,8 @@ fn figure2_interaction_walk() {
 /// builder-made spec — the declarative format is a stable artifact.
 #[test]
 fn checked_in_spec_file_matches_builder() {
-    let text = std::fs::read_to_string(concat!(
-        env!("CARGO_MANIFEST_DIR"),
-        "/specs/usmap.json"
-    ))
-    .expect("specs/usmap.json exists");
+    let text = std::fs::read_to_string(concat!(env!("CARGO_MANIFEST_DIR"), "/specs/usmap.json"))
+        .expect("specs/usmap.json exists");
     let from_file = kyrix::core::spec_from_json_str(&text).unwrap();
     assert_eq!(from_file, usmap_app());
 }
@@ -149,7 +146,11 @@ fn interactions_within_500ms() {
     )
     .unwrap();
     let (mut session, first) = Session::open(Arc::new(server)).unwrap();
-    assert!(first.modeled_ms <= 500.0, "initial load {}", first.modeled_ms);
+    assert!(
+        first.modeled_ms <= 500.0,
+        "initial load {}",
+        first.modeled_ms
+    );
     for _ in 0..6 {
         let step = session.pan_by(150.0, 40.0).unwrap();
         assert!(step.modeled_ms <= 500.0, "pan {}", step.modeled_ms);
@@ -210,16 +211,20 @@ fn geometric_jump_scales_center() {
     }
     let spec = AppSpec::new("zoom")
         .add_transform(TransformSpec::query("t", "SELECT * FROM pts"))
-        .add_canvas(CanvasSpec::new("overview", 1000.0, 1000.0).layer(LayerSpec::dynamic(
-            "t",
-            PlacementSpec::point("x", "y"),
-            RenderSpec::Marks(MarkEncoding::circle()),
-        )))
-        .add_canvas(CanvasSpec::new("detail", 4000.0, 4000.0).layer(LayerSpec::dynamic(
-            "t",
-            PlacementSpec::point("x * 4", "y * 4"),
-            RenderSpec::Marks(MarkEncoding::circle()),
-        )))
+        .add_canvas(
+            CanvasSpec::new("overview", 1000.0, 1000.0).layer(LayerSpec::dynamic(
+                "t",
+                PlacementSpec::point("x", "y"),
+                RenderSpec::Marks(MarkEncoding::circle()),
+            )),
+        )
+        .add_canvas(
+            CanvasSpec::new("detail", 4000.0, 4000.0).layer(LayerSpec::dynamic(
+                "t",
+                PlacementSpec::point("x * 4", "y * 4"),
+                RenderSpec::Marks(MarkEncoding::circle()),
+            )),
+        )
         .add_jump(JumpSpec::new(
             "in",
             "overview",

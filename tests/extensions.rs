@@ -61,11 +61,13 @@ fn learned_placement_runs_end_to_end() {
 
     let spec = AppSpec::new("learned")
         .add_transform(TransformSpec::query("cities", "SELECT * FROM cities"))
-        .add_canvas(CanvasSpec::new("map", 800.0, 800.0).layer(LayerSpec::dynamic(
-            "cities",
-            learned.placement,
-            RenderSpec::Marks(MarkEncoding::circle()),
-        )))
+        .add_canvas(
+            CanvasSpec::new("map", 800.0, 800.0).layer(LayerSpec::dynamic(
+                "cities",
+                learned.placement,
+                RenderSpec::Marks(MarkEncoding::circle()),
+            )),
+        )
         .initial("map", 400.0, 200.0)
         .viewport(200.0, 200.0);
     let app = compile(&spec, &db).unwrap();

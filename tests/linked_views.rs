@@ -62,7 +62,10 @@ fn temporal_pan_drives_spectral_view() {
         spectral_canvas_w - views.session(1).viewport().width.min(spectral_canvas_w) / 2.0,
     );
     let diff = (after_s - clamped).abs();
-    assert!(diff < 1.0, "spectral center {after_s} vs expected {clamped}");
+    assert!(
+        diff < 1.0,
+        "spectral center {after_s} vs expected {clamped}"
+    );
 }
 
 #[test]

@@ -26,7 +26,9 @@ fn storage_entry_points() {
     let rect = Rect::new(0.0, 0.0, 10.0, 10.0);
     assert!(rect.intersects(&Rect::new(5.0, 5.0, 15.0, 15.0)));
     // index + txn types are at least nameable through the prelude
-    let _: IndexKind = IndexKind::BTree { column: "id".into() };
+    let _: IndexKind = IndexKind::BTree {
+        column: "id".into(),
+    };
     let _: Option<SpatialCols> = None;
     let _: Option<&TxnDatabase> = None;
 }
@@ -41,7 +43,11 @@ fn expr_entry_points() {
 
     let compiled = Compiled::compile(&e, &["x"]).unwrap();
     assert_eq!(
-        compiled.eval(&[Value::Float(3.0)]).unwrap().as_f64().unwrap(),
+        compiled
+            .eval(&[Value::Float(3.0)])
+            .unwrap()
+            .as_f64()
+            .unwrap(),
         7.0
     );
 
@@ -75,6 +81,80 @@ fn parallel_entry_points() {
     assert_eq!(r.rows[0].get(0), &Value::Int(90));
 }
 
+/// kyrix-lod: build a cluster pyramid over the galaxy workload, generate
+/// the multi-level app, serve it, and take an auto-generated zoom jump —
+/// all through `kyrix::prelude::*` alone.
+#[test]
+fn lod_entry_points() {
+    let mut db = Database::new();
+    let g = GalaxyConfig {
+        n: 4096,
+        ..GalaxyConfig::tiny()
+    };
+    let n = load_zipf_galaxy(&mut db, &g).unwrap();
+    assert_eq!(n, 4096);
+    kyrix::workload::index_galaxy(&mut db).unwrap();
+
+    let cfg = LodConfig::new("galaxy", g.width, g.height, 2)
+        .with_measure("mass")
+        .with_spacing(16.0);
+    let pyramid: LodPyramid = build_pyramid(&mut db, &cfg).unwrap();
+    assert_eq!(pyramid.depth(), 3);
+    assert!(pyramid.levels[2].rows < pyramid.levels[1].rows);
+
+    // sharded construction reproduces the same level tables
+    let pdb = ParallelDatabase::new(
+        2,
+        "galaxy",
+        Partitioner::Hash {
+            column: "id".into(),
+        },
+    )
+    .unwrap();
+    pdb.create_table("galaxy", kyrix::workload::galaxy_schema())
+        .unwrap();
+    pdb.load("galaxy", kyrix::workload::galaxy_rows(&g))
+        .unwrap();
+    let mut out = Database::new();
+    build_pyramid_sharded(&pdb, &cfg, &mut out).unwrap();
+    let q = "SELECT * FROM galaxy_lod1 ORDER BY id";
+    assert_eq!(
+        db.query(q, &[]).unwrap().rows,
+        out.query(q, &[]).unwrap().rows
+    );
+
+    // the generated app serves through the ordinary server + session stack
+    let spec = lod_app(&cfg, (512.0, 512.0));
+    let app = compile(&spec, &db).unwrap();
+    let (server, _) = KyrixServer::launch(
+        app,
+        db,
+        ServerConfig::new(FetchPlan::DynamicBox {
+            policy: BoxPolicy::Exact,
+        }),
+    )
+    .unwrap();
+    let server = Arc::new(server);
+    let (mut session, first) = Session::open(server.clone()).unwrap();
+    assert_eq!(session.canvas_id(), "level2");
+    assert!(first.visible_rows > 0);
+    let row = server
+        .database()
+        .query("SELECT * FROM galaxy_lod2 LIMIT 1", &[])
+        .unwrap()
+        .rows[0]
+        .clone();
+    let outcome = session.jump("zoomin_level2_level1", 0, &row).unwrap();
+    assert_eq!(outcome.to_canvas, "level1");
+
+    // zoom traces come from the workload crate
+    let segments = zoom_trace(2, 3, 64.0, 5);
+    assert_eq!(segments.len(), 5);
+
+    // remaining nameable surface
+    let _ = link_zoom_levels(&[ZoomLevelRef::new("only", "x", "y")], 2.0);
+}
+
 /// kyrix-workload + kyrix-core + kyrix-server + kyrix-client +
 /// kyrix-render: load a dataset, compile a spec, launch a server, open a
 /// session, interact, and rasterize a frame.
@@ -96,8 +176,7 @@ fn app_stack_entry_points() {
         policy: BoxPolicy::Exact,
     });
     let (server, _reports) = KyrixServer::launch(app, db, config).unwrap();
-    let (mut session, first): (Session, StepReport) =
-        Session::open(Arc::new(server)).unwrap();
+    let (mut session, first): (Session, StepReport) = Session::open(Arc::new(server)).unwrap();
     assert!(first.visible_rows > 0);
 
     let step = session.pan_by(64.0, 0.0).unwrap();

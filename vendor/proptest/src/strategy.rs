@@ -247,8 +247,7 @@ impl Strategy for Range<f64> {
 impl Strategy for Range<f32> {
     type Value = f32;
     fn generate(&self, rng: &mut TestRng) -> f32 {
-        let v =
-            (self.start as f64 + (self.end as f64 - self.start as f64) * rng.unit_f64()) as f32;
+        let v = (self.start as f64 + (self.end as f64 - self.start as f64) * rng.unit_f64()) as f32;
         if v < self.end {
             v
         } else {
@@ -463,15 +462,12 @@ mod tests {
                 Tree::Node(a, b) => 1 + depth(a).max(depth(b)),
             }
         }
-        let strat = (0i64..10).prop_map(Tree::Leaf).boxed().prop_recursive(
-            3,
-            16,
-            2,
-            |inner| {
-                (inner.clone(), inner)
-                    .prop_map(|(a, b)| Tree::Node(Box::new(a), Box::new(b)))
-            },
-        );
+        let strat = (0i64..10)
+            .prop_map(Tree::Leaf)
+            .boxed()
+            .prop_recursive(3, 16, 2, |inner| {
+                (inner.clone(), inner).prop_map(|(a, b)| Tree::Node(Box::new(a), Box::new(b)))
+            });
         let mut r = rng();
         for _ in 0..200 {
             assert!(depth(&strat.generate(&mut r)) <= 4);
