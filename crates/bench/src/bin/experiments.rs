@@ -13,7 +13,7 @@
 
 use kyrix_bench::{
     build_database, figure_table, launch_scheme, paper_traces, run_cell, run_figure,
-    run_lod_experiment, Dataset, ExperimentConfig,
+    run_lod_experiment, run_lod_plan_comparison, Dataset, ExperimentConfig,
 };
 use kyrix_client::{run_trace, Session};
 use kyrix_core::compile;
@@ -538,8 +538,9 @@ fn cache(cfg: &ExperimentConfig) {
     let _ = CostModel::zero(); // referenced so the import is intentional
 }
 
-/// LoD: cluster-pyramid construction over `zipf_galaxy` and per-level
-/// fetch latency along a zoom-in/zoom-out trace.
+/// LoD: cluster-pyramid construction over `zipf_galaxy`, per-level fetch
+/// latency along a zoom-in/zoom-out trace, and the uniform-vs-mixed
+/// fetch-plan policy comparison on the same app.
 fn lod(small: bool) {
     let g = if small {
         GalaxyConfig::tiny()
@@ -562,6 +563,30 @@ fn lod(small: bool) {
         println!(
             "| {} | {} | {:.3} | {:.0} |",
             r.level, r.rows, r.avg_fetch_ms, r.avg_rows_fetched
+        );
+    }
+    println!();
+
+    // plan-policy comparison, walked cold across the clustered↔raw plan
+    // boundary in both directions. Deliberately run at e2e scale (131k
+    // points), not the million-point config of the table above: the
+    // comparison rebuilds the pyramid once per policy, and e2e scale keeps
+    // that affordable while preserving the skew that separates the plans.
+    let cg = if small {
+        GalaxyConfig::tiny()
+    } else {
+        GalaxyConfig::e2e()
+    };
+    println!(
+        "### Fetch-plan policy on the LoD app — {} points, cold zoom walk\n",
+        cg.n
+    );
+    println!("| policy | avg step modeled (ms) | avg step wall (ms) | requests | queries | rows fetched |");
+    println!("|---|---|---|---|---|---|");
+    for r in run_lod_plan_comparison(&cg, 3, 24.0, (1024.0, 1024.0), 6) {
+        println!(
+            "| {} | {:.2} | {:.3} | {} | {} | {} |",
+            r.label, r.avg_modeled_ms, r.avg_measured_ms, r.requests, r.queries, r.rows
         );
     }
     println!();

@@ -11,7 +11,8 @@ use kyrix_client::{run_trace, Move, Session, TraceReport};
 use kyrix_core::compile;
 use kyrix_lod::{build_pyramid, lod_app, LodConfig, LodPyramid};
 use kyrix_server::{
-    BoxPolicy, CostModel, FetchPlan, KyrixServer, PrecomputeReport, ServerConfig, TileDesign,
+    BoxPolicy, CostModel, FetchPlan, KyrixServer, PlanPolicy, PrecomputeReport, ServerConfig,
+    TileDesign,
 };
 use kyrix_storage::{Database, Rect};
 use kyrix_workload::{
@@ -323,6 +324,128 @@ pub struct LodLevelResult {
     pub fetches: usize,
 }
 
+/// The per-step viewports of the LoD zoom trace: visit levels coarsest →
+/// finest → coarsest (crossing every adjacent-level boundary twice),
+/// panning a seeded walk on each level. Returns `(level, canvas, rect)`
+/// per step.
+pub fn zoom_walk(
+    lod: &LodConfig,
+    levels: usize,
+    steps_per_level: usize,
+    viewport: (f64, f64),
+    seed: u64,
+) -> Vec<(usize, String, Rect)> {
+    let mut visit: Vec<usize> = (0..=levels).rev().collect();
+    visit.extend(1..=levels);
+    let segments = zoom_trace(levels, steps_per_level, viewport.0 / 2.0, seed);
+    let mut out = Vec::new();
+    for (seg, &k) in segments.iter().zip(&visit) {
+        let canvas = lod.level_canvas(k);
+        let (w, h) = lod.level_size(k);
+        let (mut cx, mut cy) = (w / 2.0, h / 2.0);
+        for m in seg {
+            let (dx, dy) = match *m {
+                Move::PanBy { dx, dy } => (dx, dy),
+                Move::PanTo { cx: tx, cy: ty } => (tx - cx, ty - cy),
+            };
+            cx = (cx + dx).clamp(
+                viewport.0 / 2.0,
+                (w - viewport.0 / 2.0).max(viewport.0 / 2.0),
+            );
+            cy = (cy + dy).clamp(
+                viewport.1 / 2.0,
+                (h - viewport.1 / 2.0).max(viewport.1 / 2.0),
+            );
+            out.push((
+                k,
+                canvas.clone(),
+                Rect::centered(cx, cy, viewport.0, viewport.1),
+            ));
+        }
+    }
+    out
+}
+
+/// One row of the uniform-vs-mixed plan-policy comparison.
+#[derive(Debug, Clone)]
+pub struct LodPlanResult {
+    pub label: String,
+    /// Modeled end-to-end ms per step (measured DB time + cost-model
+    /// network/query overheads), averaged over the zoom walk.
+    pub avg_modeled_ms: f64,
+    /// Measured wall-clock ms per step, averaged.
+    pub avg_measured_ms: f64,
+    pub requests: u64,
+    pub queries: u64,
+    pub rows: u64,
+}
+
+/// Compare fetch-plan policies on one LoD app: uniform static tiles,
+/// uniform dynamic boxes, and the mixed policy resolved from `lod_app`'s
+/// spec hints (tiles on the spacing-bounded clustered levels, dynamic
+/// boxes on the raw level). Every policy serves the *same* pyramid and
+/// walks the *same* cold zoom trace, which crosses the clustered↔raw plan
+/// boundary in both directions.
+pub fn run_lod_plan_comparison(
+    g: &GalaxyConfig,
+    levels: usize,
+    spacing: f64,
+    viewport: (f64, f64),
+    steps_per_level: usize,
+) -> Vec<LodPlanResult> {
+    let tiles = FetchPlan::StaticTiles {
+        size: viewport.0,
+        design: TileDesign::SpatialIndex,
+    };
+    let boxes = FetchPlan::DynamicBox {
+        policy: BoxPolicy::Exact,
+    };
+    let policies = vec![
+        ("uniform tiles".to_string(), PlanPolicy::uniform(tiles)),
+        ("uniform boxes".to_string(), PlanPolicy::uniform(boxes)),
+        (
+            "mixed (hinted)".to_string(),
+            PlanPolicy::SpecHints { tiles, boxes },
+        ),
+    ];
+    let cost = CostModel::paper_default();
+    let lod = galaxy_lod_config(g, levels, spacing);
+    let mut out = Vec::new();
+    for (label, policy) in policies {
+        // rebuilt per policy because `Database` owns its tables and is not
+        // Clone; the seeded generators and deterministic clustering make
+        // every rebuild bit-identical (pinned by the determinism and
+        // sharded-pyramid tests), so all policies serve the same data
+        let mut db = Database::new();
+        load_zipf_galaxy(&mut db, g).expect("load galaxy");
+        index_galaxy(&mut db).expect("index galaxy");
+        build_pyramid(&mut db, &lod).expect("build pyramid");
+        let app = compile(&lod_app(&lod, viewport), &db).expect("lod app compiles");
+        let (server, _) =
+            KyrixServer::launch(app, db, ServerConfig::from_policy(policy).with_cost(cost))
+                .expect("server launches");
+        let walk = zoom_walk(&lod, levels, steps_per_level, viewport, g.seed);
+        let steps = walk.len().max(1);
+        let mut measured_ms = 0.0;
+        for (_, canvas, rect) in walk {
+            server.clear_caches();
+            let t0 = Instant::now();
+            server.fetch_region(&canvas, 0, &rect).expect("fetch");
+            measured_ms += t0.elapsed().as_secs_f64() * 1000.0;
+        }
+        let totals = server.totals();
+        out.push(LodPlanResult {
+            label,
+            avg_modeled_ms: totals.modeled_ms(&cost) / steps as f64,
+            avg_measured_ms: measured_ms / steps as f64,
+            requests: totals.requests,
+            queries: totals.queries,
+            rows: totals.rows,
+        });
+    }
+    out
+}
+
 /// The pyramid configuration the LoD experiment and benches share: both
 /// `zipf_galaxy` measures aggregated, pyramid height and spacing supplied
 /// by the caller.
@@ -360,38 +483,14 @@ pub fn run_lod_experiment(
     )
     .expect("server launches");
 
-    // visit levels coarsest → finest → coarsest, panning a seeded walk on
-    // each; every fetch is cold (caches cleared) so the latency is the
-    // index + transfer cost, not a cache hit
-    let mut visit: Vec<usize> = (0..=levels).rev().collect();
-    visit.extend(1..=levels);
-    let segments = zoom_trace(levels, steps_per_level, viewport.0 / 2.0, g.seed);
     let mut acc = vec![(0.0f64, 0.0f64, 0usize); levels + 1];
-    for (seg, &k) in segments.iter().zip(&visit) {
-        let canvas = lod.level_canvas(k);
-        let (w, h) = lod.level_size(k);
-        let (mut cx, mut cy) = (w / 2.0, h / 2.0);
-        for m in seg {
-            let (dx, dy) = match *m {
-                Move::PanBy { dx, dy } => (dx, dy),
-                Move::PanTo { cx: tx, cy: ty } => (tx - cx, ty - cy),
-            };
-            cx = (cx + dx).clamp(
-                viewport.0 / 2.0,
-                (w - viewport.0 / 2.0).max(viewport.0 / 2.0),
-            );
-            cy = (cy + dy).clamp(
-                viewport.1 / 2.0,
-                (h - viewport.1 / 2.0).max(viewport.1 / 2.0),
-            );
-            let rect = Rect::centered(cx, cy, viewport.0, viewport.1);
-            server.clear_caches();
-            let t0 = Instant::now();
-            let resp = server.fetch_region(&canvas, 0, &rect).expect("fetch");
-            acc[k].0 += t0.elapsed().as_secs_f64() * 1000.0;
-            acc[k].1 += resp.rows.len() as f64;
-            acc[k].2 += 1;
-        }
+    for (k, canvas, rect) in zoom_walk(&lod, levels, steps_per_level, viewport, g.seed) {
+        server.clear_caches();
+        let t0 = Instant::now();
+        let resp = server.fetch_region(&canvas, 0, &rect).expect("fetch");
+        acc[k].0 += t0.elapsed().as_secs_f64() * 1000.0;
+        acc[k].1 += resp.rows.len() as f64;
+        acc[k].2 += 1;
     }
     let results = acc
         .into_iter()
@@ -421,6 +520,19 @@ mod tests {
         // coarser levels hold fewer marks
         assert!(results[1].rows < results[0].rows);
         assert!(results[2].rows <= results[1].rows);
+    }
+
+    #[test]
+    fn lod_plan_comparison_produces_all_three_rows() {
+        let rows = run_lod_plan_comparison(&GalaxyConfig::tiny(), 2, 16.0, (256.0, 256.0), 2);
+        assert_eq!(rows.len(), 3);
+        assert_eq!(rows[0].label, "uniform tiles");
+        assert_eq!(rows[2].label, "mixed (hinted)");
+        // every policy actually fetched across the walk
+        assert!(rows.iter().all(|r| r.requests > 0 && r.rows > 0));
+        // uniform boxes issue exactly one request per step; uniform tiles
+        // issue at least one per step (several on unaligned viewports)
+        assert!(rows[1].requests <= rows[0].requests);
     }
 
     #[test]

@@ -1,59 +1,104 @@
 //! The frontend cache (paper §3.1: "Kyrix employs both a frontend cache and
 //! a backend cache").
+//!
+//! The session drives every layer through the server's plan-agnostic
+//! *region* fetch (which serves covering tiles or a dynamic box per the
+//! layer's resolved plan), so the frontend cache is plan-agnostic too: a
+//! small shelf of recently fetched regions per layer. A lookup is a hit
+//! when any shelved region contains the viewport — tile responses snap to
+//! tile boundaries and box policies inflate, so small pans (and pan-backs)
+//! are served locally without knowing which plan produced the data.
+//!
+//! Deliberate tradeoff vs. the earlier per-tile frontend LRU: a pan that
+//! leaves the shelved regions refetches the *whole* covering region, not
+//! just the newly exposed tiles. The backend tile cache absorbs the
+//! repeat tiles (zero extra queries), but the modeled per-request cost is
+//! paid again; in exchange the client needs no plan knowledge at all,
+//! which is what lets one session drive mixed-plan (e.g. LoD) apps.
 
-use kyrix_server::{LruCache, TileId};
 use kyrix_storage::{Rect, Row};
+use std::collections::VecDeque;
 use std::sync::Arc;
 
-/// Frontend data cache: tiles (LRU by tuple weight) plus the current
-/// dynamic box per layer.
+/// Regions kept per layer (most recent first). Pan-out-and-back traces
+/// revisit the previous region one step later, so a short shelf captures
+/// most locality; the tuple budget below bounds actual memory.
+const SHELF_ENTRIES: usize = 4;
+
+/// Frontend data cache: per-layer shelves of recently fetched regions.
 pub struct FrontendCache {
-    tiles: LruCache<(u32, i64), Arc<Vec<Row>>>, // (layer, tile key)
-    boxes: Vec<Option<(Rect, Arc<Vec<Row>>)>>,  // per layer current box
+    shelves: Vec<VecDeque<(Rect, Arc<Vec<Row>>)>>,
+    /// Per-layer tuple budget; the newest region is always kept.
+    capacity_rows: usize,
+    hits: u64,
+    misses: u64,
 }
 
 impl FrontendCache {
-    /// `capacity_rows` bounds the tile cache in tuples; `layers` sizes the
-    /// per-layer box slots.
+    /// `capacity_rows` bounds each layer's shelf in tuples; `layers` sizes
+    /// the per-layer shelves.
     pub fn new(capacity_rows: usize, layers: usize) -> Self {
         FrontendCache {
-            tiles: LruCache::new(capacity_rows),
-            boxes: vec![None; layers],
+            shelves: vec![VecDeque::new(); layers],
+            capacity_rows,
+            hits: 0,
+            misses: 0,
         }
     }
 
-    pub fn get_tile(&mut self, layer: usize, tile: TileId) -> Option<Arc<Vec<Row>>> {
-        self.tiles.get(&(layer as u32, tile.key())).cloned()
+    /// A shelved region containing the viewport, promoted to the front;
+    /// counts toward the hit/miss statistics.
+    pub fn lookup(&mut self, layer: usize, viewport: &Rect) -> Option<Arc<Vec<Row>>> {
+        let shelf = self.shelves.get_mut(layer)?;
+        match shelf.iter().position(|(r, _)| r.contains(viewport)) {
+            Some(i) => {
+                self.hits += 1;
+                let entry = shelf.remove(i).expect("position came from this shelf");
+                let rows = entry.1.clone();
+                shelf.push_front(entry);
+                Some(rows)
+            }
+            None => {
+                self.misses += 1;
+                None
+            }
+        }
     }
 
-    pub fn put_tile(&mut self, layer: usize, tile: TileId, rows: Arc<Vec<Row>>) {
-        let weight = rows.len().max(1);
-        self.tiles.insert((layer as u32, tile.key()), rows, weight);
-    }
-
-    /// The current box for a layer if it contains the viewport.
-    pub fn get_box(&self, layer: usize, viewport: &Rect) -> Option<&(Rect, Arc<Vec<Row>>)> {
-        self.boxes
+    /// A shelved region containing the viewport, without touching order or
+    /// statistics (read path for hit-testing and rendering).
+    pub fn peek(&self, layer: usize, viewport: &Rect) -> Option<&Arc<Vec<Row>>> {
+        self.shelves
             .get(layer)?
-            .as_ref()
-            .filter(|(rect, _)| rect.contains(viewport))
+            .iter()
+            .find(|(r, _)| r.contains(viewport))
+            .map(|(_, rows)| rows)
     }
 
-    pub fn put_box(&mut self, layer: usize, rect: Rect, rows: Arc<Vec<Row>>) {
-        if let Some(slot) = self.boxes.get_mut(layer) {
-            *slot = Some((rect, rows));
+    /// Shelve a freshly fetched region, evicting the oldest entries past
+    /// the shelf length and tuple budget (the newest entry always stays).
+    pub fn put_region(&mut self, layer: usize, rect: Rect, rows: Arc<Vec<Row>>) {
+        let capacity = self.capacity_rows;
+        if let Some(shelf) = self.shelves.get_mut(layer) {
+            shelf.push_front((rect, rows));
+            shelf.truncate(SHELF_ENTRIES);
+            let mut total: usize = shelf.iter().map(|(_, r)| r.len()).sum();
+            while shelf.len() > 1 && total > capacity {
+                if let Some((_, dropped)) = shelf.pop_back() {
+                    total -= dropped.len();
+                }
+            }
         }
     }
 
-    /// (hits, misses) of the tile cache.
-    pub fn tile_stats(&self) -> (u64, u64) {
-        self.tiles.stats()
+    /// (hits, misses) of region lookups.
+    pub fn stats(&self) -> (u64, u64) {
+        (self.hits, self.misses)
     }
 
     /// Drop everything (e.g. after a jump to another canvas).
     pub fn clear(&mut self, layers: usize) {
-        self.tiles.clear();
-        self.boxes = vec![None; layers];
+        self.shelves = vec![VecDeque::new(); layers];
     }
 }
 
@@ -66,32 +111,50 @@ mod tests {
     }
 
     #[test]
-    fn tile_roundtrip_and_eviction() {
-        let mut c = FrontendCache::new(10, 1);
-        c.put_tile(0, TileId::new(0, 0), rows(6));
-        c.put_tile(0, TileId::new(1, 0), rows(6));
-        // first tile evicted (6+6 > 10)
-        assert!(c.get_tile(0, TileId::new(0, 0)).is_none());
-        assert!(c.get_tile(0, TileId::new(1, 0)).is_some());
+    fn lookup_requires_containment() {
+        let mut c = FrontendCache::new(10, 2);
+        let b = Rect::new(0.0, 0.0, 100.0, 100.0);
+        c.put_region(1, b, rows(3));
+        assert!(c.lookup(1, &Rect::new(10.0, 10.0, 20.0, 20.0)).is_some());
+        assert!(c.lookup(1, &Rect::new(90.0, 90.0, 110.0, 110.0)).is_none());
+        assert!(c.lookup(0, &Rect::new(10.0, 10.0, 20.0, 20.0)).is_none());
+        assert_eq!(c.stats(), (1, 2));
+        // peek does not perturb stats
+        assert!(c.peek(1, &Rect::new(10.0, 10.0, 20.0, 20.0)).is_some());
+        assert_eq!(c.stats(), (1, 2));
     }
 
     #[test]
-    fn box_served_only_when_containing() {
-        let mut c = FrontendCache::new(10, 2);
-        let b = Rect::new(0.0, 0.0, 100.0, 100.0);
-        c.put_box(1, b, rows(3));
-        assert!(c.get_box(1, &Rect::new(10.0, 10.0, 20.0, 20.0)).is_some());
-        assert!(c.get_box(1, &Rect::new(90.0, 90.0, 110.0, 110.0)).is_none());
-        assert!(c.get_box(0, &Rect::new(10.0, 10.0, 20.0, 20.0)).is_none());
+    fn shelf_keeps_recent_regions_for_pan_backs() {
+        let mut c = FrontendCache::new(100, 1);
+        let a = Rect::new(0.0, 0.0, 10.0, 10.0);
+        let b = Rect::new(10.0, 0.0, 20.0, 10.0);
+        c.put_region(0, a, rows(5));
+        c.put_region(0, b, rows(5));
+        // a pan back into the first region is still a local hit
+        assert!(c.lookup(0, &Rect::new(2.0, 2.0, 8.0, 8.0)).is_some());
+        assert!(c.lookup(0, &Rect::new(12.0, 2.0, 18.0, 8.0)).is_some());
+    }
+
+    #[test]
+    fn tuple_budget_evicts_oldest_but_keeps_newest() {
+        let mut c = FrontendCache::new(8, 1);
+        let a = Rect::new(0.0, 0.0, 10.0, 10.0);
+        let b = Rect::new(10.0, 0.0, 20.0, 10.0);
+        c.put_region(0, a, rows(6));
+        c.put_region(0, b, rows(6)); // 12 > 8: the older region goes
+        assert!(c.lookup(0, &Rect::new(2.0, 2.0, 8.0, 8.0)).is_none());
+        assert!(c.lookup(0, &Rect::new(12.0, 2.0, 18.0, 8.0)).is_some());
+        // a region larger than the whole budget is still kept (newest)
+        c.put_region(0, Rect::new(0.0, 0.0, 50.0, 50.0), rows(100));
+        assert!(c.lookup(0, &Rect::new(30.0, 30.0, 40.0, 40.0)).is_some());
     }
 
     #[test]
     fn clear_resets_everything() {
         let mut c = FrontendCache::new(10, 1);
-        c.put_tile(0, TileId::new(0, 0), rows(1));
-        c.put_box(0, Rect::new(0.0, 0.0, 1.0, 1.0), rows(1));
+        c.put_region(0, Rect::new(0.0, 0.0, 1.0, 1.0), rows(1));
         c.clear(1);
-        assert!(c.get_tile(0, TileId::new(0, 0)).is_none());
-        assert!(c.get_box(0, &Rect::new(0.2, 0.2, 0.8, 0.8)).is_none());
+        assert!(c.peek(0, &Rect::new(0.2, 0.2, 0.8, 0.8)).is_none());
     }
 }

@@ -9,7 +9,7 @@ use crate::error::{ClientError, Result};
 use crate::viewport::Viewport;
 use kyrix_core::{CompiledCanvas, CompiledRender, JumpType};
 use kyrix_render::{Color, ColorScale, Frame, Mark, MarkType};
-use kyrix_server::{FetchMetrics, FetchPlan, KyrixServer, MomentumTracker, Tiling};
+use kyrix_server::{FetchMetrics, KyrixServer, MomentumTracker};
 use kyrix_storage::{Row, Value};
 use std::collections::HashSet;
 use std::sync::Arc;
@@ -272,12 +272,18 @@ impl Session {
 
     /// Make sure the data under the viewport is locally available,
     /// fetching what is missing. This is the per-step measured operation.
+    ///
+    /// Every layer goes through the server's plan-agnostic *region* fetch:
+    /// the server resolves each layer's plan (set per `(canvas, layer)` by
+    /// its [`kyrix_server::PlanPolicy`]) and serves covering tiles or a
+    /// dynamic box accordingly, so one session drives mixed-plan apps —
+    /// e.g. an LoD hierarchy with tiled cluster levels over a boxed raw
+    /// level — without ever matching on a plan itself.
     pub fn ensure_viewport_data(&mut self) -> Result<StepReport> {
         let start = Instant::now();
         let vp = self.effective_viewport();
         let mut fetch = FetchMetrics::default();
         let mut frontend_hits = 0u64;
-        let plan = self.server.plan();
         let n_layers = self.current_canvas().layers.len();
         let statics: Vec<bool> = self
             .current_canvas()
@@ -290,29 +296,13 @@ impl Session {
             if *is_static {
                 continue;
             }
-            match plan {
-                FetchPlan::StaticTiles { size, .. } => {
-                    let tiling = Tiling::new(size);
-                    for tile in tiling.covering(&vp) {
-                        if self.cache.get_tile(layer, tile).is_some() {
-                            frontend_hits += 1;
-                            continue;
-                        }
-                        let resp = self.server.fetch_tile(&self.canvas, layer, tile)?;
-                        fetch.merge(&resp.metrics);
-                        self.cache.put_tile(layer, tile, resp.rows);
-                    }
-                }
-                FetchPlan::DynamicBox { .. } => {
-                    if self.cache.get_box(layer, &vp).is_some() {
-                        frontend_hits += 1;
-                        continue;
-                    }
-                    let resp = self.server.fetch_box(&self.canvas, layer, &vp)?;
-                    fetch.merge(&resp.metrics);
-                    self.cache.put_box(layer, resp.rect, resp.rows);
-                }
+            if self.cache.lookup(layer, &vp).is_some() {
+                frontend_hits += 1;
+                continue;
             }
+            let resp = self.server.fetch_region(&self.canvas, layer, &vp)?;
+            fetch.merge(&resp.metrics);
+            self.cache.put_region(layer, resp.rect, resp.rows);
         }
 
         let modeled_ms = fetch.modeled_ms(&self.server.cost_model());
@@ -327,10 +317,10 @@ impl Session {
     }
 
     /// Rows visible in the current viewport, per non-static layer,
-    /// deduplicated by tuple_id (a tuple can arrive via several tiles).
+    /// deduplicated by tuple_id (region responses renumber synthesized ids,
+    /// so ids are unique within one cached region).
     pub fn visible(&mut self, limit_per_layer: usize) -> Result<Vec<(usize, Vec<Row>)>> {
         let vp = self.effective_viewport();
-        let plan = self.server.plan();
         let canvas = self.canvas.clone();
         let n_layers = self.current_canvas().layers.len();
         let statics: Vec<bool> = self
@@ -350,29 +340,14 @@ impl Session {
             };
             let mut rows = Vec::new();
             let mut seen: HashSet<i64> = HashSet::new();
-            let mut push_visible = |src: &Arc<Vec<Row>>, rows: &mut Vec<Row>| {
-                for row in src.iter() {
+            if let Some(cached) = self.cache.peek(layer, &vp) {
+                for row in cached.iter() {
                     if rows.len() >= limit_per_layer {
-                        return;
+                        break;
                     }
                     let bbox = layout.bbox(row);
                     if bbox.intersects(&vp) && seen.insert(layout.tuple_id(row)) {
                         rows.push(row.clone());
-                    }
-                }
-            };
-            match plan {
-                FetchPlan::StaticTiles { size, .. } => {
-                    for tile in Tiling::new(size).covering(&vp) {
-                        if let Some(cached) = self.cache.get_tile(layer, tile) {
-                            push_visible(&cached, &mut rows);
-                        }
-                    }
-                }
-                FetchPlan::DynamicBox { .. } => {
-                    if let Some((_, cached)) = self.cache.get_box(layer, &vp) {
-                        let cached = cached.clone();
-                        push_visible(&cached, &mut rows);
                     }
                 }
             }
@@ -518,8 +493,8 @@ impl Session {
         let _ = self.cache_rows;
     }
 
-    /// (hits, misses) of the frontend tile cache.
-    pub fn frontend_tile_stats(&self) -> (u64, u64) {
-        self.cache.tile_stats()
+    /// (hits, misses) of the frontend region cache.
+    pub fn frontend_cache_stats(&self) -> (u64, u64) {
+        self.cache.stats()
     }
 }

@@ -67,14 +67,14 @@ fn launch(plan: FetchPlan) -> Arc<KyrixServer> {
 }
 
 #[test]
-fn frontend_tile_cache_avoids_refetch() {
+fn frontend_region_cache_avoids_refetch() {
     let server = launch(FetchPlan::StaticTiles {
         size: 200.0,
         design: TileDesign::SpatialIndex,
     });
     let (mut session, _) = Session::open(server.clone()).unwrap();
     let before = server.totals().queries;
-    // pan away and back: the return tiles are in the frontend cache
+    // pan away and back: the original region is still on the frontend shelf
     session.pan_by(200.0, 0.0).unwrap();
     let mid = server.totals().queries;
     let back = session.pan_by(-200.0, 0.0).unwrap();
@@ -85,7 +85,8 @@ fn frontend_tile_cache_avoids_refetch() {
         "the pan back was served locally"
     );
     assert!(back.frontend_hits > 0);
-    let (hits, _) = session.frontend_tile_stats();
+    assert_eq!(back.fetch.requests, 0, "no backend request on the pan back");
+    let (hits, _) = session.frontend_cache_stats();
     assert!(hits > 0);
 }
 

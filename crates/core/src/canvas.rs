@@ -6,6 +6,37 @@
 use crate::placement::PlacementSpec;
 use crate::render_spec::RenderSpec;
 
+/// Declarative preference for how a layer should be fetched (paper §3:
+/// static tiles vs. dynamic boxes). This is a *hint*, not a mandate: the
+/// spec knows data shape (a coarse aggregate level vs. a dense raw level),
+/// while the server's plan policy owns the concrete tile sizes and box
+/// policies and may ignore hints entirely.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PlanHint {
+    /// Dense, uniformly covered layer: a good static-tile target.
+    StaticTiles,
+    /// Sparse or skewed layer: prefer dynamic boxes.
+    DynamicBox,
+}
+
+impl PlanHint {
+    /// Stable name used by the JSON spec format.
+    pub fn name(self) -> &'static str {
+        match self {
+            PlanHint::StaticTiles => "tiles",
+            PlanHint::DynamicBox => "boxes",
+        }
+    }
+
+    pub fn from_name(name: &str) -> Option<Self> {
+        match name {
+            "tiles" => Some(PlanHint::StaticTiles),
+            "boxes" => Some(PlanHint::DynamicBox),
+            _ => None,
+        }
+    }
+}
+
 /// A layer of a canvas.
 #[derive(Debug, Clone, PartialEq)]
 pub struct LayerSpec {
@@ -18,6 +49,8 @@ pub struct LayerSpec {
     pub placement: Option<PlacementSpec>,
     /// How objects (or static content) are drawn.
     pub rendering: RenderSpec,
+    /// Optional fetch-plan hint consulted by hint-following plan policies.
+    pub plan_hint: Option<PlanHint>,
 }
 
 impl LayerSpec {
@@ -32,6 +65,7 @@ impl LayerSpec {
             is_static: false,
             placement: Some(placement),
             rendering,
+            plan_hint: None,
         }
     }
 
@@ -42,7 +76,14 @@ impl LayerSpec {
             is_static: true,
             placement: None,
             rendering,
+            plan_hint: None,
         }
+    }
+
+    /// Attach a fetch-plan hint.
+    pub fn with_plan_hint(mut self, hint: PlanHint) -> Self {
+        self.plan_hint = Some(hint);
+        self
     }
 }
 
@@ -96,5 +137,20 @@ mod tests {
         assert!(canvas.layers[0].is_static);
         assert!(!canvas.layers[1].is_static);
         assert_eq!(canvas.bounds().width(), 2000.0);
+    }
+
+    #[test]
+    fn plan_hints_roundtrip_names() {
+        for h in [PlanHint::StaticTiles, PlanHint::DynamicBox] {
+            assert_eq!(PlanHint::from_name(h.name()), Some(h));
+        }
+        assert_eq!(PlanHint::from_name("nope"), None);
+        let layer = LayerSpec::dynamic(
+            "t",
+            PlacementSpec::point("x", "y"),
+            RenderSpec::Marks(MarkEncoding::circle()),
+        )
+        .with_plan_hint(PlanHint::StaticTiles);
+        assert_eq!(layer.plan_hint, Some(PlanHint::StaticTiles));
     }
 }

@@ -56,6 +56,9 @@ pub struct CompiledLayer {
     pub is_static: bool,
     pub placement: Option<CompiledPlacement>,
     pub rendering: CompiledRender,
+    /// Spec-level fetch-plan hint (consulted by hint-following plan
+    /// policies on the server; `None` means "no preference").
+    pub plan_hint: Option<crate::canvas::PlanHint>,
 }
 
 impl CompiledLayer {
@@ -281,6 +284,7 @@ pub fn compile(spec: &AppSpec, db: &Database) -> Result<CompiledApp> {
                 is_static: l.is_static,
                 placement,
                 rendering,
+                plan_hint: l.plan_hint,
             });
         }
         canvases.push(CompiledCanvas {

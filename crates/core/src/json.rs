@@ -6,7 +6,7 @@
 //! keeps the dependency set minimal.
 
 use crate::app::AppSpec;
-use crate::canvas::{CanvasSpec, LayerSpec};
+use crate::canvas::{CanvasSpec, LayerSpec, PlanHint};
 use crate::error::{CoreError, Result};
 use crate::jump::{JumpSpec, JumpType};
 use crate::placement::PlacementSpec;
@@ -432,6 +432,9 @@ fn layer_to_json(l: &LayerSpec) -> Json {
         ("transform", s(&l.transform)),
         ("static", Json::Bool(l.is_static)),
     ];
+    if let Some(h) = l.plan_hint {
+        fields.push(("plan_hint", s(h.name())));
+    }
     if let Some(p) = &l.placement {
         fields.push((
             "placement",
@@ -664,11 +667,24 @@ pub fn spec_from_json(j: &Json) -> Result<AppSpec> {
                 l.get("rendering")
                     .ok_or_else(|| CoreError::Json("layer: missing rendering".into()))?,
             )?;
+            let plan_hint =
+                match l.get("plan_hint") {
+                    None => None,
+                    Some(v) => {
+                        let name = v.as_str().ok_or_else(|| {
+                            CoreError::Json("layer: plan_hint must be a string".into())
+                        })?;
+                        Some(PlanHint::from_name(name).ok_or_else(|| {
+                            CoreError::Json(format!("layer: bad plan_hint `{name}`"))
+                        })?)
+                    }
+                };
             canvas.layers.push(LayerSpec {
                 transform,
                 is_static,
                 placement,
                 rendering,
+                plan_hint,
             });
         }
         spec.canvases.push(canvas);
@@ -882,15 +898,18 @@ mod tests {
                             },
                         ]),
                     ))
-                    .layer(LayerSpec::dynamic(
-                        "t",
-                        PlacementSpec::point("cx", "y"),
-                        RenderSpec::Marks(
-                            MarkEncoding::rect()
-                                .with_color("rate", 0.0, 100.0, RampKind::Heat)
-                                .with_label("name"),
-                        ),
-                    )),
+                    .layer(
+                        LayerSpec::dynamic(
+                            "t",
+                            PlacementSpec::point("cx", "y"),
+                            RenderSpec::Marks(
+                                MarkEncoding::rect()
+                                    .with_color("rate", 0.0, 100.0, RampKind::Heat)
+                                    .with_label("name"),
+                            ),
+                        )
+                        .with_plan_hint(crate::canvas::PlanHint::DynamicBox),
+                    ),
             )
             .add_jump(
                 JumpSpec::new("z", "statemap", "statemap", JumpType::GeometricZoom)
@@ -916,5 +935,14 @@ mod tests {
             r#"{"name":"x","jumps":[{"id":"j","from":"a","to":"b","type":"warp"}]}"#
         )
         .is_err());
+        // plan_hint: bad name and non-string shape both fail loudly
+        let layer = r#"{"transform":"t","rendering":{"kind":"static","marks":[]}"#;
+        for hint in [r#""tilez""#, r#"["tiles"]"#, "true"] {
+            let doc = format!(
+                r#"{{"name":"x","canvases":[{{"id":"c","width":1,"height":1,
+                     "layers":[{layer},"plan_hint":{hint}}}]}}]}}"#
+            );
+            assert!(spec_from_json_str(&doc).is_err(), "hint {hint} accepted");
+        }
     }
 }

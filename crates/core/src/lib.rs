@@ -49,7 +49,7 @@ pub mod zoom;
 
 pub use app::AppSpec;
 pub use by_example::{synthesize_placement, AxisFit, PlacementExample, SynthesizedPlacement};
-pub use canvas::{CanvasSpec, LayerSpec};
+pub use canvas::{CanvasSpec, LayerSpec, PlanHint};
 pub use compiler::{
     compile, CompiledApp, CompiledCanvas, CompiledJump, CompiledLayer, CompiledTransform,
 };

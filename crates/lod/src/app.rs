@@ -4,8 +4,8 @@
 
 use crate::config::LodConfig;
 use kyrix_core::{
-    link_zoom_levels, AppSpec, CanvasSpec, LayerSpec, MarkEncoding, PlacementSpec, RenderSpec,
-    TransformSpec, ZoomLevelRef,
+    link_zoom_levels, AppSpec, CanvasSpec, LayerSpec, MarkEncoding, PlacementSpec, PlanHint,
+    RenderSpec, TransformSpec, ZoomLevelRef,
 };
 
 /// Coordinate columns of a level's table (raw columns at level 0,
@@ -26,6 +26,15 @@ fn coord_cols(cfg: &LodConfig, level: usize) -> (String, String) {
 /// Every layer is the separable shape (`SELECT *` + point placement on
 /// indexed columns), so launching a server over a built pyramid skips
 /// materialization and serves straight off the level tables' R-trees.
+///
+/// Each layer also carries the mixed-plan default as a
+/// [`PlanHint`]: clustered levels are spacing-bounded — dense, uniformly
+/// covered, never more than one mark per spacing cell — which is exactly
+/// the static-tile sweet spot, while the raw level 0 keeps the full data
+/// skew and wants dynamic (ideally density-adaptive) boxes. A server
+/// launched with a hint-following policy (`PlanPolicy::SpecHints` in
+/// `kyrix-server`) serves the pyramid mixed; uniform policies ignore the
+/// hints.
 pub fn lod_app(cfg: &LodConfig, viewport: (f64, f64)) -> AppSpec {
     let mut app = AppSpec::new(format!("{}_lod", cfg.table));
     for k in 0..=cfg.levels {
@@ -37,6 +46,11 @@ pub fn lod_app(cfg: &LodConfig, viewport: (f64, f64)) -> AppSpec {
             // cluster dots grow slowly with the points they stand for
             MarkEncoding::circle().with_size("min(12, 1.5 + sqrt(sqrt(cnt)))")
         };
+        let hint = if k == 0 {
+            PlanHint::DynamicBox
+        } else {
+            PlanHint::StaticTiles
+        };
         app = app
             .add_transform(TransformSpec::query(
                 &table,
@@ -44,11 +58,14 @@ pub fn lod_app(cfg: &LodConfig, viewport: (f64, f64)) -> AppSpec {
             ))
             .add_canvas({
                 let (w, h) = cfg.level_size(k);
-                CanvasSpec::new(cfg.level_canvas(k), w, h).layer(LayerSpec::dynamic(
-                    &table,
-                    PlacementSpec::point(xc, yc),
-                    RenderSpec::Marks(marks),
-                ))
+                CanvasSpec::new(cfg.level_canvas(k), w, h).layer(
+                    LayerSpec::dynamic(
+                        &table,
+                        PlacementSpec::point(xc, yc),
+                        RenderSpec::Marks(marks),
+                    )
+                    .with_plan_hint(hint),
+                )
             });
     }
     let chain: Vec<ZoomLevelRef> = (0..=cfg.levels)
@@ -91,5 +108,16 @@ mod tests {
         // zoom-out from raw uses the raw coordinate columns
         let zout = app.jump("zoomout_level0_level1").unwrap();
         assert_eq!(zout.viewport_x.as_deref(), Some("x / 2"));
+    }
+
+    #[test]
+    fn mixed_plan_hints_by_default() {
+        use kyrix_core::PlanHint;
+        let cfg = LodConfig::new("pts", 4096.0, 4096.0, 2);
+        let app = lod_app(&cfg, (512.0, 512.0));
+        let hint = |canvas: &str| app.canvas(canvas).unwrap().layers[0].plan_hint;
+        assert_eq!(hint("level0"), Some(PlanHint::DynamicBox), "raw level");
+        assert_eq!(hint("level1"), Some(PlanHint::StaticTiles));
+        assert_eq!(hint("level2"), Some(PlanHint::StaticTiles));
     }
 }

@@ -10,7 +10,9 @@ use kyrix_client::Session;
 use kyrix_core::compile;
 use kyrix_lod::{build_pyramid, build_pyramid_sharded, lod_app, LodConfig, SpacingGrid};
 use kyrix_parallel::{ParallelDatabase, Partitioner};
-use kyrix_server::{BoxPolicy, FetchPlan, KyrixServer, ServerConfig, TileDesign, Tiling};
+use kyrix_server::{
+    BoxPolicy, FetchPlan, KyrixServer, PlanPolicy, ServerConfig, TileDesign, Tiling,
+};
 use kyrix_storage::{Database, Rect, Value};
 use kyrix_workload::{galaxy_rows, galaxy_schema, index_galaxy, load_zipf_galaxy, GalaxyConfig};
 use std::sync::Arc;
@@ -241,6 +243,110 @@ fn pyramid_tiles_from_every_level() {
         ids.dedup();
         assert_eq!(ids.len(), n, "level {k}: region fetch returned duplicates");
     }
+}
+
+/// Acceptance: one `KyrixServer` serves the 3-level `zipf_galaxy` pyramid
+/// under *mixed* fetch plans — static tiles on the clustered levels,
+/// density-adaptive dynamic boxes on the raw level — resolved from the
+/// `lod_app` spec hints by a `PlanPolicy::SpecHints` policy. A session
+/// then follows a zoom trace from the coarsest level down to raw and back,
+/// crossing the tiles↔boxes plan boundary in both directions.
+#[test]
+fn mixed_plans_serve_one_lod_app_across_a_zoom_trace() {
+    let g = GalaxyConfig::e2e();
+    let cfg = lod_config(&g);
+    let (db, _pyramid) = built_db(&g, &cfg);
+    let probes = probe_marks(&db, &cfg);
+    let spec = lod_app(&cfg, (1024.0, 1024.0));
+    let app = compile(&spec, &db).unwrap();
+    let tiles = FetchPlan::StaticTiles {
+        size: 1024.0,
+        design: TileDesign::SpatialIndex,
+    };
+    let boxes = FetchPlan::DynamicBox {
+        policy: BoxPolicy::DensityAdaptive {
+            target_tuples: 50_000,
+            max_pct: 1.0,
+        },
+    };
+    let policy = PlanPolicy::SpecHints { tiles, boxes };
+    let (server, reports) =
+        KyrixServer::launch(app, db, ServerConfig::from_policy(policy)).unwrap();
+    assert!(
+        reports.iter().all(|r| r.skipped_separable),
+        "every level serves through the separable fast path under either plan"
+    );
+
+    // the policy resolved tiles on every clustered level, boxes on raw
+    for k in 1..=LEVELS {
+        let canvas = cfg.level_canvas(k);
+        assert_eq!(server.plan_for(&canvas, 0).unwrap(), tiles, "level {k}");
+        assert!(server.tiling_for(&canvas, 0).unwrap().is_some());
+    }
+    assert_eq!(server.plan_for("level0", 0).unwrap(), boxes);
+    assert!(server.tiling_for("level0", 0).unwrap().is_none());
+
+    // the plan-agnostic region path serves every level's probe mark
+    for &(k, id, cx, cy) in &probes {
+        let canvas = cfg.level_canvas(k);
+        let resp = server
+            .fetch_region(&canvas, 0, &Rect::centered(cx, cy, 512.0, 512.0))
+            .unwrap();
+        assert!(
+            resp.rows.iter().any(|r| r.get(0) == &Value::Int(id)),
+            "level {k}: mixed region fetch misses the probe mark"
+        );
+    }
+
+    // ---- zoom trace: coarsest (tiles) → … → raw (boxes) → back (tiles)
+    let server = std::sync::Arc::new(server);
+    let (mut session, first) = Session::open(server.clone()).unwrap();
+    assert_eq!(session.canvas_id(), cfg.level_canvas(LEVELS));
+    assert!(first.visible_rows > 0, "the tiled overview shows marks");
+    for to in (0..LEVELS).rev() {
+        let from = to + 1;
+        let row = server
+            .database()
+            .query(
+                &format!("SELECT * FROM {} LIMIT 1", cfg.level_table(from)),
+                &[],
+            )
+            .unwrap()
+            .rows[0]
+            .clone();
+        let jump_id = format!("zoomin_{}_{}", cfg.level_canvas(from), cfg.level_canvas(to));
+        let outcome = session.jump(&jump_id, 0, &row).unwrap();
+        assert_eq!(outcome.to_canvas, cfg.level_canvas(to));
+        assert!(
+            outcome.report.visible_rows > 0,
+            "level {to} shows marks after the zoom-in"
+        );
+        // pan a step on this level (exercises the level's own plan)
+        session.pan_by(512.0, 256.0).unwrap();
+    }
+    assert_eq!(
+        session.canvas_id(),
+        "level0",
+        "the trace reached the raw level"
+    );
+
+    // cross the plan boundary back out: raw (boxes) → level1 (tiles)
+    let raw_row = server
+        .database()
+        .query(
+            &format!("SELECT * FROM {} LIMIT 1", cfg.level_table(0)),
+            &[],
+        )
+        .unwrap()
+        .rows[0]
+        .clone();
+    let back = format!("zoomout_{}_{}", cfg.level_canvas(0), cfg.level_canvas(1));
+    let outcome = session.jump(&back, 0, &raw_row).unwrap();
+    assert_eq!(outcome.to_canvas, cfg.level_canvas(1));
+    assert!(
+        outcome.report.visible_rows > 0,
+        "tiled level shows marks again"
+    );
 }
 
 #[test]

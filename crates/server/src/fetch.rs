@@ -125,7 +125,11 @@ pub fn fetch_tile(
             tiling: store_tiling,
             ..
         } => {
-            if (store_tiling.size - tiling.size).abs() > f64::EPSILON {
+            // exact comparison on purpose: both sizes originate from the
+            // same resolved plan value, so any difference is a real
+            // misconfiguration — an absolute epsilon (~2e-16) is meaningless
+            // next to realistic tile sizes (~256.0), where one ulp is ~6e-14
+            if store_tiling.size.to_bits() != tiling.size.to_bits() {
                 return Err(ServerError::Config(format!(
                     "tile size mismatch: store has {}, request uses {}",
                     store_tiling.size, tiling.size

@@ -5,6 +5,8 @@
 //!   (spatial index / tuple–tile mapping) — [`tile`], [`precompute`];
 //! * the novel **dynamic box** fetching granularity with exact, inflated
 //!   and density-adaptive policies — [`dbox`];
+//! * per-layer **plan policies**: one server mixes static tiles and
+//!   dynamic boxes across the `(canvas, layer)`s of one app — [`policy`];
 //! * §3.2 **separability**: precomputation is skipped for layers whose
 //!   placement is an affine of raw indexed attributes;
 //! * backend **LRU caches** for tiles and boxes — [`cache`];
@@ -20,6 +22,7 @@ pub mod dbox;
 pub mod error;
 pub mod fetch;
 pub mod metrics;
+pub mod policy;
 pub mod precompute;
 pub mod prefetch;
 pub mod server;
@@ -31,12 +34,14 @@ pub use dbox::BoxPolicy;
 pub use error::{Result, ServerError};
 pub use fetch::{count_rect, fetch_rect, fetch_tile};
 pub use metrics::FetchMetrics;
+pub use policy::PlanPolicy;
 pub use precompute::{
-    precompute_layer, FetchPlan, LayerRowLayout, LayerStore, PrecomputeReport, TileDesign,
+    estimate_layer_rows, precompute_layer, FetchPlan, LayerRowLayout, LayerStore, PrecomputeReport,
+    TileDesign,
 };
 pub use prefetch::{
     neighbor_rects, predict_viewports, rank_by_similarity, MomentumTracker, RegionSignature,
-    SemanticTracker,
+    SemanticTracker, MIN_VELOCITY_FRAC,
 };
 pub use server::{BoxResponse, KyrixServer, PrefetchPolicy, ServerConfig, TileResponse};
-pub use tile::{TileId, Tiling};
+pub use tile::{TileId, Tiling, MAX_COVERING_TILES};

@@ -1,0 +1,218 @@
+//! Per-layer fetch-plan policies.
+//!
+//! The paper frames static tiles and dynamic boxes as per-situation
+//! choices — tiles suit dense, uniformly covered canvases; boxes suit
+//! sparse or skewed ones. A multi-canvas app (most acutely a Kyrix-S LoD
+//! zoom hierarchy, whose coarse cluster levels are ideal tile targets
+//! while the million-row raw level wants density-adaptive boxes) therefore
+//! needs *mixed* plans in one server. [`PlanPolicy`] expresses how the
+//! concrete [`FetchPlan`] for each `(canvas, layer)` is chosen;
+//! [`crate::KyrixServer::launch`] resolves it once per layer at
+//! precomputation time and threads the resolved plan through every fetch,
+//! cache, and prefetch site.
+
+use crate::precompute::FetchPlan;
+use kyrix_core::{CompiledLayer, PlanHint};
+
+/// How the fetch plan of each `(canvas, layer)` is chosen.
+#[derive(Debug, Clone, PartialEq)]
+pub enum PlanPolicy {
+    /// One plan for every layer of every canvas (the pre-policy behavior).
+    Uniform(FetchPlan),
+    /// Explicit per-canvas overrides with a fallback for everything else.
+    /// Overrides apply to every layer of the named canvas.
+    PerCanvas {
+        default: FetchPlan,
+        overrides: Vec<(String, FetchPlan)>,
+    },
+    /// Rule-based on data volume: layers whose (estimated) row count
+    /// exceeds `threshold` get `dense`, the rest get `sparse`.
+    RowThreshold {
+        threshold: usize,
+        /// Plan for layers with more than `threshold` rows.
+        dense: FetchPlan,
+        /// Plan for layers at or below `threshold` rows.
+        sparse: FetchPlan,
+    },
+    /// Follow the spec's per-layer [`PlanHint`]s: hinted layers get the
+    /// matching plan; unhinted layers get `boxes` (dynamic boxes are the
+    /// paper's general-purpose design).
+    SpecHints { tiles: FetchPlan, boxes: FetchPlan },
+}
+
+impl PlanPolicy {
+    /// Uniform policy over one plan.
+    pub fn uniform(plan: FetchPlan) -> Self {
+        PlanPolicy::Uniform(plan)
+    }
+
+    /// Per-canvas policy builder: start from a fallback plan…
+    pub fn per_canvas(default: FetchPlan) -> Self {
+        PlanPolicy::PerCanvas {
+            default,
+            overrides: Vec::new(),
+        }
+    }
+
+    /// …and override individual canvases. Only meaningful on the
+    /// [`PlanPolicy::PerCanvas`] variant; calling it on any other variant
+    /// is a configuration mistake (the override would be silently
+    /// unenforceable) and panics in debug builds.
+    pub fn with_canvas(mut self, canvas: impl Into<String>, plan: FetchPlan) -> Self {
+        if let PlanPolicy::PerCanvas { overrides, .. } = &mut self {
+            overrides.push((canvas.into(), plan));
+        } else {
+            debug_assert!(
+                false,
+                "with_canvas on a {self:?}: the override would be ignored"
+            );
+        }
+        self
+    }
+
+    /// Whether resolution needs a per-layer row estimate (only the
+    /// rule-based variant does; the others must not pay for counting).
+    pub fn needs_row_estimate(&self) -> bool {
+        matches!(self, PlanPolicy::RowThreshold { .. })
+    }
+
+    /// Resolve the concrete plan for one layer. `estimated_rows` is only
+    /// consulted by [`PlanPolicy::RowThreshold`] (pass 0 otherwise).
+    pub fn resolve(&self, layer: &CompiledLayer, estimated_rows: usize) -> FetchPlan {
+        match self {
+            PlanPolicy::Uniform(plan) => *plan,
+            PlanPolicy::PerCanvas { default, overrides } => overrides
+                .iter()
+                .find(|(c, _)| *c == layer.canvas_id)
+                .map(|(_, p)| *p)
+                .unwrap_or(*default),
+            PlanPolicy::RowThreshold {
+                threshold,
+                dense,
+                sparse,
+            } => {
+                if estimated_rows > *threshold {
+                    *dense
+                } else {
+                    *sparse
+                }
+            }
+            PlanPolicy::SpecHints { tiles, boxes } => match layer.plan_hint {
+                Some(PlanHint::StaticTiles) => *tiles,
+                Some(PlanHint::DynamicBox) | None => *boxes,
+            },
+        }
+    }
+
+    /// Legend label for experiment tables.
+    pub fn label(&self) -> String {
+        match self {
+            PlanPolicy::Uniform(plan) => plan.label(),
+            PlanPolicy::PerCanvas { default, overrides } => {
+                format!(
+                    "per-canvas({}, {} overrides)",
+                    default.label(),
+                    overrides.len()
+                )
+            }
+            PlanPolicy::RowThreshold {
+                threshold,
+                dense,
+                sparse,
+            } => format!("rows>{threshold} ? {} : {}", dense.label(), sparse.label()),
+            PlanPolicy::SpecHints { tiles, boxes } => {
+                format!("hinted({} / {})", tiles.label(), boxes.label())
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dbox::BoxPolicy;
+    use crate::precompute::TileDesign;
+    use kyrix_core::{CompiledRender, CompiledTransform};
+    use kyrix_storage::Schema;
+
+    fn layer(canvas: &str, hint: Option<PlanHint>) -> CompiledLayer {
+        CompiledLayer {
+            canvas_id: canvas.to_string(),
+            layer_index: 0,
+            transform: CompiledTransform {
+                id: "t".into(),
+                query: None,
+                base_schema: Schema::empty(),
+                derived: Vec::new(),
+                columns: Vec::new(),
+            },
+            is_static: false,
+            placement: None,
+            rendering: CompiledRender::Static(Vec::new()),
+            plan_hint: hint,
+        }
+    }
+
+    const TILES: FetchPlan = FetchPlan::StaticTiles {
+        size: 256.0,
+        design: TileDesign::SpatialIndex,
+    };
+    const BOXES: FetchPlan = FetchPlan::DynamicBox {
+        policy: BoxPolicy::Exact,
+    };
+
+    #[test]
+    fn uniform_ignores_everything() {
+        let p = PlanPolicy::uniform(TILES);
+        assert_eq!(p.resolve(&layer("a", Some(PlanHint::DynamicBox)), 9), TILES);
+        assert!(!p.needs_row_estimate());
+    }
+
+    #[test]
+    fn per_canvas_overrides_win_and_fall_back() {
+        let p = PlanPolicy::per_canvas(BOXES).with_canvas("coarse", TILES);
+        assert_eq!(p.resolve(&layer("coarse", None), 0), TILES);
+        assert_eq!(p.resolve(&layer("raw", None), 0), BOXES);
+    }
+
+    #[test]
+    fn row_threshold_splits_on_volume() {
+        let p = PlanPolicy::RowThreshold {
+            threshold: 1000,
+            dense: TILES,
+            sparse: BOXES,
+        };
+        assert!(p.needs_row_estimate());
+        assert_eq!(p.resolve(&layer("c", None), 1001), TILES);
+        assert_eq!(p.resolve(&layer("c", None), 1000), BOXES);
+    }
+
+    #[test]
+    fn spec_hints_follow_the_layer() {
+        let p = PlanPolicy::SpecHints {
+            tiles: TILES,
+            boxes: BOXES,
+        };
+        assert_eq!(
+            p.resolve(&layer("c", Some(PlanHint::StaticTiles)), 0),
+            TILES
+        );
+        assert_eq!(p.resolve(&layer("c", Some(PlanHint::DynamicBox)), 0), BOXES);
+        assert_eq!(p.resolve(&layer("c", None), 0), BOXES, "unhinted → boxes");
+    }
+
+    #[test]
+    fn labels_are_informative() {
+        assert_eq!(PlanPolicy::uniform(BOXES).label(), BOXES.label());
+        assert!(PlanPolicy::per_canvas(BOXES)
+            .with_canvas("c", TILES)
+            .label()
+            .contains("per-canvas"));
+        assert!(PlanPolicy::SpecHints {
+            tiles: TILES,
+            boxes: BOXES
+        }
+        .label()
+        .contains("hinted"));
+    }
+}

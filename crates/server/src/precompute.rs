@@ -276,13 +276,22 @@ fn build_mapping(
     }
     // collect (tuple_id, tile) pairs from the record table
     let mut pairs: Vec<(i64, TileId)> = Vec::new();
+    let mut cover_err = None;
     db.table(record_table)?.scan(|_, row| {
         let tid = layout.tuple_id(&row);
         let bbox = layout.bbox(&row);
-        for tile in tiling.covering(&bbox) {
-            pairs.push((tid, tile));
+        match tiling.covering(&bbox) {
+            Ok(tiles) => pairs.extend(tiles.into_iter().map(|t| (tid, t))),
+            Err(e) => {
+                // an object bigger than the covering cap is a spec bug;
+                // surface it after the scan instead of mapping it nowhere
+                cover_err.get_or_insert(e);
+            }
         }
     })?;
+    if let Some(e) = cover_err {
+        return Err(e);
+    }
     db.create_table(
         &mapping_table,
         Schema::empty()
@@ -402,6 +411,41 @@ pub fn precompute_layer(
             skipped_separable: false,
         },
     ))
+}
+
+/// Estimate a layer's row count *before* precomputation, for row-based
+/// plan policies. Cheap when the transform is a plain single-table scan
+/// (the table's length is exact). Otherwise the transform runs once and
+/// the rows are counted, and `precompute_layer` will run it a second time
+/// to materialize — a deliberate tradeoff: only
+/// [`crate::PlanPolicy::RowThreshold`] pays for it, and only on layers
+/// whose transform is not a plain scan (if a previous launch already
+/// materialized the layer table, that table's length short-circuits the
+/// rerun there).
+pub fn estimate_layer_rows(db: &Database, layer: &CompiledLayer) -> Result<usize> {
+    if layer.is_static {
+        return Ok(0);
+    }
+    let Some(sql_text) = layer.transform.query.as_deref() else {
+        return Ok(0);
+    };
+    if let Ok(stmt) = sql::parse(sql_text) {
+        // an aggregate without GROUP BY scans the table but returns one
+        // row — it must fall through to the run-and-count path
+        let plain_scan = stmt.join.is_none()
+            && stmt.where_clause.is_none()
+            && stmt.group_by.is_empty()
+            && stmt.having.is_none()
+            && stmt.limit.is_none()
+            && stmt.offset.is_none()
+            && !stmt.is_aggregate();
+        if plain_scan {
+            if let Ok(t) = db.table(&stmt.from.table) {
+                return Ok(t.len());
+            }
+        }
+    }
+    Ok(layer.transform.run(db)?.len())
 }
 
 /// Tiling used by a plan's tile mode (None for dynamic boxes).

@@ -17,11 +17,23 @@
 
 use kyrix_storage::Rect;
 
+/// Velocities below this fraction of the viewport extent (per axis) are
+/// treated as "stopped". [`MomentumTracker`]'s exponential smoothing never
+/// reaches exactly zero after a pan ends — the residual halves per
+/// observation — so an exact-zero check would keep the prefetch worker
+/// issuing backend queries for sub-pixel-shifted viewports for dozens of
+/// idle observations. At 1e-3, a pan of half a viewport decays below the
+/// threshold within 9 idle observations (`0.5 * 0.5^9 < 1e-3`).
+pub const MIN_VELOCITY_FRAC: f64 = 1e-3;
+
 /// Predict the next `steps` viewports from the current viewport and the
-/// most recent per-step velocity.
+/// most recent per-step velocity. Returns nothing when the velocity is
+/// negligible relative to the viewport size (the user has stopped panning).
 pub fn predict_viewports(current: &Rect, velocity: (f64, f64), steps: usize) -> Vec<Rect> {
     let (dx, dy) = velocity;
-    if dx == 0.0 && dy == 0.0 {
+    if dx.abs() <= current.width() * MIN_VELOCITY_FRAC
+        && dy.abs() <= current.height() * MIN_VELOCITY_FRAC
+    {
         return Vec::new();
     }
     (1..=steps)
@@ -96,16 +108,36 @@ impl RegionSignature {
     }
 
     /// The sub-rectangles whose counts feed [`RegionSignature::from_counts`],
-    /// row-major.
+    /// row-major. Every edge is derived from its cell *index* (not by
+    /// accumulating `x0 + w`, whose floating-point error can leave the
+    /// region's own max edge outside every cell), and the last edge is
+    /// exactly `region.max_*`: a mark sitting on the region boundary always
+    /// lands in some cell, so signatures stay faithful to the data.
     pub fn cell_rects(region: &Rect) -> Vec<Rect> {
-        let n = Self::GRID as f64;
-        let (w, h) = (region.width() / n, region.height() / n);
-        let mut out = Vec::with_capacity(Self::GRID * Self::GRID);
-        for gy in 0..Self::GRID {
-            for gx in 0..Self::GRID {
-                let x0 = region.min_x + gx as f64 * w;
-                let y0 = region.min_y + gy as f64 * h;
-                out.push(Rect::new(x0, y0, x0 + w, y0 + h));
+        let n = Self::GRID;
+        let edge_x = |i: usize| {
+            if i == n {
+                region.max_x
+            } else {
+                region.min_x + region.width() * i as f64 / n as f64
+            }
+        };
+        let edge_y = |i: usize| {
+            if i == n {
+                region.max_y
+            } else {
+                region.min_y + region.height() * i as f64 / n as f64
+            }
+        };
+        let mut out = Vec::with_capacity(n * n);
+        for gy in 0..n {
+            for gx in 0..n {
+                out.push(Rect::new(
+                    edge_x(gx),
+                    edge_y(gy),
+                    edge_x(gx + 1),
+                    edge_y(gy + 1),
+                ));
             }
         }
         out
@@ -210,6 +242,51 @@ mod tests {
     }
 
     #[test]
+    fn sub_threshold_velocity_predicts_nothing() {
+        // residual velocity far below a pixel on a 1024-unit viewport
+        let vp = Rect::new(0.0, 0.0, 1024.0, 1024.0);
+        assert!(predict_viewports(&vp, (0.5, 0.0), 3).is_empty());
+        assert!(predict_viewports(&vp, (0.0, -0.5), 3).is_empty());
+        // one healthy axis is enough to keep predicting
+        assert_eq!(predict_viewports(&vp, (64.0, 0.5), 3).len(), 3);
+    }
+
+    #[test]
+    fn momentum_decays_to_silence_after_a_stopped_pan() {
+        // regression: the smoothed velocity never reaches exactly zero, so
+        // an exact-zero check kept predicting (and the worker kept querying)
+        // long after the pan ended; the relative threshold must silence the
+        // predictor within a bounded number of idle observations — forever.
+        let mut t = MomentumTracker::new();
+        let mut vp = Rect::new(0.0, 0.0, 1024.0, 1024.0);
+        for _ in 0..10 {
+            vp = vp.translate(512.0, 0.0);
+            t.observe(&vp);
+        }
+        // the pan stops: the same viewport is observed from now on
+        let mut predictions_after_stop = 0;
+        let mut quiet_from = None;
+        for i in 0..64 {
+            let v = t.observe(&vp);
+            if predict_viewports(&vp, v, 1).is_empty() {
+                quiet_from.get_or_insert(i);
+            } else {
+                predictions_after_stop += 1;
+                assert!(
+                    quiet_from.is_none(),
+                    "observation {i} predicted again after going quiet"
+                );
+            }
+        }
+        let quiet_from = quiet_from.expect("predictor must go quiet");
+        assert!(
+            quiet_from <= 12,
+            "still predicting after {quiet_from} idle observations"
+        );
+        assert_eq!(predictions_after_stop, quiet_from);
+    }
+
+    #[test]
     fn tracker_converges_on_steady_pan() {
         let mut t = MomentumTracker::new();
         let mut vp = Rect::new(0.0, 0.0, 100.0, 100.0);
@@ -276,6 +353,33 @@ mod tests {
         assert_eq!(cells[8], Rect::new(60.0, 60.0, 90.0, 90.0));
         let area: f64 = cells.iter().map(|c| c.width() * c.height()).sum();
         assert!((area - 90.0 * 90.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn cell_edges_are_exact_on_the_region_boundary() {
+        // a region whose width/GRID is not exactly representable: repeated
+        // `x0 + w` accumulation drifts, leaving max_x outside every cell
+        let region = Rect::new(0.1, 0.2, 0.1 + 0.7, 0.2 + 0.7);
+        let cells = RegionSignature::cell_rects(&region);
+        let last = cells.last().unwrap();
+        assert_eq!(last.max_x.to_bits(), region.max_x.to_bits());
+        assert_eq!(last.max_y.to_bits(), region.max_y.to_bits());
+        assert_eq!(cells[0].min_x.to_bits(), region.min_x.to_bits());
+        // a mark exactly on the region's max corner lands in some cell
+        let (mx, my) = (region.max_x, region.max_y);
+        assert!(
+            cells.iter().any(|c| c.contains_point(mx, my)),
+            "boundary mark outside every cell"
+        );
+        // adjacent cells share edges exactly: no gaps between columns/rows
+        let g = RegionSignature::GRID;
+        for gy in 0..g {
+            for gx in 0..g.saturating_sub(1) {
+                let a = &cells[gy * g + gx];
+                let b = &cells[gy * g + gx + 1];
+                assert_eq!(a.max_x.to_bits(), b.min_x.to_bits(), "gap at column {gx}");
+            }
+        }
     }
 
     #[test]

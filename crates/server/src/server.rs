@@ -8,7 +8,10 @@ use crate::dbox::BoxPolicy;
 use crate::error::{Result, ServerError};
 use crate::fetch::{count_rect, fetch_rect, fetch_tile};
 use crate::metrics::FetchMetrics;
-use crate::precompute::{precompute_layer, FetchPlan, LayerStore, PrecomputeReport};
+use crate::policy::PlanPolicy;
+use crate::precompute::{
+    estimate_layer_rows, precompute_layer, FetchPlan, LayerStore, PrecomputeReport,
+};
 use crate::prefetch::{
     neighbor_rects, predict_viewports, rank_by_similarity, RegionSignature, SemanticTracker,
 };
@@ -16,7 +19,7 @@ use crate::tile::{TileId, Tiling};
 use crossbeam::channel::{unbounded, Sender};
 use kyrix_core::CompiledApp;
 use kyrix_storage::fxhash::FxHashMap;
-use kyrix_storage::{Database, Rect, Row};
+use kyrix_storage::{Database, Rect, Row, Value};
 use parking_lot::Mutex;
 use std::collections::VecDeque;
 use std::sync::Arc;
@@ -34,9 +37,10 @@ pub enum PrefetchPolicy {
 }
 
 /// Server configuration.
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone)]
 pub struct ServerConfig {
-    pub plan: FetchPlan,
+    /// How each `(canvas, layer)`'s fetch plan is chosen at launch.
+    pub policy: PlanPolicy,
     pub cost: CostModel,
     /// Backend tile-cache capacity in *tuples* (0 disables).
     pub backend_cache_rows: usize,
@@ -51,9 +55,15 @@ pub struct ServerConfig {
 }
 
 impl ServerConfig {
+    /// Uniform configuration: one plan for every layer of every canvas.
     pub fn new(plan: FetchPlan) -> Self {
+        Self::from_policy(PlanPolicy::Uniform(plan))
+    }
+
+    /// Configuration with an explicit per-layer plan policy.
+    pub fn from_policy(policy: PlanPolicy) -> Self {
         ServerConfig {
-            plan,
+            policy,
             cost: CostModel::paper_default(),
             backend_cache_rows: 200_000,
             box_cache_entries: 4,
@@ -110,7 +120,11 @@ struct Inner {
     app: CompiledApp,
     db: Database,
     stores: FxHashMap<(u32, u32), LayerStore>,
-    plan: FetchPlan,
+    /// Plan resolved by the policy per `(canvas idx, layer idx)`, stored
+    /// alongside the layer's store at launch. Every plan-matching site
+    /// (tile/box fetch, region fetch, prefetch dispatch) consults this map,
+    /// never a server-wide plan.
+    plans: FxHashMap<(u32, u32), FetchPlan>,
     cost: CostModel,
     tile_cache: Mutex<LruCache<TileKey, CachedRows>>,
     box_caches: Mutex<FxHashMap<(u32, u32), BoxCacheShelf>>,
@@ -158,6 +172,14 @@ impl Inner {
             .ok_or_else(|| ServerError::BadRequest(format!("unknown layer {layer} of `{canvas}`")))
     }
 
+    /// The plan resolved for a layer at launch.
+    fn plan_for(&self, ci: u32, layer: usize) -> Result<FetchPlan> {
+        self.plans
+            .get(&(ci, layer as u32))
+            .copied()
+            .ok_or_else(|| ServerError::BadRequest(format!("unknown layer {layer}")))
+    }
+
     fn fetch_tile_cached(
         &self,
         canvas: &str,
@@ -167,10 +189,10 @@ impl Inner {
     ) -> Result<TileResponse> {
         let ci = self.canvas_idx(canvas)?;
         let store = self.store(canvas, layer)?;
-        let FetchPlan::StaticTiles { size, .. } = self.plan else {
-            return Err(ServerError::Config(
-                "tile request on a dynamic-box server".to_string(),
-            ));
+        let FetchPlan::StaticTiles { size, .. } = self.plan_for(ci, layer)? else {
+            return Err(ServerError::Config(format!(
+                "tile request on dynamic-box layer {layer} of `{canvas}`"
+            )));
         };
         let tiling = Tiling::new(size);
         let key = (ci, layer as u32, tile.key());
@@ -216,10 +238,10 @@ impl Inner {
     ) -> Result<BoxResponse> {
         let ci = self.canvas_idx(canvas)?;
         let store = self.store(canvas, layer)?;
-        let FetchPlan::DynamicBox { policy } = self.plan else {
-            return Err(ServerError::Config(
-                "box request on a static-tile server".to_string(),
-            ));
+        let FetchPlan::DynamicBox { policy } = self.plan_for(ci, layer)? else {
+            return Err(ServerError::Config(format!(
+                "box request on static-tile layer {layer} of `{canvas}`"
+            )));
         };
         let key = (ci, layer as u32);
 
@@ -314,18 +336,27 @@ impl Prefetcher {
                             let Some(cc) = inner.app.canvas(&canvas) else {
                                 continue;
                             };
+                            let Ok(ci) = inner.canvas_idx(&canvas) else {
+                                continue;
+                            };
                             for (li, layer) in cc.layers.iter().enumerate() {
                                 if layer.is_static {
                                     continue;
                                 }
-                                match inner.plan {
-                                    FetchPlan::StaticTiles { size, .. } => {
-                                        for tile in Tiling::new(size).covering(&rect) {
+                                // dispatch per the layer's *resolved* plan:
+                                // one predicted viewport may warm tiles on
+                                // one layer and a box on the next
+                                match inner.plan_for(ci, li) {
+                                    Ok(FetchPlan::StaticTiles { size, .. }) => {
+                                        let Ok(tiles) = Tiling::new(size).covering(&rect) else {
+                                            continue; // degenerate prediction
+                                        };
+                                        for tile in tiles {
                                             let _ =
                                                 inner.fetch_tile_cached(&canvas, li, tile, true);
                                         }
                                     }
-                                    FetchPlan::DynamicBox { .. } => {
+                                    Ok(FetchPlan::DynamicBox { .. }) => {
                                         // widen the prediction slightly so a
                                         // near-miss (momentum estimate off by
                                         // a few pixels) still serves the real
@@ -333,6 +364,7 @@ impl Prefetcher {
                                         let widened = rect.inflate_frac(0.15, 0.15);
                                         let _ = inner.fetch_box_cached(&canvas, li, &widened, true);
                                     }
+                                    Err(_) => {}
                                 }
                             }
                         }
@@ -364,19 +396,28 @@ pub struct KyrixServer {
 }
 
 impl KyrixServer {
-    /// Precompute every layer of the app per the configured fetch plan and
-    /// start the server. Returns the per-layer precomputation reports.
+    /// Resolve the plan policy per `(canvas, layer)`, precompute every
+    /// layer under its resolved plan, and start the server. Returns the
+    /// per-layer precomputation reports.
     pub fn launch(
         app: CompiledApp,
         mut db: Database,
         config: ServerConfig,
     ) -> Result<(Self, Vec<PrecomputeReport>)> {
         let mut stores = FxHashMap::default();
+        let mut plans = FxHashMap::default();
         let mut reports = Vec::new();
         for (ci, canvas) in app.canvases.iter().enumerate() {
             for (li, layer) in canvas.layers.iter().enumerate() {
-                let (store, report) = precompute_layer(&mut db, layer, &config.plan, &app.name)?;
+                let estimated_rows = if config.policy.needs_row_estimate() {
+                    estimate_layer_rows(&db, layer)?
+                } else {
+                    0
+                };
+                let plan = config.policy.resolve(layer, estimated_rows);
+                let (store, report) = precompute_layer(&mut db, layer, &plan, &app.name)?;
                 stores.insert((ci as u32, li as u32), store);
+                plans.insert((ci as u32, li as u32), plan);
                 reports.push(report);
             }
         }
@@ -384,7 +425,7 @@ impl KyrixServer {
             app,
             db,
             stores,
-            plan: config.plan,
+            plans,
             cost: config.cost,
             tile_cache: Mutex::new(LruCache::new(config.backend_cache_rows)),
             box_caches: Mutex::new(FxHashMap::default()),
@@ -412,8 +453,15 @@ impl KyrixServer {
         &self.inner.app
     }
 
-    pub fn plan(&self) -> FetchPlan {
-        self.inner.plan
+    /// The policy the resolved plans came from.
+    pub fn policy(&self) -> &PlanPolicy {
+        &self.config.policy
+    }
+
+    /// The fetch plan resolved for one layer at launch.
+    pub fn plan_for(&self, canvas: &str, layer: usize) -> Result<FetchPlan> {
+        let ci = self.inner.canvas_idx(canvas)?;
+        self.inner.plan_for(ci, layer)
     }
 
     pub fn cost_model(&self) -> CostModel {
@@ -424,12 +472,12 @@ impl KyrixServer {
         &self.config
     }
 
-    /// Tiling in effect (None when serving dynamic boxes).
-    pub fn tiling(&self) -> Option<Tiling> {
-        match self.inner.plan {
+    /// Tiling in effect for one layer (None when it serves dynamic boxes).
+    pub fn tiling_for(&self, canvas: &str, layer: usize) -> Result<Option<Tiling>> {
+        Ok(match self.plan_for(canvas, layer)? {
             FetchPlan::StaticTiles { size, .. } => Some(Tiling::new(size)),
             FetchPlan::DynamicBox { .. } => None,
-        }
+        })
     }
 
     /// The physical store backing a layer (exposed for tests/inspection).
@@ -455,7 +503,7 @@ impl KyrixServer {
     /// app uniformly without matching on the plan; cache keys stay
     /// per-(canvas, layer), so levels never collide.
     pub fn fetch_region(&self, canvas: &str, layer: usize, rect: &Rect) -> Result<BoxResponse> {
-        match self.inner.plan {
+        match self.plan_for(canvas, layer)? {
             FetchPlan::DynamicBox { .. } => self.fetch_box(canvas, layer, rect),
             FetchPlan::StaticTiles { size, .. } => {
                 let store = self.inner.store(canvas, layer)?;
@@ -474,7 +522,7 @@ impl KyrixServer {
                     std::collections::HashMap::new();
                 let mut metrics = FetchMetrics::default();
                 let mut covered = Rect::empty();
-                for tile in tiling.covering(rect) {
+                for tile in tiling.covering(rect)? {
                     let resp = self.inner.fetch_tile_cached(canvas, layer, tile, false)?;
                     match layout {
                         None => rows.extend(resp.rows.iter().cloned()),
@@ -505,6 +553,16 @@ impl KyrixServer {
                     }
                     metrics.merge(&resp.metrics);
                     covered = covered.union(&tiling.tile_rect(tile));
+                }
+                if !stable_ids {
+                    // per-tile synthesized ids collide across tiles; rewrite
+                    // them to be unique within this response so callers can
+                    // dedup visible rows by tuple id like any other store
+                    if let Some(l) = layout {
+                        for (i, row) in rows.iter_mut().enumerate() {
+                            row.values[l.width() - 1] = Value::Int(i as i64);
+                        }
+                    }
                 }
                 Ok(BoxResponse {
                     rect: covered,

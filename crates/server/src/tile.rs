@@ -1,6 +1,13 @@
 //! Static tiling math (paper Figure 4a).
 
+use crate::error::{Result, ServerError};
 use kyrix_storage::Rect;
+
+/// Hard cap on how many tiles a single covering request may produce. A
+/// realistic viewport covers a handful of tiles; anything near this bound
+/// is a degenerate request (huge rectangle, tiny tile size) that would
+/// otherwise allocate without limit.
+pub const MAX_COVERING_TILES: usize = 1 << 20;
 
 /// Integer tile coordinates at some tile size.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
@@ -61,9 +68,15 @@ impl Tiling {
     /// All tiles intersecting a rectangle, in row-major order.
     /// The paper's frontend "requests the tiles that intersect with the
     /// given viewport".
-    pub fn covering(&self, rect: &Rect) -> Vec<TileId> {
+    ///
+    /// Fails with a clear error when the rectangle would cover more than
+    /// [`MAX_COVERING_TILES`] tiles: the per-axis spans are computed in
+    /// `i64` (a degenerate viewport can span the whole i32 range, whose
+    /// tile count overflows 32-bit arithmetic) and checked before any
+    /// allocation happens.
+    pub fn covering(&self, rect: &Rect) -> Result<Vec<TileId>> {
         if rect.is_empty() {
-            return Vec::new();
+            return Ok(Vec::new());
         }
         let x0 = (rect.min_x / self.size).floor() as i32;
         let y0 = (rect.min_y / self.size).floor() as i32;
@@ -71,13 +84,27 @@ impl Tiling {
         // a tile edge does not need the next tile
         let x1 = ((rect.max_x / self.size).ceil() as i32 - 1).max(x0);
         let y1 = ((rect.max_y / self.size).ceil() as i32 - 1).max(y0);
-        let mut out = Vec::with_capacity(((x1 - x0 + 1) * (y1 - y0 + 1)) as usize);
+        let nx = x1 as i64 - x0 as i64 + 1;
+        let ny = y1 as i64 - y0 as i64 + 1;
+        // check each axis before multiplying: nx * ny can overflow even i64
+        // when both spans are near the i32 range
+        if nx > MAX_COVERING_TILES as i64
+            || ny > MAX_COVERING_TILES as i64
+            || nx * ny > MAX_COVERING_TILES as i64
+        {
+            return Err(ServerError::BadRequest(format!(
+                "viewport {rect:?} covers {nx}x{ny} tiles of size {}, above the \
+                 {MAX_COVERING_TILES}-tile cap",
+                self.size
+            )));
+        }
+        let mut out = Vec::with_capacity((nx * ny) as usize);
         for ty in y0..=y1 {
             for tx in x0..=x1 {
                 out.push(TileId::new(tx, ty));
             }
         }
-        out
+        Ok(out)
     }
 }
 
@@ -113,7 +140,7 @@ mod tests {
         // trace-a case: viewport aligned with tile boundaries
         let t = Tiling::new(1024.0);
         let vp = Rect::new(1024.0, 0.0, 2048.0, 1024.0);
-        assert_eq!(t.covering(&vp), vec![TileId::new(1, 0)]);
+        assert_eq!(t.covering(&vp).unwrap(), vec![TileId::new(1, 0)]);
     }
 
     #[test]
@@ -121,7 +148,7 @@ mod tests {
         // trace-b case: viewport offset by half a tile
         let t = Tiling::new(1024.0);
         let vp = Rect::new(512.0, 512.0, 1536.0, 1536.0);
-        let tiles = t.covering(&vp);
+        let tiles = t.covering(&vp).unwrap();
         assert_eq!(tiles.len(), 4);
         assert!(tiles.contains(&TileId::new(0, 0)));
         assert!(tiles.contains(&TileId::new(1, 1)));
@@ -132,10 +159,29 @@ mod tests {
         // a 1024 viewport over 256-tiles needs 16 when aligned
         let t = Tiling::new(256.0);
         let vp = Rect::new(0.0, 0.0, 1024.0, 1024.0);
-        assert_eq!(t.covering(&vp).len(), 16);
+        assert_eq!(t.covering(&vp).unwrap().len(), 16);
         // and 25 when misaligned
         let vp2 = Rect::new(128.0, 128.0, 1152.0, 1152.0);
-        assert_eq!(t.covering(&vp2).len(), 25);
+        assert_eq!(t.covering(&vp2).unwrap().len(), 25);
+    }
+
+    #[test]
+    fn covering_rejects_degenerate_viewports_instead_of_overflowing() {
+        // a viewport spanning (almost) the whole f64-representable i32 tile
+        // range used to overflow the i32 capacity product (panic in debug
+        // builds) or attempt an absurd allocation; now it is a clean error
+        let t = Tiling::new(1.0);
+        let huge = Rect::new(-2.0e9, -2.0e9, 2.0e9, 2.0e9);
+        assert!(matches!(
+            t.covering(&huge),
+            Err(crate::error::ServerError::BadRequest(_))
+        ));
+        // one axis degenerate is enough
+        let strip = Rect::new(0.0, 0.0, 1.9e9, 1.0);
+        assert!(t.covering(&strip).is_err());
+        // a large-but-legitimate request still succeeds
+        let big = Rect::new(0.0, 0.0, 1000.0, 1000.0);
+        assert_eq!(t.covering(&big).unwrap().len(), 1_000_000);
     }
 
     #[test]
@@ -151,6 +197,6 @@ mod tests {
     #[test]
     fn empty_rect_covers_nothing() {
         let t = Tiling::new(10.0);
-        assert!(t.covering(&Rect::empty()).is_empty());
+        assert!(t.covering(&Rect::empty()).unwrap().is_empty());
     }
 }

@@ -2,10 +2,12 @@
 //! store kind, caches, separability, and prefetching.
 
 use kyrix_core::{
-    compile, AppSpec, CanvasSpec, LayerSpec, MarkEncoding, PlacementSpec, RenderSpec, TransformSpec,
+    compile, AppSpec, CanvasSpec, LayerSpec, MarkEncoding, PlacementSpec, PlanHint, RenderSpec,
+    TransformSpec,
 };
 use kyrix_server::{
-    BoxPolicy, CostModel, FetchPlan, KyrixServer, LayerStore, ServerConfig, TileDesign, TileId,
+    BoxPolicy, CostModel, FetchPlan, KyrixServer, LayerStore, MomentumTracker, PlanPolicy,
+    ServerConfig, TileDesign, TileId,
 };
 use kyrix_storage::{DataType, Database, IndexKind, Rect, Row, Schema, SpatialCols, Value};
 
@@ -485,6 +487,283 @@ fn semantic_profile_reset_clears_state() {
         std::thread::sleep(std::time::Duration::from_millis(1));
     }
     assert!(server.prefetch_totals().requests >= 1);
+}
+
+/// Two-canvas app over the same dots table ("overview" + "detail"), for
+/// mixed-plan policies. The optional hints mark overview as a tile target
+/// and detail as a box target.
+fn two_canvas_app(with_hints: bool) -> AppSpec {
+    let layer = |hint: PlanHint| {
+        let l = LayerSpec::dynamic(
+            "t",
+            PlacementSpec::point("x", "y"),
+            RenderSpec::Marks(MarkEncoding::circle()),
+        );
+        if with_hints {
+            l.with_plan_hint(hint)
+        } else {
+            l
+        }
+    };
+    AppSpec::new("mixed")
+        .add_transform(TransformSpec::query("t", "SELECT * FROM dots"))
+        .add_canvas(CanvasSpec::new("overview", 100.0, 100.0).layer(layer(PlanHint::StaticTiles)))
+        .add_canvas(CanvasSpec::new("detail", 100.0, 100.0).layer(layer(PlanHint::DynamicBox)))
+        .initial("overview", 50.0, 50.0)
+        .viewport(10.0, 10.0)
+}
+
+const MIXED_TILES: FetchPlan = FetchPlan::StaticTiles {
+    size: 10.0,
+    design: TileDesign::SpatialIndex,
+};
+const MIXED_BOXES: FetchPlan = FetchPlan::DynamicBox {
+    policy: BoxPolicy::PctLarger(0.5),
+};
+
+/// Shared assertions for a server that must serve `overview` with tiles
+/// and `detail` with boxes.
+fn assert_mixed_serving(server: &KyrixServer) {
+    assert_eq!(server.plan_for("overview", 0).unwrap(), MIXED_TILES);
+    assert_eq!(server.plan_for("detail", 0).unwrap(), MIXED_BOXES);
+    assert!(server.tiling_for("overview", 0).unwrap().is_some());
+    assert!(server.tiling_for("detail", 0).unwrap().is_none());
+
+    // direct fetches follow each layer's plan, and the wrong kind errors
+    let tile = server.fetch_tile("overview", 0, TileId::new(2, 2)).unwrap();
+    assert!(!tile.rows.is_empty());
+    assert!(server.fetch_tile("detail", 0, TileId::new(2, 2)).is_err());
+    let vp = Rect::new(40.0, 40.0, 50.0, 50.0);
+    let dbox = server.fetch_box("detail", 0, &vp).unwrap();
+    assert!(dbox.rect.contains(&vp), "box policy applied on detail");
+    assert!(server.fetch_box("overview", 0, &vp).is_err());
+
+    // the plan-agnostic region path serves both plans; both responses
+    // cover the viewport and agree on its contents (each plan over-fetches
+    // differently: whole tiles vs. an inflated box)
+    let a = server.fetch_region("overview", 0, &vp).unwrap();
+    let b = server.fetch_region("detail", 0, &vp).unwrap();
+    assert!(a.rect.contains(&vp) && b.rect.contains(&vp));
+    let within_vp = |rows: &[Row]| -> Vec<i64> {
+        let mut ids: Vec<i64> = rows
+            .iter()
+            .filter(|r| {
+                let (x, y) = (r.get(1).as_f64().unwrap(), r.get(2).as_f64().unwrap());
+                vp.contains_point(x, y)
+            })
+            .map(|r| r.get(0).as_i64().unwrap())
+            .collect();
+        ids.sort_unstable();
+        ids.dedup();
+        ids
+    };
+    let (in_a, in_b) = (within_vp(&a.rows), within_vp(&b.rows));
+    assert_eq!(
+        in_a.len(),
+        11 * 11,
+        "viewport holds an 11x11 inclusive grid"
+    );
+    assert_eq!(in_a, in_b, "both plans agree on the viewport contents");
+
+    // per-(canvas, layer) cache keys: a second fetch of each is a pure hit
+    assert_eq!(
+        server
+            .fetch_tile("overview", 0, TileId::new(2, 2))
+            .unwrap()
+            .metrics
+            .cache_hits,
+        1
+    );
+    assert_eq!(
+        server
+            .fetch_box("detail", 0, &vp)
+            .unwrap()
+            .metrics
+            .cache_hits,
+        1
+    );
+}
+
+#[test]
+fn per_canvas_policy_serves_mixed_plans_in_one_app() {
+    let db = grid_db(true);
+    let app = compile(&two_canvas_app(false), &db).unwrap();
+    let policy = PlanPolicy::per_canvas(MIXED_BOXES).with_canvas("overview", MIXED_TILES);
+    let config = ServerConfig::from_policy(policy).with_cost(CostModel::zero());
+    let (server, reports) = KyrixServer::launch(app, db, config).unwrap();
+    assert_eq!(reports.len(), 2);
+    assert_mixed_serving(&server);
+}
+
+#[test]
+fn spec_hint_policy_follows_layer_hints() {
+    let db = grid_db(true);
+    let app = compile(&two_canvas_app(true), &db).unwrap();
+    let policy = PlanPolicy::SpecHints {
+        tiles: MIXED_TILES,
+        boxes: MIXED_BOXES,
+    };
+    let config = ServerConfig::from_policy(policy).with_cost(CostModel::zero());
+    let (server, _) = KyrixServer::launch(app, db, config).unwrap();
+    assert_mixed_serving(&server);
+}
+
+#[test]
+fn row_threshold_policy_splits_layers_by_volume() {
+    // dots has 10k rows; sparse_marks has 3: the rule sends the dense
+    // layer to tiles and the sparse one to boxes
+    let mut db = grid_db(false);
+    db.create_table(
+        "sparse_marks",
+        Schema::empty()
+            .with("id", DataType::Int)
+            .with("x", DataType::Float)
+            .with("y", DataType::Float),
+    )
+    .unwrap();
+    for i in 0..3i64 {
+        db.insert(
+            "sparse_marks",
+            Row::new(vec![
+                Value::Int(i),
+                Value::Float(i as f64 * 30.0 + 10.0),
+                Value::Float(50.0),
+            ]),
+        )
+        .unwrap();
+    }
+    let spec = AppSpec::new("volumes")
+        .add_transform(TransformSpec::query("dense_t", "SELECT * FROM dots"))
+        .add_transform(TransformSpec::query(
+            "sparse_t",
+            "SELECT * FROM sparse_marks",
+        ))
+        .add_canvas(
+            CanvasSpec::new("dense", 100.0, 100.0).layer(LayerSpec::dynamic(
+                "dense_t",
+                PlacementSpec::point("x", "y"),
+                RenderSpec::Marks(MarkEncoding::circle()),
+            )),
+        )
+        .add_canvas(
+            CanvasSpec::new("sparse", 100.0, 100.0).layer(LayerSpec::dynamic(
+                "sparse_t",
+                PlacementSpec::point("x", "y"),
+                RenderSpec::Marks(MarkEncoding::circle()),
+            )),
+        )
+        .initial("dense", 50.0, 50.0)
+        .viewport(10.0, 10.0);
+    let app = compile(&spec, &db).unwrap();
+    let policy = PlanPolicy::RowThreshold {
+        threshold: 1000,
+        dense: MIXED_TILES,
+        sparse: MIXED_BOXES,
+    };
+    let (server, _) = KyrixServer::launch(
+        app,
+        db,
+        ServerConfig::from_policy(policy).with_cost(CostModel::zero()),
+    )
+    .unwrap();
+    assert_eq!(server.plan_for("dense", 0).unwrap(), MIXED_TILES);
+    assert_eq!(server.plan_for("sparse", 0).unwrap(), MIXED_BOXES);
+    assert!(!server
+        .fetch_tile("dense", 0, TileId::new(5, 5))
+        .unwrap()
+        .rows
+        .is_empty());
+    let sparse = server
+        .fetch_box("sparse", 0, &Rect::new(0.0, 40.0, 100.0, 60.0))
+        .unwrap();
+    assert_eq!(sparse.rows.len(), 3);
+}
+
+#[test]
+fn estimate_layer_rows_counts_query_output_not_table_size() {
+    // an aggregate without GROUP BY scans the whole table but yields one
+    // row; the row-threshold policy must see 1, not the table length
+    let db = grid_db(false);
+    let spec = AppSpec::new("est")
+        .add_transform(TransformSpec::query("plain", "SELECT * FROM dots"))
+        .add_transform(TransformSpec::query(
+            "agg",
+            "SELECT AVG(x) AS x, AVG(y) AS y FROM dots",
+        ))
+        .add_canvas(CanvasSpec::new("a", 100.0, 100.0).layer(LayerSpec::dynamic(
+            "plain",
+            PlacementSpec::point("x", "y"),
+            RenderSpec::Marks(MarkEncoding::circle()),
+        )))
+        .add_canvas(CanvasSpec::new("b", 100.0, 100.0).layer(LayerSpec::dynamic(
+            "agg",
+            PlacementSpec::point("x", "y"),
+            RenderSpec::Marks(MarkEncoding::circle()),
+        )))
+        .initial("a", 50.0, 50.0)
+        .viewport(10.0, 10.0);
+    let app = compile(&spec, &db).unwrap();
+    let plain = &app.canvas("a").unwrap().layers[0];
+    let agg = &app.canvas("b").unwrap().layers[0];
+    assert_eq!(
+        kyrix_server::estimate_layer_rows(&db, plain).unwrap(),
+        10_000
+    );
+    assert_eq!(kyrix_server::estimate_layer_rows(&db, agg).unwrap(), 1);
+}
+
+#[test]
+fn momentum_prefetch_goes_quiet_after_a_stopped_pan() {
+    // regression: the smoothed velocity never decays to exactly zero, so
+    // the worker used to keep issuing backend requests for sub-pixel
+    // predictions indefinitely after a pan ended
+    let db = grid_db(false);
+    let app = compile(&dots_app(PlacementSpec::point("x", "y")), &db).unwrap();
+    let config = ServerConfig::new(FetchPlan::DynamicBox {
+        policy: BoxPolicy::Exact,
+    })
+    .with_cost(CostModel::zero())
+    .with_prefetch(true);
+    let (server, _) = KyrixServer::launch(app, db, config).unwrap();
+
+    let mut tracker = MomentumTracker::new();
+    let mut vp = Rect::new(0.0, 0.0, 10.0, 10.0);
+    for _ in 0..6 {
+        vp = vp.translate(5.0, 0.0);
+        let v = tracker.observe(&vp);
+        server.hint_momentum("main", &vp, v);
+    }
+    // the pan stops: the same viewport is observed from here on. The
+    // residual velocity (5 units on a 10-unit viewport) must fall below
+    // the decay threshold within a bounded number of idle observations…
+    for _ in 0..16 {
+        let v = tracker.observe(&vp);
+        server.hint_momentum("main", &vp, v);
+    }
+    // wait until the worker is genuinely quiet (a popped task can still be
+    // mid-flight after drain_prefetch) before taking the settled reading
+    server.drain_prefetch();
+    let mut settled = server.prefetch_totals().requests;
+    loop {
+        std::thread::sleep(std::time::Duration::from_millis(20));
+        let now = server.prefetch_totals().requests;
+        if now == settled {
+            break;
+        }
+        settled = now;
+    }
+    // …after which further idle observations trigger zero backend work
+    for _ in 0..16 {
+        let v = tracker.observe(&vp);
+        server.hint_momentum("main", &vp, v);
+    }
+    server.drain_prefetch();
+    std::thread::sleep(std::time::Duration::from_millis(10));
+    assert_eq!(
+        server.prefetch_totals().requests,
+        settled,
+        "prefetcher still issuing backend requests after the pan stopped"
+    );
 }
 
 #[test]

@@ -77,16 +77,16 @@ pub mod prelude {
     };
     pub use kyrix_core::{
         compile, link_zoom_levels, synthesize_placement, AppSpec, AxisFit, CanvasSpec, CompiledApp,
-        JumpSpec, JumpType, LayerSpec, MarkEncoding, PlacementExample, PlacementSpec, RampKind,
-        RenderSpec, SynthesizedPlacement, TransformSpec, ZoomLevelRef,
+        JumpSpec, JumpType, LayerSpec, MarkEncoding, PlacementExample, PlacementSpec, PlanHint,
+        RampKind, RenderSpec, SynthesizedPlacement, TransformSpec, ZoomLevelRef,
     };
     pub use kyrix_expr::{as_affine, eval, parse, Compiled, Expr, VarMap};
     pub use kyrix_lod::{build_pyramid, build_pyramid_sharded, lod_app, LodConfig, LodPyramid};
     pub use kyrix_parallel::{ParallelDatabase, Partitioner};
     pub use kyrix_render::{save_ppm, Color, Frame, Mark, MarkType};
     pub use kyrix_server::{
-        BoxPolicy, CostModel, FetchPlan, KyrixServer, PrefetchPolicy, ServerConfig, TileDesign,
-        TileId, Tiling,
+        BoxPolicy, CostModel, FetchPlan, KyrixServer, PlanPolicy, PrefetchPolicy, ServerConfig,
+        TileDesign, TileId, Tiling,
     };
     pub use kyrix_storage::{
         DataType, Database, IndexKind, Rect, Row, Schema, SpatialCols, TxnDatabase, Value,

@@ -172,10 +172,15 @@ fn app_stack_entry_points() {
 
     let spec: AppSpec = dots_app(&cfg, (512.0, 512.0));
     let app: CompiledApp = compile(&spec, &db).unwrap();
-    let config = ServerConfig::new(FetchPlan::DynamicBox {
+    // plan policies are the config's general form; ::new(plan) is the
+    // uniform shorthand
+    let policy: PlanPolicy = PlanPolicy::uniform(FetchPlan::DynamicBox {
         policy: BoxPolicy::Exact,
     });
+    let config = ServerConfig::from_policy(policy);
     let (server, _reports) = KyrixServer::launch(app, db, config).unwrap();
+    let resolved: FetchPlan = server.plan_for("main", 0).unwrap();
+    assert!(matches!(resolved, FetchPlan::DynamicBox { .. }));
     let (mut session, first): (Session, StepReport) = Session::open(Arc::new(server)).unwrap();
     assert!(first.visible_rows > 0);
 
@@ -196,6 +201,7 @@ fn app_stack_entry_points() {
         TileId,
         CostModel,
         PrefetchPolicy,
+        PlanHint,
         LinkMode,
         MarkType,
         Mark,

@@ -2,7 +2,7 @@
 //!
 //! Implements the property-testing API surface this workspace's tests
 //! use: the `proptest!`, `prop_oneof!` and `prop_assert*!` macros, the
-//! [`Strategy`] trait with `prop_map`/`prop_recursive`/`boxed`,
+//! [`Strategy`](strategy::Strategy) trait with `prop_map`/`prop_recursive`/`boxed`,
 //! range/tuple/`Just`/`any` strategies, simplified regex string
 //! strategies, and `prop::collection::vec` / `prop::option::of`.
 //!
