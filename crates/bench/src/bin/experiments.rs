@@ -572,6 +572,9 @@ fn lod(small: bool) {
     // points), not the million-point config of the table above: the
     // comparison rebuilds the pyramid once per policy, and e2e scale keeps
     // that affordable while preserving the skew that separates the plans.
+    // The `auto (measured)` row is the tuner: `PlanPolicy::Measured`
+    // calibrated on the zoom walk, so its modeled cost is ≤ the best
+    // uniform row (ties allowed, never worse).
     let cg = if small {
         GalaxyConfig::tiny()
     } else {
@@ -581,13 +584,25 @@ fn lod(small: bool) {
         "### Fetch-plan policy on the LoD app — {} points, cold zoom walk\n",
         cg.n
     );
-    println!("| policy | avg step modeled (ms) | avg step wall (ms) | requests | queries | rows fetched |");
-    println!("|---|---|---|---|---|---|");
-    for r in run_lod_plan_comparison(&cg, 3, 24.0, (1024.0, 1024.0), 6) {
+    println!("| policy | avg step modeled (ms) | avg step net (ms) | avg step wall (ms) | requests | queries | rows fetched |");
+    println!("|---|---|---|---|---|---|---|");
+    let rows = run_lod_plan_comparison(&cg, 3, 24.0, (1024.0, 1024.0), 6);
+    for r in &rows {
         println!(
-            "| {} | {:.2} | {:.3} | {} | {} | {} |",
-            r.label, r.avg_modeled_ms, r.avg_measured_ms, r.requests, r.queries, r.rows
+            "| {} | {:.2} | {:.2} | {:.3} | {} | {} | {} |",
+            r.label,
+            r.avg_modeled_ms,
+            r.avg_net_ms,
+            r.avg_measured_ms,
+            r.requests,
+            r.queries,
+            r.rows
         );
+    }
+    for r in &rows {
+        if let Some(plans) = &r.plans {
+            println!("\nauto-tuned assignment: {plans}");
+        }
     }
     println!();
 }

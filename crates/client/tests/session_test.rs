@@ -217,7 +217,10 @@ fn session_forwards_semantic_hints_to_the_server() {
     // hints off: panning never triggers the prefetcher
     session.pan_by(50.0, 0.0).unwrap();
     server.drain_prefetch();
-    assert_eq!(server.prefetch_totals().requests, 0);
+    // prefetch_totals().requests is always 0 (prefetch is backend-internal);
+    // background activity shows up as queries and cache operations
+    let ops = |m: kyrix_server::FetchMetrics| m.queries + m.cache_hits + m.cache_misses;
+    assert_eq!(ops(server.prefetch_totals()), 0);
 
     // hints on: panning feeds the semantic profile and warms neighbors
     session.send_semantic_hints = true;
@@ -225,13 +228,13 @@ fn session_forwards_semantic_hints_to_the_server() {
     session.pan_by(50.0, 0.0).unwrap();
     for _ in 0..500 {
         server.drain_prefetch();
-        if server.prefetch_totals().requests >= 1 {
+        if ops(server.prefetch_totals()) >= 1 {
             break;
         }
         std::thread::sleep(std::time::Duration::from_millis(1));
     }
     assert!(
-        server.prefetch_totals().requests >= 1,
+        ops(server.prefetch_totals()) >= 1,
         "semantic prefetch must run from session hints"
     );
 }

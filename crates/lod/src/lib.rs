@@ -60,7 +60,7 @@ pub mod grid;
 pub mod pyramid;
 
 pub use aggregate::Cluster;
-pub use app::lod_app;
+pub use app::{lod_app, lod_calibration_walk};
 pub use cluster::{aggregate_into_cells, merge_cell_maps, retain_with_spacing};
 pub use config::LodConfig;
 pub use error::{LodError, Result};

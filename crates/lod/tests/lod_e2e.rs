@@ -8,10 +8,13 @@
 
 use kyrix_client::Session;
 use kyrix_core::compile;
-use kyrix_lod::{build_pyramid, build_pyramid_sharded, lod_app, LodConfig, SpacingGrid};
+use kyrix_lod::{
+    build_pyramid, build_pyramid_sharded, lod_app, lod_calibration_walk, LodConfig, SpacingGrid,
+};
 use kyrix_parallel::{ParallelDatabase, Partitioner};
 use kyrix_server::{
-    BoxPolicy, FetchPlan, KyrixServer, PlanPolicy, ServerConfig, TileDesign, Tiling,
+    BoxPolicy, CalibrationTrace, FetchPlan, KyrixServer, PlanPolicy, ServerConfig, TileDesign,
+    Tiling,
 };
 use kyrix_storage::{Database, Rect, Value};
 use kyrix_workload::{galaxy_rows, galaxy_schema, index_galaxy, load_zipf_galaxy, GalaxyConfig};
@@ -347,6 +350,115 @@ fn mixed_plans_serve_one_lod_app_across_a_zoom_trace() {
         outcome.report.visible_rows > 0,
         "tiled level shows marks again"
     );
+}
+
+/// Acceptance: an *auto-tuned* server end-to-end — launch with
+/// `PlanPolicy::Measured` over the 3-level `zipf_galaxy` pyramid, let the
+/// tuner replay the deterministic calibration walk against both candidate
+/// plans on every level, then drive a session zoom trace through the
+/// tuned (potentially mixed-plan) assignment from the coarsest level down
+/// to raw and back.
+#[test]
+fn auto_tuned_policy_serves_the_pyramid_end_to_end() {
+    let g = GalaxyConfig::e2e();
+    let cfg = lod_config(&g);
+    let (db, _pyramid) = built_db(&g, &cfg);
+    let spec = lod_app(&cfg, (1024.0, 1024.0));
+    let app = compile(&spec, &db).unwrap();
+    let tiles = FetchPlan::StaticTiles {
+        size: 1024.0,
+        design: TileDesign::SpatialIndex,
+    };
+    let boxes = FetchPlan::DynamicBox {
+        policy: BoxPolicy::Exact,
+    };
+    let trace = CalibrationTrace::from_steps(lod_calibration_walk(&cfg, (1024.0, 1024.0), 4));
+    assert!(!trace.is_empty());
+    let policy = PlanPolicy::measured(vec![tiles, boxes], trace);
+    let (server, reports) =
+        KyrixServer::launch(app, db, ServerConfig::from_policy(policy)).unwrap();
+    assert!(
+        reports.iter().all(|r| r.skipped_separable),
+        "every candidate precompute takes the separable fast path"
+    );
+
+    // ---- the tuner measured both candidates on every level and the
+    // server resolved each level to its per-level argmin
+    let report = server.tuning_report().expect("measured launch reports");
+    assert_eq!(report.layers.len(), LEVELS + 1);
+    for lt in &report.layers {
+        assert!(lt.steps > 0, "{}: calibration visited the level", lt.canvas);
+        assert_eq!(lt.candidates.len(), 2);
+        assert!(lt
+            .candidates
+            .iter()
+            .all(|c| lt.chosen_cost().modeled_ms <= c.modeled_ms));
+        assert_eq!(
+            server.plan_for(&lt.canvas, lt.layer).unwrap(),
+            lt.chosen_plan()
+        );
+    }
+    // the tuned assignment never loses to either uniform assignment on
+    // the calibration measurements
+    let total = report.total_modeled_ms();
+    assert!(total.is_finite() && total > 0.0);
+    assert!(total <= report.uniform_modeled_ms(&tiles).unwrap());
+    assert!(total <= report.uniform_modeled_ms(&boxes).unwrap());
+    // the assignment freezes into a static per-canvas policy that resolves
+    // identically (for reuse without re-measuring)
+    let frozen = report.frozen_policy(boxes);
+    for k in 0..=LEVELS {
+        let canvas = cfg.level_canvas(k);
+        let layer = &server.app().canvas(&canvas).unwrap().layers[0];
+        assert_eq!(
+            frozen.resolve(layer, 0),
+            report.chosen(&canvas, 0).unwrap(),
+            "frozen policy diverges on level {k}"
+        );
+    }
+
+    // ---- zoom trace through the tuned assignment: coarsest → raw → back
+    let server = Arc::new(server);
+    let (mut session, first) = Session::open(server.clone()).unwrap();
+    assert_eq!(session.canvas_id(), cfg.level_canvas(LEVELS));
+    assert!(first.visible_rows > 0, "the tuned overview shows marks");
+    for to in (0..LEVELS).rev() {
+        let from = to + 1;
+        let row = server
+            .database()
+            .query(
+                &format!("SELECT * FROM {} LIMIT 1", cfg.level_table(from)),
+                &[],
+            )
+            .unwrap()
+            .rows[0]
+            .clone();
+        let jump_id = format!("zoomin_{}_{}", cfg.level_canvas(from), cfg.level_canvas(to));
+        let outcome = session.jump(&jump_id, 0, &row).unwrap();
+        assert!(
+            outcome.report.visible_rows > 0,
+            "level {to} shows marks after the zoom-in"
+        );
+        session.pan_by(512.0, 256.0).unwrap();
+    }
+    assert_eq!(session.canvas_id(), "level0");
+    let raw_row = server
+        .database()
+        .query(
+            &format!("SELECT * FROM {} LIMIT 1", cfg.level_table(0)),
+            &[],
+        )
+        .unwrap()
+        .rows[0]
+        .clone();
+    let back = format!("zoomout_{}_{}", cfg.level_canvas(0), cfg.level_canvas(1));
+    let outcome = session.jump(&back, 0, &raw_row).unwrap();
+    assert_eq!(outcome.to_canvas, cfg.level_canvas(1));
+    assert!(outcome.report.visible_rows > 0);
+
+    // the session's traffic is attributable per level
+    let raw_totals = server.layer_totals("level0", 0).unwrap();
+    assert!(raw_totals.requests > 0, "raw level served the session");
 }
 
 #[test]

@@ -1,8 +1,9 @@
 //! Fetch primitives: one SQL round trip per call, against a layer store.
 
+use crate::dbox::BoxPolicy;
 use crate::error::{Result, ServerError};
 use crate::metrics::FetchMetrics;
-use crate::precompute::LayerStore;
+use crate::precompute::{FetchPlan, LayerStore};
 use crate::tile::{TileId, Tiling};
 use kyrix_storage::{Database, Rect, Row, Value};
 use std::time::Instant;
@@ -145,6 +146,63 @@ pub fn fetch_tile(
             fetch_rect(db, store, &tiling.tile_rect(tile))
         }
     }
+}
+
+/// Serve one viewport rectangle under an explicit plan with the paper's
+/// §3.3 cold-cache accounting, bypassing every cache: the covering tiles —
+/// one frontend↔backend request *per tile* — for static tiles, one
+/// policy-computed box for dynamic boxes. Rows are returned as shipped
+/// (tile straddlers arrive once per covering tile), because the modeled
+/// cost of a cold serve includes that duplication.
+///
+/// This is the measurement primitive behind the plan tuner
+/// ([`crate::tuner`]): it attributes a trace step's cost to one
+/// `(store, plan)` pair without touching the launched server's caches or
+/// per-layer totals. Real traffic goes through
+/// [`crate::KyrixServer::fetch_region`] instead.
+pub fn fetch_plan_cold(
+    db: &Database,
+    store: &LayerStore,
+    plan: &FetchPlan,
+    canvas_bounds: &Rect,
+    rect: &Rect,
+) -> Result<(Vec<Row>, FetchMetrics)> {
+    match plan {
+        FetchPlan::StaticTiles { size, .. } => {
+            let tiling = Tiling::new(*size);
+            let mut rows = Vec::new();
+            let mut metrics = FetchMetrics::default();
+            for tile in tiling.covering(rect)? {
+                let (tile_rows, mut m) = fetch_tile(db, store, tiling, tile)?;
+                m.requests = 1;
+                metrics.merge(&m);
+                rows.extend(tile_rows);
+            }
+            Ok((rows, metrics))
+        }
+        FetchPlan::DynamicBox { policy } => {
+            let fetch_box = compute_fetch_box(db, store, policy, rect, canvas_bounds);
+            let (rows, mut metrics) = fetch_rect(db, store, &fetch_box)?;
+            metrics.requests = 1;
+            Ok((rows, metrics))
+        }
+    }
+}
+
+/// The rectangle a dynamic-box policy fetches for a viewport, with the
+/// store's spatial count as the density estimator. The estimator closure
+/// is lazy — only [`BoxPolicy::DensityAdaptive`] ever invokes it — so this
+/// is the single box-computation path for both the server's cached box
+/// fetch and the tuner's cold measurements.
+pub fn compute_fetch_box(
+    db: &Database,
+    store: &LayerStore,
+    policy: &BoxPolicy,
+    viewport: &Rect,
+    canvas_bounds: &Rect,
+) -> Rect {
+    let estimator = |r: &Rect| count_rect(db, store, r).unwrap_or(usize::MAX);
+    policy.compute(viewport, canvas_bounds, Some(&estimator))
 }
 
 /// Count (without fetching) the layer objects intersecting a rectangle;

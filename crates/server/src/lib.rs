@@ -14,7 +14,10 @@
 //!   implemented) — [`prefetch`];
 //! * an explicit, configurable **cost model** for the network/DBMS
 //!   overheads that an in-process reproduction does not naturally pay —
-//!   [`cost`].
+//!   [`cost`];
+//! * trace-cost-driven **plan auto-tuning**: `PlanPolicy::Measured`
+//!   replays a calibration trace against every candidate plan per
+//!   `(canvas, layer)` and resolves the cheapest — [`tuner`].
 
 pub mod cache;
 pub mod cost;
@@ -27,12 +30,13 @@ pub mod precompute;
 pub mod prefetch;
 pub mod server;
 pub mod tile;
+pub mod tuner;
 
 pub use cache::LruCache;
 pub use cost::CostModel;
 pub use dbox::BoxPolicy;
 pub use error::{Result, ServerError};
-pub use fetch::{count_rect, fetch_rect, fetch_tile};
+pub use fetch::{count_rect, fetch_plan_cold, fetch_rect, fetch_tile};
 pub use metrics::FetchMetrics;
 pub use policy::PlanPolicy;
 pub use precompute::{
@@ -45,3 +49,4 @@ pub use prefetch::{
 };
 pub use server::{BoxResponse, KyrixServer, PrefetchPolicy, ServerConfig, TileResponse};
 pub use tile::{TileId, Tiling, MAX_COVERING_TILES};
+pub use tuner::{measure_plan, CalibrationTrace, CandidateCost, LayerTuning, TuningReport};

@@ -12,6 +12,7 @@
 //! cache, and prefetch site.
 
 use crate::precompute::FetchPlan;
+use crate::tuner::CalibrationTrace;
 use kyrix_core::{CompiledLayer, PlanHint};
 
 /// How the fetch plan of each `(canvas, layer)` is chosen.
@@ -38,6 +39,19 @@ pub enum PlanPolicy {
     /// matching plan; unhinted layers get `boxes` (dynamic boxes are the
     /// paper's general-purpose design).
     SpecHints { tiles: FetchPlan, boxes: FetchPlan },
+    /// Measure, don't guess: at launch the tuner ([`crate::tuner`])
+    /// replays `trace` against every candidate plan of every non-static
+    /// layer and resolves the cheapest by modeled cost — the paper's
+    /// measure-then-pick methodology (§4, Figures 6/7), automated per
+    /// `(canvas, layer)`. Candidate order is the preference order: ties
+    /// (and canvases the trace never visits) keep the earlier candidate.
+    /// The resulting assignment is exposed through
+    /// [`crate::KyrixServer::tuning_report`] and can be frozen into a
+    /// static [`PlanPolicy::PerCanvas`] policy for later launches.
+    Measured {
+        candidates: Vec<FetchPlan>,
+        trace: CalibrationTrace,
+    },
 }
 
 impl PlanPolicy {
@@ -52,6 +66,18 @@ impl PlanPolicy {
             default,
             overrides: Vec::new(),
         }
+    }
+
+    /// Measured policy over candidate plans and a calibration trace.
+    /// An empty candidate list is a configuration mistake (`launch` fails
+    /// with a `Config` error, and a direct `resolve` has no fallback to
+    /// return) and panics in debug builds.
+    pub fn measured(candidates: Vec<FetchPlan>, trace: CalibrationTrace) -> Self {
+        debug_assert!(
+            !candidates.is_empty(),
+            "Measured policy needs at least one candidate plan"
+        );
+        PlanPolicy::Measured { candidates, trace }
     }
 
     /// …and override individual canvases. Only meaningful on the
@@ -78,6 +104,11 @@ impl PlanPolicy {
 
     /// Resolve the concrete plan for one layer. `estimated_rows` is only
     /// consulted by [`PlanPolicy::RowThreshold`] (pass 0 otherwise).
+    ///
+    /// [`PlanPolicy::Measured`] is resolved by the launch-time tuner, not
+    /// here; calling `resolve` on it returns the first candidate — the
+    /// same fallback the tuner uses for static layers and canvases the
+    /// calibration trace never visits.
     pub fn resolve(&self, layer: &CompiledLayer, estimated_rows: usize) -> FetchPlan {
         match self {
             PlanPolicy::Uniform(plan) => *plan,
@@ -101,6 +132,9 @@ impl PlanPolicy {
                 Some(PlanHint::StaticTiles) => *tiles,
                 Some(PlanHint::DynamicBox) | None => *boxes,
             },
+            PlanPolicy::Measured { candidates, .. } => *candidates
+                .first()
+                .expect("Measured policy needs at least one candidate plan"),
         }
     }
 
@@ -122,6 +156,13 @@ impl PlanPolicy {
             } => format!("rows>{threshold} ? {} : {}", dense.label(), sparse.label()),
             PlanPolicy::SpecHints { tiles, boxes } => {
                 format!("hinted({} / {})", tiles.label(), boxes.label())
+            }
+            PlanPolicy::Measured { candidates, trace } => {
+                format!(
+                    "measured({} candidates, {} steps)",
+                    candidates.len(),
+                    trace.len()
+                )
             }
         }
     }
@@ -199,6 +240,15 @@ mod tests {
         );
         assert_eq!(p.resolve(&layer("c", Some(PlanHint::DynamicBox)), 0), BOXES);
         assert_eq!(p.resolve(&layer("c", None), 0), BOXES, "unhinted → boxes");
+    }
+
+    #[test]
+    fn measured_resolve_falls_back_to_the_first_candidate() {
+        let p = PlanPolicy::measured(vec![TILES, BOXES], CalibrationTrace::new());
+        assert!(!p.needs_row_estimate());
+        // direct resolution (tuner not involved) = the preference fallback
+        assert_eq!(p.resolve(&layer("c", None), 0), TILES);
+        assert!(p.label().contains("measured(2 candidates, 0 steps)"));
     }
 
     #[test]

@@ -29,12 +29,21 @@ pub const MIN_VELOCITY_FRAC: f64 = 1e-3;
 /// Predict the next `steps` viewports from the current viewport and the
 /// most recent per-step velocity. Returns nothing when the velocity is
 /// negligible relative to the viewport size (the user has stopped panning).
+///
+/// A degenerate `steps` of 0 does *not* silently produce no candidates:
+/// for a user who is genuinely moving, the current viewport itself is
+/// returned as the sole candidate, so a zero-lookahead configuration still
+/// keeps the region the user occupies warm instead of disabling the
+/// predictor without a trace.
 pub fn predict_viewports(current: &Rect, velocity: (f64, f64), steps: usize) -> Vec<Rect> {
     let (dx, dy) = velocity;
     if dx.abs() <= current.width() * MIN_VELOCITY_FRAC
         && dy.abs() <= current.height() * MIN_VELOCITY_FRAC
     {
         return Vec::new();
+    }
+    if steps == 0 {
+        return vec![*current];
     }
     (1..=steps)
         .map(|i| current.translate(dx * i as f64, dy * i as f64))
@@ -239,6 +248,17 @@ mod tests {
     fn zero_velocity_predicts_nothing() {
         let vp = Rect::new(0.0, 0.0, 100.0, 100.0);
         assert!(predict_viewports(&vp, (0.0, 0.0), 5).is_empty());
+    }
+
+    #[test]
+    fn zero_steps_falls_back_to_the_current_viewport() {
+        // regression: a degenerate lookahead of 0 made the candidate loop
+        // empty, so a moving user silently got no prefetch candidates at
+        // all; the current viewport must be the sole candidate instead
+        let vp = Rect::new(0.0, 0.0, 100.0, 100.0);
+        assert_eq!(predict_viewports(&vp, (50.0, 0.0), 0), vec![vp]);
+        // …but a stopped user still gets nothing, even at 0 steps
+        assert!(predict_viewports(&vp, (0.0, 0.0), 0).is_empty());
     }
 
     #[test]

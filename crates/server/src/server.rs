@@ -4,9 +4,9 @@
 
 use crate::cache::LruCache;
 use crate::cost::CostModel;
-use crate::dbox::BoxPolicy;
 use crate::error::{Result, ServerError};
-use crate::fetch::{count_rect, fetch_rect, fetch_tile};
+use crate::fetch::fetch_rect;
+use crate::fetch::{compute_fetch_box, count_rect, fetch_tile};
 use crate::metrics::FetchMetrics;
 use crate::policy::PlanPolicy;
 use crate::precompute::{
@@ -16,6 +16,7 @@ use crate::prefetch::{
     neighbor_rects, predict_viewports, rank_by_similarity, RegionSignature, SemanticTracker,
 };
 use crate::tile::{TileId, Tiling};
+use crate::tuner::{self, TuningReport};
 use crossbeam::channel::{unbounded, Sender};
 use kyrix_core::CompiledApp;
 use kyrix_storage::fxhash::FxHashMap;
@@ -130,6 +131,11 @@ struct Inner {
     box_caches: Mutex<FxHashMap<(u32, u32), BoxCacheShelf>>,
     box_cache_entries: usize,
     totals: Mutex<FetchMetrics>,
+    /// Foreground metrics attributed per `(canvas idx, layer idx)` — and
+    /// therefore per resolved plan, since each layer serves exactly one.
+    /// The substrate for inspecting how a plan assignment performs live
+    /// (the tuner measures candidates on its own side channel instead).
+    layer_totals: Mutex<FxHashMap<(u32, u32), FetchMetrics>>,
     prefetch_totals: Mutex<FetchMetrics>,
     /// Per-canvas semantic profiles (data characteristics of recently
     /// viewed regions).
@@ -205,7 +211,7 @@ impl Inner {
                 cache_hits: 1,
                 ..Default::default()
             };
-            self.record(&metrics, background);
+            self.record(&metrics, background, (ci, layer as u32));
             return Ok(TileResponse {
                 tile,
                 rows,
@@ -221,7 +227,7 @@ impl Inner {
             .insert(key, (rows.clone(), bytes), rows.len().max(1));
         metrics.requests = 1;
         metrics.cache_misses = 1;
-        self.record(&metrics, background);
+        self.record(&metrics, background, (ci, layer as u32));
         Ok(TileResponse {
             tile,
             rows,
@@ -264,7 +270,7 @@ impl Inner {
                     cache_hits: 1,
                     ..Default::default()
                 };
-                self.record(&metrics, background);
+                self.record(&metrics, background, key);
                 return Ok(BoxResponse {
                     rect,
                     rows,
@@ -278,13 +284,7 @@ impl Inner {
             .canvas(canvas)
             .map(|c| c.bounds())
             .unwrap_or_else(Rect::empty);
-        let estimator = |r: &Rect| count_rect(&self.db, store, r).unwrap_or(usize::MAX);
-        let needs_estimate = matches!(policy, BoxPolicy::DensityAdaptive { .. });
-        let rect = if needs_estimate {
-            policy.compute(viewport, &canvas_bounds, Some(&estimator))
-        } else {
-            policy.compute(viewport, &canvas_bounds, None)
-        };
+        let rect = compute_fetch_box(&self.db, store, &policy, viewport, &canvas_bounds);
 
         let (rows, mut metrics) = fetch_rect(&self.db, store, &rect)?;
         let rows = Arc::new(rows);
@@ -296,7 +296,7 @@ impl Inner {
             shelf.push_front((rect, rows.clone(), metrics.bytes));
             shelf.truncate(self.box_cache_entries);
         }
-        self.record(&metrics, background);
+        self.record(&metrics, background, key);
         Ok(BoxResponse {
             rect,
             rows,
@@ -304,11 +304,29 @@ impl Inner {
         })
     }
 
-    fn record(&self, metrics: &FetchMetrics, background: bool) {
+    fn record(&self, metrics: &FetchMetrics, background: bool, layer: (u32, u32)) {
         if background {
-            self.prefetch_totals.lock().merge(metrics);
+            // Prefetch work is backend-internal: no frontend↔backend round
+            // trip happens and no bytes cross the frontend link until a
+            // foreground request is served — which records them itself,
+            // possibly as a cache hit. Zero `requests` and `bytes` here so
+            // `totals() + prefetch_totals()` over a warmed trace equals a
+            // cold run's totals (prefetched traffic is never double-counted
+            // in modeled_ms); keep the DBMS-side work (queries, db time),
+            // the tuples the worker pulled, and the cache accounting.
+            let backend_side = FetchMetrics {
+                requests: 0,
+                bytes: 0,
+                ..*metrics
+            };
+            self.prefetch_totals.lock().merge(&backend_side);
         } else {
             self.totals.lock().merge(metrics);
+            self.layer_totals
+                .lock()
+                .entry(layer)
+                .or_default()
+                .merge(metrics);
         }
     }
 }
@@ -393,34 +411,51 @@ pub struct KyrixServer {
     inner: Arc<Inner>,
     prefetcher: Option<Prefetcher>,
     config: ServerConfig,
+    /// Present iff the launch policy was [`PlanPolicy::Measured`].
+    tuning: Option<TuningReport>,
 }
 
 impl KyrixServer {
     /// Resolve the plan policy per `(canvas, layer)`, precompute every
     /// layer under its resolved plan, and start the server. Returns the
     /// per-layer precomputation reports.
+    ///
+    /// A [`PlanPolicy::Measured`] policy is resolved by the tuner
+    /// ([`crate::tuner`]): every candidate plan is precomputed side by
+    /// side and costed on the calibration trace before the cheapest wins;
+    /// the assignment is available afterwards via
+    /// [`KyrixServer::tuning_report`].
     pub fn launch(
         app: CompiledApp,
         mut db: Database,
         config: ServerConfig,
     ) -> Result<(Self, Vec<PrecomputeReport>)> {
-        let mut stores = FxHashMap::default();
-        let mut plans = FxHashMap::default();
-        let mut reports = Vec::new();
-        for (ci, canvas) in app.canvases.iter().enumerate() {
-            for (li, layer) in canvas.layers.iter().enumerate() {
-                let estimated_rows = if config.policy.needs_row_estimate() {
-                    estimate_layer_rows(&db, layer)?
-                } else {
-                    0
-                };
-                let plan = config.policy.resolve(layer, estimated_rows);
-                let (store, report) = precompute_layer(&mut db, layer, &plan, &app.name)?;
-                stores.insert((ci as u32, li as u32), store);
-                plans.insert((ci as u32, li as u32), plan);
-                reports.push(report);
+        let (stores, plans, reports, tuning) = match &config.policy {
+            PlanPolicy::Measured { candidates, trace } => {
+                let tuned = tuner::tune(&mut db, &app, candidates, trace, &config.cost)?;
+                (tuned.stores, tuned.plans, tuned.reports, Some(tuned.tuning))
             }
-        }
+            policy => {
+                let mut stores = FxHashMap::default();
+                let mut plans = FxHashMap::default();
+                let mut reports = Vec::new();
+                for (ci, canvas) in app.canvases.iter().enumerate() {
+                    for (li, layer) in canvas.layers.iter().enumerate() {
+                        let estimated_rows = if policy.needs_row_estimate() {
+                            estimate_layer_rows(&db, layer)?
+                        } else {
+                            0
+                        };
+                        let plan = policy.resolve(layer, estimated_rows);
+                        let (store, report) = precompute_layer(&mut db, layer, &plan, &app.name)?;
+                        stores.insert((ci as u32, li as u32), store);
+                        plans.insert((ci as u32, li as u32), plan);
+                        reports.push(report);
+                    }
+                }
+                (stores, plans, reports, None)
+            }
+        };
         let inner = Arc::new(Inner {
             app,
             db,
@@ -431,6 +466,7 @@ impl KyrixServer {
             box_caches: Mutex::new(FxHashMap::default()),
             box_cache_entries: config.box_cache_entries,
             totals: Mutex::new(FetchMetrics::default()),
+            layer_totals: Mutex::new(FxHashMap::default()),
             prefetch_totals: Mutex::new(FetchMetrics::default()),
             semantic: Mutex::new(FxHashMap::default()),
         });
@@ -444,6 +480,7 @@ impl KyrixServer {
                 inner,
                 prefetcher,
                 config,
+                tuning,
             },
             reports,
         ))
@@ -462,6 +499,14 @@ impl KyrixServer {
     pub fn plan_for(&self, canvas: &str, layer: usize) -> Result<FetchPlan> {
         let ci = self.inner.canvas_idx(canvas)?;
         self.inner.plan_for(ci, layer)
+    }
+
+    /// The tuner's per-layer candidate costs and chosen assignment. Present
+    /// iff the server was launched with [`PlanPolicy::Measured`]; use
+    /// [`crate::tuner::TuningReport::frozen_policy`] to reuse the
+    /// assignment in later launches without re-measuring.
+    pub fn tuning_report(&self) -> Option<&TuningReport> {
+        self.tuning.as_ref()
     }
 
     pub fn cost_model(&self) -> CostModel {
@@ -675,13 +720,37 @@ impl KyrixServer {
         *self.inner.totals.lock()
     }
 
-    /// Cumulative background (prefetch) metrics.
+    /// Cumulative foreground metrics of one `(canvas, layer)` — and thus of
+    /// the one plan the policy resolved for it. Zero until the layer serves
+    /// its first foreground request.
+    pub fn layer_totals(&self, canvas: &str, layer: usize) -> Result<FetchMetrics> {
+        let ci = self.inner.canvas_idx(canvas)?;
+        // validate the layer exists so a typo is an error, not silent zeros
+        self.inner.plan_for(ci, layer)?;
+        Ok(self
+            .inner
+            .layer_totals
+            .lock()
+            .get(&(ci, layer as u32))
+            .copied()
+            .unwrap_or_default())
+    }
+
+    /// Cumulative background (prefetch) metrics. Prefetching is
+    /// backend-internal, so `requests` and `bytes` are always 0 here — the
+    /// foreground serve of a warmed region records them, exactly once.
+    /// `queries` counts the worker's own DBMS work, which exceeds a cold
+    /// run's when predictions miss (a wasted prefetch has no foreground
+    /// counterpart); for a trace whose steps are all prefetch-warmed,
+    /// [`KyrixServer::totals`] + `prefetch_totals` carries the same
+    /// request/query/byte totals a cold run of that trace would.
     pub fn prefetch_totals(&self) -> FetchMetrics {
         *self.inner.prefetch_totals.lock()
     }
 
     pub fn reset_totals(&self) {
         *self.inner.totals.lock() = FetchMetrics::default();
+        self.inner.layer_totals.lock().clear();
         *self.inner.prefetch_totals.lock() = FetchMetrics::default();
         self.inner.tile_cache.lock().reset_stats();
     }

@@ -1,0 +1,402 @@
+//! Trace-cost-driven plan auto-tuning.
+//!
+//! The paper picks between precomputed tiles and dynamic boxes per
+//! deployment by *measuring* end-to-end response time (§4, Figures 6/7),
+//! and Kyrix-S extends that to per-level serving decisions; the static
+//! [`PlanPolicy::RowThreshold`] rule is a stand-in for that measurement.
+//! This module automates it: when a server is launched with
+//! [`PlanPolicy::Measured`], the tuner replays a representative
+//! [`CalibrationTrace`] against *every* candidate [`FetchPlan`] of every
+//! non-static `(canvas, layer)`, accumulates the per-candidate
+//! [`FetchMetrics`], scores them with [`FetchMetrics::modeled_ms`] under
+//! the server's [`CostModel`], and resolves the cheapest plan per layer.
+//!
+//! Candidate plans are precomputed *side by side* on the same database:
+//! layer-table materialization is idempotent and each plan's index
+//! structures (R-tree / tuple–tile mapping tables) are additive, so
+//! measuring a candidate never invalidates another. Replay uses the
+//! cold-cache serving protocol ([`crate::fetch::fetch_plan_cold`]), the
+//! same §3.3 protocol the paper's figures measure.
+//!
+//! The winning assignment is exposed through
+//! [`crate::KyrixServer::tuning_report`] as a [`TuningReport`], which can
+//! be frozen into a static [`PlanPolicy::PerCanvas`] policy
+//! ([`TuningReport::frozen_policy`]) so later launches skip the
+//! calibration replay.
+
+use crate::cost::CostModel;
+use crate::error::{Result, ServerError};
+use crate::fetch::fetch_plan_cold;
+use crate::metrics::FetchMetrics;
+use crate::policy::PlanPolicy;
+use crate::precompute::{precompute_layer, FetchPlan, LayerStore, PrecomputeReport};
+use kyrix_core::CompiledApp;
+use kyrix_storage::fxhash::FxHashMap;
+use kyrix_storage::{Database, Rect};
+
+/// A representative sequence of `(canvas, viewport)` steps the tuner
+/// replays to cost candidate plans. Steps on canvases the app does not
+/// have are simply never consulted; a canvas with *no* steps cannot be
+/// measured and falls back to the first candidate (candidate order is the
+/// preference order).
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct CalibrationTrace {
+    steps: Vec<(String, Rect)>,
+}
+
+impl CalibrationTrace {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Build from pre-assembled `(canvas, viewport)` steps (e.g.
+    /// `kyrix_lod::lod_calibration_walk` output or a recorded session).
+    pub fn from_steps(steps: Vec<(String, Rect)>) -> Self {
+        CalibrationTrace { steps }
+    }
+
+    /// Append one step.
+    pub fn push(&mut self, canvas: impl Into<String>, rect: Rect) {
+        self.steps.push((canvas.into(), rect));
+    }
+
+    /// Total steps across all canvases.
+    pub fn len(&self) -> usize {
+        self.steps.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.steps.is_empty()
+    }
+
+    /// The viewports this trace visits on one canvas, in trace order.
+    pub fn steps_for(&self, canvas: &str) -> Vec<Rect> {
+        self.steps
+            .iter()
+            .filter(|(c, _)| c == canvas)
+            .map(|(_, r)| *r)
+            .collect()
+    }
+}
+
+/// What one candidate plan cost on one layer's calibration steps.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CandidateCost {
+    pub plan: FetchPlan,
+    /// Metrics accumulated over the layer's calibration steps (cold-cache
+    /// protocol: every step pays its full fetch).
+    pub metrics: FetchMetrics,
+    /// [`FetchMetrics::modeled_ms`] of `metrics` under the tuning cost
+    /// model — the quantity the tuner minimizes.
+    pub modeled_ms: f64,
+}
+
+/// The tuning outcome for one `(canvas, layer)`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LayerTuning {
+    pub canvas: String,
+    pub layer: usize,
+    /// Calibration steps that were replayed for this layer (0 means the
+    /// trace never visits the canvas and the first candidate won by
+    /// default).
+    pub steps: usize,
+    /// Index into `candidates` of the winning plan. Ties keep the earliest
+    /// candidate, so candidate order doubles as the preference order.
+    pub chosen: usize,
+    pub candidates: Vec<CandidateCost>,
+}
+
+impl LayerTuning {
+    pub fn chosen_plan(&self) -> FetchPlan {
+        self.candidates[self.chosen].plan
+    }
+
+    pub fn chosen_cost(&self) -> &CandidateCost {
+        &self.candidates[self.chosen]
+    }
+}
+
+/// The full per-layer assignment a `Measured` launch resolved, with every
+/// candidate's measured cost kept for inspection.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct TuningReport {
+    pub layers: Vec<LayerTuning>,
+}
+
+impl TuningReport {
+    /// The plan tuned for one `(canvas, layer)` (None for static layers
+    /// and unknown canvases — those are not tuned).
+    pub fn chosen(&self, canvas: &str, layer: usize) -> Option<FetchPlan> {
+        self.layers
+            .iter()
+            .find(|l| l.canvas == canvas && l.layer == layer)
+            .map(|l| l.chosen_plan())
+    }
+
+    /// Total modeled cost of the tuned assignment over the calibration
+    /// trace: the sum of every layer's winning candidate cost. Because each
+    /// layer's winner is the per-layer minimum of the *same* measurements,
+    /// this total is ≤ [`TuningReport::uniform_modeled_ms`] of every
+    /// candidate (it may tie, never lose).
+    pub fn total_modeled_ms(&self) -> f64 {
+        self.layers.iter().map(|l| l.chosen_cost().modeled_ms).sum()
+    }
+
+    /// What serving *every* layer with one fixed candidate would have cost
+    /// on the same calibration measurements. None when some layer did not
+    /// measure `plan` (it was not among that launch's candidates).
+    pub fn uniform_modeled_ms(&self, plan: &FetchPlan) -> Option<f64> {
+        let mut total = 0.0;
+        for layer in &self.layers {
+            total += layer
+                .candidates
+                .iter()
+                .find(|c| c.plan == *plan)?
+                .modeled_ms;
+        }
+        Some(total)
+    }
+
+    /// Freeze the tuned assignment into a static [`PlanPolicy::PerCanvas`]
+    /// policy, so later launches of the same app reuse the measured
+    /// decision without replaying the calibration trace. Overrides carry
+    /// each canvas's *first* tuned layer's plan (PerCanvas applies per
+    /// canvas); apps whose canvases mix plans *within* one canvas cannot be
+    /// frozen exactly and should relaunch with `Measured` instead.
+    pub fn frozen_policy(&self, default: FetchPlan) -> PlanPolicy {
+        let mut overrides: Vec<(String, FetchPlan)> = Vec::new();
+        for layer in &self.layers {
+            if !overrides.iter().any(|(c, _)| *c == layer.canvas) {
+                overrides.push((layer.canvas.clone(), layer.chosen_plan()));
+            }
+        }
+        PlanPolicy::PerCanvas { default, overrides }
+    }
+
+    /// One-line human-readable assignment, e.g.
+    /// `level0/0→dbox exact, level1/0→tile spatial 1024`.
+    pub fn summary(&self) -> String {
+        self.layers
+            .iter()
+            .map(|l| format!("{}/{}→{}", l.canvas, l.layer, l.chosen_plan().label()))
+            .collect::<Vec<_>>()
+            .join(", ")
+    }
+}
+
+/// Replay calibration steps against one `(store, plan)` pair and
+/// accumulate the cold-serve metrics (the tuner's measurement inner loop).
+pub fn measure_plan(
+    db: &Database,
+    store: &LayerStore,
+    plan: &FetchPlan,
+    canvas_bounds: &Rect,
+    steps: &[Rect],
+) -> Result<FetchMetrics> {
+    let mut totals = FetchMetrics::default();
+    for rect in steps {
+        let (_, metrics) = fetch_plan_cold(db, store, plan, canvas_bounds, rect)?;
+        totals.merge(&metrics);
+    }
+    Ok(totals)
+}
+
+/// Everything `KyrixServer::launch` needs from a `Measured` resolution.
+pub(crate) struct TunedLaunch {
+    pub stores: FxHashMap<(u32, u32), LayerStore>,
+    pub plans: FxHashMap<(u32, u32), FetchPlan>,
+    pub reports: Vec<PrecomputeReport>,
+    pub tuning: TuningReport,
+}
+
+/// Resolve a `Measured` policy: precompute every candidate plan of every
+/// non-static layer side by side, measure each on the layer's calibration
+/// steps, and keep the cheapest. Static layers take the first candidate
+/// (their store is plan-independent).
+pub(crate) fn tune(
+    db: &mut Database,
+    app: &CompiledApp,
+    candidates: &[FetchPlan],
+    trace: &CalibrationTrace,
+    cost: &CostModel,
+) -> Result<TunedLaunch> {
+    if candidates.is_empty() {
+        return Err(ServerError::Config(
+            "Measured policy needs at least one candidate plan".to_string(),
+        ));
+    }
+    let mut out = TunedLaunch {
+        stores: FxHashMap::default(),
+        plans: FxHashMap::default(),
+        reports: Vec::new(),
+        tuning: TuningReport::default(),
+    };
+    let mut losing_maps: Vec<String> = Vec::new();
+    for (ci, canvas) in app.canvases.iter().enumerate() {
+        let bounds = canvas.bounds();
+        for (li, layer) in canvas.layers.iter().enumerate() {
+            let key = (ci as u32, li as u32);
+            if layer.is_static {
+                let (store, report) = precompute_layer(db, layer, &candidates[0], &app.name)?;
+                out.stores.insert(key, store);
+                out.plans.insert(key, candidates[0]);
+                out.reports.push(report);
+                continue;
+            }
+            let steps = trace.steps_for(&canvas.id);
+            let mut costs: Vec<CandidateCost> = Vec::with_capacity(candidates.len());
+            let mut cand_stores: Vec<LayerStore> = Vec::with_capacity(candidates.len());
+            let mut best: Option<(usize, PrecomputeReport)> = None;
+            for plan in candidates {
+                let (store, report) = precompute_layer(db, layer, plan, &app.name)?;
+                let metrics = measure_plan(db, &store, plan, &bounds, &steps)?;
+                let modeled_ms = metrics.modeled_ms(cost);
+                // strict <: ties keep the earlier candidate (preference order)
+                let wins = match &best {
+                    None => true,
+                    Some((b, _)) => modeled_ms < costs[*b].modeled_ms,
+                };
+                costs.push(CandidateCost {
+                    plan: *plan,
+                    metrics,
+                    modeled_ms,
+                });
+                cand_stores.push(store);
+                if wins {
+                    best = Some((costs.len() - 1, report));
+                }
+            }
+            let (chosen, report) = best.expect("candidates checked non-empty");
+            for (i, store) in cand_stores.iter().enumerate() {
+                if i != chosen {
+                    if let LayerStore::TileMapping { mapping_table, .. } = store {
+                        losing_maps.push(mapping_table.clone());
+                    }
+                }
+            }
+            out.stores.insert(key, cand_stores.swap_remove(chosen));
+            out.plans.insert(key, costs[chosen].plan);
+            out.reports.push(report);
+            out.tuning.layers.push(LayerTuning {
+                canvas: canvas.id.clone(),
+                layer: li,
+                steps: steps.len(),
+                chosen,
+                candidates: costs,
+            });
+        }
+    }
+    // Losing tuple–tile mapping candidates leave their per-size mapping
+    // tables behind — one row per (tuple, tile), often bigger than the
+    // layer table itself — and the launched server would hold them for its
+    // whole lifetime. Drop every mapping table no kept store references.
+    // (Shared layer/record tables and their indexes stay: the winner uses
+    // them.)
+    let kept: std::collections::HashSet<&str> = out
+        .stores
+        .values()
+        .filter_map(|s| match s {
+            LayerStore::TileMapping { mapping_table, .. } => Some(mapping_table.as_str()),
+            _ => None,
+        })
+        .collect();
+    losing_maps.sort_unstable();
+    losing_maps.dedup();
+    for table in losing_maps {
+        if !kept.contains(table.as_str()) {
+            db.drop_table(&table)?;
+        }
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dbox::BoxPolicy;
+    use crate::precompute::TileDesign;
+
+    const TILES: FetchPlan = FetchPlan::StaticTiles {
+        size: 64.0,
+        design: TileDesign::SpatialIndex,
+    };
+    const BOXES: FetchPlan = FetchPlan::DynamicBox {
+        policy: BoxPolicy::Exact,
+    };
+
+    fn cand(plan: FetchPlan, modeled_ms: f64) -> CandidateCost {
+        CandidateCost {
+            plan,
+            metrics: FetchMetrics::default(),
+            modeled_ms,
+        }
+    }
+
+    fn report() -> TuningReport {
+        TuningReport {
+            layers: vec![
+                LayerTuning {
+                    canvas: "coarse".into(),
+                    layer: 0,
+                    steps: 3,
+                    chosen: 0,
+                    candidates: vec![cand(TILES, 5.0), cand(BOXES, 9.0)],
+                },
+                LayerTuning {
+                    canvas: "raw".into(),
+                    layer: 0,
+                    steps: 3,
+                    chosen: 1,
+                    candidates: vec![cand(TILES, 20.0), cand(BOXES, 4.0)],
+                },
+            ],
+        }
+    }
+
+    #[test]
+    fn trace_groups_steps_by_canvas() {
+        let mut t = CalibrationTrace::new();
+        assert!(t.is_empty());
+        t.push("a", Rect::new(0.0, 0.0, 1.0, 1.0));
+        t.push("b", Rect::new(1.0, 0.0, 2.0, 1.0));
+        t.push("a", Rect::new(2.0, 0.0, 3.0, 1.0));
+        assert_eq!(t.len(), 3);
+        assert_eq!(t.steps_for("a").len(), 2);
+        assert_eq!(t.steps_for("b"), vec![Rect::new(1.0, 0.0, 2.0, 1.0)]);
+        assert!(t.steps_for("missing").is_empty());
+    }
+
+    #[test]
+    fn report_totals_take_the_per_layer_minimum() {
+        let r = report();
+        assert_eq!(r.total_modeled_ms(), 5.0 + 4.0);
+        assert_eq!(r.uniform_modeled_ms(&TILES), Some(25.0));
+        assert_eq!(r.uniform_modeled_ms(&BOXES), Some(13.0));
+        // the mixed assignment beats (or ties) every uniform one
+        assert!(r.total_modeled_ms() <= r.uniform_modeled_ms(&TILES).unwrap());
+        assert!(r.total_modeled_ms() <= r.uniform_modeled_ms(&BOXES).unwrap());
+        // a plan no layer measured has no uniform cost
+        let other = FetchPlan::StaticTiles {
+            size: 1.0,
+            design: TileDesign::TupleTileMapping,
+        };
+        assert_eq!(r.uniform_modeled_ms(&other), None);
+    }
+
+    #[test]
+    fn report_resolves_and_freezes() {
+        let r = report();
+        assert_eq!(r.chosen("coarse", 0), Some(TILES));
+        assert_eq!(r.chosen("raw", 0), Some(BOXES));
+        assert_eq!(r.chosen("nope", 0), None);
+        let PlanPolicy::PerCanvas { default, overrides } = r.frozen_policy(BOXES) else {
+            panic!("frozen policy must be PerCanvas");
+        };
+        assert_eq!(default, BOXES);
+        assert_eq!(
+            overrides,
+            vec![("coarse".to_string(), TILES), ("raw".to_string(), BOXES)]
+        );
+        assert!(r.summary().contains("coarse/0→tile spatial 64"));
+    }
+}

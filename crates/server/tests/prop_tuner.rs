@@ -1,0 +1,143 @@
+//! Property: on any generated calibration trace, the `Measured` policy's
+//! total modeled cost is ≤ every uniform candidate's cost measured on that
+//! same trace — the per-layer argmin may *tie* a uniform assignment (and
+//! does whenever one plan dominates every layer) but can never lose to
+//! one. The comparison uses the tuner's own recorded measurements
+//! (`TuningReport`), which is the invariant's exact statement: the same
+//! per-(layer, candidate) numbers feed both sides.
+
+use kyrix_core::{
+    compile, AppSpec, CanvasSpec, CompiledApp, LayerSpec, MarkEncoding, PlacementSpec, RenderSpec,
+    TransformSpec,
+};
+use kyrix_server::{
+    BoxPolicy, CalibrationTrace, CostModel, FetchPlan, KyrixServer, PlanPolicy, ServerConfig,
+    TileDesign,
+};
+use kyrix_storage::{DataType, Database, IndexKind, Rect, Row, Schema, SpatialCols, Value};
+use proptest::prelude::*;
+
+const CANVASES: [&str; 2] = ["overview", "detail"];
+
+/// Dots on a 40x40 integer grid with a raw spatial index, so every launch
+/// takes the separable skip path (no per-case materialization cost).
+fn grid_db() -> Database {
+    let mut db = Database::new();
+    db.create_table(
+        "dots",
+        Schema::empty()
+            .with("id", DataType::Int)
+            .with("x", DataType::Float)
+            .with("y", DataType::Float),
+    )
+    .unwrap();
+    for i in 0..1600i64 {
+        db.insert(
+            "dots",
+            Row::new(vec![
+                Value::Int(i),
+                Value::Float((i % 40) as f64),
+                Value::Float((i / 40) as f64),
+            ]),
+        )
+        .unwrap();
+    }
+    db.create_index(
+        "dots",
+        "dots_xy",
+        IndexKind::Spatial(SpatialCols::Point {
+            x: "x".into(),
+            y: "y".into(),
+        }),
+    )
+    .unwrap();
+    db
+}
+
+fn two_canvas_app(db: &Database) -> CompiledApp {
+    let layer = || {
+        LayerSpec::dynamic(
+            "t",
+            PlacementSpec::point("x", "y"),
+            RenderSpec::Marks(MarkEncoding::circle()),
+        )
+    };
+    let spec = AppSpec::new("tunegrid")
+        .add_transform(TransformSpec::query("t", "SELECT * FROM dots"))
+        .add_canvas(CanvasSpec::new(CANVASES[0], 40.0, 40.0).layer(layer()))
+        .add_canvas(CanvasSpec::new(CANVASES[1], 40.0, 40.0).layer(layer()))
+        .initial(CANVASES[0], 20.0, 20.0)
+        .viewport(8.0, 8.0);
+    compile(&spec, db).unwrap()
+}
+
+fn candidates() -> Vec<FetchPlan> {
+    vec![
+        FetchPlan::StaticTiles {
+            size: 8.0,
+            design: TileDesign::SpatialIndex,
+        },
+        FetchPlan::StaticTiles {
+            size: 20.0,
+            design: TileDesign::SpatialIndex,
+        },
+        FetchPlan::DynamicBox {
+            policy: BoxPolicy::Exact,
+        },
+        FetchPlan::DynamicBox {
+            policy: BoxPolicy::PctLarger(0.5),
+        },
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(10))]
+    #[test]
+    fn measured_total_never_loses_to_any_uniform_candidate(
+        steps in prop::collection::vec(
+            (0..2usize, 0.0..34.0f64, 0.0..34.0f64, 1.0..12.0f64, 1.0..12.0f64),
+            0..14,
+        )
+    ) {
+        let mut trace = CalibrationTrace::new();
+        for &(c, x, y, w, h) in &steps {
+            trace.push(CANVASES[c], Rect::new(x, y, x + w, y + h));
+        }
+        let db = grid_db();
+        let app = two_canvas_app(&db);
+        let policy = PlanPolicy::measured(candidates(), trace);
+        let (server, _) = KyrixServer::launch(
+            app,
+            db,
+            ServerConfig::from_policy(policy).with_cost(CostModel::paper_default()),
+        )
+        .unwrap();
+        let report = server.tuning_report().expect("measured launch reports");
+        prop_assert_eq!(report.layers.len(), 2);
+
+        let measured = report.total_modeled_ms();
+        prop_assert!(measured.is_finite());
+        for plan in candidates() {
+            let uniform = report
+                .uniform_modeled_ms(&plan)
+                .expect("every candidate was measured on every layer");
+            prop_assert!(
+                measured <= uniform,
+                "measured assignment ({measured} ms) lost to uniform {} ({uniform} ms) \
+                 on trace {steps:?}",
+                plan.label()
+            );
+        }
+
+        // the resolved plans are exactly the report's per-layer argmins
+        for lt in &report.layers {
+            prop_assert_eq!(
+                server.plan_for(&lt.canvas, lt.layer).unwrap(),
+                lt.chosen_plan()
+            );
+            for c in &lt.candidates {
+                prop_assert!(lt.chosen_cost().modeled_ms <= c.modeled_ms);
+            }
+        }
+    }
+}

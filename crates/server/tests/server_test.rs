@@ -6,8 +6,8 @@ use kyrix_core::{
     TransformSpec,
 };
 use kyrix_server::{
-    BoxPolicy, CostModel, FetchPlan, KyrixServer, LayerStore, MomentumTracker, PlanPolicy,
-    ServerConfig, TileDesign, TileId,
+    BoxPolicy, CalibrationTrace, CostModel, FetchMetrics, FetchPlan, KyrixServer, LayerStore,
+    MomentumTracker, PlanPolicy, ServerConfig, TileDesign, TileId,
 };
 use kyrix_storage::{DataType, Database, IndexKind, Rect, Row, Schema, SpatialCols, Value};
 
@@ -82,6 +82,14 @@ fn row_ids(rows: &[Row]) -> Vec<i64> {
     ids.sort_unstable();
     ids.dedup();
     ids
+}
+
+/// Backend operations a metrics aggregate records: every prefetch fetch
+/// touches a cache exactly once (hit or miss). `prefetch_totals().requests`
+/// is always 0 — prefetching issues no frontend↔backend requests — so
+/// background activity is observed through this instead.
+fn backend_ops(m: &kyrix_server::FetchMetrics) -> u64 {
+    m.cache_hits + m.cache_misses
 }
 
 #[test]
@@ -291,12 +299,17 @@ fn momentum_prefetch_warms_the_cache() {
     // wait for the background worker
     for _ in 0..200 {
         server.drain_prefetch();
-        if server.prefetch_totals().requests > 0 {
+        if backend_ops(&server.prefetch_totals()) > 0 {
             break;
         }
         std::thread::sleep(std::time::Duration::from_millis(1));
     }
-    assert!(server.prefetch_totals().requests >= 1, "prefetch ran");
+    assert!(backend_ops(&server.prefetch_totals()) >= 1, "prefetch ran");
+    assert_eq!(
+        server.prefetch_totals().requests,
+        0,
+        "prefetch is backend-internal: it issues no frontend requests"
+    );
     // the predicted viewport is now a cache hit
     let predicted = vp.translate(5.0, 0.0);
     let resp = server.fetch_box("main", 0, &predicted).unwrap();
@@ -427,13 +440,13 @@ fn semantic_prefetch_warms_similar_neighbors() {
     server.hint_semantic("main", &Rect::new(15.0, 10.0, 25.0, 20.0));
     for _ in 0..500 {
         server.drain_prefetch();
-        if server.prefetch_totals().requests >= 1 {
+        if backend_ops(&server.prefetch_totals()) >= 1 {
             break;
         }
         std::thread::sleep(std::time::Duration::from_millis(1));
     }
     assert!(
-        server.prefetch_totals().requests >= 1,
+        backend_ops(&server.prefetch_totals()) >= 1,
         "semantic prefetch ran"
     );
     // warmed region(s) must be dense-cluster neighbors: every prefetched
@@ -448,10 +461,10 @@ fn semantic_prefetch_warms_similar_neighbors() {
     // momentum hints are ignored under the semantic policy; wait for the
     // worker to go quiet first so no queued semantic task lands after the
     // reset
-    let mut last = server.prefetch_totals().requests;
+    let mut last = backend_ops(&server.prefetch_totals());
     loop {
         std::thread::sleep(std::time::Duration::from_millis(20));
-        let now = server.prefetch_totals().requests;
+        let now = backend_ops(&server.prefetch_totals());
         if now == last {
             break;
         }
@@ -461,7 +474,8 @@ fn semantic_prefetch_warms_similar_neighbors() {
     server.hint_momentum("main", &Rect::new(10.0, 10.0, 20.0, 20.0), (5.0, 0.0));
     server.drain_prefetch();
     std::thread::sleep(std::time::Duration::from_millis(5));
-    assert_eq!(server.prefetch_totals().requests, 0);
+    assert_eq!(backend_ops(&server.prefetch_totals()), 0);
+    assert_eq!(server.prefetch_totals().queries, 0);
 }
 
 #[test]
@@ -481,12 +495,12 @@ fn semantic_profile_reset_clears_state() {
     server.hint_semantic("main", &Rect::new(50.0, 50.0, 60.0, 60.0));
     for _ in 0..200 {
         server.drain_prefetch();
-        if server.prefetch_totals().requests >= 1 {
+        if backend_ops(&server.prefetch_totals()) >= 1 {
             break;
         }
         std::thread::sleep(std::time::Duration::from_millis(1));
     }
-    assert!(server.prefetch_totals().requests >= 1);
+    assert!(backend_ops(&server.prefetch_totals()) >= 1);
 }
 
 /// Two-canvas app over the same dots table ("overview" + "detail"), for
@@ -743,10 +757,10 @@ fn momentum_prefetch_goes_quiet_after_a_stopped_pan() {
     // wait until the worker is genuinely quiet (a popped task can still be
     // mid-flight after drain_prefetch) before taking the settled reading
     server.drain_prefetch();
-    let mut settled = server.prefetch_totals().requests;
+    let mut settled = backend_ops(&server.prefetch_totals());
     loop {
         std::thread::sleep(std::time::Duration::from_millis(20));
-        let now = server.prefetch_totals().requests;
+        let now = backend_ops(&server.prefetch_totals());
         if now == settled {
             break;
         }
@@ -760,9 +774,9 @@ fn momentum_prefetch_goes_quiet_after_a_stopped_pan() {
     server.drain_prefetch();
     std::thread::sleep(std::time::Duration::from_millis(10));
     assert_eq!(
-        server.prefetch_totals().requests,
+        backend_ops(&server.prefetch_totals()),
         settled,
-        "prefetcher still issuing backend requests after the pan stopped"
+        "prefetcher still issuing backend work after the pan stopped"
     );
 }
 
@@ -824,4 +838,207 @@ fn fetch_region_dedups_tile_straddlers_under_both_stores() {
         }
         assert!(counts.len() > 100, "the region actually held many marks");
     }
+}
+
+#[test]
+fn fully_prefetched_trace_reports_cold_totals() {
+    // Invariant: for the same trace, totals() + prefetch_totals() of a
+    // fully prefetch-warmed run carries the same request/query/byte totals
+    // as a cold run — warming moves work earlier, it must not double-count
+    // it in modeled_ms (once at prefetch time, again at cache-hit serve).
+    let tiles = FetchPlan::StaticTiles {
+        size: 10.0,
+        design: TileDesign::SpatialIndex,
+    };
+    // four viewports, each exactly one 10-unit tile, panning right
+    let trace: Vec<Rect> = (1..=4)
+        .map(|i| Rect::new(10.0 * i as f64, 20.0, 10.0 * i as f64 + 10.0, 30.0))
+        .collect();
+
+    // cold reference run
+    let cold_server = launch(grid_db(false), PlacementSpec::point("x", "y"), tiles);
+    for vp in &trace {
+        cold_server.fetch_region("main", 0, vp).unwrap();
+    }
+    let cold = cold_server.totals();
+    assert_eq!(cold.queries, 4, "four distinct tiles, each queried once");
+
+    // warmed run: momentum prediction covers exactly the trace viewports
+    let db = grid_db(false);
+    let app = compile(&dots_app(PlacementSpec::point("x", "y")), &db).unwrap();
+    let mut config = ServerConfig::new(tiles)
+        .with_cost(CostModel::zero())
+        .with_prefetch(true);
+    config.prefetch_lookahead = trace.len();
+    let (server, _) = KyrixServer::launch(app, db, config).unwrap();
+    server.hint_momentum("main", &Rect::new(0.0, 20.0, 10.0, 30.0), (10.0, 0.0));
+    for _ in 0..500 {
+        server.drain_prefetch();
+        if server.prefetch_totals().queries >= 4 {
+            break;
+        }
+        std::thread::sleep(std::time::Duration::from_millis(1));
+    }
+    assert_eq!(
+        server.prefetch_totals().queries,
+        4,
+        "trace fully prefetched"
+    );
+    for vp in &trace {
+        let resp = server.fetch_region("main", 0, vp).unwrap();
+        assert_eq!(resp.metrics.queries, 0, "served from the warmed cache");
+    }
+    let fg = server.totals();
+    assert_eq!(fg.cache_hits, 4, "every foreground serve was a hit");
+    let mut combined = fg;
+    combined.merge(&server.prefetch_totals());
+    assert_eq!(combined.requests, cold.requests, "requests double-counted");
+    assert_eq!(combined.queries, cold.queries, "queries double-counted");
+    assert_eq!(combined.bytes, cold.bytes, "bytes double-counted");
+    assert_eq!(combined.rows, cold.rows + server.prefetch_totals().rows);
+}
+
+#[test]
+fn measured_policy_tunes_each_layer_from_the_trace() {
+    // Narrow modeled bandwidth (2 KB/ms) so byte over-fetch dominates:
+    // tile-aligned one-tile viewports make tiles cheapest on `overview`
+    // (the 50%-inflated box ships ~2x the rows for the same one request),
+    // while the tile-straddling `detail` viewports pay 4 requests per step
+    // under tiles and lose to one inflated box.
+    let cost = CostModel::new(1.0, 2.0, 2_000.0);
+    let mut trace = CalibrationTrace::new();
+    for i in 0..3 {
+        let o = 10.0 * (i as f64 + 1.0);
+        trace.push("overview", Rect::new(o, 10.0, o + 10.0, 20.0));
+        trace.push("detail", Rect::new(o + 5.0, 15.0, o + 15.0, 25.0));
+    }
+    let policy = PlanPolicy::measured(vec![MIXED_TILES, MIXED_BOXES], trace);
+    let db = grid_db(true);
+    let app = compile(&two_canvas_app(false), &db).unwrap();
+    let (server, reports) =
+        KyrixServer::launch(app, db, ServerConfig::from_policy(policy).with_cost(cost)).unwrap();
+    assert_eq!(reports.len(), 2);
+
+    let report = server
+        .tuning_report()
+        .expect("measured launch reports")
+        .clone();
+    assert_eq!(report.layers.len(), 2);
+    for lt in &report.layers {
+        assert_eq!(lt.steps, 3, "every layer replayed its 3 trace steps");
+        assert_eq!(lt.candidates.len(), 2);
+        // chosen is the argmin of the recorded candidate costs…
+        assert!(lt
+            .candidates
+            .iter()
+            .all(|c| lt.chosen_cost().modeled_ms <= c.modeled_ms));
+        // …and the server resolved exactly that plan
+        assert_eq!(
+            server.plan_for(&lt.canvas, lt.layer).unwrap(),
+            lt.chosen_plan()
+        );
+    }
+    assert_eq!(
+        report.chosen("overview", 0),
+        Some(MIXED_TILES),
+        "aligned single-tile trace → tiles"
+    );
+    assert_eq!(
+        report.chosen("detail", 0),
+        Some(MIXED_BOXES),
+        "tile-straddling trace → boxes"
+    );
+    // the tuned assignment never loses to either uniform assignment on the
+    // calibration measurements
+    assert!(report.total_modeled_ms() <= report.uniform_modeled_ms(&MIXED_TILES).unwrap());
+    assert!(report.total_modeled_ms() <= report.uniform_modeled_ms(&MIXED_BOXES).unwrap());
+    // the tuned server serves mixed plans end-to-end
+    assert_mixed_serving(&server);
+
+    // freezing the report reproduces the assignment without re-measuring
+    let frozen = report.frozen_policy(MIXED_BOXES);
+    let db = grid_db(true);
+    let app = compile(&two_canvas_app(false), &db).unwrap();
+    let (frozen_server, _) =
+        KyrixServer::launch(app, db, ServerConfig::from_policy(frozen).with_cost(cost)).unwrap();
+    assert!(frozen_server.tuning_report().is_none(), "no tuning ran");
+    assert_eq!(frozen_server.plan_for("overview", 0).unwrap(), MIXED_TILES);
+    assert_eq!(frozen_server.plan_for("detail", 0).unwrap(), MIXED_BOXES);
+}
+
+#[test]
+fn layer_totals_attribute_foreground_metrics_per_layer() {
+    let db = grid_db(true);
+    let app = compile(&two_canvas_app(false), &db).unwrap();
+    let policy = PlanPolicy::per_canvas(MIXED_BOXES).with_canvas("overview", MIXED_TILES);
+    let (server, _) = KyrixServer::launch(
+        app,
+        db,
+        ServerConfig::from_policy(policy).with_cost(CostModel::zero()),
+    )
+    .unwrap();
+    assert_eq!(
+        server.layer_totals("overview", 0).unwrap(),
+        FetchMetrics::default(),
+        "zero before the first request"
+    );
+    server.fetch_tile("overview", 0, TileId::new(2, 2)).unwrap();
+    server.fetch_tile("overview", 0, TileId::new(3, 2)).unwrap();
+    server
+        .fetch_box("detail", 0, &Rect::new(40.0, 40.0, 50.0, 50.0))
+        .unwrap();
+    let overview = server.layer_totals("overview", 0).unwrap();
+    let detail = server.layer_totals("detail", 0).unwrap();
+    assert_eq!(overview.requests, 2);
+    assert_eq!(detail.requests, 1);
+    // the per-layer totals partition the server totals
+    let totals = server.totals();
+    assert_eq!(totals.requests, overview.requests + detail.requests);
+    assert_eq!(totals.queries, overview.queries + detail.queries);
+    assert_eq!(totals.bytes, overview.bytes + detail.bytes);
+    // a bogus layer is an error, not silent zeros
+    assert!(server.layer_totals("overview", 7).is_err());
+    assert!(server.layer_totals("nope", 0).is_err());
+    server.reset_totals();
+    assert_eq!(
+        server.layer_totals("detail", 0).unwrap(),
+        FetchMetrics::default()
+    );
+}
+
+#[test]
+fn tuner_drops_losing_mapping_tables() {
+    // a losing TupleTileMapping candidate's per-size mapping table (one row
+    // per (tuple, tile)) must not stay in the launched server's database
+    let mapping = FetchPlan::StaticTiles {
+        size: 10.0,
+        design: TileDesign::TupleTileMapping,
+    };
+    let mut trace = CalibrationTrace::new();
+    // tile-straddling viewports: 4 tile requests per step lose to one box
+    for i in 0..3 {
+        let d = 10.0 * (i as f64 + 1.0) + 5.0;
+        trace.push("overview", Rect::new(d, 15.0, d + 10.0, 25.0));
+        trace.push("detail", Rect::new(d, 15.0, d + 10.0, 25.0));
+    }
+    let policy = PlanPolicy::measured(vec![mapping, MIXED_BOXES], trace);
+    let db = grid_db(false);
+    let app = compile(&two_canvas_app(false), &db).unwrap();
+    let (server, _) = KyrixServer::launch(
+        app,
+        db,
+        ServerConfig::from_policy(policy).with_cost(CostModel::new(1.0, 2.0, 2_000.0)),
+    )
+    .unwrap();
+    assert_eq!(server.plan_for("overview", 0).unwrap(), MIXED_BOXES);
+    assert_eq!(server.plan_for("detail", 0).unwrap(), MIXED_BOXES);
+    // the losing candidates' mapping tables were reclaimed; the shared
+    // record tables stay — the winning box stores serve from them
+    assert!(!server.database().has_table("k_mixed_overview_l0_map10"));
+    assert!(!server.database().has_table("k_mixed_detail_l0_map10"));
+    assert!(server.database().has_table("k_mixed_overview_l0"));
+    assert!(server.database().has_table("k_mixed_detail_l0"));
+    server
+        .fetch_box("detail", 0, &Rect::new(40.0, 40.0, 50.0, 50.0))
+        .unwrap();
 }
