@@ -13,7 +13,7 @@
 
 use kyrix_bench::{
     build_database, figure_table, launch_scheme, paper_traces, run_cell, run_figure,
-    run_lod_experiment, run_lod_plan_comparison, Dataset, ExperimentConfig,
+    run_lod_experiment, run_lod_maintenance, run_lod_plan_comparison, Dataset, ExperimentConfig,
 };
 use kyrix_client::{run_trace, Session};
 use kyrix_core::compile;
@@ -603,6 +603,36 @@ fn lod(small: bool) {
         if let Some(plans) = &r.plans {
             println!("\nauto-tuned assignment: {plans}");
         }
+    }
+    println!();
+
+    // incremental maintenance: folding a batch of raw inserts/deletes
+    // into the level tables in place (local repair) vs. the full rebuild
+    // a precompute-everything pyramid would need. Same scale as the plan
+    // comparison above; insert+delete of a batch restores the original
+    // pyramid, so every row starts from identical state.
+    println!(
+        "### Incremental maintenance — {} points, per-batch update vs. full rebuild\n",
+        cg.n
+    );
+    println!("| batch | insert (ms) | delete (ms) | full rebuild (ms) | level rows rewritten | speedup |");
+    println!("|---|---|---|---|---|---|");
+    let batches: &[usize] = if small {
+        &[16, 128, 1024]
+    } else {
+        &[16, 256, 4096]
+    };
+    for r in run_lod_maintenance(&cg, 3, 24.0, batches) {
+        let per_batch = (r.insert_ms + r.delete_ms) / 2.0;
+        println!(
+            "| {} | {:.2} | {:.2} | {:.1} | {} | {:.0}x |",
+            r.batch,
+            r.insert_ms,
+            r.delete_ms,
+            r.rebuild_ms,
+            r.rows_changed,
+            r.rebuild_ms / per_batch.max(1e-9)
+        );
     }
     println!();
 }

@@ -5,7 +5,30 @@
 //! fetching schemes over three viewport movement traces on two synthetic
 //! datasets. [`run_figure`] reproduces one full figure; the `experiments`
 //! binary prints the tables, and the criterion benches under `benches/`
-//! time the same code paths.
+//! time the same code paths. The LoD suite ([`run_lod_experiment`],
+//! [`run_lod_plan_comparison`], [`run_lod_maintenance`]) covers the
+//! cluster-pyramid subsystem: per-level fetch latency, the four-way
+//! plan-policy comparison, and incremental maintenance against the
+//! full-rebuild baseline.
+//!
+//! Every harness entry point is plain data in / plain data out, so a
+//! scaled-down run doubles as an executable example — here, the
+//! maintenance experiment on a small galaxy (build → insert batch →
+//! delete batch → rebuild baseline):
+//!
+//! ```
+//! use kyrix_bench::run_lod_maintenance;
+//! use kyrix_workload::GalaxyConfig;
+//!
+//! let mut g = GalaxyConfig::tiny();
+//! g.n = 2048;
+//! g.width = 2048.0;
+//! g.height = 2048.0;
+//! let rows = run_lod_maintenance(&g, 2, 16.0, &[8]);
+//! assert_eq!(rows[0].batch, 8);
+//! assert!(rows[0].rows_changed > 0, "the batch rewrote some level rows");
+//! assert!(rows[0].rebuild_ms > 0.0);
+//! ```
 
 use kyrix_client::{run_trace, Move, Session, TraceReport};
 use kyrix_core::compile;
@@ -466,6 +489,88 @@ pub fn run_lod_plan_comparison(
     out
 }
 
+/// One row of the incremental-maintenance experiment: what a batch of
+/// that size costs to fold into the pyramid, against the full-rebuild
+/// baseline.
+#[derive(Debug, Clone)]
+pub struct LodMaintenanceResult {
+    /// Points per insert/delete batch.
+    pub batch: usize,
+    /// Wall-clock ms to fold the insert batch into every level table.
+    pub insert_ms: f64,
+    /// Wall-clock ms to fold the matching delete batch back out.
+    pub delete_ms: f64,
+    /// Wall-clock ms of a from-scratch `build_pyramid` over the same
+    /// table — the cost maintenance avoids.
+    pub rebuild_ms: f64,
+    /// Level-table rows rewritten across both batches.
+    pub rows_changed: usize,
+}
+
+/// The incremental-maintenance experiment: build the pyramid once, then
+/// for each batch size insert a scattered batch of fresh points and
+/// delete it again — timing both maintenance passes — and re-time a
+/// from-scratch rebuild as the baseline. Insert followed by delete of the
+/// same ids provably restores the original level tables (pinned by the
+/// maintenance tests), so every batch size starts from the same pyramid.
+pub fn run_lod_maintenance(
+    g: &GalaxyConfig,
+    levels: usize,
+    spacing: f64,
+    batches: &[usize],
+) -> Vec<LodMaintenanceResult> {
+    use kyrix_lod::RawPoint;
+
+    let mut db = Database::new();
+    load_zipf_galaxy(&mut db, g).expect("load galaxy");
+    index_galaxy(&mut db).expect("index galaxy");
+    let lod = galaxy_lod_config(g, levels, spacing);
+    let mut pyramid = build_pyramid(&mut db, &lod).expect("build pyramid");
+
+    let mut out = Vec::new();
+    for (bi, &batch) in batches.iter().enumerate() {
+        // deterministic scatter without RNG: Knuth-hash positions, fresh
+        // ids far above the galaxy's, integer-valued measures (exactness)
+        let pts: Vec<RawPoint> = (0..batch)
+            .map(|i| {
+                let h = (i as u64 + 1)
+                    .wrapping_mul(2654435761)
+                    .wrapping_add(bi as u64 * 97);
+                let x = (h % 10_000) as f64 / 10_000.0 * (g.width - 2.0) + 1.0;
+                let y = ((h / 10_000) % 10_000) as f64 / 10_000.0 * (g.height - 2.0) + 1.0;
+                RawPoint::new(
+                    50_000_000 + i as i64,
+                    x,
+                    y,
+                    &[(h % 50) as f64, (h % 9) as f64],
+                )
+            })
+            .collect();
+        let ids: Vec<i64> = pts.iter().map(|p| p.id).collect();
+
+        let t0 = Instant::now();
+        let ins = pyramid.insert_points(&mut db, &pts).expect("insert batch");
+        let insert_ms = t0.elapsed().as_secs_f64() * 1000.0;
+
+        let t0 = Instant::now();
+        let del = pyramid.delete_points(&mut db, &ids).expect("delete batch");
+        let delete_ms = t0.elapsed().as_secs_f64() * 1000.0;
+
+        let t0 = Instant::now();
+        pyramid = build_pyramid(&mut db, &lod).expect("rebuild pyramid");
+        let rebuild_ms = t0.elapsed().as_secs_f64() * 1000.0;
+
+        out.push(LodMaintenanceResult {
+            batch,
+            insert_ms,
+            delete_ms,
+            rebuild_ms,
+            rows_changed: ins.rows_changed() + del.rows_changed(),
+        });
+    }
+    out
+}
+
 /// The pyramid configuration the LoD experiment and benches share: both
 /// `zipf_galaxy` measures aggregated, pyramid height and spacing supplied
 /// by the caller.
@@ -540,6 +645,22 @@ mod tests {
         // coarser levels hold fewer marks
         assert!(results[1].rows < results[0].rows);
         assert!(results[2].rows <= results[1].rows);
+    }
+
+    #[test]
+    fn lod_maintenance_rows_cover_every_batch() {
+        let rows = run_lod_maintenance(&GalaxyConfig::tiny(), 2, 16.0, &[8, 64]);
+        assert_eq!(rows.len(), 2);
+        assert_eq!((rows[0].batch, rows[1].batch), (8, 64));
+        for r in &rows {
+            assert!(r.insert_ms >= 0.0 && r.delete_ms >= 0.0);
+            assert!(r.rebuild_ms > 0.0);
+            assert!(
+                r.rows_changed > 0,
+                "batch {} must rewrite some level rows",
+                r.batch
+            );
+        }
     }
 
     #[test]

@@ -91,6 +91,16 @@ impl FrontendCache {
         }
     }
 
+    /// Drop every shelved region of one layer that overlaps `rect` —
+    /// the surgical half of data-mutation invalidation (the server's
+    /// mutation log names exactly the stale canvas regions; regions that
+    /// do not overlap keep serving locally).
+    pub fn invalidate(&mut self, layer: usize, rect: &Rect) {
+        if let Some(shelf) = self.shelves.get_mut(layer) {
+            shelf.retain(|(r, _)| !r.intersects(rect));
+        }
+    }
+
     /// (hits, misses) of region lookups.
     pub fn stats(&self) -> (u64, u64) {
         (self.hits, self.misses)
@@ -148,6 +158,21 @@ mod tests {
         // a region larger than the whole budget is still kept (newest)
         c.put_region(0, Rect::new(0.0, 0.0, 50.0, 50.0), rows(100));
         assert!(c.lookup(0, &Rect::new(30.0, 30.0, 40.0, 40.0)).is_some());
+    }
+
+    #[test]
+    fn invalidate_drops_only_overlapping_regions() {
+        let mut c = FrontendCache::new(100, 2);
+        let a = Rect::new(0.0, 0.0, 10.0, 10.0);
+        let b = Rect::new(20.0, 0.0, 30.0, 10.0);
+        c.put_region(0, a, rows(2));
+        c.put_region(0, b, rows(2));
+        c.put_region(1, a, rows(2));
+        // a mutation inside region `a` on layer 0 only
+        c.invalidate(0, &Rect::new(4.0, 4.0, 6.0, 6.0));
+        assert!(c.peek(0, &Rect::new(2.0, 2.0, 8.0, 8.0)).is_none());
+        assert!(c.peek(0, &Rect::new(22.0, 2.0, 28.0, 8.0)).is_some());
+        assert!(c.peek(1, &Rect::new(2.0, 2.0, 8.0, 8.0)).is_some());
     }
 
     #[test]

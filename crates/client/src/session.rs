@@ -51,6 +51,8 @@ pub struct Session {
     momentum: MomentumTracker,
     /// Frontend tile cache capacity (tuples).
     cache_rows: usize,
+    /// Server data version the cached regions were fetched under.
+    data_version: u64,
     /// Forward pan hints to the server's momentum prefetcher.
     pub send_momentum_hints: bool,
     /// Forward viewed-region hints to the server's semantic prefetcher.
@@ -81,6 +83,7 @@ impl Session {
         let (vw, vh) = (server.app().viewport_width, server.app().viewport_height);
         let mut viewport = Viewport::new(cx, cy, vw, vh);
         viewport.center_on(cx, cy, &bounds);
+        let data_version = server.data_version();
         let mut session = Session {
             server,
             canvas: canvas_id.to_string(),
@@ -88,6 +91,7 @@ impl Session {
             cache: FrontendCache::new(500_000, layers),
             momentum: MomentumTracker::new(),
             cache_rows: 500_000,
+            data_version,
             send_momentum_hints: false,
             send_semantic_hints: false,
         };
@@ -114,6 +118,7 @@ impl Session {
         );
         let bounds = canvas.bounds();
         viewport.center_on(app.initial_center.0, app.initial_center.1, &bounds);
+        let data_version = server.data_version();
         let mut session = Session {
             server,
             canvas: canvas_id,
@@ -121,6 +126,7 @@ impl Session {
             cache: FrontendCache::new(cache_rows, layers),
             momentum: MomentumTracker::new(),
             cache_rows,
+            data_version,
             send_momentum_hints: false,
             send_semantic_hints: false,
         };
@@ -281,6 +287,7 @@ impl Session {
     /// level — without ever matching on a plan itself.
     pub fn ensure_viewport_data(&mut self) -> Result<StepReport> {
         let start = Instant::now();
+        self.sync_data_version();
         let vp = self.effective_viewport();
         let mut fetch = FetchMetrics::default();
         let mut frontend_hits = 0u64;
@@ -314,6 +321,32 @@ impl Session {
             frontend_hits,
             visible_rows,
         })
+    }
+
+    /// Catch up with server-side data mutations: when the server's data
+    /// version moved past the version our cached regions were fetched
+    /// under, drop exactly the cached regions the server's mutation log
+    /// marks stale on this canvas (everything, if the log was truncated).
+    /// The next lookups then miss and refetch fresh data.
+    fn sync_data_version(&mut self) {
+        let v = self.server.data_version();
+        if v == self.data_version {
+            return;
+        }
+        match self.server.changes_since(self.data_version) {
+            Some(changes) => {
+                for (canvas, layer, rect) in changes {
+                    if canvas == self.canvas {
+                        self.cache.invalidate(layer, &rect);
+                    }
+                }
+            }
+            None => {
+                let layers = self.current_canvas().layers.len();
+                self.cache.clear(layers);
+            }
+        }
+        self.data_version = v;
     }
 
     /// Rows visible in the current viewport, per non-static layer,

@@ -20,6 +20,7 @@ pub struct Cluster {
     pub rep_id: i64,
     /// Representative position in raw (level-0) canvas coordinates.
     pub rep_x: f64,
+    /// Representative position in raw (level-0) canvas coordinates.
     pub rep_y: f64,
     /// Representative weight: the first-measure value of the
     /// representative point (0 when no measures are configured).

@@ -66,6 +66,23 @@ pub fn merge_cell_maps(maps: Vec<FxHashMap<Cell, Cluster>>) -> FxHashMap<Cell, C
     out
 }
 
+/// What greedy retention decided about one candidate cell.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RetentionStatus {
+    /// The cell's candidate survived as a mark of the level.
+    Retained,
+    /// The candidate lay within `spacing` of an earlier-retained mark and
+    /// folded its aggregates into that mark's cell.
+    AbsorbedInto(Cell),
+}
+
+impl RetentionStatus {
+    /// Whether this candidate contributes a mark (rather than aggregates).
+    pub fn is_retained(self) -> bool {
+        matches!(self, RetentionStatus::Retained)
+    }
+}
+
 /// Phase 2: greedy retention under the spacing bound. Returns the level's
 /// clusters sorted by representative id (a canonical storage order).
 pub fn retain_with_spacing(
@@ -73,32 +90,58 @@ pub fn retain_with_spacing(
     scale: f64,
     spacing: f64,
 ) -> Vec<Cluster> {
-    let mut candidates: Vec<Cluster> = cells.into_values().collect();
+    let (_, outs) = retain_with_spacing_tracked(cells, scale, spacing);
+    let mut retained: Vec<Cluster> = outs.into_values().collect();
+    retained.sort_unstable_by_key(|c| c.rep_id);
+    retained
+}
+
+/// Phase 2 with full bookkeeping: besides the post-absorption output
+/// clusters (keyed by the retained candidate's cell), report every cell's
+/// [`RetentionStatus`]. This pair is exactly the per-level state that
+/// incremental maintenance ([`crate::maintain`]) repairs locally — a
+/// candidate's decision depends only on retained marks in its 3×3 cell
+/// neighborhood, so the statuses localize the recomputation after a
+/// mutation.
+///
+/// Identical to [`retain_with_spacing`] in every float operation (same
+/// processing order, same absorb sequence), so tracked and untracked
+/// builds produce bit-identical level tables.
+pub fn retain_with_spacing_tracked(
+    cells: FxHashMap<Cell, Cluster>,
+    scale: f64,
+    spacing: f64,
+) -> (FxHashMap<Cell, RetentionStatus>, FxHashMap<Cell, Cluster>) {
+    let mut candidates: Vec<(Cell, Cluster)> = cells.into_iter().collect();
     candidates.sort_unstable_by(|a, b| {
-        if a.more_important_than(b) {
+        if a.1.more_important_than(&b.1) {
             std::cmp::Ordering::Less
         } else {
             std::cmp::Ordering::Greater
         }
     });
 
-    let mut retained: Vec<Cluster> = Vec::new();
+    let mut status: FxHashMap<Cell, RetentionStatus> = FxHashMap::default();
+    let mut retained: Vec<(Cell, Cluster)> = Vec::new();
     let mut grid = SpacingGrid::new(spacing);
-    for c in candidates {
+    for (cell, c) in candidates {
         let (lx, ly) = (c.rep_x / scale, c.rep_y / scale);
         match grid.violator(lx, ly) {
             // a retained mark is too close: fold the aggregates into it.
             // `absorb` keeps the retained representative in place, so the
             // spacing invariant over retained positions survives.
-            Some((idx, _)) => retained[idx].absorb(&c),
+            Some((idx, _)) => {
+                status.insert(cell, RetentionStatus::AbsorbedInto(retained[idx].0));
+                retained[idx].1.absorb(&c);
+            }
             None => {
                 grid.insert(retained.len(), lx, ly);
-                retained.push(c);
+                status.insert(cell, RetentionStatus::Retained);
+                retained.push((cell, c));
             }
         }
     }
-    retained.sort_unstable_by_key(|c| c.rep_id);
-    retained
+    (status, retained.into_iter().collect())
 }
 
 #[cfg(test)]

@@ -29,8 +29,9 @@ pub struct LodConfig {
     /// Minimum distance between retained marks, in canvas units of the
     /// level the marks live on.
     pub spacing: f64,
-    /// Level-0 (raw) canvas extent.
+    /// Level-0 (raw) canvas width.
     pub width: f64,
+    /// Level-0 (raw) canvas height.
     pub height: f64,
 }
 
@@ -52,6 +53,7 @@ impl LodConfig {
         }
     }
 
+    /// Override the id/x/y column names (defaults: `id`, `x`, `y`).
     pub fn with_columns(
         mut self,
         id: impl Into<String>,
@@ -70,11 +72,13 @@ impl LodConfig {
         self
     }
 
+    /// Override the canvas shrink factor between adjacent levels.
     pub fn with_zoom_factor(mut self, factor: f64) -> Self {
         self.zoom_factor = factor;
         self
     }
 
+    /// Override the minimum distance between retained marks.
     pub fn with_spacing(mut self, spacing: f64) -> Self {
         self.spacing = spacing;
         self
@@ -106,6 +110,8 @@ impl LodConfig {
         format!("level{level}")
     }
 
+    /// Reject degenerate configurations (no levels, non-shrinking
+    /// zoom, non-positive spacing/extent, top level below the spacing).
     pub fn validate(&self) -> Result<()> {
         if self.levels == 0 {
             return Err(LodError::Config("need at least one clustered level".into()));

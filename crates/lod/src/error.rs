@@ -2,16 +2,21 @@
 
 use std::fmt;
 
+/// Anything pyramid construction or maintenance can fail with.
 #[derive(Debug)]
 pub enum LodError {
     /// Invalid [`crate::LodConfig`].
     Config(String),
     /// The raw table is missing a configured column or has the wrong shape.
     Schema(String),
+    /// An incremental-maintenance precondition failed (sharded pyramid,
+    /// unknown/duplicate id, missing spatial index, state out of sync).
+    Maintenance(String),
     /// Underlying storage failure.
     Storage(kyrix_storage::StorageError),
 }
 
+/// Crate-wide result alias over [`LodError`].
 pub type Result<T> = std::result::Result<T, LodError>;
 
 impl fmt::Display for LodError {
@@ -19,6 +24,7 @@ impl fmt::Display for LodError {
         match self {
             LodError::Config(m) => write!(f, "lod config: {m}"),
             LodError::Schema(m) => write!(f, "lod schema: {m}"),
+            LodError::Maintenance(m) => write!(f, "lod maintenance: {m}"),
             LodError::Storage(e) => write!(f, "lod storage: {e}"),
         }
     }

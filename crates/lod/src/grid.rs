@@ -8,7 +8,9 @@ use kyrix_storage::fxhash::FxHashMap;
 /// Integer grid cell coordinates.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct Cell {
+    /// Cell column (floor of x / cell size).
     pub x: i64,
+    /// Cell row (floor of y / cell size).
     pub y: i64,
 }
 
@@ -40,6 +42,7 @@ pub struct SpacingGrid {
 }
 
 impl SpacingGrid {
+    /// An empty grid enforcing one spacing bound.
     pub fn new(spacing: f64) -> Self {
         SpacingGrid {
             spacing,

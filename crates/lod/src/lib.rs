@@ -19,16 +19,23 @@
 //!   points into grid cells in parallel and the coordinator merges
 //!   boundary cells, producing the same level tables as a single node;
 //! * [`lod_app`] emits the multi-canvas [`kyrix_core::AppSpec`] with
-//!   `geometric_semantic_zoom` jumps auto-wired between adjacent levels.
+//!   `geometric_semantic_zoom` jumps auto-wired between adjacent levels;
+//! * [`LodPyramid::insert_points`] / [`LodPyramid::delete_points`]
+//!   ([`maintain`]) mutate the raw table and fold the delta into every
+//!   level table **in place** — a local repair around the dirty grid
+//!   cells, bit-identical to a from-scratch rebuild.
 //!
 //! Every level table carries a point R-tree on its `(cx, cy)` columns, so
 //! the existing `kyrix-server` precompute paths (spatial design,
 //! separable skip) serve tiles and dynamic boxes at any zoom level
-//! unmodified.
+//! unmodified. See `src/README.md` for pyramid anatomy, the sharded-build
+//! merge argument, and the maintenance/repair flow.
+//!
+//! Build a tiny pyramid, mutate it, and read a level back:
 //!
 //! ```
-//! use kyrix_lod::{build_pyramid, lod_app, LodConfig};
-//! use kyrix_storage::{DataType, Database, Row, Schema, Value};
+//! use kyrix_lod::{build_pyramid, lod_app, LodConfig, RawPoint};
+//! use kyrix_storage::{DataType, Database, IndexKind, Row, Schema, SpatialCols, Value};
 //!
 //! let mut db = Database::new();
 //! db.create_table("pts", Schema::empty()
@@ -44,12 +51,26 @@
 //!         Value::Float((i % 3) as f64),
 //!     ])).unwrap();
 //! }
+//! // maintenance locates deleted rows through the raw spatial index
+//! db.create_index("pts", "pts_xy", IndexKind::Spatial(SpatialCols::Point {
+//!     x: "x".into(),
+//!     y: "y".into(),
+//! })).unwrap();
 //! let cfg = LodConfig::new("pts", 1024.0, 512.0, 2).with_measure("w");
-//! let pyramid = build_pyramid(&mut db, &cfg).unwrap();
+//! let mut pyramid = build_pyramid(&mut db, &cfg).unwrap();
 //! assert_eq!(pyramid.depth(), 3);
+//!
+//! // insert a fresh point and delete an original one: every level table
+//! // is patched in place, conserving counts exactly
+//! pyramid.insert_points(&mut db, &[RawPoint::new(900, 500.0, 250.0, &[5.0])]).unwrap();
+//! pyramid.delete_points(&mut db, &[0]).unwrap();
+//! let total = db.query("SELECT SUM(cnt) FROM pts_lod1", &[]).unwrap();
+//! assert_eq!(total.rows[0].get(0).as_i64().unwrap(), 512);
+//!
 //! let spec = lod_app(&cfg, (256.0, 256.0));
 //! assert_eq!(spec.canvases.len(), 3);
 //! ```
+#![warn(missing_docs)]
 
 pub mod aggregate;
 pub mod app;
@@ -57,12 +78,17 @@ pub mod cluster;
 pub mod config;
 pub mod error;
 pub mod grid;
+pub mod maintain;
 pub mod pyramid;
 
 pub use aggregate::Cluster;
 pub use app::{lod_app, lod_calibration_walk};
-pub use cluster::{aggregate_into_cells, merge_cell_maps, retain_with_spacing};
+pub use cluster::{
+    aggregate_into_cells, merge_cell_maps, retain_with_spacing, retain_with_spacing_tracked,
+    RetentionStatus,
+};
 pub use config::LodConfig;
 pub use error::{LodError, Result};
 pub use grid::{cell_of, Cell, SpacingGrid};
+pub use maintain::{LevelMaintenance, MaintenanceReport, RawPoint, TupleId};
 pub use pyramid::{build_pyramid, build_pyramid_sharded, LevelInfo, LodPyramid};

@@ -1,0 +1,1197 @@
+//! Incremental pyramid maintenance: mutate the raw table without a full
+//! rebuild.
+//!
+//! The from-scratch build ([`crate::build_pyramid`]) is a two-phase
+//! pipeline per level — cell aggregation (an associative fold over the
+//! finer level) followed by greedy spacing retention. Both phases
+//! localize:
+//!
+//! * **Cell aggregation** is a fold per grid cell, so an insert merges
+//!   into exactly one cell and a delete dirties exactly one cell (which is
+//!   then re-aggregated from the raw rows still inside it, found through
+//!   the raw table's spatial index — never a full scan).
+//! * **Greedy retention** decides each candidate cell from the retained
+//!   marks in its 3×3 cell neighborhood only, so a dirty cell's decision
+//!   can be recomputed *locally* — provided every candidate whose decision
+//!   could transitively change is recomputed with it. The repair pass's
+//!   expansion loop grows the repaired region exactly along those
+//!   dependency chains (a retained-membership flip adds the flipped cell's
+//!   neighbors) until a fixed point, which is what makes the repaired
+//!   level tables **bit-identical** to a from-scratch rebuild rather than
+//!   merely spacing-valid. A repair that would engulf most of a level
+//!   falls back to re-running full retention from the maintained cell map
+//!   (still exact, still cheaper than re-scanning raw data).
+//!
+//! Changed retained outputs propagate upward: they dirty the cells they
+//! map into on the next level, that level re-aggregates those cells from
+//! the level below and repairs, and so on. Level tables are patched in
+//! place (delete + insert of exactly the changed rows, spatial indexes
+//! maintained incrementally), leaving the untouched rows untouched.
+//!
+//! Exactness caveat (the same as the sharded build's): counts, bounding
+//! boxes and representative elections are order-independent folds and
+//! match a rebuild bitwise; floating-point measure *sums* match bitwise
+//! whenever measure values are integer-valued (as `zipf_galaxy` emits),
+//! and up to float association otherwise.
+
+use crate::aggregate::Cluster;
+use crate::cluster::{retain_with_spacing_tracked, RetentionStatus};
+use crate::config::LodConfig;
+use crate::error::{LodError, Result};
+use crate::grid::{cell_of, Cell, SpacingGrid};
+use crate::pyramid::{level_row, raw_layout, LodPyramid, RawLayout};
+use kyrix_storage::fxhash::{FxHashMap, FxHashSet};
+use kyrix_storage::{Database, Rect, Row, Value};
+
+/// One raw point to insert: the id, position and measure values of a new
+/// row of the pyramid's raw table (measures in [`LodConfig::measures`]
+/// order).
+#[derive(Debug, Clone, PartialEq)]
+pub struct RawPoint {
+    /// Value for the id column (must be unused in the raw table).
+    pub id: i64,
+    /// Raw canvas-x position.
+    pub x: f64,
+    /// Raw canvas-y position.
+    pub y: f64,
+    /// One value per configured measure column.
+    pub measures: Vec<f64>,
+}
+
+impl RawPoint {
+    /// A point with the given id, position and measures.
+    pub fn new(id: i64, x: f64, y: f64, measures: &[f64]) -> Self {
+        RawPoint {
+            id,
+            x,
+            y,
+            measures: measures.to_vec(),
+        }
+    }
+}
+
+/// Raw row identifier: the value of the configured id column.
+pub type TupleId = i64;
+
+/// Retention state of one clustered level: the phase-1 candidate cell map
+/// plus phase-2 statuses and post-absorption outputs. `repair_level`
+/// mutates all three in lockstep with the level table.
+#[derive(Debug, Clone)]
+pub(crate) struct LevelState {
+    /// Candidate cluster per grid cell (pre-retention).
+    pub(crate) cands: FxHashMap<Cell, Cluster>,
+    /// Retention decision per candidate cell.
+    pub(crate) status: FxHashMap<Cell, RetentionStatus>,
+    /// Post-absorption output cluster per *retained* cell — the level
+    /// table's rows.
+    pub(crate) outs: FxHashMap<Cell, Cluster>,
+}
+
+impl LevelState {
+    /// The level's output clusters in canonical (rep-id) order — both the
+    /// level-table row order and the fold order the next level's cell
+    /// aggregation consumes, so incremental re-aggregation reproduces a
+    /// from-scratch build's float sums exactly.
+    pub(crate) fn sorted_outputs(&self) -> Vec<Cluster> {
+        let mut outs: Vec<Cluster> = self.outs.values().cloned().collect();
+        outs.sort_unstable_by_key(|c| c.rep_id);
+        outs
+    }
+}
+
+/// Maintenance state of a single-node-built pyramid.
+#[derive(Debug, Clone)]
+pub(crate) struct MaintainState {
+    /// One state per clustered level (index 0 = level 1).
+    pub(crate) levels: Vec<LevelState>,
+    /// Level-1 grid cell of every live raw row — the secondary index that
+    /// turns a delete-by-id into a single-cell repair instead of a scan.
+    pub(crate) id_cells: FxHashMap<TupleId, Cell>,
+}
+
+/// What one maintenance pass touched on one level (level 0 = raw table).
+#[derive(Debug, Clone, PartialEq)]
+pub struct LevelMaintenance {
+    /// Level number (0 = raw).
+    pub level: usize,
+    /// Physical table of the level.
+    pub table: String,
+    /// Rectangles, in this level's canvas coordinates, covering every
+    /// changed row — the exact regions a serving layer must invalidate.
+    pub dirty_rects: Vec<Rect>,
+    /// Table rows deleted plus inserted by the pass.
+    pub rows_changed: usize,
+    /// Candidate cells the repair pass re-examined (0 on the raw level).
+    pub repair_cells: usize,
+    /// Whether the repair abandoned locality and re-ran full retention
+    /// from the maintained cell map (exactness is unaffected).
+    pub fallback: bool,
+}
+
+/// Report of one [`LodPyramid::insert_points`] / [`LodPyramid::delete_points`]
+/// batch: per-level dirty regions and repair statistics.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MaintenanceReport {
+    /// Raw rows inserted by the batch.
+    pub inserted: usize,
+    /// Raw rows deleted by the batch.
+    pub deleted: usize,
+    /// One entry per level, raw level first.
+    pub levels: Vec<LevelMaintenance>,
+}
+
+impl MaintenanceReport {
+    /// Every `(table, dirty rect)` pair of the batch, across all levels —
+    /// the shape cache-invalidation entry points consume.
+    pub fn dirty_regions(&self) -> impl Iterator<Item = (&str, Rect)> + '_ {
+        self.levels
+            .iter()
+            .flat_map(|l| l.dirty_rects.iter().map(move |r| (l.table.as_str(), *r)))
+    }
+
+    /// Total level-table rows rewritten (clustered levels only).
+    pub fn rows_changed(&self) -> usize {
+        self.levels
+            .iter()
+            .filter(|l| l.level > 0)
+            .map(|l| l.rows_changed)
+            .sum()
+    }
+}
+
+/// Output delta of one level's repair: `(cell, old output, new output)`
+/// for every cell whose retained output appeared, vanished or changed.
+type OutputDelta = Vec<(Cell, Option<Cluster>, Option<Cluster>)>;
+
+struct RepairOutcome {
+    changed: OutputDelta,
+    region_cells: usize,
+    fallback: bool,
+}
+
+/// When the repaired region would cover more than this fraction of a
+/// level's candidate cells, re-running full retention from the cell map is
+/// cheaper than iterating regional passes.
+const FALLBACK_NUM: usize = 1;
+const FALLBACK_DEN: usize = 2;
+
+impl LodPyramid {
+    /// Insert a batch of raw points and fold them into every level table
+    /// in place: each point merges into its level-1 grid cell (the
+    /// associative aggregation fold), the affected neighborhoods are
+    /// repaired per level, and only the changed level-table rows are
+    /// rewritten. The result is the pyramid [`crate::build_pyramid`] would
+    /// build from scratch over the mutated table (bit-identical level
+    /// tables; float measure sums exact for integer-valued measures).
+    ///
+    /// Errors if the pyramid was built sharded (no maintenance state), a
+    /// point's id is already live, or a point's measure count does not
+    /// match the config — all checked before anything mutates. Should a
+    /// failure occur *after* mutation starts (a storage error mid-batch),
+    /// the raw table may be partially mutated while the level tables are
+    /// not yet repaired; the pyramid then drops its maintenance state, so
+    /// every later maintenance call refuses loudly
+    /// ([`LodPyramid::can_maintain`] turns false) instead of silently
+    /// diverging — rebuild with [`crate::build_pyramid`] to recover.
+    pub fn insert_points(
+        &mut self,
+        db: &mut Database,
+        points: &[RawPoint],
+    ) -> Result<MaintenanceReport> {
+        let cfg = self.config.clone();
+        // validation phase: read-only, a failure here leaves everything
+        // untouched
+        let (layout, schema_len) = {
+            let state = require_state(self.maintenance.as_mut())?;
+            if points.is_empty() {
+                return Ok(empty_report(&cfg, 0, 0));
+            }
+            let layout = raw_layout(db, &cfg)?;
+            let schema_len = db.table(&cfg.table)?.schema.len();
+            if schema_len != 3 + cfg.measures.len() {
+                return Err(LodError::Maintenance(format!(
+                    "insert_points needs `{}` to hold exactly the configured id/x/y/measure \
+                     columns ({} columns), found {schema_len}",
+                    cfg.table,
+                    3 + cfg.measures.len()
+                )));
+            }
+            let mut fresh: FxHashSet<i64> = FxHashSet::default();
+            for p in points {
+                if p.measures.len() != cfg.measures.len() {
+                    return Err(LodError::Maintenance(format!(
+                        "point {} carries {} measures, config has {}",
+                        p.id,
+                        p.measures.len(),
+                        cfg.measures.len()
+                    )));
+                }
+                if state.id_cells.contains_key(&p.id) || !fresh.insert(p.id) {
+                    return Err(LodError::Maintenance(format!(
+                        "id {} is already live in `{}`",
+                        p.id, cfg.table
+                    )));
+                }
+            }
+            (layout, schema_len)
+        };
+        // application phase: errors past this point poison the state
+        let LodPyramid {
+            maintenance,
+            levels,
+            ..
+        } = self;
+        let state = maintenance.as_mut().expect("validated above");
+        let result = apply_insert(db, &cfg, state, levels, &layout, schema_len, points);
+        if result.is_err() {
+            *maintenance = None;
+        }
+        result
+    }
+
+    /// Delete a batch of raw rows by id and fold the removals into every
+    /// level table in place. Each deleted row dirties its level-1 grid
+    /// cell, which is re-aggregated from the raw rows still inside it via
+    /// the raw table's spatial index; repair then proceeds exactly as for
+    /// inserts. Errors if the pyramid was built sharded or an id is not
+    /// live — checked before anything mutates; as with
+    /// [`LodPyramid::insert_points`], a failure after mutation starts
+    /// drops the maintenance state so later calls refuse loudly.
+    pub fn delete_points(
+        &mut self,
+        db: &mut Database,
+        ids: &[TupleId],
+    ) -> Result<MaintenanceReport> {
+        let cfg = self.config.clone();
+        // validation phase — ids live and distinct, spatial index present
+        // — before mutating any state
+        let (layout, by_cell) = {
+            let state = require_state(self.maintenance.as_mut())?;
+            if ids.is_empty() {
+                return Ok(empty_report(&cfg, 0, 0));
+            }
+            let layout = raw_layout(db, &cfg)?;
+            if db.table(&cfg.table)?.spatial_index().is_none() {
+                return Err(LodError::Maintenance(format!(
+                    "raw table `{}` needs a spatial index for maintenance",
+                    cfg.table
+                )));
+            }
+            let mut by_cell: FxHashMap<Cell, FxHashSet<i64>> = FxHashMap::default();
+            for id in ids {
+                let cell = *state.id_cells.get(id).ok_or_else(|| {
+                    LodError::Maintenance(format!("id {id} is not live in `{}`", cfg.table))
+                })?;
+                if !by_cell.entry(cell).or_default().insert(*id) {
+                    return Err(LodError::Maintenance(format!(
+                        "id {id} appears twice in the delete batch"
+                    )));
+                }
+            }
+            (layout, by_cell)
+        };
+        // application phase: errors past this point poison the state
+        let LodPyramid {
+            maintenance,
+            levels,
+            ..
+        } = self;
+        let state = maintenance.as_mut().expect("validated above");
+        let result = apply_delete(db, &cfg, state, levels, &layout, by_cell, ids.len());
+        if result.is_err() {
+            *maintenance = None;
+        }
+        result
+    }
+}
+
+/// The mutating half of [`LodPyramid::insert_points`].
+#[allow(clippy::too_many_arguments)]
+fn apply_insert(
+    db: &mut Database,
+    cfg: &LodConfig,
+    state: &mut MaintainState,
+    levels: &mut [crate::pyramid::LevelInfo],
+    layout: &RawLayout,
+    schema_len: usize,
+    points: &[RawPoint],
+) -> Result<MaintenanceReport> {
+    let scale1 = cfg.level_scale(1);
+    let mut dirty: FxHashSet<Cell> = FxHashSet::default();
+    for p in points {
+        db.insert(&cfg.table, raw_row(layout, schema_len, p))?;
+        let cell = cell_of(p.x / scale1, p.y / scale1, cfg.spacing);
+        state.id_cells.insert(p.id, cell);
+        // fold into the level-1 candidate map: new rows append to the
+        // raw table, so this fold order matches a rebuild's scan order
+        let singleton = Cluster::from_point(p.id, p.x, p.y, &p.measures);
+        match state.levels[0].cands.get_mut(&cell) {
+            Some(agg) => agg.merge(&singleton),
+            None => {
+                state.levels[0].cands.insert(cell, singleton);
+            }
+        }
+        dirty.insert(cell);
+    }
+    propagate(db, cfg, state, levels, dirty, points.len(), 0)
+}
+
+/// The mutating half of [`LodPyramid::delete_points`].
+fn apply_delete(
+    db: &mut Database,
+    cfg: &LodConfig,
+    state: &mut MaintainState,
+    levels: &mut [crate::pyramid::LevelInfo],
+    layout: &RawLayout,
+    by_cell: FxHashMap<Cell, FxHashSet<i64>>,
+    deleted: usize,
+) -> Result<MaintenanceReport> {
+    let mut dirty: FxHashSet<Cell> = FxHashSet::default();
+    let mut cells: Vec<(Cell, FxHashSet<i64>)> = by_cell.into_iter().collect();
+    cells.sort_unstable_by_key(|(c, _)| *c);
+    for (cell, cell_ids) in cells {
+        delete_rows_in_cell(db, cfg, layout, cell, &cell_ids)?;
+        // re-aggregate the cell from the raw rows still inside it
+        match aggregate_raw_cell(db, cfg, layout, cell)? {
+            Some(cluster) => {
+                state.levels[0].cands.insert(cell, cluster);
+            }
+            None => {
+                state.levels[0].cands.remove(&cell);
+            }
+        }
+        for id in &cell_ids {
+            state.id_cells.remove(id);
+        }
+        dirty.insert(cell);
+    }
+    propagate(db, cfg, state, levels, dirty, 0, deleted)
+}
+
+fn require_state(state: Option<&mut MaintainState>) -> Result<&mut MaintainState> {
+    state.ok_or_else(|| {
+        LodError::Maintenance(
+            "pyramid carries no maintenance state: sharded builds keep their raw data \
+             on the shards; rebuild with `build_pyramid` to mutate in place"
+                .to_string(),
+        )
+    })
+}
+
+fn empty_report(cfg: &LodConfig, inserted: usize, deleted: usize) -> MaintenanceReport {
+    MaintenanceReport {
+        inserted,
+        deleted,
+        levels: (0..=cfg.levels)
+            .map(|k| LevelMaintenance {
+                level: k,
+                table: cfg.level_table(k),
+                dirty_rects: Vec::new(),
+                rows_changed: 0,
+                repair_cells: 0,
+                fallback: false,
+            })
+            .collect(),
+    }
+}
+
+/// A full raw-table row for one point, laid out per the configured column
+/// indexes.
+fn raw_row(layout: &RawLayout, schema_len: usize, p: &RawPoint) -> Row {
+    let mut values = vec![Value::Int(0); schema_len];
+    values[layout.id] = Value::Int(p.id);
+    values[layout.x] = Value::Float(p.x);
+    values[layout.y] = Value::Float(p.y);
+    for (i, m) in layout.measures.iter().zip(&p.measures) {
+        values[*i] = Value::Float(*m);
+    }
+    Row::new(values)
+}
+
+/// The raw-coordinate extent of a level-1 grid cell.
+fn raw_cell_rect(cfg: &LodConfig, cell: Cell) -> Rect {
+    let s = cfg.spacing * cfg.level_scale(1);
+    Rect::new(
+        cell.x as f64 * s,
+        cell.y as f64 * s,
+        (cell.x + 1) as f64 * s,
+        (cell.y + 1) as f64 * s,
+    )
+}
+
+/// The level-coordinate extent of a grid cell on any clustered level.
+fn level_cell_rect(spacing: f64, cell: Cell) -> Rect {
+    Rect::new(
+        cell.x as f64 * spacing,
+        cell.y as f64 * spacing,
+        (cell.x + 1) as f64 * spacing,
+        (cell.y + 1) as f64 * spacing,
+    )
+}
+
+/// Delete the rows with the given ids from one level-1 cell of the raw
+/// table, located through the spatial index (no scan).
+fn delete_rows_in_cell(
+    db: &mut Database,
+    cfg: &LodConfig,
+    layout: &RawLayout,
+    cell: Cell,
+    ids: &FxHashSet<i64>,
+) -> Result<()> {
+    let rect = raw_cell_rect(cfg, cell);
+    let table = db.table(&cfg.table)?;
+    let idx = table.spatial_index().ok_or_else(|| {
+        LodError::Maintenance(format!(
+            "raw table `{}` needs a spatial index for maintenance",
+            cfg.table
+        ))
+    })?;
+    let mut rids = Vec::new();
+    table.probe_spatial(idx, &rect, |rid| rids.push(rid));
+    let mut found = 0usize;
+    let mut victims = Vec::new();
+    for rid in rids {
+        let Some(row) = table.get(rid)? else { continue };
+        let id = row
+            .get(layout.id)
+            .as_i64()
+            .map_err(|_| LodError::Schema(format!("non-integer id in `{}`", cfg.table)))?;
+        if ids.contains(&id) {
+            victims.push(rid);
+            found += 1;
+        }
+    }
+    if found != ids.len() {
+        return Err(LodError::Maintenance(format!(
+            "cell ({}, {}) holds {found} of {} rows to delete: id index out of sync",
+            cell.x,
+            cell.y,
+            ids.len()
+        )));
+    }
+    let table = db.table_mut(&cfg.table)?;
+    for rid in victims {
+        table.delete_row(rid)?;
+    }
+    Ok(())
+}
+
+/// Re-aggregate one level-1 cell from the raw rows inside it, in heap scan
+/// order (the fold order a from-scratch build uses). `None` when empty.
+fn aggregate_raw_cell(
+    db: &Database,
+    cfg: &LodConfig,
+    layout: &RawLayout,
+    cell: Cell,
+) -> Result<Option<Cluster>> {
+    let rect = raw_cell_rect(cfg, cell);
+    let scale1 = cfg.level_scale(1);
+    let table = db.table(&cfg.table)?;
+    let idx = table.spatial_index().ok_or_else(|| {
+        LodError::Maintenance(format!("raw table `{}` lost its spatial index", cfg.table))
+    })?;
+    let mut rids = Vec::new();
+    table.probe_spatial(idx, &rect, |rid| rids.push(rid));
+    // heap order = scan order: the order extract_points folds in
+    rids.sort_unstable_by_key(|r| r.to_u64());
+    let mut acc: Option<Cluster> = None;
+    for rid in rids {
+        let Some(row) = table.get(rid)? else { continue };
+        let f = |i: usize| row.get(i).as_f64();
+        let (Ok(id), Ok(x), Ok(y)) = (row.get(layout.id).as_i64(), f(layout.x), f(layout.y)) else {
+            return Err(LodError::Schema(format!(
+                "non-numeric row in `{}`",
+                cfg.table
+            )));
+        };
+        // the probe rect is closed; boundary rows belong to the next cell
+        if cell_of(x / scale1, y / scale1, cfg.spacing) != cell {
+            continue;
+        }
+        let ms: std::result::Result<Vec<f64>, _> = layout.measures.iter().map(|&i| f(i)).collect();
+        let ms = ms.map_err(|_| LodError::Schema(format!("non-numeric row in `{}`", cfg.table)))?;
+        let c = Cluster::from_point(id, x, y, &ms);
+        match &mut acc {
+            Some(agg) => agg.merge(&c),
+            None => acc = Some(c),
+        }
+    }
+    Ok(acc)
+}
+
+/// Drive the per-level repairs after the level-1 candidate map absorbed a
+/// raw mutation that dirtied `dirty` cells. Rewrites level tables in place
+/// and updates the pyramid's per-level row counts.
+fn propagate(
+    db: &mut Database,
+    cfg: &LodConfig,
+    state: &mut MaintainState,
+    infos: &mut [crate::pyramid::LevelInfo],
+    mut dirty: FxHashSet<Cell>,
+    inserted: usize,
+    deleted: usize,
+) -> Result<MaintenanceReport> {
+    let mut report = MaintenanceReport {
+        inserted,
+        deleted,
+        levels: vec![LevelMaintenance {
+            level: 0,
+            table: cfg.level_table(0),
+            // raw-level invalidation regions: the raw extent of every
+            // dirty level-1 cell covers all mutated points
+            dirty_rects: {
+                let mut cells: Vec<Cell> = dirty.iter().copied().collect();
+                cells.sort_unstable();
+                cells.iter().map(|c| raw_cell_rect(cfg, *c)).collect()
+            },
+            rows_changed: inserted + deleted,
+            repair_cells: 0,
+            fallback: false,
+        }],
+    };
+    infos[0].rows = state.id_cells.len();
+
+    let mut changed_prev: OutputDelta = Vec::new();
+    for k in 1..=cfg.levels {
+        let scale = cfg.level_scale(k);
+        if k > 1 {
+            // derive this level's dirty cells from the level below's
+            // changed outputs, re-aggregating each from its members
+            dirty = FxHashSet::default();
+            let (below, above) = state.levels.split_at_mut(k - 1);
+            let prev = &below[k - 2];
+            let cur = &mut above[0];
+            let mut touched: FxHashSet<Cell> = FxHashSet::default();
+            for (_, old, new) in &changed_prev {
+                for c in [old, new].into_iter().flatten() {
+                    touched.insert(cell_of(c.rep_x / scale, c.rep_y / scale, cfg.spacing));
+                }
+            }
+            for cell in touched {
+                let fresh = aggregate_cell_from_below(prev, cell, scale, cfg);
+                let differs = match (cur.cands.get(&cell), &fresh) {
+                    (Some(o), Some(n)) => o != n,
+                    (None, None) => false,
+                    _ => true,
+                };
+                if differs {
+                    match fresh {
+                        Some(n) => {
+                            cur.cands.insert(cell, n);
+                        }
+                        None => {
+                            cur.cands.remove(&cell);
+                        }
+                    }
+                    dirty.insert(cell);
+                }
+            }
+        }
+        if dirty.is_empty() {
+            report.levels.push(LevelMaintenance {
+                level: k,
+                table: cfg.level_table(k),
+                dirty_rects: Vec::new(),
+                rows_changed: 0,
+                repair_cells: 0,
+                fallback: false,
+            });
+            changed_prev = Vec::new();
+            continue;
+        }
+        let outcome = repair_level(&mut state.levels[k - 1], scale, cfg.spacing, &dirty);
+        rewrite_level_table(db, cfg, k, scale, &outcome.changed)?;
+        infos[k].rows = state.levels[k - 1].outs.len();
+        report.levels.push(LevelMaintenance {
+            level: k,
+            table: cfg.level_table(k),
+            dirty_rects: outcome
+                .changed
+                .iter()
+                .map(|(c, _, _)| level_cell_rect(cfg.spacing, *c))
+                .collect(),
+            rows_changed: outcome
+                .changed
+                .iter()
+                .map(|(_, o, n)| o.is_some() as usize + n.is_some() as usize)
+                .sum(),
+            repair_cells: outcome.region_cells,
+            fallback: outcome.fallback,
+        });
+        changed_prev = outcome.changed;
+    }
+    Ok(report)
+}
+
+/// Re-aggregate one cell of level `k` from the retained outputs of level
+/// `k − 1` that map into it, folding in rep-id order — the exact order a
+/// from-scratch `aggregate_into_cells` pass over the sorted lower level
+/// uses, so even float sums reproduce.
+fn aggregate_cell_from_below(
+    prev: &LevelState,
+    cell: Cell,
+    scale: f64,
+    cfg: &LodConfig,
+) -> Option<Cluster> {
+    let spacing = cfg.spacing;
+    // the cell's extent in the lower level's coordinates, ± one cell of
+    // float slack; every lower-level output lies inside its own cell
+    let zoom = cfg.zoom_factor;
+    let x0 = (cell.x as f64 * zoom).floor() as i64 - 1;
+    let x1 = ((cell.x + 1) as f64 * zoom).ceil() as i64 + 1;
+    let y0 = (cell.y as f64 * zoom).floor() as i64 - 1;
+    let y1 = ((cell.y + 1) as f64 * zoom).ceil() as i64 + 1;
+    let mut members: Vec<&Cluster> = Vec::new();
+    for py in y0..=y1 {
+        for px in x0..=x1 {
+            if let Some(o) = prev.outs.get(&Cell { x: px, y: py }) {
+                if cell_of(o.rep_x / scale, o.rep_y / scale, spacing) == cell {
+                    members.push(o);
+                }
+            }
+        }
+    }
+    members.sort_unstable_by_key(|c| c.rep_id);
+    let mut it = members.into_iter();
+    let mut acc = it.next()?.clone();
+    for m in it {
+        acc.merge(m);
+    }
+    Some(acc)
+}
+
+/// Repair one level's retention after the candidate clusters of `dirty`
+/// cells changed (including appeared/vanished). Recomputes retention for
+/// a region that starts at the dirty cells plus their neighborhoods and
+/// expands along retained-membership flips until the boundary is clean —
+/// at which point the regional decisions provably equal a full re-run's.
+/// Updates `st.status`/`st.outs` and returns the output delta.
+fn repair_level(
+    st: &mut LevelState,
+    scale: f64,
+    spacing: f64,
+    dirty: &FxHashSet<Cell>,
+) -> RepairOutcome {
+    let mut region: FxHashSet<Cell> = dirty.clone();
+    for c in dirty {
+        for n in c.neighborhood() {
+            if st.cands.contains_key(&n) {
+                region.insert(n);
+            }
+        }
+    }
+
+    let mut fallback = false;
+    let new_status: FxHashMap<Cell, RetentionStatus> = loop {
+        if st.cands.len() > 64 && region.len() * FALLBACK_DEN > st.cands.len() * FALLBACK_NUM {
+            fallback = true;
+            break FxHashMap::default(); // unused on the fallback path
+        }
+        let computed = regional_retention(st, scale, spacing, &region);
+        // expansion: a retained-membership flip influences neighbors that
+        // were assumed clean — pull them in and recompute
+        let mut grew = false;
+        let snapshot: Vec<Cell> = region.iter().copied().collect();
+        for cell in snapshot {
+            let old_ret = matches!(st.status.get(&cell), Some(RetentionStatus::Retained));
+            let new_ret = matches!(computed.get(&cell), Some(RetentionStatus::Retained));
+            if old_ret != new_ret {
+                for n in cell.neighborhood() {
+                    if st.cands.contains_key(&n) && region.insert(n) {
+                        grew = true;
+                    }
+                }
+            }
+        }
+        if !grew {
+            break computed;
+        }
+    };
+
+    if fallback {
+        // exact full re-run from the maintained cell map (no raw scan)
+        let (status, outs) = retain_with_spacing_tracked(st.cands.clone(), scale, spacing);
+        let mut cells: FxHashSet<Cell> = st.outs.keys().copied().collect();
+        cells.extend(outs.keys().copied());
+        let mut changed: OutputDelta = Vec::new();
+        for cell in cells {
+            let old = st.outs.get(&cell);
+            let new = outs.get(&cell);
+            if old != new {
+                changed.push((cell, old.cloned(), new.cloned()));
+            }
+        }
+        changed.sort_unstable_by_key(|(c, _, _)| *c);
+        let region_cells = st.cands.len();
+        st.status = status;
+        st.outs = outs;
+        return RepairOutcome {
+            changed,
+            region_cells,
+            fallback: true,
+        };
+    }
+
+    // commit statuses and recompute the outputs that could have changed:
+    // every region cell, plus every retained cell (inside or out) that
+    // gained or lost an absorbed member
+    let mut out_dirty: FxHashSet<Cell> = FxHashSet::default();
+    for cell in &region {
+        out_dirty.insert(*cell);
+        if let Some(RetentionStatus::AbsorbedInto(a)) = st.status.get(cell) {
+            out_dirty.insert(*a);
+        }
+        if let Some(RetentionStatus::AbsorbedInto(a)) = new_status.get(cell) {
+            out_dirty.insert(*a);
+        }
+    }
+    for cell in &region {
+        match new_status.get(cell) {
+            Some(s) => {
+                st.status.insert(*cell, *s);
+            }
+            None => {
+                st.status.remove(cell);
+            }
+        }
+    }
+    let mut changed: OutputDelta = Vec::new();
+    let mut out_cells: Vec<Cell> = out_dirty.into_iter().collect();
+    out_cells.sort_unstable();
+    for r in out_cells {
+        let retained = matches!(st.status.get(&r), Some(RetentionStatus::Retained));
+        let old = st.outs.get(&r).cloned();
+        if retained {
+            let new = output_for(st, r);
+            if old.as_ref() != Some(&new) {
+                st.outs.insert(r, new.clone());
+                changed.push((r, old, Some(new)));
+            }
+        } else if let Some(o) = st.outs.remove(&r) {
+            changed.push((r, Some(o), None));
+        }
+    }
+    RepairOutcome {
+        changed,
+        region_cells: region.len(),
+        fallback: false,
+    }
+}
+
+/// Run greedy retention over the candidates of `region` only, against a
+/// boundary of unchanged external retained marks. Exactly reproduces the
+/// global greedy's decisions for region cells *given* that no external
+/// status changes (the expansion loop in [`repair_level`] guarantees that
+/// at its fixed point).
+fn regional_retention(
+    st: &LevelState,
+    scale: f64,
+    spacing: f64,
+    region: &FxHashSet<Cell>,
+) -> FxHashMap<Cell, RetentionStatus> {
+    let mut cands: Vec<(Cell, &Cluster)> = region
+        .iter()
+        .filter_map(|c| st.cands.get(c).map(|cl| (*c, cl)))
+        .collect();
+    cands.sort_unstable_by(|a, b| {
+        if a.1.more_important_than(b.1) {
+            std::cmp::Ordering::Less
+        } else {
+            std::cmp::Ordering::Greater
+        }
+    });
+
+    let sq = spacing * spacing;
+    let mut out: FxHashMap<Cell, RetentionStatus> = FxHashMap::default();
+    let mut grid = SpacingGrid::new(spacing);
+    let mut retained: Vec<(Cell, &Cluster)> = Vec::new();
+    for (cell, cl) in cands {
+        let (lx, ly) = (cl.rep_x / scale, cl.rep_y / scale);
+        // nearest regional violator: retained earlier in this pass, i.e.
+        // higher priority (the grid tie-breaks to the smaller index =
+        // higher priority, matching the global run)
+        let mut best: Option<(Cell, f64, &Cluster)> = grid.violator(lx, ly).map(|(idx, d2)| {
+            let (c, r) = retained[idx];
+            (c, d2, r)
+        });
+        // external boundary: neighbors outside the region whose stored
+        // status is Retained. Only higher-priority externals constrain
+        // this candidate — in the global order, lower-priority marks are
+        // not yet present when it is processed.
+        for n in cell.neighborhood() {
+            if region.contains(&n) {
+                continue;
+            }
+            if !matches!(st.status.get(&n), Some(RetentionStatus::Retained)) {
+                continue;
+            }
+            let ext = &st.cands[&n];
+            if !ext.more_important_than(cl) {
+                continue;
+            }
+            let (ex, ey) = (ext.rep_x / scale, ext.rep_y / scale);
+            let d2 = (ex - lx) * (ex - lx) + (ey - ly) * (ey - ly);
+            if d2 >= sq {
+                continue;
+            }
+            let better = match &best {
+                None => true,
+                // global tie-break: the earlier-retained mark wins, and
+                // retention order is priority order
+                Some((_, bd2, bcl)) => d2 < *bd2 || (d2 == *bd2 && ext.more_important_than(bcl)),
+            };
+            if better {
+                best = Some((n, d2, ext));
+            }
+        }
+        match best {
+            Some((absorber, _, _)) => {
+                out.insert(cell, RetentionStatus::AbsorbedInto(absorber));
+            }
+            None => {
+                grid.insert(retained.len(), lx, ly);
+                retained.push((cell, cl));
+                out.insert(cell, RetentionStatus::Retained);
+            }
+        }
+    }
+    out
+}
+
+/// Recompute the post-absorption output of a retained cell: its own
+/// candidate plus every absorbed neighbor, folded in priority order — the
+/// order the global greedy absorbs in, so the float sums reproduce.
+fn output_for(st: &LevelState, r: Cell) -> Cluster {
+    let mut members: Vec<&Cluster> = r
+        .neighborhood()
+        .filter(|n| *n != r)
+        .filter(|n| matches!(st.status.get(n), Some(RetentionStatus::AbsorbedInto(t)) if *t == r))
+        .map(|n| &st.cands[&n])
+        .collect();
+    members.sort_unstable_by(|a, b| {
+        if a.more_important_than(b) {
+            std::cmp::Ordering::Less
+        } else {
+            std::cmp::Ordering::Greater
+        }
+    });
+    let mut out = st.cands[&r].clone();
+    for m in members {
+        out.absorb(m);
+    }
+    out
+}
+
+/// Patch one level table in place: delete the rows of vanished/changed
+/// outputs (located through the level's spatial index), then insert the
+/// new versions. Deletes run first so a representative migrating between
+/// cells never collides with itself.
+fn rewrite_level_table(
+    db: &mut Database,
+    cfg: &LodConfig,
+    level: usize,
+    scale: f64,
+    changed: &OutputDelta,
+) -> Result<()> {
+    let table = cfg.level_table(level);
+    for (_, old, _) in changed {
+        if let Some(o) = old {
+            delete_level_row(db, &table, o, scale)?;
+        }
+    }
+    let mut inserts: Vec<&Cluster> = changed.iter().filter_map(|(_, _, n)| n.as_ref()).collect();
+    inserts.sort_unstable_by_key(|c| c.rep_id);
+    for c in inserts {
+        db.insert(&table, level_row(scale, c))?;
+    }
+    Ok(())
+}
+
+/// Delete one level-table row by its representative id, located through
+/// the level's `(cx, cy)` spatial index at the output's exact position.
+fn delete_level_row(db: &mut Database, table: &str, out: &Cluster, scale: f64) -> Result<()> {
+    let (cx, cy) = (out.rep_x / scale, out.rep_y / scale);
+    let t = db.table(table)?;
+    let idx = t.spatial_index().ok_or_else(|| {
+        LodError::Maintenance(format!("level table `{table}` lost its spatial index"))
+    })?;
+    let probe = Rect::new(cx, cy, cx, cy);
+    let mut rids = Vec::new();
+    t.probe_spatial(idx, &probe, |rid| rids.push(rid));
+    for rid in rids {
+        let Some(row) = t.get(rid)? else { continue };
+        if row.get(0) == &Value::Int(out.rep_id) {
+            db.table_mut(table)?.delete_row(rid)?;
+            return Ok(());
+        }
+    }
+    Err(LodError::Maintenance(format!(
+        "row id {} missing from `{table}` at ({cx}, {cy}): level table out of sync",
+        out.rep_id
+    )))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pyramid::build_pyramid;
+    use kyrix_storage::{DataType, IndexKind, Schema, SpatialCols};
+
+    fn raw_schema() -> Schema {
+        Schema::empty()
+            .with("id", DataType::Int)
+            .with("x", DataType::Float)
+            .with("y", DataType::Float)
+            .with("m", DataType::Float)
+    }
+
+    fn seeded_db(n: i64) -> Database {
+        let mut db = Database::new();
+        db.create_table("pts", raw_schema()).unwrap();
+        for i in 0..n {
+            db.insert(
+                "pts",
+                Row::new(vec![
+                    Value::Int(i),
+                    Value::Float((i % 16) as f64 * 15.0 + (i % 7) as f64),
+                    Value::Float((i / 16) as f64 * 15.0 + (i % 5) as f64),
+                    Value::Float((i % 5) as f64),
+                ]),
+            )
+            .unwrap();
+        }
+        db.create_index(
+            "pts",
+            "pts_xy",
+            IndexKind::Spatial(SpatialCols::Point {
+                x: "x".into(),
+                y: "y".into(),
+            }),
+        )
+        .unwrap();
+        db
+    }
+
+    fn cfg() -> LodConfig {
+        LodConfig::new("pts", 256.0, 256.0, 2)
+            .with_measure("m")
+            .with_spacing(12.0)
+    }
+
+    /// Rebuild from scratch in a fresh database holding the same raw rows
+    /// in the same scan order, and compare every level table bitwise.
+    fn assert_matches_scratch(db: &Database, cfg: &LodConfig, maintained: &LodPyramid) {
+        let mut fresh = Database::new();
+        fresh
+            .create_table(&cfg.table, db.table(&cfg.table).unwrap().schema.clone())
+            .unwrap();
+        db.table(&cfg.table)
+            .unwrap()
+            .scan(|_, row| {
+                fresh.insert(&cfg.table, row).unwrap();
+            })
+            .unwrap();
+        let scratch = build_pyramid(&mut fresh, cfg).unwrap();
+        assert_eq!(maintained.levels, scratch.levels, "level metadata differs");
+        for k in 1..=cfg.levels {
+            let q = format!("SELECT * FROM {} ORDER BY id", cfg.level_table(k));
+            let a = db.query(&q, &[]).unwrap();
+            let b = fresh.query(&q, &[]).unwrap();
+            assert_eq!(a.rows, b.rows, "level {k} tables differ");
+        }
+    }
+
+    #[test]
+    fn insert_batch_matches_scratch_rebuild() {
+        let mut db = seeded_db(256);
+        let mut p = build_pyramid(&mut db, &cfg()).unwrap();
+        let pts: Vec<RawPoint> = (0..40)
+            .map(|i| {
+                RawPoint::new(
+                    1000 + i,
+                    (i % 8) as f64 * 30.0 + 3.0,
+                    (i / 8) as f64 * 40.0 + 7.0,
+                    &[(i % 3) as f64],
+                )
+            })
+            .collect();
+        let report = p.insert_points(&mut db, &pts).unwrap();
+        assert_eq!(report.inserted, 40);
+        assert_eq!(p.levels[0].rows, 296);
+        assert!(report.rows_changed() > 0);
+        assert_matches_scratch(&db, &cfg(), &p);
+    }
+
+    #[test]
+    fn delete_batch_matches_scratch_rebuild() {
+        let mut db = seeded_db(256);
+        let mut p = build_pyramid(&mut db, &cfg()).unwrap();
+        let victims: Vec<i64> = (0..256).filter(|i| i % 3 == 0).collect();
+        let report = p.delete_points(&mut db, &victims).unwrap();
+        assert_eq!(report.deleted, victims.len());
+        assert_eq!(p.levels[0].rows, 256 - victims.len());
+        assert_matches_scratch(&db, &cfg(), &p);
+    }
+
+    #[test]
+    fn insert_then_delete_restores_the_original_tables() {
+        let mut db = seeded_db(256);
+        let mut p = build_pyramid(&mut db, &cfg()).unwrap();
+        let before: Vec<_> = (1..=2)
+            .map(|k| {
+                db.query(
+                    &format!("SELECT * FROM {} ORDER BY id", cfg().level_table(k)),
+                    &[],
+                )
+                .unwrap()
+                .rows
+            })
+            .collect();
+        let pts: Vec<RawPoint> = (0..25)
+            .map(|i| RawPoint::new(900 + i, (i as f64) * 9.0, 100.0 + (i as f64) * 3.0, &[2.0]))
+            .collect();
+        p.insert_points(&mut db, &pts).unwrap();
+        p.delete_points(&mut db, &(900..925).collect::<Vec<_>>())
+            .unwrap();
+        for (k, rows) in (1..=2).zip(before) {
+            let after = db
+                .query(
+                    &format!("SELECT * FROM {} ORDER BY id", cfg().level_table(k)),
+                    &[],
+                )
+                .unwrap()
+                .rows;
+            assert_eq!(
+                rows, after,
+                "level {k} did not return to its original state"
+            );
+        }
+        assert_matches_scratch(&db, &cfg(), &p);
+    }
+
+    #[test]
+    fn conservation_holds_after_maintenance() {
+        let mut db = seeded_db(300);
+        let mut p = build_pyramid(&mut db, &cfg()).unwrap();
+        p.delete_points(&mut db, &[0, 7, 150, 299]).unwrap();
+        p.insert_points(&mut db, &[RawPoint::new(5000, 128.0, 128.0, &[4.0])])
+            .unwrap();
+        let n = p.levels[0].rows as i64;
+        assert_eq!(n, 297);
+        let raw = db.query("SELECT SUM(m) FROM pts", &[]).unwrap();
+        let raw_sum = raw.rows[0].get(0).as_f64().unwrap();
+        for k in 1..=2 {
+            let r = db
+                .query(
+                    &format!("SELECT SUM(cnt), SUM(sum_m) FROM {}", cfg().level_table(k)),
+                    &[],
+                )
+                .unwrap();
+            assert_eq!(r.rows[0].get(0).as_i64().unwrap(), n, "level {k} count");
+            assert_eq!(r.rows[0].get(1).as_f64().unwrap(), raw_sum, "level {k} sum");
+        }
+    }
+
+    #[test]
+    fn fallback_path_is_exact_too() {
+        // a batch touching most cells forces the full-retention fallback
+        let mut db = seeded_db(64);
+        let mut p = build_pyramid(&mut db, &cfg()).unwrap();
+        let pts: Vec<RawPoint> = (0..200)
+            .map(|i| {
+                RawPoint::new(
+                    2000 + i,
+                    (i % 20) as f64 * 12.5 + 1.0,
+                    (i / 20) as f64 * 25.0 + 2.0,
+                    &[1.0],
+                )
+            })
+            .collect();
+        let report = p.insert_points(&mut db, &pts).unwrap();
+        assert!(
+            report.levels.iter().any(|l| l.fallback),
+            "expected at least one level to take the fallback"
+        );
+        assert_matches_scratch(&db, &cfg(), &p);
+    }
+
+    #[test]
+    fn maintenance_errors_are_reported() {
+        let mut db = seeded_db(64);
+        let mut p = build_pyramid(&mut db, &cfg()).unwrap();
+        // duplicate id
+        assert!(matches!(
+            p.insert_points(&mut db, &[RawPoint::new(3, 1.0, 1.0, &[0.0])]),
+            Err(LodError::Maintenance(_))
+        ));
+        // unknown id
+        assert!(matches!(
+            p.delete_points(&mut db, &[999_999]),
+            Err(LodError::Maintenance(_))
+        ));
+        // measure arity mismatch
+        assert!(matches!(
+            p.insert_points(&mut db, &[RawPoint::new(700, 1.0, 1.0, &[])]),
+            Err(LodError::Maintenance(_))
+        ));
+        // a failed batch must not corrupt state: a valid batch still works
+        p.insert_points(&mut db, &[RawPoint::new(700, 9.0, 9.0, &[1.0])])
+            .unwrap();
+        assert_matches_scratch(&db, &cfg(), &p);
+    }
+
+    #[test]
+    fn mid_apply_failure_poisons_the_state() {
+        let mut db = seeded_db(64);
+        let mut p = build_pyramid(&mut db, &cfg()).unwrap();
+        // sabotage the level-1 table: the apply phase will fail when it
+        // tries to patch it, after the raw insert already happened
+        db.drop_table("pts_lod1").unwrap();
+        let r = p.insert_points(&mut db, &[RawPoint::new(800, 10.0, 10.0, &[1.0])]);
+        assert!(r.is_err());
+        assert!(
+            !p.can_maintain(),
+            "a failure after mutation started must poison the state"
+        );
+        // later maintenance refuses instead of silently diverging
+        assert!(matches!(
+            p.delete_points(&mut db, &[1]),
+            Err(LodError::Maintenance(_))
+        ));
+    }
+
+    #[test]
+    fn sharded_pyramids_refuse_maintenance() {
+        use kyrix_parallel::{ParallelDatabase, Partitioner};
+        let pdb = ParallelDatabase::new(
+            2,
+            "pts",
+            Partitioner::Hash {
+                column: "id".into(),
+            },
+        )
+        .unwrap();
+        pdb.create_table("pts", raw_schema()).unwrap();
+        pdb.load(
+            "pts",
+            (0..32)
+                .map(|i| {
+                    Row::new(vec![
+                        Value::Int(i),
+                        Value::Float((i % 8) as f64 * 30.0),
+                        Value::Float((i / 8) as f64 * 30.0),
+                        Value::Float(0.0),
+                    ])
+                })
+                .collect(),
+        )
+        .unwrap();
+        let mut out = Database::new();
+        let mut p = crate::pyramid::build_pyramid_sharded(&pdb, &cfg(), &mut out).unwrap();
+        assert!(!p.can_maintain());
+        assert!(matches!(
+            p.insert_points(&mut out, &[RawPoint::new(99, 1.0, 1.0, &[0.0])]),
+            Err(LodError::Maintenance(_))
+        ));
+    }
+}

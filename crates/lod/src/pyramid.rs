@@ -3,10 +3,11 @@
 //! machinery serves unmodified.
 
 use crate::aggregate::Cluster;
-use crate::cluster::{aggregate_into_cells, merge_cell_maps, retain_with_spacing};
+use crate::cluster::{aggregate_into_cells, merge_cell_maps, retain_with_spacing_tracked};
 use crate::config::LodConfig;
 use crate::error::{LodError, Result};
-use crate::grid::Cell;
+use crate::grid::{cell_of, Cell};
+use crate::maintain::{LevelState, MaintainState};
 use kyrix_parallel::ParallelDatabase;
 use kyrix_storage::fxhash::FxHashMap;
 use kyrix_storage::{DataType, Database, IndexKind, Row, Schema, SpatialCols, Value};
@@ -21,8 +22,9 @@ pub struct LevelInfo {
     pub table: String,
     /// Marks (raw points or clusters) on this level.
     pub rows: usize,
-    /// Canvas extent of this level.
+    /// Canvas width of this level.
     pub width: f64,
+    /// Canvas height of this level.
     pub height: f64,
 }
 
@@ -30,10 +32,17 @@ pub struct LevelInfo {
 /// finest (raw) level first.
 #[derive(Debug, Clone)]
 pub struct LodPyramid {
+    /// The configuration the pyramid was built from.
     pub config: LodConfig,
+    /// Per-level metadata, raw level first.
     pub levels: Vec<LevelInfo>,
     /// Wall-clock spent clustering and writing level tables.
     pub build_time: Duration,
+    /// Incremental-maintenance state (per-level candidate cell maps and
+    /// retention statuses). Present after a single-node [`build_pyramid`];
+    /// `None` after [`build_pyramid_sharded`], whose raw data stays on the
+    /// shards — see [`LodPyramid::insert_points`].
+    pub(crate) maintenance: Option<MaintainState>,
 }
 
 /// Equality over what was *built* (config + levels), not how long the
@@ -51,20 +60,28 @@ impl LodPyramid {
         self.levels.len()
     }
 
+    /// Metadata of one level (0 = raw).
     pub fn level(&self, k: usize) -> Option<&LevelInfo> {
         self.levels.get(k)
+    }
+
+    /// Whether this pyramid carries the state incremental maintenance
+    /// needs (true after [`build_pyramid`], false after
+    /// [`build_pyramid_sharded`]).
+    pub fn can_maintain(&self) -> bool {
+        self.maintenance.is_some()
     }
 }
 
 /// Column indexes of the configured raw columns.
-struct RawLayout {
-    id: usize,
-    x: usize,
-    y: usize,
-    measures: Vec<usize>,
+pub(crate) struct RawLayout {
+    pub(crate) id: usize,
+    pub(crate) x: usize,
+    pub(crate) y: usize,
+    pub(crate) measures: Vec<usize>,
 }
 
-fn raw_layout(db: &Database, cfg: &LodConfig) -> Result<RawLayout> {
+pub(crate) fn raw_layout(db: &Database, cfg: &LodConfig) -> Result<RawLayout> {
     let schema = &db.table(&cfg.table)?.schema;
     let find = |col: &str| -> Result<usize> {
         schema
@@ -119,6 +136,28 @@ fn level_schema(cfg: &LodConfig) -> Schema {
     schema
 }
 
+/// One physical row of a clustered level table for a cluster.
+pub(crate) fn level_row(scale: f64, c: &Cluster) -> Row {
+    let mut values = vec![
+        Value::Int(c.rep_id),
+        Value::Float(c.rep_x / scale),
+        Value::Float(c.rep_y / scale),
+        Value::Int(c.count as i64),
+    ];
+    for (sum, avg) in c.sums.iter().zip(c.avgs()) {
+        values.push(Value::Float(*sum));
+        values.push(Value::Float(avg));
+    }
+    let b = &c.bbox;
+    values.extend([
+        Value::Float(b.min_x),
+        Value::Float(b.min_y),
+        Value::Float(b.max_x),
+        Value::Float(b.max_y),
+    ]);
+    Row::new(values)
+}
+
 /// Write one clustered level as a table with a point spatial index on
 /// `(cx, cy)` — the shape the server's separable fast path serves directly.
 fn write_level(
@@ -134,24 +173,7 @@ fn write_level(
     db.create_table(&table, level_schema(cfg))?;
     let scale = cfg.level_scale(level);
     for c in clusters {
-        let mut values = vec![
-            Value::Int(c.rep_id),
-            Value::Float(c.rep_x / scale),
-            Value::Float(c.rep_y / scale),
-            Value::Int(c.count as i64),
-        ];
-        for (sum, avg) in c.sums.iter().zip(c.avgs()) {
-            values.push(Value::Float(*sum));
-            values.push(Value::Float(avg));
-        }
-        let b = &c.bbox;
-        values.extend([
-            Value::Float(b.min_x),
-            Value::Float(b.min_y),
-            Value::Float(b.max_x),
-            Value::Float(b.max_y),
-        ]);
-        db.insert(&table, Row::new(values))?;
+        db.insert(&table, level_row(scale, c))?;
     }
     db.create_index(
         &table,
@@ -165,12 +187,15 @@ fn write_level(
 }
 
 /// Cluster levels `1..=cfg.levels` starting from the merged level-1 cell
-/// maps, then write every level table into `db`.
+/// maps, then write every level table into `db`. When `id_cells` is
+/// supplied (single-node builds), the per-level candidate maps and
+/// retention statuses are kept on the pyramid as maintenance state.
 fn finish_build(
     db: &mut Database,
     cfg: &LodConfig,
     raw_rows: usize,
     level1_maps: Vec<FxHashMap<Cell, Cluster>>,
+    id_cells: Option<FxHashMap<i64, Cell>>,
     start: Instant,
 ) -> Result<LodPyramid> {
     let mut levels = vec![LevelInfo {
@@ -180,31 +205,51 @@ fn finish_build(
         width: cfg.width,
         height: cfg.height,
     }];
-    let mut prev = retain_with_spacing(
-        merge_cell_maps(level1_maps),
-        cfg.level_scale(1),
-        cfg.spacing,
-    );
+    let tracking = id_cells.is_some();
+    let mut states: Vec<LevelState> = Vec::new();
+    let mut prev_sorted: Vec<Cluster> = Vec::new();
+    let mut cands = merge_cell_maps(level1_maps);
     for k in 1..=cfg.levels {
+        let scale = cfg.level_scale(k);
         if k > 1 {
-            let scale = cfg.level_scale(k);
-            let cells = aggregate_into_cells(std::mem::take(&mut prev), scale, cfg.spacing);
-            prev = retain_with_spacing(cells, scale, cfg.spacing);
+            cands = aggregate_into_cells(std::mem::take(&mut prev_sorted), scale, cfg.spacing);
         }
-        write_level(db, cfg, k, &prev)?;
+        // maintenance state (candidate maps + retention statuses) is only
+        // captured for single-node builds; sharded builds skip the map
+        // clone entirely — their raw data stays on the shards, so the
+        // pyramid cannot be maintained in place anyway
+        let sorted = if tracking {
+            let (status, outs) = retain_with_spacing_tracked(cands.clone(), scale, cfg.spacing);
+            let state = LevelState {
+                cands: std::mem::take(&mut cands),
+                status,
+                outs,
+            };
+            let sorted = state.sorted_outputs();
+            states.push(state);
+            sorted
+        } else {
+            crate::cluster::retain_with_spacing(std::mem::take(&mut cands), scale, cfg.spacing)
+        };
+        write_level(db, cfg, k, &sorted)?;
         let (w, h) = cfg.level_size(k);
         levels.push(LevelInfo {
             level: k,
             table: cfg.level_table(k),
-            rows: prev.len(),
+            rows: sorted.len(),
             width: w,
             height: h,
         });
+        prev_sorted = sorted;
     }
     Ok(LodPyramid {
         config: cfg.clone(),
         levels,
         build_time: start.elapsed(),
+        maintenance: id_cells.map(|ids| MaintainState {
+            levels: states,
+            id_cells: ids,
+        }),
     })
 }
 
@@ -216,8 +261,22 @@ pub fn build_pyramid(db: &mut Database, cfg: &LodConfig) -> Result<LodPyramid> {
     let layout = raw_layout(db, cfg)?;
     let points = extract_points(db, cfg, &layout)?;
     let raw_rows = points.len();
-    let cells = aggregate_into_cells(points, cfg.level_scale(1), cfg.spacing);
-    finish_build(db, cfg, raw_rows, vec![cells], start)
+    let scale1 = cfg.level_scale(1);
+    let mut id_cells: FxHashMap<i64, Cell> = FxHashMap::default();
+    for p in &points {
+        id_cells.insert(
+            p.rep_id,
+            cell_of(p.rep_x / scale1, p.rep_y / scale1, cfg.spacing),
+        );
+    }
+    if id_cells.len() != raw_rows {
+        return Err(LodError::Schema(format!(
+            "table `{}` has duplicate values in id column `{}`",
+            cfg.table, cfg.id_column
+        )));
+    }
+    let cells = aggregate_into_cells(points, scale1, cfg.spacing);
+    finish_build(db, cfg, raw_rows, vec![cells], Some(id_cells), start)
 }
 
 /// Build the pyramid from a sharded raw table: every shard aggregates its
@@ -263,7 +322,7 @@ pub fn build_pyramid_sharded(
         raw_rows += m.values().map(|c| c.count as usize).sum::<usize>();
         maps.push(m);
     }
-    finish_build(out, cfg, raw_rows, maps, start)
+    finish_build(out, cfg, raw_rows, maps, None, start)
 }
 
 #[cfg(test)]

@@ -3,8 +3,11 @@
 //! verify the non-overlap spacing invariant and exact count/sum
 //! conservation on every level, serve a tile and a dynamic box from every
 //! level through `KyrixServer`, follow an auto-generated zoom jump
-//! between adjacent levels, and check that sharded pyramid construction
-//! produces the same level tables as a single node.
+//! between adjacent levels, check that sharded pyramid construction
+//! produces the same level tables as a single node, and pin that
+//! incremental maintenance (insert→zoom→delete→zoom through
+//! `KyrixServer::mutate_raw`) stays bit-identical to a from-scratch
+//! rebuild while sessions refetch exactly the invalidated regions.
 
 use kyrix_client::Session;
 use kyrix_core::compile;
@@ -492,5 +495,237 @@ fn sharded_pyramid_matches_single_node() {
         let b = out.query(&q, &[]).unwrap();
         assert_eq!(a.rows.len(), b.rows.len(), "level {k} row count");
         assert_eq!(a.rows, b.rows, "level {k} tables differ");
+    }
+}
+
+/// Acceptance: the pyramid is a *live* data structure. Raw-table inserts
+/// and deletes fold into every level table in place through
+/// `KyrixServer::mutate_raw` (local repair, no rebuild), the server
+/// invalidates exactly the caches the dirty cells intersect, sessions
+/// notice the data-version bump and refetch only the stale regions —
+/// and after the whole insert→zoom→delete→zoom trace the maintained
+/// level tables are bit-identical to a from-scratch rebuild over the
+/// final point set.
+#[test]
+fn incremental_maintenance_serves_live_mutations_end_to_end() {
+    use kyrix_lod::RawPoint;
+    use kyrix_server::{DirtyRegion, ServerError};
+
+    let g = GalaxyConfig::e2e();
+    let cfg = lod_config(&g);
+    let (db, pyramid) = built_db(&g, &cfg);
+    let mut pyramid = pyramid;
+    assert!(pyramid.can_maintain());
+    let spec = lod_app(&cfg, (1024.0, 1024.0));
+    let app = compile(&spec, &db).unwrap();
+    // mixed plans: tiles on clustered levels, boxes on raw — a mutation
+    // must invalidate both kinds of backend cache
+    let tiles = FetchPlan::StaticTiles {
+        size: 1024.0,
+        design: TileDesign::SpatialIndex,
+    };
+    let boxes = FetchPlan::DynamicBox {
+        policy: BoxPolicy::Exact,
+    };
+    let (server, _) = KyrixServer::launch(
+        app,
+        db,
+        ServerConfig::from_policy(PlanPolicy::SpecHints { tiles, boxes }),
+    )
+    .unwrap();
+    let server = Arc::new(server);
+    assert_eq!(server.data_version(), 0);
+
+    // a session zooms from the coarsest level down to raw
+    let (mut session, first) = Session::open(server.clone()).unwrap();
+    assert!(first.visible_rows > 0);
+    for to in (0..LEVELS).rev() {
+        let from = to + 1;
+        let row = server
+            .database()
+            .query(
+                &format!("SELECT * FROM {} LIMIT 1", cfg.level_table(from)),
+                &[],
+            )
+            .unwrap()
+            .rows[0]
+            .clone();
+        let jump_id = format!("zoomin_{}_{}", cfg.level_canvas(from), cfg.level_canvas(to));
+        session.jump(&jump_id, 0, &row).unwrap();
+    }
+    assert_eq!(session.canvas_id(), "level0");
+    let vp = session.viewport();
+    let (bx, by) = (vp.cx, vp.cy);
+
+    // a second session watches a far corner of the raw level: its cached
+    // region must survive the mutation untouched
+    let (far_x, far_y) = (
+        if bx < g.width / 2.0 {
+            g.width - 2000.0
+        } else {
+            2000.0
+        },
+        if by < g.height / 2.0 {
+            g.height - 2000.0
+        } else {
+            2000.0
+        },
+    );
+    let (mut far_session, _) = Session::open_on(server.clone(), "level0", far_x, far_y).unwrap();
+
+    // every table the maintenance passes may touch, declared up front
+    let tables: Vec<String> = (0..=LEVELS).map(|k| cfg.level_table(k)).collect();
+    let tables: Vec<&str> = tables.iter().map(String::as_str).collect();
+
+    // ---- insert a dense blob of bright points at the viewport center
+    let new_ids: Vec<i64> = (0..64).map(|i| 10_000_000 + i).collect();
+    let pts: Vec<RawPoint> = new_ids
+        .iter()
+        .enumerate()
+        .map(|(i, id)| {
+            RawPoint::new(
+                *id,
+                bx + (i % 8) as f64 * 6.0 - 21.0,
+                by + (i / 8) as f64 * 6.0 - 21.0,
+                // integer-valued measures keep float sums bit-exact
+                &[1000.0, 7.0],
+            )
+        })
+        .collect();
+    let report = server
+        .mutate_raw(&tables, |db| {
+            let report = pyramid
+                .insert_points(db, &pts)
+                .map_err(|e| ServerError::Config(e.to_string()))?;
+            let dirty = report
+                .dirty_regions()
+                .map(|(t, r)| DirtyRegion::new(t, r))
+                .collect();
+            Ok((report, dirty))
+        })
+        .unwrap();
+    assert_eq!(report.inserted, 64);
+    assert_eq!(server.data_version(), 1);
+    assert!(
+        report.levels.iter().skip(1).any(|l| l.rows_changed > 0),
+        "the blob must change at least one clustered level"
+    );
+
+    // the session refetches the invalidated region and sees the new points
+    let step = session.pan_by(0.0, 0.0).unwrap();
+    assert!(step.fetch.requests > 0, "stale viewport must refetch");
+    let visible = session.visible(usize::MAX).unwrap();
+    let ids: Vec<i64> = visible[0]
+        .1
+        .iter()
+        .map(|r| r.get(0).as_i64().unwrap())
+        .collect();
+    assert!(
+        new_ids.iter().all(|id| ids.contains(id)),
+        "all inserted points are visible in the mutated viewport"
+    );
+    // the far session's cached region was not invalidated
+    let far_step = far_session.pan_by(0.0, 0.0).unwrap();
+    assert_eq!(far_step.fetch.requests, 0, "far region stays cached");
+    assert_eq!(far_step.frontend_hits, 1);
+
+    // conservation after insert, on every clustered level
+    let n_now = (g.n + 64) as i64;
+    for k in 1..=LEVELS {
+        let r = server
+            .database()
+            .query(&format!("SELECT SUM(cnt) FROM {}", cfg.level_table(k)), &[])
+            .unwrap();
+        assert_eq!(r.rows[0].get(0).as_i64().unwrap(), n_now, "level {k} count");
+    }
+    // the blob shows up on the clustered (tiled) levels too
+    let l1 = server
+        .count_in_rect(
+            "level1",
+            0,
+            &Rect::centered(bx / 2.0, by / 2.0, 200.0, 200.0),
+        )
+        .unwrap();
+    assert!(l1 > 0, "level1 has a mark near the blob");
+
+    // ---- zoom out across the plan boundary, then delete the blob plus
+    // some original points
+    let raw_row = server
+        .database()
+        .query(
+            &format!("SELECT * FROM {} LIMIT 1", cfg.level_table(0)),
+            &[],
+        )
+        .unwrap()
+        .rows[0]
+        .clone();
+    let back = format!("zoomout_{}_{}", cfg.level_canvas(0), cfg.level_canvas(1));
+    let outcome = session.jump(&back, 0, &raw_row).unwrap();
+    assert!(outcome.report.visible_rows > 0);
+
+    let mut victims = new_ids.clone();
+    victims.extend(0..100); // original galaxy ids
+    let report = server
+        .mutate_raw(&tables, |db| {
+            let report = pyramid
+                .delete_points(db, &victims)
+                .map_err(|e| ServerError::Config(e.to_string()))?;
+            let dirty = report
+                .dirty_regions()
+                .map(|(t, r)| DirtyRegion::new(t, r))
+                .collect();
+            Ok((report, dirty))
+        })
+        .unwrap();
+    assert_eq!(report.deleted, 164);
+    assert_eq!(server.data_version(), 2);
+
+    // zoom back in: the tiled level refetches what changed and serves
+    let step = session.pan_by(64.0, 64.0).unwrap();
+    assert!(step.visible_rows > 0);
+    let n_final = (g.n - 100) as i64;
+    for k in 1..=LEVELS {
+        let r = server
+            .database()
+            .query(&format!("SELECT SUM(cnt) FROM {}", cfg.level_table(k)), &[])
+            .unwrap();
+        assert_eq!(
+            r.rows[0].get(0).as_i64().unwrap(),
+            n_final,
+            "level {k} count"
+        );
+    }
+
+    // ---- the maintained pyramid is bit-identical to a from-scratch
+    // rebuild over the final point set (and the spacing invariant holds)
+    assert_eq!(pyramid.levels[0].rows, n_final as usize);
+    let mut fresh = Database::new();
+    fresh.create_table("galaxy", galaxy_schema()).unwrap();
+    {
+        let live = server.database();
+        live.table("galaxy")
+            .unwrap()
+            .scan(|_, row| {
+                fresh.insert("galaxy", row).unwrap();
+            })
+            .unwrap();
+    }
+    let scratch = build_pyramid(&mut fresh, &cfg).unwrap();
+    assert_eq!(pyramid.levels, scratch.levels);
+    for k in 1..=LEVELS {
+        let q = format!("SELECT * FROM {} ORDER BY id", cfg.level_table(k));
+        let a = server.database().query(&q, &[]).unwrap();
+        let b = fresh.query(&q, &[]).unwrap();
+        assert_eq!(a.rows, b.rows, "level {k} diverged from a full rebuild");
+
+        let mut grid = SpacingGrid::new(SPACING);
+        for (i, row) in a.rows.iter().enumerate() {
+            let (x, y) = (row.get(1).as_f64().unwrap(), row.get(2).as_f64().unwrap());
+            assert!(
+                grid.violator(x, y).is_none(),
+                "level {k}: maintained marks violate spacing"
+            );
+            grid.insert(i, x, y);
+        }
     }
 }

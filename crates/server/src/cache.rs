@@ -115,6 +115,23 @@ impl<K: Hash + Eq + Clone, V> LruCache<K, V> {
         }
     }
 
+    /// Keep only the entries satisfying the predicate (e.g. surgical
+    /// invalidation after a data mutation). Weights are adjusted; the
+    /// recency order of survivors is preserved.
+    pub fn retain(&mut self, mut f: impl FnMut(&K, &V) -> bool) {
+        let mut dropped = 0usize;
+        self.map.retain(|k, (v, w, _)| {
+            let keep = f(k, v);
+            if !keep {
+                dropped += *w;
+            }
+            keep
+        });
+        self.weight -= dropped;
+        let map = &self.map;
+        self.order.retain(|(_, k)| map.contains_key(k));
+    }
+
     pub fn remove(&mut self, key: &K) -> Option<V> {
         self.map.remove(key).map(|(v, w, _)| {
             self.weight -= w;
@@ -257,6 +274,25 @@ mod tests {
         assert_eq!(c.peek(&1), None);
         assert_eq!(c.peek(&2), Some(&"c"));
         assert_eq!(c.weight(), 2);
+    }
+
+    #[test]
+    fn retain_adjusts_weight_and_preserves_recency() {
+        let mut c: LruCache<u32, u32> = LruCache::new(4);
+        for i in 0..4 {
+            c.insert(i, i * 10, 1);
+        }
+        c.get(&0); // 1 becomes LRU
+        c.retain(|k, _| k % 2 == 0); // drop 1 and 3
+        assert_eq!(c.len(), 2);
+        assert_eq!(c.weight(), 2);
+        assert!(c.peek(&1).is_none() && c.peek(&3).is_none());
+        // eviction still works off the surviving recency order: 2 is LRU
+        c.insert(4, 40, 1);
+        c.insert(5, 50, 1);
+        c.insert(6, 60, 1);
+        assert!(c.peek(&2).is_none(), "surviving LRU evicted first");
+        assert!(c.peek(&0).is_some(), "recently touched survivor stays");
     }
 
     #[test]

@@ -47,6 +47,8 @@ pub use prefetch::{
     neighbor_rects, predict_viewports, rank_by_similarity, MomentumTracker, RegionSignature,
     SemanticTracker, MIN_VELOCITY_FRAC,
 };
-pub use server::{BoxResponse, KyrixServer, PrefetchPolicy, ServerConfig, TileResponse};
+pub use server::{
+    BoxResponse, DirtyRegion, KyrixServer, PrefetchPolicy, ServerConfig, TileResponse,
+};
 pub use tile::{TileId, Tiling, MAX_COVERING_TILES};
 pub use tuner::{measure_plan, CalibrationTrace, CandidateCost, LayerTuning, TuningReport};

@@ -26,6 +26,15 @@ pub enum PlanPolicy {
         default: FetchPlan,
         overrides: Vec<(String, FetchPlan)>,
     },
+    /// Explicit per-`(canvas, layer)` overrides with a fallback — the
+    /// finest-grained static policy, and the exact shape a tuned
+    /// assignment freezes into ([`crate::TuningReport::frozen_policy`]):
+    /// unlike [`PlanPolicy::PerCanvas`], a canvas whose layers mix plans
+    /// round-trips losslessly.
+    PerLayer {
+        default: FetchPlan,
+        overrides: Vec<((String, usize), FetchPlan)>,
+    },
     /// Rule-based on data volume: layers whose (estimated) row count
     /// exceeds `threshold` get `dense`, the rest get `sparse`.
     RowThreshold {
@@ -47,7 +56,7 @@ pub enum PlanPolicy {
     /// (and canvases the trace never visits) keep the earlier candidate.
     /// The resulting assignment is exposed through
     /// [`crate::KyrixServer::tuning_report`] and can be frozen into a
-    /// static [`PlanPolicy::PerCanvas`] policy for later launches.
+    /// static [`PlanPolicy::PerLayer`] policy for later launches.
     Measured {
         candidates: Vec<FetchPlan>,
         trace: CalibrationTrace,
@@ -66,6 +75,30 @@ impl PlanPolicy {
             default,
             overrides: Vec::new(),
         }
+    }
+
+    /// Per-layer policy builder: start from a fallback plan and override
+    /// individual `(canvas, layer)`s with [`PlanPolicy::with_layer`].
+    pub fn per_layer(default: FetchPlan) -> Self {
+        PlanPolicy::PerLayer {
+            default,
+            overrides: Vec::new(),
+        }
+    }
+
+    /// Override one `(canvas, layer)`. Only meaningful on the
+    /// [`PlanPolicy::PerLayer`] variant; calling it on any other variant
+    /// is a configuration mistake and panics in debug builds.
+    pub fn with_layer(mut self, canvas: impl Into<String>, layer: usize, plan: FetchPlan) -> Self {
+        if let PlanPolicy::PerLayer { overrides, .. } = &mut self {
+            overrides.push(((canvas.into(), layer), plan));
+        } else {
+            debug_assert!(
+                false,
+                "with_layer on a {self:?}: the override would be ignored"
+            );
+        }
+        self
     }
 
     /// Measured policy over candidate plans and a calibration trace.
@@ -117,6 +150,11 @@ impl PlanPolicy {
                 .find(|(c, _)| *c == layer.canvas_id)
                 .map(|(_, p)| *p)
                 .unwrap_or(*default),
+            PlanPolicy::PerLayer { default, overrides } => overrides
+                .iter()
+                .find(|((c, l), _)| *c == layer.canvas_id && *l == layer.layer_index)
+                .map(|(_, p)| *p)
+                .unwrap_or(*default),
             PlanPolicy::RowThreshold {
                 threshold,
                 dense,
@@ -145,6 +183,13 @@ impl PlanPolicy {
             PlanPolicy::PerCanvas { default, overrides } => {
                 format!(
                     "per-canvas({}, {} overrides)",
+                    default.label(),
+                    overrides.len()
+                )
+            }
+            PlanPolicy::PerLayer { default, overrides } => {
+                format!(
+                    "per-layer({}, {} overrides)",
                     default.label(),
                     overrides.len()
                 )

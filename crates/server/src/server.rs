@@ -21,10 +21,14 @@ use crossbeam::channel::{unbounded, Sender};
 use kyrix_core::CompiledApp;
 use kyrix_storage::fxhash::FxHashMap;
 use kyrix_storage::{Database, Rect, Row, Value};
-use parking_lot::Mutex;
+use parking_lot::{Mutex, RwLock};
 use std::collections::VecDeque;
 use std::sync::Arc;
 use std::thread::JoinHandle;
+
+/// Mutation-log entries kept for incremental frontend invalidation.
+/// Sessions further behind than this refetch everything instead.
+const MUTATION_LOG_CAP: usize = 64;
 
 /// Which §4 predictor drives the prefetch worker.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -117,9 +121,43 @@ type TileKey = (u32, u32, i64); // canvas idx, layer, tile key
 type CachedRows = (Arc<Vec<Row>>, u64); // rows + wire bytes
 type BoxCacheShelf = VecDeque<(Rect, Arc<Vec<Row>>, u64)>; // rect, rows, bytes
 
+/// A rectangle of one physical table whose rows changed in a
+/// [`KyrixServer::mutate_raw`] call, in that table's own coordinates.
+/// The server maps it onto the canvases/layers the table backs and
+/// invalidates exactly the intersecting cache state.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DirtyRegion {
+    /// Physical table whose rows changed.
+    pub table: String,
+    /// Extent of the change in table coordinates.
+    pub rect: Rect,
+}
+
+impl DirtyRegion {
+    /// A dirty region over one table.
+    pub fn new(table: impl Into<String>, rect: Rect) -> Self {
+        DirtyRegion {
+            table: table.into(),
+            rect,
+        }
+    }
+}
+
+/// One canvas-space invalidation entry: `(canvas id, layer, rect)`.
+type MutationEntry = (String, u32, Rect);
+
+/// Canvas-space invalidation entries of one mutation, stamped with the
+/// data version it produced.
+struct MutationLog {
+    version: u64,
+    entries: VecDeque<(u64, Vec<MutationEntry>)>,
+}
+
 struct Inner {
     app: CompiledApp,
-    db: Database,
+    /// The database, writable through [`KyrixServer::mutate_raw`] only;
+    /// every fetch path takes a read lock.
+    db: RwLock<Database>,
     stores: FxHashMap<(u32, u32), LayerStore>,
     /// Plan resolved by the policy per `(canvas idx, layer idx)`, stored
     /// alongside the layer's store at launch. Every plan-matching site
@@ -140,6 +178,8 @@ struct Inner {
     /// Per-canvas semantic profiles (data characteristics of recently
     /// viewed regions).
     semantic: Mutex<FxHashMap<u32, SemanticTracker>>,
+    /// Data-version stamp + per-mutation invalidation entries.
+    mutations: Mutex<MutationLog>,
 }
 
 impl Inner {
@@ -156,9 +196,10 @@ impl Inner {
             .position(|l| !l.is_static)
             .ok_or_else(|| ServerError::BadRequest("canvas has no data layers".to_string()))?;
         let store = self.store(canvas, layer)?;
+        let db = self.db.read();
         let counts: Vec<u64> = RegionSignature::cell_rects(rect)
             .iter()
-            .map(|cell| count_rect(&self.db, store, cell).map(|n| n as u64))
+            .map(|cell| count_rect(&db, store, cell).map(|n| n as u64))
             .collect::<Result<_>>()?;
         Ok(RegionSignature::from_counts(&counts))
     }
@@ -219,12 +260,25 @@ impl Inner {
             });
         }
 
-        let (rows, mut metrics) = fetch_tile(&self.db, store, tiling, tile)?;
+        let (fetched_at, rows, mut metrics) = {
+            let db = self.db.read();
+            let (rows, metrics) = fetch_tile(&db, store, tiling, tile)?;
+            // version captured while the read lock excludes writers
+            (self.version(), rows, metrics)
+        };
         let rows = Arc::new(rows);
         let bytes = metrics.bytes;
-        self.tile_cache
-            .lock()
-            .insert(key, (rows.clone(), bytes), rows.len().max(1));
+        {
+            // version re-checked while *holding the cache lock*, which
+            // invalidation holds across its bump-and-retain: either this
+            // insert lands before the retain (and is dropped by it), or
+            // it observes the bumped version and skips — a stale fetch
+            // can never undo an invalidation
+            let mut cache = self.tile_cache.lock();
+            if self.version() == fetched_at {
+                cache.insert(key, (rows.clone(), bytes), rows.len().max(1));
+            }
+        }
         metrics.requests = 1;
         metrics.cache_misses = 1;
         self.record(&metrics, background, (ci, layer as u32));
@@ -284,17 +338,25 @@ impl Inner {
             .canvas(canvas)
             .map(|c| c.bounds())
             .unwrap_or_else(Rect::empty);
-        let rect = compute_fetch_box(&self.db, store, &policy, viewport, &canvas_bounds);
-
-        let (rows, mut metrics) = fetch_rect(&self.db, store, &rect)?;
+        let (fetched_at, rect, rows, mut metrics) = {
+            let db = self.db.read();
+            let rect = compute_fetch_box(&db, store, &policy, viewport, &canvas_bounds);
+            let (rows, metrics) = fetch_rect(&db, store, &rect)?;
+            (self.version(), rect, rows, metrics)
+        };
         let rows = Arc::new(rows);
         metrics.requests = 1;
         metrics.cache_misses = 1;
+        // as with tiles: the version is re-checked under the shelf lock,
+        // which invalidation holds across its bump-and-retain, so a stale
+        // fetch can never shelve data a mutation just invalidated
         if self.box_cache_entries > 0 {
             let mut caches = self.box_caches.lock();
-            let shelf = caches.entry(key).or_default();
-            shelf.push_front((rect, rows.clone(), metrics.bytes));
-            shelf.truncate(self.box_cache_entries);
+            if self.version() == fetched_at {
+                let shelf = caches.entry(key).or_default();
+                shelf.push_front((rect, rows.clone(), metrics.bytes));
+                shelf.truncate(self.box_cache_entries);
+            }
         }
         self.record(&metrics, background, key);
         Ok(BoxResponse {
@@ -302,6 +364,11 @@ impl Inner {
             rows,
             metrics,
         })
+    }
+
+    /// Current data-version stamp.
+    fn version(&self) -> u64 {
+        self.mutations.lock().version
     }
 
     fn record(&self, metrics: &FetchMetrics, background: bool, layer: (u32, u32)) {
@@ -458,7 +525,7 @@ impl KyrixServer {
         };
         let inner = Arc::new(Inner {
             app,
-            db,
+            db: RwLock::new(db),
             stores,
             plans,
             cost: config.cost,
@@ -469,6 +536,10 @@ impl KyrixServer {
             layer_totals: Mutex::new(FxHashMap::default()),
             prefetch_totals: Mutex::new(FetchMetrics::default()),
             semantic: Mutex::new(FxHashMap::default()),
+            mutations: Mutex::new(MutationLog {
+                version: 0,
+                entries: VecDeque::new(),
+            }),
         });
         let prefetcher = if config.prefetch {
             Some(Prefetcher::spawn(inner.clone()))
@@ -620,7 +691,11 @@ impl KyrixServer {
 
     /// Count layer objects in a canvas rectangle (no data transfer).
     pub fn count_in_rect(&self, canvas: &str, layer: usize, rect: &Rect) -> Result<usize> {
-        count_rect(&self.inner.db, self.inner.store(canvas, layer)?, rect)
+        count_rect(
+            &self.inner.db.read(),
+            self.inner.store(canvas, layer)?,
+            rect,
+        )
     }
 
     /// Inform the server of the user's pan momentum so it can prefetch
@@ -761,8 +836,277 @@ impl KyrixServer {
         self.inner.box_caches.lock().clear();
     }
 
-    /// Direct read-only access to the underlying database.
-    pub fn database(&self) -> &Database {
-        &self.inner.db
+    /// Direct read-only access to the underlying database (a read guard;
+    /// holding it blocks [`KyrixServer::mutate_raw`], nothing else).
+    pub fn database(&self) -> impl std::ops::Deref<Target = Database> + '_ {
+        self.inner.db.read()
+    }
+
+    // ---------------------------------------------------- live mutation
+
+    /// Apply a mutation to the underlying database and surgically
+    /// invalidate serving state. `tables` declares, up front, every
+    /// physical table the mutation may touch — a table backing a
+    /// [`crate::TileDesign::TupleTileMapping`] layer is refused *before*
+    /// anything is applied (its precomputed mapping rows cannot be
+    /// patched in place; relaunch to re-tile). `apply` then runs under
+    /// the database write lock and returns its own result plus the
+    /// [`DirtyRegion`]s it actually touched (table coordinates); still
+    /// under the write lock, the server:
+    ///
+    /// * bumps the data-version stamp and logs the canvas-space dirty
+    ///   rectangles, so sessions ([`KyrixServer::changes_since`]) refetch
+    ///   exactly the invalidated regions (in-flight fetches that read
+    ///   pre-mutation data compare their captured version and refuse to
+    ///   cache),
+    /// * drops every backend cached tile whose extent intersects a dirty
+    ///   region of the table backing its layer (per the layer's resolved
+    ///   plan and tiling),
+    /// * drops every cached dynamic box that overlaps a dirty region.
+    ///
+    /// Untouched cache entries — other canvases, other layers, disjoint
+    /// regions — survive.
+    ///
+    /// Typical caller: `kyrix_lod`'s incremental pyramid maintenance,
+    /// whose `MaintenanceReport` names exactly the tables and dirty
+    /// regions this expects.
+    pub fn mutate_raw<T>(
+        &self,
+        tables: &[&str],
+        apply: impl FnOnce(&mut Database) -> Result<(T, Vec<DirtyRegion>)>,
+    ) -> Result<T> {
+        self.validate_mutable(tables)?;
+        let mut db = self.inner.db.write();
+        match apply(&mut db) {
+            Ok((out, dirty)) => {
+                self.invalidate_locked(&dirty)?;
+                drop(db);
+                Ok(out)
+            }
+            Err(e) => {
+                // the closure may have partially mutated before failing;
+                // there is no way to know how far it got, so invalidate
+                // conservatively: drop every backend cache and force
+                // every session to refetch from scratch
+                self.invalidate_everything();
+                drop(db);
+                Err(e)
+            }
+        }
+    }
+
+    /// Invalidate serving state for *externally applied* table changes
+    /// (the second half of [`KyrixServer::mutate_raw`]) and bump the data
+    /// version. Prefer `mutate_raw`: it validates the target tables
+    /// before anything changes, while here a [`DirtyRegion`] on a
+    /// mapping-backed table can only be flagged after the fact — the
+    /// server then drops *all* backend caches, truncates the mutation log
+    /// (sessions refetch everything) and returns an error, but tile
+    /// fetches on that layer keep consulting stale mapping rows until a
+    /// relaunch.
+    pub fn apply_delta(&self, dirty: &[DirtyRegion]) -> Result<u64> {
+        let _db = self.inner.db.write();
+        self.invalidate_locked(dirty)
+    }
+
+    /// Refuse tables whose serving state cannot be maintained in place:
+    /// record tables of tuple–tile mapping layers (precomputed mapping
+    /// rows), and *source* tables of layers that were materialized into a
+    /// side table (the copy would silently go stale). Separable layers —
+    /// served straight off their raw table — are the mutable surface.
+    fn validate_mutable(&self, tables: &[&str]) -> Result<()> {
+        for (&(ci, li), store) in &self.inner.stores {
+            let materialized = match store {
+                LayerStore::TileMapping { record_table, .. } => {
+                    if tables.contains(&record_table.as_str()) {
+                        return Err(ServerError::Config(format!(
+                            "table `{record_table}` backs a tuple–tile mapping layer; \
+                             its mapping rows cannot be maintained in place — relaunch \
+                             to re-precompute"
+                        )));
+                    }
+                    true
+                }
+                LayerStore::Spatial { .. } => true,
+                LayerStore::Static | LayerStore::SeparableRaw { .. } => false,
+            };
+            if !materialized {
+                continue;
+            }
+            // a materialized layer's table is a *copy* of its transform
+            // output; mutating the transform's source table would leave
+            // the copy stale with no way to repair it here
+            let layer = &self.inner.app.canvases[ci as usize].layers[li as usize];
+            let Some(sql_text) = layer.transform.query.as_deref() else {
+                continue;
+            };
+            let Ok(stmt) = kyrix_storage::sql::parse(sql_text) else {
+                continue;
+            };
+            let mut sources = vec![stmt.from.table.clone()];
+            if let Some(join) = &stmt.join {
+                sources.push(join.table.table.clone());
+            }
+            if let Some(src) = sources.iter().find(|s| tables.contains(&s.as_str())) {
+                return Err(ServerError::Config(format!(
+                    "table `{src}` feeds the materialized layer {li} of canvas \
+                     `{}`; the materialized copy cannot be maintained in place — \
+                     relaunch to re-precompute",
+                    self.inner.app.canvases[ci as usize].id
+                )));
+            }
+        }
+        Ok(())
+    }
+
+    /// Conservative total invalidation: bump the version, drop every
+    /// backend cache, truncate the mutation log so `changes_since` makes
+    /// every session refetch from scratch. Used when the precise dirty
+    /// set is unknowable (failed mutation closures, externally mutated
+    /// mapping tables).
+    fn invalidate_everything(&self) {
+        let mut tiles = self.inner.tile_cache.lock();
+        let mut boxes = self.inner.box_caches.lock();
+        let mut log = self.inner.mutations.lock();
+        log.version += 1;
+        log.entries.clear();
+        tiles.clear();
+        boxes.clear();
+    }
+
+    /// The invalidation pass. Caller must hold the database write lock.
+    /// The version bump, the mutation-log append, and the cache drops all
+    /// happen under one acquisition of the cache + log locks, so every
+    /// other participant observes them atomically: a fetch that read
+    /// pre-mutation data re-checks the version *under the cache lock* at
+    /// insert time (it either inserts before the retain, which drops the
+    /// entry, or sees the bumped version and skips), and a session that
+    /// observes the new `data_version` is guaranteed to find the matching
+    /// log entry.
+    fn invalidate_locked(&self, dirty: &[DirtyRegion]) -> Result<u64> {
+        // backstop for externally applied changes that reach a
+        // mapping-backed table (mutate_raw refuses these up front):
+        // nothing surgical is possible, so drop everything and force
+        // every session to refetch
+        let stale_mapping = self.inner.stores.values().find_map(|s| match s {
+            LayerStore::TileMapping { record_table, .. }
+                if dirty.iter().any(|d| d.table == *record_table) =>
+            {
+                Some(record_table.clone())
+            }
+            _ => None,
+        });
+        if let Some(table) = stale_mapping {
+            self.invalidate_everything();
+            return Err(ServerError::Config(format!(
+                "table `{table}` backs a tuple–tile mapping layer; its mapping rows \
+                 are now stale — relaunch to re-precompute"
+            )));
+        }
+
+        // map table-space dirty rects onto the (canvas, layer)s they back
+        type CanvasMap = Box<dyn Fn(&Rect) -> Rect>;
+        let mut entries: Vec<(u32, u32, Rect)> = Vec::new();
+        for (&(ci, li), store) in &self.inner.stores {
+            let (table, to_canvas): (&str, CanvasMap) = match store {
+                LayerStore::Static | LayerStore::TileMapping { .. } => continue,
+                LayerStore::Spatial { table, .. } => (table.as_str(), Box::new(|r: &Rect| *r)),
+                LayerStore::SeparableRaw {
+                    table,
+                    x_affine,
+                    y_affine,
+                    obj_w,
+                    obj_h,
+                    ..
+                } => {
+                    let (xa, ya, w, h) = (x_affine.clone(), y_affine.clone(), *obj_w, *obj_h);
+                    (
+                        table.as_str(),
+                        Box::new(move |r: &Rect| {
+                            let x0 = xa.apply(r.min_x);
+                            let x1 = xa.apply(r.max_x);
+                            let y0 = ya.apply(r.min_y);
+                            let y1 = ya.apply(r.max_y);
+                            // cover the whole extent of marks centered in
+                            // the dirty region
+                            Rect::new(
+                                x0.min(x1) - w / 2.0,
+                                y0.min(y1) - h / 2.0,
+                                x0.max(x1) + w / 2.0,
+                                y0.max(y1) + h / 2.0,
+                            )
+                        }),
+                    )
+                }
+            };
+            for d in dirty {
+                if d.table == table {
+                    entries.push((ci, li, to_canvas(&d.rect)));
+                }
+            }
+        }
+
+        // the atomic section: cache locks + log lock held together (lock
+        // order tile_cache → box_caches → mutations, matching the fetch
+        // paths' cache-then-version order)
+        let mut tiles = self.inner.tile_cache.lock();
+        let mut boxes = self.inner.box_caches.lock();
+        let mut log = self.inner.mutations.lock();
+        log.version += 1;
+        let version = log.version;
+        let named: Vec<MutationEntry> = entries
+            .iter()
+            .map(|&(ci, li, rect)| (self.inner.app.canvases[ci as usize].id.clone(), li, rect))
+            .collect();
+        log.entries.push_back((version, named));
+        while log.entries.len() > MUTATION_LOG_CAP {
+            log.entries.pop_front();
+        }
+        // backend tile cache: drop intersecting tiles of affected layers
+        for &(ci, li, ref rect) in &entries {
+            if let Ok(FetchPlan::StaticTiles { size, .. }) = self.inner.plan_for(ci, li as usize) {
+                let tiling = Tiling::new(size);
+                tiles.retain(|&(kci, kli, key), _| {
+                    kci != ci
+                        || kli != li
+                        || !tiling.tile_rect(TileId::from_key(key)).intersects(rect)
+                });
+            }
+        }
+        // backend box shelves: drop overlapping boxes
+        for &(ci, li, ref rect) in &entries {
+            if let Some(shelf) = boxes.get_mut(&(ci, li)) {
+                shelf.retain(|(r, _, _)| !r.intersects(rect));
+            }
+        }
+        Ok(version)
+    }
+
+    /// Monotonic data-version stamp: 0 at launch, bumped by every
+    /// mutation. Sessions compare it against the version they last
+    /// fetched under and refetch what [`KyrixServer::changes_since`]
+    /// reports.
+    pub fn data_version(&self) -> u64 {
+        self.inner.mutations.lock().version
+    }
+
+    /// The canvas-space regions invalidated since data version `since`
+    /// (as `(canvas, layer, rect)`), or `None` when the mutation log no
+    /// longer reaches back that far — callers then drop all cached data.
+    pub fn changes_since(&self, since: u64) -> Option<Vec<(String, usize, Rect)>> {
+        let log = self.inner.mutations.lock();
+        if since > log.version {
+            return None;
+        }
+        if since < log.version.saturating_sub(log.entries.len() as u64) {
+            return None; // truncated
+        }
+        Some(
+            log.entries
+                .iter()
+                .filter(|(v, _)| *v > since)
+                .flat_map(|(_, es)| es.iter().map(|(c, l, r)| (c.clone(), *l as usize, *r)))
+                .collect(),
+        )
     }
 }

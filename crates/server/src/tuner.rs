@@ -20,7 +20,7 @@
 //!
 //! The winning assignment is exposed through
 //! [`crate::KyrixServer::tuning_report`] as a [`TuningReport`], which can
-//! be frozen into a static [`PlanPolicy::PerCanvas`] policy
+//! be frozen into a static [`PlanPolicy::PerLayer`] policy
 //! ([`TuningReport::frozen_policy`]) so later launches skip the
 //! calibration replay.
 
@@ -157,20 +157,23 @@ impl TuningReport {
         Some(total)
     }
 
-    /// Freeze the tuned assignment into a static [`PlanPolicy::PerCanvas`]
+    /// Freeze the tuned assignment into a static [`PlanPolicy::PerLayer`]
     /// policy, so later launches of the same app reuse the measured
-    /// decision without replaying the calibration trace. Overrides carry
-    /// each canvas's *first* tuned layer's plan (PerCanvas applies per
-    /// canvas); apps whose canvases mix plans *within* one canvas cannot be
-    /// frozen exactly and should relaunch with `Measured` instead.
+    /// decision without replaying the calibration trace. Every tuned
+    /// `(canvas, layer)` carries its own override, so the frozen policy
+    /// resolves each layer exactly as the tuner did — including canvases
+    /// whose layers mix plans, which the earlier per-canvas freezing
+    /// flattened to the first tuned layer's plan. Layers the tuner never
+    /// saw (static layers, canvases added later) fall back to `default`.
     pub fn frozen_policy(&self, default: FetchPlan) -> PlanPolicy {
-        let mut overrides: Vec<(String, FetchPlan)> = Vec::new();
-        for layer in &self.layers {
-            if !overrides.iter().any(|(c, _)| *c == layer.canvas) {
-                overrides.push((layer.canvas.clone(), layer.chosen_plan()));
-            }
+        PlanPolicy::PerLayer {
+            default,
+            overrides: self
+                .layers
+                .iter()
+                .map(|l| ((l.canvas.clone(), l.layer), l.chosen_plan()))
+                .collect(),
         }
-        PlanPolicy::PerCanvas { default, overrides }
     }
 
     /// One-line human-readable assignment, e.g.
@@ -389,14 +392,66 @@ mod tests {
         assert_eq!(r.chosen("coarse", 0), Some(TILES));
         assert_eq!(r.chosen("raw", 0), Some(BOXES));
         assert_eq!(r.chosen("nope", 0), None);
-        let PlanPolicy::PerCanvas { default, overrides } = r.frozen_policy(BOXES) else {
-            panic!("frozen policy must be PerCanvas");
+        let PlanPolicy::PerLayer { default, overrides } = r.frozen_policy(BOXES) else {
+            panic!("frozen policy must be PerLayer");
         };
         assert_eq!(default, BOXES);
         assert_eq!(
             overrides,
-            vec![("coarse".to_string(), TILES), ("raw".to_string(), BOXES)]
+            vec![
+                (("coarse".to_string(), 0), TILES),
+                (("raw".to_string(), 0), BOXES)
+            ]
         );
         assert!(r.summary().contains("coarse/0→tile spatial 64"));
+    }
+
+    /// Regression: the earlier freezing flattened to *per canvas* (the
+    /// first tuned layer of a canvas won), so a canvas whose layers were
+    /// tuned to different plans could not be frozen exactly. The frozen
+    /// policy must now resolve every `(canvas, layer)` to its tuned plan.
+    #[test]
+    fn frozen_policy_preserves_mixed_plans_within_one_canvas() {
+        use kyrix_core::{CompiledLayer, CompiledRender, CompiledTransform};
+        use kyrix_storage::Schema;
+
+        let r = TuningReport {
+            layers: vec![
+                LayerTuning {
+                    canvas: "combo".into(),
+                    layer: 0,
+                    steps: 2,
+                    chosen: 0,
+                    candidates: vec![cand(TILES, 3.0), cand(BOXES, 8.0)],
+                },
+                LayerTuning {
+                    canvas: "combo".into(),
+                    layer: 1,
+                    steps: 2,
+                    chosen: 1,
+                    candidates: vec![cand(TILES, 9.0), cand(BOXES, 2.0)],
+                },
+            ],
+        };
+        let frozen = r.frozen_policy(BOXES);
+        let layer = |index: usize| CompiledLayer {
+            canvas_id: "combo".to_string(),
+            layer_index: index,
+            transform: CompiledTransform {
+                id: "t".into(),
+                query: None,
+                base_schema: Schema::empty(),
+                derived: Vec::new(),
+                columns: Vec::new(),
+            },
+            is_static: false,
+            placement: None,
+            rendering: CompiledRender::Static(Vec::new()),
+            plan_hint: None,
+        };
+        assert_eq!(frozen.resolve(&layer(0), 0), TILES, "layer 0 kept its plan");
+        assert_eq!(frozen.resolve(&layer(1), 0), BOXES, "layer 1 kept its plan");
+        // an untuned layer of the same canvas falls back to the default
+        assert_eq!(frozen.resolve(&layer(2), 0), BOXES);
     }
 }

@@ -1042,3 +1042,177 @@ fn tuner_drops_losing_mapping_tables() {
         .fetch_box("detail", 0, &Rect::new(40.0, 40.0, 50.0, 50.0))
         .unwrap();
 }
+
+// ------------------------------------------------------- live mutation
+
+/// Delete one dot by id inside a `mutate_raw` closure, reporting its
+/// position as the dirty region.
+fn delete_dot(server: &KyrixServer, id: i64, x: f64, y: f64) -> u64 {
+    server
+        .mutate_raw(&["dots"], |db| {
+            let n = db
+                .delete_where("dots", "id = $1", &[Value::Int(id)])
+                .map_err(kyrix_server::ServerError::from)?;
+            assert_eq!(n, 1, "dot {id} existed");
+            Ok((
+                server.data_version(),
+                vec![kyrix_server::DirtyRegion::new(
+                    "dots",
+                    Rect::new(x, y, x, y),
+                )],
+            ))
+        })
+        .unwrap()
+}
+
+#[test]
+fn mutate_raw_invalidates_only_intersecting_tiles() {
+    let server = launch(
+        grid_db(true),
+        PlacementSpec::point("x", "y"),
+        FetchPlan::StaticTiles {
+            size: 25.0,
+            design: TileDesign::SpatialIndex,
+        },
+    );
+    assert_eq!(server.data_version(), 0);
+    let near = TileId::new(0, 0); // covers [0,25)² — will be dirtied
+    let far = TileId::new(3, 3); // covers [75,100)² — must survive
+    let before = server.fetch_tile("main", 0, near).unwrap();
+    server.fetch_tile("main", 0, far).unwrap();
+
+    // delete the dot at (5, 5): id = y * 100 + x
+    delete_dot(&server, 505, 5.0, 5.0);
+    assert_eq!(server.data_version(), 1);
+
+    // the far tile still serves from cache; the near tile refetches and
+    // sees the deletion
+    let far2 = server.fetch_tile("main", 0, far).unwrap();
+    assert_eq!(far2.metrics.cache_hits, 1, "clean tile must stay cached");
+    let near2 = server.fetch_tile("main", 0, near).unwrap();
+    assert_eq!(near2.metrics.cache_misses, 1, "dirty tile must refetch");
+    assert_eq!(near2.rows.len(), before.rows.len() - 1);
+    assert!(!row_ids(&near2.rows).contains(&505));
+
+    // the mutation log names the canvas-space region
+    let changes = server.changes_since(0).unwrap();
+    assert_eq!(changes.len(), 1);
+    let (canvas, layer, rect) = &changes[0];
+    assert_eq!((canvas.as_str(), *layer), ("main", 0));
+    assert!(rect.contains_point(5.0, 5.0));
+    assert!(server.changes_since(1).unwrap().is_empty());
+}
+
+#[test]
+fn mutate_raw_invalidates_only_overlapping_boxes() {
+    let server = launch(
+        grid_db(true),
+        PlacementSpec::point("x", "y"),
+        FetchPlan::DynamicBox {
+            policy: BoxPolicy::Exact,
+        },
+    );
+    let near_vp = Rect::new(10.0, 10.0, 20.0, 20.0);
+    let far_vp = Rect::new(60.0, 60.0, 70.0, 70.0);
+    let near_before = server.fetch_box("main", 0, &near_vp).unwrap();
+    server.fetch_box("main", 0, &far_vp).unwrap();
+
+    delete_dot(&server, 1515, 15.0, 15.0);
+
+    let far2 = server.fetch_box("main", 0, &far_vp).unwrap();
+    assert_eq!(far2.metrics.cache_hits, 1, "clean box must stay cached");
+    let near2 = server.fetch_box("main", 0, &near_vp).unwrap();
+    assert_eq!(near2.metrics.cache_misses, 1, "dirty box must refetch");
+    assert_eq!(near2.rows.len(), near_before.rows.len() - 1);
+    assert!(!row_ids(&near2.rows).contains(&1515));
+}
+
+#[test]
+fn mutation_log_truncates_to_a_full_refetch_signal() {
+    let server = launch(
+        grid_db(true),
+        PlacementSpec::point("x", "y"),
+        FetchPlan::DynamicBox {
+            policy: BoxPolicy::Exact,
+        },
+    );
+    // more mutations than the log keeps
+    for i in 0..70i64 {
+        delete_dot(&server, i, (i % 100) as f64, (i / 100) as f64);
+    }
+    assert_eq!(server.data_version(), 70);
+    assert!(
+        server.changes_since(0).is_none(),
+        "a session 70 versions behind must be told to refetch everything"
+    );
+    assert!(server.changes_since(69).is_some());
+    assert!(
+        server.changes_since(71).is_none(),
+        "future versions are unknown"
+    );
+}
+
+#[test]
+fn mutate_raw_refuses_mapping_backed_tables_before_applying() {
+    // tuple–tile mapping layers precompute (tuple, tile) rows that cannot
+    // be patched in place; the refusal must fire *before* the closure
+    // runs, leaving the database untouched
+    let server = launch(
+        grid_db(false),
+        PlacementSpec::point("x", "y"),
+        FetchPlan::StaticTiles {
+            size: 25.0,
+            design: TileDesign::TupleTileMapping,
+        },
+    );
+    let record_table = match server.store("main", 0).unwrap() {
+        LayerStore::TileMapping { record_table, .. } => record_table,
+        other => panic!("expected a mapping store, got {other:?}"),
+    };
+    let rows_before = server.database().table(&record_table).unwrap().len();
+    let result = server.mutate_raw(&[record_table.as_str()], |db| {
+        db.delete_where(&record_table, "tuple_id >= $1", &[Value::Int(0)])
+            .map_err(kyrix_server::ServerError::from)?;
+        Ok(((), vec![]))
+    });
+    assert!(result.is_err(), "mapping-backed mutation must be refused");
+    assert_eq!(
+        server.database().table(&record_table).unwrap().len(),
+        rows_before,
+        "the closure must never have run"
+    );
+    assert_eq!(server.data_version(), 0, "no mutation happened");
+}
+
+#[test]
+fn failed_mutation_closure_invalidates_conservatively() {
+    // a closure that errors may have partially mutated the database; the
+    // server cannot know how far it got, so it must drop every cache and
+    // signal every session to refetch from scratch
+    let server = launch(
+        grid_db(true),
+        PlacementSpec::point("x", "y"),
+        FetchPlan::StaticTiles {
+            size: 25.0,
+            design: TileDesign::SpatialIndex,
+        },
+    );
+    let tile = TileId::new(3, 3);
+    server.fetch_tile("main", 0, tile).unwrap(); // warm a far-away tile
+    let result: Result<(), _> = server.mutate_raw(&["dots"], |db| {
+        // partial mutation, then failure
+        db.delete_where("dots", "id = $1", &[Value::Int(0)])
+            .unwrap();
+        Err(kyrix_server::ServerError::Config(
+            "crashed mid-batch".into(),
+        ))
+    });
+    assert!(result.is_err());
+    assert_eq!(server.data_version(), 1, "failed mutations still bump");
+    assert!(
+        server.changes_since(0).is_none(),
+        "sessions must be told to drop everything"
+    );
+    let again = server.fetch_tile("main", 0, tile).unwrap();
+    assert_eq!(again.metrics.cache_misses, 1, "caches were cleared");
+}

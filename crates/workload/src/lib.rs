@@ -12,6 +12,27 @@
 //! * [`eeg`] — the §4 MGH EEG scenario (synthetic multi-channel signals,
 //!   temporal + spectral canvases for coordinated views).
 //! * [`apps`] — shared app specs for the benchmarks.
+//!
+//! Every generator is deterministic (`SmallRng` seeded from the config),
+//! so datasets regenerate bit-identically — the property the pinned
+//! checksums in `tests/determinism.rs` and the sharded/incremental
+//! pyramid parity tests lean on:
+//!
+//! ```
+//! use kyrix_storage::Database;
+//! use kyrix_workload::{load_zipf_galaxy, GalaxyConfig};
+//!
+//! let g = GalaxyConfig::tiny();
+//! let mut db = Database::new();
+//! load_zipf_galaxy(&mut db, &g).unwrap();
+//! assert_eq!(db.table("galaxy").unwrap().len(), g.n);
+//!
+//! // integer-valued measures: pyramid aggregate sums stay exact under
+//! // any summation order
+//! let r = db.query("SELECT SUM(mass) FROM galaxy", &[]).unwrap();
+//! let total = r.rows[0].get(0).as_f64().unwrap();
+//! assert_eq!(total, total.round());
+//! ```
 
 pub mod apps;
 pub mod dots;
