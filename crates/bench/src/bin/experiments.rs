@@ -8,12 +8,13 @@
 //! ```
 //!
 //! Subcommands: `fig6`, `fig7`, `separability`, `prefetch`,
-//! `prefetch-policy`, `parallel`, `latency`, `boxsweep`, `cache`, `lod`, `all`.
-//! `--small` shrinks the dataset for quick runs.
+//! `prefetch-policy`, `parallel`, `latency`, `boxsweep`, `cache`, `lod`,
+//! `load`, `all`. `--small` shrinks the dataset for quick runs.
 
 use kyrix_bench::{
-    build_database, figure_table, launch_scheme, paper_traces, run_cell, run_figure,
-    run_lod_experiment, run_lod_maintenance, run_lod_plan_comparison, Dataset, ExperimentConfig,
+    build_database, figure_table, launch_scheme, load_table, paper_traces, run_cell, run_figure,
+    run_load_comparison, run_lod_experiment, run_lod_maintenance, run_lod_plan_comparison, Dataset,
+    ExperimentConfig, LoadConfig,
 };
 use kyrix_client::{run_trace, Session};
 use kyrix_core::compile;
@@ -80,6 +81,7 @@ fn main() {
         "boxsweep" => boxsweep(&cfg),
         "cache" => cache(&cfg),
         "lod" => lod(small),
+        "load" => load(small),
         "all" => {
             fig6(&cfg);
             fig7(&cfg);
@@ -91,6 +93,7 @@ fn main() {
             boxsweep(&cfg);
             cache(&cfg);
             lod(small);
+            load(small);
         }
         other => {
             eprintln!("unknown experiment `{other}`");
@@ -536,6 +539,32 @@ fn cache(cfg: &ExperimentConfig) {
     }
     println!();
     let _ = CostModel::zero(); // referenced so the import is intentional
+}
+
+/// Concurrent serving under live mutation: N sessions replay zoom walks
+/// over the LoD pyramid while a mutator thread folds insert/delete
+/// batches into it. The `global-lock` row emulates the pre-snapshot
+/// discipline (one server-wide RwLock, fetches block behind repairs);
+/// the `snapshot` row is the server's native versioned-snapshot store.
+/// The headline number is the interaction tail latency (p99).
+fn load(small: bool) {
+    let lcfg = if small {
+        LoadConfig::small()
+    } else {
+        LoadConfig::default_bench()
+    };
+    let started = Instant::now();
+    println!(
+        "## Concurrent load — {} sessions x {} lap(s) over a {}-point galaxy, \
+         mutator batch {}\n",
+        lcfg.sessions, lcfg.laps, lcfg.galaxy.n, lcfg.mutate_batch
+    );
+    let rows = run_load_comparison(&lcfg);
+    print!(
+        "{}",
+        load_table("Interaction latency under a live mutator", &rows)
+    );
+    println!("\n(ran in {:.1}s)\n", started.elapsed().as_secs_f64());
 }
 
 /// LoD: cluster-pyramid construction over `zipf_galaxy`, per-level fetch

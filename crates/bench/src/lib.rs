@@ -453,10 +453,10 @@ pub fn run_lod_plan_comparison(
     ];
     let mut out = Vec::new();
     for (label, policy) in policies {
-        // rebuilt per policy because `Database` owns its tables and is not
-        // Clone; the seeded generators and deterministic clustering make
-        // every rebuild bit-identical (pinned by the determinism and
-        // sharded-pyramid tests), so all policies serve the same data
+        // rebuilt per policy so each server owns pristine launch state; the
+        // seeded generators and deterministic clustering make every rebuild
+        // bit-identical (pinned by the determinism and sharded-pyramid
+        // tests), so all policies serve the same data
         let mut db = Database::new();
         load_zipf_galaxy(&mut db, g).expect("load galaxy");
         index_galaxy(&mut db).expect("index galaxy");
@@ -567,6 +567,307 @@ pub fn run_lod_maintenance(
             rebuild_ms,
             rows_changed: ins.rows_changed() + del.rows_changed(),
         });
+    }
+    out
+}
+
+// ------------------------------------------------------------ load harness
+
+/// Configuration of the multi-session load experiment: N reader sessions
+/// replay zoom walks over a live LoD pyramid while a mutator thread folds
+/// insert/delete batches into it through `KyrixServer::mutate_raw`.
+#[derive(Debug, Clone)]
+pub struct LoadConfig {
+    pub galaxy: GalaxyConfig,
+    /// Pyramid height (levels above raw).
+    pub levels: usize,
+    /// Cluster spacing on the coarsest level.
+    pub spacing: f64,
+    pub viewport: (f64, f64),
+    /// Concurrent reader sessions.
+    pub sessions: usize,
+    /// Pan steps per level segment of each session's zoom walk.
+    pub steps_per_level: usize,
+    /// Times each session replays its walk.
+    pub laps: usize,
+    /// Points per insert batch (the matching delete restores the pyramid,
+    /// so the dataset never grows without bound).
+    pub mutate_batch: usize,
+}
+
+impl LoadConfig {
+    /// Bench-scale defaults: the e2e galaxy, 8 sessions, 3 laps.
+    pub fn default_bench() -> Self {
+        LoadConfig {
+            galaxy: GalaxyConfig::e2e(),
+            levels: 3,
+            spacing: 24.0,
+            viewport: (1024.0, 1024.0),
+            sessions: 8,
+            steps_per_level: 3,
+            laps: 3,
+            mutate_batch: 64,
+        }
+    }
+
+    /// CI-scale configuration (`experiments -- load --small`).
+    pub fn small() -> Self {
+        LoadConfig {
+            galaxy: GalaxyConfig::tiny(),
+            levels: 2,
+            spacing: 16.0,
+            viewport: (256.0, 256.0),
+            sessions: 4,
+            steps_per_level: 2,
+            laps: 2,
+            mutate_batch: 16,
+        }
+    }
+}
+
+/// How readers and the mutator synchronize in a load run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LoadMode {
+    /// The server's native discipline: every interaction resolves against
+    /// the published snapshot; mutations build successors off to the side.
+    /// Readers never wait for the mutator.
+    Snapshot,
+    /// The pre-snapshot baseline, emulated at the harness level: one
+    /// global `RwLock` over the whole server — sessions hold a read guard
+    /// for each interaction, the mutator holds the write guard across each
+    /// `mutate_raw`. Every fetch that arrives during a pyramid repair
+    /// blocks behind it, which is exactly the tail-latency pathology the
+    /// snapshot store removes.
+    GlobalLock,
+}
+
+impl LoadMode {
+    pub fn label(&self) -> &'static str {
+        match self {
+            LoadMode::Snapshot => "snapshot",
+            LoadMode::GlobalLock => "global-lock",
+        }
+    }
+}
+
+/// What one load run measured.
+#[derive(Debug, Clone)]
+pub struct LoadResult {
+    pub mode: LoadMode,
+    pub sessions: usize,
+    /// Session interactions measured (opens + pans across all sessions).
+    pub steps: usize,
+    /// `mutate_raw` calls the mutator completed.
+    pub mutations: u64,
+    /// Interaction latency percentiles/mean, ms. Latency includes any
+    /// time spent waiting on the mode's synchronization, which is the
+    /// quantity under test.
+    pub p50_ms: f64,
+    pub p99_ms: f64,
+    pub max_ms: f64,
+    pub mean_ms: f64,
+    /// Interactions per second across all sessions.
+    pub steps_per_sec: f64,
+    pub elapsed_ms: f64,
+}
+
+fn percentile(sorted_ms: &[f64], p: f64) -> f64 {
+    if sorted_ms.is_empty() {
+        return 0.0;
+    }
+    let idx = ((sorted_ms.len() - 1) as f64 * p).round() as usize;
+    sorted_ms[idx]
+}
+
+/// Run the multi-session load experiment in one mode: build the galaxy
+/// pyramid, launch one server with the mixed (hinted) plan policy, then
+/// let `cfg.sessions` reader threads replay seeded zoom walks while a
+/// mutator thread loops insert-batch / delete-batch pyramid repairs
+/// through [`KyrixServer::mutate_raw`] until the readers finish.
+pub fn run_load(cfg: &LoadConfig, mode: LoadMode) -> LoadResult {
+    use kyrix_lod::RawPoint;
+    use kyrix_server::{DirtyRegion, ServerError};
+    use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+    use std::sync::RwLock;
+
+    let lod = galaxy_lod_config(&cfg.galaxy, cfg.levels, cfg.spacing);
+    let mut db = Database::new();
+    load_zipf_galaxy(&mut db, &cfg.galaxy).expect("load galaxy");
+    index_galaxy(&mut db).expect("index galaxy");
+    let mut pyramid = build_pyramid(&mut db, &lod).expect("build pyramid");
+    let app = compile(&lod_app(&lod, cfg.viewport), &db).expect("lod app compiles");
+    let tiles = FetchPlan::StaticTiles {
+        size: cfg.viewport.0,
+        design: TileDesign::SpatialIndex,
+    };
+    let boxes = FetchPlan::DynamicBox {
+        policy: BoxPolicy::Exact,
+    };
+    let (server, _) = KyrixServer::launch(
+        app,
+        db,
+        ServerConfig::from_policy(PlanPolicy::SpecHints { tiles, boxes }),
+    )
+    .expect("server launches");
+    let server = Arc::new(server);
+
+    // the GlobalLock baseline's whole-server lock; Snapshot mode never
+    // touches it
+    let gate = RwLock::new(());
+    let readers_done = AtomicBool::new(false);
+    let mutations = AtomicU64::new(0);
+    let tables: Vec<String> = (0..=cfg.levels).map(|k| lod.level_table(k)).collect();
+
+    let g = &cfg.galaxy;
+    let t0 = Instant::now();
+    let mut latencies: Vec<f64> = Vec::new();
+    std::thread::scope(|scope| {
+        let mutator = scope.spawn(|| {
+            let mut round = 0u64;
+            while !readers_done.load(Ordering::Acquire) {
+                // deterministic scatter per round (same scheme as the
+                // maintenance experiment); the delete below restores the
+                // pyramid exactly, so every round starts from the same state
+                let pts: Vec<RawPoint> = (0..cfg.mutate_batch)
+                    .map(|i| {
+                        let h = (i as u64 + 1)
+                            .wrapping_mul(2654435761)
+                            .wrapping_add(round * 97);
+                        let x = (h % 10_000) as f64 / 10_000.0 * (g.width - 2.0) + 1.0;
+                        let y = ((h / 10_000) % 10_000) as f64 / 10_000.0 * (g.height - 2.0) + 1.0;
+                        RawPoint::new(
+                            60_000_000 + i as i64,
+                            x,
+                            y,
+                            &[(h % 50) as f64, (h % 9) as f64],
+                        )
+                    })
+                    .collect();
+                let ids: Vec<i64> = pts.iter().map(|p| p.id).collect();
+                let table_refs: Vec<&str> = tables.iter().map(String::as_str).collect();
+                for pass in 0..2 {
+                    let _w = match mode {
+                        LoadMode::GlobalLock => Some(gate.write().expect("gate poisoned")),
+                        LoadMode::Snapshot => None,
+                    };
+                    server
+                        .mutate_raw(&table_refs, |db| {
+                            let report = if pass == 0 {
+                                pyramid.insert_points(db, &pts)
+                            } else {
+                                pyramid.delete_points(db, &ids)
+                            }
+                            .map_err(|e| ServerError::Config(e.to_string()))?;
+                            let dirty = report
+                                .dirty_regions()
+                                .map(|(t, r)| DirtyRegion::new(t, r))
+                                .collect();
+                            Ok(((), dirty))
+                        })
+                        .expect("pyramid maintenance applies");
+                    mutations.fetch_add(1, Ordering::Relaxed);
+                }
+                round += 1;
+            }
+        });
+
+        let lod = &lod;
+        let readers: Vec<_> = (0..cfg.sessions)
+            .map(|s| {
+                let server = Arc::clone(&server);
+                let gate = &gate;
+                scope.spawn(move || {
+                    let walk = zoom_walk(
+                        lod,
+                        cfg.levels,
+                        cfg.steps_per_level,
+                        cfg.viewport,
+                        g.seed + s as u64,
+                    );
+                    let mut lat = Vec::with_capacity(walk.len() * cfg.laps);
+                    let mut session: Option<Session> = None;
+                    for _ in 0..cfg.laps {
+                        for (_, canvas, rect) in &walk {
+                            let c = rect.center();
+                            let (cx, cy) = (c.x, c.y);
+                            let t = Instant::now();
+                            let _r = match mode {
+                                LoadMode::GlobalLock => Some(gate.read().expect("gate poisoned")),
+                                LoadMode::Snapshot => None,
+                            };
+                            match session.as_mut().filter(|s| s.canvas_id() == canvas) {
+                                Some(s) => {
+                                    s.pan_to(cx, cy).expect("pan");
+                                }
+                                None => {
+                                    let (s, _) =
+                                        Session::open_on(Arc::clone(&server), canvas, cx, cy)
+                                            .expect("session opens");
+                                    session = Some(s);
+                                }
+                            }
+                            lat.push(t.elapsed().as_secs_f64() * 1000.0);
+                        }
+                    }
+                    lat
+                })
+            })
+            .collect();
+        for r in readers {
+            latencies.extend(r.join().expect("reader thread"));
+        }
+        readers_done.store(true, Ordering::Release);
+        mutator.join().expect("mutator thread");
+    });
+    let elapsed_ms = t0.elapsed().as_secs_f64() * 1000.0;
+
+    latencies.sort_by(|a, b| a.partial_cmp(b).expect("latencies are finite"));
+    let steps = latencies.len();
+    let mean_ms = latencies.iter().sum::<f64>() / steps.max(1) as f64;
+    LoadResult {
+        mode,
+        sessions: cfg.sessions,
+        steps,
+        mutations: mutations.load(Ordering::Relaxed),
+        p50_ms: percentile(&latencies, 0.50),
+        p99_ms: percentile(&latencies, 0.99),
+        max_ms: latencies.last().copied().unwrap_or(0.0),
+        mean_ms,
+        steps_per_sec: steps as f64 / (elapsed_ms / 1000.0).max(1e-9),
+        elapsed_ms,
+    }
+}
+
+/// The before/after comparison `experiments -- load` prints: the same
+/// load in [`LoadMode::GlobalLock`] (the pre-snapshot baseline) and
+/// [`LoadMode::Snapshot`] (the server's native discipline).
+pub fn run_load_comparison(cfg: &LoadConfig) -> Vec<LoadResult> {
+    vec![
+        run_load(cfg, LoadMode::GlobalLock),
+        run_load(cfg, LoadMode::Snapshot),
+    ]
+}
+
+/// Render load results as a Markdown table.
+pub fn load_table(title: &str, rows: &[LoadResult]) -> String {
+    let mut out = String::new();
+    out.push_str(&format!("## {title}\n\n"));
+    out.push_str(
+        "| mode | sessions | steps | mutations | p50 (ms) | p99 (ms) | \
+         max (ms) | steps/s |\n|---|---|---|---|---|---|---|---|\n",
+    );
+    for r in rows {
+        out.push_str(&format!(
+            "| {} | {} | {} | {} | {:.2} | {:.2} | {:.2} | {:.0} |\n",
+            r.mode.label(),
+            r.sessions,
+            r.steps,
+            r.mutations,
+            r.p50_ms,
+            r.p99_ms,
+            r.max_ms,
+            r.steps_per_sec,
+        ));
     }
     out
 }

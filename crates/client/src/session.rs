@@ -9,7 +9,7 @@ use crate::error::{ClientError, Result};
 use crate::viewport::Viewport;
 use kyrix_core::{CompiledCanvas, CompiledRender, JumpType};
 use kyrix_render::{Color, ColorScale, Frame, Mark, MarkType};
-use kyrix_server::{FetchMetrics, KyrixServer, MomentumTracker};
+use kyrix_server::{DatabaseSnapshot, FetchMetrics, KyrixServer, MomentumTracker};
 use kyrix_storage::{Row, Value};
 use std::collections::HashSet;
 use std::sync::Arc;
@@ -51,8 +51,11 @@ pub struct Session {
     momentum: MomentumTracker,
     /// Frontend tile cache capacity (tuples).
     cache_rows: usize,
-    /// Server data version the cached regions were fetched under.
-    data_version: u64,
+    /// The server snapshot the cached regions were fetched under. Pinning
+    /// the snapshot (not just its version number) keeps that exact data
+    /// version alive server-side, so anything the session rendered can be
+    /// re-inspected even after mutations publish newer versions.
+    snapshot: Arc<DatabaseSnapshot>,
     /// Forward pan hints to the server's momentum prefetcher.
     pub send_momentum_hints: bool,
     /// Forward viewed-region hints to the server's semantic prefetcher.
@@ -83,7 +86,7 @@ impl Session {
         let (vw, vh) = (server.app().viewport_width, server.app().viewport_height);
         let mut viewport = Viewport::new(cx, cy, vw, vh);
         viewport.center_on(cx, cy, &bounds);
-        let data_version = server.data_version();
+        let snapshot = server.snapshot();
         let mut session = Session {
             server,
             canvas: canvas_id.to_string(),
@@ -91,7 +94,7 @@ impl Session {
             cache: FrontendCache::new(500_000, layers),
             momentum: MomentumTracker::new(),
             cache_rows: 500_000,
-            data_version,
+            snapshot,
             send_momentum_hints: false,
             send_semantic_hints: false,
         };
@@ -118,7 +121,7 @@ impl Session {
         );
         let bounds = canvas.bounds();
         viewport.center_on(app.initial_center.0, app.initial_center.1, &bounds);
-        let data_version = server.data_version();
+        let snapshot = server.snapshot();
         let mut session = Session {
             server,
             canvas: canvas_id,
@@ -126,7 +129,7 @@ impl Session {
             cache: FrontendCache::new(cache_rows, layers),
             momentum: MomentumTracker::new(),
             cache_rows,
-            data_version,
+            snapshot,
             send_momentum_hints: false,
             send_semantic_hints: false,
         };
@@ -323,17 +326,18 @@ impl Session {
         })
     }
 
-    /// Catch up with server-side data mutations: when the server's data
-    /// version moved past the version our cached regions were fetched
-    /// under, drop exactly the cached regions the server's mutation log
-    /// marks stale on this canvas (everything, if the log was truncated).
-    /// The next lookups then miss and refetch fresh data.
+    /// Catch up with server-side data mutations: when the server's
+    /// published head moved past the snapshot our cached regions were
+    /// fetched under, drop exactly the cached regions the server's
+    /// mutation log marks stale on this canvas (everything, if the log was
+    /// truncated), then re-pin to the new head. The next lookups then miss
+    /// and refetch fresh data.
     fn sync_data_version(&mut self) {
-        let v = self.server.data_version();
-        if v == self.data_version {
+        let head = self.server.snapshot();
+        if head.version() == self.snapshot.version() {
             return;
         }
-        match self.server.changes_since(self.data_version) {
+        match self.server.changes_since(self.snapshot.version()) {
             Some(changes) => {
                 for (canvas, layer, rect) in changes {
                     if canvas == self.canvas {
@@ -346,7 +350,14 @@ impl Session {
                 self.cache.clear(layers);
             }
         }
-        self.data_version = v;
+        self.snapshot = head;
+    }
+
+    /// The server snapshot this session's cached regions were fetched
+    /// under. Stays pinned (and its data version stays readable) until the
+    /// next interaction observes a newer published head.
+    pub fn pinned_snapshot(&self) -> Arc<DatabaseSnapshot> {
+        Arc::clone(&self.snapshot)
     }
 
     /// Rows visible in the current viewport, per non-static layer,

@@ -4,6 +4,7 @@ use crate::dbox::BoxPolicy;
 use crate::error::{Result, ServerError};
 use crate::metrics::FetchMetrics;
 use crate::precompute::{FetchPlan, LayerStore};
+use crate::snapshot::DatabaseSnapshot;
 use crate::tile::{TileId, Tiling};
 use kyrix_storage::{Database, Rect, Row, Value};
 use std::time::Instant;
@@ -33,7 +34,7 @@ fn raw_query_rect(
 /// Valid for spatial-index-backed stores (paper: dynamic boxes always use
 /// the spatial design; spatial static tiles also route through this).
 pub fn fetch_rect(
-    db: &Database,
+    db: &DatabaseSnapshot,
     store: &LayerStore,
     rect: &Rect,
 ) -> Result<(Vec<Row>, FetchMetrics)> {
@@ -113,7 +114,7 @@ pub fn fetch_rect(
 
 /// Fetch one tile's rows with one query.
 pub fn fetch_tile(
-    db: &Database,
+    db: &DatabaseSnapshot,
     store: &LayerStore,
     tiling: Tiling,
     tile: TileId,
@@ -161,7 +162,7 @@ pub fn fetch_tile(
 /// per-layer totals. Real traffic goes through
 /// [`crate::KyrixServer::fetch_region`] instead.
 pub fn fetch_plan_cold(
-    db: &Database,
+    db: &DatabaseSnapshot,
     store: &LayerStore,
     plan: &FetchPlan,
     canvas_bounds: &Rect,
@@ -195,7 +196,7 @@ pub fn fetch_plan_cold(
 /// is the single box-computation path for both the server's cached box
 /// fetch and the tuner's cold measurements.
 pub fn compute_fetch_box(
-    db: &Database,
+    db: &DatabaseSnapshot,
     store: &LayerStore,
     policy: &BoxPolicy,
     viewport: &Rect,
@@ -207,7 +208,7 @@ pub fn compute_fetch_box(
 
 /// Count (without fetching) the layer objects intersecting a rectangle;
 /// used by the density-adaptive box policy.
-pub fn count_rect(db: &Database, store: &LayerStore, rect: &Rect) -> Result<usize> {
+pub fn count_rect(db: &DatabaseSnapshot, store: &LayerStore, rect: &Rect) -> Result<usize> {
     match store {
         LayerStore::Static => Ok(0),
         LayerStore::Spatial { table, .. } => {

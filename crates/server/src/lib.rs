@@ -29,6 +29,7 @@ pub mod policy;
 pub mod precompute;
 pub mod prefetch;
 pub mod server;
+pub mod snapshot;
 pub mod tile;
 pub mod tuner;
 
@@ -50,5 +51,6 @@ pub use prefetch::{
 pub use server::{
     BoxResponse, DirtyRegion, KyrixServer, PrefetchPolicy, ServerConfig, TileResponse,
 };
+pub use snapshot::DatabaseSnapshot;
 pub use tile::{TileId, Tiling, MAX_COVERING_TILES};
 pub use tuner::{measure_plan, CalibrationTrace, CandidateCost, LayerTuning, TuningReport};

@@ -15,6 +15,7 @@ use crate::precompute::{
 use crate::prefetch::{
     neighbor_rects, predict_viewports, rank_by_similarity, RegionSignature, SemanticTracker,
 };
+use crate::snapshot::DatabaseSnapshot;
 use crate::tile::{TileId, Tiling};
 use crate::tuner::{self, TuningReport};
 use crossbeam::channel::{unbounded, Sender};
@@ -155,9 +156,15 @@ struct MutationLog {
 
 struct Inner {
     app: CompiledApp,
-    /// The database, writable through [`KyrixServer::mutate_raw`] only;
-    /// every fetch path takes a read lock.
-    db: RwLock<Database>,
+    /// The published *head* snapshot. Every fetch clones the `Arc` (the
+    /// lock is held only for that clone) and resolves against it with no
+    /// lock held; [`KyrixServer::mutate_raw`] builds the successor
+    /// database off to the side and swaps in a new snapshot here. Readers
+    /// therefore never block behind a mutation.
+    head: RwLock<Arc<DatabaseSnapshot>>,
+    /// Serializes mutators ([`KyrixServer::mutate_raw`]). Never held by
+    /// any fetch path.
+    writer: Mutex<()>,
     stores: FxHashMap<(u32, u32), LayerStore>,
     /// Plan resolved by the policy per `(canvas idx, layer idx)`, stored
     /// alongside the layer's store at launch. Every plan-matching site
@@ -183,6 +190,12 @@ struct Inner {
 }
 
 impl Inner {
+    /// Clone the published head snapshot (two atomic ops; the head lock is
+    /// released before this returns).
+    fn snapshot(&self) -> Arc<DatabaseSnapshot> {
+        self.head.read().clone()
+    }
+
     /// Density signature of a region, from spatial-index counts on the
     /// first non-static layer (no data transfer).
     fn region_signature(&self, canvas: &str, rect: &Rect) -> Result<RegionSignature> {
@@ -196,10 +209,10 @@ impl Inner {
             .position(|l| !l.is_static)
             .ok_or_else(|| ServerError::BadRequest("canvas has no data layers".to_string()))?;
         let store = self.store(canvas, layer)?;
-        let db = self.db.read();
+        let snap = self.snapshot();
         let counts: Vec<u64> = RegionSignature::cell_rects(rect)
             .iter()
-            .map(|cell| count_rect(&db, store, cell).map(|n| n as u64))
+            .map(|cell| count_rect(&snap, store, cell).map(|n| n as u64))
             .collect::<Result<_>>()?;
         Ok(RegionSignature::from_counts(&counts))
     }
@@ -229,6 +242,7 @@ impl Inner {
 
     fn fetch_tile_cached(
         &self,
+        snap: &DatabaseSnapshot,
         canvas: &str,
         layer: usize,
         tile: TileId,
@@ -244,7 +258,21 @@ impl Inner {
         let tiling = Tiling::new(size);
         let key = (ci, layer as u32, tile.key());
 
-        if let Some((rows, bytes)) = self.tile_cache.lock().get(&key).cloned() {
+        // Cache entries are always valid for the *published* version
+        // (invalidation drops intersecting ones under the same lock as the
+        // version bump). Use the cache only when our pinned snapshot IS
+        // the published version; a reader holding an older snapshot
+        // (a mutation published mid-request) serves itself from the
+        // snapshot directly so every tile of its response is consistent.
+        let hit = {
+            let mut cache = self.tile_cache.lock();
+            if self.version() == snap.version() {
+                cache.get(&key).cloned()
+            } else {
+                None
+            }
+        };
+        if let Some((rows, bytes)) = hit {
             let metrics = FetchMetrics {
                 requests: 1,
                 rows: rows.len() as u64,
@@ -260,22 +288,18 @@ impl Inner {
             });
         }
 
-        let (fetched_at, rows, mut metrics) = {
-            let db = self.db.read();
-            let (rows, metrics) = fetch_tile(&db, store, tiling, tile)?;
-            // version captured while the read lock excludes writers
-            (self.version(), rows, metrics)
-        };
+        // no lock held while the query runs: the snapshot is immutable
+        let (rows, mut metrics) = fetch_tile(snap, store, tiling, tile)?;
         let rows = Arc::new(rows);
         let bytes = metrics.bytes;
         {
-            // version re-checked while *holding the cache lock*, which
-            // invalidation holds across its bump-and-retain: either this
-            // insert lands before the retain (and is dropped by it), or
-            // it observes the bumped version and skips — a stale fetch
-            // can never undo an invalidation
+            // the snapshot tag is re-checked while *holding the cache
+            // lock*, which publication holds across its bump-and-retain:
+            // either this insert lands before the retain (and is dropped
+            // by it), or it observes the bumped version and skips — a
+            // stale fetch can never undo an invalidation
             let mut cache = self.tile_cache.lock();
-            if self.version() == fetched_at {
+            if self.version() == snap.version() {
                 cache.insert(key, (rows.clone(), bytes), rows.len().max(1));
             }
         }
@@ -291,6 +315,7 @@ impl Inner {
 
     fn fetch_box_cached(
         &self,
+        snap: &DatabaseSnapshot,
         canvas: &str,
         layer: usize,
         viewport: &Rect,
@@ -305,16 +330,23 @@ impl Inner {
         };
         let key = (ci, layer as u32);
 
-        // backend box cache: any cached box containing the viewport serves it
+        // backend box cache: any cached box containing the viewport serves
+        // it — but only when our pinned snapshot is still the published
+        // version (shelved boxes are valid for the published version; see
+        // fetch_tile_cached)
         if self.box_cache_entries > 0 {
             let cached = {
                 let caches = self.box_caches.lock();
-                caches.get(&key).and_then(|shelf| {
-                    shelf
-                        .iter()
-                        .find(|(r, _, _)| r.contains(viewport))
-                        .map(|(r, rows, bytes)| (*r, rows.clone(), *bytes))
-                })
+                if self.version() == snap.version() {
+                    caches.get(&key).and_then(|shelf| {
+                        shelf
+                            .iter()
+                            .find(|(r, _, _)| r.contains(viewport))
+                            .map(|(r, rows, bytes)| (*r, rows.clone(), *bytes))
+                    })
+                } else {
+                    None
+                }
             };
             if let Some((rect, rows, bytes)) = cached {
                 let metrics = FetchMetrics {
@@ -338,24 +370,29 @@ impl Inner {
             .canvas(canvas)
             .map(|c| c.bounds())
             .unwrap_or_else(Rect::empty);
-        let (fetched_at, rect, rows, mut metrics) = {
-            let db = self.db.read();
-            let rect = compute_fetch_box(&db, store, &policy, viewport, &canvas_bounds);
-            let (rows, metrics) = fetch_rect(&db, store, &rect)?;
-            (self.version(), rect, rows, metrics)
-        };
+        let rect = compute_fetch_box(snap, store, &policy, viewport, &canvas_bounds);
+        let (rows, mut metrics) = fetch_rect(snap, store, &rect)?;
         let rows = Arc::new(rows);
         metrics.requests = 1;
         metrics.cache_misses = 1;
-        // as with tiles: the version is re-checked under the shelf lock,
-        // which invalidation holds across its bump-and-retain, so a stale
-        // fetch can never shelve data a mutation just invalidated
+        // as with tiles: the snapshot tag is re-checked under the shelf
+        // lock, which publication holds across its bump-and-retain, so a
+        // stale fetch can never shelve data a mutation just invalidated
         if self.box_cache_entries > 0 {
             let mut caches = self.box_caches.lock();
-            if self.version() == fetched_at {
+            if self.version() == snap.version() {
                 let shelf = caches.entry(key).or_default();
-                shelf.push_front((rect, rows.clone(), metrics.bytes));
-                shelf.truncate(self.box_cache_entries);
+                // two concurrent misses on the same viewport both arrive
+                // here with (near-)identical boxes; shelving both would
+                // evict a *distinct* cached box from the fixed-size shelf.
+                // Skip the insert when an already-shelved box contains
+                // this one, and conversely drop shelved boxes this one
+                // contains (it supersedes them).
+                if !shelf.iter().any(|(r, _, _)| r.contains(&rect)) {
+                    shelf.retain(|(r, _, _)| !rect.contains(r));
+                    shelf.push_front((rect, rows.clone(), metrics.bytes));
+                    shelf.truncate(self.box_cache_entries);
+                }
             }
         }
         self.record(&metrics, background, key);
@@ -424,6 +461,10 @@ impl Prefetcher {
                             let Ok(ci) = inner.canvas_idx(&canvas) else {
                                 continue;
                             };
+                            // one pinned snapshot per prediction; if a
+                            // mutation publishes mid-warm, the inserts
+                            // simply skip (snapshot tag mismatch)
+                            let snap = inner.snapshot();
                             for (li, layer) in cc.layers.iter().enumerate() {
                                 if layer.is_static {
                                     continue;
@@ -437,8 +478,8 @@ impl Prefetcher {
                                             continue; // degenerate prediction
                                         };
                                         for tile in tiles {
-                                            let _ =
-                                                inner.fetch_tile_cached(&canvas, li, tile, true);
+                                            let _ = inner
+                                                .fetch_tile_cached(&snap, &canvas, li, tile, true);
                                         }
                                     }
                                     Ok(FetchPlan::DynamicBox { .. }) => {
@@ -447,7 +488,8 @@ impl Prefetcher {
                                         // a few pixels) still serves the real
                                         // next viewport from the box cache
                                         let widened = rect.inflate_frac(0.15, 0.15);
-                                        let _ = inner.fetch_box_cached(&canvas, li, &widened, true);
+                                        let _ = inner
+                                            .fetch_box_cached(&snap, &canvas, li, &widened, true);
                                     }
                                     Err(_) => {}
                                 }
@@ -525,7 +567,8 @@ impl KyrixServer {
         };
         let inner = Arc::new(Inner {
             app,
-            db: RwLock::new(db),
+            head: RwLock::new(Arc::new(DatabaseSnapshot::new(db, 0))),
+            writer: Mutex::new(()),
             stores,
             plans,
             cost: config.cost,
@@ -603,12 +646,16 @@ impl KyrixServer {
 
     /// Fetch one tile of a layer (static-tile plans only).
     pub fn fetch_tile(&self, canvas: &str, layer: usize, tile: TileId) -> Result<TileResponse> {
-        self.inner.fetch_tile_cached(canvas, layer, tile, false)
+        let snap = self.inner.snapshot();
+        self.inner
+            .fetch_tile_cached(&snap, canvas, layer, tile, false)
     }
 
     /// Fetch the dynamic box for a viewport (dynamic-box plans only).
     pub fn fetch_box(&self, canvas: &str, layer: usize, viewport: &Rect) -> Result<BoxResponse> {
-        self.inner.fetch_box_cached(canvas, layer, viewport, false)
+        let snap = self.inner.snapshot();
+        self.inner
+            .fetch_box_cached(&snap, canvas, layer, viewport, false)
     }
 
     /// Fetch everything intersecting a canvas rectangle under *either*
@@ -618,9 +665,16 @@ impl KyrixServer {
     /// otherwise. Lets callers drive every canvas of a multi-level (LoD)
     /// app uniformly without matching on the plan; cache keys stay
     /// per-(canvas, layer), so levels never collide.
+    ///
+    /// The whole region is resolved against *one* pinned snapshot: even
+    /// when the viewport spans many tiles and a mutation publishes midway,
+    /// every row of the response comes from the same data version.
     pub fn fetch_region(&self, canvas: &str, layer: usize, rect: &Rect) -> Result<BoxResponse> {
+        let snap = self.inner.snapshot();
         match self.plan_for(canvas, layer)? {
-            FetchPlan::DynamicBox { .. } => self.fetch_box(canvas, layer, rect),
+            FetchPlan::DynamicBox { .. } => self
+                .inner
+                .fetch_box_cached(&snap, canvas, layer, rect, false),
             FetchPlan::StaticTiles { size, .. } => {
                 let store = self.inner.store(canvas, layer)?;
                 let layout = store.layout();
@@ -639,7 +693,9 @@ impl KyrixServer {
                 let mut metrics = FetchMetrics::default();
                 let mut covered = Rect::empty();
                 for tile in tiling.covering(rect)? {
-                    let resp = self.inner.fetch_tile_cached(canvas, layer, tile, false)?;
+                    let resp = self
+                        .inner
+                        .fetch_tile_cached(&snap, canvas, layer, tile, false)?;
                     match layout {
                         None => rows.extend(resp.rows.iter().cloned()),
                         Some(l) if stable_ids => {
@@ -692,7 +748,7 @@ impl KyrixServer {
     /// Count layer objects in a canvas rectangle (no data transfer).
     pub fn count_in_rect(&self, canvas: &str, layer: usize, rect: &Rect) -> Result<usize> {
         count_rect(
-            &self.inner.db.read(),
+            &self.inner.snapshot(),
             self.inner.store(canvas, layer)?,
             rect,
         )
@@ -836,29 +892,48 @@ impl KyrixServer {
         self.inner.box_caches.lock().clear();
     }
 
-    /// Direct read-only access to the underlying database (a read guard;
-    /// holding it blocks [`KyrixServer::mutate_raw`], nothing else).
-    pub fn database(&self) -> impl std::ops::Deref<Target = Database> + '_ {
-        self.inner.db.read()
+    /// The latest published [`DatabaseSnapshot`]. The returned `Arc` is an
+    /// owned, immutable view: hold it as long as you like, concurrent
+    /// mutations publish new snapshots without touching yours.
+    pub fn snapshot(&self) -> Arc<DatabaseSnapshot> {
+        self.inner.snapshot()
+    }
+
+    /// Direct read-only access to the underlying database, as an owned
+    /// snapshot handle (it derefs to [`Database`]).
+    ///
+    /// This used to return a `parking_lot` read guard, which made
+    /// `server.mutate_raw(..)` while holding the guard a silent
+    /// self-deadlock (the lock is not reentrant). The returned snapshot
+    /// holds no lock at all, so that hazard is gone by construction — but
+    /// note the returned view is *pinned*: it does not observe mutations
+    /// published after this call. Call again for a fresh view.
+    pub fn database(&self) -> Arc<DatabaseSnapshot> {
+        self.inner.snapshot()
     }
 
     // ---------------------------------------------------- live mutation
 
-    /// Apply a mutation to the underlying database and surgically
-    /// invalidate serving state. `tables` declares, up front, every
-    /// physical table the mutation may touch — a table backing a
-    /// [`crate::TileDesign::TupleTileMapping`] layer is refused *before*
-    /// anything is applied (its precomputed mapping rows cannot be
-    /// patched in place; relaunch to re-tile). `apply` then runs under
-    /// the database write lock and returns its own result plus the
-    /// [`DirtyRegion`]s it actually touched (table coordinates); still
-    /// under the write lock, the server:
+    /// Apply a mutation to the database and publish the result as a new
+    /// snapshot, surgically invalidating serving state. `tables`
+    /// declares, up front, every physical table the mutation may touch —
+    /// a table backing a [`crate::TileDesign::TupleTileMapping`] layer is
+    /// refused *before* anything is applied (its precomputed mapping rows
+    /// cannot be patched in place; relaunch to re-tile).
     ///
-    /// * bumps the data-version stamp and logs the canvas-space dirty
-    ///   rectangles, so sessions ([`KyrixServer::changes_since`]) refetch
-    ///   exactly the invalidated regions (in-flight fetches that read
-    ///   pre-mutation data compare their captured version and refuse to
-    ///   cache),
+    /// `apply` runs against a *successor* database built off to the side
+    /// (a copy-on-write clone of the published head: it deep-copies only
+    /// the tables it actually mutates) and returns its own result plus
+    /// the [`DirtyRegion`]s it touched (table coordinates). Concurrent
+    /// fetches keep resolving against the published head the whole time —
+    /// they never block behind the repair. On success the server
+    /// publishes the successor atomically with the invalidation:
+    ///
+    /// * bumps the data-version stamp, tags the new snapshot with it, and
+    ///   logs the canvas-space dirty rectangles, so sessions
+    ///   ([`KyrixServer::changes_since`]) refetch exactly the invalidated
+    ///   regions (in-flight fetches that pinned the pre-mutation snapshot
+    ///   compare their snapshot tag and refuse to cache),
     /// * drops every backend cached tile whose extent intersects a dirty
     ///   region of the table backing its layer (per the layer's resolved
     ///   plan and tiling),
@@ -866,6 +941,15 @@ impl KyrixServer {
     ///
     /// Untouched cache entries — other canvases, other layers, disjoint
     /// regions — survive.
+    ///
+    /// A closure error discards the half-built successor: the published
+    /// head never saw any of it, so the mutation aborts atomically — no
+    /// version bump, no invalidation, readers unaffected. (Caller-side
+    /// state the closure mutated, e.g. a LoD pyramid's maintenance
+    /// bookkeeping, is the caller's to roll back or poison.)
+    ///
+    /// Mutators are serialized against each other; a second `mutate_raw`
+    /// blocks until the first publishes, then clones the fresh head.
     ///
     /// Typical caller: `kyrix_lod`'s incremental pyramid maintenance,
     /// whose `MaintenanceReport` names exactly the tables and dirty
@@ -876,37 +960,16 @@ impl KyrixServer {
         apply: impl FnOnce(&mut Database) -> Result<(T, Vec<DirtyRegion>)>,
     ) -> Result<T> {
         self.validate_mutable(tables)?;
-        let mut db = self.inner.db.write();
-        match apply(&mut db) {
+        let _writer = self.inner.writer.lock();
+        let mut next = self.inner.snapshot().database().clone();
+        match apply(&mut next) {
             Ok((out, dirty)) => {
-                self.invalidate_locked(&dirty)?;
-                drop(db);
+                self.publish_locked(next, &dirty)?;
                 Ok(out)
             }
-            Err(e) => {
-                // the closure may have partially mutated before failing;
-                // there is no way to know how far it got, so invalidate
-                // conservatively: drop every backend cache and force
-                // every session to refetch from scratch
-                self.invalidate_everything();
-                drop(db);
-                Err(e)
-            }
+            // drop the successor; the head was never touched
+            Err(e) => Err(e),
         }
-    }
-
-    /// Invalidate serving state for *externally applied* table changes
-    /// (the second half of [`KyrixServer::mutate_raw`]) and bump the data
-    /// version. Prefer `mutate_raw`: it validates the target tables
-    /// before anything changes, while here a [`DirtyRegion`] on a
-    /// mapping-backed table can only be flagged after the fact — the
-    /// server then drops *all* backend caches, truncates the mutation log
-    /// (sessions refetch everything) and returns an error, but tile
-    /// fetches on that layer keep consulting stale mapping rows until a
-    /// relaunch.
-    pub fn apply_delta(&self, dirty: &[DirtyRegion]) -> Result<u64> {
-        let _db = self.inner.db.write();
-        self.invalidate_locked(dirty)
     }
 
     /// Refuse tables whose serving state cannot be maintained in place:
@@ -959,35 +1022,24 @@ impl KyrixServer {
         Ok(())
     }
 
-    /// Conservative total invalidation: bump the version, drop every
-    /// backend cache, truncate the mutation log so `changes_since` makes
-    /// every session refetch from scratch. Used when the precise dirty
-    /// set is unknowable (failed mutation closures, externally mutated
-    /// mapping tables).
-    fn invalidate_everything(&self) {
-        let mut tiles = self.inner.tile_cache.lock();
-        let mut boxes = self.inner.box_caches.lock();
-        let mut log = self.inner.mutations.lock();
-        log.version += 1;
-        log.entries.clear();
-        tiles.clear();
-        boxes.clear();
-    }
-
-    /// The invalidation pass. Caller must hold the database write lock.
-    /// The version bump, the mutation-log append, and the cache drops all
-    /// happen under one acquisition of the cache + log locks, so every
-    /// other participant observes them atomically: a fetch that read
-    /// pre-mutation data re-checks the version *under the cache lock* at
-    /// insert time (it either inserts before the retain, which drops the
-    /// entry, or sees the bumped version and skips), and a session that
-    /// observes the new `data_version` is guaranteed to find the matching
-    /// log entry.
-    fn invalidate_locked(&self, dirty: &[DirtyRegion]) -> Result<u64> {
-        // backstop for externally applied changes that reach a
-        // mapping-backed table (mutate_raw refuses these up front):
-        // nothing surgical is possible, so drop everything and force
-        // every session to refetch
+    /// The publication pass: swap `next` in as the new head snapshot,
+    /// atomically with the invalidation. Caller must hold the writer
+    /// lock. The version bump, the mutation-log append, the cache drops
+    /// and the head swap all happen under one acquisition of the cache +
+    /// log locks, so every other participant observes them atomically: a
+    /// fetch that pinned the pre-mutation snapshot re-checks its snapshot
+    /// tag *under the cache lock* at insert time (it either inserts
+    /// before the retain, which drops the entry, or sees the bumped
+    /// version and skips), and a session that observes the new
+    /// `data_version` is guaranteed to find the matching log entry.
+    fn publish_locked(&self, next: Database, dirty: &[DirtyRegion]) -> Result<u64> {
+        // backstop for closures that report a dirty region on a
+        // mapping-backed table they never declared (`validate_mutable`
+        // checks the declared list up front): the mutation is already
+        // applied in `next`, and nothing surgical is possible — publish
+        // it, drop everything, truncate the log so every session
+        // refetches, and surface the error; tile fetches on that layer
+        // keep consulting stale mapping rows until a relaunch
         let stale_mapping = self.inner.stores.values().find_map(|s| match s {
             LayerStore::TileMapping { record_table, .. }
                 if dirty.iter().any(|d| d.table == *record_table) =>
@@ -997,7 +1049,14 @@ impl KyrixServer {
             _ => None,
         });
         if let Some(table) = stale_mapping {
-            self.invalidate_everything();
+            let mut tiles = self.inner.tile_cache.lock();
+            let mut boxes = self.inner.box_caches.lock();
+            let mut log = self.inner.mutations.lock();
+            log.version += 1;
+            log.entries.clear();
+            tiles.clear();
+            boxes.clear();
+            *self.inner.head.write() = Arc::new(DatabaseSnapshot::new(next, log.version));
             return Err(ServerError::Config(format!(
                 "table `{table}` backs a tuple–tile mapping layer; its mapping rows \
                  are now stale — relaunch to re-precompute"
@@ -1047,13 +1106,16 @@ impl KyrixServer {
         }
 
         // the atomic section: cache locks + log lock held together (lock
-        // order tile_cache → box_caches → mutations, matching the fetch
-        // paths' cache-then-version order)
+        // order tile_cache → box_caches → mutations → head, matching the
+        // fetch paths' cache-then-version order; fetch paths never hold
+        // the head lock while taking a cache lock, so acquiring the head
+        // last cannot deadlock)
         let mut tiles = self.inner.tile_cache.lock();
         let mut boxes = self.inner.box_caches.lock();
         let mut log = self.inner.mutations.lock();
         log.version += 1;
         let version = log.version;
+        *self.inner.head.write() = Arc::new(DatabaseSnapshot::new(next, version));
         let named: Vec<MutationEntry> = entries
             .iter()
             .map(|&(ci, li, rect)| (self.inner.app.canvases[ci as usize].id.clone(), li, rect))

@@ -30,6 +30,7 @@ use crate::fetch::fetch_plan_cold;
 use crate::metrics::FetchMetrics;
 use crate::policy::PlanPolicy;
 use crate::precompute::{precompute_layer, FetchPlan, LayerStore, PrecomputeReport};
+use crate::snapshot::DatabaseSnapshot;
 use kyrix_core::CompiledApp;
 use kyrix_storage::fxhash::FxHashMap;
 use kyrix_storage::{Database, Rect};
@@ -189,8 +190,10 @@ impl TuningReport {
 
 /// Replay calibration steps against one `(store, plan)` pair and
 /// accumulate the cold-serve metrics (the tuner's measurement inner loop).
+/// Reads go through a pinned [`DatabaseSnapshot`], the same read surface
+/// the launched server serves from.
 pub fn measure_plan(
-    db: &Database,
+    snap: &DatabaseSnapshot,
     store: &LayerStore,
     plan: &FetchPlan,
     canvas_bounds: &Rect,
@@ -198,7 +201,7 @@ pub fn measure_plan(
 ) -> Result<FetchMetrics> {
     let mut totals = FetchMetrics::default();
     for rect in steps {
-        let (_, metrics) = fetch_plan_cold(db, store, plan, canvas_bounds, rect)?;
+        let (_, metrics) = fetch_plan_cold(snap, store, plan, canvas_bounds, rect)?;
         totals.merge(&metrics);
     }
     Ok(totals)
@@ -252,7 +255,11 @@ pub(crate) fn tune(
             let mut best: Option<(usize, PrecomputeReport)> = None;
             for plan in candidates {
                 let (store, report) = precompute_layer(db, layer, plan, &app.name)?;
-                let metrics = measure_plan(db, &store, plan, &bounds, &steps)?;
+                // pin a snapshot per candidate: the COW clone is cheap and
+                // keeps the measurement isolated from the precomputation
+                // the next candidate runs against `db`
+                let snap = DatabaseSnapshot::pin(db);
+                let metrics = measure_plan(&snap, &store, plan, &bounds, &steps)?;
                 let modeled_ms = metrics.modeled_ms(cost);
                 // strict <: ties keep the earlier candidate (preference order)
                 let wins = match &best {

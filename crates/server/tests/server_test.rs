@@ -260,6 +260,47 @@ fn box_cache_serves_contained_viewports() {
 }
 
 #[test]
+fn racing_box_misses_on_one_viewport_shelve_one_entry() {
+    // two concurrent misses on the same viewport used to each push their
+    // (identical) box onto the fixed-size shelf; the duplicate entry
+    // would evict a distinct cached box
+    let server = launch(
+        grid_db(false),
+        PlacementSpec::point("x", "y"),
+        FetchPlan::DynamicBox {
+            policy: BoxPolicy::Exact,
+        },
+    );
+    let a = Rect::new(0.0, 0.0, 10.0, 10.0);
+    let b = Rect::new(20.0, 20.0, 30.0, 30.0);
+    server.fetch_box("main", 0, &a).unwrap();
+    server.fetch_box("main", 0, &b).unwrap();
+    // race two threads on one viewport (shelf capacity is 4)
+    let vp = Rect::new(40.0, 40.0, 50.0, 50.0);
+    let barrier = std::sync::Barrier::new(2);
+    std::thread::scope(|s| {
+        for _ in 0..2 {
+            s.spawn(|| {
+                barrier.wait();
+                server.fetch_box("main", 0, &vp).unwrap();
+            });
+        }
+    });
+    // one more distinct box evicts at most the oldest entry...
+    let c = Rect::new(60.0, 60.0, 70.0, 70.0);
+    server.fetch_box("main", 0, &c).unwrap();
+    // ...so with one shelf entry per racing viewport, `a`, `b` and `vp`
+    // all still fit; a duplicated `vp` entry would have pushed `a` off
+    for (name, rect) in [("a", &a), ("b", &b), ("vp", &vp)] {
+        let again = server.fetch_box("main", 0, rect).unwrap();
+        assert_eq!(
+            again.metrics.cache_hits, 1,
+            "box `{name}` evicted by a duplicate shelf entry"
+        );
+    }
+}
+
+#[test]
 fn density_adaptive_box_bounds_tuples() {
     let server = launch(
         grid_db(false),
@@ -1185,10 +1226,11 @@ fn mutate_raw_refuses_mapping_backed_tables_before_applying() {
 }
 
 #[test]
-fn failed_mutation_closure_invalidates_conservatively() {
-    // a closure that errors may have partially mutated the database; the
-    // server cannot know how far it got, so it must drop every cache and
-    // signal every session to refetch from scratch
+fn failed_mutation_closure_aborts_atomically() {
+    // the closure mutates a *successor* database built off to the side;
+    // when it errors the successor is discarded, so even a partial
+    // mutation never reaches the published snapshot — no version bump, no
+    // invalidation, caches intact
     let server = launch(
         grid_db(true),
         PlacementSpec::point("x", "y"),
@@ -1197,6 +1239,7 @@ fn failed_mutation_closure_invalidates_conservatively() {
             design: TileDesign::SpatialIndex,
         },
     );
+    let rows_before = server.database().table("dots").unwrap().len();
     let tile = TileId::new(3, 3);
     server.fetch_tile("main", 0, tile).unwrap(); // warm a far-away tile
     let result: Result<(), _> = server.mutate_raw(&["dots"], |db| {
@@ -1208,11 +1251,17 @@ fn failed_mutation_closure_invalidates_conservatively() {
         ))
     });
     assert!(result.is_err());
-    assert_eq!(server.data_version(), 1, "failed mutations still bump");
-    assert!(
-        server.changes_since(0).is_none(),
-        "sessions must be told to drop everything"
+    assert_eq!(server.data_version(), 0, "aborted mutations never bump");
+    assert_eq!(
+        server.database().table("dots").unwrap().len(),
+        rows_before,
+        "the partial delete must not be visible"
+    );
+    assert_eq!(
+        server.changes_since(0),
+        Some(vec![]),
+        "sessions have nothing to refetch"
     );
     let again = server.fetch_tile("main", 0, tile).unwrap();
-    assert_eq!(again.metrics.cache_misses, 1, "caches were cleared");
+    assert_eq!(again.metrics.cache_hits, 1, "caches survive the abort");
 }

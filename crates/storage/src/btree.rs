@@ -13,6 +13,7 @@
 /// Maximum number of keys per node before a split.
 const DEFAULT_ORDER: usize = 64;
 
+#[derive(Clone)]
 enum Node<K, V> {
     Internal {
         keys: Vec<K>,
@@ -26,6 +27,7 @@ enum Node<K, V> {
 }
 
 /// B+tree supporting duplicate keys.
+#[derive(Clone)]
 pub struct BPlusTree<K, V> {
     nodes: Vec<Node<K, V>>,
     root: usize,

@@ -36,12 +36,14 @@ pub enum IndexKind {
 }
 
 /// A named index on a table.
+#[derive(Clone)]
 pub struct Index {
     pub name: String,
     pub kind: IndexKind,
     pub(crate) imp: IndexImpl,
 }
 
+#[derive(Clone)]
 pub(crate) enum IndexImpl {
     BTree(BPlusTree<OrdValue, RecordId>),
     Hash(HashIndex<OrdValue, RecordId>),
@@ -49,6 +51,11 @@ pub(crate) enum IndexImpl {
 }
 
 /// A table: schema + heap + indexes.
+///
+/// `Clone` deep-copies the heap and every index; [`crate::Database`] shares
+/// tables behind `Arc` and only pays this copy when a shared table is
+/// mutated (copy-on-write at table granularity).
+#[derive(Clone)]
 pub struct Table {
     pub name: String,
     pub schema: Schema,

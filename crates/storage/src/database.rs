@@ -12,13 +12,32 @@ use crate::sql::{
 };
 use crate::stats::{DbCounters, ExecStats};
 use crate::value::{DataType, Value};
+use std::sync::Arc;
 
 /// An embedded relational database.
+///
+/// Tables are held behind `Arc` so that cloning a `Database` is cheap: the
+/// clone shares every table with the original (copy-on-write at table
+/// granularity). A table is deep-copied only the first time it is mutated
+/// through a handle that shares it with another clone — this is what lets a
+/// serving layer publish immutable snapshots while a mutator builds the next
+/// version off to the side, paying only for the tables it actually touches.
 #[derive(Default)]
 pub struct Database {
-    tables: FxHashMap<String, Table>,
-    /// Cumulative counters across all queries (thread-safe).
-    pub counters: DbCounters,
+    tables: FxHashMap<String, Arc<Table>>,
+    /// Cumulative counters across all queries (thread-safe; shared between
+    /// clones so the totals stay process-wide across snapshot versions).
+    pub counters: Arc<DbCounters>,
+}
+
+impl Clone for Database {
+    /// Cheap clone: bumps one `Arc` per table, shares the counters.
+    fn clone(&self) -> Self {
+        Database {
+            tables: self.tables.clone(),
+            counters: Arc::clone(&self.counters),
+        }
+    }
 }
 
 /// A parsed statement, reusable across executions with different parameters.
@@ -42,8 +61,11 @@ impl Database {
         if self.tables.contains_key(&name) {
             return Err(StorageError::TableExists(name));
         }
-        self.tables.insert(name.clone(), Table::new(&name, schema));
-        Ok(self.tables.get_mut(&name).expect("just inserted"))
+        self.tables
+            .insert(name.clone(), Arc::new(Table::new(&name, schema)));
+        Ok(Arc::make_mut(
+            self.tables.get_mut(&name).expect("just inserted"),
+        ))
     }
 
     pub fn drop_table(&mut self, name: &str) -> Result<()> {
@@ -60,12 +82,17 @@ impl Database {
     pub fn table(&self, name: &str) -> Result<&Table> {
         self.tables
             .get(name)
+            .map(|t| t.as_ref())
             .ok_or_else(|| StorageError::UnknownTable(name.to_string()))
     }
 
+    /// Mutable access to a table. If the table is shared with another
+    /// `Database` clone (a published snapshot), it is deep-copied first so
+    /// the other clone keeps seeing the old contents.
     pub fn table_mut(&mut self, name: &str) -> Result<&mut Table> {
         self.tables
             .get_mut(name)
+            .map(Arc::make_mut)
             .ok_or_else(|| StorageError::UnknownTable(name.to_string()))
     }
 
@@ -383,7 +410,7 @@ impl Database {
 
     /// Total resident bytes across table heaps.
     pub fn heap_bytes(&self) -> usize {
-        self.tables.values().map(Table::heap_bytes).sum()
+        self.tables.values().map(|t| t.heap_bytes()).sum()
     }
 }
 
@@ -732,6 +759,31 @@ mod tests {
                 &[],
             )
             .is_err());
+    }
+
+    #[test]
+    fn clone_is_copy_on_write_at_table_granularity() {
+        let base = paper_db();
+        let mut succ = base.clone();
+        // the clone shares every table physically
+        assert!(std::ptr::eq(
+            base.table("record").unwrap(),
+            succ.table("record").unwrap()
+        ));
+        // mutating the clone leaves the original untouched...
+        let n = succ.delete_where("record", "tuple_id < 100", &[]).unwrap();
+        assert_eq!(n, 100);
+        assert_eq!(succ.table("record").unwrap().len(), 300);
+        assert_eq!(base.table("record").unwrap().len(), 400);
+        // ...and only the mutated table was copied
+        assert!(!std::ptr::eq(
+            base.table("record").unwrap(),
+            succ.table("record").unwrap()
+        ));
+        assert!(std::ptr::eq(
+            base.table("mapping").unwrap(),
+            succ.table("mapping").unwrap()
+        ));
     }
 
     #[test]

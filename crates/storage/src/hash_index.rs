@@ -11,6 +11,7 @@ const MAX_LOAD_NUM: usize = 3; // resize when len > buckets * 3/4
 const MAX_LOAD_DEN: usize = 4;
 
 /// A hash index mapping keys to (possibly many) values.
+#[derive(Clone)]
 pub struct HashIndex<K, V> {
     buckets: Vec<Vec<(K, V)>>,
     len: usize,

@@ -29,7 +29,7 @@ impl RecordId {
 }
 
 /// An append-oriented heap of slotted pages.
-#[derive(Default)]
+#[derive(Clone, Default)]
 pub struct TableHeap {
     pages: Vec<Page>,
     live: usize,

@@ -18,6 +18,7 @@ const HEADER: usize = 4;
 const SLOT: usize = 4;
 
 /// A single slotted page backed by a `BytesMut` buffer.
+#[derive(Clone)]
 pub struct Page {
     data: BytesMut,
 }

@@ -11,6 +11,7 @@ const MAX_ENTRIES: usize = 16;
 /// Minimum entries after a split.
 const MIN_ENTRIES: usize = 6;
 
+#[derive(Clone)]
 enum Node<V> {
     Internal { children: Vec<(Rect, usize)> },
     Leaf { entries: Vec<(Rect, V)> },
@@ -30,6 +31,7 @@ impl<V> Node<V> {
 }
 
 /// An R-tree mapping rectangles to values.
+#[derive(Clone)]
 pub struct RTree<V> {
     nodes: Vec<Node<V>>,
     root: usize,

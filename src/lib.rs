@@ -85,8 +85,8 @@ pub mod prelude {
     pub use kyrix_parallel::{ParallelDatabase, Partitioner};
     pub use kyrix_render::{save_ppm, Color, Frame, Mark, MarkType};
     pub use kyrix_server::{
-        BoxPolicy, CostModel, FetchPlan, KyrixServer, PlanPolicy, PrefetchPolicy, ServerConfig,
-        TileDesign, TileId, Tiling,
+        BoxPolicy, CostModel, DatabaseSnapshot, FetchPlan, KyrixServer, PlanPolicy, PrefetchPolicy,
+        ServerConfig, TileDesign, TileId, Tiling,
     };
     pub use kyrix_storage::{
         DataType, Database, IndexKind, Rect, Row, Schema, SpatialCols, TxnDatabase, Value,
