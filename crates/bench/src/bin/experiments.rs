@@ -10,11 +10,13 @@
 //! Subcommands: `fig6`, `fig7`, `separability`, `prefetch`,
 //! `prefetch-policy`, `parallel`, `latency`, `boxsweep`, `cache`, `lod`,
 //! `load`, `all`. `--small` shrinks the dataset for quick runs.
+//! `--telemetry <path>` writes the load run's full telemetry registry
+//! (spans, counters, gauges) as JSON to `<path>`.
 
 use kyrix_bench::{
     build_database, figure_table, launch_scheme, load_table, paper_traces, run_cell, run_figure,
-    run_load_comparison, run_lod_experiment, run_lod_maintenance, run_lod_plan_comparison, Dataset,
-    ExperimentConfig, LoadConfig,
+    run_load_comparison, run_lod_experiment, run_lod_maintenance, run_lod_plan_comparison,
+    span_table, Dataset, ExperimentConfig, LoadConfig, LoadMode,
 };
 use kyrix_client::{run_trace, Session};
 use kyrix_core::compile;
@@ -43,10 +45,14 @@ fn config(small: bool) -> ExperimentConfig {
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let small = args.iter().any(|a| a == "--small");
+    let telemetry_idx = args.iter().position(|a| a == "--telemetry");
+    let telemetry: Option<String> = telemetry_idx.and_then(|i| args.get(i + 1)).cloned();
     let what = args
         .iter()
-        .find(|a| !a.starts_with("--"))
-        .cloned()
+        .enumerate()
+        // skip flags and the --telemetry value when finding the subcommand
+        .find(|(i, a)| !a.starts_with("--") && Some(*i) != telemetry_idx.map(|t| t + 1))
+        .map(|(_, a)| a.clone())
         .unwrap_or_else(|| "all".to_string());
     let cfg = config(small);
 
@@ -81,7 +87,7 @@ fn main() {
         "boxsweep" => boxsweep(&cfg),
         "cache" => cache(&cfg),
         "lod" => lod(small),
-        "load" => load(small),
+        "load" => load(small, telemetry.as_deref()),
         "all" => {
             fig6(&cfg);
             fig7(&cfg);
@@ -93,7 +99,7 @@ fn main() {
             boxsweep(&cfg);
             cache(&cfg);
             lod(small);
-            load(small);
+            load(small, telemetry.as_deref());
         }
         other => {
             eprintln!("unknown experiment `{other}`");
@@ -546,8 +552,11 @@ fn cache(cfg: &ExperimentConfig) {
 /// batches into it. The `global-lock` row emulates the pre-snapshot
 /// discipline (one server-wide RwLock, fetches block behind repairs);
 /// the `snapshot` row is the server's native versioned-snapshot store.
-/// The headline number is the interaction tail latency (p99).
-fn load(small: bool) {
+/// The headline number is the interaction tail latency (p99). The
+/// per-span breakdown under the table comes straight from the snapshot
+/// run's telemetry registry; `--telemetry <path>` dumps that registry
+/// as JSON.
+fn load(small: bool, telemetry: Option<&str>) {
     let lcfg = if small {
         LoadConfig::small()
     } else {
@@ -564,6 +573,14 @@ fn load(small: bool) {
         "{}",
         load_table("Interaction latency under a live mutator", &rows)
     );
+    if let Some(r) = rows.iter().find(|r| r.mode == LoadMode::Snapshot) {
+        println!();
+        print!("{}", span_table(r));
+        if let Some(path) = telemetry {
+            std::fs::write(path, &r.telemetry_json).expect("write telemetry dump");
+            println!("\n(telemetry registry dumped to {path})");
+        }
+    }
     println!("\n(ran in {:.1}s)\n", started.elapsed().as_secs_f64());
 }
 

@@ -659,8 +659,10 @@ pub struct LoadResult {
     pub steps: usize,
     /// `mutate_raw` calls the mutator completed.
     pub mutations: u64,
-    /// Interaction latency percentiles/mean, ms. Latency includes any
-    /// time spent waiting on the mode's synchronization, which is the
+    /// Interaction latency percentiles/mean, ms, read back from the
+    /// shared `interaction.latency` histogram every reader records into
+    /// in the server's telemetry registry. Latency includes any time
+    /// spent waiting on the mode's synchronization, which is the
     /// quantity under test.
     pub p50_ms: f64,
     pub p99_ms: f64,
@@ -669,14 +671,47 @@ pub struct LoadResult {
     /// Interactions per second across all sessions.
     pub steps_per_sec: f64,
     pub elapsed_ms: f64,
+    /// Per-span latency breakdown: every `span.*` histogram the run
+    /// recorded (serving and mutation path), name-sorted.
+    pub spans: Vec<SpanStat>,
+    /// The whole-registry dump ([`KyrixServer::telemetry_json`]) taken
+    /// at the end of the run.
+    pub telemetry_json: String,
 }
 
-fn percentile(sorted_ms: &[f64], p: f64) -> f64 {
-    if sorted_ms.is_empty() {
-        return 0.0;
+/// One `span.*` histogram's summary in a [`LoadResult`].
+#[derive(Debug, Clone)]
+pub struct SpanStat {
+    /// Instrument name, e.g. `span.sql.execute`.
+    pub name: String,
+    /// Observations recorded.
+    pub count: u64,
+    /// Median latency, ms.
+    pub p50_ms: f64,
+    /// 95th-percentile latency, ms.
+    pub p95_ms: f64,
+    /// 99th-percentile latency, ms.
+    pub p99_ms: f64,
+    /// Exact mean latency, ms.
+    pub mean_ms: f64,
+}
+
+/// Render one load run's per-span latency breakdown as a Markdown table.
+pub fn span_table(r: &LoadResult) -> String {
+    let mut out = String::new();
+    out.push_str(&format!(
+        "### Per-span latency — {} mode\n\n\
+         | span | count | p50 (ms) | p95 (ms) | p99 (ms) | mean (ms) |\n\
+         |---|---|---|---|---|---|\n",
+        r.mode.label()
+    ));
+    for s in &r.spans {
+        out.push_str(&format!(
+            "| {} | {} | {:.3} | {:.3} | {:.3} | {:.3} |\n",
+            s.name, s.count, s.p50_ms, s.p95_ms, s.p99_ms, s.mean_ms
+        ));
     }
-    let idx = ((sorted_ms.len() - 1) as f64 * p).round() as usize;
-    sorted_ms[idx]
+    out
 }
 
 /// Run the multi-session load experiment in one mode: build the galaxy
@@ -710,6 +745,12 @@ pub fn run_load(cfg: &LoadConfig, mode: LoadMode) -> LoadResult {
     )
     .expect("server launches");
     let server = Arc::new(server);
+    // one registry carries the whole story: readers record interaction
+    // latency next to the server's own span histograms, and the mutator's
+    // pyramid repairs report into the same place
+    let obs = server.obs();
+    pyramid.set_observability(Arc::clone(&obs));
+    let interactions = obs.histogram("interaction.latency");
 
     // the GlobalLock baseline's whole-server lock; Snapshot mode never
     // touches it
@@ -720,7 +761,6 @@ pub fn run_load(cfg: &LoadConfig, mode: LoadMode) -> LoadResult {
 
     let g = &cfg.galaxy;
     let t0 = Instant::now();
-    let mut latencies: Vec<f64> = Vec::new();
     std::thread::scope(|scope| {
         let mutator = scope.spawn(|| {
             let mut round = 0u64;
@@ -775,6 +815,7 @@ pub fn run_load(cfg: &LoadConfig, mode: LoadMode) -> LoadResult {
         let readers: Vec<_> = (0..cfg.sessions)
             .map(|s| {
                 let server = Arc::clone(&server);
+                let interactions = Arc::clone(&interactions);
                 let gate = &gate;
                 scope.spawn(move || {
                     let walk = zoom_walk(
@@ -784,7 +825,6 @@ pub fn run_load(cfg: &LoadConfig, mode: LoadMode) -> LoadResult {
                         cfg.viewport,
                         g.seed + s as u64,
                     );
-                    let mut lat = Vec::with_capacity(walk.len() * cfg.laps);
                     let mut session: Option<Session> = None;
                     for _ in 0..cfg.laps {
                         for (_, canvas, rect) in &walk {
@@ -806,35 +846,49 @@ pub fn run_load(cfg: &LoadConfig, mode: LoadMode) -> LoadResult {
                                     session = Some(s);
                                 }
                             }
-                            lat.push(t.elapsed().as_secs_f64() * 1000.0);
+                            interactions.record_duration(t.elapsed());
                         }
                     }
-                    lat
                 })
             })
             .collect();
         for r in readers {
-            latencies.extend(r.join().expect("reader thread"));
+            r.join().expect("reader thread");
         }
         readers_done.store(true, Ordering::Release);
         mutator.join().expect("mutator thread");
     });
     let elapsed_ms = t0.elapsed().as_secs_f64() * 1000.0;
 
-    latencies.sort_by(|a, b| a.partial_cmp(b).expect("latencies are finite"));
-    let steps = latencies.len();
-    let mean_ms = latencies.iter().sum::<f64>() / steps.max(1) as f64;
+    // every reader has joined, so the shared histogram is complete
+    let snap = interactions.snapshot();
+    let steps = snap.count() as usize;
+    let spans = obs
+        .histograms()
+        .into_iter()
+        .filter(|(name, _)| name.starts_with("span."))
+        .map(|(name, s)| SpanStat {
+            name,
+            count: s.count(),
+            p50_ms: s.p50_ms(),
+            p95_ms: s.p95_ms(),
+            p99_ms: s.p99_ms(),
+            mean_ms: s.mean_ms(),
+        })
+        .collect();
     LoadResult {
         mode,
         sessions: cfg.sessions,
         steps,
         mutations: mutations.load(Ordering::Relaxed),
-        p50_ms: percentile(&latencies, 0.50),
-        p99_ms: percentile(&latencies, 0.99),
-        max_ms: latencies.last().copied().unwrap_or(0.0),
-        mean_ms,
+        p50_ms: snap.p50_ms(),
+        p99_ms: snap.p99_ms(),
+        max_ms: snap.max_ms(),
+        mean_ms: snap.mean_ms(),
         steps_per_sec: steps as f64 / (elapsed_ms / 1000.0).max(1e-9),
         elapsed_ms,
+        spans,
+        telemetry_json: server.telemetry_json(),
     }
 }
 
@@ -883,10 +937,12 @@ pub fn galaxy_lod_config(g: &GalaxyConfig, levels: usize, spacing: f64) -> LodCo
 }
 
 /// The LoD experiment: build a cluster pyramid over the `zipf_galaxy`
-/// dataset (timing the build), then walk a zoom-in/zoom-out trace and
-/// measure cold per-level fetch latency through the server. Returns the
-/// built pyramid (whose `build_time` is the construction cost) and one
-/// result per level.
+/// dataset (timing the build), then walk a zoom-in/zoom-out trace of
+/// cold fetches through the server. Per-level fetch latency is read
+/// back from the server's own `fetch.region.layer{canvas/layer}`
+/// telemetry histograms rather than harness-side stopwatches. Returns
+/// the built pyramid (whose `build_time` is the construction cost) and
+/// one result per level.
 pub fn run_lod_experiment(
     g: &GalaxyConfig,
     levels: usize,
@@ -909,24 +965,30 @@ pub fn run_lod_experiment(
     )
     .expect("server launches");
 
-    let mut acc = vec![(0.0f64, 0.0f64, 0usize); levels + 1];
+    let obs = server.obs();
+    let mut rows_fetched = vec![0.0f64; levels + 1];
+    let mut canvases = vec![String::new(); levels + 1];
     for (k, canvas, rect) in zoom_walk(&lod, levels, steps_per_level, viewport, g.seed) {
         server.clear_caches();
-        let t0 = Instant::now();
         let resp = server.fetch_region(&canvas, 0, &rect).expect("fetch");
-        acc[k].0 += t0.elapsed().as_secs_f64() * 1000.0;
-        acc[k].1 += resp.rows.len() as f64;
-        acc[k].2 += 1;
+        rows_fetched[k] += resp.rows.len() as f64;
+        canvases[k] = canvas;
     }
-    let results = acc
+    let results = rows_fetched
         .into_iter()
         .enumerate()
-        .map(|(level, (ms, rows, n))| LodLevelResult {
-            level,
-            rows: pyramid.levels[level].rows,
-            avg_fetch_ms: ms / n.max(1) as f64,
-            avg_rows_fetched: rows / n.max(1) as f64,
-            fetches: n,
+        .map(|(level, rows)| {
+            // the serving path timed itself; read its histogram back
+            let snap = obs
+                .histogram(&format!("fetch.region.layer{{{}/0}}", canvases[level]))
+                .snapshot();
+            LodLevelResult {
+                level,
+                rows: pyramid.levels[level].rows,
+                avg_fetch_ms: snap.mean_ms(),
+                avg_rows_fetched: rows / (snap.count().max(1)) as f64,
+                fetches: snap.count() as usize,
+            }
         })
         .collect();
     (pyramid, results)
@@ -946,6 +1008,56 @@ mod tests {
         // coarser levels hold fewer marks
         assert!(results[1].rows < results[0].rows);
         assert!(results[2].rows <= results[1].rows);
+    }
+
+    #[test]
+    fn load_run_sources_latency_and_spans_from_the_registry() {
+        let mut cfg = LoadConfig::small();
+        cfg.sessions = 2;
+        cfg.laps = 1;
+        let r = run_load(&cfg, LoadMode::Snapshot);
+        assert!(
+            r.steps >= r.sessions,
+            "each session interacted at least once"
+        );
+        // quantiles are monotone; max is exact (p99 may interpolate past
+        // it inside the top occupied bucket's bounds)
+        assert!(r.p50_ms <= r.p99_ms);
+        assert!(r.max_ms > 0.0 && r.mean_ms > 0.0);
+
+        let count = |name: &str| {
+            r.spans
+                .iter()
+                .find(|s| s.name == name)
+                .map(|s| s.count)
+                .unwrap_or(0)
+        };
+        // the serving path must have emitted every life-of-request span
+        for span in [
+            "span.session.interaction",
+            "span.plan.resolve",
+            "span.fetch.region",
+            "span.snapshot.pin",
+            "span.cache.lookup",
+            "span.sql.execute",
+            "span.merge",
+        ] {
+            assert!(count(span) > 0, "no observations recorded in {span}");
+            assert!(
+                r.telemetry_json.contains(span),
+                "telemetry dump missing {span}"
+            );
+        }
+        // every completed mutation emitted the life-of-mutation spans
+        // (the pyramid reports repairs into the same registry)
+        assert_eq!(count("span.mutate.raw"), r.mutations);
+        assert_eq!(count("span.pyramid.repair"), r.mutations);
+        if r.mutations > 0 {
+            assert!(count("span.cow.clone") > 0);
+            assert!(count("span.publish") > 0);
+        }
+        // interaction latency itself lives in the shared registry too
+        assert!(r.telemetry_json.contains("interaction.latency"));
     }
 
     #[test]

@@ -16,6 +16,7 @@
 //! paid again; in exchange the client needs no plan knowledge at all,
 //! which is what lets one session drive mixed-plan (e.g. LoD) apps.
 
+use kyrix_server::CacheStats;
 use kyrix_storage::{Rect, Row};
 use std::collections::VecDeque;
 use std::sync::Arc;
@@ -30,8 +31,7 @@ pub struct FrontendCache {
     shelves: Vec<VecDeque<(Rect, Arc<Vec<Row>>)>>,
     /// Per-layer tuple budget; the newest region is always kept.
     capacity_rows: usize,
-    hits: u64,
-    misses: u64,
+    stats: CacheStats,
 }
 
 impl FrontendCache {
@@ -41,8 +41,7 @@ impl FrontendCache {
         FrontendCache {
             shelves: vec![VecDeque::new(); layers],
             capacity_rows,
-            hits: 0,
-            misses: 0,
+            stats: CacheStats::default(),
         }
     }
 
@@ -52,14 +51,14 @@ impl FrontendCache {
         let shelf = self.shelves.get_mut(layer)?;
         match shelf.iter().position(|(r, _)| r.contains(viewport)) {
             Some(i) => {
-                self.hits += 1;
+                self.stats.hits += 1;
                 let entry = shelf.remove(i).expect("position came from this shelf");
                 let rows = entry.1.clone();
                 shelf.push_front(entry);
                 Some(rows)
             }
             None => {
-                self.misses += 1;
+                self.stats.misses += 1;
                 None
             }
         }
@@ -81,11 +80,18 @@ impl FrontendCache {
         let capacity = self.capacity_rows;
         if let Some(shelf) = self.shelves.get_mut(layer) {
             shelf.push_front((rect, rows));
-            shelf.truncate(SHELF_ENTRIES);
+            while shelf.len() > SHELF_ENTRIES {
+                if let Some((_, dropped)) = shelf.pop_back() {
+                    self.stats.capacity_evictions += 1;
+                    self.stats.evicted_weight += dropped.len() as u64;
+                }
+            }
             let mut total: usize = shelf.iter().map(|(_, r)| r.len()).sum();
             while shelf.len() > 1 && total > capacity {
                 if let Some((_, dropped)) = shelf.pop_back() {
                     total -= dropped.len();
+                    self.stats.capacity_evictions += 1;
+                    self.stats.evicted_weight += dropped.len() as u64;
                 }
             }
         }
@@ -97,17 +103,35 @@ impl FrontendCache {
     /// do not overlap keep serving locally).
     pub fn invalidate(&mut self, layer: usize, rect: &Rect) {
         if let Some(shelf) = self.shelves.get_mut(layer) {
-            shelf.retain(|(r, _)| !r.intersects(rect));
+            let stats = &mut self.stats;
+            shelf.retain(|(r, rows)| {
+                let keep = !r.intersects(rect);
+                if !keep {
+                    stats.invalidation_removals += 1;
+                    stats.evicted_weight += rows.len() as u64;
+                }
+                keep
+            });
         }
     }
 
-    /// (hits, misses) of region lookups.
-    pub fn stats(&self) -> (u64, u64) {
-        (self.hits, self.misses)
+    /// Lookup and eviction statistics. Hits/misses count region lookups;
+    /// capacity evictions are shelf-length/tuple-budget drops, invalidation
+    /// removals come from [`FrontendCache::invalidate`] and
+    /// [`FrontendCache::clear`]; weight is in tuples.
+    pub fn stats(&self) -> CacheStats {
+        self.stats
     }
 
-    /// Drop everything (e.g. after a jump to another canvas).
+    /// Drop everything (e.g. after a jump to another canvas). Dropped
+    /// regions count as invalidation removals.
     pub fn clear(&mut self, layers: usize) {
+        for shelf in &mut self.shelves {
+            for (_, rows) in shelf.iter() {
+                self.stats.invalidation_removals += 1;
+                self.stats.evicted_weight += rows.len() as u64;
+            }
+        }
         self.shelves = vec![VecDeque::new(); layers];
     }
 }
@@ -128,10 +152,10 @@ mod tests {
         assert!(c.lookup(1, &Rect::new(10.0, 10.0, 20.0, 20.0)).is_some());
         assert!(c.lookup(1, &Rect::new(90.0, 90.0, 110.0, 110.0)).is_none());
         assert!(c.lookup(0, &Rect::new(10.0, 10.0, 20.0, 20.0)).is_none());
-        assert_eq!(c.stats(), (1, 2));
+        assert_eq!((c.stats().hits, c.stats().misses), (1, 2));
         // peek does not perturb stats
         assert!(c.peek(1, &Rect::new(10.0, 10.0, 20.0, 20.0)).is_some());
-        assert_eq!(c.stats(), (1, 2));
+        assert_eq!((c.stats().hits, c.stats().misses), (1, 2));
     }
 
     #[test]
@@ -153,6 +177,9 @@ mod tests {
         let b = Rect::new(10.0, 0.0, 20.0, 10.0);
         c.put_region(0, a, rows(6));
         c.put_region(0, b, rows(6)); // 12 > 8: the older region goes
+        assert_eq!(c.stats().capacity_evictions, 1);
+        assert_eq!(c.stats().evicted_weight, 6);
+        assert_eq!(c.stats().invalidation_removals, 0);
         assert!(c.lookup(0, &Rect::new(2.0, 2.0, 8.0, 8.0)).is_none());
         assert!(c.lookup(0, &Rect::new(12.0, 2.0, 18.0, 8.0)).is_some());
         // a region larger than the whole budget is still kept (newest)
@@ -173,6 +200,10 @@ mod tests {
         assert!(c.peek(0, &Rect::new(2.0, 2.0, 8.0, 8.0)).is_none());
         assert!(c.peek(0, &Rect::new(22.0, 2.0, 28.0, 8.0)).is_some());
         assert!(c.peek(1, &Rect::new(2.0, 2.0, 8.0, 8.0)).is_some());
+        // exactly one region was removed, attributed to invalidation
+        assert_eq!(c.stats().invalidation_removals, 1);
+        assert_eq!(c.stats().capacity_evictions, 0);
+        assert_eq!(c.stats().evicted_weight, 2);
     }
 
     #[test]
@@ -181,5 +212,7 @@ mod tests {
         c.put_region(0, Rect::new(0.0, 0.0, 1.0, 1.0), rows(1));
         c.clear(1);
         assert!(c.peek(0, &Rect::new(0.2, 0.2, 0.8, 0.8)).is_none());
+        assert_eq!(c.stats().invalidation_removals, 1);
+        assert_eq!(c.stats().evicted_weight, 1);
     }
 }

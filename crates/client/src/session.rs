@@ -290,6 +290,8 @@ impl Session {
     /// level — without ever matching on a plan itself.
     pub fn ensure_viewport_data(&mut self) -> Result<StepReport> {
         let start = Instant::now();
+        let obs = self.server.obs();
+        let _interaction = obs.span("session.interaction");
         self.sync_data_version();
         let vp = self.effective_viewport();
         let mut fetch = FetchMetrics::default();
@@ -537,8 +539,9 @@ impl Session {
         let _ = self.cache_rows;
     }
 
-    /// (hits, misses) of the frontend region cache.
-    pub fn frontend_cache_stats(&self) -> (u64, u64) {
+    /// Lookup and eviction statistics of the frontend region cache
+    /// (hits/misses plus capacity-vs-invalidation removal counts).
+    pub fn frontend_cache_stats(&self) -> kyrix_server::CacheStats {
         self.cache.stats()
     }
 }

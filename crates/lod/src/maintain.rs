@@ -236,6 +236,8 @@ impl LodPyramid {
             (layout, schema_len)
         };
         // application phase: errors past this point poison the state
+        let obs = self.observability.clone();
+        let _repair = obs.as_deref().map(|o| o.span("pyramid.repair"));
         let LodPyramid {
             maintenance,
             levels,
@@ -291,6 +293,8 @@ impl LodPyramid {
             (layout, by_cell)
         };
         // application phase: errors past this point poison the state
+        let obs = self.observability.clone();
+        let _repair = obs.as_deref().map(|o| o.span("pyramid.repair"));
         let LodPyramid {
             maintenance,
             levels,
@@ -1193,5 +1197,18 @@ mod tests {
             p.insert_points(&mut out, &[RawPoint::new(99, 1.0, 1.0, &[0.0])]),
             Err(LodError::Maintenance(_))
         ));
+    }
+
+    #[test]
+    fn maintenance_records_pyramid_repair_spans() {
+        let mut db = seeded_db(64);
+        let mut p = build_pyramid(&mut db, &cfg()).unwrap();
+        let reg = std::sync::Arc::new(kyrix_obs::Registry::new());
+        p.set_observability(std::sync::Arc::clone(&reg));
+        p.insert_points(&mut db, &[RawPoint::new(700, 9.0, 9.0, &[1.0])])
+            .unwrap();
+        p.delete_points(&mut db, &[700]).unwrap();
+        let h = reg.histogram("span.pyramid.repair").snapshot();
+        assert_eq!(h.count(), 2, "one span per maintenance batch");
     }
 }

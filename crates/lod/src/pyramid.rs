@@ -43,6 +43,9 @@ pub struct LodPyramid {
     /// `None` after [`build_pyramid_sharded`], whose raw data stays on the
     /// shards — see [`LodPyramid::insert_points`].
     pub(crate) maintenance: Option<MaintainState>,
+    /// Telemetry registry maintenance batches record `pyramid.repair`
+    /// spans into (attached with [`LodPyramid::set_observability`]).
+    pub(crate) observability: Option<std::sync::Arc<kyrix_obs::Registry>>,
 }
 
 /// Equality over what was *built* (config + levels), not how long the
@@ -58,6 +61,16 @@ impl LodPyramid {
     /// Number of canvases (raw level included).
     pub fn depth(&self) -> usize {
         self.levels.len()
+    }
+
+    /// Attach a telemetry registry: every later maintenance batch
+    /// ([`LodPyramid::insert_points`] / [`LodPyramid::delete_points`])
+    /// records its in-place level repair as a `pyramid.repair` span
+    /// there — typically the serving server's own registry, so pyramid
+    /// repairs land in the same trace as the mutation that triggered
+    /// them.
+    pub fn set_observability(&mut self, reg: std::sync::Arc<kyrix_obs::Registry>) {
+        self.observability = Some(reg);
     }
 
     /// Metadata of one level (0 = raw).
@@ -250,6 +263,7 @@ fn finish_build(
             levels: states,
             id_cells: ids,
         }),
+        observability: None,
     })
 }
 

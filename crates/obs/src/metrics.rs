@@ -1,0 +1,298 @@
+//! Lock-free metric primitives: counters, gauges, log2 histograms.
+
+use std::sync::atomic::{AtomicI64, AtomicU64, Ordering};
+
+/// A monotonically increasing event count.
+#[derive(Debug, Default)]
+pub struct Counter {
+    value: AtomicU64,
+}
+
+impl Counter {
+    /// A counter at zero.
+    pub fn new() -> Self {
+        Counter::default()
+    }
+
+    /// Add `n` events.
+    pub fn add(&self, n: u64) {
+        self.value.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// The current count.
+    pub fn get(&self) -> u64 {
+        self.value.load(Ordering::Relaxed)
+    }
+}
+
+/// A point-in-time signed value (head version, pinned snapshots, ...).
+#[derive(Debug, Default)]
+pub struct Gauge {
+    value: AtomicI64,
+}
+
+impl Gauge {
+    /// A gauge at zero.
+    pub fn new() -> Self {
+        Gauge::default()
+    }
+
+    /// Overwrite the value.
+    pub fn set(&self, v: i64) {
+        self.value.store(v, Ordering::Relaxed);
+    }
+
+    /// Shift the value by `delta` (negative to decrement).
+    pub fn add(&self, delta: i64) {
+        self.value.fetch_add(delta, Ordering::Relaxed);
+    }
+
+    /// The current value.
+    pub fn get(&self) -> i64 {
+        self.value.load(Ordering::Relaxed)
+    }
+}
+
+/// Number of histogram buckets: bucket 0 holds exactly `{0}` and bucket
+/// `i >= 1` holds `[2^(i-1), 2^i)` microseconds, so 64 buckets cover the
+/// whole `u64` microsecond range.
+pub const BUCKETS: usize = 64;
+
+/// The bucket a microsecond value falls into: the value's bit length.
+#[inline]
+fn bucket_of(us: u64) -> usize {
+    (64 - us.leading_zeros() as usize).min(BUCKETS - 1)
+}
+
+/// Inclusive `[lo, hi]` microsecond bounds of one bucket.
+pub fn bucket_bounds(bucket: usize) -> (u64, u64) {
+    match bucket {
+        0 => (0, 0),
+        b if b >= BUCKETS - 1 => (1u64 << (BUCKETS - 2), u64::MAX),
+        b => (1u64 << (b - 1), (1u64 << b) - 1),
+    }
+}
+
+/// A fixed-bucket log2 latency histogram over microseconds.
+///
+/// Recording is three relaxed atomic operations (bucket count, sum, max),
+/// so it is safe on the hottest serving paths; reading takes a
+/// [`HistogramSnapshot`], on which all quantile math happens.
+#[derive(Debug)]
+pub struct Histogram {
+    counts: [AtomicU64; BUCKETS],
+    sum_us: AtomicU64,
+    max_us: AtomicU64,
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Histogram {
+            counts: std::array::from_fn(|_| AtomicU64::new(0)),
+            sum_us: AtomicU64::new(0),
+            max_us: AtomicU64::new(0),
+        }
+    }
+}
+
+impl Histogram {
+    /// An empty histogram.
+    pub fn new() -> Self {
+        Histogram::default()
+    }
+
+    /// Record one observation of `us` microseconds.
+    pub fn record(&self, us: u64) {
+        self.counts[bucket_of(us)].fetch_add(1, Ordering::Relaxed);
+        self.sum_us.fetch_add(us, Ordering::Relaxed);
+        self.max_us.fetch_max(us, Ordering::Relaxed);
+    }
+
+    /// Record one observation of a [`std::time::Duration`].
+    pub fn record_duration(&self, d: std::time::Duration) {
+        self.record(d.as_micros().min(u64::MAX as u128) as u64);
+    }
+
+    /// Fold a snapshot's observations into this histogram (element-wise
+    /// bucket addition) — how per-worker histograms roll up.
+    pub fn merge(&self, snap: &HistogramSnapshot) {
+        for (b, &n) in snap.counts.iter().enumerate() {
+            if n > 0 {
+                self.counts[b].fetch_add(n, Ordering::Relaxed);
+            }
+        }
+        self.sum_us.fetch_add(snap.sum_us, Ordering::Relaxed);
+        self.max_us.fetch_max(snap.max_us, Ordering::Relaxed);
+    }
+
+    /// A consistent-enough point-in-time copy (per-bucket relaxed loads;
+    /// a racing `record` may straddle the reads, which only skews the
+    /// snapshot by in-flight observations, never corrupts it).
+    pub fn snapshot(&self) -> HistogramSnapshot {
+        HistogramSnapshot {
+            counts: std::array::from_fn(|b| self.counts[b].load(Ordering::Relaxed)),
+            sum_us: self.sum_us.load(Ordering::Relaxed),
+            max_us: self.max_us.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// An owned copy of a [`Histogram`]'s state; all derived statistics
+/// (count, mean, quantiles) and merge math live here.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HistogramSnapshot {
+    /// Observation count per log2 bucket (see [`BUCKETS`]).
+    pub counts: [u64; BUCKETS],
+    /// Sum of all recorded microsecond values.
+    pub sum_us: u64,
+    /// Largest recorded microsecond value.
+    pub max_us: u64,
+}
+
+impl Default for HistogramSnapshot {
+    fn default() -> Self {
+        HistogramSnapshot {
+            counts: [0; BUCKETS],
+            sum_us: 0,
+            max_us: 0,
+        }
+    }
+}
+
+impl HistogramSnapshot {
+    /// Total observations.
+    pub fn count(&self) -> u64 {
+        self.counts.iter().sum()
+    }
+
+    /// Exact mean in microseconds (0 when empty).
+    pub fn mean_us(&self) -> f64 {
+        let n = self.count();
+        if n == 0 {
+            0.0
+        } else {
+            self.sum_us as f64 / n as f64
+        }
+    }
+
+    /// Exact mean in milliseconds.
+    pub fn mean_ms(&self) -> f64 {
+        self.mean_us() / 1000.0
+    }
+
+    /// The `q`-quantile (`0.0..=1.0`) in microseconds: find the bucket
+    /// holding rank `ceil(q * count)` and interpolate linearly inside its
+    /// `[lo, hi]` bounds by the rank's position among the bucket's
+    /// observations. Deterministic in the bucket counts, and always
+    /// within the owning bucket's bounds (pinned by
+    /// `tests/prop_histogram.rs`). 0 when empty.
+    pub fn quantile_us(&self, q: f64) -> f64 {
+        let n = self.count();
+        if n == 0 {
+            return 0.0;
+        }
+        let target = ((q.clamp(0.0, 1.0) * n as f64).ceil() as u64).clamp(1, n);
+        let mut seen = 0u64;
+        for (b, &c) in self.counts.iter().enumerate() {
+            if c == 0 {
+                continue;
+            }
+            if seen + c >= target {
+                let (lo, hi) = bucket_bounds(b);
+                let frac = (target - seen) as f64 / c as f64;
+                return lo as f64 + (hi.saturating_sub(lo)) as f64 * frac;
+            }
+            seen += c;
+        }
+        self.max_us as f64 // unreachable: target <= n
+    }
+
+    /// The `q`-quantile in milliseconds.
+    pub fn quantile_ms(&self, q: f64) -> f64 {
+        self.quantile_us(q) / 1000.0
+    }
+
+    /// Median (`quantile_ms(0.5)`).
+    pub fn p50_ms(&self) -> f64 {
+        self.quantile_ms(0.50)
+    }
+
+    /// 95th percentile in milliseconds.
+    pub fn p95_ms(&self) -> f64 {
+        self.quantile_ms(0.95)
+    }
+
+    /// 99th percentile in milliseconds.
+    pub fn p99_ms(&self) -> f64 {
+        self.quantile_ms(0.99)
+    }
+
+    /// Largest recorded value in milliseconds (exact, not bucketed).
+    pub fn max_ms(&self) -> f64 {
+        self.max_us as f64 / 1000.0
+    }
+
+    /// Element-wise sum of two snapshots.
+    pub fn merged(&self, other: &HistogramSnapshot) -> HistogramSnapshot {
+        HistogramSnapshot {
+            counts: std::array::from_fn(|b| self.counts[b] + other.counts[b]),
+            sum_us: self.sum_us + other.sum_us,
+            max_us: self.max_us.max(other.max_us),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bucket_assignment_matches_bounds() {
+        for us in [0u64, 1, 2, 3, 4, 7, 8, 1000, 1023, 1024, u64::MAX] {
+            let b = bucket_of(us);
+            let (lo, hi) = bucket_bounds(b);
+            assert!(lo <= us && us <= hi, "{us} outside bucket {b} [{lo},{hi}]");
+        }
+    }
+
+    #[test]
+    fn quantiles_of_a_point_mass_hit_its_bucket() {
+        let h = Histogram::new();
+        for _ in 0..100 {
+            h.record(500); // bucket [256, 511]
+        }
+        let s = h.snapshot();
+        for q in [0.0, 0.5, 0.95, 0.99, 1.0] {
+            let v = s.quantile_us(q);
+            assert!((256.0..=511.0).contains(&v), "q{q} = {v}");
+        }
+        assert_eq!(s.count(), 100);
+        assert_eq!(s.sum_us, 50_000);
+        assert_eq!(s.max_us, 500);
+    }
+
+    #[test]
+    fn merge_equals_recording_into_one() {
+        let (a, b, both) = (Histogram::new(), Histogram::new(), Histogram::new());
+        for v in [0u64, 3, 900, 1_000_000] {
+            a.record(v);
+            both.record(v);
+        }
+        for v in [7u64, 900, 12] {
+            b.record(v);
+            both.record(v);
+        }
+        a.merge(&b.snapshot());
+        assert_eq!(a.snapshot(), both.snapshot());
+    }
+
+    #[test]
+    fn gauge_moves_both_ways() {
+        let g = Gauge::new();
+        g.add(3);
+        g.add(-5);
+        assert_eq!(g.get(), -2);
+        g.set(7);
+        assert_eq!(g.get(), 7);
+    }
+}

@@ -1,0 +1,150 @@
+//! Rendering: the machine-readable JSON dump and the human text report.
+//!
+//! JSON is hand-rolled (the workspace has no serde); instrument names are
+//! emitted verbatim as keys so downstream tooling — and the CI smoke job
+//! — can grep for required span names like `"span.sql.execute"`.
+
+use crate::registry::Registry;
+use std::fmt::Write as _;
+
+/// Minimal JSON string escaping for instrument names (quotes, backslash,
+/// control characters).
+fn esc(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+impl Registry {
+    /// Serialize every instrument to a JSON object:
+    /// `{"counters": {...}, "gauges": {...}, "histograms": {name:
+    /// {count, sum_us, max_us, mean_us, p50_us, p95_us, p99_us}}}`.
+    /// Keys are name-sorted, so equal registry states serialize
+    /// identically.
+    pub fn to_json(&self) -> String {
+        let mut out = String::from("{\n  \"counters\": {");
+        let counters = self.counters();
+        for (i, (name, v)) in counters.iter().enumerate() {
+            let sep = if i == 0 { "" } else { "," };
+            let _ = write!(out, "{sep}\n    \"{}\": {v}", esc(name));
+        }
+        out.push_str(if counters.is_empty() {
+            "},\n"
+        } else {
+            "\n  },\n"
+        });
+        out.push_str("  \"gauges\": {");
+        let gauges = self.gauges();
+        for (i, (name, v)) in gauges.iter().enumerate() {
+            let sep = if i == 0 { "" } else { "," };
+            let _ = write!(out, "{sep}\n    \"{}\": {v}", esc(name));
+        }
+        out.push_str(if gauges.is_empty() {
+            "},\n"
+        } else {
+            "\n  },\n"
+        });
+        out.push_str("  \"histograms\": {");
+        let hists = self.histograms();
+        for (i, (name, s)) in hists.iter().enumerate() {
+            let sep = if i == 0 { "" } else { "," };
+            let _ = write!(
+                out,
+                "{sep}\n    \"{}\": {{\"count\": {}, \"sum_us\": {}, \"max_us\": {}, \
+                 \"mean_us\": {:.3}, \"p50_us\": {:.3}, \"p95_us\": {:.3}, \"p99_us\": {:.3}}}",
+                esc(name),
+                s.count(),
+                s.sum_us,
+                s.max_us,
+                s.mean_us(),
+                s.quantile_us(0.50),
+                s.quantile_us(0.95),
+                s.quantile_us(0.99),
+            );
+        }
+        out.push_str(if hists.is_empty() { "}\n" } else { "\n  }\n" });
+        out.push_str("}\n");
+        out
+    }
+
+    /// Render every instrument as an aligned text table.
+    pub fn to_text(&self) -> String {
+        let mut out = String::new();
+        let counters = self.counters();
+        if !counters.is_empty() {
+            out.push_str("counters\n");
+            for (name, v) in counters {
+                let _ = writeln!(out, "  {name:<44} {v}");
+            }
+        }
+        let gauges = self.gauges();
+        if !gauges.is_empty() {
+            out.push_str("gauges\n");
+            for (name, v) in gauges {
+                let _ = writeln!(out, "  {name:<44} {v}");
+            }
+        }
+        let hists = self.histograms();
+        if !hists.is_empty() {
+            out.push_str(
+                "histograms                                      \
+                 count      mean ms     p50 ms     p95 ms     p99 ms     max ms\n",
+            );
+            for (name, s) in hists {
+                let _ = writeln!(
+                    out,
+                    "  {name:<44} {:>7} {:>10.3} {:>10.3} {:>10.3} {:>10.3} {:>10.3}",
+                    s.count(),
+                    s.mean_ms(),
+                    s.p50_ms(),
+                    s.p95_ms(),
+                    s.p99_ms(),
+                    s.max_ms(),
+                );
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn json_contains_every_instrument_kind() {
+        let reg = Registry::new();
+        reg.counter("c.one").add(7);
+        reg.gauge("g.head").set(-3);
+        reg.histogram("span.sql.execute").record(1500);
+        let json = reg.to_json();
+        assert!(json.contains("\"c.one\": 7"), "{json}");
+        assert!(json.contains("\"g.head\": -3"), "{json}");
+        assert!(json.contains("\"span.sql.execute\""), "{json}");
+        assert!(json.contains("\"count\": 1"), "{json}");
+        let text = reg.to_text();
+        assert!(text.contains("span.sql.execute"), "{text}");
+    }
+
+    #[test]
+    fn empty_registry_serializes_cleanly() {
+        let json = Registry::new().to_json();
+        assert!(json.contains("\"counters\": {}"), "{json}");
+        assert!(json.contains("\"histograms\": {}"), "{json}");
+    }
+
+    #[test]
+    fn names_are_escaped() {
+        assert_eq!(esc("a\"b\\c"), "a\\\"b\\\\c");
+        assert_eq!(esc("x\ny"), "x\\u000ay");
+    }
+}

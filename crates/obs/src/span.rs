@@ -1,0 +1,138 @@
+//! Scoped span timers with per-thread nesting and bounded event capture.
+
+use crate::registry::Registry;
+use std::cell::Cell;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Instant;
+
+thread_local! {
+    /// Current span nesting depth on this thread.
+    static DEPTH: Cell<u16> = const { Cell::new(0) };
+    /// Small stable per-thread label for trace grouping.
+    static THREAD_ID: u64 = NEXT_THREAD.fetch_add(1, Ordering::Relaxed);
+}
+
+static NEXT_THREAD: AtomicU64 = AtomicU64::new(0);
+
+/// One captured span occurrence, emitted when the span guard drops while
+/// a [`Registry::start_capture`] is active.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SpanEvent {
+    /// Span name (without the `span.` histogram prefix).
+    pub name: &'static str,
+    /// Nesting depth at entry (0 = top-level on its thread).
+    pub depth: u16,
+    /// Small sequential id of the recording thread.
+    pub thread: u64,
+    /// Start offset from the registry's epoch, microseconds.
+    pub start_us: u64,
+    /// Duration, microseconds.
+    pub dur_us: u64,
+}
+
+/// A scoped timer: created by [`Registry::span`], records its elapsed
+/// time into the `span.<name>` histogram when dropped, and appends a
+/// [`SpanEvent`] to the capture ring while a capture is active.
+#[derive(Debug)]
+pub struct Span<'a> {
+    reg: &'a Registry,
+    name: &'static str,
+    start: Instant,
+    depth: u16,
+}
+
+impl<'a> Span<'a> {
+    pub(crate) fn enter(reg: &'a Registry, name: &'static str) -> Self {
+        let depth = DEPTH.with(|d| {
+            let cur = d.get();
+            d.set(cur.saturating_add(1));
+            cur
+        });
+        Span {
+            reg,
+            name,
+            start: Instant::now(),
+            depth,
+        }
+    }
+}
+
+/// Current span nesting depth on the calling thread.
+pub(crate) fn current_depth() -> u16 {
+    DEPTH.with(|d| d.get())
+}
+
+/// Stable small id of the calling thread.
+pub(crate) fn current_thread() -> u64 {
+    THREAD_ID.with(|t| *t)
+}
+
+impl Drop for Span<'_> {
+    fn drop(&mut self) {
+        DEPTH.with(|d| d.set(d.get().saturating_sub(1)));
+        let dur = self.start.elapsed();
+        let thread = THREAD_ID.with(|t| *t);
+        self.reg
+            .record_span(self.name, self.depth, thread, self.start, dur);
+    }
+}
+
+/// Render captured span events as an indented per-thread text trace —
+/// the human-readable "where did this interaction spend its time" view.
+pub fn render_trace(events: &[SpanEvent]) -> String {
+    let mut sorted: Vec<&SpanEvent> = events.iter().collect();
+    sorted.sort_by_key(|e| (e.thread, e.start_us, e.depth));
+    let mut out = String::new();
+    let mut thread = None;
+    for e in sorted {
+        if thread != Some(e.thread) {
+            thread = Some(e.thread);
+            out.push_str(&format!("thread {}\n", e.thread));
+        }
+        out.push_str(&format!(
+            "{:indent$}{} {:.3} ms @ +{:.3} ms\n",
+            "",
+            e.name,
+            e.dur_us as f64 / 1000.0,
+            e.start_us as f64 / 1000.0,
+            indent = 2 + 2 * e.depth as usize,
+        ));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn spans_record_into_named_histograms_with_depth() {
+        let reg = Registry::new();
+        reg.start_capture();
+        {
+            let _outer = reg.span("outer");
+            let _inner = reg.span("inner");
+        }
+        let events = reg.end_capture();
+        assert_eq!(events.len(), 2);
+        let inner = events.iter().find(|e| e.name == "inner").unwrap();
+        let outer = events.iter().find(|e| e.name == "outer").unwrap();
+        assert_eq!(inner.depth, 1);
+        assert_eq!(outer.depth, 0);
+        assert_eq!(reg.histogram("span.outer").snapshot().count(), 1);
+        assert_eq!(reg.histogram("span.inner").snapshot().count(), 1);
+        let trace = render_trace(&events);
+        assert!(trace.contains("outer"), "trace:\n{trace}");
+        assert!(trace.contains("  inner") || trace.contains("inner"));
+    }
+
+    #[test]
+    fn capture_off_records_durations_only() {
+        let reg = Registry::new();
+        {
+            let _s = reg.span("quiet");
+        }
+        assert_eq!(reg.end_capture().len(), 0);
+        assert_eq!(reg.histogram("span.quiet").snapshot().count(), 1);
+    }
+}

@@ -1,0 +1,92 @@
+//! Concurrency invariant (ISSUE 7 satellite): with 8 racing recorder
+//! threads, a histogram family's total equals the element-wise sum of
+//! its per-label histograms. Only deterministic counts/sums are
+//! asserted; wall-clock span durations are asserted for presence, never
+//! magnitude.
+
+use kyrix_obs::{HistogramSnapshot, Registry};
+use std::sync::Arc;
+
+#[test]
+fn family_total_equals_sum_of_labels_under_races() {
+    let reg = Arc::new(Registry::new());
+    let fam = reg.histogram_family("fetch.region");
+    const THREADS: u64 = 8;
+    const PER_THREAD: u64 = 2_000;
+
+    let handles: Vec<_> = (0..THREADS)
+        .map(|t| {
+            let fam = fam.clone();
+            std::thread::spawn(move || {
+                let label = format!("layer={t}");
+                for i in 0..PER_THREAD {
+                    // deterministic values spread across many buckets
+                    fam.record(&label, (i * 37 + t) % 1_000_000);
+                }
+            })
+        })
+        .collect();
+    for h in handles {
+        h.join().expect("recorder thread");
+    }
+
+    let total = fam.total().snapshot();
+    let mut merged = HistogramSnapshot::default();
+    for t in 0..THREADS {
+        merged = merged.merged(&fam.labeled(&format!("layer={t}")).snapshot());
+    }
+    assert_eq!(total, merged, "family total must equal the sum of labels");
+    assert_eq!(total.count(), THREADS * PER_THREAD);
+    let expected_sum: u64 = (0..THREADS)
+        .flat_map(|t| (0..PER_THREAD).map(move |i| (i * 37 + t) % 1_000_000))
+        .sum();
+    assert_eq!(total.sum_us, expected_sum);
+}
+
+#[test]
+fn racing_spans_are_counted_never_lost() {
+    let reg = Arc::new(Registry::new());
+    const THREADS: usize = 8;
+    const PER_THREAD: usize = 250;
+    let handles: Vec<_> = (0..THREADS)
+        .map(|_| {
+            let reg = Arc::clone(&reg);
+            std::thread::spawn(move || {
+                for _ in 0..PER_THREAD {
+                    let _outer = reg.span("interaction");
+                    let _inner = reg.span("sql.execute");
+                }
+            })
+        })
+        .collect();
+    for h in handles {
+        h.join().expect("span thread");
+    }
+    // presence and exact counts are deterministic; durations are
+    // wall-clock and deliberately unasserted
+    let n = (THREADS * PER_THREAD) as u64;
+    assert_eq!(reg.histogram("span.interaction").snapshot().count(), n);
+    assert_eq!(reg.histogram("span.sql.execute").snapshot().count(), n);
+}
+
+#[test]
+fn counters_and_gauges_race_cleanly() {
+    let reg = Arc::new(Registry::new());
+    let handles: Vec<_> = (0..8)
+        .map(|_| {
+            let reg = Arc::clone(&reg);
+            std::thread::spawn(move || {
+                for _ in 0..1_000 {
+                    reg.counter("events").add(1);
+                    reg.gauge("level").add(1);
+                    reg.gauge("level").add(-1);
+                }
+            })
+        })
+        .collect();
+    for h in handles {
+        h.join().expect("thread");
+    }
+    assert_eq!(reg.counter("events").get(), 8_000);
+    assert_eq!(reg.gauge("level").get(), 0);
+}

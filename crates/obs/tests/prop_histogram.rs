@@ -1,0 +1,100 @@
+//! Property tests for the telemetry invariants (ISSUE 7 satellite):
+//! histogram merge is associative and commutative, and quantiles always
+//! lie within the bounds of the bucket that holds their rank.
+
+use kyrix_obs::{bucket_bounds, Histogram, HistogramSnapshot, BUCKETS};
+use proptest::prelude::*;
+
+fn hist_of(values: &[u64]) -> HistogramSnapshot {
+    let h = Histogram::new();
+    for &v in values {
+        h.record(v);
+    }
+    h.snapshot()
+}
+
+/// The bucket that holds rank `ceil(q * n)` of a snapshot.
+fn owning_bucket(s: &HistogramSnapshot, q: f64) -> usize {
+    let n = s.count();
+    let target = ((q * n as f64).ceil() as u64).clamp(1, n);
+    let mut seen = 0;
+    for (b, &c) in s.counts.iter().enumerate() {
+        seen += c;
+        if seen >= target {
+            return b;
+        }
+    }
+    BUCKETS - 1
+}
+
+proptest! {
+    #[test]
+    fn merge_is_commutative(
+        a in prop::collection::vec(0u64..2_000_000, 0..40),
+        b in prop::collection::vec(0u64..2_000_000, 0..40),
+    ) {
+        let (sa, sb) = (hist_of(&a), hist_of(&b));
+        prop_assert_eq!(sa.merged(&sb), sb.merged(&sa));
+    }
+
+    #[test]
+    fn merge_is_associative(
+        a in prop::collection::vec(0u64..2_000_000, 0..40),
+        b in prop::collection::vec(0u64..2_000_000, 0..40),
+        c in prop::collection::vec(0u64..2_000_000, 0..40),
+    ) {
+        let (sa, sb, sc) = (hist_of(&a), hist_of(&b), hist_of(&c));
+        prop_assert_eq!(
+            sa.merged(&sb).merged(&sc),
+            sa.merged(&sb.merged(&sc))
+        );
+    }
+
+    #[test]
+    fn merge_equals_concatenated_recording(
+        a in prop::collection::vec(0u64..2_000_000, 0..40),
+        b in prop::collection::vec(0u64..2_000_000, 0..40),
+    ) {
+        let mut both = a.clone();
+        both.extend_from_slice(&b);
+        prop_assert_eq!(hist_of(&a).merged(&hist_of(&b)), hist_of(&both));
+    }
+
+    #[test]
+    fn quantiles_respect_bucket_bounds(
+        values in prop::collection::vec(0u64..10_000_000, 1..60),
+        qx in 0u64..101,
+    ) {
+        let q = qx as f64 / 100.0;
+        let s = hist_of(&values);
+        let v = s.quantile_us(q);
+        let (lo, hi) = bucket_bounds(owning_bucket(&s, q));
+        prop_assert!(
+            v >= lo as f64 && v <= hi as f64,
+            "q{} = {} outside [{}, {}]", q, v, lo, hi
+        );
+    }
+
+    #[test]
+    fn quantiles_are_monotone_in_q(
+        values in prop::collection::vec(0u64..10_000_000, 1..60),
+    ) {
+        let s = hist_of(&values);
+        let mut prev = 0.0f64;
+        for i in 0..=20 {
+            let v = s.quantile_us(i as f64 / 20.0);
+            prop_assert!(v >= prev, "q{} = {} < {}", i, v, prev);
+            prev = v;
+        }
+    }
+
+    #[test]
+    fn count_and_sum_are_exact(
+        values in prop::collection::vec(0u64..2_000_000, 0..60),
+    ) {
+        let s = hist_of(&values);
+        prop_assert_eq!(s.count(), values.len() as u64);
+        prop_assert_eq!(s.sum_us, values.iter().sum::<u64>());
+        prop_assert_eq!(s.max_us, values.iter().copied().max().unwrap_or(0));
+    }
+}

@@ -4,6 +4,33 @@ use kyrix_storage::fxhash::FxHashMap;
 use std::collections::VecDeque;
 use std::hash::Hash;
 
+/// Hit/miss/eviction accounting of one cache, distinguishing entries
+/// pushed out by weight pressure (capacity) from entries dropped by
+/// invalidation (`retain`/`remove`/`clear` after a data mutation). The
+/// split is what makes cache-size tuning actionable: capacity evictions
+/// call for a bigger cache, invalidation removals do not.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Lookups served from the cache.
+    pub hits: u64,
+    /// Lookups that found nothing.
+    pub misses: u64,
+    /// Entries evicted because an insert pushed total weight past capacity.
+    pub capacity_evictions: u64,
+    /// Entries dropped by `retain`/`remove`/`clear` (invalidation and
+    /// explicit removal — anything other than capacity pressure).
+    pub invalidation_removals: u64,
+    /// Total weight of entries removed for either cause.
+    pub evicted_weight: u64,
+}
+
+impl CacheStats {
+    /// Entries removed for any cause.
+    pub fn total_removals(&self) -> u64 {
+        self.capacity_evictions + self.invalidation_removals
+    }
+}
+
 /// LRU cache where each entry carries a weight (e.g. tuple count) and the
 /// cache evicts least-recently-used entries once total weight exceeds
 /// capacity. A zero-capacity cache stores nothing.
@@ -13,11 +40,11 @@ pub struct LruCache<K, V> {
     capacity: usize,
     weight: usize,
     next_stamp: u64,
-    hits: u64,
-    misses: u64,
+    stats: CacheStats,
 }
 
 impl<K: Hash + Eq + Clone, V> LruCache<K, V> {
+    /// An empty cache holding at most `capacity` total weight.
     pub fn new(capacity: usize) -> Self {
         LruCache {
             map: FxHashMap::default(),
@@ -25,35 +52,40 @@ impl<K: Hash + Eq + Clone, V> LruCache<K, V> {
             capacity,
             weight: 0,
             next_stamp: 0,
-            hits: 0,
-            misses: 0,
+            stats: CacheStats::default(),
         }
     }
 
+    /// Number of live entries.
     pub fn len(&self) -> usize {
         self.map.len()
     }
 
+    /// True when the cache holds nothing.
     pub fn is_empty(&self) -> bool {
         self.map.is_empty()
     }
 
+    /// Total weight of live entries.
     pub fn weight(&self) -> usize {
         self.weight
     }
 
+    /// Weight capacity this cache was created with.
     pub fn capacity(&self) -> usize {
         self.capacity
     }
 
-    /// (hits, misses) since creation or the last `reset_stats`.
-    pub fn stats(&self) -> (u64, u64) {
-        (self.hits, self.misses)
+    /// Accounting since creation or the last
+    /// [`LruCache::reset_stats`]: hits, misses, and removals split by
+    /// cause (capacity eviction vs. invalidation).
+    pub fn stats(&self) -> CacheStats {
+        self.stats
     }
 
+    /// Zero the statistics (entries are untouched).
     pub fn reset_stats(&mut self) {
-        self.hits = 0;
-        self.misses = 0;
+        self.stats = CacheStats::default();
     }
 
     fn touch(&mut self, key: &K) {
@@ -68,11 +100,11 @@ impl<K: Hash + Eq + Clone, V> LruCache<K, V> {
     /// Look up and mark as recently used.
     pub fn get(&mut self, key: &K) -> Option<&V> {
         if self.map.contains_key(key) {
-            self.hits += 1;
+            self.stats.hits += 1;
             self.touch(key);
             self.map.get(key).map(|(v, _, _)| v)
         } else {
-            self.misses += 1;
+            self.stats.misses += 1;
             None
         }
     }
@@ -109,6 +141,8 @@ impl<K: Hash + Eq + Clone, V> LruCache<K, V> {
                 Some((_, _, live_stamp)) if *live_stamp == stamp => {
                     let (_, w, _) = self.map.remove(&key).expect("checked");
                     self.weight -= w;
+                    self.stats.capacity_evictions += 1;
+                    self.stats.evicted_weight += w as u64;
                 }
                 _ => {}
             }
@@ -120,26 +154,37 @@ impl<K: Hash + Eq + Clone, V> LruCache<K, V> {
     /// recency order of survivors is preserved.
     pub fn retain(&mut self, mut f: impl FnMut(&K, &V) -> bool) {
         let mut dropped = 0usize;
+        let mut removed = 0u64;
         self.map.retain(|k, (v, w, _)| {
             let keep = f(k, v);
             if !keep {
                 dropped += *w;
+                removed += 1;
             }
             keep
         });
         self.weight -= dropped;
+        self.stats.invalidation_removals += removed;
+        self.stats.evicted_weight += dropped as u64;
         let map = &self.map;
         self.order.retain(|(_, k)| map.contains_key(k));
     }
 
+    /// Remove one entry, returning its value (counts as an invalidation
+    /// removal, not a capacity eviction).
     pub fn remove(&mut self, key: &K) -> Option<V> {
         self.map.remove(key).map(|(v, w, _)| {
             self.weight -= w;
+            self.stats.invalidation_removals += 1;
+            self.stats.evicted_weight += w as u64;
             v
         })
     }
 
+    /// Drop every entry (counted as invalidation removals).
     pub fn clear(&mut self) {
+        self.stats.invalidation_removals += self.map.len() as u64;
+        self.stats.evicted_weight += self.weight as u64;
         self.map.clear();
         self.order.clear();
         self.weight = 0;
@@ -157,7 +202,9 @@ mod tests {
         c.insert(2, "two", 1);
         assert_eq!(c.get(&1), Some(&"one"));
         assert_eq!(c.get(&3), None);
-        assert_eq!(c.stats(), (1, 1));
+        let s = c.stats();
+        assert_eq!((s.hits, s.misses), (1, 1));
+        assert_eq!(s.total_removals(), 0);
     }
 
     #[test]
@@ -173,6 +220,10 @@ mod tests {
         assert!(c.peek(&0).is_some(), "recently used survives");
         assert!(c.peek(&1).is_none(), "LRU evicted");
         assert_eq!(c.weight(), 10);
+        let s = c.stats();
+        assert_eq!(s.capacity_evictions, 1, "one entry pushed out by weight");
+        assert_eq!(s.invalidation_removals, 0);
+        assert_eq!(s.evicted_weight, 1);
     }
 
     #[test]
@@ -218,6 +269,9 @@ mod tests {
         c.clear();
         assert!(c.is_empty());
         assert_eq!(c.weight(), 0);
+        let s = c.stats();
+        assert_eq!(s.invalidation_removals, 2, "remove + clear both count");
+        assert_eq!(s.evicted_weight, 6);
     }
 
     #[test]
@@ -229,7 +283,8 @@ mod tests {
         assert_eq!(c.weight(), 0);
         assert_eq!(c.get(&1), None);
         assert_eq!(c.get(&2), None);
-        assert_eq!(c.stats(), (0, 2), "misses are still counted");
+        let s = c.stats();
+        assert_eq!((s.hits, s.misses), (0, 2), "misses are still counted");
         // the lazy order queue must not accumulate anything either
         assert_eq!(c.remove(&1), None);
         c.clear();
@@ -286,6 +341,13 @@ mod tests {
         c.retain(|k, _| k % 2 == 0); // drop 1 and 3
         assert_eq!(c.len(), 2);
         assert_eq!(c.weight(), 2);
+        let s = c.stats();
+        assert_eq!(
+            s.invalidation_removals, 2,
+            "retain drops count as invalidation"
+        );
+        assert_eq!(s.capacity_evictions, 0);
+        assert_eq!(s.evicted_weight, 2);
         assert!(c.peek(&1).is_none() && c.peek(&3).is_none());
         // eviction still works off the surviving recency order: 2 is LRU
         c.insert(4, 40, 1);

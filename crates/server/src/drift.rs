@@ -1,0 +1,291 @@
+//! Plan-drift detection: is the launch-time plan assignment still the
+//! cheapest one for the workload the server actually serves?
+//!
+//! A [`crate::PlanPolicy::Measured`] launch picks each layer's plan by
+//! replaying a calibration trace ([`crate::tuner`]). That decision bakes
+//! in the trace's viewport shapes and the data distribution at launch;
+//! both drift as users pan differently and mutations reshape the data.
+//! This module *senses* that drift — it never re-plans.
+//!
+//! The comparison is deliberately restricted to the **deterministic**
+//! component of the cost model: `cost_ms(requests, queries, bytes)`,
+//! excluding measured DB time. Requests/queries/bytes per interaction are
+//! a pure function of the workload shape (how many tiles a viewport
+//! straddles, how big the fetched boxes are), so on an undrifted workload
+//! the live value reproduces the calibration value exactly — wall-clock
+//! noise can never raise a false flag. Both sides are normalized to a
+//! *per-interaction* (per [`crate::KyrixServer::fetch_region`] serve /
+//! per calibration step) cost so trace length drops out.
+//!
+//! A layer is flagged when some *other* candidate's calibrated
+//! per-interaction cost undercuts the serving plan's live per-interaction
+//! cost by more than [`DRIFT_MARGIN`] — i.e. the evidence says the
+//! cheapest-plan ranking has changed, with enough headroom that re-tuning
+//! would actually pay.
+
+use crate::cost::CostModel;
+use crate::metrics::FetchMetrics;
+use crate::precompute::FetchPlan;
+use crate::tuner::TuningReport;
+
+/// How much cheaper (multiplicatively) an alternative candidate's
+/// calibrated cost must be than the serving plan's live cost before a
+/// layer is flagged. 1.10 = a 10% hysteresis band, so measurement jitter
+/// and marginal ranking flips do not thrash the flag.
+pub const DRIFT_MARGIN: f64 = 1.10;
+
+/// The deterministic modeled cost of `m` (network + query overheads +
+/// transfer; measured DB time excluded) spread over `steps` interactions.
+/// `None` when there were no interactions to normalize by.
+fn net_per_step(m: &FetchMetrics, steps: u64, cost: &CostModel) -> Option<f64> {
+    if steps == 0 {
+        return None;
+    }
+    Some(cost.cost_ms(m.requests, m.queries, m.bytes) / steps as f64)
+}
+
+/// The drift assessment of one tuned `(canvas, layer)`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LayerDrift {
+    /// Canvas id.
+    pub canvas: String,
+    /// Layer index within the canvas.
+    pub layer: usize,
+    /// The plan the tuner resolved and the layer is serving.
+    pub serving: FetchPlan,
+    /// Foreground region serves observed live.
+    pub live_steps: u64,
+    /// Live deterministic cost per interaction, ms.
+    pub live_net_per_step_ms: f64,
+    /// The serving plan's calibrated cost per interaction, ms.
+    pub calib_net_per_step_ms: f64,
+    /// The cheapest *other* candidate from calibration (None when the
+    /// launch measured a single candidate — nothing to drift to).
+    pub best_alternative: Option<FetchPlan>,
+    /// That alternative's calibrated cost per interaction, ms.
+    pub best_alternative_net_per_step_ms: Option<f64>,
+    /// True when the alternative undercuts the live cost by more than
+    /// [`DRIFT_MARGIN`]: the cheapest plan for the live workload is no
+    /// longer the one being served.
+    pub drifted: bool,
+}
+
+/// Per-layer drift assessments for every tuned layer with live traffic.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct DriftReport {
+    /// One entry per tuned layer that had both calibration steps and live
+    /// region serves; layers without either are skipped (nothing to
+    /// compare).
+    pub layers: Vec<LayerDrift>,
+}
+
+impl DriftReport {
+    /// Build a report from a tuning report plus a source of live
+    /// observations: `live(canvas, layer)` returns the layer's cumulative
+    /// foreground [`FetchMetrics`] and its region-serve count, or `None`
+    /// when the layer is unknown.
+    pub fn assess(
+        tuning: &TuningReport,
+        cost: &CostModel,
+        live: impl Fn(&str, usize) -> Option<(FetchMetrics, u64)>,
+    ) -> DriftReport {
+        let mut layers = Vec::new();
+        for lt in &tuning.layers {
+            let Some((live_m, live_steps)) = live(&lt.canvas, lt.layer) else {
+                continue;
+            };
+            let Some(live_net) = net_per_step(&live_m, live_steps, cost) else {
+                continue; // no live traffic yet
+            };
+            let calib_steps = lt.steps as u64;
+            let Some(calib_net) = net_per_step(&lt.chosen_cost().metrics, calib_steps, cost) else {
+                continue; // never calibrated (defaulted layer)
+            };
+            // cheapest candidate other than the serving one, by calibrated
+            // per-interaction cost (ties keep the earliest, matching the
+            // tuner's preference order)
+            let mut alt: Option<(FetchPlan, f64)> = None;
+            for (i, c) in lt.candidates.iter().enumerate() {
+                if i == lt.chosen {
+                    continue;
+                }
+                let Some(net) = net_per_step(&c.metrics, calib_steps, cost) else {
+                    continue;
+                };
+                if alt.as_ref().is_none_or(|(_, best)| net < *best) {
+                    alt = Some((c.plan, net));
+                }
+            }
+            let drifted = alt
+                .as_ref()
+                .is_some_and(|(_, net)| net * DRIFT_MARGIN < live_net);
+            layers.push(LayerDrift {
+                canvas: lt.canvas.clone(),
+                layer: lt.layer,
+                serving: lt.chosen_plan(),
+                live_steps,
+                live_net_per_step_ms: live_net,
+                calib_net_per_step_ms: calib_net,
+                best_alternative: alt.map(|(p, _)| p),
+                best_alternative_net_per_step_ms: alt.map(|(_, n)| n),
+                drifted,
+            });
+        }
+        DriftReport { layers }
+    }
+
+    /// The layers whose cheapest plan appears to have changed.
+    pub fn flagged(&self) -> Vec<&LayerDrift> {
+        self.layers.iter().filter(|l| l.drifted).collect()
+    }
+
+    /// True when any layer drifted.
+    pub fn any_drift(&self) -> bool {
+        self.layers.iter().any(|l| l.drifted)
+    }
+
+    /// One-line human-readable assessment, e.g.
+    /// `level0/0 ok (live 3.1 ≤ alt 4.0·1.10), level1/0 DRIFTED (live 9.2 > alt 4.0·1.10)`.
+    pub fn summary(&self) -> String {
+        self.layers
+            .iter()
+            .map(|l| {
+                let alt = l
+                    .best_alternative_net_per_step_ms
+                    .map(|n| format!("{n:.2}"))
+                    .unwrap_or_else(|| "-".to_string());
+                format!(
+                    "{}/{} {} (live {:.2} ms/step, calib {:.2}, alt {})",
+                    l.canvas,
+                    l.layer,
+                    if l.drifted { "DRIFTED" } else { "ok" },
+                    l.live_net_per_step_ms,
+                    l.calib_net_per_step_ms,
+                    alt,
+                )
+            })
+            .collect::<Vec<_>>()
+            .join(", ")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dbox::BoxPolicy;
+    use crate::precompute::TileDesign;
+    use crate::tuner::{CandidateCost, LayerTuning};
+
+    const TILES: FetchPlan = FetchPlan::StaticTiles {
+        size: 64.0,
+        design: TileDesign::SpatialIndex,
+    };
+    const BOXES: FetchPlan = FetchPlan::DynamicBox {
+        policy: BoxPolicy::Exact,
+    };
+
+    /// requests/queries dominate the paper-default net cost (1 ms + 2 ms
+    /// each); bytes kept 0 so the arithmetic stays obvious.
+    fn metrics(requests: u64, queries: u64) -> FetchMetrics {
+        FetchMetrics {
+            requests,
+            queries,
+            ..Default::default()
+        }
+    }
+
+    fn tuning(chosen: usize, tile_m: FetchMetrics, box_m: FetchMetrics) -> TuningReport {
+        TuningReport {
+            layers: vec![LayerTuning {
+                canvas: "c".into(),
+                layer: 0,
+                steps: 4,
+                chosen,
+                candidates: vec![
+                    CandidateCost {
+                        plan: TILES,
+                        metrics: tile_m,
+                        modeled_ms: 0.0,
+                    },
+                    CandidateCost {
+                        plan: BOXES,
+                        metrics: box_m,
+                        modeled_ms: 0.0,
+                    },
+                ],
+            }],
+        }
+    }
+
+    #[test]
+    fn identical_live_workload_never_flags() {
+        // tiles won calibration: 4 steps × 2 requests vs 4 steps × 4
+        let t = tuning(0, metrics(8, 8), metrics(16, 16));
+        let cost = CostModel::paper_default();
+        // live traffic replays the same shape (scaled 3×: normalization
+        // must cancel the trace length)
+        let r = DriftReport::assess(&t, &cost, |_, _| Some((metrics(24, 24), 12)));
+        assert_eq!(r.layers.len(), 1);
+        assert!(!r.any_drift(), "{}", r.summary());
+        let l = &r.layers[0];
+        assert_eq!(l.serving, TILES);
+        assert_eq!(l.live_net_per_step_ms, l.calib_net_per_step_ms);
+        assert_eq!(l.best_alternative, Some(BOXES));
+    }
+
+    #[test]
+    fn live_cost_beyond_alternative_and_margin_flags() {
+        let t = tuning(0, metrics(8, 8), metrics(16, 16));
+        let cost = CostModel::paper_default();
+        // live per-step net: 10 requests+queries per step = 30 ms/step,
+        // alternative calibrated at 4/step = 12 ms/step; 12 × 1.10 < 30
+        let r = DriftReport::assess(&t, &cost, |_, _| Some((metrics(40, 40), 4)));
+        assert!(r.any_drift(), "{}", r.summary());
+        assert_eq!(r.flagged().len(), 1);
+        assert_eq!(r.flagged()[0].best_alternative, Some(BOXES));
+        assert!(r.summary().contains("DRIFTED"));
+    }
+
+    #[test]
+    fn within_margin_growth_stays_quiet() {
+        // serving plan calibrated at 6 ms/step, alternative at 12 ms/step;
+        // live grows to 12.9 ms/step — above the alternative, but not by
+        // the 10% margin (12 × 1.10 = 13.2), so no flag
+        let t = tuning(0, metrics(8, 8), metrics(16, 16));
+        let cost = CostModel::paper_default();
+        let r = DriftReport::assess(&t, &cost, |_, _| Some((metrics(17, 17), 4)));
+        assert!(!r.any_drift(), "{}", r.summary());
+    }
+
+    #[test]
+    fn layers_without_live_traffic_are_skipped() {
+        let t = tuning(0, metrics(8, 8), metrics(16, 16));
+        let cost = CostModel::paper_default();
+        let r = DriftReport::assess(&t, &cost, |_, _| Some((FetchMetrics::default(), 0)));
+        assert!(r.layers.is_empty());
+        let r = DriftReport::assess(&t, &cost, |_, _| None);
+        assert!(r.layers.is_empty());
+    }
+
+    #[test]
+    fn single_candidate_launches_cannot_drift() {
+        let t = TuningReport {
+            layers: vec![LayerTuning {
+                canvas: "c".into(),
+                layer: 0,
+                steps: 4,
+                chosen: 0,
+                candidates: vec![CandidateCost {
+                    plan: TILES,
+                    metrics: metrics(8, 8),
+                    modeled_ms: 0.0,
+                }],
+            }],
+        };
+        let cost = CostModel::paper_default();
+        let r = DriftReport::assess(&t, &cost, |_, _| Some((metrics(400, 400), 4)));
+        assert_eq!(r.layers.len(), 1);
+        assert!(!r.any_drift());
+        assert_eq!(r.layers[0].best_alternative, None);
+    }
+}

@@ -5,7 +5,9 @@ use std::fmt;
 /// Errors from the Kyrix backend.
 #[derive(Debug, Clone, PartialEq)]
 pub enum ServerError {
+    /// Propagated storage-engine error.
     Storage(kyrix_storage::StorageError),
+    /// Propagated app-compilation error.
     Core(kyrix_core::CoreError),
     /// Misconfiguration (e.g. box fetch on a tile-mapping store).
     Config(String),
@@ -38,4 +40,5 @@ impl From<kyrix_core::CoreError> for ServerError {
     }
 }
 
+/// Result alias for server operations.
 pub type Result<T> = std::result::Result<T, ServerError>;

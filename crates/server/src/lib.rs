@@ -17,11 +17,17 @@
 //!   [`cost`];
 //! * trace-cost-driven **plan auto-tuning**: `PlanPolicy::Measured`
 //!   replays a calibration trace against every candidate plan per
-//!   `(canvas, layer)` and resolves the cheapest — [`tuner`].
+//!   `(canvas, layer)` and resolves the cheapest — [`tuner`];
+//! * **telemetry** threaded through the whole request and mutation paths
+//!   (spans, histograms, snapshot gauges; `kyrix-obs`) and **plan-drift
+//!   detection** against the tuner's calibration — [`drift`].
+
+#![warn(missing_docs)]
 
 pub mod cache;
 pub mod cost;
 pub mod dbox;
+pub mod drift;
 pub mod error;
 pub mod fetch;
 pub mod metrics;
@@ -33,9 +39,10 @@ pub mod snapshot;
 pub mod tile;
 pub mod tuner;
 
-pub use cache::LruCache;
+pub use cache::{CacheStats, LruCache};
 pub use cost::CostModel;
 pub use dbox::BoxPolicy;
+pub use drift::{DriftReport, LayerDrift, DRIFT_MARGIN};
 pub use error::{Result, ServerError};
 pub use fetch::{count_rect, fetch_plan_cold, fetch_rect, fetch_tile};
 pub use metrics::FetchMetrics;

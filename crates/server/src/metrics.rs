@@ -15,12 +15,14 @@ pub struct FetchMetrics {
     pub rows: u64,
     /// Wire bytes returned.
     pub bytes: u64,
-    /// Backend cache hits / misses.
+    /// Requests served from the backend cache (tile or box).
     pub cache_hits: u64,
+    /// Requests that missed the backend cache and paid a DBMS fetch.
     pub cache_misses: u64,
 }
 
 impl FetchMetrics {
+    /// Accumulate another fetch's metrics into this aggregate.
     pub fn merge(&mut self, other: &FetchMetrics) {
         self.requests += other.requests;
         self.queries += other.queries;

@@ -23,7 +23,9 @@ pub enum PlanPolicy {
     /// Explicit per-canvas overrides with a fallback for everything else.
     /// Overrides apply to every layer of the named canvas.
     PerCanvas {
+        /// Plan for canvases without an override.
         default: FetchPlan,
+        /// `(canvas id, plan)` overrides.
         overrides: Vec<(String, FetchPlan)>,
     },
     /// Explicit per-`(canvas, layer)` overrides with a fallback — the
@@ -32,12 +34,15 @@ pub enum PlanPolicy {
     /// unlike [`PlanPolicy::PerCanvas`], a canvas whose layers mix plans
     /// round-trips losslessly.
     PerLayer {
+        /// Plan for layers without an override.
         default: FetchPlan,
+        /// `((canvas id, layer index), plan)` overrides.
         overrides: Vec<((String, usize), FetchPlan)>,
     },
     /// Rule-based on data volume: layers whose (estimated) row count
     /// exceeds `threshold` get `dense`, the rest get `sparse`.
     RowThreshold {
+        /// Row count above which a layer counts as dense.
         threshold: usize,
         /// Plan for layers with more than `threshold` rows.
         dense: FetchPlan,
@@ -47,7 +52,12 @@ pub enum PlanPolicy {
     /// Follow the spec's per-layer [`PlanHint`]s: hinted layers get the
     /// matching plan; unhinted layers get `boxes` (dynamic boxes are the
     /// paper's general-purpose design).
-    SpecHints { tiles: FetchPlan, boxes: FetchPlan },
+    SpecHints {
+        /// Plan for layers hinted toward static tiles.
+        tiles: FetchPlan,
+        /// Plan for layers hinted toward (or defaulting to) dynamic boxes.
+        boxes: FetchPlan,
+    },
     /// Measure, don't guess: at launch the tuner ([`crate::tuner`])
     /// replays `trace` against every candidate plan of every non-static
     /// layer and resolves the cheapest by modeled cost — the paper's
@@ -58,7 +68,9 @@ pub enum PlanPolicy {
     /// [`crate::KyrixServer::tuning_report`] and can be frozen into a
     /// static [`PlanPolicy::PerLayer`] policy for later launches.
     Measured {
+        /// Candidate plans, in preference order (ties keep the earlier).
         candidates: Vec<FetchPlan>,
+        /// The representative trace the tuner replays per candidate.
         trace: CalibrationTrace,
     },
 }

@@ -37,9 +37,17 @@ pub enum TileDesign {
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub enum FetchPlan {
     /// Dynamic boxes (always spatial-index-backed).
-    DynamicBox { policy: BoxPolicy },
+    DynamicBox {
+        /// How the fetched box extends beyond the viewport.
+        policy: BoxPolicy,
+    },
     /// Fixed-size static tiles.
-    StaticTiles { size: f64, design: TileDesign },
+    StaticTiles {
+        /// Tile edge length in canvas units.
+        size: f64,
+        /// Which §3.1 database design serves the tiles.
+        design: TileDesign,
+    },
 }
 
 impl FetchPlan {
@@ -64,19 +72,23 @@ pub struct LayerRowLayout {
 }
 
 impl LayerRowLayout {
+    /// Placement center x of a layer row.
     pub fn cx(&self, row: &Row) -> f64 {
         row.get(self.n_data_cols).as_f64().unwrap_or(0.0)
     }
 
+    /// Placement center y of a layer row.
     pub fn cy(&self, row: &Row) -> f64 {
         row.get(self.n_data_cols + 1).as_f64().unwrap_or(0.0)
     }
 
+    /// Bounding box of a layer row, canvas coordinates.
     pub fn bbox(&self, row: &Row) -> Rect {
         let g = |i: usize| row.get(self.n_data_cols + i).as_f64().unwrap_or(0.0);
         Rect::new(g(2), g(3), g(4), g(5))
     }
 
+    /// Stable tuple id of a layer row (-1 when absent).
     pub fn tuple_id(&self, row: &Row) -> i64 {
         row.get(self.n_data_cols + 6).as_i64().unwrap_or(-1)
     }
@@ -94,30 +106,42 @@ pub enum LayerStore {
     Static,
     /// Layer table with a spatial index over bounding boxes.
     Spatial {
+        /// Materialized layer table.
         table: String,
+        /// Row accessor layout of `table`.
         layout: LayerRowLayout,
     },
     /// Separable skip path: query the raw table's spatial index directly,
     /// mapping canvas rectangles through the placement's affine inverses.
     SeparableRaw {
+        /// The raw (source) table served directly.
         table: String,
+        /// Row accessor layout of the synthesized layer rows.
         layout: LayerRowLayout,
+        /// Canvas-x as an affine of the indexed x attribute.
         x_affine: Affine,
+        /// Canvas-y as an affine of the indexed y attribute.
         y_affine: Affine,
-        /// Constant object extent in canvas units.
+        /// Constant object width in canvas units.
         obj_w: f64,
+        /// Constant object height in canvas units.
         obj_h: f64,
     },
     /// Record + mapping tables (tuple–tile design).
     TileMapping {
+        /// Table holding the layer rows, keyed by `tuple_id`.
         record_table: String,
+        /// `(tuple_id, tile_id)` mapping side table.
         mapping_table: String,
+        /// The tiling the mapping rows were precomputed under.
         tiling: Tiling,
+        /// Row accessor layout of `record_table`.
         layout: LayerRowLayout,
     },
 }
 
 impl LayerStore {
+    /// Row accessor layout of this store (None for static layers).
     pub fn layout(&self) -> Option<LayerRowLayout> {
         match self {
             LayerStore::Static => None,
@@ -131,9 +155,13 @@ impl LayerStore {
 /// What precomputation did for one layer.
 #[derive(Debug, Clone, PartialEq)]
 pub struct PrecomputeReport {
+    /// Canvas id.
     pub canvas: String,
+    /// Layer index within the canvas.
     pub layer: usize,
+    /// Rows materialized (0 on the separable skip path).
     pub rows: usize,
+    /// Wall-clock precomputation time.
     pub elapsed: Duration,
     /// True when the §3.2 separable path skipped materialization.
     pub skipped_separable: bool,

@@ -58,6 +58,7 @@ pub struct MomentumTracker {
 }
 
 impl MomentumTracker {
+    /// A tracker with no history.
     pub fn new() -> Self {
         Self::default()
     }
@@ -78,6 +79,7 @@ impl MomentumTracker {
         self.velocity
     }
 
+    /// The current smoothed per-step velocity estimate.
     pub fn velocity(&self) -> (f64, f64) {
         self.velocity
     }
@@ -170,6 +172,7 @@ pub struct SemanticTracker {
 }
 
 impl SemanticTracker {
+    /// A tracker with no profile yet.
     pub fn new() -> Self {
         Self::default()
     }
@@ -190,6 +193,7 @@ impl SemanticTracker {
         });
     }
 
+    /// The smoothed profile (None until the first observation).
     pub fn profile(&self) -> Option<&RegionSignature> {
         self.current.as_ref()
     }

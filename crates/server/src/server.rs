@@ -2,8 +2,10 @@
 //! stores produced by precomputation, the backend caches, and the
 //! prefetcher; answers tile and box requests from the frontend.
 
+use crate::cache::CacheStats;
 use crate::cache::LruCache;
 use crate::cost::CostModel;
+use crate::drift::DriftReport;
 use crate::error::{Result, ServerError};
 use crate::fetch::fetch_rect;
 use crate::fetch::{compute_fetch_box, count_rect, fetch_tile};
@@ -20,12 +22,14 @@ use crate::tile::{TileId, Tiling};
 use crate::tuner::{self, TuningReport};
 use crossbeam::channel::{unbounded, Sender};
 use kyrix_core::CompiledApp;
+use kyrix_obs::{HistogramFamily, Registry};
 use kyrix_storage::fxhash::FxHashMap;
 use kyrix_storage::{Database, Rect, Row, Value};
 use parking_lot::{Mutex, RwLock};
 use std::collections::VecDeque;
 use std::sync::Arc;
 use std::thread::JoinHandle;
+use std::time::Instant;
 
 /// Mutation-log entries kept for incremental frontend invalidation.
 /// Sessions further behind than this refetch everything instead.
@@ -39,7 +43,10 @@ pub enum PrefetchPolicy {
     /// Rank the viewport's 8 neighbors by data-characteristic similarity
     /// to recently viewed regions and warm the `top_k` most similar
     /// (ForeCache "semantic").
-    Semantic { top_k: usize },
+    Semantic {
+        /// How many of the 8 neighbors to warm, best-ranked first.
+        top_k: usize,
+    },
 }
 
 /// Server configuration.
@@ -47,6 +54,7 @@ pub enum PrefetchPolicy {
 pub struct ServerConfig {
     /// How each `(canvas, layer)`'s fetch plan is chosen at launch.
     pub policy: PlanPolicy,
+    /// Cost model used by the tuner and by fetch-metric scoring.
     pub cost: CostModel,
     /// Backend tile-cache capacity in *tuples* (0 disables).
     pub backend_cache_rows: usize,
@@ -79,21 +87,25 @@ impl ServerConfig {
         }
     }
 
+    /// Replace the cost model.
     pub fn with_cost(mut self, cost: CostModel) -> Self {
         self.cost = cost;
         self
     }
 
+    /// Set the backend tile-cache capacity in tuples (0 disables).
     pub fn with_backend_cache(mut self, rows: usize) -> Self {
         self.backend_cache_rows = rows;
         self
     }
 
+    /// Enable or disable the prefetch worker.
     pub fn with_prefetch(mut self, enabled: bool) -> Self {
         self.prefetch = enabled;
         self
     }
 
+    /// Enable the prefetch worker with an explicit predictor.
     pub fn with_prefetch_policy(mut self, policy: PrefetchPolicy) -> Self {
         self.prefetch = true;
         self.prefetch_policy = policy;
@@ -104,8 +116,11 @@ impl ServerConfig {
 /// Response to a tile request.
 #[derive(Debug, Clone)]
 pub struct TileResponse {
+    /// Which tile the rows belong to.
     pub tile: TileId,
+    /// The tile's rows (shared with the backend cache).
     pub rows: Arc<Vec<Row>>,
+    /// What serving this tile cost.
     pub metrics: FetchMetrics,
 }
 
@@ -114,7 +129,9 @@ pub struct TileResponse {
 pub struct BoxResponse {
     /// The box that was actually fetched (contains the viewport).
     pub rect: Rect,
+    /// Rows inside the box (shared with the box cache).
     pub rows: Arc<Vec<Row>>,
+    /// What serving this box cost.
     pub metrics: FetchMetrics,
 }
 
@@ -187,6 +204,17 @@ struct Inner {
     semantic: Mutex<FxHashMap<u32, SemanticTracker>>,
     /// Data-version stamp + per-mutation invalidation entries.
     mutations: Mutex<MutationLog>,
+    /// Telemetry: span histograms, counters, gauges. The storage layer's
+    /// query observer feeds `span.sql.execute` here; the fetch and
+    /// mutation paths emit the rest.
+    obs: Arc<Registry>,
+    /// Per-`(canvas, layer)` region-serve latency family
+    /// (`fetch.region.layer{canvas/N}` plus a total).
+    region_family: HistogramFamily,
+    /// Foreground [`KyrixServer::fetch_region`] serves per
+    /// `(canvas idx, layer idx)` — the step count drift detection uses to
+    /// normalize `layer_totals` to a per-interaction cost.
+    layer_regions: Mutex<FxHashMap<(u32, u32), u64>>,
 }
 
 impl Inner {
@@ -265,6 +293,7 @@ impl Inner {
         // (a mutation published mid-request) serves itself from the
         // snapshot directly so every tile of its response is consistent.
         let hit = {
+            let _lookup = self.obs.span("cache.lookup");
             let mut cache = self.tile_cache.lock();
             if self.version() == snap.version() {
                 cache.get(&key).cloned()
@@ -336,6 +365,7 @@ impl Inner {
         // fetch_tile_cached)
         if self.box_cache_entries > 0 {
             let cached = {
+                let _lookup = self.obs.span("cache.lookup");
                 let caches = self.box_caches.lock();
                 if self.version() == snap.version() {
                     caches.get(&key).and_then(|shelf| {
@@ -565,9 +595,23 @@ impl KyrixServer {
                 (stores, plans, reports, None)
             }
         };
+        // Telemetry: installed after tuning so the calibration replay's
+        // queries never pollute the serving-path histograms. The observer
+        // closure survives every copy-on-write clone of the database, so
+        // successor snapshots keep reporting `sql.execute` spans.
+        let obs = Arc::new(Registry::new());
+        {
+            let reg = Arc::clone(&obs);
+            db.set_query_observer(Some(Arc::new(move |_sql, dur| {
+                reg.record_external_span("sql.execute", dur);
+            })));
+        }
+        obs.gauge("snapshot.head_version").set(0);
+        let head = DatabaseSnapshot::new(db, 0).tracked(obs.gauge("snapshot.pinned"));
+        let region_family = obs.histogram_family("fetch.region.layer");
         let inner = Arc::new(Inner {
             app,
-            head: RwLock::new(Arc::new(DatabaseSnapshot::new(db, 0))),
+            head: RwLock::new(Arc::new(head)),
             writer: Mutex::new(()),
             stores,
             plans,
@@ -583,6 +627,9 @@ impl KyrixServer {
                 version: 0,
                 entries: VecDeque::new(),
             }),
+            obs,
+            region_family,
+            layer_regions: Mutex::new(FxHashMap::default()),
         });
         let prefetcher = if config.prefetch {
             Some(Prefetcher::spawn(inner.clone()))
@@ -600,6 +647,7 @@ impl KyrixServer {
         ))
     }
 
+    /// The compiled app this server serves.
     pub fn app(&self) -> &CompiledApp {
         &self.inner.app
     }
@@ -623,10 +671,12 @@ impl KyrixServer {
         self.tuning.as_ref()
     }
 
+    /// The cost model fetch metrics are scored with.
     pub fn cost_model(&self) -> CostModel {
         self.inner.cost
     }
 
+    /// The configuration the server was launched with.
     pub fn config(&self) -> &ServerConfig {
         &self.config
     }
@@ -646,14 +696,20 @@ impl KyrixServer {
 
     /// Fetch one tile of a layer (static-tile plans only).
     pub fn fetch_tile(&self, canvas: &str, layer: usize, tile: TileId) -> Result<TileResponse> {
-        let snap = self.inner.snapshot();
+        let snap = {
+            let _pin = self.inner.obs.span("snapshot.pin");
+            self.inner.snapshot()
+        };
         self.inner
             .fetch_tile_cached(&snap, canvas, layer, tile, false)
     }
 
     /// Fetch the dynamic box for a viewport (dynamic-box plans only).
     pub fn fetch_box(&self, canvas: &str, layer: usize, viewport: &Rect) -> Result<BoxResponse> {
-        let snap = self.inner.snapshot();
+        let snap = {
+            let _pin = self.inner.obs.span("snapshot.pin");
+            self.inner.snapshot()
+        };
         self.inner
             .fetch_box_cached(&snap, canvas, layer, viewport, false)
     }
@@ -670,8 +726,19 @@ impl KyrixServer {
     /// when the viewport spans many tiles and a mutation publishes midway,
     /// every row of the response comes from the same data version.
     pub fn fetch_region(&self, canvas: &str, layer: usize, rect: &Rect) -> Result<BoxResponse> {
-        let snap = self.inner.snapshot();
-        match self.plan_for(canvas, layer)? {
+        let obs = Arc::clone(&self.inner.obs);
+        let _region = obs.span("fetch.region");
+        let started = Instant::now();
+        let snap = {
+            let _pin = obs.span("snapshot.pin");
+            self.inner.snapshot()
+        };
+        let ci = self.inner.canvas_idx(canvas)?;
+        let plan = {
+            let _resolve = obs.span("plan.resolve");
+            self.inner.plan_for(ci, layer)?
+        };
+        let out = match plan {
             FetchPlan::DynamicBox { .. } => self
                 .inner
                 .fetch_box_cached(&snap, canvas, layer, rect, false),
@@ -696,6 +763,7 @@ impl KyrixServer {
                     let resp = self
                         .inner
                         .fetch_tile_cached(&snap, canvas, layer, tile, false)?;
+                    let _merge = obs.span("merge");
                     match layout {
                         None => rows.extend(resp.rows.iter().cloned()),
                         Some(l) if stable_ids => {
@@ -742,7 +810,19 @@ impl KyrixServer {
                     metrics,
                 })
             }
+        };
+        if out.is_ok() {
+            *self
+                .inner
+                .layer_regions
+                .lock()
+                .entry((ci, layer as u32))
+                .or_insert(0) += 1;
+            self.inner
+                .region_family
+                .record_duration(&format!("{canvas}/{layer}"), started.elapsed());
         }
+        out
     }
 
     /// Count layer objects in a canvas rectangle (no data transfer).
@@ -879,11 +959,97 @@ impl KyrixServer {
         *self.inner.prefetch_totals.lock()
     }
 
+    /// Zero every accumulated serving total (fetch metrics, per-layer
+    /// totals and serve counts, prefetch totals, cache statistics).
     pub fn reset_totals(&self) {
         *self.inner.totals.lock() = FetchMetrics::default();
         self.inner.layer_totals.lock().clear();
+        self.inner.layer_regions.lock().clear();
         *self.inner.prefetch_totals.lock() = FetchMetrics::default();
         self.inner.tile_cache.lock().reset_stats();
+    }
+
+    // ------------------------------------------------------- observability
+
+    /// The server's telemetry registry. Span histograms (`span.*`), the
+    /// per-layer `fetch.region.layer{canvas/N}` family, snapshot/mutation
+    /// counters and gauges all live here; callers may record their own
+    /// instruments (e.g. a load harness's per-interaction latency) into
+    /// the same registry so one dump carries the whole story.
+    pub fn obs(&self) -> Arc<Registry> {
+        Arc::clone(&self.inner.obs)
+    }
+
+    /// Foreground [`KyrixServer::fetch_region`] serves of one layer so far
+    /// (the step count [`KyrixServer::drift_report`] normalizes by).
+    pub fn layer_region_serves(&self, canvas: &str, layer: usize) -> Result<u64> {
+        let ci = self.inner.canvas_idx(canvas)?;
+        self.inner.plan_for(ci, layer)?;
+        Ok(self
+            .inner
+            .layer_regions
+            .lock()
+            .get(&(ci, layer as u32))
+            .copied()
+            .unwrap_or(0))
+    }
+
+    /// Backend tile-cache accounting: hits, misses, and removals split by
+    /// cause (capacity eviction vs. invalidation).
+    pub fn backend_cache_stats(&self) -> CacheStats {
+        self.inner.tile_cache.lock().stats()
+    }
+
+    /// Refresh the registry gauges that mirror sampled state (cache
+    /// eviction causes, head version) and render the whole registry as
+    /// machine-readable JSON.
+    pub fn telemetry_json(&self) -> String {
+        self.sync_gauges();
+        self.inner.obs.to_json()
+    }
+
+    /// Like [`KyrixServer::telemetry_json`], but as an aligned
+    /// human-readable table.
+    pub fn telemetry_text(&self) -> String {
+        self.sync_gauges();
+        self.inner.obs.to_text()
+    }
+
+    fn sync_gauges(&self) {
+        let s = self.backend_cache_stats();
+        let obs = &self.inner.obs;
+        obs.gauge("cache.hits").set(s.hits as i64);
+        obs.gauge("cache.misses").set(s.misses as i64);
+        obs.gauge("cache.evictions.capacity")
+            .set(s.capacity_evictions as i64);
+        obs.gauge("cache.removals.invalidation")
+            .set(s.invalidation_removals as i64);
+        obs.gauge("cache.evicted_weight")
+            .set(s.evicted_weight as i64);
+        obs.gauge("snapshot.head_version")
+            .set(self.data_version() as i64);
+    }
+
+    /// Compare each tuned layer's *live* per-interaction modeled cost
+    /// against the tuner's calibration measurements and flag layers whose
+    /// cheapest plan appears to have changed (see [`crate::drift`] for the
+    /// comparison semantics — detection only, nothing is re-planned).
+    /// Present iff the server was launched with
+    /// [`PlanPolicy::Measured`], like [`KyrixServer::tuning_report`].
+    pub fn drift_report(&self) -> Option<DriftReport> {
+        let tuning = self.tuning.as_ref()?;
+        let layer_totals = self.inner.layer_totals.lock().clone();
+        let layer_regions = self.inner.layer_regions.lock().clone();
+        Some(DriftReport::assess(
+            tuning,
+            &self.inner.cost,
+            |canvas, layer| {
+                let ci = self.inner.canvas_idx(canvas).ok()?;
+                let key = (ci, layer as u32);
+                let steps = layer_regions.get(&key).copied().unwrap_or(0);
+                Some((layer_totals.get(&key).copied().unwrap_or_default(), steps))
+            },
+        ))
     }
 
     /// Clear all backend caches (tile + box).
@@ -959,11 +1125,23 @@ impl KyrixServer {
         tables: &[&str],
         apply: impl FnOnce(&mut Database) -> Result<(T, Vec<DirtyRegion>)>,
     ) -> Result<T> {
+        let obs = Arc::clone(&self.inner.obs);
+        let _mutate = obs.span("mutate.raw");
         self.validate_mutable(tables)?;
         let _writer = self.inner.writer.lock();
-        let mut next = self.inner.snapshot().database().clone();
+        let mut next = {
+            let _clone = obs.span("cow.clone");
+            self.inner.snapshot().database().clone()
+        };
+        // `DbCounters` is shared between clones, so the delta across
+        // `apply` is exactly the deep copies this mutation's writes forced
+        // (mutators are serialized by the writer lock held above)
+        let cow_before = next.counters.cow_table_copies();
         match apply(&mut next) {
             Ok((out, dirty)) => {
+                let copies = next.counters.cow_table_copies().saturating_sub(cow_before);
+                obs.counter("snapshot.cow_table_copies").add(copies);
+                obs.gauge("mutation.last_cow_copies").set(copies as i64);
                 self.publish_locked(next, &dirty)?;
                 Ok(out)
             }
@@ -1033,6 +1211,8 @@ impl KyrixServer {
     /// version and skips), and a session that observes the new
     /// `data_version` is guaranteed to find the matching log entry.
     fn publish_locked(&self, next: Database, dirty: &[DirtyRegion]) -> Result<u64> {
+        let obs = Arc::clone(&self.inner.obs);
+        let _publish = obs.span("publish");
         // backstop for closures that report a dirty region on a
         // mapping-backed table they never declared (`validate_mutable`
         // checks the declared list up front): the mutation is already
@@ -1056,7 +1236,10 @@ impl KyrixServer {
             log.entries.clear();
             tiles.clear();
             boxes.clear();
-            *self.inner.head.write() = Arc::new(DatabaseSnapshot::new(next, log.version));
+            obs.gauge("snapshot.head_version").set(log.version as i64);
+            *self.inner.head.write() = Arc::new(
+                DatabaseSnapshot::new(next, log.version).tracked(obs.gauge("snapshot.pinned")),
+            );
             return Err(ServerError::Config(format!(
                 "table `{table}` backs a tuple–tile mapping layer; its mapping rows \
                  are now stale — relaunch to re-precompute"
@@ -1115,7 +1298,9 @@ impl KyrixServer {
         let mut log = self.inner.mutations.lock();
         log.version += 1;
         let version = log.version;
-        *self.inner.head.write() = Arc::new(DatabaseSnapshot::new(next, version));
+        obs.gauge("snapshot.head_version").set(version as i64);
+        *self.inner.head.write() =
+            Arc::new(DatabaseSnapshot::new(next, version).tracked(obs.gauge("snapshot.pinned")));
         let named: Vec<MutationEntry> = entries
             .iter()
             .map(|&(ci, li, rect)| (self.inner.app.canvases[ci as usize].id.clone(), li, rect))
@@ -1124,6 +1309,7 @@ impl KyrixServer {
         while log.entries.len() > MUTATION_LOG_CAP {
             log.entries.pop_front();
         }
+        let _evict = obs.span("evict");
         // backend tile cache: drop intersecting tiles of affected layers
         for &(ci, li, ref rect) in &entries {
             if let Ok(FetchPlan::StaticTiles { size, .. }) = self.inner.plan_for(ci, li as usize) {

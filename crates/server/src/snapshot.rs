@@ -15,7 +15,9 @@
 //! touches it (copy-on-write at table granularity), so publishing a
 //! successor pays for the mutated tables only.
 
+use kyrix_obs::Gauge;
 use kyrix_storage::Database;
+use std::sync::Arc;
 
 /// An immutable view of the database, tagged with the data version it was
 /// published under ([`crate::KyrixServer::data_version`] semantics: 0 at
@@ -26,12 +28,29 @@ use kyrix_storage::Database;
 pub struct DatabaseSnapshot {
     version: u64,
     db: Database,
+    /// Outstanding-snapshot gauge this snapshot is counted in; decremented
+    /// on drop. Server-published snapshots carry this so telemetry shows
+    /// how many versions are still pinned by readers.
+    tracked: Option<Arc<Gauge>>,
 }
 
 impl DatabaseSnapshot {
     /// Wrap a database as the snapshot published at `version`.
     pub(crate) fn new(db: Database, version: u64) -> Self {
-        DatabaseSnapshot { version, db }
+        DatabaseSnapshot {
+            version,
+            db,
+            tracked: None,
+        }
+    }
+
+    /// Count this snapshot in `gauge` until it drops (the server's
+    /// `snapshot.pinned` telemetry: published head + any older versions
+    /// still held by readers).
+    pub(crate) fn tracked(mut self, gauge: Arc<Gauge>) -> Self {
+        gauge.add(1);
+        self.tracked = Some(gauge);
+        self
     }
 
     /// Pin a point-in-time view of `db` (cheap: shares every table until
@@ -42,6 +61,7 @@ impl DatabaseSnapshot {
         DatabaseSnapshot {
             version: 0,
             db: db.clone(),
+            tracked: None,
         }
     }
 
@@ -61,5 +81,13 @@ impl std::ops::Deref for DatabaseSnapshot {
 
     fn deref(&self) -> &Database {
         &self.db
+    }
+}
+
+impl Drop for DatabaseSnapshot {
+    fn drop(&mut self) {
+        if let Some(g) = &self.tracked {
+            g.add(-1);
+        }
     }
 }

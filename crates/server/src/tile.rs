@@ -12,11 +12,14 @@ pub const MAX_COVERING_TILES: usize = 1 << 20;
 /// Integer tile coordinates at some tile size.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct TileId {
+    /// Tile column (0 at the canvas origin, negative to the left).
     pub x: i32,
+    /// Tile row (0 at the canvas origin, negative above).
     pub y: i32,
 }
 
 impl TileId {
+    /// Tile at integer coordinates `(x, y)`.
     pub fn new(x: i32, y: i32) -> Self {
         TileId { x, y }
     }
@@ -26,6 +29,7 @@ impl TileId {
         (((self.x as u32) as i64) << 32) | ((self.y as u32) as i64)
     }
 
+    /// Inverse of [`TileId::key`].
     pub fn from_key(k: i64) -> Self {
         TileId {
             x: ((k >> 32) & 0xffff_ffff) as u32 as i32,
@@ -37,10 +41,12 @@ impl TileId {
 /// A fixed-size square tiling of a canvas.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct Tiling {
+    /// Tile edge length in canvas units.
     pub size: f64,
 }
 
 impl Tiling {
+    /// A tiling of square tiles with edge length `size` (must be > 0).
     pub fn new(size: f64) -> Self {
         assert!(size > 0.0, "tile size must be positive");
         Tiling { size }

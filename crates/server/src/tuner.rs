@@ -46,6 +46,7 @@ pub struct CalibrationTrace {
 }
 
 impl CalibrationTrace {
+    /// An empty trace; fill it with [`CalibrationTrace::push`].
     pub fn new() -> Self {
         Self::default()
     }
@@ -66,6 +67,7 @@ impl CalibrationTrace {
         self.steps.len()
     }
 
+    /// Whether the trace has no steps at all.
     pub fn is_empty(&self) -> bool {
         self.steps.is_empty()
     }
@@ -83,6 +85,7 @@ impl CalibrationTrace {
 /// What one candidate plan cost on one layer's calibration steps.
 #[derive(Debug, Clone, PartialEq)]
 pub struct CandidateCost {
+    /// The candidate plan that was measured.
     pub plan: FetchPlan,
     /// Metrics accumulated over the layer's calibration steps (cold-cache
     /// protocol: every step pays its full fetch).
@@ -95,7 +98,9 @@ pub struct CandidateCost {
 /// The tuning outcome for one `(canvas, layer)`.
 #[derive(Debug, Clone, PartialEq)]
 pub struct LayerTuning {
+    /// Canvas id of the tuned layer.
     pub canvas: String,
+    /// Layer index within the canvas.
     pub layer: usize,
     /// Calibration steps that were replayed for this layer (0 means the
     /// trace never visits the canvas and the first candidate won by
@@ -104,14 +109,17 @@ pub struct LayerTuning {
     /// Index into `candidates` of the winning plan. Ties keep the earliest
     /// candidate, so candidate order doubles as the preference order.
     pub chosen: usize,
+    /// Every candidate's measured cost, in candidate (preference) order.
     pub candidates: Vec<CandidateCost>,
 }
 
 impl LayerTuning {
+    /// The winning plan.
     pub fn chosen_plan(&self) -> FetchPlan {
         self.candidates[self.chosen].plan
     }
 
+    /// The winning candidate's full measured cost.
     pub fn chosen_cost(&self) -> &CandidateCost {
         &self.candidates[self.chosen]
     }
@@ -121,6 +129,7 @@ impl LayerTuning {
 /// candidate's measured cost kept for inspection.
 #[derive(Debug, Clone, PartialEq, Default)]
 pub struct TuningReport {
+    /// One entry per tuned (non-static) `(canvas, layer)`.
     pub layers: Vec<LayerTuning>,
 }
 

@@ -1265,3 +1265,94 @@ fn failed_mutation_closure_aborts_atomically() {
     let again = server.fetch_tile("main", 0, tile).unwrap();
     assert_eq!(again.metrics.cache_hits, 1, "caches survive the abort");
 }
+
+// ------------------------------------------------------- drift monitor
+
+/// Measured launch whose calibration trace makes tiles win `overview` and
+/// boxes win `detail`, with every serving cache disabled so a replay's
+/// fetch metrics are exactly the cold-protocol calibration metrics.
+fn launch_tuned_for_drift() -> KyrixServer {
+    let cost = CostModel::new(1.0, 2.0, 2_000.0);
+    let mut trace = CalibrationTrace::new();
+    for i in 0..3 {
+        let o = 10.0 * (i as f64 + 1.0);
+        trace.push("overview", Rect::new(o, 10.0, o + 10.0, 20.0));
+        trace.push("detail", Rect::new(o + 5.0, 15.0, o + 15.0, 25.0));
+    }
+    let policy = PlanPolicy::measured(vec![MIXED_TILES, MIXED_BOXES], trace);
+    let db = grid_db(true);
+    let app = compile(&two_canvas_app(false), &db).unwrap();
+    let mut config = ServerConfig::from_policy(policy)
+        .with_cost(cost)
+        .with_backend_cache(0);
+    config.box_cache_entries = 0;
+    let (server, _) = KyrixServer::launch(app, db, config).unwrap();
+    assert_eq!(server.plan_for("overview", 0).unwrap(), MIXED_TILES);
+    assert_eq!(server.plan_for("detail", 0).unwrap(), MIXED_BOXES);
+    server
+}
+
+#[test]
+fn drift_report_stays_quiet_on_an_undrifted_replay() {
+    let server = launch_tuned_for_drift();
+    // live traffic = the calibration workload itself (caches are off, so
+    // every serve pays exactly what the calibration replay paid)
+    for i in 0..3 {
+        let o = 10.0 * (i as f64 + 1.0);
+        server
+            .fetch_region("overview", 0, &Rect::new(o, 10.0, o + 10.0, 20.0))
+            .unwrap();
+        server
+            .fetch_region("detail", 0, &Rect::new(o + 5.0, 15.0, o + 15.0, 25.0))
+            .unwrap();
+    }
+    let report = server.drift_report().expect("measured launch has a report");
+    assert_eq!(report.layers.len(), 2, "both layers saw live traffic");
+    assert!(
+        !report.any_drift(),
+        "undrifted replay must not flag: {}",
+        report.summary()
+    );
+    assert!(report.flagged().is_empty());
+    for l in &report.layers {
+        assert_eq!(l.live_steps, 3);
+        assert!(l.best_alternative.is_some(), "two candidates were tuned");
+    }
+    assert_eq!(server.layer_region_serves("overview", 0).unwrap(), 3);
+}
+
+#[test]
+fn drift_report_flags_a_shifted_workload() {
+    let server = launch_tuned_for_drift();
+    // the workload shifts: overview viewports now straddle four tiles per
+    // step (half-tile offset on both axes), quadrupling the per-step
+    // requests/queries/bytes vs. the single-tile calibration steps that
+    // made tiles win there
+    for i in 0..3 {
+        let o = 10.0 * (i as f64 + 1.0) + 5.0;
+        server
+            .fetch_region("overview", 0, &Rect::new(o, 15.0, o + 10.0, 25.0))
+            .unwrap();
+    }
+    let report = server.drift_report().unwrap();
+    assert_eq!(
+        report.layers.len(),
+        1,
+        "only overview saw live traffic; detail is skipped"
+    );
+    let flagged = report.flagged();
+    assert_eq!(flagged.len(), 1, "{}", report.summary());
+    let l = flagged[0];
+    assert_eq!((l.canvas.as_str(), l.layer), ("overview", 0));
+    assert_eq!(l.serving, MIXED_TILES);
+    assert_eq!(l.best_alternative, Some(MIXED_BOXES));
+    assert!(l.live_net_per_step_ms > l.calib_net_per_step_ms);
+    assert!(report.any_drift());
+    assert!(report.summary().contains("overview"));
+}
+
+#[test]
+fn drift_report_absent_without_a_measured_launch() {
+    let server = launch(grid_db(false), PlacementSpec::point("x", "y"), MIXED_TILES);
+    assert!(server.drift_report().is_none());
+}

@@ -12,7 +12,15 @@ use crate::sql::{
 };
 use crate::stats::{DbCounters, ExecStats};
 use crate::value::{DataType, Value};
+use std::sync::atomic::Ordering;
 use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// Callback invoked after every read query with the SQL text and the
+/// wall-clock execution time — the storage-level timing hook a serving
+/// layer uses to feed its `sql.execute` telemetry without the storage
+/// crate depending on any telemetry types.
+pub type QueryObserver = Arc<dyn Fn(&str, Duration) + Send + Sync>;
 
 /// An embedded relational database.
 ///
@@ -28,14 +36,18 @@ pub struct Database {
     /// Cumulative counters across all queries (thread-safe; shared between
     /// clones so the totals stay process-wide across snapshot versions).
     pub counters: Arc<DbCounters>,
+    /// Optional per-query timing hook (see [`QueryObserver`]).
+    observer: Option<QueryObserver>,
 }
 
 impl Clone for Database {
-    /// Cheap clone: bumps one `Arc` per table, shares the counters.
+    /// Cheap clone: bumps one `Arc` per table, shares the counters and
+    /// the query observer.
     fn clone(&self) -> Self {
         Database {
             tables: self.tables.clone(),
             counters: Arc::clone(&self.counters),
+            observer: self.observer.clone(),
         }
     }
 }
@@ -88,12 +100,26 @@ impl Database {
 
     /// Mutable access to a table. If the table is shared with another
     /// `Database` clone (a published snapshot), it is deep-copied first so
-    /// the other clone keeps seeing the old contents.
+    /// the other clone keeps seeing the old contents; each such copy bumps
+    /// [`DbCounters::cow_table_copies`].
     pub fn table_mut(&mut self, name: &str) -> Result<&mut Table> {
+        let counters = &self.counters;
         self.tables
             .get_mut(name)
-            .map(Arc::make_mut)
+            .map(|t| {
+                if Arc::strong_count(t) > 1 {
+                    counters.cow_table_copies.fetch_add(1, Ordering::Relaxed);
+                }
+                Arc::make_mut(t)
+            })
             .ok_or_else(|| StorageError::UnknownTable(name.to_string()))
+    }
+
+    /// Install the per-query timing hook. The observer is shared with
+    /// every later clone of this database (successor snapshots keep
+    /// reporting into the same sink); pass `None` to detach.
+    pub fn set_query_observer(&mut self, observer: Option<QueryObserver>) {
+        self.observer = observer;
     }
 
     pub fn table_names(&self) -> Vec<&str> {
@@ -119,14 +145,19 @@ impl Database {
 
     /// Parse + plan + execute a read-only statement (SELECT or EXPLAIN).
     pub fn query(&self, sql: &str, params: &[Value]) -> Result<QueryResult> {
-        match parse_statement(sql)? {
+        let start = self.observer.as_ref().map(|_| Instant::now());
+        let result = match parse_statement(sql)? {
             Statement::Select(stmt) => execute_select(self, &stmt, params),
             Statement::Explain(stmt) => explain_select(self, &stmt),
             _ => Err(StorageError::PlanError(
                 "Database::query is read-only; use Database::run for INSERT/UPDATE/DELETE"
                     .to_string(),
             )),
+        };
+        if let (Some(obs), Some(t0)) = (&self.observer, start) {
+            obs(sql, t0.elapsed());
         }
+        result
     }
 
     /// Execute any statement. SELECT/EXPLAIN return their result; DML
@@ -329,7 +360,12 @@ impl Database {
     /// Execute a prepared statement. Planning happens per execution (the
     /// plan depends on available indexes, which may change between calls).
     pub fn execute(&self, prepared: &Prepared, params: &[Value]) -> Result<QueryResult> {
-        execute_select(self, &prepared.stmt, params)
+        let start = self.observer.as_ref().map(|_| Instant::now());
+        let result = execute_select(self, &prepared.stmt, params);
+        if let (Some(obs), Some(t0)) = (&self.observer, start) {
+            obs(&prepared.sql, t0.elapsed());
+        }
+        result
     }
 
     /// Infer the output schema of a query without running it.
@@ -784,6 +820,44 @@ mod tests {
             base.table("mapping").unwrap(),
             succ.table("mapping").unwrap()
         ));
+    }
+
+    #[test]
+    fn query_observer_sees_reads_and_survives_clone() {
+        use std::sync::atomic::{AtomicU64, Ordering};
+        let mut db = paper_db();
+        let seen = Arc::new(AtomicU64::new(0));
+        let sink = Arc::clone(&seen);
+        db.set_query_observer(Some(Arc::new(move |sql: &str, _dur| {
+            assert!(sql.starts_with("SELECT"), "observer got {sql:?}");
+            sink.fetch_add(1, Ordering::Relaxed);
+        })));
+        db.query("SELECT COUNT(*) FROM record", &[]).unwrap();
+        let p = db.prepare("SELECT COUNT(*) FROM record").unwrap();
+        db.execute(&p, &[]).unwrap();
+        // clones (successor snapshots) keep reporting into the same sink
+        let clone = db.clone();
+        clone.query("SELECT COUNT(*) FROM mapping", &[]).unwrap();
+        assert_eq!(seen.load(Ordering::Relaxed), 3);
+        db.set_query_observer(None);
+        db.query("SELECT COUNT(*) FROM record", &[]).unwrap();
+        assert_eq!(seen.load(Ordering::Relaxed), 3);
+    }
+
+    #[test]
+    fn cow_deep_copies_are_counted() {
+        let base = paper_db();
+        base.counters.reset();
+        let mut succ = base.clone();
+        // first mutation through a shared handle deep-copies the table
+        succ.delete_where("record", "tuple_id = 0", &[]).unwrap();
+        assert_eq!(base.counters.cow_table_copies(), 1);
+        // the handle is now unshared: further mutations copy nothing
+        succ.delete_where("record", "tuple_id = 1", &[]).unwrap();
+        assert_eq!(succ.counters.cow_table_copies(), 1);
+        // a different shared table pays its own copy
+        succ.delete_where("mapping", "tuple_id = 0", &[]).unwrap();
+        assert_eq!(succ.counters.cow_table_copies(), 2);
     }
 
     #[test]

@@ -61,7 +61,7 @@ pub mod value;
 pub mod wal;
 
 pub use catalog::{IndexKind, SpatialCols, Table};
-pub use database::{Database, Prepared};
+pub use database::{Database, Prepared, QueryObserver};
 pub use error::{Result, StorageError};
 pub use geom::{Point, Rect};
 pub use heap::RecordId;

@@ -34,6 +34,11 @@ pub struct DbCounters {
     pub rows_scanned: AtomicU64,
     pub rows_out: AtomicU64,
     pub bytes_out: AtomicU64,
+    /// Tables deep-copied by copy-on-write (`Database::table_mut` on a
+    /// table shared with another clone). Shared between clones like the
+    /// other counters, so a snapshot-serving layer can attribute the
+    /// copies one mutation pays for by sampling around it.
+    pub cow_table_copies: AtomicU64,
 }
 
 impl DbCounters {
@@ -47,6 +52,11 @@ impl DbCounters {
 
     pub fn queries(&self) -> u64 {
         self.queries.load(Ordering::Relaxed)
+    }
+
+    /// Tables deep-copied so far by copy-on-write mutation.
+    pub fn cow_table_copies(&self) -> u64 {
+        self.cow_table_copies.load(Ordering::Relaxed)
     }
 
     pub fn snapshot(&self) -> (u64, u64, u64, u64) {
@@ -63,6 +73,7 @@ impl DbCounters {
         self.rows_scanned.store(0, Ordering::Relaxed);
         self.rows_out.store(0, Ordering::Relaxed);
         self.bytes_out.store(0, Ordering::Relaxed);
+        self.cow_table_copies.store(0, Ordering::Relaxed);
     }
 }
 
