@@ -9,14 +9,14 @@
 //!
 //! Subcommands: `fig6`, `fig7`, `separability`, `prefetch`,
 //! `prefetch-policy`, `parallel`, `latency`, `boxsweep`, `cache`, `lod`,
-//! `load`, `all`. `--small` shrinks the dataset for quick runs.
-//! `--telemetry <path>` writes the load run's full telemetry registry
-//! (spans, counters, gauges) as JSON to `<path>`.
+//! `load`, `shard`, `all`. `--small` shrinks the dataset for quick runs.
+//! `--telemetry <path>` writes the load (or shard) run's full telemetry
+//! registry (spans, counters, gauges) as JSON to `<path>`.
 
 use kyrix_bench::{
     build_database, figure_table, launch_scheme, load_table, paper_traces, run_cell, run_figure,
     run_load_comparison, run_lod_experiment, run_lod_maintenance, run_lod_plan_comparison,
-    span_table, Dataset, ExperimentConfig, LoadConfig, LoadMode,
+    run_shard_scaleup, shard_table, span_table, Dataset, ExperimentConfig, LoadConfig, LoadMode,
 };
 use kyrix_client::{run_trace, Session};
 use kyrix_core::compile;
@@ -88,6 +88,7 @@ fn main() {
         "cache" => cache(&cfg),
         "lod" => lod(small),
         "load" => load(small, telemetry.as_deref()),
+        "shard" => shard(small, telemetry.as_deref()),
         "all" => {
             fig6(&cfg);
             fig7(&cfg);
@@ -100,6 +101,7 @@ fn main() {
             cache(&cfg);
             lod(small);
             load(small, telemetry.as_deref());
+            shard(small, telemetry.as_deref());
         }
         other => {
             eprintln!("unknown experiment `{other}`");
@@ -580,6 +582,57 @@ fn load(small: bool, telemetry: Option<&str>) {
             std::fs::write(path, &r.telemetry_json).expect("write telemetry dump");
             println!("\n(telemetry registry dumped to {path})");
         }
+    }
+    println!("\n(ran in {:.1}s)\n", started.elapsed().as_secs_f64());
+}
+
+/// §4: the sharded serving engine — the LoD pyramid built *on* a shard
+/// grid with `build_pyramid_on_shards`, served through the scatter-gather
+/// backend (`KyrixServer::launch_sharded`), against the single-node
+/// backend on the same data and the same cold zoom walk. Every grid
+/// returns the same tuples (the parity guarantee the `prop_shard_serve`
+/// suite pins); what moves is latency: routed viewports touch a constant
+/// number of cells, so each shard probes a shrinking R-tree, and the
+/// per-shard probes run on real threads. `--telemetry <path>` dumps the
+/// widest sharded run's registry (the `span.shard.*` spans and the
+/// `fetch.shard{i}` family) as JSON.
+fn shard(small: bool, telemetry: Option<&str>) {
+    let started = Instant::now();
+    let g = if small {
+        GalaxyConfig::tiny()
+    } else {
+        GalaxyConfig::million()
+    };
+    let (levels, spacing, viewport, steps) = if small {
+        (2, 16.0, (256.0, 256.0), 3)
+    } else {
+        (3, 24.0, (1024.0, 1024.0), 6)
+    };
+    println!(
+        "(host parallelism: {} hardware thread(s); wall-time speedup needs >1)\n",
+        std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1)
+    );
+    let grids: &[(u32, u32)] = &[(1, 1), (2, 1), (2, 2), (4, 2)];
+    let rows = run_shard_scaleup(&g, levels, spacing, viewport, steps, grids);
+    print!(
+        "{}",
+        shard_table(
+            &format!(
+                "Sharded serving scale-up — zipf_galaxy, {} points, cold zoom walk",
+                g.n
+            ),
+            &rows
+        )
+    );
+    if let Some(path) = telemetry {
+        let widest = rows.last().expect("at least one grid");
+        std::fs::write(path, &widest.telemetry_json).expect("write telemetry dump");
+        println!(
+            "\n(telemetry registry of the {} run dumped to {path})",
+            widest.label
+        );
     }
     println!("\n(ran in {:.1}s)\n", started.elapsed().as_secs_f64());
 }

@@ -926,6 +926,179 @@ pub fn load_table(title: &str, rows: &[LoadResult]) -> String {
     out
 }
 
+// ------------------------------------------------------ shard scale-up
+
+/// One row of the shard scale-up experiment ([`run_shard_scaleup`]).
+#[derive(Debug, Clone)]
+pub struct ShardScaleupResult {
+    /// Row label, e.g. `4 (2x2)` or `1 (single-node)`.
+    pub label: String,
+    pub shards: usize,
+    /// Pyramid construction wall-clock, ms (`build_pyramid_on_shards`
+    /// on the sharded rows, `build_pyramid` on the single-node row).
+    pub build_ms: f64,
+    /// Cold per-step serve latency over the zoom walk, ms (exact
+    /// harness-side percentiles over the individual steps).
+    pub p50_ms: f64,
+    pub p95_ms: f64,
+    pub mean_ms: f64,
+    /// Steps walked.
+    pub steps: usize,
+    /// Tuples returned across the walk — identical on every row by the
+    /// scatter-gather parity guarantee (same data, same walk).
+    pub rows_fetched: u64,
+    /// Mean latency of the scatter (fan-out + per-shard R-tree probes)
+    /// and coordinator-merge spans, ms; zero on the single-node row,
+    /// which never emits either span.
+    pub scatter_mean_ms: f64,
+    pub merge_mean_ms: f64,
+    /// Whole-registry dump ([`KyrixServer::telemetry_json`]) taken after
+    /// the walk (carries `span.shard.*` and the `fetch.shard{i}` family
+    /// on sharded rows).
+    pub telemetry_json: String,
+}
+
+/// The shard scale-up experiment: build the galaxy pyramid *on* each
+/// shard grid with [`kyrix_lod::build_pyramid_on_shards`], launch the
+/// scatter-gather serving backend over it, and walk the same cold zoom
+/// trace the single-node LoD experiment uses. The `(1, 1)` grid runs the
+/// single-node backend (`KyrixServer::launch`) as the baseline; every
+/// other grid goes through [`KyrixServer::launch_sharded`]. All rows
+/// serve identical data along an identical walk, so `rows_fetched` must
+/// agree across shard counts — only the latency moves.
+pub fn run_shard_scaleup(
+    g: &GalaxyConfig,
+    levels: usize,
+    spacing: f64,
+    viewport: (f64, f64),
+    steps_per_level: usize,
+    grids: &[(u32, u32)],
+) -> Vec<ShardScaleupResult> {
+    use kyrix_lod::build_pyramid_on_shards;
+    use kyrix_parallel::Partitioner;
+    use kyrix_workload::{galaxy_rows, galaxy_schema};
+
+    let lod = galaxy_lod_config(g, levels, spacing);
+    let walk = zoom_walk(&lod, levels, steps_per_level, viewport, g.seed);
+    let rows = galaxy_rows(g);
+    let schema = galaxy_schema();
+    let plan = FetchPlan::DynamicBox {
+        policy: BoxPolicy::Exact,
+    };
+
+    let mut out = Vec::new();
+    for &(cols, grid_rows) in grids {
+        let n = (cols * grid_rows) as usize;
+        let part = Partitioner::SpatialGrid {
+            x_column: "x".into(),
+            y_column: "y".into(),
+            cols,
+            rows: grid_rows,
+            width: g.width,
+            height: g.height,
+        };
+        // place the same rows on this grid; only the placement changes
+        let mut shards: Vec<Database> = (0..n)
+            .map(|_| {
+                let mut db = Database::new();
+                db.create_table("galaxy", schema.clone()).expect("table");
+                db
+            })
+            .collect();
+        for row in &rows {
+            let s = part.route(&schema, row, n).expect("route row");
+            shards[s].insert("galaxy", row.clone()).expect("insert");
+        }
+        for db in &mut shards {
+            index_galaxy(db).expect("index galaxy");
+        }
+
+        let t0 = Instant::now();
+        let (server, label) = if n == 1 {
+            let mut db = shards.pop().expect("one shard");
+            build_pyramid(&mut db, &lod).expect("build pyramid");
+            let build = t0.elapsed();
+            let app = compile(&lod_app(&lod, viewport), &db).expect("lod app compiles");
+            let (server, _) =
+                KyrixServer::launch(app, db, ServerConfig::new(plan)).expect("server launches");
+            (server, (build, "1 (single-node)".to_string()))
+        } else {
+            let pyramid =
+                build_pyramid_on_shards(&mut shards, &part, &lod).expect("build on shards");
+            let build = t0.elapsed();
+            let router = pyramid.shard_router().expect("sharded router").clone();
+            let app = compile(&lod_app(&lod, viewport), &shards[0]).expect("lod app compiles");
+            let server = KyrixServer::launch_sharded(app, shards, router, ServerConfig::new(plan))
+                .expect("sharded server launches");
+            (server, (build, format!("{n} ({cols}x{grid_rows})")))
+        };
+        let (build, label) = label;
+
+        let mut lat_ms: Vec<f64> = Vec::with_capacity(walk.len());
+        let mut rows_fetched = 0u64;
+        for (_, canvas, rect) in &walk {
+            server.clear_caches();
+            let t = Instant::now();
+            let resp = server.fetch_region(canvas, 0, rect).expect("fetch");
+            lat_ms.push(t.elapsed().as_secs_f64() * 1000.0);
+            rows_fetched += resp.rows.len() as u64;
+        }
+        lat_ms.sort_unstable_by(|a, b| a.total_cmp(b));
+        let pct = |q: f64| lat_ms[((lat_ms.len() - 1) as f64 * q).round() as usize];
+        // read the shard spans without creating them (a lookup through
+        // `Registry::histogram` would register empty ones on the
+        // single-node row and pollute its telemetry dump)
+        let span_mean = |name: &str| {
+            server
+                .obs()
+                .histograms()
+                .into_iter()
+                .find(|(hist, _)| hist == name)
+                .map(|(_, s)| s.mean_ms())
+                .unwrap_or(0.0)
+        };
+        out.push(ShardScaleupResult {
+            label,
+            shards: n,
+            build_ms: build.as_secs_f64() * 1000.0,
+            p50_ms: pct(0.50),
+            p95_ms: pct(0.95),
+            mean_ms: lat_ms.iter().sum::<f64>() / lat_ms.len().max(1) as f64,
+            steps: lat_ms.len(),
+            rows_fetched,
+            scatter_mean_ms: span_mean("span.shard.scatter"),
+            merge_mean_ms: span_mean("span.shard.merge"),
+            telemetry_json: server.telemetry_json(),
+        });
+    }
+    out
+}
+
+/// Render shard scale-up rows as a Markdown table.
+pub fn shard_table(title: &str, rows: &[ShardScaleupResult]) -> String {
+    let mut out = String::new();
+    out.push_str(&format!("## {title}\n\n"));
+    out.push_str(
+        "| shards (grid) | build (ms) | p50 (ms) | p95 (ms) | mean (ms) | \
+         rows fetched | scatter mean (ms) | merge mean (ms) |\n\
+         |---|---|---|---|---|---|---|---|\n",
+    );
+    for r in rows {
+        out.push_str(&format!(
+            "| {} | {:.0} | {:.3} | {:.3} | {:.3} | {} | {:.3} | {:.3} |\n",
+            r.label,
+            r.build_ms,
+            r.p50_ms,
+            r.p95_ms,
+            r.mean_ms,
+            r.rows_fetched,
+            r.scatter_mean_ms,
+            r.merge_mean_ms,
+        ));
+    }
+    out
+}
+
 /// The pyramid configuration the LoD experiment and benches share: both
 /// `zipf_galaxy` measures aggregated, pyramid height and spacing supplied
 /// by the caller.
@@ -1058,6 +1231,35 @@ mod tests {
         }
         // interaction latency itself lives in the shared registry too
         assert!(r.telemetry_json.contains("interaction.latency"));
+    }
+
+    #[test]
+    fn shard_scaleup_serves_identical_rows_on_every_grid() {
+        let rows = run_shard_scaleup(
+            &GalaxyConfig::tiny(),
+            2,
+            16.0,
+            (256.0, 256.0),
+            2,
+            &[(1, 1), (2, 1), (2, 2)],
+        );
+        assert_eq!(rows.len(), 3);
+        assert_eq!((rows[0].shards, rows[1].shards, rows[2].shards), (1, 2, 4));
+        assert!(rows.iter().all(|r| r.steps > 0 && r.p50_ms <= r.p95_ms));
+        // the scatter-gather parity guarantee, observed from the harness:
+        // every grid returns the same tuples along the same walk
+        assert!(
+            rows.windows(2)
+                .all(|w| w[0].rows_fetched == w[1].rows_fetched),
+            "rows fetched diverged across shard counts"
+        );
+        // sharded rows carry the scatter/merge telemetry; the
+        // single-node baseline must not
+        let sharded = &rows[2];
+        assert!(sharded.telemetry_json.contains("span.shard.scatter"));
+        assert!(sharded.telemetry_json.contains("span.shard.merge"));
+        assert!(sharded.telemetry_json.contains("fetch.shard{"));
+        assert!(!rows[0].telemetry_json.contains("span.shard.scatter"));
     }
 
     #[test]

@@ -9,7 +9,7 @@ use crate::error::{ClientError, Result};
 use crate::viewport::Viewport;
 use kyrix_core::{CompiledCanvas, CompiledRender, JumpType};
 use kyrix_render::{Color, ColorScale, Frame, Mark, MarkType};
-use kyrix_server::{DatabaseSnapshot, FetchMetrics, KyrixServer, MomentumTracker};
+use kyrix_server::{FetchMetrics, KyrixServer, MomentumTracker, SnapshotView};
 use kyrix_storage::{Row, Value};
 use std::collections::HashSet;
 use std::sync::Arc;
@@ -54,8 +54,10 @@ pub struct Session {
     /// The server snapshot the cached regions were fetched under. Pinning
     /// the snapshot (not just its version number) keeps that exact data
     /// version alive server-side, so anything the session rendered can be
-    /// re-inspected even after mutations publish newer versions.
-    snapshot: Arc<DatabaseSnapshot>,
+    /// re-inspected even after mutations publish newer versions. On a
+    /// sharded backend the pin carries a per-shard version vector,
+    /// published atomically with every mutation.
+    snapshot: Arc<dyn SnapshotView>,
     /// Forward pan hints to the server's momentum prefetcher.
     pub send_momentum_hints: bool,
     /// Forward viewed-region hints to the server's semantic prefetcher.
@@ -336,7 +338,10 @@ impl Session {
     /// and refetch fresh data.
     fn sync_data_version(&mut self) {
         let head = self.server.snapshot();
-        if head.version() == self.snapshot.version() {
+        // vector compare: on a sharded backend a mutation bumps only the
+        // entries of the shards it dirtied, so a pin is current iff every
+        // shard's entry matches (single node: the one-entry scalar case)
+        if head.versions() == self.snapshot.versions() {
             return;
         }
         match self.server.changes_since(self.snapshot.version()) {
@@ -358,7 +363,7 @@ impl Session {
     /// The server snapshot this session's cached regions were fetched
     /// under. Stays pinned (and its data version stays readable) until the
     /// next interaction observes a newer published head.
-    pub fn pinned_snapshot(&self) -> Arc<DatabaseSnapshot> {
+    pub fn pinned_snapshot(&self) -> Arc<dyn SnapshotView> {
         Arc::clone(&self.snapshot)
     }
 

@@ -18,6 +18,14 @@
 //!   [`kyrix_parallel::ParallelDatabase`]: shards cluster their local
 //!   points into grid cells in parallel and the coordinator merges
 //!   boundary cells, producing the same level tables as a single node;
+//! * [`build_pyramid_on_shards`] keeps the level tables *on* the shards
+//!   instead — each level row on the shard whose grid cell owns it, with
+//!   a [`kyrix_parallel::QueryRouter`] over every level table — the
+//!   layout `kyrix-server`'s scatter-gather backend serves directly, and
+//!   the only sharded build that stays maintainable
+//!   ([`LodPyramid::insert_points_sharded`] /
+//!   [`LodPyramid::delete_points_sharded`] route each delta to its
+//!   owning shard and merge boundary cells at the coordinator);
 //! * [`lod_app`] emits the multi-canvas [`kyrix_core::AppSpec`] with
 //!   `geometric_semantic_zoom` jumps auto-wired between adjacent levels;
 //! * [`LodPyramid::insert_points`] / [`LodPyramid::delete_points`]
@@ -91,4 +99,6 @@ pub use config::LodConfig;
 pub use error::{LodError, Result};
 pub use grid::{cell_of, Cell, SpacingGrid};
 pub use maintain::{LevelMaintenance, MaintenanceReport, RawPoint, TupleId};
-pub use pyramid::{build_pyramid, build_pyramid_sharded, LevelInfo, LodPyramid};
+pub use pyramid::{
+    build_pyramid, build_pyramid_on_shards, build_pyramid_sharded, LevelInfo, LodPyramid,
+};

@@ -40,8 +40,9 @@ use crate::config::LodConfig;
 use crate::error::{LodError, Result};
 use crate::grid::{cell_of, Cell, SpacingGrid};
 use crate::pyramid::{level_row, raw_layout, LodPyramid, RawLayout};
+use kyrix_parallel::{Partitioner, QueryRouter};
 use kyrix_storage::fxhash::{FxHashMap, FxHashSet};
-use kyrix_storage::{Database, Rect, Row, Value};
+use kyrix_storage::{Database, RecordId, Rect, Row, Value};
 
 /// One raw point to insert: the id, position and measure values of a new
 /// row of the pyramid's raw table (measures in [`LodConfig::measures`]
@@ -175,6 +176,203 @@ struct RepairOutcome {
 const FALLBACK_NUM: usize = 1;
 const FALLBACK_DEN: usize = 2;
 
+/// The physical row operations of one maintenance pass, abstracted over
+/// where the tables live: one database, or a shard set with a router.
+/// The repair logic above this trait is identical either way — sharding
+/// only decides *which* physical table a raw point or level row lands in.
+pub(crate) trait MaintainTarget {
+    /// Insert one raw point's row into (the owning shard of) the raw table.
+    fn insert_raw(
+        &mut self,
+        cfg: &LodConfig,
+        layout: &RawLayout,
+        schema_len: usize,
+        p: &RawPoint,
+    ) -> Result<()>;
+    /// Delete the given ids from one level-1 cell of the raw table.
+    fn delete_in_cell(
+        &mut self,
+        cfg: &LodConfig,
+        layout: &RawLayout,
+        cell: Cell,
+        ids: &FxHashSet<i64>,
+    ) -> Result<()>;
+    /// Re-aggregate one level-1 cell from the raw rows still inside it.
+    fn aggregate_cell(
+        &self,
+        cfg: &LodConfig,
+        layout: &RawLayout,
+        cell: Cell,
+    ) -> Result<Option<Cluster>>;
+    /// Delete one level-table row by representative id and position.
+    fn remove_level_row(&mut self, table: &str, out: &Cluster, scale: f64) -> Result<()>;
+    /// Insert the level-table row of one cluster.
+    fn add_level_row(&mut self, table: &str, scale: f64, c: &Cluster) -> Result<()>;
+}
+
+impl MaintainTarget for Database {
+    fn insert_raw(
+        &mut self,
+        cfg: &LodConfig,
+        layout: &RawLayout,
+        schema_len: usize,
+        p: &RawPoint,
+    ) -> Result<()> {
+        self.insert(&cfg.table, raw_row(layout, schema_len, p))?;
+        Ok(())
+    }
+
+    fn delete_in_cell(
+        &mut self,
+        cfg: &LodConfig,
+        layout: &RawLayout,
+        cell: Cell,
+        ids: &FxHashSet<i64>,
+    ) -> Result<()> {
+        delete_rows_in_cell(self, cfg, layout, cell, ids)
+    }
+
+    fn aggregate_cell(
+        &self,
+        cfg: &LodConfig,
+        layout: &RawLayout,
+        cell: Cell,
+    ) -> Result<Option<Cluster>> {
+        aggregate_raw_cell(self, cfg, layout, cell)
+    }
+
+    fn remove_level_row(&mut self, table: &str, out: &Cluster, scale: f64) -> Result<()> {
+        delete_level_row(self, table, out, scale)
+    }
+
+    fn add_level_row(&mut self, table: &str, scale: f64, c: &Cluster) -> Result<()> {
+        self.insert(table, level_row(scale, c))?;
+        Ok(())
+    }
+}
+
+/// Maintenance target over a shard set: raw deltas route by `(x, y)`
+/// through the raw table's grid, level rows by `(cx, cy)` through the
+/// per-level grids — the same routing the sharded serving backend reads
+/// with, so a repair always patches the shard a fetch would probe.
+pub(crate) struct ShardedTarget<'a> {
+    shards: &'a mut [Database],
+    router: &'a QueryRouter,
+}
+
+impl ShardedTarget<'_> {
+    fn partitioner(&self, table: &str) -> Result<&Partitioner> {
+        self.router.partitioner(table).ok_or_else(|| {
+            LodError::Maintenance(format!("no partitioner registered for `{table}`"))
+        })
+    }
+
+    /// The one shard whose grid cell owns `row`'s position.
+    fn route_row(&self, table: &str, row: &Row) -> Result<usize> {
+        let schema = &self.shards[0].table(table)?.schema;
+        Ok(self
+            .partitioner(table)?
+            .route(schema, row, self.shards.len())?)
+    }
+
+    /// Shards whose grid cells intersect `rect`, in ascending order.
+    fn targets(&self, table: &str, rect: &Rect) -> Result<Vec<usize>> {
+        self.partitioner(table)?
+            .route_rect(rect, self.shards.len())
+            .ok_or_else(|| {
+                LodError::Maintenance(format!("partitioner for `{table}` cannot route rectangles"))
+            })
+    }
+}
+
+impl MaintainTarget for ShardedTarget<'_> {
+    fn insert_raw(
+        &mut self,
+        cfg: &LodConfig,
+        layout: &RawLayout,
+        schema_len: usize,
+        p: &RawPoint,
+    ) -> Result<()> {
+        let row = raw_row(layout, schema_len, p);
+        let shard = self.route_row(&cfg.table, &row)?;
+        self.shards[shard].insert(&cfg.table, row)?;
+        Ok(())
+    }
+
+    fn delete_in_cell(
+        &mut self,
+        cfg: &LodConfig,
+        layout: &RawLayout,
+        cell: Cell,
+        ids: &FxHashSet<i64>,
+    ) -> Result<()> {
+        // the cell may straddle shard boundaries: collect victims on every
+        // intersecting shard, verify the total, then delete
+        let rect = raw_cell_rect(cfg, cell);
+        let mut victims: Vec<(usize, Vec<RecordId>)> = Vec::new();
+        let mut found = 0usize;
+        for i in self.targets(&cfg.table, &rect)? {
+            let rids = cell_victims(&self.shards[i], cfg, layout, &rect, ids)?;
+            found += rids.len();
+            victims.push((i, rids));
+        }
+        if found != ids.len() {
+            return Err(LodError::Maintenance(format!(
+                "cell ({}, {}) holds {found} of {} rows to delete: id index out of sync",
+                cell.x,
+                cell.y,
+                ids.len()
+            )));
+        }
+        for (i, rids) in victims {
+            let table = self.shards[i].table_mut(&cfg.table)?;
+            for rid in rids {
+                table.delete_row(rid)?;
+            }
+        }
+        Ok(())
+    }
+
+    fn aggregate_cell(
+        &self,
+        cfg: &LodConfig,
+        layout: &RawLayout,
+        cell: Cell,
+    ) -> Result<Option<Cluster>> {
+        // per-shard partial folds merge in shard order — the fold order a
+        // from-scratch sharded build uses (`merge_cell_maps`)
+        let rect = raw_cell_rect(cfg, cell);
+        let mut acc: Option<Cluster> = None;
+        for i in self.targets(&cfg.table, &rect)? {
+            if let Some(part) = aggregate_raw_cell(&self.shards[i], cfg, layout, cell)? {
+                match &mut acc {
+                    Some(agg) => agg.merge(&part),
+                    None => acc = Some(part),
+                }
+            }
+        }
+        Ok(acc)
+    }
+
+    fn remove_level_row(&mut self, table: &str, out: &Cluster, scale: f64) -> Result<()> {
+        // a degenerate point rect lies in exactly one grid cell — the
+        // same cell `add_level_row` routed the insert to
+        let (cx, cy) = (out.rep_x / scale, out.rep_y / scale);
+        let targets = self.targets(table, &Rect::new(cx, cy, cx, cy))?;
+        let shard = *targets.first().ok_or_else(|| {
+            LodError::Maintenance(format!("({cx}, {cy}) routes to no shard of `{table}`"))
+        })?;
+        delete_level_row(&mut self.shards[shard], table, out, scale)
+    }
+
+    fn add_level_row(&mut self, table: &str, scale: f64, c: &Cluster) -> Result<()> {
+        let row = level_row(scale, c);
+        let shard = self.route_row(table, &row)?;
+        self.shards[shard].insert(table, row)?;
+        Ok(())
+    }
+}
+
 impl LodPyramid {
     /// Insert a batch of raw points and fold them into every level table
     /// in place: each point merges into its level-1 grid cell (the
@@ -198,6 +396,7 @@ impl LodPyramid {
         db: &mut Database,
         points: &[RawPoint],
     ) -> Result<MaintenanceReport> {
+        self.require_single_node("insert_points_sharded")?;
         let cfg = self.config.clone();
         // validation phase: read-only, a failure here leaves everything
         // untouched
@@ -206,34 +405,7 @@ impl LodPyramid {
             if points.is_empty() {
                 return Ok(empty_report(&cfg, 0, 0));
             }
-            let layout = raw_layout(db, &cfg)?;
-            let schema_len = db.table(&cfg.table)?.schema.len();
-            if schema_len != 3 + cfg.measures.len() {
-                return Err(LodError::Maintenance(format!(
-                    "insert_points needs `{}` to hold exactly the configured id/x/y/measure \
-                     columns ({} columns), found {schema_len}",
-                    cfg.table,
-                    3 + cfg.measures.len()
-                )));
-            }
-            let mut fresh: FxHashSet<i64> = FxHashSet::default();
-            for p in points {
-                if p.measures.len() != cfg.measures.len() {
-                    return Err(LodError::Maintenance(format!(
-                        "point {} carries {} measures, config has {}",
-                        p.id,
-                        p.measures.len(),
-                        cfg.measures.len()
-                    )));
-                }
-                if state.id_cells.contains_key(&p.id) || !fresh.insert(p.id) {
-                    return Err(LodError::Maintenance(format!(
-                        "id {} is already live in `{}`",
-                        p.id, cfg.table
-                    )));
-                }
-            }
-            (layout, schema_len)
+            validate_insert(&cfg, state, db, points)?
         };
         // application phase: errors past this point poison the state
         let obs = self.observability.clone();
@@ -264,6 +436,7 @@ impl LodPyramid {
         db: &mut Database,
         ids: &[TupleId],
     ) -> Result<MaintenanceReport> {
+        self.require_single_node("delete_points_sharded")?;
         let cfg = self.config.clone();
         // validation phase — ids live and distinct, spatial index present
         // — before mutating any state
@@ -272,25 +445,8 @@ impl LodPyramid {
             if ids.is_empty() {
                 return Ok(empty_report(&cfg, 0, 0));
             }
-            let layout = raw_layout(db, &cfg)?;
-            if db.table(&cfg.table)?.spatial_index().is_none() {
-                return Err(LodError::Maintenance(format!(
-                    "raw table `{}` needs a spatial index for maintenance",
-                    cfg.table
-                )));
-            }
-            let mut by_cell: FxHashMap<Cell, FxHashSet<i64>> = FxHashMap::default();
-            for id in ids {
-                let cell = *state.id_cells.get(id).ok_or_else(|| {
-                    LodError::Maintenance(format!("id {id} is not live in `{}`", cfg.table))
-                })?;
-                if !by_cell.entry(cell).or_default().insert(*id) {
-                    return Err(LodError::Maintenance(format!(
-                        "id {id} appears twice in the delete batch"
-                    )));
-                }
-            }
-            (layout, by_cell)
+            require_raw_spatial_index(db, &cfg)?;
+            validate_delete(&cfg, state, db, ids)?
         };
         // application phase: errors past this point poison the state
         let obs = self.observability.clone();
@@ -307,12 +463,141 @@ impl LodPyramid {
         }
         result
     }
+
+    /// Insert a batch of raw points into a shard-resident pyramid built
+    /// with [`crate::build_pyramid_on_shards`]: each point's raw row lands
+    /// on the shard whose grid cell owns its position, the coordinator
+    /// folds the batch into the maintained level-1 cell map (merging
+    /// boundary cells across shards exactly as the sharded build does)
+    /// and repairs every level, and each changed level row is rewritten
+    /// on the shard that owns it. The report carries the same per-level
+    /// dirty regions as the single-node path — the shape
+    /// `KyrixServer::mutate_shards` feeds its cache invalidation.
+    ///
+    /// Exactness matches the sharded build's: counts, bounding boxes and
+    /// representatives are bit-identical to a from-scratch rebuild over
+    /// the mutated shards; float measure sums are exact when measure
+    /// values are integer-valued.
+    ///
+    /// Errors if the pyramid is not shard-resident, `shards` does not
+    /// match the build-time shard count, an id is already live, or a
+    /// measure count mismatches — all checked before anything mutates. As
+    /// with [`LodPyramid::insert_points`], a failure *after* mutation
+    /// starts drops the maintenance state so later calls refuse loudly.
+    pub fn insert_points_sharded(
+        &mut self,
+        shards: &mut [Database],
+        points: &[RawPoint],
+    ) -> Result<MaintenanceReport> {
+        let cfg = self.config.clone();
+        let router = require_router(self.sharding.as_ref(), shards.len())?.clone();
+        let (layout, schema_len) = {
+            let state = require_state(self.maintenance.as_mut())?;
+            if points.is_empty() {
+                return Ok(empty_report(&cfg, 0, 0));
+            }
+            validate_insert(&cfg, state, &shards[0], points)?
+        };
+        let obs = self.observability.clone();
+        let _repair = obs.as_deref().map(|o| o.span("pyramid.repair"));
+        let LodPyramid {
+            maintenance,
+            levels,
+            ..
+        } = self;
+        let state = maintenance.as_mut().expect("validated above");
+        let mut target = ShardedTarget {
+            shards,
+            router: &router,
+        };
+        let result = apply_insert(
+            &mut target,
+            &cfg,
+            state,
+            levels,
+            &layout,
+            schema_len,
+            points,
+        );
+        if result.is_err() {
+            *maintenance = None;
+        }
+        result
+    }
+
+    /// Delete a batch of raw rows by id from a shard-resident pyramid:
+    /// each dirtied level-1 cell is re-aggregated from the raw rows still
+    /// inside it — probing only the shards the cell's extent intersects
+    /// and folding the per-shard partials in shard order, the sharded
+    /// build's own merge order — and repair proceeds exactly as for
+    /// [`LodPyramid::insert_points_sharded`]. Errors if the pyramid is
+    /// not shard-resident, the shard count mismatches, or an id is not
+    /// live — checked before anything mutates; a failure after mutation
+    /// starts drops the maintenance state so later calls refuse loudly.
+    pub fn delete_points_sharded(
+        &mut self,
+        shards: &mut [Database],
+        ids: &[TupleId],
+    ) -> Result<MaintenanceReport> {
+        let cfg = self.config.clone();
+        let router = require_router(self.sharding.as_ref(), shards.len())?.clone();
+        let (layout, by_cell) = {
+            let state = require_state(self.maintenance.as_mut())?;
+            if ids.is_empty() {
+                return Ok(empty_report(&cfg, 0, 0));
+            }
+            for shard in shards.iter() {
+                require_raw_spatial_index(shard, &cfg)?;
+            }
+            validate_delete(&cfg, state, &shards[0], ids)?
+        };
+        let obs = self.observability.clone();
+        let _repair = obs.as_deref().map(|o| o.span("pyramid.repair"));
+        let LodPyramid {
+            maintenance,
+            levels,
+            ..
+        } = self;
+        let state = maintenance.as_mut().expect("validated above");
+        let mut target = ShardedTarget {
+            shards,
+            router: &router,
+        };
+        let result = apply_delete(
+            &mut target,
+            &cfg,
+            state,
+            levels,
+            &layout,
+            by_cell,
+            ids.len(),
+        );
+        if result.is_err() {
+            *maintenance = None;
+        }
+        result
+    }
+
+    /// Single-database maintenance on a shard-resident pyramid would
+    /// write level rows nobody serves; refuse with a pointer to the
+    /// sharded entry point.
+    fn require_single_node(&self, sharded_name: &str) -> Result<()> {
+        match &self.sharding {
+            Some(r) => Err(LodError::Maintenance(format!(
+                "pyramid `{}` lives on {} shards; use {sharded_name}",
+                self.config.table,
+                r.shard_count()
+            ))),
+            None => Ok(()),
+        }
+    }
 }
 
-/// The mutating half of [`LodPyramid::insert_points`].
+/// The mutating half of [`LodPyramid::insert_points`] (and its sharded
+/// sibling — the target decides where rows physically land).
 #[allow(clippy::too_many_arguments)]
 fn apply_insert(
-    db: &mut Database,
+    target: &mut dyn MaintainTarget,
     cfg: &LodConfig,
     state: &mut MaintainState,
     levels: &mut [crate::pyramid::LevelInfo],
@@ -323,7 +608,7 @@ fn apply_insert(
     let scale1 = cfg.level_scale(1);
     let mut dirty: FxHashSet<Cell> = FxHashSet::default();
     for p in points {
-        db.insert(&cfg.table, raw_row(layout, schema_len, p))?;
+        target.insert_raw(cfg, layout, schema_len, p)?;
         let cell = cell_of(p.x / scale1, p.y / scale1, cfg.spacing);
         state.id_cells.insert(p.id, cell);
         // fold into the level-1 candidate map: new rows append to the
@@ -337,12 +622,13 @@ fn apply_insert(
         }
         dirty.insert(cell);
     }
-    propagate(db, cfg, state, levels, dirty, points.len(), 0)
+    propagate(target, cfg, state, levels, dirty, points.len(), 0)
 }
 
-/// The mutating half of [`LodPyramid::delete_points`].
+/// The mutating half of [`LodPyramid::delete_points`] (and its sharded
+/// sibling).
 fn apply_delete(
-    db: &mut Database,
+    target: &mut dyn MaintainTarget,
     cfg: &LodConfig,
     state: &mut MaintainState,
     levels: &mut [crate::pyramid::LevelInfo],
@@ -354,9 +640,9 @@ fn apply_delete(
     let mut cells: Vec<(Cell, FxHashSet<i64>)> = by_cell.into_iter().collect();
     cells.sort_unstable_by_key(|(c, _)| *c);
     for (cell, cell_ids) in cells {
-        delete_rows_in_cell(db, cfg, layout, cell, &cell_ids)?;
+        target.delete_in_cell(cfg, layout, cell, &cell_ids)?;
         // re-aggregate the cell from the raw rows still inside it
-        match aggregate_raw_cell(db, cfg, layout, cell)? {
+        match target.aggregate_cell(cfg, layout, cell)? {
             Some(cluster) => {
                 state.levels[0].cands.insert(cell, cluster);
             }
@@ -369,7 +655,7 @@ fn apply_delete(
         }
         dirty.insert(cell);
     }
-    propagate(db, cfg, state, levels, dirty, 0, deleted)
+    propagate(target, cfg, state, levels, dirty, 0, deleted)
 }
 
 fn require_state(state: Option<&mut MaintainState>) -> Result<&mut MaintainState> {
@@ -380,6 +666,99 @@ fn require_state(state: Option<&mut MaintainState>) -> Result<&mut MaintainState
                 .to_string(),
         )
     })
+}
+
+/// The router a sharded maintenance call runs over; errs when the
+/// pyramid is not shard-resident or the shard count does not match the
+/// one it was built over.
+fn require_router(router: Option<&QueryRouter>, shards: usize) -> Result<&QueryRouter> {
+    let router = router.ok_or_else(|| {
+        LodError::Maintenance(
+            "pyramid is not shard-resident: build with `build_pyramid_on_shards` to \
+             maintain across shards, or use insert_points/delete_points on one database"
+                .to_string(),
+        )
+    })?;
+    if router.shard_count() != shards {
+        return Err(LodError::Maintenance(format!(
+            "pyramid was built over {} shards, got {shards}",
+            router.shard_count()
+        )));
+    }
+    Ok(router)
+}
+
+fn require_raw_spatial_index(db: &Database, cfg: &LodConfig) -> Result<()> {
+    if db.table(&cfg.table)?.spatial_index().is_none() {
+        return Err(LodError::Maintenance(format!(
+            "raw table `{}` needs a spatial index for maintenance",
+            cfg.table
+        )));
+    }
+    Ok(())
+}
+
+/// Read-only insert validation shared by the single-node and sharded
+/// entry points: schema shape, measure arity and id freshness.
+/// `catalog` is the raw table's database (shard 0 carries the broadcast
+/// catalog on sharded targets).
+fn validate_insert(
+    cfg: &LodConfig,
+    state: &MaintainState,
+    catalog: &Database,
+    points: &[RawPoint],
+) -> Result<(RawLayout, usize)> {
+    let layout = raw_layout(catalog, cfg)?;
+    let schema_len = catalog.table(&cfg.table)?.schema.len();
+    if schema_len != 3 + cfg.measures.len() {
+        return Err(LodError::Maintenance(format!(
+            "insert_points needs `{}` to hold exactly the configured id/x/y/measure \
+             columns ({} columns), found {schema_len}",
+            cfg.table,
+            3 + cfg.measures.len()
+        )));
+    }
+    let mut fresh: FxHashSet<i64> = FxHashSet::default();
+    for p in points {
+        if p.measures.len() != cfg.measures.len() {
+            return Err(LodError::Maintenance(format!(
+                "point {} carries {} measures, config has {}",
+                p.id,
+                p.measures.len(),
+                cfg.measures.len()
+            )));
+        }
+        if state.id_cells.contains_key(&p.id) || !fresh.insert(p.id) {
+            return Err(LodError::Maintenance(format!(
+                "id {} is already live in `{}`",
+                p.id, cfg.table
+            )));
+        }
+    }
+    Ok((layout, schema_len))
+}
+
+/// Read-only delete validation shared by the single-node and sharded
+/// entry points: every id live and distinct, grouped by its level-1 cell.
+fn validate_delete(
+    cfg: &LodConfig,
+    state: &MaintainState,
+    catalog: &Database,
+    ids: &[TupleId],
+) -> Result<(RawLayout, FxHashMap<Cell, FxHashSet<i64>>)> {
+    let layout = raw_layout(catalog, cfg)?;
+    let mut by_cell: FxHashMap<Cell, FxHashSet<i64>> = FxHashMap::default();
+    for id in ids {
+        let cell = *state.id_cells.get(id).ok_or_else(|| {
+            LodError::Maintenance(format!("id {id} is not live in `{}`", cfg.table))
+        })?;
+        if !by_cell.entry(cell).or_default().insert(*id) {
+            return Err(LodError::Maintenance(format!(
+                "id {id} appears twice in the delete batch"
+            )));
+        }
+    }
+    Ok((layout, by_cell))
 }
 
 fn empty_report(cfg: &LodConfig, inserted: usize, deleted: usize) -> MaintenanceReport {
@@ -433,6 +812,39 @@ fn level_cell_rect(spacing: f64, cell: Cell) -> Rect {
     )
 }
 
+/// Row ids of the `ids` members inside `rect` on one database, located
+/// through the raw table's spatial index (no scan, no count check — the
+/// caller verifies the total, which on a sharded target spans shards).
+fn cell_victims(
+    db: &Database,
+    cfg: &LodConfig,
+    layout: &RawLayout,
+    rect: &Rect,
+    ids: &FxHashSet<i64>,
+) -> Result<Vec<RecordId>> {
+    let table = db.table(&cfg.table)?;
+    let idx = table.spatial_index().ok_or_else(|| {
+        LodError::Maintenance(format!(
+            "raw table `{}` needs a spatial index for maintenance",
+            cfg.table
+        ))
+    })?;
+    let mut rids = Vec::new();
+    table.probe_spatial(idx, rect, |rid| rids.push(rid));
+    let mut victims = Vec::new();
+    for rid in rids {
+        let Some(row) = table.get(rid)? else { continue };
+        let id = row
+            .get(layout.id)
+            .as_i64()
+            .map_err(|_| LodError::Schema(format!("non-integer id in `{}`", cfg.table)))?;
+        if ids.contains(&id) {
+            victims.push(rid);
+        }
+    }
+    Ok(victims)
+}
+
 /// Delete the rows with the given ids from one level-1 cell of the raw
 /// table, located through the spatial index (no scan).
 fn delete_rows_in_cell(
@@ -443,33 +855,13 @@ fn delete_rows_in_cell(
     ids: &FxHashSet<i64>,
 ) -> Result<()> {
     let rect = raw_cell_rect(cfg, cell);
-    let table = db.table(&cfg.table)?;
-    let idx = table.spatial_index().ok_or_else(|| {
-        LodError::Maintenance(format!(
-            "raw table `{}` needs a spatial index for maintenance",
-            cfg.table
-        ))
-    })?;
-    let mut rids = Vec::new();
-    table.probe_spatial(idx, &rect, |rid| rids.push(rid));
-    let mut found = 0usize;
-    let mut victims = Vec::new();
-    for rid in rids {
-        let Some(row) = table.get(rid)? else { continue };
-        let id = row
-            .get(layout.id)
-            .as_i64()
-            .map_err(|_| LodError::Schema(format!("non-integer id in `{}`", cfg.table)))?;
-        if ids.contains(&id) {
-            victims.push(rid);
-            found += 1;
-        }
-    }
-    if found != ids.len() {
+    let victims = cell_victims(db, cfg, layout, &rect, ids)?;
+    if victims.len() != ids.len() {
         return Err(LodError::Maintenance(format!(
-            "cell ({}, {}) holds {found} of {} rows to delete: id index out of sync",
+            "cell ({}, {}) holds {} of {} rows to delete: id index out of sync",
             cell.x,
             cell.y,
+            victims.len(),
             ids.len()
         )));
     }
@@ -527,7 +919,7 @@ fn aggregate_raw_cell(
 /// raw mutation that dirtied `dirty` cells. Rewrites level tables in place
 /// and updates the pyramid's per-level row counts.
 fn propagate(
-    db: &mut Database,
+    target: &mut dyn MaintainTarget,
     cfg: &LodConfig,
     state: &mut MaintainState,
     infos: &mut [crate::pyramid::LevelInfo],
@@ -604,7 +996,7 @@ fn propagate(
             continue;
         }
         let outcome = repair_level(&mut state.levels[k - 1], scale, cfg.spacing, &dirty);
-        rewrite_level_table(db, cfg, k, scale, &outcome.changed)?;
+        rewrite_level_table(target, cfg, k, scale, &outcome.changed)?;
         infos[k].rows = state.levels[k - 1].outs.len();
         report.levels.push(LevelMaintenance {
             level: k,
@@ -891,7 +1283,7 @@ fn output_for(st: &LevelState, r: Cell) -> Cluster {
 /// new versions. Deletes run first so a representative migrating between
 /// cells never collides with itself.
 fn rewrite_level_table(
-    db: &mut Database,
+    target: &mut dyn MaintainTarget,
     cfg: &LodConfig,
     level: usize,
     scale: f64,
@@ -900,13 +1292,13 @@ fn rewrite_level_table(
     let table = cfg.level_table(level);
     for (_, old, _) in changed {
         if let Some(o) = old {
-            delete_level_row(db, &table, o, scale)?;
+            target.remove_level_row(&table, o, scale)?;
         }
     }
     let mut inserts: Vec<&Cluster> = changed.iter().filter_map(|(_, _, n)| n.as_ref()).collect();
     inserts.sort_unstable_by_key(|c| c.rep_id);
     for c in inserts {
-        db.insert(&table, level_row(scale, c))?;
+        target.add_level_row(&table, scale, c)?;
     }
     Ok(())
 }
@@ -1195,6 +1587,156 @@ mod tests {
         assert!(!p.can_maintain());
         assert!(matches!(
             p.insert_points(&mut out, &[RawPoint::new(99, 1.0, 1.0, &[0.0])]),
+            Err(LodError::Maintenance(_))
+        ));
+    }
+
+    fn grid_partitioner() -> kyrix_parallel::Partitioner {
+        kyrix_parallel::Partitioner::SpatialGrid {
+            x_column: "x".into(),
+            y_column: "y".into(),
+            cols: 2,
+            rows: 2,
+            width: 256.0,
+            height: 256.0,
+        }
+    }
+
+    /// The rows of [`seeded_db`] spread over four grid shards, raw
+    /// spatial index included.
+    fn seeded_shards(n: i64) -> Vec<Database> {
+        let part = grid_partitioner();
+        let schema = raw_schema();
+        let mut shards: Vec<Database> = (0..4)
+            .map(|_| {
+                let mut db = Database::new();
+                db.create_table("pts", schema.clone()).unwrap();
+                db
+            })
+            .collect();
+        let single = seeded_db(n);
+        single
+            .table("pts")
+            .unwrap()
+            .scan(|_, row| {
+                let s = part.route(&schema, &row, 4).unwrap();
+                shards[s].insert("pts", row).unwrap();
+            })
+            .unwrap();
+        for db in &mut shards {
+            db.create_index(
+                "pts",
+                "pts_xy",
+                IndexKind::Spatial(SpatialCols::Point {
+                    x: "x".into(),
+                    y: "y".into(),
+                }),
+            )
+            .unwrap();
+        }
+        shards
+    }
+
+    /// Sharded maintenance tracks the single-node path batch for batch:
+    /// identical reports, identical level-table unions, identical
+    /// maintenance state — boundary cells and all. (Measures are
+    /// integer-valued, so even the float sums must match bitwise.)
+    #[test]
+    fn sharded_maintenance_matches_single_node() {
+        let mut db = seeded_db(256);
+        let mut single = build_pyramid(&mut db, &cfg()).unwrap();
+
+        let part = grid_partitioner();
+        let mut shards = seeded_shards(256);
+        let mut sharded =
+            crate::pyramid::build_pyramid_on_shards(&mut shards, &part, &cfg()).unwrap();
+        assert_eq!(single.levels, sharded.levels);
+
+        // a blob straddling the vertical shard boundary (x = 128) plus
+        // scattered points — boundary cells must merge across shards
+        let pts: Vec<RawPoint> = (0..40)
+            .map(|i| {
+                RawPoint::new(
+                    1000 + i,
+                    120.0 + (i % 8) as f64 * 2.5,
+                    (i / 8) as f64 * 40.0 + 7.0,
+                    &[(i % 3) as f64],
+                )
+            })
+            .collect();
+        let a = single.insert_points(&mut db, &pts).unwrap();
+        let b = sharded.insert_points_sharded(&mut shards, &pts).unwrap();
+        assert_eq!(a, b, "insert reports diverge");
+
+        let victims: Vec<i64> = (0..256).filter(|i| i % 3 == 0).chain(1000..1010).collect();
+        let a = single.delete_points(&mut db, &victims).unwrap();
+        let b = sharded
+            .delete_points_sharded(&mut shards, &victims)
+            .unwrap();
+        assert_eq!(a, b, "delete reports diverge");
+        assert_eq!(single.levels, sharded.levels);
+
+        for k in 1..=2 {
+            let q = format!("SELECT * FROM {} ORDER BY id", cfg().level_table(k));
+            let want = db.query(&q, &[]).unwrap().rows;
+            let mut got: Vec<Row> = shards
+                .iter()
+                .flat_map(|s| s.query(&q, &[]).unwrap().rows.clone())
+                .collect();
+            got.sort_unstable_by_key(|r| r.get(0).as_i64().unwrap());
+            assert_eq!(want, got, "level {k} union diverged");
+        }
+        // raw rows stayed on their owning shards
+        let raw_total: usize = shards.iter().map(|s| s.table("pts").unwrap().len()).sum();
+        assert_eq!(raw_total, sharded.levels[0].rows);
+    }
+
+    #[test]
+    fn sharded_and_single_node_entry_points_refuse_each_other() {
+        let part = grid_partitioner();
+        let mut shards = seeded_shards(64);
+        let mut sharded =
+            crate::pyramid::build_pyramid_on_shards(&mut shards, &part, &cfg()).unwrap();
+        let mut db = seeded_db(64);
+        let mut single = build_pyramid(&mut db, &cfg()).unwrap();
+        let pt = [RawPoint::new(901, 10.0, 10.0, &[1.0])];
+
+        // shard-resident pyramid refuses the single-database path…
+        assert!(matches!(
+            sharded.insert_points(&mut db, &pt),
+            Err(LodError::Maintenance(_))
+        ));
+        assert!(matches!(
+            sharded.delete_points(&mut db, &[1]),
+            Err(LodError::Maintenance(_))
+        ));
+        // …the single-node pyramid refuses the sharded one…
+        assert!(matches!(
+            single.insert_points_sharded(&mut shards, &pt),
+            Err(LodError::Maintenance(_))
+        ));
+        // …and a shard-count mismatch is caught before any mutation
+        assert!(matches!(
+            sharded.insert_points_sharded(&mut shards[..2], &pt),
+            Err(LodError::Maintenance(_))
+        ));
+        assert!(sharded.can_maintain(), "refusals must not poison state");
+        sharded.insert_points_sharded(&mut shards, &pt).unwrap();
+    }
+
+    #[test]
+    fn sharded_mid_apply_failure_poisons_the_state() {
+        let part = grid_partitioner();
+        let mut shards = seeded_shards(64);
+        let mut p = crate::pyramid::build_pyramid_on_shards(&mut shards, &part, &cfg()).unwrap();
+        // sabotage one shard's level-1 table: the repair fails after the
+        // raw insert landed on some shard
+        shards[0].drop_table("pts_lod1").unwrap();
+        let r = p.insert_points_sharded(&mut shards, &[RawPoint::new(800, 10.0, 10.0, &[1.0])]);
+        assert!(r.is_err());
+        assert!(!p.can_maintain());
+        assert!(matches!(
+            p.delete_points_sharded(&mut shards, &[1]),
             Err(LodError::Maintenance(_))
         ));
     }

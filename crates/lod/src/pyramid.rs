@@ -8,7 +8,7 @@ use crate::config::LodConfig;
 use crate::error::{LodError, Result};
 use crate::grid::{cell_of, Cell};
 use crate::maintain::{LevelState, MaintainState};
-use kyrix_parallel::ParallelDatabase;
+use kyrix_parallel::{ParallelDatabase, Partitioner, QueryRouter};
 use kyrix_storage::fxhash::FxHashMap;
 use kyrix_storage::{DataType, Database, IndexKind, Row, Schema, SpatialCols, Value};
 use std::time::{Duration, Instant};
@@ -39,10 +39,16 @@ pub struct LodPyramid {
     /// Wall-clock spent clustering and writing level tables.
     pub build_time: Duration,
     /// Incremental-maintenance state (per-level candidate cell maps and
-    /// retention statuses). Present after a single-node [`build_pyramid`];
-    /// `None` after [`build_pyramid_sharded`], whose raw data stays on the
-    /// shards — see [`LodPyramid::insert_points`].
+    /// retention statuses). Present after a single-node [`build_pyramid`]
+    /// and after [`build_pyramid_on_shards`] (whose level tables live on
+    /// the shards but whose repair state is coordinator-side); `None`
+    /// after [`build_pyramid_sharded`], which evacuates the level tables
+    /// to a coordinator database — see [`LodPyramid::insert_points`].
     pub(crate) maintenance: Option<MaintainState>,
+    /// Routing of the raw table and every level table over serving
+    /// shards. Present only after [`build_pyramid_on_shards`]; selects
+    /// between the single-database and sharded maintenance entry points.
+    pub(crate) sharding: Option<QueryRouter>,
     /// Telemetry registry maintenance batches record `pyramid.repair`
     /// spans into (attached with [`LodPyramid::set_observability`]).
     pub(crate) observability: Option<std::sync::Arc<kyrix_obs::Registry>>,
@@ -79,10 +85,20 @@ impl LodPyramid {
     }
 
     /// Whether this pyramid carries the state incremental maintenance
-    /// needs (true after [`build_pyramid`], false after
+    /// needs (true after [`build_pyramid`] and
+    /// [`build_pyramid_on_shards`], false after
     /// [`build_pyramid_sharded`]).
     pub fn can_maintain(&self) -> bool {
         self.maintenance.is_some()
+    }
+
+    /// The statement router of a shard-resident pyramid: the raw table
+    /// under the build partitioner plus one per-level `(cx, cy)` grid.
+    /// Hand a clone to `kyrix-server`'s sharded launch so viewport
+    /// queries over any level probe only the shards whose cells
+    /// intersect. `None` for pyramids whose tables live in one database.
+    pub fn shard_router(&self) -> Option<&QueryRouter> {
+        self.sharding.as_ref()
     }
 }
 
@@ -263,6 +279,7 @@ fn finish_build(
             levels: states,
             id_cells: ids,
         }),
+        sharding: None,
         observability: None,
     })
 }
@@ -337,6 +354,225 @@ pub fn build_pyramid_sharded(
         maps.push(m);
     }
     finish_build(out, cfg, raw_rows, maps, None, start)
+}
+
+/// The statement router of a shard-resident pyramid: the raw table under
+/// the caller's grid plus one grid per level with the extent shrunk by
+/// the level scale and keyed on the level tables' `(cx, cy)` columns.
+/// Because `(x / scale) / (width / scale) = x / width`, the grid cell of
+/// a cluster's level coordinates equals the cell of its representative's
+/// raw coordinates — every level row lives on the shard that owns its
+/// representative point.
+fn sharded_router(partitioner: &Partitioner, cfg: &LodConfig, n: usize) -> Result<QueryRouter> {
+    let Partitioner::SpatialGrid {
+        x_column,
+        y_column,
+        cols,
+        rows,
+        width,
+        height,
+    } = partitioner
+    else {
+        return Err(LodError::Config(
+            "building a pyramid on shards needs a SpatialGrid partitioner over the raw \
+             table (hash/range layouts cannot route viewport rectangles)"
+                .into(),
+        ));
+    };
+    if *x_column != cfg.x_column || *y_column != cfg.y_column {
+        return Err(LodError::Config(format!(
+            "partitioner grid keys ({x_column}, {y_column}) must be the configured raw \
+             position columns ({}, {})",
+            cfg.x_column, cfg.y_column
+        )));
+    }
+    let mut router = QueryRouter::new(n)?;
+    router.register(cfg.table.clone(), partitioner.clone())?;
+    for k in 1..=cfg.levels {
+        let s = cfg.level_scale(k);
+        router.register(
+            cfg.level_table(k),
+            Partitioner::SpatialGrid {
+                x_column: "cx".into(),
+                y_column: "cy".into(),
+                cols: *cols,
+                rows: *rows,
+                width: *width / s,
+                height: *height / s,
+            },
+        )?;
+    }
+    Ok(router)
+}
+
+/// Write one clustered level across the shards: the table and its
+/// `(cx, cy)` spatial index exist on every shard (empty where the level
+/// has no local marks), each row on the shard whose grid cell owns its
+/// position.
+fn write_level_sharded(
+    shards: &mut [Database],
+    router: &QueryRouter,
+    cfg: &LodConfig,
+    level: usize,
+    clusters: &[Cluster],
+) -> Result<()> {
+    let table = cfg.level_table(level);
+    let schema = level_schema(cfg);
+    for db in shards.iter_mut() {
+        if db.has_table(&table) {
+            db.drop_table(&table)?;
+        }
+        db.create_table(&table, schema.clone())?;
+    }
+    let part = router
+        .partitioner(&table)
+        .expect("level table registered by sharded_router");
+    let scale = cfg.level_scale(level);
+    for c in clusters {
+        let row = level_row(scale, c);
+        let shard = part.route(&schema, &row, shards.len())?;
+        shards[shard].insert(&table, row)?;
+    }
+    for db in shards.iter_mut() {
+        db.create_index(
+            &table,
+            format!("{table}_cxcy"),
+            IndexKind::Spatial(SpatialCols::Point {
+                x: "cx".into(),
+                y: "cy".into(),
+            }),
+        )?;
+    }
+    Ok(())
+}
+
+/// Build the pyramid *and its level tables* directly on serving shards:
+/// every shard aggregates its local raw points into level-1 grid cells in
+/// parallel, the coordinator merges cells split across shard boundaries
+/// and runs the retention passes with maintenance tracking, and each
+/// level row is written to the shard whose grid cell owns its `(cx, cy)`
+/// position — the layout `kyrix-server`'s sharded backend serves with
+/// per-shard R-tree probes.
+///
+/// Unlike [`build_pyramid_sharded`] (which evacuates the level tables to
+/// a coordinator database and cannot maintain them), the returned pyramid
+/// carries maintenance state plus a router ([`LodPyramid::shard_router`])
+/// over the raw table and every level table; mutate it in place with
+/// [`LodPyramid::insert_points_sharded`] /
+/// [`LodPyramid::delete_points_sharded`].
+///
+/// `partitioner` must be a [`Partitioner::SpatialGrid`] over the
+/// configured raw x/y columns whose natural shard count is
+/// `shards.len()`. Level-table contents are identical to a single-node
+/// [`build_pyramid`] over the union of the shards, with the sharded
+/// build's usual caveat: counts, bounding boxes and representatives
+/// match bitwise; float measure sums match when measure values are
+/// integer-valued.
+pub fn build_pyramid_on_shards(
+    shards: &mut [Database],
+    partitioner: &Partitioner,
+    cfg: &LodConfig,
+) -> Result<LodPyramid> {
+    cfg.validate()?;
+    let start = Instant::now();
+    let router = sharded_router(partitioner, cfg, shards.len())?;
+    let layout = raw_layout(&shards[0], cfg)?;
+    let scale1 = cfg.level_scale(1);
+    // local clustering fan-out, plus the per-point cell index maintenance
+    // needs (the same secondary index build_pyramid keeps)
+    type ShardOut = Result<(FxHashMap<Cell, Cluster>, FxHashMap<i64, Cell>)>;
+    let per_shard: Vec<ShardOut> = std::thread::scope(|s| {
+        let handles: Vec<_> = shards
+            .iter()
+            .map(|db| {
+                let layout = &layout;
+                s.spawn(move || {
+                    let points = extract_points(db, cfg, layout)?;
+                    let mut ids = FxHashMap::default();
+                    for p in &points {
+                        ids.insert(
+                            p.rep_id,
+                            cell_of(p.rep_x / scale1, p.rep_y / scale1, cfg.spacing),
+                        );
+                    }
+                    if ids.len() != points.len() {
+                        return Err(LodError::Schema(format!(
+                            "table `{}` has duplicate values in id column `{}`",
+                            cfg.table, cfg.id_column
+                        )));
+                    }
+                    Ok((aggregate_into_cells(points, scale1, cfg.spacing), ids))
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("shard clustering panicked"))
+            .collect()
+    });
+    let mut maps = Vec::with_capacity(per_shard.len());
+    let mut id_cells: FxHashMap<i64, Cell> = FxHashMap::default();
+    let mut raw_rows = 0usize;
+    for r in per_shard {
+        let (map, ids) = r?;
+        raw_rows += ids.len();
+        id_cells.extend(ids);
+        maps.push(map);
+    }
+    if id_cells.len() != raw_rows {
+        return Err(LodError::Schema(format!(
+            "table `{}` has duplicate values in id column `{}` across shards",
+            cfg.table, cfg.id_column
+        )));
+    }
+    // coordinator: merge boundary cells, then run the level loop exactly
+    // as the tracked single-node build does, writing each level row to
+    // the shard that owns it
+    let mut levels = vec![LevelInfo {
+        level: 0,
+        table: cfg.level_table(0),
+        rows: raw_rows,
+        width: cfg.width,
+        height: cfg.height,
+    }];
+    let mut states: Vec<LevelState> = Vec::new();
+    let mut prev_sorted: Vec<Cluster> = Vec::new();
+    let mut cands = merge_cell_maps(maps);
+    for k in 1..=cfg.levels {
+        let scale = cfg.level_scale(k);
+        if k > 1 {
+            cands = aggregate_into_cells(std::mem::take(&mut prev_sorted), scale, cfg.spacing);
+        }
+        let (status, outs) = retain_with_spacing_tracked(cands.clone(), scale, cfg.spacing);
+        let state = LevelState {
+            cands: std::mem::take(&mut cands),
+            status,
+            outs,
+        };
+        let sorted = state.sorted_outputs();
+        states.push(state);
+        write_level_sharded(shards, &router, cfg, k, &sorted)?;
+        let (w, h) = cfg.level_size(k);
+        levels.push(LevelInfo {
+            level: k,
+            table: cfg.level_table(k),
+            rows: sorted.len(),
+            width: w,
+            height: h,
+        });
+        prev_sorted = sorted;
+    }
+    Ok(LodPyramid {
+        config: cfg.clone(),
+        levels,
+        build_time: start.elapsed(),
+        maintenance: Some(MaintainState {
+            levels: states,
+            id_cells,
+        }),
+        sharding: Some(router),
+        observability: None,
+    })
 }
 
 #[cfg(test)]
@@ -433,6 +669,125 @@ mod tests {
             let b = out.query(&q, &[]).unwrap();
             assert_eq!(a.rows, b.rows, "level {k} tables differ");
         }
+    }
+
+    fn grid_partitioner() -> Partitioner {
+        Partitioner::SpatialGrid {
+            x_column: "x".into(),
+            y_column: "y".into(),
+            cols: 2,
+            rows: 2,
+            width: 256.0,
+            height: 256.0,
+        }
+    }
+
+    /// Four shard databases holding `rows` routed by `part`, raw spatial
+    /// index included.
+    fn shard_set(rows: Vec<Row>, part: &Partitioner) -> Vec<Database> {
+        let schema = raw_schema();
+        let mut shards: Vec<Database> = (0..4)
+            .map(|_| {
+                let mut db = Database::new();
+                db.create_table("pts", schema.clone()).unwrap();
+                db
+            })
+            .collect();
+        for r in rows {
+            let s = part.route(&schema, &r, shards.len()).unwrap();
+            shards[s].insert("pts", r).unwrap();
+        }
+        for db in &mut shards {
+            db.create_index(
+                "pts",
+                "pts_xy",
+                IndexKind::Spatial(SpatialCols::Point {
+                    x: "x".into(),
+                    y: "y".into(),
+                }),
+            )
+            .unwrap();
+        }
+        shards
+    }
+
+    #[test]
+    fn on_shards_build_matches_single_node() {
+        let rows = grid_rows(1024);
+        let mut single = Database::new();
+        single.create_table("pts", raw_schema()).unwrap();
+        for r in rows.clone() {
+            single.insert("pts", r).unwrap();
+        }
+        let p1 = build_pyramid(&mut single, &cfg()).unwrap();
+
+        let part = grid_partitioner();
+        let mut shards = shard_set(rows, &part);
+        let p2 = build_pyramid_on_shards(&mut shards, &part, &cfg()).unwrap();
+
+        assert_eq!(p1.levels, p2.levels);
+        assert!(p2.can_maintain(), "shard-resident pyramids stay mutable");
+        let router = p2.shard_router().expect("router captured");
+        assert_eq!(router.shard_count(), 4);
+
+        for k in 1..=2 {
+            let q = format!("SELECT * FROM {} ORDER BY id", cfg().level_table(k));
+            let want = single.query(&q, &[]).unwrap().rows;
+            let mut got: Vec<Row> = shards
+                .iter()
+                .flat_map(|s| s.query(&q, &[]).unwrap().rows.clone())
+                .collect();
+            got.sort_unstable_by_key(|r| r.get(0).as_i64().unwrap());
+            assert_eq!(want, got, "level {k} union differs");
+
+            // every level row lives on the shard its (cx, cy) routes to,
+            // so serving-side rect routing finds it
+            let table = cfg().level_table(k);
+            for (i, shard) in shards.iter().enumerate() {
+                for row in shard
+                    .query(&format!("SELECT * FROM {table}"), &[])
+                    .unwrap()
+                    .rows
+                {
+                    let (cx, cy) = (row.get(1).as_f64().unwrap(), row.get(2).as_f64().unwrap());
+                    let owners = router
+                        .route_rect(&table, &kyrix_storage::Rect::new(cx, cy, cx, cy))
+                        .unwrap();
+                    assert_eq!(owners, vec![i], "level {k} row on the wrong shard");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn on_shards_build_rejects_unroutable_layouts() {
+        let part = Partitioner::Hash {
+            column: "id".into(),
+        };
+        let mut shards: Vec<Database> = (0..4)
+            .map(|_| {
+                let mut db = Database::new();
+                db.create_table("pts", raw_schema()).unwrap();
+                db
+            })
+            .collect();
+        assert!(matches!(
+            build_pyramid_on_shards(&mut shards, &part, &cfg()),
+            Err(LodError::Config(_))
+        ));
+        // grid keys must be the configured raw position columns
+        let part = Partitioner::SpatialGrid {
+            x_column: "lon".into(),
+            y_column: "lat".into(),
+            cols: 2,
+            rows: 2,
+            width: 256.0,
+            height: 256.0,
+        };
+        assert!(matches!(
+            build_pyramid_on_shards(&mut shards, &part, &cfg()),
+            Err(LodError::Config(_))
+        ));
     }
 
     #[test]

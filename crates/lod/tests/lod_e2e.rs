@@ -703,12 +703,10 @@ fn incremental_maintenance_serves_live_mutations_end_to_end() {
     fresh.create_table("galaxy", galaxy_schema()).unwrap();
     {
         let live = server.database();
-        live.table("galaxy")
-            .unwrap()
-            .scan(|_, row| {
-                fresh.insert("galaxy", row).unwrap();
-            })
-            .unwrap();
+        let all = live.query("SELECT * FROM galaxy", &[]).unwrap();
+        for row in &all.rows {
+            fresh.insert("galaxy", row.clone()).unwrap();
+        }
     }
     let scratch = build_pyramid(&mut fresh, &cfg).unwrap();
     assert_eq!(pyramid.levels, scratch.levels);

@@ -25,6 +25,8 @@
 pub mod merge;
 pub mod partition;
 pub mod pdb;
+pub mod router;
 
 pub use partition::Partitioner;
 pub use pdb::{ParallelDatabase, ParallelStats};
+pub use router::QueryRouter;

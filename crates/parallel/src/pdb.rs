@@ -2,11 +2,9 @@
 
 use crate::merge::ShardPlan;
 use crate::partition::Partitioner;
-use kyrix_storage::sql::bind::{Bindings, BoundExpr};
-use kyrix_storage::sql::{parse, SqlExpr};
-use kyrix_storage::{
-    Database, IndexKind, QueryResult, Rect, Result, Row, Schema, StorageError, Value,
-};
+use crate::router::QueryRouter;
+use kyrix_storage::sql::parse;
+use kyrix_storage::{Database, IndexKind, QueryResult, Result, Row, Schema, StorageError, Value};
 use parking_lot::RwLock;
 use std::sync::atomic::{AtomicU64, Ordering};
 
@@ -43,6 +41,8 @@ pub struct ParallelDatabase {
     /// The table the partitioner applies to; other tables are replicated
     /// to every shard on insert (dimension-table semantics).
     partitioned_table: String,
+    /// Statement routing over the partitioned table (see [`QueryRouter`]).
+    router: QueryRouter,
     /// Cumulative coordinator statistics (queries, routing, broadcasts).
     pub stats: ParallelStats,
 }
@@ -65,10 +65,14 @@ impl ParallelDatabase {
                 "partitioner implies {natural} shards, got {n}"
             )));
         }
+        let partitioned_table: String = table.into();
+        let mut router = QueryRouter::new(n)?;
+        router.register(partitioned_table.clone(), partitioner.clone())?;
         Ok(ParallelDatabase {
             shards: (0..n).map(|_| RwLock::new(Database::new())).collect(),
             partitioner,
-            partitioned_table: table.into(),
+            partitioned_table,
+            router,
             stats: ParallelStats::default(),
         })
     }
@@ -81,6 +85,13 @@ impl ParallelDatabase {
     /// The routing policy in effect.
     pub fn partitioner(&self) -> &Partitioner {
         &self.partitioner
+    }
+
+    /// The statement router over the partitioned table. Clone and
+    /// [`QueryRouter::register`] more tables to route derived tables
+    /// (e.g. LoD level tables) laid out on the same shards.
+    pub fn router(&self) -> &QueryRouter {
+        &self.router
     }
 
     /// Broadcast DDL: create a table on every shard.
@@ -159,85 +170,9 @@ impl ParallelDatabase {
     }
 
     /// Which shards a SELECT must run on: spatial-rect and key-equality
-    /// predicates route; everything else broadcasts.
+    /// predicates route; everything else broadcasts (see [`QueryRouter`]).
     fn target_shards(&self, stmt: &kyrix_storage::sql::Select, params: &[Value]) -> Vec<usize> {
-        let all: Vec<usize> = (0..self.shards.len()).collect();
-        // routing only applies to the partitioned table (joins still work:
-        // the partitioned side determines placement, the replicated side
-        // is present everywhere)
-        let touches_partitioned = stmt.from.table == self.partitioned_table
-            || stmt
-                .join
-                .as_ref()
-                .is_some_and(|j| j.table.table == self.partitioned_table);
-        if !touches_partitioned {
-            // replicated-only query: any single shard has the full answer
-            return vec![0];
-        }
-        let Some(where_clause) = &stmt.where_clause else {
-            return all;
-        };
-        let empty = Schema::empty();
-        let bindings = Bindings::single("_", &empty);
-        let const_f64 = |e: &SqlExpr| -> Option<f64> {
-            BoundExpr::bind(e, &bindings)
-                .ok()?
-                .eval_const(params)
-                .ok()?
-                .as_f64()
-                .ok()
-        };
-        for conj in where_clause.clone().conjuncts() {
-            match &conj {
-                SqlExpr::SpatialIntersect { rect } => {
-                    let vals: Option<Vec<f64>> = rect.iter().map(|e| const_f64(e)).collect();
-                    if let Some(v) = vals {
-                        if let Some(ids) = self
-                            .partitioner
-                            .route_rect(&Rect::new(v[0], v[1], v[2], v[3]), self.shards.len())
-                        {
-                            return ids;
-                        }
-                    }
-                }
-                SqlExpr::Between { expr, lo, hi } => {
-                    if let SqlExpr::Column(c) = &**expr {
-                        if let (Some(lo), Some(hi)) = (const_f64(lo), const_f64(hi)) {
-                            if let Some(ids) =
-                                self.partitioner
-                                    .route_range(&c.column, lo, hi, self.shards.len())
-                            {
-                                return ids;
-                            }
-                        }
-                    }
-                }
-                SqlExpr::Binary {
-                    op: kyrix_storage::sql::ast::BinOp::Eq,
-                    left,
-                    right,
-                } => {
-                    let col_key = match (&**left, &**right) {
-                        (SqlExpr::Column(c), k) if k.is_const() => Some((c, k)),
-                        (k, SqlExpr::Column(c)) if k.is_const() => Some((c, k)),
-                        _ => None,
-                    };
-                    if let Some((c, k)) = col_key {
-                        if let Ok(bound) = BoundExpr::bind(k, &bindings) {
-                            if let Ok(v) = bound.eval_const(params) {
-                                if let Some(ids) =
-                                    self.partitioner.route_eq(&c.column, &v, self.shards.len())
-                                {
-                                    return ids;
-                                }
-                            }
-                        }
-                    }
-                }
-                _ => {}
-            }
-        }
-        all
+        self.router.targets(stmt, params)
     }
 
     /// Execute a SELECT with scatter-gather: decompose, run the shard
@@ -340,6 +275,13 @@ impl ParallelDatabase {
     /// Run a closure against one shard's database (tests, diagnostics).
     pub fn with_shard<R>(&self, i: usize, f: impl FnOnce(&Database) -> R) -> R {
         f(&self.shards[i].read())
+    }
+
+    /// Run a closure against one shard's database with write access —
+    /// the escape hatch for callers that route their own writes (e.g.
+    /// distributing LoD level tables onto the shards that own them).
+    pub fn with_shard_mut<R>(&self, i: usize, f: impl FnOnce(&mut Database) -> R) -> R {
+        f(&mut self.shards[i].write())
     }
 }
 

@@ -1,12 +1,12 @@
 //! Fetch primitives: one SQL round trip per call, against a layer store.
 
+use crate::backend::SnapshotView;
 use crate::dbox::BoxPolicy;
 use crate::error::{Result, ServerError};
 use crate::metrics::FetchMetrics;
 use crate::precompute::{FetchPlan, LayerStore};
-use crate::snapshot::DatabaseSnapshot;
 use crate::tile::{TileId, Tiling};
-use kyrix_storage::{Database, Rect, Row, Value};
+use kyrix_storage::{Rect, Row, Value};
 use std::time::Instant;
 
 /// Map a canvas-space rectangle to the raw-data domain through the inverse
@@ -33,8 +33,13 @@ fn raw_query_rect(
 /// Fetch all layer rows intersecting a canvas rectangle with one query.
 /// Valid for spatial-index-backed stores (paper: dynamic boxes always use
 /// the spatial design; spatial static tiles also route through this).
+///
+/// Backend-agnostic: `db` may be a single-node [`crate::DatabaseSnapshot`]
+/// or a [`crate::ShardedSnapshot`] — on the latter, the `bbox && rect`
+/// predicate routes the query to the shards the rectangle intersects and
+/// the coordinator merge concatenates their rows.
 pub fn fetch_rect(
-    db: &DatabaseSnapshot,
+    db: &dyn SnapshotView,
     store: &LayerStore,
     rect: &Rect,
 ) -> Result<(Vec<Row>, FetchMetrics)> {
@@ -77,7 +82,7 @@ pub fn fetch_rect(
             // exactly the transform output (SELECT *, no derived columns).
             // Resolve the affine variable columns once, not per row.
             let _ = layout;
-            let schema = &db.table(table)?.schema;
+            let schema = db.table_schema(table)?;
             let x_idx = schema.index_of(x_affine.var.as_deref().unwrap_or_default())?;
             let y_idx = schema.index_of(y_affine.var.as_deref().unwrap_or_default())?;
             let mut rows = Vec::with_capacity(raw_rows.len());
@@ -114,7 +119,7 @@ pub fn fetch_rect(
 
 /// Fetch one tile's rows with one query.
 pub fn fetch_tile(
-    db: &DatabaseSnapshot,
+    db: &dyn SnapshotView,
     store: &LayerStore,
     tiling: Tiling,
     tile: TileId,
@@ -162,7 +167,7 @@ pub fn fetch_tile(
 /// per-layer totals. Real traffic goes through
 /// [`crate::KyrixServer::fetch_region`] instead.
 pub fn fetch_plan_cold(
-    db: &DatabaseSnapshot,
+    db: &dyn SnapshotView,
     store: &LayerStore,
     plan: &FetchPlan,
     canvas_bounds: &Rect,
@@ -196,7 +201,7 @@ pub fn fetch_plan_cold(
 /// is the single box-computation path for both the server's cached box
 /// fetch and the tuner's cold measurements.
 pub fn compute_fetch_box(
-    db: &DatabaseSnapshot,
+    db: &dyn SnapshotView,
     store: &LayerStore,
     policy: &BoxPolicy,
     viewport: &Rect,
@@ -207,20 +212,14 @@ pub fn compute_fetch_box(
 }
 
 /// Count (without fetching) the layer objects intersecting a rectangle;
-/// used by the density-adaptive box policy.
-pub fn count_rect(db: &DatabaseSnapshot, store: &LayerStore, rect: &Rect) -> Result<usize> {
+/// used by the density-adaptive box policy. On a sharded view the count
+/// sums routed per-shard index probes (rows live on exactly one shard).
+pub fn count_rect(db: &dyn SnapshotView, store: &LayerStore, rect: &Rect) -> Result<usize> {
     match store {
         LayerStore::Static => Ok(0),
-        LayerStore::Spatial { table, .. } => {
-            let t = db.table(table)?;
-            let idx = t
-                .indexes()
-                .position(|i| matches!(i.kind, kyrix_storage::IndexKind::Spatial(_)))
-                .ok_or_else(|| ServerError::Config("spatial store lost its index".into()))?;
-            let mut n = 0;
-            t.probe_spatial(idx, rect, |_| n += 1);
-            Ok(n)
-        }
+        LayerStore::Spatial { table, .. } => db
+            .spatial_count(table, rect)?
+            .ok_or_else(|| ServerError::Config("spatial store lost its index".into())),
         LayerStore::SeparableRaw {
             table,
             x_affine,
@@ -230,14 +229,8 @@ pub fn count_rect(db: &DatabaseSnapshot, store: &LayerStore, rect: &Rect) -> Res
             ..
         } => {
             let raw = raw_query_rect(rect, x_affine, y_affine, *obj_w, *obj_h)?;
-            let t = db.table(table)?;
-            let idx = t
-                .indexes()
-                .position(|i| matches!(i.kind, kyrix_storage::IndexKind::Spatial(_)))
-                .ok_or_else(|| ServerError::Config("raw table lost its spatial index".into()))?;
-            let mut n = 0;
-            t.probe_spatial(idx, &raw, |_| n += 1);
-            Ok(n)
+            db.spatial_count(table, &raw)?
+                .ok_or_else(|| ServerError::Config("raw table lost its spatial index".into()))
         }
         LayerStore::TileMapping { .. } => Err(ServerError::Config(
             "count_rect requires a spatial store".to_string(),
@@ -246,7 +239,11 @@ pub fn count_rect(db: &DatabaseSnapshot, store: &LayerStore, rect: &Rect) -> Res
 }
 
 /// Run one SQL query, timing it and extracting metrics.
-fn run_query(db: &Database, sql: &str, params: &[Value]) -> Result<(Vec<Row>, FetchMetrics)> {
+fn run_query(
+    db: &dyn SnapshotView,
+    sql: &str,
+    params: &[Value],
+) -> Result<(Vec<Row>, FetchMetrics)> {
     let start = Instant::now();
     let result = db.query(sql, params)?;
     let db_ms = start.elapsed().as_secs_f64() * 1000.0;

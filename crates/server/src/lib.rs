@@ -20,10 +20,15 @@
 //!   `(canvas, layer)` and resolves the cheapest — [`tuner`];
 //! * **telemetry** threaded through the whole request and mutation paths
 //!   (spans, histograms, snapshot gauges; `kyrix-obs`) and **plan-drift
-//!   detection** against the tuner's calibration — [`drift`].
+//!   detection** against the tuner's calibration — [`drift`];
+//! * a backend-agnostic serving abstraction: fetches resolve against a
+//!   [`SnapshotView`], implemented by the single-node snapshot *and* a
+//!   scatter-gather [`ShardedSnapshot`] over partitioned shards —
+//!   [`backend`].
 
 #![warn(missing_docs)]
 
+pub mod backend;
 pub mod cache;
 pub mod cost;
 pub mod dbox;
@@ -39,6 +44,7 @@ pub mod snapshot;
 pub mod tile;
 pub mod tuner;
 
+pub use backend::{ServingBackend, ShardedSnapshot, SnapshotView};
 pub use cache::{CacheStats, LruCache};
 pub use cost::CostModel;
 pub use dbox::BoxPolicy;

@@ -180,7 +180,7 @@ fn layer_table_name(app: &str, canvas: &str, layer: usize) -> String {
 /// Check the §3.2 separable fast path: placement separable, no derived
 /// columns, transform is `SELECT * FROM raw`, and the raw table has a point
 /// spatial index on exactly the placement columns.
-fn separable_store(db: &Database, layer: &CompiledLayer) -> Option<LayerStore> {
+pub(crate) fn separable_store(db: &Database, layer: &CompiledLayer) -> Option<LayerStore> {
     let placement = layer.placement.as_ref()?;
     let sep = placement.separability.as_ref()?;
     if !layer.transform.derived.is_empty() {

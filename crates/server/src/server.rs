@@ -2,6 +2,10 @@
 //! stores produced by precomputation, the backend caches, and the
 //! prefetcher; answers tile and box requests from the frontend.
 
+use crate::backend::{
+    ServingBackend, ShardTelemetry, ShardedBackend, ShardedSnapshot, SingleNodeBackend,
+    SnapshotView,
+};
 use crate::cache::CacheStats;
 use crate::cache::LruCache;
 use crate::cost::CostModel;
@@ -12,20 +16,21 @@ use crate::fetch::{compute_fetch_box, count_rect, fetch_tile};
 use crate::metrics::FetchMetrics;
 use crate::policy::PlanPolicy;
 use crate::precompute::{
-    estimate_layer_rows, precompute_layer, FetchPlan, LayerStore, PrecomputeReport,
+    estimate_layer_rows, precompute_layer, separable_store, FetchPlan, LayerStore,
+    PrecomputeReport, TileDesign,
 };
 use crate::prefetch::{
     neighbor_rects, predict_viewports, rank_by_similarity, RegionSignature, SemanticTracker,
 };
-use crate::snapshot::DatabaseSnapshot;
 use crate::tile::{TileId, Tiling};
 use crate::tuner::{self, TuningReport};
 use crossbeam::channel::{unbounded, Sender};
 use kyrix_core::CompiledApp;
 use kyrix_obs::{HistogramFamily, Registry};
+use kyrix_parallel::QueryRouter;
 use kyrix_storage::fxhash::FxHashMap;
 use kyrix_storage::{Database, Rect, Row, Value};
-use parking_lot::{Mutex, RwLock};
+use parking_lot::Mutex;
 use std::collections::VecDeque;
 use std::sync::Arc;
 use std::thread::JoinHandle;
@@ -173,12 +178,14 @@ struct MutationLog {
 
 struct Inner {
     app: CompiledApp,
-    /// The published *head* snapshot. Every fetch clones the `Arc` (the
-    /// lock is held only for that clone) and resolves against it with no
-    /// lock held; [`KyrixServer::mutate_raw`] builds the successor
-    /// database off to the side and swaps in a new snapshot here. Readers
-    /// therefore never block behind a mutation.
-    head: RwLock<Arc<DatabaseSnapshot>>,
+    /// The serving backend: publishes the *head* [`SnapshotView`]. Every
+    /// fetch pins the head (the backend's lock is held only for that
+    /// clone) and resolves against it with no lock held;
+    /// [`KyrixServer::mutate_raw`] builds the successor shard set off to
+    /// the side and publishes it through the backend. Readers therefore
+    /// never block behind a mutation. Single-node and sharded backends
+    /// are indistinguishable above this field.
+    backend: Box<dyn ServingBackend>,
     /// Serializes mutators ([`KyrixServer::mutate_raw`]). Never held by
     /// any fetch path.
     writer: Mutex<()>,
@@ -218,10 +225,10 @@ struct Inner {
 }
 
 impl Inner {
-    /// Clone the published head snapshot (two atomic ops; the head lock is
-    /// released before this returns).
-    fn snapshot(&self) -> Arc<DatabaseSnapshot> {
-        self.head.read().clone()
+    /// Pin the published head view (two atomic ops; the backend's head
+    /// lock is released before this returns).
+    fn snapshot(&self) -> Arc<dyn SnapshotView> {
+        self.backend.head()
     }
 
     /// Density signature of a region, from spatial-index counts on the
@@ -240,7 +247,7 @@ impl Inner {
         let snap = self.snapshot();
         let counts: Vec<u64> = RegionSignature::cell_rects(rect)
             .iter()
-            .map(|cell| count_rect(&snap, store, cell).map(|n| n as u64))
+            .map(|cell| count_rect(&*snap, store, cell).map(|n| n as u64))
             .collect::<Result<_>>()?;
         Ok(RegionSignature::from_counts(&counts))
     }
@@ -270,7 +277,7 @@ impl Inner {
 
     fn fetch_tile_cached(
         &self,
-        snap: &DatabaseSnapshot,
+        snap: &dyn SnapshotView,
         canvas: &str,
         layer: usize,
         tile: TileId,
@@ -344,7 +351,7 @@ impl Inner {
 
     fn fetch_box_cached(
         &self,
-        snap: &DatabaseSnapshot,
+        snap: &dyn SnapshotView,
         canvas: &str,
         layer: usize,
         viewport: &Rect,
@@ -493,7 +500,13 @@ impl Prefetcher {
                             };
                             // one pinned snapshot per prediction; if a
                             // mutation publishes mid-warm, the inserts
-                            // simply skip (snapshot tag mismatch)
+                            // simply skip (snapshot tag mismatch). On a
+                            // sharded backend the warm is shard-aware for
+                            // free: each warming fetch carries the
+                            // predicted rect as its predicate, so the
+                            // router sends it only to the shards whose
+                            // grid cells that viewport intersects —
+                            // off-path shards do no work
                             let snap = inner.snapshot();
                             for (li, layer) in cc.layers.iter().enumerate() {
                                 if layer.is_static {
@@ -509,7 +522,7 @@ impl Prefetcher {
                                         };
                                         for tile in tiles {
                                             let _ = inner
-                                                .fetch_tile_cached(&snap, &canvas, li, tile, true);
+                                                .fetch_tile_cached(&*snap, &canvas, li, tile, true);
                                         }
                                     }
                                     Ok(FetchPlan::DynamicBox { .. }) => {
@@ -519,7 +532,7 @@ impl Prefetcher {
                                         // next viewport from the box cache
                                         let widened = rect.inflate_frac(0.15, 0.15);
                                         let _ = inner
-                                            .fetch_box_cached(&snap, &canvas, li, &widened, true);
+                                            .fetch_box_cached(&*snap, &canvas, li, &widened, true);
                                     }
                                     Err(_) => {}
                                 }
@@ -607,11 +620,11 @@ impl KyrixServer {
             })));
         }
         obs.gauge("snapshot.head_version").set(0);
-        let head = DatabaseSnapshot::new(db, 0).tracked(obs.gauge("snapshot.pinned"));
+        let backend = Box::new(SingleNodeBackend::new(db, obs.gauge("snapshot.pinned")));
         let region_family = obs.histogram_family("fetch.region.layer");
         let inner = Arc::new(Inner {
             app,
-            head: RwLock::new(Arc::new(head)),
+            backend,
             writer: Mutex::new(()),
             stores,
             plans,
@@ -645,6 +658,167 @@ impl KyrixServer {
             },
             reports,
         ))
+    }
+
+    /// Launch over `shards` — one [`Database`] per shard, partitioned per
+    /// `router` — serving every fetch by scatter-gather: a request routes
+    /// to the shards its rectangle intersects, each probes its own R-tree,
+    /// and the coordinator merge recombines the rows. Everything above the
+    /// backend (caches, prefetch, sessions, tuning) is unchanged — shards
+    /// are invisible above the [`SnapshotView`] trait.
+    ///
+    /// Sharded serving fetches straight off the partitioned tables, so
+    /// every non-static layer must take the §3.2 separable fast path
+    /// (`SELECT *` transform, separable placement, per-shard point spatial
+    /// index on the placement columns) — materialized layer stores would
+    /// need a per-shard precompute pass, and tuple–tile mapping plans have
+    /// no per-shard mapping tables; both are refused at launch.
+    ///
+    /// A [`PlanPolicy::Measured`] policy replays its calibration trace
+    /// against a pinned sharded view, so tuning measures exactly the
+    /// scatter-gather serve it will pick plans for.
+    pub fn launch_sharded(
+        app: CompiledApp,
+        mut shards: Vec<Database>,
+        router: QueryRouter,
+        config: ServerConfig,
+    ) -> Result<Self> {
+        if router.shard_count() != shards.len() {
+            return Err(ServerError::Config(format!(
+                "router implies {} shards, got {}",
+                router.shard_count(),
+                shards.len()
+            )));
+        }
+        // stores first: plan-independent on this path (separable stores
+        // serve both spatial static tiles and dynamic boxes)
+        let mut stores = FxHashMap::default();
+        for (ci, canvas) in app.canvases.iter().enumerate() {
+            for (li, layer) in canvas.layers.iter().enumerate() {
+                let store = if layer.is_static {
+                    LayerStore::Static
+                } else {
+                    separable_store(&shards[0], layer).ok_or_else(|| {
+                        ServerError::Config(format!(
+                            "layer {li} of canvas `{}` is not separable; sharded serving \
+                             fetches straight off partitioned raw tables — relaunch \
+                             single-node or make the layer separable",
+                            canvas.id
+                        ))
+                    })?
+                };
+                stores.insert((ci as u32, li as u32), store);
+            }
+        }
+        let (plans, tuning) = match &config.policy {
+            PlanPolicy::Measured { candidates, trace } => {
+                // pin a calibration view with no telemetry so the replay
+                // stays out of the serving histograms
+                let view = ShardedSnapshot::new(
+                    shards.clone(),
+                    vec![0; shards.len()],
+                    Arc::new(router.clone()),
+                );
+                let tuned =
+                    tuner::tune_sharded(&view, &app, &stores, candidates, trace, &config.cost)?;
+                (tuned.plans, Some(tuned.tuning))
+            }
+            policy => {
+                let mut plans = FxHashMap::default();
+                for (ci, canvas) in app.canvases.iter().enumerate() {
+                    for (li, layer) in canvas.layers.iter().enumerate() {
+                        let estimated_rows = if policy.needs_row_estimate() && !layer.is_static {
+                            // partitioned rows live on exactly one shard,
+                            // so the global estimate is the per-shard sum
+                            shards
+                                .iter()
+                                .map(|s| estimate_layer_rows(s, layer))
+                                .sum::<Result<usize>>()?
+                        } else {
+                            0
+                        };
+                        plans.insert(
+                            (ci as u32, li as u32),
+                            policy.resolve(layer, estimated_rows),
+                        );
+                    }
+                }
+                (plans, None)
+            }
+        };
+        if let Some(((ci, li), _)) = plans.iter().find(|(_, p)| {
+            matches!(
+                p,
+                FetchPlan::StaticTiles {
+                    design: TileDesign::TupleTileMapping,
+                    ..
+                }
+            )
+        }) {
+            return Err(ServerError::Config(format!(
+                "layer {li} of canvas {ci} resolved to a tuple–tile mapping plan; \
+                 sharded backends have no per-shard mapping tables — use the \
+                 spatial tile design"
+            )));
+        }
+        let obs = Arc::new(Registry::new());
+        for db in &mut shards {
+            let reg = Arc::clone(&obs);
+            db.set_query_observer(Some(Arc::new(move |_sql, dur| {
+                reg.record_external_span("sql.execute", dur);
+            })));
+        }
+        obs.gauge("snapshot.head_version").set(0);
+        let telemetry = ShardTelemetry {
+            obs: Arc::clone(&obs),
+            family: obs.histogram_family("fetch.shard"),
+        };
+        let backend = Box::new(ShardedBackend::new(
+            shards,
+            Arc::new(router),
+            telemetry,
+            obs.gauge("snapshot.pinned"),
+        )?);
+        let region_family = obs.histogram_family("fetch.region.layer");
+        let inner = Arc::new(Inner {
+            app,
+            backend,
+            writer: Mutex::new(()),
+            stores,
+            plans,
+            cost: config.cost,
+            tile_cache: Mutex::new(LruCache::new(config.backend_cache_rows)),
+            box_caches: Mutex::new(FxHashMap::default()),
+            box_cache_entries: config.box_cache_entries,
+            totals: Mutex::new(FetchMetrics::default()),
+            layer_totals: Mutex::new(FxHashMap::default()),
+            prefetch_totals: Mutex::new(FetchMetrics::default()),
+            semantic: Mutex::new(FxHashMap::default()),
+            mutations: Mutex::new(MutationLog {
+                version: 0,
+                entries: VecDeque::new(),
+            }),
+            obs,
+            region_family,
+            layer_regions: Mutex::new(FxHashMap::default()),
+        });
+        let prefetcher = if config.prefetch {
+            Some(Prefetcher::spawn(inner.clone()))
+        } else {
+            None
+        };
+        Ok(KyrixServer {
+            inner,
+            prefetcher,
+            config,
+            tuning,
+        })
+    }
+
+    /// How many shards the backend serves from (1 for a
+    /// [`KyrixServer::launch`]ed single-node server).
+    pub fn shard_count(&self) -> usize {
+        self.inner.backend.shard_count()
     }
 
     /// The compiled app this server serves.
@@ -701,7 +875,7 @@ impl KyrixServer {
             self.inner.snapshot()
         };
         self.inner
-            .fetch_tile_cached(&snap, canvas, layer, tile, false)
+            .fetch_tile_cached(&*snap, canvas, layer, tile, false)
     }
 
     /// Fetch the dynamic box for a viewport (dynamic-box plans only).
@@ -711,7 +885,7 @@ impl KyrixServer {
             self.inner.snapshot()
         };
         self.inner
-            .fetch_box_cached(&snap, canvas, layer, viewport, false)
+            .fetch_box_cached(&*snap, canvas, layer, viewport, false)
     }
 
     /// Fetch everything intersecting a canvas rectangle under *either*
@@ -741,7 +915,7 @@ impl KyrixServer {
         let out = match plan {
             FetchPlan::DynamicBox { .. } => self
                 .inner
-                .fetch_box_cached(&snap, canvas, layer, rect, false),
+                .fetch_box_cached(&*snap, canvas, layer, rect, false),
             FetchPlan::StaticTiles { size, .. } => {
                 let store = self.inner.store(canvas, layer)?;
                 let layout = store.layout();
@@ -762,7 +936,7 @@ impl KyrixServer {
                 for tile in tiling.covering(rect)? {
                     let resp = self
                         .inner
-                        .fetch_tile_cached(&snap, canvas, layer, tile, false)?;
+                        .fetch_tile_cached(&*snap, canvas, layer, tile, false)?;
                     let _merge = obs.span("merge");
                     match layout {
                         None => rows.extend(resp.rows.iter().cloned()),
@@ -828,7 +1002,7 @@ impl KyrixServer {
     /// Count layer objects in a canvas rectangle (no data transfer).
     pub fn count_in_rect(&self, canvas: &str, layer: usize, rect: &Rect) -> Result<usize> {
         count_rect(
-            &self.inner.snapshot(),
+            &*self.inner.snapshot(),
             self.inner.store(canvas, layer)?,
             rect,
         )
@@ -1058,23 +1232,27 @@ impl KyrixServer {
         self.inner.box_caches.lock().clear();
     }
 
-    /// The latest published [`DatabaseSnapshot`]. The returned `Arc` is an
-    /// owned, immutable view: hold it as long as you like, concurrent
-    /// mutations publish new snapshots without touching yours.
-    pub fn snapshot(&self) -> Arc<DatabaseSnapshot> {
+    /// The latest published [`SnapshotView`] (single-node: a
+    /// [`crate::DatabaseSnapshot`]; sharded: a
+    /// [`crate::ShardedSnapshot`]). The returned `Arc` is an owned,
+    /// immutable view: hold it as long as you like, concurrent mutations
+    /// publish new views without touching yours. Its
+    /// [`SnapshotView::versions`] vector says, per shard, which data
+    /// version last touched it.
+    pub fn snapshot(&self) -> Arc<dyn SnapshotView> {
         self.inner.snapshot()
     }
 
-    /// Direct read-only access to the underlying database, as an owned
-    /// snapshot handle (it derefs to [`Database`]).
+    /// Direct read-only access to the underlying data, as an owned
+    /// snapshot view (query it with [`SnapshotView::query`]).
     ///
     /// This used to return a `parking_lot` read guard, which made
     /// `server.mutate_raw(..)` while holding the guard a silent
-    /// self-deadlock (the lock is not reentrant). The returned snapshot
+    /// self-deadlock (the lock is not reentrant). The returned view
     /// holds no lock at all, so that hazard is gone by construction — but
-    /// note the returned view is *pinned*: it does not observe mutations
-    /// published after this call. Call again for a fresh view.
-    pub fn database(&self) -> Arc<DatabaseSnapshot> {
+    /// note it is *pinned*: it does not observe mutations published after
+    /// this call. Call again for a fresh view.
+    pub fn database(&self) -> Arc<dyn SnapshotView> {
         self.inner.snapshot()
     }
 
@@ -1125,27 +1303,54 @@ impl KyrixServer {
         tables: &[&str],
         apply: impl FnOnce(&mut Database) -> Result<(T, Vec<DirtyRegion>)>,
     ) -> Result<T> {
+        self.mutate_shards(tables, |shards| match shards {
+            [db] => apply(db),
+            _ => Err(ServerError::Config(
+                "mutate_raw closures see one database; this backend is sharded — \
+                 use mutate_shards and route each delta to its owning shard"
+                    .to_string(),
+            )),
+        })
+    }
+
+    /// Sharded form of [`KyrixServer::mutate_raw`]: `apply` sees a
+    /// copy-on-write clone of *every* shard (single node: a one-element
+    /// slice) and routes each delta to its owning shard itself —
+    /// `kyrix_lod`'s sharded pyramid maintenance folds per-shard point
+    /// deltas plus the boundary-cell changes of the coordinator merge this
+    /// way. Publication semantics match `mutate_raw`, with one addition:
+    /// each returned [`DirtyRegion`] is routed through the backend's
+    /// partitioners, and only the shards it lands on get their
+    /// version-vector entry bumped (unroutable regions conservatively dirty
+    /// every shard). Sessions pinning per-shard version vectors therefore
+    /// see exactly which shards moved under them.
+    pub fn mutate_shards<T>(
+        &self,
+        tables: &[&str],
+        apply: impl FnOnce(&mut [Database]) -> Result<(T, Vec<DirtyRegion>)>,
+    ) -> Result<T> {
         let obs = Arc::clone(&self.inner.obs);
         let _mutate = obs.span("mutate.raw");
         self.validate_mutable(tables)?;
         let _writer = self.inner.writer.lock();
         let mut next = {
             let _clone = obs.span("cow.clone");
-            self.inner.snapshot().database().clone()
+            self.inner.backend.begin_write()
         };
         // `DbCounters` is shared between clones, so the delta across
         // `apply` is exactly the deep copies this mutation's writes forced
         // (mutators are serialized by the writer lock held above)
-        let cow_before = next.counters.cow_table_copies();
+        let cow_before: u64 = next.iter().map(|d| d.counters.cow_table_copies()).sum();
         match apply(&mut next) {
             Ok((out, dirty)) => {
-                let copies = next.counters.cow_table_copies().saturating_sub(cow_before);
+                let cow_after: u64 = next.iter().map(|d| d.counters.cow_table_copies()).sum();
+                let copies = cow_after.saturating_sub(cow_before);
                 obs.counter("snapshot.cow_table_copies").add(copies);
                 obs.gauge("mutation.last_cow_copies").set(copies as i64);
                 self.publish_locked(next, &dirty)?;
                 Ok(out)
             }
-            // drop the successor; the head was never touched
+            // drop the successors; the head was never touched
             Err(e) => Err(e),
         }
     }
@@ -1210,9 +1415,20 @@ impl KyrixServer {
     /// before the retain, which drops the entry, or sees the bumped
     /// version and skips), and a session that observes the new
     /// `data_version` is guaranteed to find the matching log entry.
-    fn publish_locked(&self, next: Database, dirty: &[DirtyRegion]) -> Result<u64> {
+    fn publish_locked(&self, next: Vec<Database>, dirty: &[DirtyRegion]) -> Result<u64> {
         let obs = Arc::clone(&self.inner.obs);
         let _publish = obs.span("publish");
+        // which shards actually changed: route every dirty region through
+        // the backend's partitioners. An empty or unroutable dirty set
+        // conservatively dirties every shard.
+        let n = self.inner.backend.shard_count();
+        let mut shard_dirty = vec![dirty.is_empty(); n];
+        for d in dirty {
+            match self.inner.backend.route_rect(&d.table, &d.rect) {
+                Some(ids) => ids.into_iter().for_each(|i| shard_dirty[i] = true),
+                None => shard_dirty.iter_mut().for_each(|f| *f = true),
+            }
+        }
         // backstop for closures that report a dirty region on a
         // mapping-backed table they never declared (`validate_mutable`
         // checks the declared list up front): the mutation is already
@@ -1237,9 +1453,7 @@ impl KyrixServer {
             tiles.clear();
             boxes.clear();
             obs.gauge("snapshot.head_version").set(log.version as i64);
-            *self.inner.head.write() = Arc::new(
-                DatabaseSnapshot::new(next, log.version).tracked(obs.gauge("snapshot.pinned")),
-            );
+            self.inner.backend.publish(next, log.version, &shard_dirty);
             return Err(ServerError::Config(format!(
                 "table `{table}` backs a tuple–tile mapping layer; its mapping rows \
                  are now stale — relaunch to re-precompute"
@@ -1299,8 +1513,7 @@ impl KyrixServer {
         log.version += 1;
         let version = log.version;
         obs.gauge("snapshot.head_version").set(version as i64);
-        *self.inner.head.write() =
-            Arc::new(DatabaseSnapshot::new(next, version).tracked(obs.gauge("snapshot.pinned")));
+        self.inner.backend.publish(next, version, &shard_dirty);
         let named: Vec<MutationEntry> = entries
             .iter()
             .map(|&(ci, li, rect)| (self.inner.app.canvases[ci as usize].id.clone(), li, rect))

@@ -70,6 +70,12 @@ impl DatabaseSnapshot {
         self.version
     }
 
+    /// The version as a one-entry per-shard vector (the
+    /// [`crate::backend::SnapshotView`] representation).
+    pub(crate) fn version_slice(&self) -> &[u64] {
+        std::slice::from_ref(&self.version)
+    }
+
     /// The underlying database (read-only).
     pub fn database(&self) -> &Database {
         &self.db

@@ -24,6 +24,7 @@
 //! ([`TuningReport::frozen_policy`]) so later launches skip the
 //! calibration replay.
 
+use crate::backend::SnapshotView;
 use crate::cost::CostModel;
 use crate::error::{Result, ServerError};
 use crate::fetch::fetch_plan_cold;
@@ -199,10 +200,12 @@ impl TuningReport {
 
 /// Replay calibration steps against one `(store, plan)` pair and
 /// accumulate the cold-serve metrics (the tuner's measurement inner loop).
-/// Reads go through a pinned [`DatabaseSnapshot`], the same read surface
-/// the launched server serves from.
+/// Reads go through a pinned [`SnapshotView`] — a [`DatabaseSnapshot`] for
+/// a single-node launch, a sharded view for
+/// [`crate::KyrixServer::launch_sharded`] — the same read surface the
+/// launched server serves from.
 pub fn measure_plan(
-    snap: &DatabaseSnapshot,
+    snap: &dyn SnapshotView,
     store: &LayerStore,
     plan: &FetchPlan,
     canvas_bounds: &Rect,
@@ -327,6 +330,96 @@ pub(crate) fn tune(
         }
     }
     Ok(out)
+}
+
+/// Everything `KyrixServer::launch_sharded` needs from a `Measured`
+/// resolution. Unlike [`TunedLaunch`] there are no per-candidate stores or
+/// precompute reports: sharded layers are separable, so the stores handed
+/// in are already plan-independent.
+pub(crate) struct TunedShardedLaunch {
+    pub plans: FxHashMap<(u32, u32), FetchPlan>,
+    pub tuning: TuningReport,
+}
+
+/// Resolve a `Measured` policy on a sharded backend. Stores are
+/// plan-independent there (separable layers serve both spatial static
+/// tiles and dynamic boxes straight off the partitioned raw tables), so no
+/// per-candidate precompute happens: every candidate is measured on the
+/// same pinned sharded `view` — the calibration replay pays exactly the
+/// scatter-gather cost the launched server will — and the cheapest wins
+/// under the same strict-< / preference-order rule as the single-node
+/// tuner. Because both tuners minimize the same modeled cost over the same
+/// trace, a sharded launch resolves the same per-`(canvas, layer)`
+/// assignment as a single-node launch whenever the shard fan-out does not
+/// change which plan is cheapest.
+pub(crate) fn tune_sharded(
+    view: &dyn SnapshotView,
+    app: &CompiledApp,
+    stores: &FxHashMap<(u32, u32), LayerStore>,
+    candidates: &[FetchPlan],
+    trace: &CalibrationTrace,
+    cost: &CostModel,
+) -> Result<TunedShardedLaunch> {
+    if candidates.is_empty() {
+        return Err(ServerError::Config(
+            "Measured policy needs at least one candidate plan".to_string(),
+        ));
+    }
+    if candidates.iter().any(|p| {
+        matches!(
+            p,
+            FetchPlan::StaticTiles {
+                design: crate::precompute::TileDesign::TupleTileMapping,
+                ..
+            }
+        )
+    }) {
+        return Err(ServerError::Config(
+            "tuple–tile mapping candidates cannot be measured on a sharded \
+             backend (no per-shard mapping tables)"
+                .to_string(),
+        ));
+    }
+    let mut plans = FxHashMap::default();
+    let mut tuning = TuningReport::default();
+    for (ci, canvas) in app.canvases.iter().enumerate() {
+        let bounds = canvas.bounds();
+        for (li, layer) in canvas.layers.iter().enumerate() {
+            let key = (ci as u32, li as u32);
+            if layer.is_static {
+                plans.insert(key, candidates[0]);
+                continue;
+            }
+            let store = stores.get(&key).ok_or_else(|| {
+                ServerError::Config(format!("no store for layer {li} of `{}`", canvas.id))
+            })?;
+            let steps = trace.steps_for(&canvas.id);
+            let mut costs: Vec<CandidateCost> = Vec::with_capacity(candidates.len());
+            let mut chosen = 0;
+            for plan in candidates {
+                let metrics = measure_plan(view, store, plan, &bounds, &steps)?;
+                let modeled_ms = metrics.modeled_ms(cost);
+                // strict <: ties keep the earlier candidate (preference order)
+                if !costs.is_empty() && modeled_ms < costs[chosen].modeled_ms {
+                    chosen = costs.len();
+                }
+                costs.push(CandidateCost {
+                    plan: *plan,
+                    metrics,
+                    modeled_ms,
+                });
+            }
+            plans.insert(key, costs[chosen].plan);
+            tuning.layers.push(LayerTuning {
+                canvas: canvas.id.clone(),
+                layer: li,
+                steps: steps.len(),
+                chosen,
+                candidates: costs,
+            });
+        }
+    }
+    Ok(TunedShardedLaunch { plans, tuning })
 }
 
 #[cfg(test)]

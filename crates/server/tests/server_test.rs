@@ -420,9 +420,9 @@ fn mapping_tables_created_with_expected_names() {
     assert!(db.has_table("k_grid_main_l0"));
     assert!(db.has_table("k_grid_main_l0_map10"));
     // record table has dots + 7 layout columns
-    assert_eq!(db.table("k_grid_main_l0").unwrap().schema.len(), 4 + 7);
+    assert_eq!(db.table_schema("k_grid_main_l0").unwrap().len(), 4 + 7);
     // mapping rows >= record rows (boundary dots map to multiple tiles)
-    assert!(db.table("k_grid_main_l0_map10").unwrap().len() >= 10_000);
+    assert!(db.table_len("k_grid_main_l0_map10").unwrap() >= 10_000);
 }
 
 #[test]
@@ -1210,7 +1210,7 @@ fn mutate_raw_refuses_mapping_backed_tables_before_applying() {
         LayerStore::TileMapping { record_table, .. } => record_table,
         other => panic!("expected a mapping store, got {other:?}"),
     };
-    let rows_before = server.database().table(&record_table).unwrap().len();
+    let rows_before = server.database().table_len(&record_table).unwrap();
     let result = server.mutate_raw(&[record_table.as_str()], |db| {
         db.delete_where(&record_table, "tuple_id >= $1", &[Value::Int(0)])
             .map_err(kyrix_server::ServerError::from)?;
@@ -1218,7 +1218,7 @@ fn mutate_raw_refuses_mapping_backed_tables_before_applying() {
     });
     assert!(result.is_err(), "mapping-backed mutation must be refused");
     assert_eq!(
-        server.database().table(&record_table).unwrap().len(),
+        server.database().table_len(&record_table).unwrap(),
         rows_before,
         "the closure must never have run"
     );
@@ -1239,7 +1239,7 @@ fn failed_mutation_closure_aborts_atomically() {
             design: TileDesign::SpatialIndex,
         },
     );
-    let rows_before = server.database().table("dots").unwrap().len();
+    let rows_before = server.database().table_len("dots").unwrap();
     let tile = TileId::new(3, 3);
     server.fetch_tile("main", 0, tile).unwrap(); // warm a far-away tile
     let result: Result<(), _> = server.mutate_raw(&["dots"], |db| {
@@ -1253,7 +1253,7 @@ fn failed_mutation_closure_aborts_atomically() {
     assert!(result.is_err());
     assert_eq!(server.data_version(), 0, "aborted mutations never bump");
     assert_eq!(
-        server.database().table("dots").unwrap().len(),
+        server.database().table_len("dots").unwrap(),
         rows_before,
         "the partial delete must not be visible"
     );
