@@ -1,0 +1,130 @@
+//! End-to-end EXPLAIN for one served `(canvas, layer)`.
+//!
+//! The storage crate's `EXPLAIN SELECT ...` names the access path one
+//! query takes; this module renders the *server* half of the same story:
+//! which [`FetchPlan`] the layer resolved to, why the policy/tuner chose
+//! it (per-candidate modeled costs when the launch was
+//! [`crate::PlanPolicy::Measured`]), whether drift detection currently
+//! flags the choice, and — closing the loop — the storage-level plan of
+//! the representative fetch SQL the layer serves with. One report makes
+//! both halves of a fetch debuggable: build it with
+//! [`crate::KyrixServer::explain`].
+
+use crate::drift::LayerDrift;
+use crate::precompute::{FetchPlan, LayerStore};
+use crate::tuner::LayerTuning;
+use std::fmt;
+
+/// Everything [`crate::KyrixServer::explain`] resolved for one layer,
+/// rendered as a text report by [`fmt::Display`] (or
+/// [`LayerExplain::render`]).
+#[derive(Debug, Clone)]
+pub struct LayerExplain {
+    /// Canvas id.
+    pub canvas: String,
+    /// Layer index within the canvas.
+    pub layer: usize,
+    /// The fetch plan the layer is serving.
+    pub plan: FetchPlan,
+    /// Label of the policy that resolved it ([`crate::PlanPolicy::label`]);
+    /// for static policies this *is* the rationale.
+    pub policy_label: String,
+    /// The tuner's measurement for this layer — present iff the launch was
+    /// `Measured` and the layer was tuned (not static).
+    pub tuning: Option<LayerTuning>,
+    /// Drift assessment for this layer — present iff a drift report exists
+    /// (a `Measured` launch) and the layer has live traffic to assess.
+    pub drift: Option<LayerDrift>,
+    /// Representative fetch SQL the store serves with (None for static
+    /// layers, which fetch nothing).
+    pub fetch_sql: Option<String>,
+    /// The storage executor's `EXPLAIN` lines for `fetch_sql`, naming the
+    /// access path (e.g. `SpatialScan(..)`, `IndexJoin(..)`).
+    pub storage_plan: Vec<String>,
+}
+
+/// The representative SQL one store answers fetches with, placeholders
+/// included — the same statement text [`crate::fetch`] issues.
+pub fn fetch_sql(store: &LayerStore) -> Option<String> {
+    match store {
+        LayerStore::Static => None,
+        LayerStore::Spatial { table, .. } | LayerStore::SeparableRaw { table, .. } => Some(
+            format!("SELECT * FROM {table} WHERE bbox && rect($1, $2, $3, $4)"),
+        ),
+        LayerStore::TileMapping {
+            record_table,
+            mapping_table,
+            ..
+        } => Some(format!(
+            "SELECT r.* FROM {mapping_table} m JOIN {record_table} r \
+             ON m.tuple_id = r.tuple_id WHERE m.tile_id = $1"
+        )),
+    }
+}
+
+impl LayerExplain {
+    /// The report as text (same as the [`fmt::Display`] impl).
+    pub fn render(&self) -> String {
+        self.to_string()
+    }
+}
+
+impl fmt::Display for LayerExplain {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "EXPLAIN canvas={} layer={}", self.canvas, self.layer)?;
+        writeln!(
+            f,
+            "  serving plan: {} (policy: {})",
+            self.plan.label(),
+            self.policy_label
+        )?;
+        match &self.tuning {
+            Some(t) => {
+                writeln!(f, "  tuner: {} calibration steps", t.steps)?;
+                for (i, c) in t.candidates.iter().enumerate() {
+                    writeln!(
+                        f,
+                        "    {} {:<24} modeled {:.2} ms{}",
+                        if i == t.chosen { "->" } else { "  " },
+                        c.plan.label(),
+                        c.modeled_ms,
+                        if i == t.chosen { "  [chosen]" } else { "" },
+                    )?;
+                }
+            }
+            None => writeln!(f, "  tuner: not measured (static policy or static layer)")?,
+        }
+        match &self.drift {
+            Some(d) => {
+                let alt = d
+                    .best_alternative_net_per_step_ms
+                    .map(|n| format!("{n:.2}"))
+                    .unwrap_or_else(|| "-".to_string());
+                writeln!(
+                    f,
+                    "  drift: {} (live {:.2} ms/step over {} serves, calib {:.2}, best alt {})",
+                    if d.drifted { "DRIFTED" } else { "ok" },
+                    d.live_net_per_step_ms,
+                    d.live_steps,
+                    d.calib_net_per_step_ms,
+                    alt,
+                )?;
+            }
+            None => writeln!(
+                f,
+                "  drift: not assessed (no live traffic or unmeasured launch)"
+            )?,
+        }
+        match &self.fetch_sql {
+            Some(sql) => {
+                writeln!(f, "  fetch SQL: {sql}")?;
+                writeln!(f, "  storage plan:")?;
+                for line in &self.storage_plan {
+                    writeln!(f, "    {line}")?;
+                }
+            }
+            None => writeln!(f, "  fetch SQL: none (static layer)")?,
+        }
+        Ok(())
+    }
+}

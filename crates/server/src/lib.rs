@@ -34,6 +34,7 @@ pub mod cost;
 pub mod dbox;
 pub mod drift;
 pub mod error;
+pub mod explain;
 pub mod fetch;
 pub mod metrics;
 pub mod policy;
@@ -50,6 +51,7 @@ pub use cost::CostModel;
 pub use dbox::BoxPolicy;
 pub use drift::{DriftReport, LayerDrift, DRIFT_MARGIN};
 pub use error::{Result, ServerError};
+pub use explain::LayerExplain;
 pub use fetch::{count_rect, fetch_plan_cold, fetch_rect, fetch_tile};
 pub use metrics::FetchMetrics;
 pub use policy::PlanPolicy;

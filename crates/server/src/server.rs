@@ -615,8 +615,10 @@ impl KyrixServer {
         let obs = Arc::new(Registry::new());
         {
             let reg = Arc::clone(&obs);
-            db.set_query_observer(Some(Arc::new(move |_sql, dur| {
+            let scanned = reg.counter("sql.rows_scanned");
+            db.set_query_observer(Some(Arc::new(move |_sql, dur, stats| {
                 reg.record_external_span("sql.execute", dur);
+                scanned.add(stats.rows_scanned);
             })));
         }
         obs.gauge("snapshot.head_version").set(0);
@@ -764,8 +766,10 @@ impl KyrixServer {
         let obs = Arc::new(Registry::new());
         for db in &mut shards {
             let reg = Arc::clone(&obs);
-            db.set_query_observer(Some(Arc::new(move |_sql, dur| {
+            let scanned = reg.counter("sql.rows_scanned");
+            db.set_query_observer(Some(Arc::new(move |_sql, dur, stats| {
                 reg.record_external_span("sql.execute", dur);
+                scanned.add(stats.rows_scanned);
             })));
         }
         obs.gauge("snapshot.head_version").set(0);
@@ -1224,6 +1228,54 @@ impl KyrixServer {
                 Some((layer_totals.get(&key).copied().unwrap_or_default(), steps))
             },
         ))
+    }
+
+    /// End-to-end EXPLAIN for one `(canvas, layer)`: the resolved
+    /// [`FetchPlan`] and the policy that chose it, the tuner's
+    /// per-candidate modeled costs (when the launch was
+    /// [`PlanPolicy::Measured`]), the current drift assessment, and the
+    /// storage executor's plan for the layer's representative fetch SQL —
+    /// both halves of a fetch in one report. Render it with
+    /// [`crate::explain::LayerExplain::render`] (or `Display`).
+    pub fn explain(&self, canvas: &str, layer: usize) -> Result<crate::explain::LayerExplain> {
+        let plan = self.plan_for(canvas, layer)?;
+        let store = self.store(canvas, layer)?;
+        let tuning = self.tuning.as_ref().and_then(|t| {
+            t.layers
+                .iter()
+                .find(|l| l.canvas == canvas && l.layer == layer)
+                .cloned()
+        });
+        let drift = self.drift_report().and_then(|r| {
+            r.layers
+                .into_iter()
+                .find(|l| l.canvas == canvas && l.layer == layer)
+        });
+        let fetch_sql = crate::explain::fetch_sql(&store);
+        let mut storage_plan = Vec::new();
+        if let Some(sql) = &fetch_sql {
+            let snap = self.inner.snapshot();
+            let result = snap.query(&format!("EXPLAIN {sql}"), &[])?;
+            for row in &result.rows {
+                if let Value::Text(line) = row.get(0) {
+                    // sharded views concatenate per-shard plan rows; every
+                    // shard plans identically, so keep the first copy only
+                    if !storage_plan.iter().any(|l| l == line) {
+                        storage_plan.push(line.clone());
+                    }
+                }
+            }
+        }
+        Ok(crate::explain::LayerExplain {
+            canvas: canvas.to_string(),
+            layer,
+            plan,
+            policy_label: self.config.policy.label(),
+            tuning,
+            drift,
+            fetch_sql,
+            storage_plan,
+        })
     }
 
     /// Clear all backend caches (tile + box).

@@ -1356,3 +1356,63 @@ fn drift_report_absent_without_a_measured_launch() {
     let server = launch(grid_db(false), PlacementSpec::point("x", "y"), MIXED_TILES);
     assert!(server.drift_report().is_none());
 }
+
+// ---------------------------------------------------- end-to-end EXPLAIN
+
+#[test]
+fn explain_renders_plan_tuner_drift_and_storage_path() {
+    let server = launch_tuned_for_drift();
+
+    // Before any traffic: tuner rationale present, drift not yet assessed.
+    let ex = server.explain("overview", 0).unwrap();
+    assert_eq!(ex.plan, MIXED_TILES);
+    let tuning = ex.tuning.as_ref().expect("measured launch was tuned");
+    assert_eq!(tuning.candidates.len(), 2, "per-candidate modeled costs");
+    assert!(tuning.candidates.iter().all(|c| c.modeled_ms.is_finite()));
+    assert!(ex.drift.is_none(), "no live traffic yet");
+    let text = ex.render();
+    assert!(text.contains("EXPLAIN canvas=overview layer=0"), "{text}");
+    assert!(text.contains("tuner: 3 calibration steps"), "{text}");
+    assert!(text.contains("[chosen]"), "{text}");
+    assert!(text.contains("drift: not assessed"), "{text}");
+
+    // The storage half: the layer's fetch SQL and its access path.
+    let sql = ex.fetch_sql.as_ref().expect("dynamic layer fetches");
+    assert!(sql.contains("bbox && rect($1, $2, $3, $4)"), "{sql}");
+    assert!(
+        ex.storage_plan
+            .iter()
+            .any(|l| l.starts_with("SpatialScan(")),
+        "spatial store must explain to a spatial access path: {:?}",
+        ex.storage_plan
+    );
+
+    // Shifted live traffic (the drift fixture's scenario): the report now
+    // flags the layer and EXPLAIN says so.
+    for i in 0..3 {
+        let o = 10.0 * (i as f64 + 1.0) + 5.0;
+        server
+            .fetch_region("overview", 0, &Rect::new(o, 15.0, o + 10.0, 25.0))
+            .unwrap();
+    }
+    let ex = server.explain("overview", 0).unwrap();
+    let drift = ex.drift.as_ref().expect("live traffic was assessed");
+    assert!(drift.drifted);
+    let text = ex.render();
+    assert!(text.contains("DRIFTED"), "{text}");
+    assert!(text.contains("best alt"), "{text}");
+}
+
+#[test]
+fn explain_on_a_static_launch_says_why_nothing_was_measured() {
+    let server = launch(grid_db(false), PlacementSpec::point("x", "y"), MIXED_TILES);
+    let ex = server.explain("main", 0).unwrap();
+    assert!(ex.tuning.is_none());
+    assert!(ex.drift.is_none());
+    let text = ex.render();
+    assert!(text.contains("tuner: not measured"), "{text}");
+    assert!(text.contains("drift: not assessed"), "{text}");
+    assert!(text.contains("policy:"), "{text}");
+    assert!(server.explain("nope", 0).is_err(), "unknown canvas errors");
+    assert!(server.explain("main", 9).is_err(), "unknown layer errors");
+}

@@ -288,6 +288,18 @@ impl<K: Ord + Clone, V: Clone> BPlusTree<K, V> {
 
     /// Visit all entries in key order.
     pub fn for_each<F: FnMut(&K, &V)>(&self, mut f: F) {
+        self.for_each_while(|k, v| {
+            f(k, v);
+            true
+        });
+    }
+
+    /// Visit entries in ascending key order until `f` returns false.
+    /// Equal keys arrive in insertion order; lazily-emptied leaves are
+    /// skipped via the leaf chain. This is the early-exit walk behind the
+    /// SQL layer's index-backed top-N and MIN edge descent: the caller
+    /// pays for exactly the prefix it consumes.
+    pub fn for_each_while<F: FnMut(&K, &V) -> bool>(&self, mut f: F) {
         // leftmost leaf
         let mut node = self.root;
         while let Node::Internal { children, .. } = &self.nodes[node] {
@@ -296,11 +308,46 @@ impl<K: Ord + Clone, V: Clone> BPlusTree<K, V> {
         let mut leaf = node;
         while let Node::Leaf { keys, vals, next } = &self.nodes[leaf] {
             for (k, v) in keys.iter().zip(vals) {
-                f(k, v);
+                if !f(k, v) {
+                    return;
+                }
             }
             match next {
                 Some(n) => leaf = *n,
                 None => return,
+            }
+        }
+    }
+
+    /// Visit entries in *descending* key order until `f` returns false.
+    /// Leaves are only chained forward, so this descends the arena
+    /// right-to-left instead (recursion depth = tree height); lazily
+    /// emptied leaves contribute nothing and are skipped naturally. Equal
+    /// keys arrive in *reverse* insertion order — callers that need a
+    /// stable-sort-compatible order buffer each equal-key run (see
+    /// `Table::index_ordered_walk`). Backs MAX edge descent and
+    /// descending top-N.
+    pub fn for_each_rev_while<F: FnMut(&K, &V) -> bool>(&self, mut f: F) {
+        self.rev_walk(self.root, &mut f);
+    }
+
+    fn rev_walk<F: FnMut(&K, &V) -> bool>(&self, node: usize, f: &mut F) -> bool {
+        match &self.nodes[node] {
+            Node::Leaf { keys, vals, .. } => {
+                for (k, v) in keys.iter().zip(vals).rev() {
+                    if !f(k, v) {
+                        return false;
+                    }
+                }
+                true
+            }
+            Node::Internal { children, .. } => {
+                for &c in children.iter().rev() {
+                    if !self.rev_walk(c, f) {
+                        return false;
+                    }
+                }
+                true
             }
         }
     }
@@ -395,6 +442,64 @@ mod tests {
         assert_eq!(t.len(), 2);
         assert_eq!(t.remove_one(&1, |v| *v == "zzz"), None);
         assert_eq!(t.remove_one(&2, |_| true), None);
+    }
+
+    #[test]
+    fn for_each_while_stops_early() {
+        let mut t = BPlusTree::with_order(4);
+        for i in 0..100i64 {
+            t.insert(i, i);
+        }
+        let mut seen = Vec::new();
+        t.for_each_while(|k, _| {
+            seen.push(*k);
+            seen.len() < 5
+        });
+        assert_eq!(seen, vec![0, 1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn reverse_walk_is_descending_and_stops_early() {
+        let mut t = BPlusTree::with_order(4);
+        for i in [5i64, 3, 9, 1, 7, 3, 5] {
+            t.insert(i, ());
+        }
+        let mut keys = Vec::new();
+        t.for_each_rev_while(|k, _| {
+            keys.push(*k);
+            true
+        });
+        assert_eq!(keys, vec![9, 7, 5, 5, 3, 3, 1]);
+        let mut top = Vec::new();
+        t.for_each_rev_while(|k, _| {
+            top.push(*k);
+            top.len() < 2
+        });
+        assert_eq!(top, vec![9, 7]);
+    }
+
+    #[test]
+    fn edge_walks_survive_lazily_emptied_leaves() {
+        let mut t = BPlusTree::with_order(3);
+        for i in 0..50i64 {
+            t.insert(i, i);
+        }
+        // lazily empty the leaves at both edges and in the middle
+        for i in (0..10).chain(20..30).chain(40..50) {
+            assert!(t.remove_one(&i, |_| true).is_some());
+        }
+        let mut first = None;
+        t.for_each_while(|k, _| {
+            first = Some(*k);
+            false
+        });
+        assert_eq!(first, Some(10));
+        let mut last = None;
+        t.for_each_rev_while(|k, _| {
+            last = Some(*k);
+            false
+        });
+        assert_eq!(last, Some(39));
     }
 
     #[test]

@@ -171,6 +171,18 @@ impl Table {
         Ok(())
     }
 
+    /// Scan live rows until the callback returns false. The substrate for
+    /// LIMIT pushdown: a `LIMIT k` scan decodes only the rows it keeps
+    /// plus the ones its filter rejects, instead of the whole heap.
+    pub fn scan_while<F: FnMut(RecordId, Row) -> bool>(&self, mut f: F) -> Result<()> {
+        for (rid, bytes) in self.heap.iter() {
+            if !f(rid, Row::decode(bytes, &self.schema)?) {
+                break;
+            }
+        }
+        Ok(())
+    }
+
     /// Create an index and build it from the current heap contents.
     /// Spatial indexes over a non-empty heap are STR bulk-loaded.
     pub fn create_index(&mut self, name: impl Into<String>, kind: IndexKind) -> Result<()> {
@@ -330,6 +342,95 @@ impl Table {
             });
         }
         n
+    }
+
+    /// Name of an index, for EXPLAIN output.
+    pub fn index_name(&self, index_no: usize) -> &str {
+        &self.indexes[index_no].name
+    }
+
+    /// Smallest non-NULL key of a B+tree index, by left-edge descent.
+    /// NULLs sort before every other value (see [`Value::total_cmp`]) and
+    /// SQL `MIN` ignores them, so the walk skips the leading NULL run;
+    /// `Value::Null` means the index is empty or all-NULL — exactly what
+    /// `MIN` over that data returns. No heap rows are touched.
+    pub fn index_min(&self, index_no: usize) -> Value {
+        let mut out = Value::Null;
+        if let IndexImpl::BTree(t) = &self.indexes[index_no].imp {
+            t.for_each_while(|k, _| {
+                if k.0.is_null() {
+                    return true;
+                }
+                out = k.0.clone();
+                false
+            });
+        }
+        out
+    }
+
+    /// Largest non-NULL key of a B+tree index, by right-edge descent.
+    /// The first entry of the reverse walk is the maximum; it is NULL only
+    /// when every key is (NULLs sort first), which is also `MAX`'s answer.
+    pub fn index_max(&self, index_no: usize) -> Value {
+        let mut out = Value::Null;
+        if let IndexImpl::BTree(t) = &self.indexes[index_no].imp {
+            t.for_each_rev_while(|k, _| {
+                if !k.0.is_null() {
+                    out = k.0.clone();
+                }
+                false
+            });
+        }
+        out
+    }
+
+    /// Walk a B+tree index in key order — ascending or descending —
+    /// visiting record ids until the callback returns false. Descending
+    /// runs of equal keys are re-emitted in insertion order (the reverse
+    /// walk delivers them reversed), so the visit order matches a *stable*
+    /// sort in either direction. Backs index-backed top-N.
+    pub fn index_ordered_walk<F: FnMut(RecordId) -> bool>(
+        &self,
+        index_no: usize,
+        desc: bool,
+        mut f: F,
+    ) {
+        let IndexImpl::BTree(t) = &self.indexes[index_no].imp else {
+            return;
+        };
+        if !desc {
+            t.for_each_while(|_, rid| f(*rid));
+            return;
+        }
+        // Buffer each equal-key run; flush it in insertion order when the
+        // key changes. Only record ids are buffered — heap fetches stay
+        // bounded by how far the caller walks.
+        let mut run: Vec<RecordId> = Vec::new();
+        let mut run_key: Option<OrdValue> = None;
+        let mut stop = false;
+        t.for_each_rev_while(|k, rid| {
+            if run_key.as_ref().is_some_and(|rk| rk != k) {
+                for r in run.drain(..).rev() {
+                    if !f(r) {
+                        stop = true;
+                        break;
+                    }
+                }
+                if stop {
+                    return false;
+                }
+            }
+            run_key = Some(k.clone());
+            run.push(*rid);
+            true
+        });
+        if !stop {
+            for r in run.drain(..).rev() {
+                if !f(r) {
+                    break;
+                }
+            }
+        }
     }
 
     /// Probe the spatial index; visits matching record ids.

@@ -16,11 +16,13 @@ use std::sync::atomic::Ordering;
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
-/// Callback invoked after every read query with the SQL text and the
-/// wall-clock execution time — the storage-level timing hook a serving
-/// layer uses to feed its `sql.execute` telemetry without the storage
-/// crate depending on any telemetry types.
-pub type QueryObserver = Arc<dyn Fn(&str, Duration) + Send + Sync>;
+/// Callback invoked after every read query with the SQL text, the
+/// wall-clock execution time, and the query's [`ExecStats`] — the
+/// storage-level hook a serving layer uses to feed its `sql.execute`
+/// telemetry (timing *and* rows-scanned truthfulness) without the storage
+/// crate depending on any telemetry types. On a failed query the stats are
+/// all-zero defaults.
+pub type QueryObserver = Arc<dyn Fn(&str, Duration, &ExecStats) + Send + Sync>;
 
 /// An embedded relational database.
 ///
@@ -155,7 +157,8 @@ impl Database {
             )),
         };
         if let (Some(obs), Some(t0)) = (&self.observer, start) {
-            obs(sql, t0.elapsed());
+            let stats = result.as_ref().map(|r| r.stats).unwrap_or_default();
+            obs(sql, t0.elapsed(), &stats);
         }
         result
     }
@@ -363,7 +366,8 @@ impl Database {
         let start = self.observer.as_ref().map(|_| Instant::now());
         let result = execute_select(self, &prepared.stmt, params);
         if let (Some(obs), Some(t0)) = (&self.observer, start) {
-            obs(&prepared.sql, t0.elapsed());
+            let stats = result.as_ref().map(|r| r.stats).unwrap_or_default();
+            obs(&prepared.sql, t0.elapsed(), &stats);
         }
         result
     }
@@ -828,8 +832,11 @@ mod tests {
         let mut db = paper_db();
         let seen = Arc::new(AtomicU64::new(0));
         let sink = Arc::clone(&seen);
-        db.set_query_observer(Some(Arc::new(move |sql: &str, _dur| {
+        db.set_query_observer(Some(Arc::new(move |sql: &str, _dur, stats: &ExecStats| {
             assert!(sql.starts_with("SELECT"), "observer got {sql:?}");
+            // COUNT(*) is metadata-answered: the stats hook must agree
+            assert_eq!(stats.rows_scanned, 0, "COUNT(*) should not scan rows");
+            assert_eq!(stats.rows_out, 1);
             sink.fetch_add(1, Ordering::Relaxed);
         })));
         db.query("SELECT COUNT(*) FROM record", &[]).unwrap();

@@ -3,7 +3,7 @@
 
 use super::ast::{AggFunc, ColumnRef, OrderBy, Select, SelectItem, SqlExpr};
 use super::bind::{Bindings, BoundExpr};
-use super::plan::{plan_select, ScanPlan};
+use super::plan::{plan_fast_path, plan_select, FastPath, MetaAgg, ScanPlan};
 use crate::database::Database;
 use crate::error::{Result, StorageError};
 use crate::geom::Rect;
@@ -106,9 +106,12 @@ fn scan_entries<'a>(db: &'a Database, plan: &ScanPlan) -> Result<Vec<(String, &'
 
 /// Execute a parsed SELECT.
 pub fn execute_select(db: &Database, stmt: &Select, params: &[Value]) -> Result<QueryResult> {
+    if let Some(fast) = plan_fast_path(db, stmt)? {
+        return execute_fast_path(db, stmt, &fast, params);
+    }
     let plan = plan_select(db, stmt)?;
     let mut stats = ExecStats::default();
-    let mut out = run_scan(db, &plan, params, &mut stats)?;
+    let mut out = run_scan(db, &plan, params, limit_pushdown_cap(stmt), &mut stats)?;
 
     let (schema, mut rows) = if stmt.is_aggregate() {
         let (schema, mut rows) = aggregate(&out, stmt, params)?;
@@ -151,6 +154,133 @@ fn apply_offset_limit(rows: &mut Vec<Row>, offset: Option<u64>, limit: Option<u6
     if let Some(n) = limit {
         rows.truncate(n as usize);
     }
+}
+
+/// How many rows the scan needs to produce when LIMIT can be pushed into
+/// it (`offset + limit`), or `None` when something downstream — an
+/// aggregate, a sort, a join — consumes the full set. The executor still
+/// runs [`apply_offset_limit`] afterwards to drain the offset prefix.
+pub(crate) fn limit_pushdown_cap(stmt: &Select) -> Option<usize> {
+    if stmt.is_aggregate() || stmt.join.is_some() || !stmt.order_by.is_empty() {
+        return None;
+    }
+    stmt.limit
+        .map(|l| l.saturating_add(stmt.offset.unwrap_or(0)) as usize)
+}
+
+/// Execute a SELECT resolved to a [`FastPath`]. Output — schema, row
+/// content, ordering, error behavior — is identical to the general path;
+/// only the work done (and therefore [`ExecStats`]) differs.
+fn execute_fast_path(
+    db: &Database,
+    stmt: &Select,
+    fast: &FastPath,
+    params: &[Value],
+) -> Result<QueryResult> {
+    let mut stats = ExecStats::default();
+    let (schema, mut rows) = match fast {
+        FastPath::MetaAggregate { table, items } => {
+            let t = db.table(table)?;
+            let mut cols = Vec::with_capacity(items.len());
+            let mut values = Vec::with_capacity(items.len());
+            for (item, meta) in stmt.items.iter().zip(items) {
+                let name = item
+                    .aggregate_output_name()
+                    .expect("MetaAggregate items are all aggregates");
+                match meta {
+                    MetaAgg::CountStar => {
+                        cols.push(crate::schema::Column::new(name, DataType::Int));
+                        values.push(Value::Int(t.len() as i64));
+                    }
+                    MetaAgg::Min { column, .. } | MetaAgg::Max { column, .. } => {
+                        let ci = t.schema.index_of(column)?;
+                        let index_no = t
+                            .btree_index_on(column)
+                            .ok_or_else(|| StorageError::ExecError("index vanished".into()))?;
+                        stats.index_probes += 1;
+                        let v = match meta {
+                            MetaAgg::Min { .. } => t.index_min(index_no),
+                            _ => t.index_max(index_no),
+                        };
+                        cols.push(crate::schema::Column::new(name, t.schema.column(ci).dtype));
+                        values.push(v);
+                    }
+                }
+            }
+            let schema = Schema::new(cols);
+            let mut rows = vec![Row::new(values)];
+            // one output row, but ORDER BY must still resolve (and error)
+            // exactly like the aggregate path does
+            if !stmt.order_by.is_empty() {
+                sort_by_output(&schema, &mut rows, &stmt.order_by)?;
+            }
+            (schema, rows)
+        }
+        FastPath::TopN {
+            table,
+            binding,
+            index_no,
+            desc,
+            filter,
+            k,
+            offset,
+            ..
+        } => {
+            let t = db.table(table)?;
+            let bindings = Bindings::single(binding, &t.schema);
+            let bound = filter
+                .as_ref()
+                .map(|f| BoundExpr::bind(f, &bindings))
+                .transpose()?;
+            let need = (*offset as usize).saturating_add(*k as usize);
+            let mut scan_rows = Vec::with_capacity(need.min(1024));
+            let mut err = None;
+            stats.index_probes += 1;
+            if need > 0 {
+                t.index_ordered_walk(*index_no, *desc, |rid| {
+                    let row = match t.get(rid) {
+                        Ok(Some(row)) => row,
+                        Ok(None) => {
+                            err = Some(StorageError::ExecError("dangling index entry".into()));
+                            return false;
+                        }
+                        Err(e) => {
+                            err = Some(e);
+                            return false;
+                        }
+                    };
+                    stats.rows_scanned += 1;
+                    match keep(&bound, &row, params) {
+                        Ok(true) => scan_rows.push(row),
+                        Ok(false) => {}
+                        Err(e) => {
+                            err = Some(e);
+                            return false;
+                        }
+                    }
+                    scan_rows.len() < need
+                });
+            }
+            if let Some(e) = err {
+                return Err(e);
+            }
+            let out = ScanOutput {
+                entries: vec![(binding.clone(), &t.schema)],
+                rows: scan_rows,
+            };
+            // rows already arrive in ORDER BY order; project only
+            project(&out, &stmt.items, params)?
+        }
+    };
+    apply_offset_limit(&mut rows, stmt.offset, stmt.limit);
+    stats.rows_out = rows.len() as u64;
+    stats.bytes_out = rows.iter().map(|r| r.wire_size() as u64).sum();
+    db.counters.record(&stats);
+    Ok(QueryResult {
+        schema,
+        rows,
+        stats,
+    })
 }
 
 /// Multi-key comparison over resolved (index, desc) pairs.
@@ -203,6 +333,7 @@ fn run_scan<'a>(
     db: &'a Database,
     plan: &ScanPlan,
     params: &[Value],
+    cap: Option<usize>,
     stats: &mut ExecStats,
 ) -> Result<ScanOutput<'a>> {
     match plan {
@@ -219,20 +350,23 @@ fn run_scan<'a>(
             let mut rows = Vec::new();
             let mut scanned = 0u64;
             let mut err = None;
-            t.scan(|_, row| {
-                if err.is_some() {
-                    return;
-                }
-                scanned += 1;
-                match &bound {
-                    Some(f) => match f.eval(&row.values, params).and_then(|v| v.as_bool()) {
-                        Ok(true) => rows.push(row),
-                        Ok(false) => {}
-                        Err(e) => err = Some(e),
-                    },
-                    None => rows.push(row),
-                }
-            })?;
+            if cap != Some(0) {
+                t.scan_while(|_, row| {
+                    scanned += 1;
+                    match &bound {
+                        Some(f) => match f.eval(&row.values, params).and_then(|v| v.as_bool()) {
+                            Ok(true) => rows.push(row),
+                            Ok(false) => {}
+                            Err(e) => {
+                                err = Some(e);
+                                return false;
+                            }
+                        },
+                        None => rows.push(row),
+                    }
+                    cap.is_none_or(|c| rows.len() < c)
+                })?;
+            }
             if let Some(e) = err {
                 return Err(e);
             }
@@ -255,7 +389,7 @@ fn run_scan<'a>(
             let mut rids = Vec::new();
             t.probe_eq(*index_no, &key_val, |rid| rids.push(rid));
             stats.index_probes += 1;
-            let rows = fetch_filter(t, &rids, residual, &bindings, params, stats)?;
+            let rows = fetch_filter(t, &rids, residual, &bindings, params, cap, stats)?;
             Ok(ScanOutput {
                 entries: vec![(binding.clone(), &t.schema)],
                 rows,
@@ -276,7 +410,7 @@ fn run_scan<'a>(
             let mut rids = Vec::new();
             t.probe_range(*index_no, &lo_v, &hi_v, |rid| rids.push(rid));
             stats.index_probes += 1;
-            let rows = fetch_filter(t, &rids, residual, &bindings, params, stats)?;
+            let rows = fetch_filter(t, &rids, residual, &bindings, params, cap, stats)?;
             Ok(ScanOutput {
                 entries: vec![(binding.clone(), &t.schema)],
                 rows,
@@ -302,7 +436,7 @@ fn run_scan<'a>(
             let (_, visited) = t.probe_spatial(*index_no, &query, |rid| rids.push(rid));
             stats.index_probes += 1;
             stats.nodes_visited += visited as u64;
-            let rows = fetch_filter(t, &rids, residual, &bindings, params, stats)?;
+            let rows = fetch_filter(t, &rids, residual, &bindings, params, cap, stats)?;
             Ok(ScanOutput {
                 entries: vec![(binding.clone(), &t.schema)],
                 rows,
@@ -317,7 +451,7 @@ fn run_scan<'a>(
             outer_is_from,
             residual,
         } => {
-            let outer_out = run_scan(db, outer, params, stats)?;
+            let outer_out = run_scan(db, outer, params, None, stats)?;
             let inner_t = db.table(inner_table)?;
             let outer_bindings = outer_out.bindings();
             let (key_idx, _) = outer_bindings.resolve(outer_key)?;
@@ -369,7 +503,7 @@ fn run_scan<'a>(
             outer_is_from,
             residual,
         } => {
-            let outer_out = run_scan(db, outer, params, stats)?;
+            let outer_out = run_scan(db, outer, params, None, stats)?;
             let inner_t = db.table(inner_table)?;
             let outer_bindings = outer_out.bindings();
             let (key_idx, _) = outer_bindings.resolve(outer_key)?;
@@ -452,13 +586,15 @@ fn keep(filter: &Option<BoundExpr>, row: &Row, params: &[Value]) -> Result<bool>
     }
 }
 
-/// Fetch rows by record id and apply a residual filter.
+/// Fetch rows by record id and apply a residual filter; stops as soon as
+/// `cap` kept rows have been produced (LIMIT pushdown).
 fn fetch_filter(
     t: &crate::catalog::Table,
     rids: &[crate::heap::RecordId],
     residual: &Option<SqlExpr>,
     bindings: &Bindings<'_>,
     params: &[Value],
+    cap: Option<usize>,
     stats: &mut ExecStats,
 ) -> Result<Vec<Row>> {
     let bound = residual
@@ -467,6 +603,9 @@ fn fetch_filter(
         .transpose()?;
     let mut rows = Vec::with_capacity(rids.len());
     for &rid in rids {
+        if cap.is_some_and(|c| rows.len() >= c) {
+            break;
+        }
         let row = t
             .get(rid)?
             .ok_or_else(|| StorageError::ExecError("dangling index entry".into()))?;
@@ -843,39 +982,75 @@ fn aggregate(out: &ScanOutput<'_>, stmt: &Select, params: &[Value]) -> Result<(S
 
 // ---------------------------------------------------------------- explain
 
+/// Render the LIMIT/OFFSET stage, or `None` when the query has neither.
+/// `pushdown` marks a limit the executor pushes into the scan.
+fn describe_limit(stmt: &Select, pushdown: bool) -> Option<String> {
+    let mut s = match (stmt.limit, stmt.offset) {
+        (None, None) => return None,
+        (Some(l), None) => format!("Limit({l}"),
+        (Some(l), Some(o)) => format!("Limit({l}, offset={o}"),
+        (None, Some(o)) => format!("Offset({o}"),
+    };
+    if pushdown {
+        s.push_str(", pushdown");
+    }
+    s.push(')');
+    Some(s)
+}
+
 /// Render the physical plan of a SELECT as text rows (`EXPLAIN SELECT ...`).
+///
+/// Fast paths announce themselves by name (`CountStar(table_meta)`,
+/// `Min(idx ...)`, `TopN(idx, k=..)`) so tests and operators can confirm a
+/// shortcut is actually taken; everything else renders the scan pipeline.
 pub fn explain_select(db: &Database, stmt: &Select) -> Result<QueryResult> {
-    let plan = plan_select(db, stmt)?;
-    let mut lines = vec![plan.describe()];
-    if stmt.is_aggregate() {
-        let n_aggs = stmt
-            .items
-            .iter()
-            .filter(|i| matches!(i, SelectItem::Aggregate { .. }))
-            .count();
-        lines.push(format!(
-            "Aggregate(keys={}, aggs={n_aggs}{})",
-            stmt.group_by.len(),
-            if stmt.having.is_some() {
-                ", having"
-            } else {
-                ""
+    let mut lines = Vec::new();
+    if let Some(fast) = plan_fast_path(db, stmt)? {
+        lines.push(fast.describe());
+        if let FastPath::MetaAggregate { .. } = &fast {
+            if !stmt.order_by.is_empty() {
+                let keys: Vec<String> = stmt
+                    .order_by
+                    .iter()
+                    .map(|ob| format!("{}{}", ob.column, if ob.desc { " DESC" } else { "" }))
+                    .collect();
+                lines.push(format!("Sort({})", keys.join(", ")));
             }
-        ));
-    }
-    if !stmt.order_by.is_empty() {
-        let keys: Vec<String> = stmt
-            .order_by
-            .iter()
-            .map(|ob| format!("{}{}", ob.column, if ob.desc { " DESC" } else { "" }))
-            .collect();
-        lines.push(format!("Sort({})", keys.join(", ")));
-    }
-    if stmt.limit.is_some() || stmt.offset.is_some() {
-        lines.push(format!(
-            "Limit(limit={:?}, offset={:?})",
-            stmt.limit, stmt.offset
-        ));
+            if let Some(l) = describe_limit(stmt, false) {
+                lines.push(l);
+            }
+        }
+        // TopN folds scan + sort + limit into its single line.
+    } else {
+        let plan = plan_select(db, stmt)?;
+        lines.push(plan.describe());
+        if stmt.is_aggregate() {
+            let n_aggs = stmt
+                .items
+                .iter()
+                .filter(|i| matches!(i, SelectItem::Aggregate { .. }))
+                .count();
+            lines.push(format!(
+                "Aggregate(keys={}, aggs={n_aggs}{})",
+                stmt.group_by.len(),
+                if stmt.having.is_some() {
+                    ", having"
+                } else {
+                    ""
+                }
+            ));
+        }
+        if !stmt.order_by.is_empty() {
+            let keys: Vec<String> = stmt
+                .order_by
+                .iter()
+                .map(|ob| format!("{}{}", ob.column, if ob.desc { " DESC" } else { "" }))
+                .collect();
+            lines.push(format!("Sort({})", keys.join(", ")));
+        }
+        if let Some(l) = describe_limit(stmt, limit_pushdown_cap(stmt).is_some()) {
+            lines.push(l);
+        }
     }
     let schema = Schema::empty().with("plan", DataType::Text);
     let rows = lines

@@ -17,6 +17,31 @@
 //! CREATE INDEX dots_xy ON dots USING SPATIAL (x, y)
 //! DROP TABLE dots
 //! ```
+//!
+//! # Access paths
+//!
+//! The planner works in two stages. First [`plan::plan_fast_path`] tries to
+//! resolve the whole statement to a [`plan::FastPath`] shortcut:
+//!
+//! | fast path | eligible shape | EXPLAIN line |
+//! |---|---|---|
+//! | metadata aggregate | `COUNT(*)` / `MIN(col)` / `MAX(col)` only, no WHERE/GROUP BY/HAVING/join; MIN/MAX need a B+tree index on `col` | `CountStar(table_meta)`, `Min(idx ..)`, `Max(idx ..)` |
+//! | index top-N | `ORDER BY <indexed col> [DESC] LIMIT k` whose scan would otherwise be sequential | `TopN(idx, k=..)` |
+//!
+//! `COUNT(*)` reads the live heap length; `MIN`/`MAX` descend to a B+tree
+//! edge (skipping NULLs, which sort first); top-N walks the index in key
+//! order and stops after `offset + k` rows survive the residual filter.
+//! All three leave `ExecStats::rows_scanned` at (or near) the number of
+//! rows actually *returned* rather than the table size.
+//!
+//! Ineligible statements fall through to [`plan::plan_select`], which picks
+//! a [`plan::ScanPlan`] (spatial / index-eq / index-range / seq scan, plus
+//! join strategies). On that path the executor still pushes `LIMIT` into
+//! the scan when no aggregate, sort, or join needs the full row set —
+//! EXPLAIN marks this as `Limit(k, pushdown)`.
+//!
+//! Every shortcut is pinned row-multiset-identical to the general path by
+//! the differential harness in `crates/storage/tests/sql_differential.rs`.
 
 pub mod ast;
 pub mod bind;
@@ -31,4 +56,4 @@ pub use ast::{
 };
 pub use exec::{execute_select, explain_select, output_schema, QueryResult};
 pub use parser::{parse, parse_statement};
-pub use plan::{plan_select, ScanPlan};
+pub use plan::{plan_fast_path, plan_select, FastPath, MetaAgg, ScanPlan};

@@ -11,7 +11,7 @@
 //! the join column (either side may be chosen as inner), and hash joins
 //! otherwise.
 
-use super::ast::{BinOp, ColumnRef, Select, SqlExpr};
+use super::ast::{AggFunc, BinOp, ColumnRef, Select, SelectItem, SqlExpr};
 use crate::database::Database;
 use crate::error::{Result, StorageError};
 
@@ -89,6 +89,180 @@ impl ScanPlan {
             } => format!("HashJoin({} -> {inner_table})", outer.describe()),
         }
     }
+}
+
+/// A statement-level shortcut that bypasses part of the scan → sort →
+/// project pipeline. Planned *before* the [`ScanPlan`]; `None` from
+/// [`plan_fast_path`] means the general path runs. Every fast path is
+/// behaviorally identical to the general path (pinned by the differential
+/// harness in `tests/sql_differential.rs`) — only `ExecStats` and wall
+/// clock change.
+#[derive(Debug, Clone, PartialEq)]
+pub enum FastPath {
+    /// Every output column is answered from table/index metadata —
+    /// `COUNT(*)` from the live heap length, `MIN`/`MAX` from a B+tree
+    /// edge descent. No heap rows are touched (`rows_scanned` stays 0).
+    /// Eligible only when nothing can block the metadata answer: no
+    /// WHERE, no join, no GROUP BY, no HAVING.
+    MetaAggregate {
+        table: String,
+        /// One entry per SELECT item, in output order.
+        items: Vec<MetaAgg>,
+    },
+    /// `ORDER BY <indexed col> [DESC] LIMIT k`: walk the B+tree in key
+    /// order (either direction), fetching and filtering rows until
+    /// `offset + k` survive, instead of materializing and sorting the
+    /// whole table. Chosen only when the scan would otherwise be a
+    /// sequential pass — an indexed WHERE keeps its own access path.
+    TopN {
+        table: String,
+        binding: String,
+        index_no: usize,
+        /// Index name, surfaced by EXPLAIN.
+        index_name: String,
+        desc: bool,
+        /// Residual WHERE conjuncts, applied during the ordered walk.
+        filter: Option<SqlExpr>,
+        /// The statement's LIMIT.
+        k: u64,
+        /// The statement's OFFSET (0 when absent); the walk keeps
+        /// `offset + k` rows and the executor drains the prefix.
+        offset: u64,
+    },
+}
+
+/// One metadata-answered aggregate output column.
+#[derive(Debug, Clone, PartialEq)]
+pub enum MetaAgg {
+    /// `COUNT(*)` = live heap length.
+    CountStar,
+    /// `MIN(col)` from the left edge of a B+tree index (NULLs skipped).
+    Min { column: String, index_name: String },
+    /// `MAX(col)` from the right edge of a B+tree index.
+    Max { column: String, index_name: String },
+}
+
+impl FastPath {
+    /// One-line description for EXPLAIN, naming the chosen access path,
+    /// e.g. `CountStar(table_meta)` or `TopN(idx_x, k=8)`.
+    pub fn describe(&self) -> String {
+        match self {
+            FastPath::MetaAggregate { items, .. } => {
+                let parts: Vec<String> = items
+                    .iter()
+                    .map(|m| match m {
+                        MetaAgg::CountStar => "CountStar(table_meta)".to_string(),
+                        MetaAgg::Min { index_name, .. } => format!("Min(idx {index_name})"),
+                        MetaAgg::Max { index_name, .. } => format!("Max(idx {index_name})"),
+                    })
+                    .collect();
+                match parts.as_slice() {
+                    [one] => one.clone(),
+                    many => format!("MetaAggregate({})", many.join(", ")),
+                }
+            }
+            FastPath::TopN {
+                index_name,
+                desc,
+                filter,
+                k,
+                offset,
+                ..
+            } => {
+                let mut s = format!("TopN({index_name}, k={k}");
+                if *offset > 0 {
+                    s.push_str(&format!(", offset={offset}"));
+                }
+                if *desc {
+                    s.push_str(", desc");
+                }
+                if filter.is_some() {
+                    s.push_str(", filtered");
+                }
+                s.push(')');
+                s
+            }
+        }
+    }
+}
+
+/// Try to resolve a SELECT to a [`FastPath`]. Conservative by design:
+/// anything outside the exactly-eligible shapes returns `Ok(None)` and the
+/// general pipeline runs (including statements that will fail binding —
+/// their errors must surface from the same code path as before).
+pub fn plan_fast_path(db: &Database, stmt: &Select) -> Result<Option<FastPath>> {
+    if stmt.join.is_some() {
+        return Ok(None);
+    }
+    let table = db.table(&stmt.from.table)?;
+    let binding = stmt.from.binding();
+    // a qualified column must refer to the single FROM binding
+    let owned = |c: &ColumnRef| c.table.as_deref().is_none_or(|t| t == binding);
+
+    // --- metadata-answered aggregates -----------------------------------
+    if stmt.is_aggregate()
+        && stmt.where_clause.is_none()
+        && stmt.group_by.is_empty()
+        && stmt.having.is_none()
+    {
+        let mut items = Vec::with_capacity(stmt.items.len());
+        for item in &stmt.items {
+            let SelectItem::Aggregate { func, arg, .. } = item else {
+                return Ok(None); // plain exprs require the grouped path
+            };
+            match (func, arg) {
+                (AggFunc::Count, None) => items.push(MetaAgg::CountStar),
+                (AggFunc::Min | AggFunc::Max, Some(SqlExpr::Column(c)))
+                    if owned(c) && table.schema.has_column(&c.column) =>
+                {
+                    let Some(index_no) = table.btree_index_on(&c.column) else {
+                        return Ok(None);
+                    };
+                    let index_name = table.index_name(index_no).to_string();
+                    items.push(match func {
+                        AggFunc::Min => MetaAgg::Min {
+                            column: c.column.clone(),
+                            index_name,
+                        },
+                        _ => MetaAgg::Max {
+                            column: c.column.clone(),
+                            index_name,
+                        },
+                    });
+                }
+                _ => return Ok(None),
+            }
+        }
+        return Ok(Some(FastPath::MetaAggregate {
+            table: stmt.from.table.clone(),
+            items,
+        }));
+    }
+
+    // --- index-backed top-N ---------------------------------------------
+    if let (false, Some(k), [ob]) = (stmt.is_aggregate(), stmt.limit, stmt.order_by.as_slice()) {
+        if owned(&ob.column) && table.schema.has_column(&ob.column.column) {
+            if let Some(index_no) = table.btree_index_on(&ob.column.column) {
+                // only take over from a full sequential pass; an indexed
+                // WHERE already bounds the scan better than a blind walk
+                let plan = plan_select(db, stmt)?;
+                if let ScanPlan::SeqScan { filter, .. } = plan {
+                    return Ok(Some(FastPath::TopN {
+                        table: stmt.from.table.clone(),
+                        binding: binding.to_string(),
+                        index_no,
+                        index_name: table.index_name(index_no).to_string(),
+                        desc: ob.desc,
+                        filter,
+                        k,
+                        offset: stmt.offset.unwrap_or(0),
+                    }));
+                }
+            }
+        }
+    }
+
+    Ok(None)
 }
 
 /// Which single binding (if any) an expression's columns all belong to.

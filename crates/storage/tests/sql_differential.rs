@@ -1,0 +1,550 @@
+//! Differential query-test harness for the SQL fast paths.
+//!
+//! Every fast path (metadata-answered `COUNT(*)`/`MIN`/`MAX`, LIMIT
+//! pushdown, index-backed top-N) must produce output row-for-row identical
+//! to [`naive_execute`], a reference interpreter that knows nothing about
+//! planning or indexes: it filters the generated rows in insertion order,
+//! stable-sorts, slices, and folds. Queries are generated structurally
+//! (never parsed back) so the reference stays independent of the SQL
+//! pipeline under test.
+//!
+//! Each generated case also asserts *plan-level* expectations: eligible
+//! shapes must resolve to a fast path (and show the matching `ExecStats`),
+//! ineligible ones must fall back — so the shortcuts are provably
+//! exercised, not silently skipped.
+
+use kyrix_storage::sql::{self, FastPath};
+use kyrix_storage::{DataType, Database, IndexKind, Row, Schema, Value};
+
+// ------------------------------------------------------------ generators
+
+/// One generated row of table `t(id, k, v)`: `id` is the insertion index,
+/// `k` is a duplicate-heavy nullable sort key, `v` a nullable payload.
+type GenRow = (Option<i64>, Option<i64>);
+
+/// WHERE clause shapes the generator draws from.
+#[derive(Debug, Clone, Copy, PartialEq)]
+enum Filter {
+    /// No WHERE.
+    None,
+    /// `v >= c` — not index-plannable, so it rides along as a residual.
+    VGe(i64),
+    /// `k BETWEEN lo AND hi` — plans to an index range scan, which makes
+    /// top-N ineligible (the fallback must still match the reference).
+    KBetween(i64, i64),
+}
+
+impl Filter {
+    fn sql(&self) -> String {
+        match self {
+            Filter::None => String::new(),
+            Filter::VGe(c) => format!(" WHERE v >= {c}"),
+            Filter::KBetween(lo, hi) => format!(" WHERE k BETWEEN {lo} AND {hi}"),
+        }
+    }
+
+    /// SQL comparison semantics: NULL never matches.
+    fn matches(&self, k: Option<i64>, v: Option<i64>) -> bool {
+        match self {
+            Filter::None => true,
+            Filter::VGe(c) => v.is_some_and(|v| v >= *c),
+            Filter::KBetween(lo, hi) => k.is_some_and(|k| k >= *lo && k <= *hi),
+        }
+    }
+}
+
+/// The five aggregate items the metadata fast path can answer.
+#[derive(Debug, Clone, Copy, PartialEq)]
+enum Agg {
+    CountStar,
+    MinK,
+    MaxK,
+    MinV,
+    MaxV,
+}
+
+impl Agg {
+    fn sql(&self) -> &'static str {
+        match self {
+            Agg::CountStar => "COUNT(*)",
+            Agg::MinK => "MIN(k)",
+            Agg::MaxK => "MAX(k)",
+            Agg::MinV => "MIN(v)",
+            Agg::MaxV => "MAX(v)",
+        }
+    }
+
+    fn uses_v(&self) -> bool {
+        matches!(self, Agg::MinV | Agg::MaxV)
+    }
+}
+
+/// Decode a non-zero bitmask into a non-empty aggregate list.
+fn aggs_of(mask: u8) -> Vec<Agg> {
+    let all = [Agg::CountStar, Agg::MinK, Agg::MaxK, Agg::MinV, Agg::MaxV];
+    all.iter()
+        .enumerate()
+        .filter(|(i, _)| mask & (1 << i) != 0)
+        .map(|(_, a)| *a)
+        .collect()
+}
+
+fn opt(v: Option<i64>) -> Value {
+    v.map(Value::Int).unwrap_or(Value::Null)
+}
+
+/// Build `t(id, k, v)` from generated rows (insert-only, so heap order ==
+/// insertion order), with a B+tree on `k` and optionally one on `v`.
+fn build_db(rows: &[GenRow], index_v: bool) -> Database {
+    let mut db = Database::new();
+    db.create_table(
+        "t",
+        Schema::empty()
+            .with("id", DataType::Int)
+            .with("k", DataType::Int)
+            .with("v", DataType::Int),
+    )
+    .unwrap();
+    for (id, (k, v)) in rows.iter().enumerate() {
+        db.insert("t", Row::new(vec![Value::Int(id as i64), opt(*k), opt(*v)]))
+            .unwrap();
+    }
+    db.create_index("t", "idx_k", IndexKind::BTree { column: "k".into() })
+        .unwrap();
+    if index_v {
+        db.create_index("t", "idx_v", IndexKind::BTree { column: "v".into() })
+            .unwrap();
+    }
+    db
+}
+
+// ---------------------------------------------------- reference executor
+
+/// What the generators can express: `SELECT <items> FROM t [WHERE ..]
+/// [ORDER BY k [DESC]] [LIMIT n] [OFFSET n]` where `<items>` is either
+/// `id, k, v` or a non-empty aggregate list.
+#[derive(Debug, Clone)]
+struct GenQuery {
+    aggs: Vec<Agg>,
+    filter: Filter,
+    order_desc: Option<bool>,
+    limit: Option<u64>,
+    offset: Option<u64>,
+}
+
+impl GenQuery {
+    fn sql(&self) -> String {
+        let items = if self.aggs.is_empty() {
+            "id, k, v".to_string()
+        } else {
+            self.aggs
+                .iter()
+                .map(|a| a.sql())
+                .collect::<Vec<_>>()
+                .join(", ")
+        };
+        let mut s = format!("SELECT {items} FROM t{}", self.filter.sql());
+        if let Some(desc) = self.order_desc {
+            s.push_str(" ORDER BY k");
+            if desc {
+                s.push_str(" DESC");
+            }
+        }
+        if let Some(l) = self.limit {
+            s.push_str(&format!(" LIMIT {l}"));
+        }
+        if let Some(o) = self.offset {
+            s.push_str(&format!(" OFFSET {o}"));
+        }
+        s
+    }
+}
+
+/// The reference interpreter: no planner, no indexes, no pushdown — just
+/// filter → stable sort → aggregate/project → offset → limit over the
+/// generated rows in insertion order.
+fn naive_execute(rows: &[GenRow], q: &GenQuery) -> Vec<Vec<Value>> {
+    type Kept = (i64, Option<i64>, Option<i64>);
+    let mut kept: Vec<Kept> = rows
+        .iter()
+        .enumerate()
+        .filter(|(_, (k, v))| q.filter.matches(*k, *v))
+        .map(|(id, (k, v))| (id as i64, *k, *v))
+        .collect();
+
+    if !q.aggs.is_empty() {
+        let min = |sel: fn(&Kept) -> Option<i64>| kept.iter().filter_map(sel).min();
+        let max = |sel: fn(&Kept) -> Option<i64>| kept.iter().filter_map(sel).max();
+        let row = q
+            .aggs
+            .iter()
+            .map(|a| match a {
+                Agg::CountStar => Value::Int(kept.len() as i64),
+                Agg::MinK => opt(min(|r| r.1)),
+                Agg::MaxK => opt(max(|r| r.1)),
+                Agg::MinV => opt(min(|r| r.2)),
+                Agg::MaxV => opt(max(|r| r.2)),
+            })
+            .collect();
+        return vec![row];
+    }
+
+    if let Some(desc) = q.order_desc {
+        // stable: ties keep insertion order, matching both the executor's
+        // stable sort and the index walk's run handling. NULLs sort first
+        // ascending (Option: None < Some), last descending.
+        if desc {
+            kept.sort_by_key(|r| std::cmp::Reverse(r.1));
+        } else {
+            kept.sort_by_key(|r| r.1);
+        }
+    }
+    let off = (q.offset.unwrap_or(0) as usize).min(kept.len());
+    kept.drain(..off);
+    if let Some(l) = q.limit {
+        kept.truncate(l as usize);
+    }
+    kept.into_iter()
+        .map(|(id, k, v)| vec![Value::Int(id), opt(k), opt(v)])
+        .collect()
+}
+
+fn result_rows(r: &kyrix_storage::QueryResult) -> Vec<Vec<Value>> {
+    let n = r.schema.columns().len();
+    r.rows
+        .iter()
+        .map(|row| (0..n).map(|i| row.get(i).clone()).collect())
+        .collect()
+}
+
+/// Run `q` through the real executor and compare with the reference.
+/// `ORDER BY` queries compare exact sequences (ties are pinned to
+/// insertion order on both sides); unordered queries compare the result
+/// multiset. The one legitimately looser case is a `LIMIT`/`OFFSET`
+/// window over an *unspecified* order — SQL lets the executor window any
+/// ordering (an index scan reorders rows before LIMIT applies), so there
+/// the window size must match the reference and every returned row must
+/// come from the filtered set.
+fn check_differential(
+    db: &Database,
+    rows: &[GenRow],
+    q: &GenQuery,
+) -> std::result::Result<kyrix_storage::QueryResult, String> {
+    let sql = q.sql();
+    let r = db
+        .query(&sql, &[])
+        .map_err(|e| format!("`{sql}` failed: {e}"))?;
+    let got = result_rows(&r);
+    let want = naive_execute(rows, q);
+    let key = |rows: &[Vec<Value>]| {
+        let mut v: Vec<String> = rows.iter().map(|r| format!("{r:?}")).collect();
+        v.sort();
+        v
+    };
+    if q.order_desc.is_some() {
+        if got != want {
+            return Err(format!("`{sql}`: got {got:?}, reference {want:?}"));
+        }
+    } else if q.aggs.is_empty() && (q.limit.is_some() || q.offset.is_some()) {
+        if got.len() != want.len() {
+            return Err(format!(
+                "`{sql}`: window size {} != reference {}",
+                got.len(),
+                want.len()
+            ));
+        }
+        let unwindowed = GenQuery {
+            limit: None,
+            offset: None,
+            ..q.clone()
+        };
+        let mut pool = key(&naive_execute(rows, &unwindowed));
+        for row in key(&got) {
+            match pool.binary_search(&row) {
+                Ok(i) => {
+                    pool.remove(i);
+                }
+                Err(_) => {
+                    return Err(format!("`{sql}`: row {row} is not in the filtered set"));
+                }
+            }
+        }
+    } else if key(&got) != key(&want) {
+        return Err(format!("`{sql}`: multiset mismatch {got:?} vs {want:?}"));
+    }
+    Ok(r)
+}
+
+fn fast_path_of(db: &Database, sql: &str) -> Option<FastPath> {
+    let stmt = sql::parse(sql).unwrap();
+    sql::plan_fast_path(db, &stmt).unwrap()
+}
+
+// ------------------------------------------------------ generated cases
+
+mod generated {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn rows_strategy() -> impl Strategy<Value = Vec<GenRow>> {
+        prop::collection::vec(
+            (prop::option::of(0..8i64), prop::option::of(-50..50i64)),
+            0..60,
+        )
+    }
+
+    fn filter_strategy() -> impl Strategy<Value = Filter> {
+        (0u8..3, -40..40i64, 0..8i64, 0..8i64).prop_map(|(sel, c, a, b)| match sel {
+            0 => Filter::None,
+            1 => Filter::VGe(c),
+            _ => Filter::KBetween(a.min(b), a.max(b)),
+        })
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(96))]
+
+        /// COUNT(*)/MIN/MAX vs the reference. No-WHERE, fully-indexed
+        /// shapes must hit the metadata fast path and scan zero rows;
+        /// everything else must fall back (and still match).
+        #[test]
+        fn aggregates_match_reference(
+            rows in rows_strategy(),
+            mask in 1u8..32,
+            filter in filter_strategy(),
+            index_v in any::<bool>(),
+        ) {
+            let db = build_db(&rows, index_v);
+            let q = GenQuery {
+                aggs: aggs_of(mask),
+                filter,
+                order_desc: None,
+                limit: None,
+                offset: None,
+            };
+            let r = check_differential(&db, &rows, &q).unwrap_or_else(|e| panic!("{e}"));
+
+            let eligible = filter == Filter::None
+                && (index_v || !q.aggs.iter().any(|a| a.uses_v()));
+            let fast = fast_path_of(&db, &q.sql());
+            if eligible {
+                prop_assert!(
+                    matches!(fast, Some(FastPath::MetaAggregate { .. })),
+                    "expected metadata fast path for `{}`", q.sql()
+                );
+                prop_assert_eq!(r.stats.rows_scanned, 0, "metadata answers scan nothing");
+            } else {
+                prop_assert!(fast.is_none(), "`{}` must take the general path", q.sql());
+            }
+        }
+
+        /// ORDER BY k LIMIT vs the reference, both directions, with and
+        /// without residual filters. Seq-scannable shapes must resolve to
+        /// the index top-N; an indexed WHERE keeps its own access path.
+        #[test]
+        fn top_n_matches_reference(
+            rows in rows_strategy(),
+            desc in any::<bool>(),
+            limit in 0u64..12,
+            offset in prop::option::of(0u64..6),
+            filter in filter_strategy(),
+        ) {
+            let db = build_db(&rows, false);
+            let q = GenQuery {
+                aggs: Vec::new(),
+                filter,
+                order_desc: Some(desc),
+                limit: Some(limit),
+                offset,
+            };
+            let r = check_differential(&db, &rows, &q).unwrap_or_else(|e| panic!("{e}"));
+
+            let fast = fast_path_of(&db, &q.sql());
+            match filter {
+                Filter::KBetween(..) => {
+                    prop_assert!(fast.is_none(), "indexed WHERE keeps its range scan");
+                }
+                _ => prop_assert!(
+                    matches!(fast, Some(FastPath::TopN { .. })),
+                    "expected top-N for `{}`", q.sql()
+                ),
+            }
+            if filter == Filter::None {
+                let need = (offset.unwrap_or(0) + limit) as usize;
+                prop_assert_eq!(
+                    r.stats.rows_scanned,
+                    need.min(rows.len()) as u64,
+                    "top-N walk must stop after offset+limit rows"
+                );
+            }
+        }
+
+        /// LIMIT/OFFSET without ORDER BY vs the reference: the pushdown
+        /// must stop the scan at offset+limit produced rows.
+        #[test]
+        fn limit_pushdown_matches_reference(
+            rows in rows_strategy(),
+            limit in 0u64..12,
+            offset in prop::option::of(0u64..6),
+            filter in filter_strategy(),
+        ) {
+            let db = build_db(&rows, false);
+            let q = GenQuery {
+                aggs: Vec::new(),
+                filter,
+                order_desc: None,
+                limit: Some(limit),
+                offset,
+            };
+            let r = check_differential(&db, &rows, &q).unwrap_or_else(|e| panic!("{e}"));
+
+            prop_assert!(fast_path_of(&db, &q.sql()).is_none());
+            if filter == Filter::None {
+                let need = (offset.unwrap_or(0) + limit) as usize;
+                prop_assert_eq!(
+                    r.stats.rows_scanned,
+                    need.min(rows.len()) as u64,
+                    "pushdown must stop the seq scan at offset+limit rows"
+                );
+            } else {
+                prop_assert!(
+                    r.stats.rows_scanned <= rows.len() as u64,
+                    "scan never exceeds the table"
+                );
+            }
+        }
+    }
+}
+
+// ------------------------------------------------- asserted fast-path hits
+
+/// A fixed table where every fast path's stats signature is exact.
+fn hits_db() -> (Database, usize) {
+    let rows: Vec<GenRow> = (0..40)
+        .map(|i| {
+            (
+                if i % 7 == 0 { None } else { Some(i % 5) },
+                if i % 11 == 0 { None } else { Some(i - 20) },
+            )
+        })
+        .collect();
+    let n = rows.len();
+    (build_db(&rows, true), n)
+}
+
+#[test]
+fn count_star_hits_table_metadata() {
+    let (db, _) = hits_db();
+    let sql = "SELECT COUNT(*) FROM t";
+    assert!(matches!(
+        fast_path_of(&db, sql),
+        Some(FastPath::MetaAggregate { .. })
+    ));
+    let r = db.query(sql, &[]).unwrap();
+    assert_eq!(r.rows[0].get(0), &Value::Int(40));
+    assert_eq!(r.stats.rows_scanned, 0);
+    assert_eq!(r.stats.index_probes, 0);
+}
+
+#[test]
+fn min_max_hit_index_edges() {
+    let (db, _) = hits_db();
+    let sql = "SELECT MIN(k), MAX(k), MIN(v), MAX(v) FROM t";
+    assert!(matches!(
+        fast_path_of(&db, sql),
+        Some(FastPath::MetaAggregate { .. })
+    ));
+    let r = db.query(sql, &[]).unwrap();
+    assert_eq!(r.rows[0].get(0), &Value::Int(0));
+    assert_eq!(r.rows[0].get(1), &Value::Int(4));
+    assert_eq!(r.rows[0].get(2), &Value::Int(-19)); // v = 1 - 20 (v of 0 is NULL)
+    assert_eq!(r.rows[0].get(3), &Value::Int(19));
+    assert_eq!(r.stats.rows_scanned, 0, "MIN/MAX answered from index edges");
+    assert_eq!(r.stats.index_probes, 4);
+}
+
+#[test]
+fn limit_pushdown_hits_scan_cap() {
+    let (db, n) = hits_db();
+    let r = db.query("SELECT id FROM t LIMIT 7", &[]).unwrap();
+    assert_eq!(r.rows.len(), 7);
+    assert_eq!(r.stats.rows_scanned, 7, "not {n}: the scan stopped early");
+    // an offset widens the cap to offset + limit
+    let r = db.query("SELECT id FROM t LIMIT 7 OFFSET 5", &[]).unwrap();
+    assert_eq!(r.rows.len(), 7);
+    assert_eq!(r.stats.rows_scanned, 12);
+}
+
+#[test]
+fn index_top_n_hits_ordered_walk() {
+    let (db, n) = hits_db();
+    let sql = "SELECT id, k FROM t ORDER BY k DESC LIMIT 6";
+    assert!(matches!(
+        fast_path_of(&db, sql),
+        Some(FastPath::TopN { desc: true, .. })
+    ));
+    let r = db.query(sql, &[]).unwrap();
+    assert_eq!(r.rows.len(), 6);
+    assert_eq!(
+        r.stats.rows_scanned, 6,
+        "not {n}: the walk stopped at k rows"
+    );
+    assert_eq!(r.stats.index_probes, 1);
+    for row in &r.rows {
+        assert_eq!(row.get(1), &Value::Int(4), "the top run of k is all 4s");
+    }
+}
+
+/// The ExecStats the serving layer's telemetry sees (via `QueryObserver`)
+/// must reflect the fast paths — rows_scanned == 0 for metadata answers,
+/// == the cap under LIMIT pushdown — not the table length.
+#[test]
+fn query_observer_reports_fast_path_stats() {
+    use std::sync::{Arc, Mutex};
+    let (mut db, _) = hits_db();
+    let seen: Arc<Mutex<Vec<(String, u64, u64)>>> = Arc::new(Mutex::new(Vec::new()));
+    let sink = Arc::clone(&seen);
+    db.set_query_observer(Some(Arc::new(move |sql, _dur, stats| {
+        sink.lock()
+            .unwrap()
+            .push((sql.to_string(), stats.rows_scanned, stats.rows_out));
+    })));
+    db.query("SELECT COUNT(*) FROM t", &[]).unwrap();
+    db.query("SELECT id FROM t LIMIT 7", &[]).unwrap();
+    db.query("SELECT id FROM t ORDER BY k LIMIT 3", &[])
+        .unwrap();
+    let seen = seen.lock().unwrap();
+    assert_eq!(seen.len(), 3);
+    assert_eq!(seen[0].1, 0, "COUNT(*) telemetry shows zero rows scanned");
+    assert_eq!(seen[0].2, 1);
+    assert_eq!(seen[1].1, 7, "LIMIT pushdown telemetry shows the cap");
+    assert_eq!(
+        seen[2].1, 3,
+        "top-N telemetry shows k, not the table length"
+    );
+}
+
+/// Deletions leave lazily-emptied leaves in the B+tree; edge descents and
+/// ordered walks must skip them and metadata answers must track the live
+/// heap, not historical inserts.
+#[test]
+fn fast_paths_survive_deletions() {
+    let rows: Vec<GenRow> = (0..30).map(|i| (Some(i), Some(i))).collect();
+    let mut db = build_db(&rows, true);
+    db.run("DELETE FROM t WHERE k BETWEEN 0 AND 9", &[])
+        .unwrap();
+    db.run("DELETE FROM t WHERE k BETWEEN 25 AND 29", &[])
+        .unwrap();
+    let r = db
+        .query("SELECT COUNT(*), MIN(k), MAX(k) FROM t", &[])
+        .unwrap();
+    assert_eq!(r.rows[0].get(0), &Value::Int(15));
+    assert_eq!(r.rows[0].get(1), &Value::Int(10));
+    assert_eq!(r.rows[0].get(2), &Value::Int(24));
+    assert_eq!(r.stats.rows_scanned, 0);
+    let r = db
+        .query("SELECT k FROM t ORDER BY k DESC LIMIT 3", &[])
+        .unwrap();
+    let got: Vec<&Value> = r.rows.iter().map(|row| row.get(0)).collect();
+    assert_eq!(got, vec![&Value::Int(24), &Value::Int(23), &Value::Int(22)]);
+}

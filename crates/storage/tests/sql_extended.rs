@@ -416,6 +416,127 @@ fn explain_shows_access_path() {
     assert!(lines[3].starts_with("Limit"));
 }
 
+/// Collect EXPLAIN output as plain strings.
+fn explain(db: &Database, sql: &str) -> Vec<String> {
+    db.query(sql, &[])
+        .unwrap()
+        .rows
+        .iter()
+        .map(|row| match row.get(0) {
+            Value::Text(s) => s.clone(),
+            other => panic!("expected text plan line, got {other:?}"),
+        })
+        .collect()
+}
+
+fn crimes_db_with_pop_index() -> Database {
+    let mut db = crimes_db();
+    db.create_index(
+        "crimes",
+        "by_pop",
+        IndexKind::BTree {
+            column: "pop".into(),
+        },
+    )
+    .unwrap();
+    db
+}
+
+/// Golden text: every fast path announces itself by name, so a plan dump
+/// proves the shortcut is taken rather than silently skipped.
+#[test]
+fn explain_announces_fast_paths() {
+    let db = crimes_db_with_pop_index();
+    assert_eq!(
+        explain(&db, "EXPLAIN SELECT COUNT(*) FROM crimes"),
+        ["CountStar(table_meta)"]
+    );
+    assert_eq!(
+        explain(&db, "EXPLAIN SELECT MIN(pop) FROM crimes"),
+        ["Min(idx by_pop)"]
+    );
+    assert_eq!(
+        explain(
+            &db,
+            "EXPLAIN SELECT COUNT(*), MIN(pop), MAX(pop) FROM crimes"
+        ),
+        ["MetaAggregate(CountStar(table_meta), Min(idx by_pop), Max(idx by_pop))"]
+    );
+    assert_eq!(
+        explain(&db, "EXPLAIN SELECT * FROM crimes ORDER BY pop LIMIT 3"),
+        ["TopN(by_pop, k=3)"]
+    );
+    assert_eq!(
+        explain(
+            &db,
+            "EXPLAIN SELECT * FROM crimes ORDER BY pop DESC LIMIT 3 OFFSET 1"
+        ),
+        ["TopN(by_pop, k=3, offset=1, desc)"]
+    );
+    assert_eq!(
+        explain(
+            &db,
+            "EXPLAIN SELECT county FROM crimes WHERE rate > 5 ORDER BY pop LIMIT 2"
+        ),
+        ["TopN(by_pop, k=2, filtered)"]
+    );
+}
+
+/// Golden text: ineligible shapes fall back to the scan pipeline and say
+/// so — a filtered COUNT aggregates over a scan, an un-indexed ORDER BY
+/// sorts after a scan (and its LIMIT cannot push down).
+#[test]
+fn explain_falls_back_when_ineligible() {
+    let db = crimes_db_with_pop_index();
+    assert_eq!(
+        explain(
+            &db,
+            "EXPLAIN SELECT COUNT(*) FROM crimes WHERE state = 'MA'"
+        ),
+        ["SeqScan(crimes, filtered)", "Aggregate(keys=0, aggs=1)"]
+    );
+    assert_eq!(
+        explain(&db, "EXPLAIN SELECT MIN(rate) FROM crimes"),
+        ["SeqScan(crimes)", "Aggregate(keys=0, aggs=1)"]
+    );
+    assert_eq!(
+        explain(&db, "EXPLAIN SELECT * FROM crimes ORDER BY rate LIMIT 2"),
+        ["SeqScan(crimes)", "Sort(rate)", "Limit(2)"]
+    );
+}
+
+/// Golden text for the Limit line itself: plain integers, absent fields
+/// omitted (no `Some(..)`/`None` Debug leakage), and a `pushdown` marker
+/// exactly when the cap reaches the scan.
+#[test]
+fn explain_limit_line_renders_plain_integers() {
+    let db = crimes_db_with_pop_index();
+    assert_eq!(
+        explain(&db, "EXPLAIN SELECT county FROM crimes LIMIT 10"),
+        ["SeqScan(crimes)", "Limit(10, pushdown)"]
+    );
+    assert_eq!(
+        explain(&db, "EXPLAIN SELECT county FROM crimes LIMIT 10 OFFSET 5"),
+        ["SeqScan(crimes)", "Limit(10, offset=5, pushdown)"]
+    );
+    assert_eq!(
+        explain(&db, "EXPLAIN SELECT county FROM crimes OFFSET 5"),
+        ["SeqScan(crimes)", "Offset(5)"]
+    );
+    // Aggregates consume the whole input before LIMIT applies: no pushdown.
+    let lines = explain(
+        &db,
+        "EXPLAIN SELECT state, COUNT(*) FROM crimes GROUP BY state LIMIT 2",
+    );
+    assert_eq!(lines.last().unwrap(), "Limit(2)");
+    for line in &lines {
+        assert!(
+            !line.contains("Some(") && !line.contains("None"),
+            "Debug formatting leaked into plan line: {line}"
+        );
+    }
+}
+
 // ---------------------------------------------------- property: vs naive
 
 mod vs_naive {

@@ -1,0 +1,77 @@
+//! End-to-end EXPLAIN through the facade: one report covers both halves
+//! of a fetch — the server's plan/tuner/drift rationale and the storage
+//! executor's access path for the layer's fetch SQL — and the storage
+//! fast paths announce themselves through the same `Database` handle the
+//! apps use.
+
+use kyrix::prelude::*;
+use kyrix::workload::{dots_app, load_uniform, DotsConfig};
+
+fn dots_db(cfg: &DotsConfig) -> Database {
+    let mut db = Database::new();
+    load_uniform(&mut db, cfg).unwrap();
+    db
+}
+
+#[test]
+fn server_explain_names_both_halves_of_a_fetch() {
+    let cfg = DotsConfig {
+        n: 5_000,
+        width: 2048.0,
+        height: 2048.0,
+        seed: 11,
+    };
+    let db = dots_db(&cfg);
+    let app = compile(&dots_app(&cfg, (512.0, 512.0)), &db).unwrap();
+    let (server, _) = KyrixServer::launch(
+        app,
+        db,
+        ServerConfig::new(FetchPlan::DynamicBox {
+            policy: BoxPolicy::Exact,
+        }),
+    )
+    .unwrap();
+
+    let ex = server.explain("main", 0).unwrap();
+    let text = ex.render();
+    assert!(text.contains("EXPLAIN canvas=main layer=0"), "{text}");
+    assert!(text.contains("serving plan: dbox"), "{text}");
+    let sql = ex.fetch_sql.as_ref().expect("dynamic layer fetches");
+    assert!(sql.starts_with("SELECT"), "{sql}");
+    assert!(
+        !ex.storage_plan.is_empty(),
+        "the fetch SQL must explain to at least one plan line"
+    );
+    assert!(
+        ex.storage_plan
+            .iter()
+            .any(|l| l.contains("Scan") || l.contains("Index")),
+        "storage plan must name an access path: {:?}",
+        ex.storage_plan
+    );
+}
+
+#[test]
+fn storage_fast_paths_surface_through_the_facade() {
+    let cfg = DotsConfig {
+        n: 1_000,
+        width: 1024.0,
+        height: 1024.0,
+        seed: 3,
+    };
+    let db = dots_db(&cfg);
+
+    let plan = db.query("EXPLAIN SELECT COUNT(*) FROM dots", &[]).unwrap();
+    assert_eq!(
+        plan.rows[0].get(0),
+        &Value::Text("CountStar(table_meta)".into())
+    );
+
+    let r = db.query("SELECT COUNT(*) FROM dots", &[]).unwrap();
+    assert_eq!(r.rows[0].get(0), &Value::Int(cfg.n as i64));
+    assert_eq!(r.stats.rows_scanned, 0, "metadata answers scan nothing");
+
+    let r = db.query("SELECT id FROM dots LIMIT 7", &[]).unwrap();
+    assert_eq!(r.rows.len(), 7);
+    assert_eq!(r.stats.rows_scanned, 7, "LIMIT pushdown stops the scan");
+}
